@@ -1,0 +1,60 @@
+"""Ablation — bits per ReRAM cell (the Sec. IV-C design-space sweep).
+
+"Through design space explorations, we find that 2-bit ReRAM cells delivers
+a better energy-efficiency than other number of bits per cell (e.g., 4-bit,
+8-bit).  ADC bits increase as we increase the ReRAM cell bits, thereby
+consuming more power and area.  More importantly, using more bits per cell
+... introduces imprecision in analog computing and is more prone to process
+variation."
+
+This bench regenerates the sweep with :mod:`repro.arch.dse` under both ADC
+sizing rules and checks the published conclusion:
+
+* under worst-case-exact ADC sizing, 2-bit cells win GOPs/W outright;
+* under the paper's typical-case sizing, 4-bit cells look marginally better
+  on raw efficiency but fall below the 3-sigma level-separation margin —
+  the variation argument is what rules them out.
+"""
+
+from repro.analysis import ExperimentTable
+from repro.arch.dse import best_energy_efficiency, cell_bits_sweep
+
+
+def run_sweep(variation_sigma: float = 0.1):
+    rows = []
+    extras = {}
+    for rule in ("exact", "paper"):
+        for ev in cell_bits_sweep(adc_rule=rule,
+                                  variation_sigma=variation_sigma):
+            rows.append([
+                rule, ev.point.cell_bits, ev.point.adc_bits,
+                ev.gops_per_w, ev.gops_per_mm2,
+                ev.adc_power_fraction * 100.0,
+                ev.level_margin_sigmas, ev.variation_feasible,
+            ])
+            extras[(rule, ev.point.cell_bits)] = ev
+    table = ExperimentTable(
+        "Ablation: bits per cell (fragment 8, sigma=0.1 variation)",
+        ["ADC rule", "cell bits", "ADC bits", "GOPs/W", "GOPs/mm2",
+         "ADC power %", "level margin (sigma)", "feasible"],
+        rows)
+    table.extras["evaluations"] = extras
+    return table
+
+
+def test_ablation_cell_bits(benchmark, save_table):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save_table("ablation_cell_bits", result)
+    benchmark.extra_info["table"] = result.rendered
+    evals = result.extras["evaluations"]
+    # The published conclusion under both sizing rules.
+    for rule in ("exact", "paper"):
+        pool = [ev for (r, _), ev in evals.items() if r == rule]
+        assert best_energy_efficiency(pool).point.cell_bits == 2
+    # Under exact sizing, 2-bit wins even without the feasibility filter.
+    exact = [ev for (r, _), ev in evals.items() if r == "exact"]
+    assert best_energy_efficiency(exact,
+                                  require_feasible=False).point.cell_bits == 2
+    # 4- and 8-bit cells fail the variation margin.
+    assert not evals[("exact", 4)].variation_feasible
+    assert not evals[("exact", 8)].variation_feasible

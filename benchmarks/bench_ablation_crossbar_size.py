@@ -1,0 +1,55 @@
+"""Ablation — crossbar array size (the other Sec. IV-C DSE axis).
+
+"We performed design space exploration to find the best size of crossbar
+arrays, ADCs, DACs, and eDRAM storage."  The cell-bits axis is covered by
+``bench_ablation_cell_bits``; this bench sweeps the array size.  The
+trade-off the sweep exposes:
+
+* larger arrays amortize the per-MCU peripherals over quadratically more
+  weights — storage density (weights/mm2) rises steeply with size;
+* but a fragment read's current traverses the whole physical bit line, so
+  the analog error of even fine-grained reads grows with the row count
+  (:func:`repro.reram.nonideal.fragment_read_error`) and crosses the
+  one-ADC-LSB budget between 128 and 256 rows.
+
+Expected outcome: 128x128 — the paper's published choice — is the densest
+analog-feasible size.
+"""
+
+from repro.analysis import ExperimentTable
+from repro.arch.dse import CrossbarSizeEvaluation, crossbar_size_sweep
+
+SIZES = (64, 128, 256, 512)
+
+
+def run_sweep(seed: int = 0):
+    results = crossbar_size_sweep(options=SIZES, seed=seed)
+    rows = []
+    for r in results:
+        e = r.evaluation
+        rows.append([f"{r.size}x{r.size}", e.gops_per_w,
+                     e.weights_per_mm2 / 1e6, r.analog_error * 100.0,
+                     r.analog_feasible])
+    table = ExperimentTable(
+        "Ablation: crossbar array size (fragment 8, 2-bit cells)",
+        ["crossbar", "GOPs/W", "density (Mweights/mm2)",
+         "fragment-read error %", "analog feasible"],
+        rows)
+    table.extras["results"] = results
+    return table
+
+
+def test_ablation_crossbar_size(benchmark, save_table):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save_table("ablation_crossbar_size", result)
+    benchmark.extra_info["table"] = result.rendered
+    results = result.extras["results"]
+    by_size = {r.size: r for r in results}
+    # Density is what larger arrays buy; analog error is what stops them.
+    densities = [by_size[s].evaluation.weights_per_mm2 for s in SIZES]
+    assert densities == sorted(densities)
+    errors = [by_size[s].analog_error for s in SIZES]
+    assert errors == sorted(errors)
+    # The paper's 128x128 is the densest analog-feasible size.
+    feasible = [r.size for r in results if r.analog_feasible]
+    assert max(feasible) == 128

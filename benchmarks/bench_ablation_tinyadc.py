@@ -1,0 +1,81 @@
+"""Ablation — TinyADC column sparsity composed with FORMS fragments.
+
+TinyADC [40] (cited in Sec. II-A as the peripheral-aware pruning
+alternative) bounds non-zeros per crossbar column to shrink the required ADC
+resolution.  At FORMS' fragment granularity the two techniques compose: a
+fragment of 8 cells with at most k non-zeros needs
+``ceil(log2(k * 3 + 1))`` ADC bits instead of 5 (2-bit cells, worst case).
+
+This bench prices each k through the calibrated ADC scaling model and
+reports the accuracy cost of enforcing the sparsity on a trained polarized
+model (projection-only, no retraining — the pessimistic bound).  Expected
+shape: ADC power falls roughly 2x per saved bit; mild k (6/8) is free in
+accuracy terms while aggressive k (2) costs visibly.
+"""
+
+import numpy as np
+
+from repro.analysis import FAST, ExperimentTable, forms_config_for, train_baseline
+from repro.arch.components import default_adc_model
+from repro.core import (FORMSPipeline, TinyADCConstraint, TinyADCSpec,
+                        required_bits_with_tinyadc)
+from repro.core.tinyadc import project_fragment_sparsity
+from repro.nn import compressible_layers, evaluate
+from repro.reram.variation import clone_model
+
+FRAGMENT = 8
+KS = [8, 6, 4, 2]
+
+
+def run_ablation(seed: int = 0):
+    baseline = train_baseline("lenet5", "mnist", FAST, seed=seed)
+    config = forms_config_for(FAST, "mnist", fragment_size=FRAGMENT)
+    model = clone_model(baseline.model)
+    FORMSPipeline(config).optimize(model, baseline.train_set,
+                                   baseline.test_set, seed=seed)
+    base_accuracy = evaluate(model, baseline.test_set).accuracy
+    adc_model = default_adc_model()
+    dense_bits = required_bits_with_tinyadc(FRAGMENT, config.cell_bits)
+    dense_power = adc_model.power_mw(dense_bits, 2.1e9)
+
+    rows = []
+    extras = {}
+    for k in KS:
+        sparse = clone_model(model)
+        for name, layer in compressible_layers(sparse):
+            geometry = config.geometry_for(layer)
+            layer.weight.data[...] = project_fragment_sparsity(
+                layer.weight.data, geometry, k)
+        accuracy = evaluate(sparse, baseline.test_set).accuracy
+        bits = required_bits_with_tinyadc(k, config.cell_bits)
+        power = adc_model.power_mw(bits, 2.1e9)
+        rows.append([k, bits, power / dense_power,
+                     accuracy * 100.0, (base_accuracy - accuracy) * 100.0])
+        extras[k] = {"bits": bits, "power_ratio": power / dense_power,
+                     "accuracy": accuracy}
+    table = ExperimentTable(
+        "Ablation: TinyADC sparsity bound k per fragment "
+        f"(fragment {FRAGMENT}, LeNet-5, projection only)",
+        ["k (nonzeros)", "ADC bits", "ADC power vs dense",
+         "accuracy %", "accuracy drop %"],
+        rows)
+    table.extras["cases"] = extras
+    table.extras["base_accuracy"] = base_accuracy
+    return table
+
+
+def test_ablation_tinyadc(benchmark, save_table):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_table("ablation_tinyadc", result)
+    benchmark.extra_info["table"] = result.rendered
+    cases = result.extras["cases"]
+    base = result.extras["base_accuracy"]
+    # k = m is the identity: exact dense accuracy and cost.
+    assert cases[8]["accuracy"] == base
+    assert cases[8]["power_ratio"] == 1.0
+    # ADC bits (and hence power) shrink monotonically with k.
+    bits = [cases[k]["bits"] for k in KS]
+    assert bits == sorted(bits, reverse=True)
+    assert cases[2]["power_ratio"] < cases[8]["power_ratio"]
+    # Mild sparsity is nearly free; aggressive sparsity costs more accuracy.
+    assert cases[6]["accuracy"] >= cases[2]["accuracy"]

@@ -1,0 +1,26 @@
+"""Figure 13 — FPS speedup over ISAAC-32 on CIFAR-10 (VGG-16, ResNet-18).
+
+Six technique stacks per network: pruned/quantized ISAAC and PUMA, FORMS-8/16
+without zero-skipping, FORMS-8/16 with everything.  Expected shape (paper):
+compression alone buys large speedups for ISAAC; PUMA trails ISAAC; FORMS
+without zero-skipping trails pruned ISAAC (fine-grained conversion deficit);
+FORMS with zero-skipping overtakes it.
+"""
+
+from repro.analysis import FAST, fig13
+
+
+def test_fig13_fps_cifar10(benchmark, save_table):
+    result = benchmark.pedantic(lambda: fig13(FAST, seed=0),
+                                rounds=1, iterations=1)
+    save_table("fig13_fps_cifar10", result)
+    benchmark.extra_info["table"] = result.rendered
+    for workload, speedups in result.extras["speedups"].items():
+        values = dict(speedups)
+        isaac_pq = values["Pruned/Quantized-ISAAC"]
+        assert isaac_pq > 1.5, f"{workload}: compression must speed ISAAC up"
+        assert values["Pruned/Quantized-PUMA"] <= isaac_pq + 1e-9
+        assert values["FORMS-8 full"] > values["FORMS-8 w/o zero-skip"]
+        assert values["FORMS-16 full"] > values["FORMS-16 w/o zero-skip"]
+        # the headline: FORMS with zero-skipping beats optimized ISAAC
+        assert values["FORMS-16 full"] > isaac_pq * 0.9

@@ -1,0 +1,25 @@
+"""Figure 14 — FPS speedups on CIFAR-100 and ImageNet stand-ins.
+
+Five network/dataset pairs x six technique stacks.  Expected shape: smaller
+speedups than CIFAR-10 (ImageNet models tolerate less pruning), with the same
+within-family orderings.
+"""
+
+from repro.analysis import FAST, fig14
+
+
+def test_fig14_fps_large(benchmark, save_table):
+    result = benchmark.pedantic(lambda: fig14(FAST, seed=0),
+                                rounds=1, iterations=1)
+    save_table("fig14_fps_large", result)
+    benchmark.extra_info["table"] = result.rendered
+    speedups = result.extras["speedups"]
+    # ImageNet's milder pruning yields smaller compression speedups than the
+    # SAME network on CIFAR-100 (paper); compare matched pairs so model-size
+    # effects (fractional residency of the dense baseline) cancel.
+    for net in ("resnet18", "resnet50"):
+        cifar = speedups[f"{net}/cifar100"]["Pruned/Quantized-ISAAC"]
+        imagenet = speedups[f"{net}/imagenet"]["Pruned/Quantized-ISAAC"]
+        assert imagenet <= cifar * 1.1 + 1.0
+    for workload, values in speedups.items():
+        assert values["FORMS-8 full"] > values["FORMS-8 w/o zero-skip"]

@@ -1,0 +1,28 @@
+"""Figure 6 — test accuracy vs fragment size (CIFAR-100, C-major).
+
+Polarization-only ADMM sweep over m = 1..128 for VGG-16 / ResNet-18 /
+ResNet-50 stand-ins.  Expected shape: flat accuracy through small fragments
+(m = 1 trivially unconstrained; 4/8 near-lossless) with degradation growing
+toward coarse fragments (m = 64/128) — the core motivation for fine-grained
+sub-arrays.
+"""
+
+import numpy as np
+
+from repro.analysis import FAST, fragment_size_sweep
+
+
+def test_fig6_fragment_sweep(benchmark, save_table):
+    sizes = (1, 4, 8, 16, 32, 64, 128)
+    result = benchmark.pedantic(
+        lambda: fragment_size_sweep(("vgg16", "resnet18", "resnet50"),
+                                    "cifar100", sizes=sizes, scale=FAST, seed=0),
+        rounds=1, iterations=1)
+    save_table("fig6_fragment_sweep", result)
+    benchmark.extra_info["table"] = result.rendered
+    curves = result.extras["curves"]
+    for model, accs in curves.items():
+        fine = np.mean(accs[:3])    # m = 1, 4, 8
+        coarse = np.mean(accs[-2:])  # m = 64, 128
+        assert fine >= coarse - 2.0, \
+            f"{model}: fine fragments should not underperform coarse ones"

@@ -1,0 +1,29 @@
+"""Figure 8 — effective input cycles (EIC) distribution and averages.
+
+ResNet-50 stand-in on CIFAR-100 with 16-bit inputs, fragment sizes 4..128.
+Expected shape (paper): average EIC ~10-11 at fragment 4 rising toward ~15 at
+fragment 128; the EIC distribution shifts right as fragments grow; smaller
+fragments save more input cycles.
+"""
+
+from repro.analysis import FAST, eic_experiment
+
+
+def test_fig8_eic(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: eic_experiment("resnet50", "cifar100",
+                               fragment_sizes=(4, 8, 16, 32, 64, 128),
+                               scale=FAST, seed=0),
+        rounds=1, iterations=1)
+    save_table("fig8_eic", result)
+    benchmark.extra_info["table"] = result.rendered
+    merged = result.extras["merged_stats"]
+    averages = [merged[m].average for m in (4, 8, 16, 32, 64, 128)]
+    # Monotone non-decreasing average EIC with fragment size.
+    for small, large in zip(averages, averages[1:]):
+        assert small <= large + 1e-9
+    # Paper anchors: ~10.7 average at fragment 4, ~15 at fragment 128.
+    assert 7.0 < averages[0] < 14.0
+    assert averages[-1] > 12.0
+    # Fragment 4 saves a significant share of the 16 cycles.
+    assert merged[4].saved_fraction > 0.15

@@ -1,0 +1,76 @@
+"""Validation — whole-network in-situ inference vs the digital model.
+
+Closes the loop between the algorithm stack and the hardware stack at
+network scale: every conv/linear layer of a FORMS-optimized model executes
+on its own bit-serial crossbar engine (im2col, signed decomposition, DAC
+cycles, per-fragment ADC, sign-indicator accumulation), and the run is
+checked three ways:
+
+* **accuracy** — in-situ accuracy matches the quantized digital model under
+  ideal devices (the network-scale version of the engine exactness anchor);
+* **cycles** — the engine's measured bit-serial cycles confirm zero-skipping
+  saves real cycles against the 16-cycles-per-input worst case;
+* **variation** — a noisy die degrades accuracy, reproducing the Table VI
+  methodology through the full signal path instead of the effective-weight
+  shortcut.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FAST, ExperimentTable, forms_config_for, train_baseline
+from repro.core import FORMSPipeline
+from repro.nn import evaluate
+from repro.reram import DeviceSpec, ReRAMDevice, build_insitu_network, total_cycles_fed
+from repro.reram.variation import clone_model
+
+
+def run_validation(seed: int = 0):
+    baseline = train_baseline("lenet5", "mnist", FAST, seed=seed)
+    config = forms_config_for(FAST, "mnist", fragment_size=8)
+    model = clone_model(baseline.model)
+    FORMSPipeline(config).optimize(model, baseline.train_set,
+                                   baseline.test_set, seed=seed)
+    digital_acc = evaluate(model, baseline.test_set).accuracy
+
+    rows = []
+    extras = {}
+    for label, sigma in (("ideal die", 0.0), ("noisy die (sigma=0.1)", 0.1)):
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=sigma,
+                             seed=seed + 1)
+        insitu, engines = build_insitu_network(model, config, device,
+                                               activation_bits=16)
+        accuracy = evaluate(insitu, baseline.test_set).accuracy
+        cycles = total_cycles_fed(engines)
+        conversions = sum(e.stats.conversions for e in engines.values())
+        saturated = sum(e.stats.saturated for e in engines.values())
+        rows.append([label, digital_acc * 100.0, accuracy * 100.0,
+                     cycles, 100.0 * saturated / max(conversions, 1)])
+        extras[label] = {"accuracy": accuracy, "cycles": cycles,
+                         "engines": len(engines)}
+    extras["digital_accuracy"] = digital_acc
+    extras["batches"] = -(-len(baseline.test_set) // 64)
+    table = ExperimentTable(
+        "Validation: whole-network in-situ inference (LeNet-5, FORMS-8)",
+        ["die", "digital acc %", "in-situ acc %", "bit-serial cycles",
+         "ADC saturation %"],
+        rows)
+    table.extras.update(extras)
+    return table
+
+
+def test_insitu_validation(benchmark, save_table):
+    result = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    save_table("insitu_validation", result)
+    benchmark.extra_info["table"] = result.rendered
+    digital = result.extras["digital_accuracy"]
+    ideal = result.extras["ideal die"]
+    noisy = result.extras["noisy die (sigma=0.1)"]
+    # Network-scale exactness: in-situ == digital on the ideal die.
+    assert ideal["accuracy"] == pytest.approx(digital, abs=0.02)
+    # Variation through the full signal path cannot improve accuracy much.
+    assert noisy["accuracy"] <= ideal["accuracy"] + 0.03
+    # Zero-skipping: measured cycles stay below the no-skip worst case
+    # (every layer feeding 16 bit cycles for both signed passes per batch).
+    worst = ideal["engines"] * 2 * 16 * result.extras["batches"]
+    assert 0 < ideal["cycles"] < worst

@@ -1,0 +1,24 @@
+"""Table I — compression on MNIST (LeNet-5) and CIFAR-10 (VGG-16, ResNet-18).
+
+Regenerates the paper's prune-ratio / accuracy-drop / crossbar-reduction rows
+at fragment sizes 4/8/16.  Expected shape: negative-or-tiny accuracy drops at
+fragments 4/8, a visible penalty at 16, and crossbar reductions well above
+the prune ratio alone (x4 quantization, x2 polarization).
+"""
+
+from repro.analysis import FAST, table1
+
+
+def test_table1_compression(benchmark, save_table):
+    result = benchmark.pedantic(lambda: table1(FAST, seed=0),
+                                rounds=1, iterations=1)
+    save_table("table1_compression_small", result)
+    benchmark.extra_info["table"] = result.rendered
+    # Shape assertions (the paper's qualitative claims).
+    drops = {}
+    for row in result.rows:
+        drops.setdefault(row[0], {})[row[3]] = row[4]
+        assert row[5] > 1.0, "crossbar reduction must exceed 1x"
+    for model, by_fragment in drops.items():
+        assert by_fragment[4] <= by_fragment[16] + 3.0, \
+            f"{model}: fragment 4 should not be clearly worse than 16"

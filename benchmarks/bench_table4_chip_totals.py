@@ -1,0 +1,25 @@
+"""Table IV — chip-level power/area: FORMS vs ISAAC vs DaDianNao.
+
+The roll-up (MCUs -> tile -> 168 tiles -> chip + HyperTransport) must land on
+the published totals: FORMS 66.36 W / 89.15 mm2, ISAAC 65.81 W / 85.09 mm2
+(the "almost the same power/area" iso-comparison the throughput results rely
+on), DaDianNao 19.86 W / 86.2 mm2 recorded.
+"""
+
+import pytest
+
+from repro.analysis import table4
+
+
+def test_table4_chip_totals(benchmark, save_table):
+    result = benchmark.pedantic(lambda: table4(8), rounds=3, iterations=1)
+    save_table("table4_chip_totals", result)
+    benchmark.extra_info["table"] = result.rendered
+    totals = {r[0]: r for r in result.rows}
+    chip = totals["chip total"]
+    assert chip[1] == pytest.approx(66360.8, rel=1e-3)
+    assert chip[2] == pytest.approx(89.15, rel=2e-3)
+    assert chip[3] == pytest.approx(65808.08, rel=1e-3)
+    assert chip[4] == pytest.approx(85.09, rel=2e-3)
+    dadiannao = totals["DaDianNao total"]
+    assert dadiannao[1] == pytest.approx(19856.0)

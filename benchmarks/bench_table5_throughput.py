@@ -1,0 +1,32 @@
+"""Table V — peak throughput efficiency (GOPs/s/mm2, GOPs/W) vs ISAAC.
+
+Computed rows (ISAAC, FORMS variants, pruned/quantized ISAAC & PUMA) come
+from the first-principles peak model fed with a measured VGG-16/CIFAR-100
+compression; literature rows are the paper's recorded values.  Expected
+shape: polarization-only FORMS below ISAAC (fine-grained conversion deficit),
+full-optimization FORMS and pruned-ISAAC far above, fragment 16 above
+fragment 8.
+"""
+
+from repro.analysis import FAST, table5
+
+
+def test_table5_throughput(benchmark, save_table):
+    result = benchmark.pedantic(lambda: table5(FAST, seed=0),
+                                rounds=1, iterations=1)
+    save_table("table5_throughput", result)
+    benchmark.extra_info["table"] = result.rendered
+    benchmark.extra_info["prune_factor"] = result.extras["prune_factor"]
+    rows = {r[0]: r for r in result.rows}
+    isaac = rows["ISAAC"]
+    assert isaac[1] == 1.0 and isaac[2] == 1.0
+    # Shape: polarization only < ISAAC < full optimization.
+    poln8 = rows["FORMS (polarization only, 8)"]
+    poln16 = rows["FORMS (polarization only, 16)"]
+    full8 = rows["FORMS (full optimization, 8)"]
+    full16 = rows["FORMS (full optimization, 16)"]
+    assert 0.2 < poln8[1] < 1.0
+    assert poln8[1] < poln16[1] < 1.0
+    assert full8[1] > 1.0 and full16[1] > full8[1]
+    assert rows["Pruned/Quantized-ISAAC"][1] > 1.0
+    assert rows["Pruned/Quantized-PUMA"][1] < rows["Pruned/Quantized-ISAAC"][1]

@@ -1,0 +1,31 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure at the FAST experiment
+scale, saves the rendered table under ``benchmarks/results/`` and records it
+in the pytest-benchmark ``extra_info`` so the timing JSON carries the
+artifact too.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_table(results_dir):
+    """Persist a rendered experiment table and echo it to stdout."""
+
+    def _save(name: str, table) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(table.rendered + "\n")
+        print(f"\n{table.rendered}\n[saved to {path}]")
+
+    return _save

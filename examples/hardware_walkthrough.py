@@ -1,0 +1,98 @@
+"""Hardware walkthrough: one layer, three mapping schemes, one noisy die.
+
+Demonstrates the signed-weight problem the paper opens with, on simulated
+hardware:
+
+* the same polarized integer weights mapped via **FORMS** (magnitude cells +
+  1R sign indicator), **ISAAC offset** (bias + digital 1-count correction)
+  and **PRIME dual** (two crossbars) all compute the *identical* ideal
+  result — they differ only in crossbar count and noise coupling;
+* the zero-skipping shift-register logic (paper Fig. 9) cycle by cycle;
+* device variation hits the ISAAC offset encoding hardest (the stored bias
+  rides through noisy cells), reproducing the robustness argument of [29].
+
+Run:  python examples/hardware_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import (FragmentGeometry, QuantizationSpec, ZeroSkipLogic,
+                        compute_signs, crossbars_for_matrix, project_polarization)
+from repro.core.compression import CrossbarShape
+from repro.reram import (DeviceSpec, ReRAMDevice, build_engine,
+                         effective_levels, infer_signs, map_layer)
+
+
+def make_polarized_layer(rng, shape=(16, 8, 3, 3), m=8, qmax=127):
+    geometry = FragmentGeometry(shape, m, "w")
+    weights = rng.normal(size=shape)
+    signs = compute_signs(weights, geometry)
+    weights = project_polarization(weights, geometry, signs)
+    levels = np.clip(np.rint(weights * qmax / np.abs(weights).max()),
+                     -qmax, qmax).astype(np.int64)
+    return geometry.matrix(levels), geometry
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    spec = QuantizationSpec(weight_bits=8, cell_bits=2)
+    levels, geometry = make_polarized_layer(rng)
+    x = rng.integers(0, 2 ** 10, size=(geometry.rows, 32))
+    expected = levels.T @ x
+
+    # ------------------------------------------------------------------
+    # 1. Three schemes, one answer, different costs.
+    # ------------------------------------------------------------------
+    crossbar = CrossbarShape(128, 128)
+    rows = []
+    for scheme in ("forms", "isaac_offset", "dual"):
+        signs = infer_signs(levels, geometry) if scheme == "forms" else None
+        engine = build_engine(levels, geometry, spec,
+                              ReRAMDevice(DeviceSpec(), 0.0),
+                              scheme=scheme, signs=signs, activation_bits=10)
+        out = engine.matvec_int(x)
+        count_scheme = "dual" if scheme == "dual" else "forms"
+        xbars = crossbars_for_matrix(geometry.rows, geometry.cols, crossbar,
+                                     spec.cells_per_weight, count_scheme)
+        rows.append([scheme, bool(np.array_equal(out, expected)), xbars,
+                     "sign indicator" if scheme == "forms"
+                     else ("offset circuit" if scheme == "isaac_offset" else "-")])
+    print(render_table(["scheme", "exact result", "crossbars", "extra hardware"],
+                       rows, title="Signed weights: three mappings, one answer"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Zero-skipping circuit, cycle by cycle (paper Figs. 7 and 9).
+    # ------------------------------------------------------------------
+    inputs = [0b101011, 0b1001011, 0b110, 0b110100]  # the paper's Fig. 7 fragment
+    trace = ZeroSkipLogic(total_bits=16).run(inputs)
+    print(f"Fig. 7 fragment inputs: {[bin(v) for v in inputs]}")
+    print(f"cycles used: {trace.cycles} of 16 "
+          f"({trace.skipped_cycles} skipped; paper says EIC = 7)")
+    print(f"reconstruction lossless: {trace.reconstruct() == inputs}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Variation robustness: the offset encoding amplifies device noise.
+    # ------------------------------------------------------------------
+    rows = []
+    for scheme in ("forms", "isaac_offset", "dual"):
+        signs = infer_signs(levels, geometry) if scheme == "forms" else None
+        mapped = map_layer(levels, geometry, spec, scheme, signs=signs)
+        errors = []
+        for die in range(10):
+            device = ReRAMDevice(DeviceSpec(), variation_sigma=0.1, seed=die)
+            noisy = effective_levels(mapped, device)
+            errors.append(np.abs(noisy - levels).mean())
+        rows.append([scheme, float(np.mean(errors))])
+    print(render_table(["scheme", "mean |level error| at sigma=0.1"], rows,
+                       title="Device variation coupling by mapping scheme",
+                       floatfmt=".3f"))
+    print("\nFORMS stores bare magnitudes; ISAAC's stored bias (+128 per cell "
+          "group) rides through the same noisy cells, so its effective "
+          "weights absorb far more variation — the robustness cost the paper "
+          "attributes to offset mapping.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Variation-robust deployment: noise-aware fine-tuning before tape-out.
+
+Table VI of the paper shows device variation costs accuracy, more so for
+pruned models, and points at variation-aware training [84] as the fix.  This
+example runs that mitigation on our substrate:
+
+1. train + FORMS-optimize a small CNN;
+2. measure accuracy degradation across simulated dies (lognormal sigma=0.2);
+3. fine-tune with per-batch lognormal weight noise (structure and fragment
+   signs preserved throughout);
+4. re-measure: the tuned model holds its accuracy on noisy dies.
+
+Run:  python examples/robust_deployment.py
+"""
+
+from repro.analysis import render_table
+from repro.core import (ADMMConfig, CrossbarShape, FORMSConfig, FORMSPipeline,
+                        RobustTuneConfig, robust_finetune)
+from repro.nn import (Adam, Conv2d, Flatten, Linear, ReLU, Sequential,
+                      evaluate, fit, set_init_seed)
+from repro.nn.data import make_synthetic
+from repro.reram.variation import clone_model, variation_study
+
+SIGMA = 0.2
+DIES = 10
+
+
+def main() -> None:
+    set_init_seed(4)
+    train_set, test_set = make_synthetic("deploy", 4, 1, 12, 320, 160, seed=4)
+    model = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(),
+                       Conv2d(8, 8, 3, padding=1), ReLU(),
+                       Flatten(), Linear(8 * 12 * 12, 4))
+    print("training ...")
+    fit(model, train_set, Adam(model.parameters(), 1e-3), epochs=5, batch_size=32)
+
+    admm = ADMMConfig(iterations=2, epochs_per_iteration=1, retrain_epochs=2)
+    config = FORMSConfig(fragment_size=4, crossbar=CrossbarShape(16, 16),
+                         filter_keep=0.6, shape_keep=0.6, do_quantize=False,
+                         prune_admm=admm, polarize_admm=admm, quantize_admm=admm)
+    print("FORMS optimization (prune + polarize) ...")
+    FORMSPipeline(config).optimize(model, train_set, test_set)
+    clean_acc = evaluate(model, test_set).accuracy
+
+    print(f"measuring {DIES} noisy dies at sigma={SIGMA} ...")
+    before = variation_study(model, config, test_set, sigma=SIGMA, runs=DIES,
+                             scheme="forms", seed=8)
+
+    print("variation-aware fine-tuning (noise-injected, constraint-preserving) ...")
+    tuned = robust_finetune(clone_model(model), config, train_set,
+                            RobustTuneConfig(sigma=SIGMA, epochs=4), seed=8)
+    tuned_clean = evaluate(tuned, test_set).accuracy
+    after = variation_study(tuned, config, test_set, sigma=SIGMA, runs=DIES,
+                            scheme="forms", seed=8)
+
+    rows = [
+        ["baseline (FORMS-optimized)", clean_acc * 100,
+         before.mean_accuracy * 100, before.mean_degradation * 100],
+        ["noise-aware fine-tuned", tuned_clean * 100,
+         after.mean_accuracy * 100, after.mean_degradation * 100],
+    ]
+    print()
+    print(render_table(
+        ["model", "clean acc %", f"mean acc across {DIES} dies %",
+         "degradation %"],
+        rows, title=f"Variation robustness at lognormal(0, {SIGMA})"))
+    print("\nThe fine-tuned model keeps its pruned structure and fragment "
+          "signs (verified by the projection clamps) while its decision "
+          "boundaries tolerate conductance noise — the Sec. V-E mitigation "
+          "realized on this substrate.")
+
+
+if __name__ == "__main__":
+    main()

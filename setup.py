@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has setuptools but not ``wheel``, so PEP 660 editable
+installs fail with "invalid command 'bdist_wheel'".  This shim enables the
+legacy editable path: ``pip install -e . --no-build-isolation --no-use-pep517``
+(plain ``pip install -e .`` works where ``wheel`` is available).
+"""
+
+from setuptools import setup
+
+setup()

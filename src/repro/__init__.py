@@ -1,0 +1,12 @@
+"""FORMS (ISCA 2021) reproduction.
+
+Fine-grained polarized ReRAM-based in-situ computation for mixed-signal DNN
+acceleration: the ADMM co-design framework (:mod:`repro.core`), the numpy DNN
+training substrate (:mod:`repro.nn`), the ReRAM device/crossbar simulator
+(:mod:`repro.reram`), the accelerator architecture model (:mod:`repro.arch`),
+and the evaluation harness (:mod:`repro.analysis`).
+"""
+
+__version__ = "1.1.0"
+
+__all__ = ["nn", "core", "reram", "arch", "analysis", "__version__"]

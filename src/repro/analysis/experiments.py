@@ -1,0 +1,520 @@
+"""Experiment drivers: one function per paper table / figure.
+
+Each driver returns an :class:`ExperimentTable` whose ``rendered`` field is a
+printable reproduction of the corresponding paper artifact, plus structured
+rows for programmatic checks.  Benchmarks in ``benchmarks/`` call these
+functions; EXPERIMENTS.md records their output against the paper's numbers.
+
+Model/dataset pairs, prune aggressiveness per dataset, and all cost knobs are
+centralized here so tests, examples and benches agree.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch import (PAPER_TABLE5, RECORDED_BASELINES, dadiannao_chip,
+                    extract_workload, forms_chip, forms_config, isaac_chip,
+                    isaac16_config, isaac32_config, network_performance,
+                    peak_throughput, pruned_quantized_isaac_config,
+                    puma_config, table3_rows)
+from ..arch.perf import AcceleratorConfig
+from ..arch.workload import (NetworkWorkload, trace_dimensions,
+                             transfer_measurements)
+from ..core import (CrossbarShape, FORMSConfig, FORMSPipeline, FORMSResult,
+                    layer_eic_stats)
+from ..core.zero_skip import EICStats
+from ..nn import (Adam, Dataset, Tensor, build_model, evaluate, fit,
+                  load_dataset, set_init_seed)
+from ..reram.variation import clone_model, variation_study
+from .presets import (FAST, FIG13_WORKLOADS, FIG14_WORKLOADS, STANDARD,
+                      TABLE1_WORKLOADS, TABLE2_WORKLOADS, ExperimentScale)
+from .tables import render_table
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced table/figure."""
+
+    title: str
+    headers: List[str]
+    rows: List[List]
+    rendered: str = ""
+    floatfmt: str = ".4g"
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.rendered:
+            self.rendered = render_table(self.headers, self.rows,
+                                         title=self.title, floatfmt=self.floatfmt)
+
+
+# ---------------------------------------------------------------------------
+# Shared infrastructure
+# ---------------------------------------------------------------------------
+
+#: per-dataset pruning aggressiveness (keep fractions) mirroring the paper's
+#: regime: CIFAR-10 models tolerate deep pruning, ImageNet barely any.
+DATASET_KEEP = {
+    "mnist": 0.4,
+    "cifar10": 0.45,
+    "cifar100": 0.55,
+    "imagenet": 0.75,
+}
+
+#: image sizes for full-dimension workload tracing (ImageNet traced at 64x64;
+#: uniform position scaling cancels in the relative FPS results).
+TRACE_IMAGE_SIZE = {"mnist": 28, "cifar10": 32, "cifar100": 32, "imagenet": 64}
+
+
+@dataclass
+class BaselineRun:
+    """A trained (uncompressed) model plus its data splits."""
+
+    model_name: str
+    dataset_name: str
+    model: object
+    train_set: Dataset
+    test_set: Dataset
+    accuracy: float
+
+
+def dataset_for(name: str, scale: ExperimentScale, seed: int = 0) -> Tuple[Dataset, Dataset]:
+    return load_dataset(name, train_size=scale.train_size,
+                        test_size=scale.test_size, seed=seed)
+
+
+#: extra baseline-training passes for the harder synthetic datasets, so the
+#: reference accuracy is near-converged and the reported "accuracy drop"
+#: measures compression rather than leftover trainability.
+_BASELINE_EPOCH_BOOST = {"cifar100": 2, "imagenet": 2}
+
+
+def train_baseline(model_name: str, dataset_name: str,
+                   scale: ExperimentScale = FAST, seed: int = 0,
+                   width_mult: Optional[float] = None) -> BaselineRun:
+    """Train the scaled benchmark model on its synthetic dataset."""
+    set_init_seed(seed)
+    train_set, test_set = dataset_for(dataset_name, scale, seed=seed)
+    model = build_model(model_name, train_set.num_classes, train_set.channels,
+                        train_set.image_size,
+                        width_mult=width_mult or scale.width_mult,
+                        depth_scale=scale.depth_scale)
+    epochs = scale.baseline_epochs * _BASELINE_EPOCH_BOOST.get(dataset_name, 1)
+    fit(model, train_set, Adam(model.parameters(), lr=1e-3),
+        epochs=epochs, batch_size=scale.batch_size, seed=seed)
+    accuracy = evaluate(model, test_set).accuracy
+    return BaselineRun(model_name, dataset_name, model, train_set, test_set, accuracy)
+
+
+def forms_config_for(scale: ExperimentScale, dataset_name: str,
+                     fragment_size: int = 8, policy: str = "w",
+                     do_prune: bool = True, do_polarize: bool = True,
+                     do_quantize: bool = True,
+                     filter_keep: Optional[float] = None,
+                     shape_keep: Optional[float] = None) -> FORMSConfig:
+    """Build the FORMS pipeline configuration for one experiment."""
+    keep = DATASET_KEEP.get(dataset_name, 0.5)
+    admm = scale.admm()
+    return FORMSConfig(
+        fragment_size=fragment_size,
+        policy=policy,
+        crossbar=scale.crossbar,
+        filter_keep=filter_keep if filter_keep is not None else keep,
+        shape_keep=shape_keep if shape_keep is not None else keep,
+        do_prune=do_prune, do_polarize=do_polarize, do_quantize=do_quantize,
+        prune_admm=admm, polarize_admm=admm, quantize_admm=admm,
+    )
+
+
+def optimize_baseline(baseline: BaselineRun, config: FORMSConfig,
+                      seed: int = 0) -> FORMSResult:
+    """Run the FORMS pipeline on a *copy* of a trained baseline."""
+    model = clone_model(baseline.model)
+    return FORMSPipeline(config).optimize(model, baseline.train_set,
+                                          baseline.test_set, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Tables I & II — compression results
+# ---------------------------------------------------------------------------
+
+def compression_rows(baseline: BaselineRun, scale: ExperimentScale,
+                     fragment_sizes: Sequence[int] = (4, 8, 16),
+                     seed: int = 0) -> List[List]:
+    """Paper-style rows: prune ratio, accuracy drop and crossbar reduction per
+    fragment size for one model/dataset pair.
+
+    Following the paper's flow, structured pruning runs once (fragment signs
+    are then "determined by the structurally pruned model"); polarization and
+    quantization run per fragment size on top of the shared pruned model.
+    """
+    prune_cfg = forms_config_for(scale, baseline.dataset_name,
+                                 do_polarize=False, do_quantize=False)
+    pruned_model = clone_model(baseline.model)
+    FORMSPipeline(prune_cfg).optimize(pruned_model, baseline.train_set,
+                                      baseline.test_set, seed=seed)
+    rows: List[List] = []
+    for m in fragment_sizes:
+        config = forms_config_for(scale, baseline.dataset_name, fragment_size=m,
+                                  do_prune=False)
+        config = replace(config, freeze_existing_structure=True)
+        model = clone_model(pruned_model)
+        result = FORMSPipeline(config).optimize(model, baseline.train_set,
+                                                baseline.test_set, seed=seed)
+        rows.append([
+            f"{baseline.model_name} ({baseline.dataset_name})",
+            baseline.accuracy * 100.0,
+            result.compression.prune_ratio,
+            m,
+            (baseline.accuracy - result.final_accuracy) * 100.0,
+            result.compression.crossbar_reduction,
+        ])
+    return rows
+
+
+_COMPRESSION_HEADERS = ["method", "orig acc %", "prune ratio",
+                        "fragment", "acc drop %", "xbar reduction"]
+
+
+def table1(scale: ExperimentScale = FAST, seed: int = 0,
+           fragment_sizes: Sequence[int] = (4, 8, 16)) -> ExperimentTable:
+    """Table I — MNIST & CIFAR-10 compression."""
+    rows: List[List] = []
+    for model_name, dataset_name in TABLE1_WORKLOADS:
+        baseline = train_baseline(model_name, dataset_name, scale, seed=seed)
+        rows.extend(compression_rows(baseline, scale, fragment_sizes, seed=seed))
+    return ExperimentTable("Table I: compression on small/medium datasets",
+                           _COMPRESSION_HEADERS, rows)
+
+
+def table2(scale: ExperimentScale = FAST, seed: int = 0,
+           fragment_sizes: Sequence[int] = (4, 8, 16)) -> ExperimentTable:
+    """Table II — CIFAR-100 & ImageNet compression."""
+    rows: List[List] = []
+    for model_name, dataset_name in TABLE2_WORKLOADS:
+        baseline = train_baseline(model_name, dataset_name, scale, seed=seed)
+        rows.extend(compression_rows(baseline, scale, fragment_sizes, seed=seed))
+    return ExperimentTable("Table II: compression on medium/large datasets",
+                           _COMPRESSION_HEADERS, rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — accuracy vs fragment size
+# ---------------------------------------------------------------------------
+
+def fragment_size_sweep(model_names: Sequence[str] = ("vgg16", "resnet18", "resnet50"),
+                        dataset_name: str = "cifar100",
+                        sizes: Sequence[int] = (1, 4, 8, 16, 32, 64, 128),
+                        scale: ExperimentScale = FAST, seed: int = 0,
+                        policy: str = "c") -> ExperimentTable:
+    """Figure 6 — polarization-only accuracy vs fragment size.
+
+    The paper uses C-major polarization on CIFAR (its best policy there).
+    Fragment size 1 trivially satisfies polarization (every fragment is a
+    single weight), so it anchors each curve at the unconstrained accuracy.
+    """
+    headers = ["model"] + [f"m={m}" for m in sizes] + ["baseline"]
+    rows: List[List] = []
+    curves: Dict[str, List[float]] = {}
+    for model_name in model_names:
+        baseline = train_baseline(model_name, dataset_name, scale, seed=seed)
+        accs: List[float] = []
+        for m in sizes:
+            config = forms_config_for(scale, dataset_name, fragment_size=m,
+                                      policy=policy, do_prune=False,
+                                      do_quantize=False)
+            result = optimize_baseline(baseline, config, seed=seed)
+            accs.append(result.final_accuracy * 100.0)
+        curves[model_name] = accs
+        rows.append([model_name] + accs + [baseline.accuracy * 100.0])
+    table = ExperimentTable(
+        f"Figure 6: accuracy (%) vs fragment size ({dataset_name}, {policy}-major)",
+        headers, rows)
+    table.extras["curves"] = curves
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — effective input cycles
+# ---------------------------------------------------------------------------
+
+def eic_experiment(model_name: str = "resnet50", dataset_name: str = "cifar100",
+                   fragment_sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
+                   scale: ExperimentScale = FAST, seed: int = 0) -> ExperimentTable:
+    """Figure 8 — EIC distribution (a) and per-layer averages (b)."""
+    baseline = train_baseline(model_name, dataset_name, scale, seed=seed)
+    workload = extract_workload(baseline.model, baseline.test_set,
+                                fragment_sizes=fragment_sizes,
+                                sample_images=scale.sample_images)
+    # (a): distribution buckets over all layers, per fragment size.
+    buckets = (1, (2, 13), 14, 15, 16)
+    headers_a = ["fragment size"] + ["EIC " + (f"{b[0]}~{b[1]}" if isinstance(b, tuple)
+                                               else str(b)) for b in buckets]
+    rows_a: List[List] = []
+    merged: Dict[int, EICStats] = {}
+    for m in fragment_sizes:
+        stats = None
+        for layer in workload.layers:
+            s = layer.eic_stats[m]
+            stats = s if stats is None else stats.merge(s)
+        merged[m] = stats
+        pct = stats.bucket_percentages(buckets)
+        rows_a.append([m] + [pct[k] for k in pct])
+    # (b): per-layer average EIC.
+    picked = _spread_indices(len(workload.layers), 3)
+    headers_b = ["fragment size"] + [f"layer {i}" for i in picked] + ["all-layers avg"]
+    rows_b: List[List] = []
+    for m in fragment_sizes:
+        per_layer = [workload.layers[i].eic_stats[m].average for i in picked]
+        rows_b.append([m] + per_layer + [workload.average_eic(m)])
+    rendered = (render_table(headers_a, rows_a,
+                             title=f"Figure 8a: EIC distribution %, {model_name}/{dataset_name}")
+                + "\n\n" +
+                render_table(headers_b, rows_b, title="Figure 8b: average EIC per layer"))
+    table = ExperimentTable("Figure 8: effective input cycles",
+                            headers_a, rows_a, rendered=rendered)
+    table.extras["per_layer_rows"] = rows_b
+    table.extras["merged_stats"] = merged
+    table.extras["workload"] = workload
+    return table
+
+
+def _spread_indices(n: int, k: int) -> List[int]:
+    """k indices spread across range(n) (early / middle / late layers)."""
+    if n <= k:
+        return list(range(n))
+    return [round(i * (n - 1) / (k - 1)) for i in range(k)]
+
+
+# ---------------------------------------------------------------------------
+# Tables III & IV — hardware cost
+# ---------------------------------------------------------------------------
+
+def table3(fragment_size: int = 8) -> ExperimentTable:
+    """Table III — MCU component specs, FORMS vs ISAAC."""
+    rows = [[r["component"], r["forms_power_mw"], r["forms_area_mm2"],
+             r["isaac_power_mw"], r["isaac_area_mm2"]]
+            for r in table3_rows(fragment_size)]
+    return ExperimentTable(
+        f"Table III: MCU components (FORMS fragment {fragment_size} vs ISAAC)",
+        ["component", "FORMS mW", "FORMS mm2", "ISAAC mW", "ISAAC mm2"],
+        rows)
+
+
+def table4(fragment_size: int = 8) -> ExperimentTable:
+    """Table IV — chip-level power/area, FORMS vs ISAAC vs DaDianNao."""
+    forms = forms_chip(fragment_size)
+    isaac = isaac_chip()
+    dadiannao = dadiannao_chip()
+    rows = [
+        ["12 MCUs per tile", forms.tile.mcus_power_mw, forms.tile.mcus_area_mm2,
+         isaac.tile.mcus_power_mw, isaac.tile.mcus_area_mm2],
+        ["digital unit", forms.tile.digital_power_mw, forms.tile.digital_area_mm2,
+         isaac.tile.digital_power_mw, isaac.tile.digital_area_mm2],
+        ["1 tile", forms.tile.power_mw, forms.tile.area_mm2,
+         isaac.tile.power_mw, isaac.tile.area_mm2],
+        [f"{forms.tiles} tiles", forms.tiles_power_mw, forms.tiles_area_mm2,
+         isaac.tiles_power_mw, isaac.tiles_area_mm2],
+        ["HyperTransport", forms.ht_power_mw, forms.ht_area_mm2,
+         isaac.ht_power_mw, isaac.ht_area_mm2],
+        ["chip total", forms.power_mw, forms.area_mm2,
+         isaac.power_mw, isaac.area_mm2],
+        ["DaDianNao total", dadiannao.power_mw, dadiannao.area_mm2, None, None],
+    ]
+    table = ExperimentTable(
+        "Table IV: chip-level power (mW) / area (mm2)",
+        ["block", "FORMS mW", "FORMS mm2", "ISAAC mW", "ISAAC mm2"], rows)
+    table.extras["forms"] = forms.summary()
+    table.extras["isaac"] = isaac.summary()
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table V — peak throughput efficiency
+# ---------------------------------------------------------------------------
+
+def table5(scale: ExperimentScale = FAST, seed: int = 0,
+           reference_workload: Optional[NetworkWorkload] = None) -> ExperimentTable:
+    """Table V — GOPs/s/mm2 and GOPs/W normalized to ISAAC.
+
+    Computed rows: ISAAC, FORMS (polarization only / full optimization, 8/16),
+    Pruned/Quantized-ISAAC and -PUMA.  The remaining accelerators are the
+    paper's recorded literature numbers.  The effective-ops factor of the
+    pruned rows is measured on a trained, FORMS-optimized VGG-16 stand-in.
+    """
+    if reference_workload is None:
+        baseline = train_baseline("vgg16", "cifar100", scale, seed=seed)
+        config = forms_config_for(scale, "cifar100")
+        model = clone_model(baseline.model)
+        FORMSPipeline(config).optimize(model, baseline.train_set,
+                                       baseline.test_set, seed=seed)
+        reference_workload = extract_workload(model, baseline.test_set,
+                                              fragment_sizes=(4, 8, 16),
+                                              sample_images=scale.sample_images)
+    prune_factor = reference_workload.prune_ratio
+
+    base = peak_throughput(isaac16_config())
+    rows: List[List] = []
+
+    def add_computed(name: str, pt, paper_key: Optional[str] = None):
+        paper = PAPER_TABLE5.get(paper_key or name)
+        rows.append([name, pt.gops_per_mm2 / base.gops_per_mm2,
+                     pt.gops_per_w / base.gops_per_w,
+                     paper[0] if paper else None, paper[1] if paper else None])
+
+    add_computed("ISAAC", base)
+    for key in ("DaDianNao", "PUMA", "TPU", "WAX", "SIMBA"):
+        rec = RECORDED_BASELINES[key]
+        paper = PAPER_TABLE5.get(key)
+        rows.append([f"{key} (recorded)", rec.gops_per_mm2_rel, rec.gops_per_w_rel,
+                     paper[0], paper[1]])
+    for m in (8, 16):
+        cfg = AcceleratorConfig(f"FORMS (polarization only, {m})",
+                                forms_chip(m), "forms", weight_bits=16)
+        add_computed(cfg.name, peak_throughput(cfg))
+    pq_isaac = peak_throughput(pruned_quantized_isaac_config(),
+                               effective_ops_factor=prune_factor)
+    add_computed("Pruned/Quantized-ISAAC", pq_isaac)
+    # PUMA's dual crossbars halve stored weights; same pruning benefit.
+    pq_puma = peak_throughput(puma_config(8, pruned=True),
+                              effective_ops_factor=prune_factor)
+    add_computed("Pruned/Quantized-PUMA", pq_puma)
+    for m in (8, 16):
+        cfg = forms_config(m, name=f"FORMS (full optimization, {m})")
+        pt = peak_throughput(cfg, effective_ops_factor=prune_factor,
+                             average_eic=reference_workload.average_eic(m))
+        add_computed(cfg.name, pt)
+
+    table = ExperimentTable(
+        "Table V: peak throughput normalized to ISAAC (measured vs paper)",
+        ["architecture", "GOPs/s/mm2 (ours)", "GOPs/W (ours)",
+         "GOPs/s/mm2 (paper)", "GOPs/W (paper)"], rows)
+    table.extras["prune_factor"] = prune_factor
+    table.extras["workload"] = reference_workload
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figures 13/14 — frame-per-second speedups
+# ---------------------------------------------------------------------------
+
+def fps_stack_configs(fragment_sizes: Tuple[int, int] = (8, 16)) -> List[AcceleratorConfig]:
+    """The six technique stacks plotted in Figs. 13/14 (plus the baseline)."""
+    m1, m2 = fragment_sizes
+    return [
+        isaac32_config(),
+        pruned_quantized_isaac_config(),
+        puma_config(8, pruned=True),
+        forms_config(m1, zero_skip=False,
+                     name=f"FORMS-{m1} w/o zero-skip"),
+        forms_config(m2, zero_skip=False,
+                     name=f"FORMS-{m2} w/o zero-skip"),
+        forms_config(m1, zero_skip=True, name=f"FORMS-{m1} full"),
+        forms_config(m2, zero_skip=True, name=f"FORMS-{m2} full"),
+    ]
+
+
+def fps_workload(model_name: str, dataset_name: str,
+                 scale: ExperimentScale = FAST, seed: int = 0) -> NetworkWorkload:
+    """Full-dimension workload with measured compression + EIC grafted on.
+
+    Trains the scaled model, optimizes it with the full FORMS pipeline,
+    measures per-layer keep ratios and EIC, then transfers them onto the
+    full-width network dimensions traced at the dataset's native image size
+    (see DESIGN.md for this two-level protocol).
+    """
+    baseline = train_baseline(model_name, dataset_name, scale, seed=seed)
+    config = forms_config_for(scale, dataset_name)
+    model = clone_model(baseline.model)
+    FORMSPipeline(config).optimize(model, baseline.train_set,
+                                   baseline.test_set, seed=seed)
+    measured = extract_workload(model, baseline.test_set,
+                                fragment_sizes=(4, 8, 16),
+                                sample_images=scale.sample_images)
+    image_size = TRACE_IMAGE_SIZE.get(dataset_name, 32)
+    set_init_seed(seed + 99)
+    full = build_model(model_name, baseline.train_set.num_classes, 3, image_size,
+                       width_mult=1.0, depth_scale=1.0)
+    dims = trace_dimensions(full, 3, image_size, network=model_name)
+    workload = transfer_measurements(dims, measured)
+    return workload
+
+
+def fps_experiment(workloads: Sequence[Tuple[str, str]] = FIG13_WORKLOADS,
+                   scale: ExperimentScale = FAST, seed: int = 0,
+                   title: str = "Figure 13: FPS speedup over ISAAC-32") -> ExperimentTable:
+    """Figures 13/14 — FPS speedups of the six technique stacks."""
+    configs = fps_stack_configs()
+    headers = ["network/dataset"] + [c.name for c in configs[1:]]
+    rows: List[List] = []
+    details: Dict[str, Dict[str, float]] = {}
+    for model_name, dataset_name in workloads:
+        workload = fps_workload(model_name, dataset_name, scale, seed=seed)
+        base = network_performance(workload, configs[0]).fps
+        speedups = {}
+        for config in configs[1:]:
+            result = network_performance(workload, config)
+            speedups[config.name] = result.fps / base
+        details[f"{model_name}/{dataset_name}"] = speedups
+        rows.append([f"{model_name}/{dataset_name}"] + list(speedups.values()))
+    table = ExperimentTable(title, headers, rows)
+    table.extras["speedups"] = details
+    return table
+
+
+def fig13(scale: ExperimentScale = FAST, seed: int = 0) -> ExperimentTable:
+    return fps_experiment(FIG13_WORKLOADS, scale, seed,
+                          title="Figure 13: FPS speedup over ISAAC-32 (CIFAR-10)")
+
+
+def fig14(scale: ExperimentScale = FAST, seed: int = 0) -> ExperimentTable:
+    return fps_experiment(FIG14_WORKLOADS, scale, seed,
+                          title="Figure 14: FPS speedup over ISAAC-32 (CIFAR-100 & ImageNet)")
+
+
+# ---------------------------------------------------------------------------
+# Table VI — device variation robustness
+# ---------------------------------------------------------------------------
+
+def table6(scale: ExperimentScale = FAST, seed: int = 0,
+           model_name: str = "resnet18",
+           dataset_names: Sequence[str] = ("cifar10", "cifar100", "imagenet"),
+           sigma: float = 0.1) -> ExperimentTable:
+    """Table VI — accuracy degradation under lognormal device variation.
+
+    Four model variants per dataset: original (uncompressed, dual-crossbar
+    mapping), polarization-only (FORMS mapping), pruning-only (dual mapping)
+    and full optimization (FORMS mapping).  Degradations average
+    ``scale.variation_runs`` simulated dies.
+    """
+    variants = [
+        ("original", dict(do_prune=False, do_polarize=False, do_quantize=False), "dual"),
+        ("polarization only", dict(do_prune=False, do_quantize=False), "forms"),
+        ("pruning only", dict(do_polarize=False, do_quantize=False), "dual"),
+        ("full optimization", dict(), "forms"),
+    ]
+    headers = ["dataset"] + [name for name, _, _ in variants]
+    rows: List[List] = []
+    for dataset_name in dataset_names:
+        baseline = train_baseline(model_name, dataset_name, scale, seed=seed)
+        row: List = [dataset_name]
+        for _, toggles, scheme in variants:
+            config = forms_config_for(scale, dataset_name, **toggles)
+            model = clone_model(baseline.model)
+            if config.do_prune or config.do_polarize or config.do_quantize:
+                FORMSPipeline(config).optimize(model, baseline.train_set,
+                                               baseline.test_set, seed=seed)
+            study = variation_study(model, config, baseline.test_set,
+                                    sigma=sigma, runs=scale.variation_runs,
+                                    scheme=scheme, seed=seed)
+            row.append(study.mean_degradation * 100.0)
+        rows.append(row)
+    return ExperimentTable(
+        f"Table VI: accuracy degradation (%) under lognormal(0, {sigma}) variation "
+        f"({model_name}, {scale.variation_runs} dies)",
+        headers, rows)

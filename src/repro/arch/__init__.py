@@ -1,0 +1,72 @@
+"""Accelerator architecture model: components, hierarchy, timing, performance.
+
+Reconstructs the paper's hardware evaluation: the Table III component
+catalog with the calibrated ADC scaling law, the MCU/tile/chip roll-up of
+Table IV, the 22-stage pipeline of Fig. 12, the workload tracer that
+measures per-layer effective input cycles on real activations, and the
+iso-area performance model behind Table V and Figs. 13/14.
+"""
+
+from .baselines import (PAPER_CLAIMS, PAPER_FPS_SPEEDUPS, PAPER_TABLE5,
+                        RECORDED_BASELINES, RecordedBaseline)
+from .energy import (STATIC_POWER_FRACTION, EnergyBreakdown, inference_energy,
+                     zero_skip_energy_saving)
+from .noc import (LayerPlacement, MeshNoC, NoCSpec, NoCTrafficReport,
+                  analyze_traffic, noc_summary, place_layers)
+from .chip import (HYPERTRANSPORT_AREA_MM2, HYPERTRANSPORT_POWER_MW,
+                   ChipDesign, RecordedChip, dadiannao_chip, forms_chip,
+                   isaac_chip)
+from .components import (ADCScalingModel, ComponentSpec, default_adc_model,
+                         forms_adc_spec, forms_mcu_components, isaac_adc_spec,
+                         isaac_mcu_components, table3_rows)
+from .dse import (MIN_LEVEL_MARGIN_SIGMAS, CrossbarSizeEvaluation,
+                  DesignEvaluation, DesignPoint, best_energy_efficiency,
+                  cell_bits_sweep, crossbar_size_sweep, design_chip,
+                  design_mcu, evaluate_design, fragment_sweep, pareto_front)
+from .event_pipeline import (EventPipeline, MultiLayerPipeline,
+                             PipelineStats, StageSpec, layer_stage_spec)
+from .mcu import MCUDesign, forms_mcu, isaac_mcu
+from .perf import (AcceleratorConfig, PeakThroughput, PerfResult,
+                   allocate_replication, forms_config, isaac16_config,
+                   isaac32_config, layer_crossbars, layer_input_bits,
+                   layer_pass_time_s, layer_time_per_image_s,
+                   network_performance, peak_throughput,
+                   pruned_quantized_isaac_config, puma_config)
+from .pipeline import (BASE_STAGES, POOLING_STAGES, SKIPPABLE_RANGE,
+                       PipelineModel)
+from .programming import (LevelWriteCost, ProgrammingCost, WriteParallelism,
+                          cell_level_histogram, level_write_costs,
+                          model_programming_cost)
+from .tile import TileDesign, forms_tile, isaac_tile
+from .workload import LayerWorkload, NetworkWorkload, extract_workload
+
+__all__ = [
+    "ComponentSpec", "ADCScalingModel", "default_adc_model",
+    "forms_adc_spec", "isaac_adc_spec", "forms_mcu_components",
+    "isaac_mcu_components", "table3_rows",
+    "MCUDesign", "forms_mcu", "isaac_mcu",
+    "TileDesign", "forms_tile", "isaac_tile",
+    "ChipDesign", "RecordedChip", "forms_chip", "isaac_chip", "dadiannao_chip",
+    "HYPERTRANSPORT_POWER_MW", "HYPERTRANSPORT_AREA_MM2",
+    "PipelineModel", "BASE_STAGES", "POOLING_STAGES", "SKIPPABLE_RANGE",
+    "LayerWorkload", "NetworkWorkload", "extract_workload",
+    "AcceleratorConfig", "PerfResult", "PeakThroughput",
+    "layer_crossbars", "layer_input_bits", "layer_pass_time_s",
+    "layer_time_per_image_s", "allocate_replication", "network_performance",
+    "peak_throughput", "isaac32_config", "isaac16_config",
+    "pruned_quantized_isaac_config", "puma_config", "forms_config",
+    "RecordedBaseline", "RECORDED_BASELINES", "PAPER_TABLE5",
+    "PAPER_FPS_SPEEDUPS", "PAPER_CLAIMS",
+    "MeshNoC", "NoCSpec", "NoCTrafficReport", "LayerPlacement",
+    "place_layers", "analyze_traffic", "noc_summary",
+    "EnergyBreakdown", "inference_energy", "zero_skip_energy_saving",
+    "STATIC_POWER_FRACTION",
+    "DesignPoint", "DesignEvaluation", "design_mcu", "design_chip",
+    "evaluate_design", "cell_bits_sweep", "fragment_sweep",
+    "crossbar_size_sweep", "CrossbarSizeEvaluation",
+    "best_energy_efficiency", "pareto_front", "MIN_LEVEL_MARGIN_SIGMAS",
+    "EventPipeline", "MultiLayerPipeline", "PipelineStats", "StageSpec",
+    "layer_stage_spec",
+    "LevelWriteCost", "ProgrammingCost", "WriteParallelism",
+    "level_write_costs", "model_programming_cost", "cell_level_histogram",
+]

@@ -1,0 +1,104 @@
+"""MCU (MAC-unit) design: crossbars + converters + accumulation (Fig. 11).
+
+An MCU owns eight 128x128 crossbar arrays with their DACs, sample&holds,
+per-fragment ADCs, shift-and-add units, zero-skip logic and the sign
+indicator.  The design object rolls up the Table III bill of materials and
+derives the MCU's timing: how long one bit-serial cycle takes and how many
+rows each conversion covers — the quantities the performance model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .components import (CROSSBAR_COLS, CROSSBAR_ROWS, CROSSBARS_PER_MCU,
+                         FORMS_ADC_FREQ_HZ, ISAAC_ADC_BITS, ISAAC_ADC_FREQ_HZ,
+                         ComponentSpec, bom_area_mm2, bom_power_mw,
+                         forms_mcu_components, isaac_mcu_components)
+
+
+@dataclass(frozen=True)
+class MCUDesign:
+    """One MCU configuration with cost and timing."""
+
+    name: str
+    components: List[ComponentSpec]
+    crossbars: int = CROSSBARS_PER_MCU
+    crossbar_rows: int = CROSSBAR_ROWS
+    crossbar_cols: int = CROSSBAR_COLS
+    adcs_per_crossbar: int = 1
+    adc_bits: int = ISAAC_ADC_BITS
+    adc_frequency_hz: float = ISAAC_ADC_FREQ_HZ
+    rows_per_activation: int = CROSSBAR_ROWS   # rows active per conversion group
+    fragment_size: int = 0                     # 0 = coarse-grained (whole column)
+
+    @property
+    def power_mw(self) -> float:
+        return bom_power_mw(self.components)
+
+    @property
+    def area_mm2(self) -> float:
+        return bom_area_mm2(self.components)
+
+    @property
+    def columns_per_adc(self) -> int:
+        return self.crossbar_cols // self.adcs_per_crossbar
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Time to convert one input bit across all crossbar columns.
+
+        The ADC time-multiplexes its share of columns: ISAAC's single 8-bit
+        ADC scans 128 columns at 1.2 GS/s (106.6 ns); FORMS' four 4-bit ADCs
+        scan 32 columns each at 2.1 GS/s (15.2 ns).  Paper Sec. IV-C.
+        """
+        return self.columns_per_adc / self.adc_frequency_hz
+
+    @property
+    def row_groups_per_crossbar(self) -> int:
+        """Sequential row activations needed to cover all crossbar rows."""
+        return -(-self.crossbar_rows // self.rows_per_activation)
+
+    def full_mvm_time_s(self, input_bits: float) -> float:
+        """Time for one full crossbar MVM feeding ``input_bits`` per input.
+
+        Coarse-grained designs activate all rows at once; fine-grained
+        designs walk the row groups sequentially.  ``input_bits`` may be
+        fractional (an average effective-input-cycles figure).
+        """
+        return self.row_groups_per_crossbar * input_bits * self.cycle_time_s
+
+
+def forms_mcu(fragment_size: int = 8) -> MCUDesign:
+    """The FORMS MCU at a given fragment size (Table III, FORMS column).
+
+    Four ADCs per crossbar (the iso-area trade against one 8-bit ADC), each
+    covering 32 columns, fragment-sized row activation.
+    """
+    from ..reram.converters import paper_adc_bits
+    from .components import forms_adc_frequency
+    components = forms_mcu_components(fragment_size)
+    bits = paper_adc_bits(fragment_size)
+    return MCUDesign(
+        name=f"FORMS-{fragment_size}",
+        components=components,
+        adcs_per_crossbar=4,
+        adc_bits=bits,
+        adc_frequency_hz=forms_adc_frequency(bits),
+        rows_per_activation=fragment_size,
+        fragment_size=fragment_size,
+    )
+
+
+def isaac_mcu() -> MCUDesign:
+    """The ISAAC MCU (Table III, ISAAC column): one shared 8-bit ADC."""
+    return MCUDesign(
+        name="ISAAC",
+        components=isaac_mcu_components(),
+        adcs_per_crossbar=1,
+        adc_bits=ISAAC_ADC_BITS,
+        adc_frequency_hz=ISAAC_ADC_FREQ_HZ,
+        rows_per_activation=CROSSBAR_ROWS,
+        fragment_size=0,
+    )

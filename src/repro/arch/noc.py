@@ -1,0 +1,266 @@
+"""Mesh network-on-chip model (paper Fig. 10).
+
+FORMS/ISAAC tiles sit on a 2-D mesh; a CNN's layers are placed onto tile
+groups and intermediate feature maps travel between consecutive layers'
+tiles, orchestrated by the chip controller.  This module models exactly that:
+
+* a :class:`MeshNoC` built on a networkx grid graph with XY dimension-order
+  routing (deterministic, deadlock-free — what such designs actually ship);
+* :func:`place_layers` — contiguous snake-order placement of layers onto
+  tiles proportional to their crossbar demand;
+* per-link traffic accounting for one inference, hop latency, and the NoC's
+  contribution to energy (consumed by :mod:`repro.arch.energy`).
+
+The performance model's bandwidth cap abstracts this network; the NoC model
+lets you check that abstraction: :meth:`NoCTrafficReport.max_link_utilization`
+shows when inter-tile traffic would saturate a mesh link before the tile bus
+does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .workload import NetworkWorkload
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class NoCSpec:
+    """Electrical/performance parameters of one mesh link and router.
+
+    Defaults follow the 32 nm operating point of the rest of the catalog:
+    32-byte flits at 1 GHz links, ~1 cycle per router hop, link energy in the
+    pJ/byte range typical for on-chip interconnect at that node.
+    """
+
+    link_bytes_per_cycle: int = 32
+    clock_hz: float = 1.0e9
+    hop_latency_cycles: int = 1
+    energy_pj_per_byte_hop: float = 1.2
+
+    def __post_init__(self):
+        if self.link_bytes_per_cycle < 1:
+            raise ValueError("link width must be at least 1 byte")
+        if self.clock_hz <= 0:
+            raise ValueError("clock must be positive")
+
+    @property
+    def link_bandwidth_bytes_per_s(self) -> float:
+        return self.link_bytes_per_cycle * self.clock_hz
+
+
+class MeshNoC:
+    """A rows x cols tile mesh with XY routing."""
+
+    def __init__(self, rows: int, cols: int, spec: NoCSpec = NoCSpec()):
+        if rows < 1 or cols < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.spec = spec
+        self.graph = nx.grid_2d_graph(rows, cols)
+
+    @classmethod
+    def for_tiles(cls, tiles: int, spec: NoCSpec = NoCSpec()) -> "MeshNoC":
+        """Near-square mesh holding at least ``tiles`` tiles (168 -> 14x12)."""
+        if tiles < 1:
+            raise ValueError("need at least one tile")
+        rows = int(math.floor(math.sqrt(tiles)))
+        while tiles % rows != 0 and rows > 1:
+            rows -= 1
+        cols = tiles // rows if tiles % rows == 0 else -(-tiles // rows)
+        return cls(rows, cols, spec)
+
+    @property
+    def tile_count(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def link_count(self) -> int:
+        """Undirected mesh links: horizontal + vertical edges."""
+        return self.rows * (self.cols - 1) + (self.rows - 1) * self.cols
+
+    def coord(self, tile_index: int) -> Coord:
+        """Snake (boustrophedon) ordering keeps consecutive indices adjacent."""
+        if not 0 <= tile_index < self.tile_count:
+            raise IndexError(f"tile index {tile_index} outside mesh")
+        row = tile_index // self.cols
+        col = tile_index % self.cols
+        if row % 2 == 1:
+            col = self.cols - 1 - col
+        return (row, col)
+
+    def xy_route(self, src: Coord, dst: Coord) -> List[Coord]:
+        """Dimension-order (X then Y) route, inclusive of both endpoints."""
+        for coord in (src, dst):
+            if coord not in self.graph:
+                raise KeyError(f"{coord} is not a mesh node")
+        path = [src]
+        r, c = src
+        step = 1 if dst[1] > c else -1
+        while c != dst[1]:
+            c += step
+            path.append((r, c))
+        step = 1 if dst[0] > r else -1
+        while r != dst[0]:
+            r += step
+            path.append((r, c))
+        return path
+
+    def hops(self, src: Coord, dst: Coord) -> int:
+        """Manhattan distance (XY routing is minimal on a mesh)."""
+        return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+    def hop_latency_s(self, hops: int) -> float:
+        return hops * self.spec.hop_latency_cycles / self.spec.clock_hz
+
+
+@dataclass
+class LayerPlacement:
+    """Tiles assigned to one layer."""
+
+    name: str
+    tiles: List[int]
+
+    @property
+    def span(self) -> int:
+        return len(self.tiles)
+
+
+def place_layers(workload: NetworkWorkload, mesh: MeshNoC,
+                 crossbars_per_layer: Dict[str, int],
+                 crossbars_per_tile: int = 96) -> List[LayerPlacement]:
+    """Place layers onto contiguous snake-order tile runs.
+
+    Tiles are allotted proportionally to each layer's crossbar demand (at
+    least one tile each); consecutive layers occupy adjacent runs so
+    inter-layer traffic travels short distances — the standard pipelined
+    mapping of ISAAC-class designs.
+    """
+    if not workload.layers:
+        raise ValueError("workload has no layers")
+    demands = [max(1, -(-crossbars_per_layer[l.name] // crossbars_per_tile))
+               for l in workload.layers]
+    total = sum(demands)
+    if total > mesh.tile_count:
+        # scale proportionally, floor at one tile per layer
+        scale = mesh.tile_count / total
+        demands = [max(1, int(d * scale)) for d in demands]
+        while sum(demands) > mesh.tile_count:
+            demands[demands.index(max(demands))] -= 1
+    placements: List[LayerPlacement] = []
+    cursor = 0
+    for layer, span in zip(workload.layers, demands):
+        placements.append(LayerPlacement(
+            name=layer.name, tiles=list(range(cursor, cursor + span))))
+        cursor += span
+    return placements
+
+
+@dataclass
+class NoCTrafficReport:
+    """Inter-layer traffic of one inference over a placement."""
+
+    mesh: MeshNoC
+    link_bytes: Dict[Tuple[Coord, Coord], float] = field(default_factory=dict)
+    total_bytes: float = 0.0
+    total_byte_hops: float = 0.0
+    worst_path_hops: int = 0
+
+    def add_flow(self, src: Coord, dst: Coord, payload_bytes: float) -> None:
+        path = self.mesh.xy_route(src, dst)
+        for a, b in zip(path, path[1:]):
+            key = (a, b) if a <= b else (b, a)
+            self.link_bytes[key] = self.link_bytes.get(key, 0.0) + payload_bytes
+        hops = len(path) - 1
+        self.total_bytes += payload_bytes
+        self.total_byte_hops += payload_bytes * hops
+        self.worst_path_hops = max(self.worst_path_hops, hops)
+
+    @property
+    def max_link_bytes(self) -> float:
+        return max(self.link_bytes.values(), default=0.0)
+
+    def max_link_utilization(self, inferences_per_s: float) -> float:
+        """Fraction of the hottest link's bandwidth consumed at a given FPS.
+
+        Under single-path XY routing a layer's whole fan-out shares one
+        link, so values above 1 indicate where a real design must stripe
+        traffic across paths — compare :meth:`aggregate_utilization` for
+        the balanced-load feasibility bound.
+        """
+        demand = self.max_link_bytes * inferences_per_s
+        return demand / self.mesh.spec.link_bandwidth_bytes_per_s
+
+    def aggregate_utilization(self, inferences_per_s: float) -> float:
+        """Network-wide load fraction if traffic were perfectly balanced.
+
+        Total byte-hops per second over the summed bandwidth of every mesh
+        link — the lower bound any routing/striping scheme must respect;
+        below 1 means the mesh has the raw capacity for the workload.
+        """
+        demand = self.total_byte_hops * inferences_per_s
+        capacity = (self.mesh.link_count
+                    * self.mesh.spec.link_bandwidth_bytes_per_s)
+        return demand / capacity
+
+    @property
+    def energy_j(self) -> float:
+        """NoC transport energy for one inference."""
+        return self.total_byte_hops * self.mesh.spec.energy_pj_per_byte_hop * 1e-12
+
+    def transport_latency_s(self) -> float:
+        """Longest single-transfer latency (pipeline fill contribution)."""
+        return self.mesh.hop_latency_s(self.worst_path_hops)
+
+
+def analyze_traffic(workload: NetworkWorkload, mesh: MeshNoC,
+                    placements: Sequence[LayerPlacement],
+                    activation_bits: int = 16) -> NoCTrafficReport:
+    """Traffic of one inference: each layer's output feature map travels from
+    its tiles to the next layer's tiles (uniformly spread across both runs).
+
+    Feature-map size is approximated from the next layer's input interface:
+    ``live_rows x positions`` activations at ``activation_bits`` each — the
+    exact amount the next layer must receive.
+    """
+    if len(placements) != len(workload.layers):
+        raise ValueError("one placement per layer required")
+    report = NoCTrafficReport(mesh=mesh)
+    for src_place, dst_place, dst_layer in zip(placements, placements[1:],
+                                               workload.layers[1:]):
+        payload = dst_layer.live_rows * dst_layer.positions_per_image \
+            * activation_bits / 8.0
+        pairs = [(s, d) for s in src_place.tiles for d in dst_place.tiles]
+        share = payload / len(pairs)
+        for s, d in pairs:
+            report.add_flow(mesh.coord(s), mesh.coord(d), share)
+    return report
+
+
+def noc_summary(workload: NetworkWorkload, tiles: int = 168,
+                crossbars_per_layer: Optional[Dict[str, int]] = None,
+                crossbars_per_tile: int = 96,
+                spec: NoCSpec = NoCSpec()) -> Dict[str, float]:
+    """One-call NoC analysis used by the energy model and examples."""
+    mesh = MeshNoC.for_tiles(tiles, spec)
+    if crossbars_per_layer is None:
+        crossbars_per_layer = {l.name: 1 for l in workload.layers}
+    placements = place_layers(workload, mesh, crossbars_per_layer,
+                              crossbars_per_tile)
+    report = analyze_traffic(workload, mesh, placements)
+    return {
+        "mesh_rows": mesh.rows,
+        "mesh_cols": mesh.cols,
+        "total_bytes": report.total_bytes,
+        "total_byte_hops": report.total_byte_hops,
+        "max_link_bytes": report.max_link_bytes,
+        "worst_path_hops": report.worst_path_hops,
+        "energy_j": report.energy_j,
+    }

@@ -1,0 +1,81 @@
+"""FORMS execution pipeline model (paper Fig. 12).
+
+Like ISAAC, FORMS pipelines a layer's computation through 22 stages (26 when
+the layer is followed by max-pooling): eDRAM read, parameter fetch, the
+bit-serial crossbar/ADC iterations (cycles 4-16 are the skippable ones),
+shift-and-add accumulation, activation function, and eDRAM write-back.
+
+The pipeline model answers two questions: the fill latency of a single input
+(which bounds single-image latency) and the steady-state initiation interval
+(which, combined with zero-skipping, sets throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+BASE_STAGES = 22
+POOLING_STAGES = 26
+#: inclusive range of pipeline cycles occupied by bit-serial input feeding
+SKIPPABLE_RANGE: Tuple[int, int] = (2, 17)
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Stage-level timing of one layer's pipeline."""
+
+    input_bits: int = 16
+    pooling: bool = False
+    cycle_time_s: float = 100e-9   # one pipeline cycle (ISAAC's 100 ns grid)
+
+    def __post_init__(self):
+        if self.input_bits < 1:
+            raise ValueError("input_bits must be >= 1")
+
+    @property
+    def total_stages(self) -> int:
+        return POOLING_STAGES if self.pooling else BASE_STAGES
+
+    @property
+    def feed_stages(self) -> int:
+        """Stages occupied by bit-serial feeding at the full bit width."""
+        lo, hi = SKIPPABLE_RANGE
+        return hi - lo + 1
+
+    def stages_with_skipping(self, effective_bits: float) -> float:
+        """Pipeline stages after zero-skipping reduces the feed phase.
+
+        ``effective_bits`` is the (possibly fractional, averaged) EIC; the
+        non-feed stages are unaffected.
+        """
+        effective_bits = min(max(effective_bits, 1.0), float(self.input_bits))
+        return self.total_stages - (self.input_bits - effective_bits)
+
+    def fill_latency_s(self, effective_bits: float = None) -> float:
+        """Time for the first input to traverse the pipeline."""
+        bits = self.input_bits if effective_bits is None else effective_bits
+        return self.stages_with_skipping(bits) * self.cycle_time_s
+
+    def initiation_interval_s(self, effective_bits: float = None) -> float:
+        """Steady-state interval between successive inputs.
+
+        The crossbar/ADC feed phase is the structural hazard: a new input can
+        enter only when the previous one's bit-serial feed completes.
+        """
+        bits = self.input_bits if effective_bits is None else effective_bits
+        bits = min(max(bits, 1.0), float(self.input_bits))
+        return bits * self.cycle_time_s
+
+    def throughput_inputs_per_s(self, effective_bits: float = None) -> float:
+        return 1.0 / self.initiation_interval_s(effective_bits)
+
+    def stage_labels(self) -> List[str]:
+        """Human-readable stage sequence (matches Fig. 12)."""
+        labels = ["eDRAM read", "read parameters"]
+        labels += [f"crossbar/ADC bit {b}" for b in range(self.input_bits)]
+        labels += ["shift+add", "shift+add (acc)", "activation function",
+                   "eDRAM write"]
+        if self.pooling:
+            labels += ["pool read", "pool max", "pool max", "pool write"]
+        return labels

@@ -1,0 +1,162 @@
+"""Chip-scale weight-programming cost (deployment-time writes).
+
+The paper evaluates steady-state inference; loading the model onto the chip
+is a one-time cost its architecture still has to pay, and FORMS changes it
+in two ways worth quantifying:
+
+* compression (pruning x quantization x polarization) shrinks the number of
+  *cells* that need programming by the Table I/II crossbar-reduction factor;
+* closed-loop program-and-verify writes (:mod:`repro.reram.vteam`) determine
+  the per-cell pulse budget and Joule energy.
+
+The cost model samples the program-and-verify controller once per target
+level (cells of the same level behave identically up to variation) and
+scales by the level histogram of the mapped model.  Writes are
+column-parallel (one write driver per crossbar column) and crossbars program
+concurrently up to a chip-level power budget — both knobs are explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..reram.device import DeviceSpec
+from ..reram.vteam import (ProgramScheme, VTEAMCell, VTEAMParams,
+                           device_spec_from_vteam, program_level)
+
+
+@dataclass(frozen=True)
+class WriteParallelism:
+    """How many cells program at once.
+
+    ``drivers_per_crossbar``: columns written concurrently inside one array
+    (one write driver per column is the common design); ``concurrent_
+    crossbars``: arrays programming at the same time, bounded by the charge
+    pump / power delivery.
+    """
+
+    drivers_per_crossbar: int = 128
+    concurrent_crossbars: int = 64
+    verify_time_s: float = 10e-9
+
+    def __post_init__(self):
+        if self.drivers_per_crossbar < 1 or self.concurrent_crossbars < 1:
+            raise ValueError("parallelism factors must be >= 1")
+        if self.verify_time_s < 0:
+            raise ValueError("verify_time_s must be non-negative")
+
+
+@dataclass
+class LevelWriteCost:
+    """Program-and-verify cost of reaching one conductance level."""
+
+    level: int
+    pulses: int
+    time_s: float
+    energy_j: float
+
+
+def level_write_costs(params: VTEAMParams = VTEAMParams(),
+                      cell_bits: int = 2,
+                      scheme: ProgramScheme = ProgramScheme(),
+                      verify_time_s: float = 10e-9
+                      ) -> Dict[int, LevelWriteCost]:
+    """Per-level write cost, measured on the VTEAM dynamics.
+
+    Cells start from the fully-RESET state (the erased array); each level's
+    pulse count, wall time (pulse + verify per attempt) and Joule energy
+    come from one closed-loop programming session.
+    """
+    spec = device_spec_from_vteam(params, cell_bits)
+    costs = {}
+    for level in range(spec.levels):
+        target = float(spec.ideal_conductance(np.array([level]))[0])
+        cell = VTEAMCell(params, state=1.0)
+        result = program_level(cell, target, scheme)
+        if not result.converged:
+            raise RuntimeError(f"program-and-verify failed for level {level}")
+        costs[level] = LevelWriteCost(
+            level=level,
+            pulses=result.pulses,
+            time_s=result.pulses * (scheme.pulse_width_s + verify_time_s),
+            energy_j=result.energy_j,
+        )
+    return costs
+
+
+@dataclass
+class ProgrammingCost:
+    """Whole-model weight-loading cost."""
+
+    cells: int
+    crossbars: int
+    total_pulses: int
+    energy_j: float
+    latency_s: float
+
+    @property
+    def energy_mj(self) -> float:
+        return self.energy_j * 1e3
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+
+def model_programming_cost(level_histogram: Dict[int, int],
+                           crossbars: int,
+                           params: VTEAMParams = VTEAMParams(),
+                           cell_bits: int = 2,
+                           scheme: ProgramScheme = ProgramScheme(),
+                           parallelism: WriteParallelism = WriteParallelism()
+                           ) -> ProgrammingCost:
+    """Cost of programming a model given its cell-level histogram.
+
+    ``level_histogram`` maps conductance level -> cell count (from
+    :func:`cell_level_histogram`); ``crossbars`` is the array count the
+    model occupies (a :class:`~repro.core.compression.CompressionReport`'s
+    ``total_forms_crossbars``).
+
+    Latency model: inside a crossbar, each row is written serially but its
+    columns program in parallel; the row's wall time is the slowest cell in
+    it, bounded above by the slowest level overall.  Crossbars overlap up to
+    ``concurrent_crossbars``.
+    """
+    if crossbars < 1:
+        raise ValueError("crossbars must be >= 1")
+    costs = level_write_costs(params, cell_bits, scheme)
+    unknown = set(level_histogram) - set(costs)
+    if unknown:
+        raise ValueError(f"histogram contains invalid levels: {sorted(unknown)}")
+    cells = int(sum(level_histogram.values()))
+    total_pulses = int(sum(costs[level].pulses * count
+                           for level, count in level_histogram.items()))
+    energy = float(sum(costs[level].energy_j * count
+                       for level, count in level_histogram.items()))
+    per_attempt = scheme.pulse_width_s + parallelism.verify_time_s
+    worst_pulses = max((costs[level].pulses
+                        for level, count in level_histogram.items() if count),
+                       default=0)
+    rows_per_crossbar = -(-cells // (crossbars * parallelism.drivers_per_crossbar))
+    crossbar_time = rows_per_crossbar * worst_pulses * per_attempt
+    waves = -(-crossbars // parallelism.concurrent_crossbars)
+    return ProgrammingCost(
+        cells=cells,
+        crossbars=crossbars,
+        total_pulses=total_pulses,
+        energy_j=energy,
+        latency_s=waves * crossbar_time,
+    )
+
+
+def cell_level_histogram(code_planes: Dict[str, np.ndarray]) -> Dict[int, int]:
+    """Level histogram of a mapped layer's cell codes (all planes)."""
+    histogram: Dict[int, int] = {}
+    for codes in code_planes.values():
+        values, counts = np.unique(np.asarray(codes), return_counts=True)
+        for value, count in zip(values.tolist(), counts.tolist()):
+            histogram[int(value)] = histogram.get(int(value), 0) + int(count)
+    return histogram

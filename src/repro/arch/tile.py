@@ -1,0 +1,78 @@
+"""Tile design: 12 MCUs + digital unit + eDRAM (paper Fig. 10, Table IV).
+
+The digital unit (shift&add tree, ReLU/activation function, output registers,
+max-pool support) and the tile eDRAM are rolled into the published "Dig unit"
+row of Table IV.  FORMS needs a larger eDRAM (128 KB vs 64 KB) and wider bus
+(512 vs 256 bits) because its fine-grained fragments finish more results per
+unit time — the extra digital power is visible in the published numbers
+(53.05 mW vs 40.85 mW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mcu import MCUDesign, forms_mcu, isaac_mcu
+
+
+@dataclass(frozen=True)
+class TileDesign:
+    """One tile: ``mcus`` MCU instances plus the digital unit."""
+
+    name: str
+    mcu: MCUDesign
+    mcus: int = 12
+    digital_power_mw: float = 0.0
+    digital_area_mm2: float = 0.0
+    edram_kb: int = 64
+    bus_bits: int = 256
+
+    @property
+    def mcus_power_mw(self) -> float:
+        return self.mcu.power_mw * self.mcus
+
+    @property
+    def mcus_area_mm2(self) -> float:
+        return self.mcu.area_mm2 * self.mcus
+
+    @property
+    def power_mw(self) -> float:
+        return self.mcus_power_mw + self.digital_power_mw
+
+    @property
+    def area_mm2(self) -> float:
+        return self.mcus_area_mm2 + self.digital_area_mm2
+
+    @property
+    def crossbars(self) -> int:
+        return self.mcus * self.mcu.crossbars
+
+
+def forms_tile(fragment_size: int = 8) -> TileDesign:
+    """FORMS tile (Table IV): published digital unit 53.05 mW.
+
+    The published tile area column (0.39) is rounded; the 168-tile total
+    (66.27 mm2) implies 0.3945 mm2 per tile, hence a 0.2425 mm2 digital unit
+    next to the 0.152 mm2 MCU block.
+    """
+    return TileDesign(
+        name=f"FORMS-{fragment_size}",
+        mcu=forms_mcu(fragment_size),
+        digital_power_mw=53.05,
+        digital_area_mm2=0.2425,
+        edram_kb=128,
+        bus_bits=512,
+    )
+
+
+def isaac_tile() -> TileDesign:
+    """ISAAC tile (Table IV): digital unit 40.85 mW / 0.2123 mm2 (from the
+    168-tile total of 62.21 mm2)."""
+    return TileDesign(
+        name="ISAAC",
+        mcu=isaac_mcu(),
+        digital_power_mw=40.85,
+        digital_area_mm2=0.2123,
+        edram_kb=64,
+        bus_bits=256,
+    )

@@ -1,0 +1,82 @@
+"""FORMS core: the paper's primary contribution.
+
+Fragment geometry and polarization, crossbar-aware structured pruning,
+ReRAM-customized quantization, the ADMM-regularized trainer that enforces all
+three during training, input zero-skipping analysis, and crossbar-count
+compression accounting.
+"""
+
+from .admm import (ADMMConfig, ADMMReport, ADMMTrainer, Constraint,
+                   PolarizationConstraint, QuantizationConstraint,
+                   StructuredPruningConstraint)
+from .compression import (CompressionReport, CrossbarShape, LayerCompression,
+                          crossbars_for_matrix, model_compression_report)
+from .fragments import (POLICIES, FragmentGeometry, geometry_for_layer,
+                        row_permutation)
+from .pipeline import (FORMSConfig, FORMSPipeline, FORMSResult,
+                       FrozenMaskConstraint, LayerArtifacts,
+                       collect_layer_artifacts)
+from .polarization import (compute_signs, fragment_signs, is_polarized,
+                           polarization_violation, project_polarization,
+                           project_stack, sign_flip_fraction)
+from .pruning import (PruningSpec, keep_topk_columns, keep_topk_rows,
+                      project_structured, prune_ratio, snap_keep_count,
+                      structure_summary, structured_mask)
+from .quantization import (QuantizationSpec, activation_to_int, dequantize,
+                           is_quantized, layer_scale, project_quantization,
+                           quantization_error, quantize, quantize_to_int)
+from .fault_tolerance import (FaultStudyPoint, MitigationConfig,
+                              MitigationPlan, apply_fault_injection,
+                              apply_faults_to_magnitudes,
+                              fault_tolerance_study, fragment_costs,
+                              magnitude_fault_impact, plan_mitigation)
+from .robust import RobustTuneConfig, robust_finetune
+from .sensitivity import (DEFAULT_KEEP_RATIOS, KeepSelection,
+                          SensitivityCurve, layer_sensitivity_scan,
+                          select_keep_ratios, sensitivity_report)
+from .tinyadc import (TinyADCConstraint, TinyADCSpec, adc_bits_saved,
+                      column_sum_bound, fragment_nonzeros,
+                      project_fragment_sparsity, required_bits_with_tinyadc)
+from .zero_skip import (EICStats, SkipTrace, ZeroSkipLogic,
+                        average_eic_over_layers, effective_bits, eic_matrix,
+                        fragment_eic, layer_eic_stats)
+
+__all__ = [
+    # fragments
+    "FragmentGeometry", "geometry_for_layer", "row_permutation", "POLICIES",
+    # polarization
+    "fragment_signs", "compute_signs", "project_stack", "project_polarization",
+    "polarization_violation", "is_polarized", "sign_flip_fraction",
+    # pruning
+    "PruningSpec", "project_structured", "structured_mask", "structure_summary",
+    "prune_ratio", "snap_keep_count", "keep_topk_columns", "keep_topk_rows",
+    # quantization
+    "QuantizationSpec", "quantize", "quantize_to_int", "dequantize",
+    "project_quantization", "layer_scale", "quantization_error", "is_quantized",
+    "activation_to_int",
+    # admm
+    "Constraint", "StructuredPruningConstraint", "PolarizationConstraint",
+    "QuantizationConstraint", "ADMMConfig", "ADMMReport", "ADMMTrainer",
+    # pipeline
+    "FORMSConfig", "FORMSPipeline", "FORMSResult", "LayerArtifacts",
+    "FrozenMaskConstraint", "collect_layer_artifacts",
+    # zero skipping
+    "effective_bits", "fragment_eic", "eic_matrix", "layer_eic_stats",
+    "EICStats", "ZeroSkipLogic", "SkipTrace", "average_eic_over_layers",
+    # compression
+    "CrossbarShape", "crossbars_for_matrix", "LayerCompression",
+    "CompressionReport", "model_compression_report",
+    # robustness extension
+    "RobustTuneConfig", "robust_finetune",
+    # fault tolerance (ref [29])
+    "MitigationConfig", "MitigationPlan", "plan_mitigation",
+    "magnitude_fault_impact", "fragment_costs", "apply_faults_to_magnitudes",
+    "apply_fault_injection", "fault_tolerance_study", "FaultStudyPoint",
+    # TinyADC constraint (ref [40])
+    "TinyADCSpec", "TinyADCConstraint", "project_fragment_sparsity",
+    "fragment_nonzeros", "column_sum_bound", "required_bits_with_tinyadc",
+    "adc_bits_saved",
+    # pruning-ratio sensitivity (Sec. III-A selection procedure)
+    "SensitivityCurve", "KeepSelection", "layer_sensitivity_scan",
+    "select_keep_ratios", "sensitivity_report", "DEFAULT_KEEP_RATIOS",
+]

@@ -1,0 +1,338 @@
+"""ADMM-regularized training (paper Sec. III-D).
+
+The constrained problem
+
+    minimize  L(W)   subject to  W_i in S_i (pruning), P_i (polarization),
+                                 Q_i (quantization)
+
+is decomposed per Boyd's ADMM into (Eq. 4) a proximal SGD step on
+``L(W) + sum_i rho_i/2 ||W_i - Z_i + U_i||^2`` and (Eq. 5/6) a Euclidean
+projection ``Z_i = Proj(W_i + U_i)`` with dual update ``U_i += W_i - Z_i``.
+
+This module provides the per-layer :class:`Constraint` objects (which own the
+projection and any state such as fragment signs or quantization scale) and the
+:class:`ADMMTrainer` that runs the iteration, tracks residuals, and performs
+the final hard projection plus masked retraining used by ADMM-NN-style
+pipelines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.data import Dataset
+from ..nn.layers import Module, compressible_layers
+from ..nn.optim import Adam
+from ..nn.trainer import History, evaluate, fit, recalibrate_batchnorm
+from .fragments import FragmentGeometry
+from .polarization import (SignRule, compute_signs, polarization_violation,
+                           project_polarization)
+from .pruning import PruningSpec, project_structured, structured_mask
+from .quantization import (QuantizationSpec, is_quantized, project_quantization,
+                           quantize)
+
+
+class Constraint(ABC):
+    """One hardware-motivated constraint on one layer's weight tensor."""
+
+    #: whether :meth:`enforce` keeps the weight feasible during masked retrain
+    enforce_during_retrain: bool = True
+
+    @abstractmethod
+    def project(self, weight: np.ndarray) -> np.ndarray:
+        """Euclidean projection of ``weight`` onto the constraint set."""
+
+    def refresh(self, weight: np.ndarray, epoch: int) -> None:
+        """Update internal state (e.g. fragment signs) from current weights."""
+
+    def enforce(self, weight: np.ndarray) -> np.ndarray:
+        """Feasibility clamp applied after each retrain step (default: project)."""
+        return self.project(weight)
+
+    def violation(self, weight: np.ndarray) -> float:
+        """Normalized distance from feasibility (0 = feasible)."""
+        projected = self.project(weight)
+        denom = float(np.linalg.norm(weight)) or 1.0
+        return float(np.linalg.norm(weight - projected)) / denom
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class StructuredPruningConstraint(Constraint):
+    """Crossbar-aware filter + filter-shape pruning (set S_i)."""
+
+    def __init__(self, geometry: FragmentGeometry, spec: PruningSpec):
+        self.geometry = geometry
+        self.spec = spec
+        self._mask: Optional[np.ndarray] = None
+
+    def project(self, weight: np.ndarray) -> np.ndarray:
+        return project_structured(weight, self.geometry, self.spec)
+
+    def enforce(self, weight: np.ndarray) -> np.ndarray:
+        # During masked retrain the surviving structure is frozen: re-apply
+        # the mask captured at hard-projection time instead of re-ranking
+        # rows/columns (which could churn the structure every step).
+        if self._mask is None:
+            self._mask = structured_mask(weight, self.geometry)
+        return np.where(self._mask, weight, 0.0)
+
+    def capture_mask(self, weight: np.ndarray) -> None:
+        self._mask = structured_mask(weight, self.geometry)
+
+    def describe(self) -> str:
+        return (f"prune(filter_keep={self.spec.filter_keep:.2f}, "
+                f"shape_keep={self.spec.shape_keep:.2f})")
+
+
+class PolarizationConstraint(Constraint):
+    """Fragment polarization (set P_i) with periodic sign re-estimation."""
+
+    def __init__(self, geometry: FragmentGeometry, rule: SignRule = "sum",
+                 refresh_every: int = 1):
+        if refresh_every < 1:
+            raise ValueError("refresh_every (M) must be >= 1")
+        self.geometry = geometry
+        self.rule = rule
+        self.refresh_every = refresh_every
+        self.signs: Optional[np.ndarray] = None
+        self.sign_updates = 0
+
+    def _ensure_signs(self, weight: np.ndarray) -> np.ndarray:
+        if self.signs is None:
+            self.signs = compute_signs(weight, self.geometry, self.rule)
+        return self.signs
+
+    def project(self, weight: np.ndarray) -> np.ndarray:
+        return project_polarization(weight, self.geometry, self._ensure_signs(weight))
+
+    def refresh(self, weight: np.ndarray, epoch: int) -> None:
+        # Paper Sec. III-B: signs recomputed from current weights every M epochs.
+        if (epoch + 1) % self.refresh_every == 0:
+            self.signs = compute_signs(weight, self.geometry, self.rule)
+            self.sign_updates += 1
+
+    def violation(self, weight: np.ndarray) -> float:
+        return polarization_violation(weight, self.geometry)
+
+    def describe(self) -> str:
+        return (f"polarize(m={self.geometry.fragment_size}, "
+                f"policy={self.geometry.policy}, rule={self.rule})")
+
+
+class QuantizationConstraint(Constraint):
+    """ReRAM-customized quantization (set Q_i) with a persistent scale."""
+
+    enforce_during_retrain = False  # projected once at the very end instead
+
+    def __init__(self, spec: QuantizationSpec):
+        self.spec = spec
+        self.scale: float = 0.0
+
+    def project(self, weight: np.ndarray) -> np.ndarray:
+        projected, self.scale = project_quantization(weight, self.spec, self.scale)
+        return projected
+
+    def violation(self, weight: np.ndarray) -> float:
+        if self.scale <= 0.0:
+            return super().violation(weight)
+        return 0.0 if is_quantized(weight, self.spec, self.scale) else super().violation(weight)
+
+    def describe(self) -> str:
+        return f"quantize({self.spec.weight_bits}-bit, {self.spec.cell_bits}-bit cells)"
+
+
+# ---------------------------------------------------------------------------
+# Trainer
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ADMMConfig:
+    """Hyperparameters of one ADMM phase."""
+
+    rho: float = 2e-2
+    iterations: int = 3
+    epochs_per_iteration: int = 2
+    lr: float = 1e-3
+    batch_size: int = 32
+    retrain_epochs: int = 3
+    retrain_lr: float = 1e-3
+    rho_growth: float = 1.0   # optional per-iteration rho multiplier
+
+    def __post_init__(self):
+        if self.rho <= 0:
+            raise ValueError("rho must be positive")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+
+@dataclass
+class ADMMReport:
+    """Diagnostics of one ADMM phase."""
+
+    histories: List[History] = field(default_factory=list)
+    primal_residuals: List[float] = field(default_factory=list)
+    violations: List[float] = field(default_factory=list)
+    retrain_history: Optional[History] = None
+    final_test_accuracy: Optional[float] = None
+
+
+class ADMMTrainer:
+    """Runs one ADMM phase over a model with per-layer constraints.
+
+    ``constraints`` maps layer name (as yielded by
+    :func:`repro.nn.layers.compressible_layers`) to the constraints applied to
+    that layer's weight.  Constraints are projected sequentially when a layer
+    has several (the paper runs its three constraint families in separate
+    phases; see :mod:`repro.core.pipeline`).
+    """
+
+    def __init__(self, model: Module, constraints: Dict[str, Sequence[Constraint]],
+                 config: ADMMConfig):
+        self.model = model
+        self.config = config
+        self._layers = dict(compressible_layers(model))
+        unknown = set(constraints) - set(self._layers)
+        if unknown:
+            raise KeyError(f"constraints reference unknown layers: {sorted(unknown)}")
+        self.constraints = {name: list(cs) for name, cs in constraints.items() if cs}
+        # Auxiliary Z and dual U per constrained layer (paper Eq. 3-6).
+        self._aux: Dict[str, np.ndarray] = {}
+        self._dual: Dict[str, np.ndarray] = {}
+        for name in self.constraints:
+            weight = self._layers[name].weight.data
+            self._aux[name] = self._project_all(name, weight.copy())
+            self._dual[name] = np.zeros_like(weight)
+
+    # ------------------------------------------------------------------
+    def _project_all(self, name: str, weight: np.ndarray) -> np.ndarray:
+        for constraint in self.constraints[name]:
+            weight = constraint.project(weight)
+        return weight
+
+    def _penalty_grad_hook(self, rho: float):
+        def hook() -> None:
+            for name, constraints in self.constraints.items():
+                param = self._layers[name].weight
+                if param.grad is None:
+                    continue
+                param.grad += rho * (param.data - self._aux[name] + self._dual[name])
+        return hook
+
+    def _refresh_hook(self):
+        def hook(epoch: int) -> None:
+            for name, constraints in self.constraints.items():
+                weight = self._layers[name].weight.data
+                for constraint in constraints:
+                    constraint.refresh(weight, epoch)
+        return hook
+
+    def primal_residual(self) -> float:
+        """RMS of ``W - Z`` across constrained layers."""
+        total = 0.0
+        count = 0
+        for name in self.constraints:
+            diff = self._layers[name].weight.data - self._aux[name]
+            total += float((diff ** 2).sum())
+            count += diff.size
+        return float(np.sqrt(total / max(count, 1)))
+
+    def max_violation(self) -> float:
+        """Worst constraint violation across layers (0 = all feasible)."""
+        worst = 0.0
+        for name, constraints in self.constraints.items():
+            weight = self._layers[name].weight.data
+            for constraint in constraints:
+                worst = max(worst, constraint.violation(weight))
+        return worst
+
+    # ------------------------------------------------------------------
+    def run(self, train_set: Dataset, test_set: Optional[Dataset] = None,
+            seed: int = 0, verbose: bool = False) -> ADMMReport:
+        """Execute the ADMM iterations (W-step, Z-step, U-step)."""
+        report = ADMMReport()
+        rho = self.config.rho
+        for iteration in range(self.config.iterations):
+            optimizer = Adam(self.model.parameters(), lr=self.config.lr)
+            history = fit(
+                self.model, train_set, optimizer,
+                epochs=self.config.epochs_per_iteration,
+                batch_size=self.config.batch_size,
+                test_set=test_set,
+                grad_hook=self._penalty_grad_hook(rho),
+                epoch_hook=self._refresh_hook(),
+                seed=seed + iteration,
+                verbose=verbose,
+            )
+            report.histories.append(history)
+            # Z-step (projection, Eq. 6) and dual update.
+            for name in self.constraints:
+                weight = self._layers[name].weight.data
+                self._aux[name] = self._project_all(name, weight + self._dual[name])
+                self._dual[name] += weight - self._aux[name]
+            report.primal_residuals.append(self.primal_residual())
+            report.violations.append(self.max_violation())
+            rho *= self.config.rho_growth
+        return report
+
+    def finalize(self, train_set: Dataset, test_set: Optional[Dataset] = None,
+                 seed: int = 0, verbose: bool = False) -> ADMMReport:
+        """Hard-project weights onto the constraints and retrain masked.
+
+        After the ADMM iterations the weights are *near* the constraint set;
+        this step makes them exactly feasible, then fine-tunes the surviving
+        degrees of freedom (pruning masks frozen, polarization signs clamped)
+        to recover accuracy.  Quantization constraints re-project once more at
+        the very end so retraining can move weights off-grid in between.
+        """
+        report = ADMMReport()
+        # Hard projection.
+        for name, constraints in self.constraints.items():
+            param = self._layers[name].weight
+            param.data[...] = self._project_all(name, param.data)
+            for constraint in constraints:
+                if isinstance(constraint, StructuredPruningConstraint):
+                    constraint.capture_mask(param.data)
+
+        if self.config.retrain_epochs > 0:
+            def enforce_hook() -> None:
+                # Projected SGD: clamp after every optimizer step so pruned
+                # weights never regrow and fragments stay polarized.
+                for name, constraints in self.constraints.items():
+                    param = self._layers[name].weight
+                    for constraint in constraints:
+                        if constraint.enforce_during_retrain:
+                            param.data[...] = constraint.enforce(param.data)
+
+            optimizer = Adam(self.model.parameters(), lr=self.config.retrain_lr)
+            enforce_hook()
+            report.retrain_history = fit(
+                self.model, train_set, optimizer,
+                epochs=self.config.retrain_epochs,
+                batch_size=self.config.batch_size,
+                test_set=test_set,
+                step_hook=enforce_hook,
+                seed=seed + 1000,
+                verbose=verbose,
+            )
+            enforce_hook()
+
+        # Final exact projection (also snaps quantization constraints).
+        for name in self.constraints:
+            param = self._layers[name].weight
+            param.data[...] = self._project_all(name, param.data)
+
+        # Weight surgery invalidates BatchNorm running statistics; refresh
+        # them (no weights change, so feasibility is untouched).
+        recalibrate_batchnorm(self.model, train_set,
+                              batch_size=self.config.batch_size)
+
+        if test_set is not None:
+            report.final_test_accuracy = evaluate(self.model, test_set).accuracy
+        report.violations.append(self.max_violation())
+        return report

@@ -1,0 +1,288 @@
+"""Fault-tolerant crossbar mapping (paper Sec. V-E, following ref [29]).
+
+Stuck-at faults freeze a cell at its lowest (SA0) or highest (SA1)
+conductance.  The paper notes that "prior techniques used to improve
+robustness [29, 84, 85] can be applied to FORMS"; this module implements the
+two mapping-level mitigations of [29], both of which preserve the FORMS
+polarization property:
+
+* **Column remapping** — which *logical* filter lands on which *physical*
+  crossbar column is free to choose (outputs are routed accordingly), so an
+  optimal assignment can steer large-magnitude weights away from faulty
+  cells and park zeros (which SA0 faults cannot hurt) on them.  Solved
+  exactly as a linear assignment problem
+  (:func:`scipy.optimize.linear_sum_assignment`).
+* **Differential fragment encoding** — a fragment may store magnitudes
+  directly (``cell = q``) or complemented (``cell = q_max - q``); the digital
+  pedestal correction FORMS already performs (it knows the active-input
+  count) recovers the true sum either way.  Complementing turns an SA1 fault
+  on a small weight (large error when stored directly) into a small error,
+  and vice versa, so choosing the representation per fragment halves the
+  worst case.
+
+Both are *static* decisions made at programming time from the die's fault
+map (faults are testable before deployment).  Impact is measured in level
+units (:func:`magnitude_fault_impact`) and end-to-end as accuracy via
+:func:`fault_tolerance_study`, mirroring the Table VI variation methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from ..nn.data import Dataset
+from ..nn.layers import Module, compressible_layers
+from ..nn.trainer import evaluate
+from ..reram.nonideal import FAULT_SA0, FAULT_SA1, FaultModel
+from .pipeline import FORMSConfig, LayerArtifacts, collect_layer_artifacts
+
+
+# ---------------------------------------------------------------------------
+# Matrix-level impact model
+# ---------------------------------------------------------------------------
+
+def magnitude_fault_impact(magnitudes: np.ndarray, mask: np.ndarray,
+                           max_level: int) -> float:
+    """Total |level error| of direct storage under a fault mask.
+
+    SA0 erases the stored magnitude (error ``q``); SA1 saturates it (error
+    ``q_max - q``).  Magnitude-granularity cells — the abstraction level of
+    [29]; bit-sliced sub-cell faults are a refinement the conclusion does
+    not depend on.
+    """
+    magnitudes = np.asarray(magnitudes)
+    if magnitudes.shape != np.shape(mask):
+        raise ValueError("magnitudes and fault mask shapes must match")
+    if (magnitudes < 0).any() or (magnitudes > max_level).any():
+        raise ValueError("magnitudes must lie in [0, max_level]")
+    sa0 = mask == FAULT_SA0
+    sa1 = mask == FAULT_SA1
+    return float(magnitudes[sa0].sum() + (max_level - magnitudes[sa1]).sum())
+
+
+def _pad_rows(matrix: np.ndarray, fragment_size: int) -> np.ndarray:
+    rows = matrix.shape[0]
+    padded = -(-rows // fragment_size) * fragment_size
+    if padded == rows:
+        return matrix
+    pad = np.zeros((padded - rows,) + matrix.shape[1:], dtype=matrix.dtype)
+    return np.concatenate([matrix, pad], axis=0)
+
+
+def fragment_costs(magnitudes: np.ndarray, mask: np.ndarray, max_level: int,
+                   fragment_size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-(fragment, logical column, physical column) impact costs.
+
+    Returns ``(direct, complement)`` arrays of shape
+    ``(n_fragments, cols, cols)`` where entry ``[f, l, p]`` is the impact of
+    storing logical column ``l``'s fragment ``f`` on physical column ``p``
+    in the given representation.
+    """
+    magnitudes = _pad_rows(np.asarray(magnitudes, dtype=np.float64), fragment_size)
+    mask = _pad_rows(np.asarray(mask), fragment_size)
+    rows, cols = magnitudes.shape
+    n_frag = rows // fragment_size
+    mag = magnitudes.reshape(n_frag, fragment_size, cols)
+    sa0 = (mask == FAULT_SA0).reshape(n_frag, fragment_size, cols).astype(np.float64)
+    sa1 = (mask == FAULT_SA1).reshape(n_frag, fragment_size, cols).astype(np.float64)
+    # direct:      SA0 costs q,            SA1 costs (max - q)
+    # complement:  SA0 costs (max - q),    SA1 costs q
+    direct = (np.einsum("frl,frp->flp", mag, sa0)
+              + np.einsum("frl,frp->flp", max_level - mag, sa1))
+    complement = (np.einsum("frl,frp->flp", max_level - mag, sa0)
+                  + np.einsum("frl,frp->flp", mag, sa1))
+    return direct, complement
+
+
+@dataclass(frozen=True)
+class MitigationConfig:
+    """Which of the two [29]-style mitigations to apply."""
+
+    remap_columns: bool = True
+    differential_fragments: bool = True
+
+
+@dataclass
+class MitigationPlan:
+    """A concrete programming plan for one layer on one faulty die."""
+
+    permutation: np.ndarray          # logical column l -> physical column perm[l]
+    complement: np.ndarray           # (n_fragments, cols) bool, per logical col
+    baseline_impact: float           # direct storage, identity mapping
+    planned_impact: float            # after the chosen mitigations
+
+    @property
+    def impact_reduction(self) -> float:
+        """Fraction of the baseline impact removed (0 = none, 1 = all)."""
+        if self.baseline_impact == 0:
+            return 0.0
+        return 1.0 - self.planned_impact / self.baseline_impact
+
+
+def plan_mitigation(magnitudes: np.ndarray, mask: np.ndarray, max_level: int,
+                    fragment_size: int,
+                    config: MitigationConfig = MitigationConfig()) -> MitigationPlan:
+    """Choose the column assignment and fragment representations for a die."""
+    direct, complement = fragment_costs(magnitudes, mask, max_level,
+                                        fragment_size)
+    cols = direct.shape[1]
+    per_pair = np.minimum(direct, complement) if config.differential_fragments else direct
+    cost_matrix = per_pair.sum(axis=0)       # (logical, physical)
+
+    if config.remap_columns:
+        logical, physical = linear_sum_assignment(cost_matrix)
+        permutation = np.empty(cols, dtype=np.int64)
+        permutation[logical] = physical
+    else:
+        permutation = np.arange(cols)
+
+    chosen_direct = direct[:, np.arange(cols), permutation]
+    chosen_complement = complement[:, np.arange(cols), permutation]
+    if config.differential_fragments:
+        use_complement = chosen_complement < chosen_direct
+    else:
+        use_complement = np.zeros_like(chosen_direct, dtype=bool)
+    planned = float(np.where(use_complement, chosen_complement,
+                             chosen_direct).sum())
+    baseline = float(direct[:, np.arange(cols), np.arange(cols)].sum())
+    return MitigationPlan(permutation=permutation, complement=use_complement,
+                          baseline_impact=baseline, planned_impact=planned)
+
+
+def apply_faults_to_magnitudes(magnitudes: np.ndarray, mask: np.ndarray,
+                               max_level: int, fragment_size: int,
+                               plan: Optional[MitigationPlan] = None) -> np.ndarray:
+    """Magnitudes as realized on the faulty die, in logical column order.
+
+    Without a plan, direct storage on the identity assignment.  With a plan,
+    logical column ``l`` experiences the faults of physical column
+    ``plan.permutation[l]``, and complemented fragments round-trip through
+    ``q_max - q`` storage.
+    """
+    magnitudes = np.asarray(magnitudes)
+    original_rows = magnitudes.shape[0]
+    mag = _pad_rows(magnitudes.astype(np.float64), fragment_size)
+    mask = _pad_rows(np.asarray(mask), fragment_size)
+    rows, cols = mag.shape
+    n_frag = rows // fragment_size
+
+    if plan is None:
+        perm = np.arange(cols)
+        complement = np.zeros((n_frag, cols), dtype=bool)
+    else:
+        perm = plan.permutation
+        complement = plan.complement
+    phys_mask = mask[:, perm]
+
+    comp_rows = np.repeat(complement, fragment_size, axis=0)
+    stored = np.where(comp_rows, max_level - mag, mag)
+    stuck = stored.copy()
+    stuck[phys_mask == FAULT_SA0] = 0
+    stuck[phys_mask == FAULT_SA1] = max_level
+    recovered = np.where(comp_rows, max_level - stuck, stuck)
+    return recovered[:original_rows].astype(magnitudes.dtype)
+
+
+# ---------------------------------------------------------------------------
+# Model-level study
+# ---------------------------------------------------------------------------
+
+def apply_fault_injection(model: Module, config: FORMSConfig,
+                          fault_model: FaultModel,
+                          mitigation: Optional[MitigationConfig] = None,
+                          artifacts: Optional[Dict[str, LayerArtifacts]] = None) -> Module:
+    """Return a faulty twin of ``model`` as realized on one defective die.
+
+    Mirrors :func:`repro.reram.variation.apply_variation`: every compressible
+    layer's integer weights are split into fragment-signed magnitudes, hit
+    with a sampled stuck-at fault map (optionally mitigated per [29]), and
+    recombined into effective real weights.
+    """
+    import copy
+    faulty = copy.deepcopy(model)
+    if artifacts is None:
+        artifacts = collect_layer_artifacts(model, config)
+    max_level = 2 ** (config.weight_bits - 1) - 1
+    layers = dict(compressible_layers(faulty))
+    for name, art in artifacts.items():
+        geometry = art.geometry
+        levels = geometry.matrix(art.int_weights)
+        signs = np.sign(levels)
+        magnitudes = np.abs(levels)
+        mask = fault_model.sample(magnitudes.shape)
+        plan = None
+        if mitigation is not None:
+            plan = plan_mitigation(magnitudes, mask, max_level,
+                                   geometry.fragment_size, mitigation)
+        realized = apply_faults_to_magnitudes(magnitudes, mask, max_level,
+                                              geometry.fragment_size, plan)
+        # SA1 can turn an exactly-zero (sign 0) weight nonzero; realize it
+        # with the fragment's polarity so the sign indicator stays defined.
+        frag_signs = art.signs if art.signs is not None else None
+        if frag_signs is not None:
+            sign_rows = np.repeat(frag_signs, geometry.fragment_size,
+                                  axis=0)[:signs.shape[0]]
+            signs = np.where(signs == 0, sign_rows, signs)
+        weight = geometry.weight(signs * realized) * art.scale
+        layers[name].weight.data[...] = weight.astype(
+            layers[name].weight.data.dtype)
+    return faulty
+
+
+@dataclass
+class FaultStudyPoint:
+    """Accuracy under one fault rate, with and without mitigation."""
+
+    sa0_rate: float
+    sa1_rate: float
+    unmitigated_accuracies: List[float] = field(default_factory=list)
+    mitigated_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def unmitigated_mean(self) -> float:
+        return float(np.mean(self.unmitigated_accuracies))
+
+    @property
+    def mitigated_mean(self) -> float:
+        return float(np.mean(self.mitigated_accuracies))
+
+    @property
+    def accuracy_recovered(self) -> float:
+        return self.mitigated_mean - self.unmitigated_mean
+
+
+def fault_tolerance_study(model: Module, config: FORMSConfig,
+                          test_set: Dataset,
+                          fault_rates: Optional[List[Tuple[float, float]]] = None,
+                          runs: int = 5, seed: int = 0,
+                          mitigation: MitigationConfig = MitigationConfig(),
+                          batch_size: int = 64) -> List[FaultStudyPoint]:
+    """Accuracy vs stuck-at fault rate, with and without [29]'s mitigations.
+
+    Each run is an independent die (fresh fault map); the same die is
+    evaluated unmitigated and mitigated so the comparison is paired.
+    """
+    if fault_rates is None:
+        fault_rates = [(0.001, 0.0001), (0.005, 0.0005), (0.02, 0.002)]
+    artifacts = collect_layer_artifacts(model, config)
+    points = []
+    for sa0, sa1 in fault_rates:
+        point = FaultStudyPoint(sa0_rate=sa0, sa1_rate=sa1)
+        for run in range(runs):
+            die_seed = seed + 7919 * run
+            plain = apply_fault_injection(
+                model, config, FaultModel(sa0, sa1, seed=die_seed),
+                mitigation=None, artifacts=artifacts)
+            point.unmitigated_accuracies.append(
+                evaluate(plain, test_set, batch_size=batch_size).accuracy)
+            fixed = apply_fault_injection(
+                model, config, FaultModel(sa0, sa1, seed=die_seed),
+                mitigation=mitigation, artifacts=artifacts)
+            point.mitigated_accuracies.append(
+                evaluate(fixed, test_set, batch_size=batch_size).accuracy)
+        points.append(point)
+    return points

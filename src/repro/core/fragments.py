@@ -1,0 +1,191 @@
+"""Fragment geometry: how DNN weights map onto crossbar sub-array columns.
+
+A *fragment* (paper Sec. III-B, Fig. 3) is the set of ``m`` consecutive
+weights of one filter that land in one column of an ``m x n`` crossbar
+sub-array.  Which weights are "consecutive" depends on the polarization
+mapping policy:
+
+* **W-major** — walk a filter along width fastest, then height, then channel
+  (the natural C-order flatten of a ``(C, KH, KW)`` filter);
+* **H-major** — height fastest, then width, then channel;
+* **C-major** — channel fastest: the weights at the same spatial position of
+  all channels are consecutive.
+
+The same policy is applied uniformly to the whole network, and inputs are
+re-ordered once to match (paper: "we only need to uniformly re-order the
+weights with their corresponding inputs in advance"), so the policy is a pure
+row permutation of the layer's 2-D im2col weight matrix.
+
+The 2-D matrix convention follows paper Fig. 2: ``H`` has one **column per
+filter** and one **row per filter-shape position** (channel x kh x kw), i.e.
+``H = W.reshape(OC, -1).T`` for conv and ``H = W.T`` for linear layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+POLICIES = ("w", "h", "c")
+
+
+def row_permutation(channels: int, kh: int, kw: int, policy: str) -> np.ndarray:
+    """Permutation taking standard im2col row order to ``policy`` order.
+
+    Standard im2col row order is (channel, kernel-row, kernel-col) with
+    kernel-col fastest — which is exactly W-major, so that policy returns the
+    identity permutation.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown polarization policy {policy!r}; options: {POLICIES}")
+    index = np.arange(channels * kh * kw).reshape(channels, kh, kw)
+    if policy == "w":
+        ordered = index                      # (c, h, w) — w fastest
+    elif policy == "h":
+        ordered = index.transpose(0, 2, 1)   # (c, w, h) — h fastest
+    else:  # "c"
+        ordered = index.transpose(1, 2, 0)   # (h, w, c) — c fastest
+    return ordered.reshape(-1)
+
+
+@dataclass(frozen=True)
+class FragmentGeometry:
+    """Geometry of one layer's weight matrix cut into fragments.
+
+    Parameters
+    ----------
+    weight_shape:
+        Shape of the layer weight: ``(OC, C, KH, KW)`` for conv or
+        ``(out, in)`` for linear.
+    fragment_size:
+        Rows per sub-array column, ``m`` (paper evaluates 4/8/16; Fig. 6
+        sweeps 1..128).
+    policy:
+        Polarization mapping policy: ``"w"``, ``"h"`` or ``"c"``.  Ignored for
+        linear layers (no spatial structure — identity order).
+    """
+
+    weight_shape: Tuple[int, ...]
+    fragment_size: int
+    policy: str = "w"
+
+    def __post_init__(self):
+        if self.fragment_size < 1:
+            raise ValueError("fragment_size must be >= 1")
+        if len(self.weight_shape) not in (2, 4):
+            raise ValueError(f"unsupported weight shape {self.weight_shape}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown polarization policy {self.policy!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_conv(self) -> bool:
+        return len(self.weight_shape) == 4
+
+    @property
+    def rows(self) -> int:
+        """Rows of the 2-D matrix = weights per filter."""
+        if self.is_conv:
+            _, channels, kh, kw = self.weight_shape
+            return channels * kh * kw
+        return self.weight_shape[1]
+
+    @property
+    def cols(self) -> int:
+        """Columns of the 2-D matrix = number of filters / output units."""
+        return self.weight_shape[0]
+
+    @property
+    def fragments_per_column(self) -> int:
+        return -(-self.rows // self.fragment_size)  # ceil division
+
+    @property
+    def num_fragments(self) -> int:
+        return self.fragments_per_column * self.cols
+
+    @property
+    def padded_rows(self) -> int:
+        return self.fragments_per_column * self.fragment_size
+
+    def _perm(self) -> Optional[np.ndarray]:
+        if not self.is_conv or self.policy == "w":
+            return None  # identity
+        _, channels, kh, kw = self.weight_shape
+        return row_permutation(channels, kh, kw, self.policy)
+
+    # ------------------------------------------------------------------
+    # Weight tensor <-> policy-ordered 2-D matrix
+    # ------------------------------------------------------------------
+    def matrix(self, weight: np.ndarray) -> np.ndarray:
+        """Return the policy-ordered 2-D matrix ``(rows, cols)`` of ``weight``."""
+        if weight.shape != self.weight_shape:
+            raise ValueError(f"weight shape {weight.shape} != geometry shape {self.weight_shape}")
+        mat = weight.reshape(self.cols, -1).T
+        perm = self._perm()
+        if perm is not None:
+            mat = mat[perm]
+        return mat
+
+    def weight(self, matrix: np.ndarray) -> np.ndarray:
+        """Invert :meth:`matrix`, returning the original-shaped weight tensor."""
+        if matrix.shape != (self.rows, self.cols):
+            raise ValueError(f"matrix shape {matrix.shape} != ({self.rows}, {self.cols})")
+        perm = self._perm()
+        if perm is not None:
+            inverse = np.empty_like(perm)
+            inverse[perm] = np.arange(perm.size)
+            matrix = matrix[inverse]
+        return matrix.T.reshape(self.weight_shape)
+
+    # ------------------------------------------------------------------
+    # 2-D matrix <-> fragment stack
+    # ------------------------------------------------------------------
+    def fragment_stack(self, matrix: np.ndarray) -> np.ndarray:
+        """Cut the matrix into fragments: ``(fragments_per_column, m, cols)``.
+
+        The final fragment of each column is zero-padded when ``rows`` is not
+        a multiple of the fragment size (padding cells hold zero conductance
+        on hardware).
+        """
+        if matrix.shape != (self.rows, self.cols):
+            raise ValueError(f"matrix shape {matrix.shape} != ({self.rows}, {self.cols})")
+        pad = self.padded_rows - self.rows
+        if pad:
+            matrix = np.vstack([matrix, np.zeros((pad, self.cols), dtype=matrix.dtype)])
+        return matrix.reshape(self.fragments_per_column, self.fragment_size, self.cols)
+
+    def from_fragment_stack(self, stack: np.ndarray) -> np.ndarray:
+        """Invert :meth:`fragment_stack`, dropping the zero padding."""
+        expected = (self.fragments_per_column, self.fragment_size, self.cols)
+        if stack.shape != expected:
+            raise ValueError(f"stack shape {stack.shape} != {expected}")
+        return stack.reshape(self.padded_rows, self.cols)[:self.rows]
+
+    # ------------------------------------------------------------------
+    def fragment_row_slices(self):
+        """Yield ``(fragment_index, row_slice)`` over one column's fragments."""
+        for f in range(self.fragments_per_column):
+            start = f * self.fragment_size
+            yield f, slice(start, min(start + self.fragment_size, self.rows))
+
+    def input_permutation(self) -> Optional[np.ndarray]:
+        """Row permutation to apply to the layer's im2col *input* matrix.
+
+        The hardware re-orders inputs once to match the weight ordering, so
+        activations and weights stay aligned (paper Sec. III-B).  ``None``
+        means identity.
+        """
+        return self._perm()
+
+    def describe(self) -> str:
+        kind = "conv" if self.is_conv else "linear"
+        return (f"{kind} {self.weight_shape}: matrix {self.rows}x{self.cols}, "
+                f"fragment m={self.fragment_size} policy={self.policy}, "
+                f"{self.num_fragments} fragments")
+
+
+def geometry_for_layer(layer, fragment_size: int, policy: str = "w") -> FragmentGeometry:
+    """Build the :class:`FragmentGeometry` for a ``Conv2d`` or ``Linear`` layer."""
+    return FragmentGeometry(tuple(layer.weight.shape), fragment_size, policy)

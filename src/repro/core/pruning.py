@@ -1,0 +1,138 @@
+"""Crossbar-aware structured pruning (paper Sec. III-A).
+
+FORMS combines two structured-sparsity patterns on the 2-D weight matrix of
+Fig. 2 (one column per filter, one row per filter-shape position):
+
+* **filter pruning** removes whole columns;
+* **filter-shape pruning** removes whole rows.
+
+The projection keeps the columns/rows with the largest L2 norm.  *Crossbar
+awareness* means the keep counts are snapped **up** to the crossbar row/column
+granularity: pruning below the next multiple of (say) 128 rows removes
+accuracy without removing a single crossbar, so FORMS keeps those weights
+instead (paper: "carefully choosing the pruning ratio for each DNN layer to
+avoid unnecessary accuracy drop").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .fragments import FragmentGeometry
+
+
+def snap_keep_count(total: int, target_keep: int, granularity: int) -> int:
+    """Snap ``target_keep`` up to the crossbar granularity.
+
+    Any keep count in ``((k-1)*g, k*g]`` occupies ``k`` crossbar slices, so the
+    cheapest count with the same hardware cost is ``k*g`` (capped at
+    ``total``).  With ``granularity=1`` this is the identity: non-aware
+    pruning.
+    """
+    if total < 1:
+        raise ValueError("total must be >= 1")
+    target_keep = int(np.clip(target_keep, 1, total))
+    if granularity <= 1:
+        return target_keep
+    slices = -(-target_keep // granularity)  # ceil
+    return min(slices * granularity, total)
+
+
+def keep_topk_columns(matrix: np.ndarray, keep: int) -> np.ndarray:
+    """Zero all but the ``keep`` columns with the largest L2 norm."""
+    norms = np.linalg.norm(matrix, axis=0)
+    if keep >= matrix.shape[1]:
+        return matrix.copy()
+    threshold_idx = np.argsort(norms)[:-keep] if keep > 0 else np.arange(matrix.shape[1])
+    out = matrix.copy()
+    out[:, threshold_idx] = 0.0
+    return out
+
+
+def keep_topk_rows(matrix: np.ndarray, keep: int) -> np.ndarray:
+    """Zero all but the ``keep`` rows with the largest L2 norm."""
+    norms = np.linalg.norm(matrix, axis=1)
+    if keep >= matrix.shape[0]:
+        return matrix.copy()
+    threshold_idx = np.argsort(norms)[:-keep] if keep > 0 else np.arange(matrix.shape[0])
+    out = matrix.copy()
+    out[threshold_idx, :] = 0.0
+    return out
+
+
+@dataclass
+class PruningSpec:
+    """Per-layer structured-pruning targets.
+
+    ``filter_keep``/``shape_keep`` are the *fractions of columns/rows kept*
+    (paper's alpha_i and beta_i).  ``row_granularity``/``col_granularity``
+    express the crossbar awareness: rows snap to the sub-array/crossbar row
+    count, columns to the crossbar column count divided by cells-per-weight.
+    """
+
+    filter_keep: float = 1.0
+    shape_keep: float = 1.0
+    row_granularity: int = 1
+    col_granularity: int = 1
+
+    def __post_init__(self):
+        for name, frac in (("filter_keep", self.filter_keep), ("shape_keep", self.shape_keep)):
+            if not 0.0 < frac <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {frac}")
+
+    def keep_counts(self, rows: int, cols: int) -> Tuple[int, int]:
+        """(rows_kept, cols_kept) after crossbar-aware snapping."""
+        keep_rows = snap_keep_count(rows, int(round(rows * self.shape_keep)), self.row_granularity)
+        keep_cols = snap_keep_count(cols, int(round(cols * self.filter_keep)), self.col_granularity)
+        return keep_rows, keep_cols
+
+
+def project_structured(weight: np.ndarray, geometry: FragmentGeometry,
+                       spec: PruningSpec) -> np.ndarray:
+    """Euclidean projection onto the structured-sparsity set S_i.
+
+    Keeps the top rows and columns of the layer's 2-D matrix by L2 norm,
+    zeroing the rest, with keep counts snapped to crossbar granularity.
+    """
+    matrix = geometry.matrix(weight)
+    keep_rows, keep_cols = spec.keep_counts(*matrix.shape)
+    pruned = keep_topk_rows(keep_topk_columns(matrix, keep_cols), keep_rows)
+    return geometry.weight(pruned)
+
+
+def structured_mask(weight: np.ndarray, geometry: FragmentGeometry) -> np.ndarray:
+    """Boolean mask of surviving rows x columns inferred from a pruned weight.
+
+    Used by masked fine-tuning: a row/column is dead when *all* of its entries
+    are zero.
+    """
+    matrix = geometry.matrix(weight)
+    live_rows = np.abs(matrix).sum(axis=1) > 0.0
+    live_cols = np.abs(matrix).sum(axis=0) > 0.0
+    mask = np.outer(live_rows, live_cols)
+    return geometry.weight(mask.astype(weight.dtype)) != 0.0
+
+
+def structure_summary(weight: np.ndarray, geometry: FragmentGeometry) -> dict:
+    """Live row/column counts and resulting dense-weight prune ratio."""
+    matrix = geometry.matrix(weight)
+    live_rows = int((np.abs(matrix).sum(axis=1) > 0.0).sum())
+    live_cols = int((np.abs(matrix).sum(axis=0) > 0.0).sum())
+    total = matrix.size
+    kept = live_rows * live_cols
+    return {
+        "rows": matrix.shape[0],
+        "cols": matrix.shape[1],
+        "live_rows": live_rows,
+        "live_cols": live_cols,
+        "prune_ratio": total / max(kept, 1),
+    }
+
+
+def prune_ratio(weight: np.ndarray) -> float:
+    """Dense / nonzero weight count (the paper's "prune ratio" column)."""
+    nonzero = int(np.count_nonzero(weight))
+    return weight.size / max(nonzero, 1)

@@ -1,0 +1,128 @@
+"""ReRAM-customized weight quantization (paper Sec. III-C).
+
+Weights are quantized to a symmetric uniform grid whose bit width is a
+multiple of the ReRAM cell resolution, so each weight maps exactly onto
+``weight_bits / cell_bits`` cells (e.g. four 2-bit cells per 8-bit weight).
+Quantization is introduced *during training* through the ADMM projection
+rather than forced post-hoc at mapping time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Uniform symmetric quantization grid.
+
+    ``weight_bits`` counts sign + magnitude; the magnitude grid has
+    ``2**(weight_bits-1) - 1`` positive levels.  ``cell_bits`` is the ReRAM
+    cell resolution (2 in the paper's chosen design point).
+    """
+
+    weight_bits: int = 8
+    cell_bits: int = 2
+
+    def __post_init__(self):
+        if self.weight_bits < 2:
+            raise ValueError("weight_bits must be >= 2")
+        if self.cell_bits < 1:
+            raise ValueError("cell_bits must be >= 1")
+        if self.weight_bits % self.cell_bits != 0:
+            raise ValueError(
+                f"weight_bits ({self.weight_bits}) must be a multiple of "
+                f"cell_bits ({self.cell_bits}) to fully utilize ReRAM resolution")
+
+    @property
+    def qmax(self) -> int:
+        """Largest magnitude level."""
+        return 2 ** (self.weight_bits - 1) - 1
+
+    @property
+    def cells_per_weight(self) -> int:
+        """ReRAM cells per weight magnitude (paper: 4 cells for 8-bit)."""
+        return self.weight_bits // self.cell_bits
+
+
+def layer_scale(weight: np.ndarray, spec: QuantizationSpec,
+                percentile: float = 100.0) -> float:
+    """Per-layer scale mapping the quantization grid onto the weight range.
+
+    ``percentile`` < 100 clips outliers (a standard QAT refinement); the
+    default reproduces plain max-abs scaling.
+    """
+    magnitudes = np.abs(weight[weight != 0.0])
+    if magnitudes.size == 0:
+        return 1.0
+    bound = float(np.percentile(magnitudes, percentile))
+    if bound <= 0.0:
+        return 1.0
+    return bound / spec.qmax
+
+
+def quantize(weight: np.ndarray, spec: QuantizationSpec, scale: float) -> np.ndarray:
+    """Project onto the quantization grid (nearest level, saturating)."""
+    if scale <= 0.0:
+        raise ValueError("scale must be positive")
+    levels = np.clip(np.rint(weight / scale), -spec.qmax, spec.qmax)
+    return (levels * scale).astype(weight.dtype)
+
+
+def quantize_to_int(weight: np.ndarray, spec: QuantizationSpec,
+                    scale: float) -> np.ndarray:
+    """Integer levels in ``[-qmax, qmax]`` (what actually lands on hardware)."""
+    if scale <= 0.0:
+        raise ValueError("scale must be positive")
+    return np.clip(np.rint(weight / scale), -spec.qmax, spec.qmax).astype(np.int64)
+
+
+def dequantize(levels: np.ndarray, scale: float) -> np.ndarray:
+    """Map integer levels back to real weights."""
+    return levels.astype(np.float64) * scale
+
+
+def project_quantization(weight: np.ndarray, spec: QuantizationSpec,
+                         scale: float = 0.0) -> Tuple[np.ndarray, float]:
+    """ADMM projection onto the quantized set Q_i.
+
+    When ``scale`` is 0 a fresh max-abs scale is fitted first; passing the
+    previous scale keeps the grid stable across ADMM iterations.
+    Returns ``(projected_weight, scale)``.
+    """
+    if scale <= 0.0:
+        scale = layer_scale(weight, spec)
+    return quantize(weight, spec, scale), scale
+
+
+def quantization_error(weight: np.ndarray, spec: QuantizationSpec,
+                       scale: float) -> float:
+    """RMS error between a weight tensor and its projection."""
+    q = quantize(weight, spec, scale)
+    return float(np.sqrt(np.mean((weight - q) ** 2)))
+
+
+def is_quantized(weight: np.ndarray, spec: QuantizationSpec, scale: float,
+                 atol: float = 1e-6) -> bool:
+    """True when every weight sits on the quantization grid."""
+    return bool(np.allclose(weight, quantize(weight, spec, scale), atol=atol))
+
+
+def activation_to_int(x: np.ndarray, bits: int, scale: float = 0.0) -> Tuple[np.ndarray, float]:
+    """Quantize activations to unsigned ``bits``-bit integers.
+
+    FORMS feeds 16-bit (or 8-bit) activations bit-serially; ReLU guarantees
+    non-negativity, so the grid is unsigned.  Returns ``(ints, scale)``.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    x = np.maximum(x, 0.0)
+    qmax = 2 ** bits - 1
+    if scale <= 0.0:
+        top = float(x.max())
+        scale = top / qmax if top > 0.0 else 1.0
+    ints = np.clip(np.rint(x / scale), 0, qmax).astype(np.int64)
+    return ints, scale

@@ -1,0 +1,145 @@
+"""Variation-aware fine-tuning (the paper's cited mitigation, Sec. V-E).
+
+Table VI shows pruning costs some robustness to device variation; the paper
+notes that "prior techniques used to improve robustness [29, 84, 85] can be
+applied to FORMS".  This module implements the Vortex-style [84] noise-
+injection approach on our substrate: fine-tune the optimized model while
+multiplying each compressible layer's weights with fresh lognormal noise of
+the target sigma every batch, so the network learns weights whose decision
+boundaries tolerate conductance perturbations.
+
+The constraint set is preserved throughout: noise is applied transiently
+during the forward pass only, and the true weights are clamped back onto
+their masks/signs after every optimizer step (projected SGD, identical to
+the ADMM finalize step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.data import Dataset
+from ..nn.layers import Module, compressible_layers
+from ..nn.optim import Adam
+from ..nn.trainer import evaluate, fit, recalibrate_batchnorm
+from .admm import Constraint
+from .fragments import FragmentGeometry
+from .pipeline import FORMSConfig, FrozenMaskConstraint
+from .polarization import compute_signs, project_polarization
+from .pruning import structured_mask
+
+
+@dataclass
+class RobustTuneConfig:
+    """Noise-injection fine-tuning hyperparameters."""
+
+    sigma: float = 0.1          # training-time lognormal noise (match deployment)
+    epochs: int = 3
+    lr: float = 5e-4
+    batch_size: int = 32
+    samples_per_batch: int = 1  # fresh noise draws per batch (1 is standard)
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+
+
+class _NoiseInjector:
+    """Applies/removes transient multiplicative weight noise around a batch."""
+
+    def __init__(self, model: Module, sigma: float, seed: int):
+        self.layers = [layer for _, layer in compressible_layers(model)]
+        self.sigma = sigma
+        self._rng = np.random.default_rng(seed)
+        self._saved: Optional[List[np.ndarray]] = None
+
+    def inject(self) -> None:
+        if self._saved is not None:
+            raise RuntimeError("noise already injected")
+        self._saved = []
+        for layer in self.layers:
+            clean = layer.weight.data.copy()
+            self._saved.append(clean)
+            noise = self._rng.lognormal(0.0, self.sigma, size=clean.shape)
+            layer.weight.data[...] = clean * noise
+
+    def restore_with_gradients(self) -> None:
+        """Put clean weights back, keeping the gradients computed under noise.
+
+        The gradient w.r.t. the noisy weight is a stochastic estimate of the
+        variation-averaged loss gradient — exactly the Vortex objective.
+        """
+        if self._saved is None:
+            raise RuntimeError("nothing to restore")
+        for layer, clean in zip(self.layers, self._saved):
+            layer.weight.data[...] = clean
+        self._saved = None
+
+
+def _feasibility_constraints(model: Module, config: FORMSConfig) -> Dict[str, List[Constraint]]:
+    """Freeze the current structure and signs of an optimized model."""
+    constraints: Dict[str, List[Constraint]] = {}
+    for name, layer in compressible_layers(model):
+        geometry = config.geometry_for(layer)
+        weight = layer.weight.data
+        mask = FrozenMaskConstraint(structured_mask(weight, geometry))
+        signs = compute_signs(weight, geometry, config.sign_rule)
+
+        class _SignClamp(Constraint):
+            def __init__(self, geom: FragmentGeometry, s: np.ndarray):
+                self.geom, self.s = geom, s
+
+            def project(self, w: np.ndarray) -> np.ndarray:
+                return project_polarization(w, self.geom, self.s)
+
+        constraints[name] = [mask, _SignClamp(geometry, signs)]
+    return constraints
+
+
+def robust_finetune(model: Module, config: FORMSConfig, train_set: Dataset,
+                    tune: RobustTuneConfig = RobustTuneConfig(),
+                    test_set: Optional[Dataset] = None, seed: int = 0) -> Module:
+    """Noise-injection fine-tuning of an already-FORMS-optimized model.
+
+    Modifies ``model`` in place (clone first to keep the original) and
+    returns it.  The pruned structure and fragment signs are preserved
+    exactly; quantization is *not* re-applied here — re-project with
+    :func:`repro.core.quantization.project_quantization` afterwards if the
+    deployment grid must be exact (the residual motion is sub-step).
+    """
+    if tune.epochs == 0:
+        return model
+    injector = _NoiseInjector(model, tune.sigma, seed=seed + 17)
+    constraints = _feasibility_constraints(model, config)
+    layers = dict(compressible_layers(model))
+
+    def grad_hook() -> None:
+        # gradients were computed under noise; restore clean weights so the
+        # optimizer step applies to the true parameters
+        injector.restore_with_gradients()
+
+    def step_hook() -> None:
+        # projected SGD: clamp back onto masks and signs, then noise the
+        # *next* batch
+        for name, constraint_list in constraints.items():
+            param = layers[name].weight
+            for constraint in constraint_list:
+                param.data[...] = constraint.project(param.data)
+        injector.inject()
+
+    injector.inject()
+    fit(model, train_set, Adam(model.parameters(), lr=tune.lr),
+        epochs=tune.epochs, batch_size=tune.batch_size, test_set=test_set,
+        grad_hook=grad_hook, step_hook=step_hook, seed=seed)
+    injector.restore_with_gradients()
+    for name, constraint_list in constraints.items():
+        param = layers[name].weight
+        for constraint in constraint_list:
+            param.data[...] = constraint.project(param.data)
+    recalibrate_batchnorm(model, train_set, batch_size=tune.batch_size)
+    return model

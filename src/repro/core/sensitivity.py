@@ -1,0 +1,165 @@
+"""Per-layer pruning-ratio selection (paper Sec. III-A).
+
+FORMS "perform[s] a crossbar-aware structured pruning by considering the
+crossbar size and carefully choosing the pruning ratio for each DNN layer to
+avoid unnecessary accuracy drop".  The paper states the outcome but not the
+selection procedure; this module implements the standard sensitivity-scan
+recipe the ADMM pruning literature uses ([54], ADMM-NN [49]):
+
+1. **scan** — for each compressible layer independently, project the layer
+   to a range of keep ratios (no retraining — the pessimistic bound) and
+   measure test accuracy with every other layer intact;
+2. **select** — per layer, take the most aggressive keep ratio whose
+   projection-only accuracy stays within ``tolerance`` of the clean model;
+3. **snap** — round the chosen ratio *up* to the crossbar granularity
+   (:func:`repro.core.pruning.snap_keep_count`): pruning below the next
+   crossbar multiple costs accuracy without saving a single crossbar.
+
+The output plugs into :class:`~repro.core.pipeline.FORMSConfig.per_layer_keep`
+so the ADMM pipeline trains against the selected per-layer targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.data import Dataset
+from ..nn.layers import Module, compressible_layers
+from ..nn.trainer import evaluate
+from .compression import CrossbarShape
+from .fragments import FragmentGeometry, geometry_for_layer
+from .pruning import PruningSpec, project_structured, snap_keep_count
+
+DEFAULT_KEEP_RATIOS = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2)
+
+
+@dataclass
+class SensitivityCurve:
+    """Projection-only accuracy of one layer across keep ratios."""
+
+    layer: str
+    keep_ratios: List[float]
+    accuracies: List[float]
+    rows: int
+    cols: int
+
+    def accuracy_at(self, keep: float) -> float:
+        """Accuracy at the scanned ratio closest to ``keep``."""
+        index = int(np.argmin(np.abs(np.asarray(self.keep_ratios) - keep)))
+        return self.accuracies[index]
+
+    def min_keep_within(self, clean_accuracy: float,
+                        tolerance: float) -> float:
+        """Most aggressive scanned keep ratio within the accuracy tolerance."""
+        viable = [k for k, a in zip(self.keep_ratios, self.accuracies)
+                  if a >= clean_accuracy - tolerance]
+        return min(viable) if viable else 1.0
+
+
+def layer_sensitivity_scan(model: Module, test_set: Dataset,
+                           fragment_size: int = 8, policy: str = "w",
+                           keep_ratios: Sequence[float] = DEFAULT_KEEP_RATIOS,
+                           prune_axis: str = "both",
+                           batch_size: int = 64) -> Dict[str, SensitivityCurve]:
+    """Scan every compressible layer's pruning sensitivity independently.
+
+    ``prune_axis`` chooses what the scanned ratio applies to: ``"filter"``
+    (columns), ``"shape"`` (rows) or ``"both"``.  Weights are restored after
+    every measurement; the model is unchanged on return.
+    """
+    if prune_axis not in ("filter", "shape", "both"):
+        raise ValueError("prune_axis must be 'filter', 'shape' or 'both'")
+    ratios = sorted(set(keep_ratios), reverse=True)
+    if not ratios or ratios[0] > 1.0 or ratios[-1] <= 0.0:
+        raise ValueError("keep ratios must lie in (0, 1]")
+
+    curves: Dict[str, SensitivityCurve] = {}
+    for name, layer in compressible_layers(model):
+        geometry = geometry_for_layer(layer, fragment_size, policy)
+        original = layer.weight.data.copy()
+        accuracies = []
+        for keep in ratios:
+            spec = PruningSpec(
+                filter_keep=keep if prune_axis in ("filter", "both") else 1.0,
+                shape_keep=keep if prune_axis in ("shape", "both") else 1.0,
+            )
+            layer.weight.data[...] = project_structured(original, geometry,
+                                                        spec)
+            accuracies.append(evaluate(model, test_set,
+                                       batch_size=batch_size).accuracy)
+            layer.weight.data[...] = original
+        curves[name] = SensitivityCurve(
+            layer=name, keep_ratios=list(ratios), accuracies=accuracies,
+            rows=geometry.rows, cols=geometry.cols)
+    return curves
+
+
+@dataclass
+class KeepSelection:
+    """Chosen per-layer keep ratios with crossbar-aware snapping applied."""
+
+    clean_accuracy: float
+    tolerance: float
+    raw_keep: Dict[str, float] = field(default_factory=dict)
+    snapped_keep: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def as_per_layer_keep(self) -> Dict[str, Dict[str, float]]:
+        """The mapping :class:`FORMSConfig.per_layer_keep` consumes."""
+        return self.snapped_keep
+
+
+def select_keep_ratios(curves: Dict[str, SensitivityCurve],
+                       clean_accuracy: float, tolerance: float = 0.02,
+                       crossbar: Optional[CrossbarShape] = None,
+                       cells_per_weight: int = 4,
+                       protected: Sequence[str] = ()) -> KeepSelection:
+    """Choose each layer's keep ratio from its sensitivity curve.
+
+    ``protected`` layers (typically the first conv and the classifier) are
+    pinned at keep = 1.  With ``crossbar`` given, ratios snap up so the kept
+    rows/columns land exactly on crossbar slice boundaries — the step that
+    makes the pruning *crossbar-aware*.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    selection = KeepSelection(clean_accuracy=clean_accuracy,
+                              tolerance=tolerance)
+    for name, curve in curves.items():
+        keep = 1.0 if name in protected else \
+            curve.min_keep_within(clean_accuracy, tolerance)
+        selection.raw_keep[name] = keep
+        if crossbar is None:
+            snapped_shape, snapped_filter = keep, keep
+        else:
+            col_gran = max(1, crossbar.cols // cells_per_weight)
+            rows_kept = snap_keep_count(curve.rows,
+                                        int(round(curve.rows * keep)),
+                                        crossbar.rows)
+            cols_kept = snap_keep_count(curve.cols,
+                                        int(round(curve.cols * keep)),
+                                        col_gran)
+            snapped_shape = rows_kept / curve.rows
+            snapped_filter = cols_kept / curve.cols
+        selection.snapped_keep[name] = {
+            "shape_keep": snapped_shape,
+            "filter_keep": snapped_filter,
+        }
+    return selection
+
+
+def sensitivity_report(curves: Dict[str, SensitivityCurve],
+                       selection: Optional[KeepSelection] = None
+                       ) -> List[List]:
+    """Rows for :func:`repro.analysis.tables.render_table`."""
+    rows = []
+    for name, curve in curves.items():
+        best = max(curve.accuracies)
+        worst = min(curve.accuracies)
+        chosen = selection.raw_keep.get(name) if selection else None
+        rows.append([name, f"{curve.rows}x{curve.cols}",
+                     best * 100.0, worst * 100.0,
+                     chosen if chosen is not None else "-"])
+    return rows

@@ -1,0 +1,210 @@
+"""Input zero-skipping: effective bits, effective input cycles, and the
+shift-register skip logic (paper Sec. IV-B, Figs. 7-9).
+
+Inputs are fed to a crossbar bit-serially, one bit per cycle.  Most
+activations are small, so their high-order bits are zero; once *every* input
+of a fragment has exhausted its nonzero bits, the remaining cycles contribute
+nothing and can be skipped.  Definitions from the paper:
+
+* **effective bits** of an input = its bit count after stripping the most
+  significant zeros (``0000_1011`` -> 4... i.e. ``int.bit_length``);
+* **effective input cycles (EIC)** of a fragment = the minimum cycles needed
+  to feed all of its inputs = the maximum effective bits among them.
+
+Smaller fragments have fewer inputs, hence a lower maximum — this is why
+zero-skipping is "a unique opportunity for small sub-arrays".
+
+:class:`ZeroSkipLogic` additionally models the circuit of Fig. 9 cycle by
+cycle (parallel-in/serial-out shift registers, per-register NOR, fragment-wide
+AND) and is property-tested to agree exactly with the analytic EIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def effective_bits(values: np.ndarray) -> np.ndarray:
+    """Per-element effective bit count (0 for value 0).
+
+    Equivalent to ``int.bit_length`` vectorized over a non-negative integer
+    array.
+    """
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        raise TypeError("effective_bits expects an integer array")
+    if (values < 0).any():
+        raise ValueError("effective_bits expects non-negative inputs (post-ReLU activations)")
+    out = np.zeros(values.shape, dtype=np.int64)
+    nonzero = values > 0
+    out[nonzero] = np.floor(np.log2(values[nonzero])).astype(np.int64) + 1
+    return out
+
+
+def fragment_eic(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """EIC along ``axis``: max effective bits among the fragment's inputs.
+
+    A fragment whose inputs are all zero needs 1 cycle in hardware (the skip
+    logic still spends the cycle that detects emptiness), so the result is
+    clamped to at least 1.
+    """
+    bits = effective_bits(values)
+    return np.maximum(bits.max(axis=axis), 1)
+
+
+def eic_matrix(input_matrix: np.ndarray, fragment_size: int) -> np.ndarray:
+    """EIC per (fragment, output-position) for an im2col input matrix.
+
+    ``input_matrix`` has shape ``(rows, positions)`` — the same rows the
+    layer's weight matrix is cut into.  Rows are chunked into fragments of
+    ``fragment_size`` (last chunk padded with zeros, which never raise EIC).
+    Returns shape ``(n_fragments, positions)``.
+    """
+    if input_matrix.ndim != 2:
+        raise ValueError("expected a 2-D im2col input matrix (rows, positions)")
+    rows, positions = input_matrix.shape
+    n_frag = -(-rows // fragment_size)
+    padded_rows = n_frag * fragment_size
+    if padded_rows != rows:
+        pad = np.zeros((padded_rows - rows, positions), dtype=input_matrix.dtype)
+        input_matrix = np.vstack([input_matrix, pad])
+    stacked = input_matrix.reshape(n_frag, fragment_size, positions)
+    return fragment_eic(stacked, axis=1)
+
+
+@dataclass
+class EICStats:
+    """Distribution summary of effective input cycles (paper Fig. 8)."""
+
+    fragment_size: int
+    total_bits: int
+    histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return sum(self.histogram.values())
+
+    @property
+    def average(self) -> float:
+        if not self.histogram:
+            return 0.0
+        weighted = sum(eic * n for eic, n in self.histogram.items())
+        return weighted / self.count
+
+    @property
+    def saved_fraction(self) -> float:
+        """Fraction of input cycles skipped relative to feeding all bits."""
+        return 1.0 - self.average / self.total_bits
+
+    def bucket_percentages(self, buckets: Sequence = (1, (2, 13), 14, 15, 16)) -> Dict[str, float]:
+        """Percentage of fragments per EIC bucket, Fig. 8(a) style.
+
+        Buckets are single values or inclusive ``(lo, hi)`` ranges.
+        """
+        result: Dict[str, float] = {}
+        total = max(self.count, 1)
+        for bucket in buckets:
+            if isinstance(bucket, tuple):
+                lo, hi = bucket
+                label = f"{lo}~{hi}"
+                n = sum(c for eic, c in self.histogram.items() if lo <= eic <= hi)
+            else:
+                label = str(bucket)
+                n = self.histogram.get(bucket, 0)
+            result[label] = 100.0 * n / total
+        return result
+
+    @classmethod
+    def from_eic_values(cls, eics: np.ndarray, fragment_size: int,
+                        total_bits: int) -> "EICStats":
+        values, counts = np.unique(np.asarray(eics, dtype=np.int64), return_counts=True)
+        return cls(fragment_size, total_bits,
+                   {int(v): int(c) for v, c in zip(values, counts)})
+
+    def merge(self, other: "EICStats") -> "EICStats":
+        if (other.fragment_size, other.total_bits) != (self.fragment_size, self.total_bits):
+            raise ValueError("cannot merge stats with different fragment size / bit width")
+        merged = dict(self.histogram)
+        for eic, n in other.histogram.items():
+            merged[eic] = merged.get(eic, 0) + n
+        return EICStats(self.fragment_size, self.total_bits, merged)
+
+
+def layer_eic_stats(input_matrix: np.ndarray, fragment_size: int,
+                    total_bits: int) -> EICStats:
+    """EIC statistics of one layer given its integer im2col input matrix."""
+    eics = eic_matrix(input_matrix, fragment_size)
+    eics = np.minimum(eics, total_bits)
+    return EICStats.from_eic_values(eics.reshape(-1), fragment_size, total_bits)
+
+
+class ZeroSkipLogic:
+    """Cycle-level model of the zero-skipping circuit (paper Fig. 9).
+
+    Each of the fragment's inputs sits in a parallel-in/serial-out shift
+    register.  Every cycle the LSBs are driven to the DACs and the registers
+    shift right.  A NOR over each register's remaining content feeds a
+    fragment-wide AND; when the AND raises (all registers empty), shifting
+    stops and the remaining cycles are skipped.
+    """
+
+    def __init__(self, total_bits: int):
+        if total_bits < 1:
+            raise ValueError("total_bits must be >= 1")
+        self.total_bits = total_bits
+
+    def run(self, inputs: Sequence[int]) -> "SkipTrace":
+        """Feed one fragment's inputs; return the cycle-by-cycle trace."""
+        registers = [int(v) for v in inputs]
+        limit = (1 << self.total_bits) - 1
+        for value in registers:
+            if value < 0 or value > limit:
+                raise ValueError(f"input {value} outside {self.total_bits}-bit range")
+        bits_fed: List[List[int]] = []
+        cycles = 0
+        while cycles < self.total_bits:
+            # Drive current LSBs to the DAC inputs.
+            bits_fed.append([value & 1 for value in registers])
+            registers = [value >> 1 for value in registers]
+            cycles += 1
+            # NOR per register (1 when register content is all zero), ANDed.
+            if all(value == 0 for value in registers):
+                break
+        return SkipTrace(cycles=cycles, total_bits=self.total_bits, bits_fed=bits_fed)
+
+
+@dataclass
+class SkipTrace:
+    """Result of one :class:`ZeroSkipLogic` run."""
+
+    cycles: int
+    total_bits: int
+    bits_fed: List[List[int]]
+
+    @property
+    def skipped_cycles(self) -> int:
+        return self.total_bits - self.cycles
+
+    def reconstruct(self) -> List[int]:
+        """Rebuild the input values from the bits that were actually fed.
+
+        Skipped cycles carry only zero bits, so the reconstruction must equal
+        the original inputs — the circuit never skips information.
+        """
+        n = len(self.bits_fed[0]) if self.bits_fed else 0
+        values = [0] * n
+        for cycle, bits in enumerate(self.bits_fed):
+            for i, bit in enumerate(bits):
+                values[i] |= bit << cycle
+        return values
+
+
+def average_eic_over_layers(per_layer: Dict[str, EICStats]) -> float:
+    """Fragment-count-weighted average EIC across layers (Fig. 8(b) "all-layers avg")."""
+    total = sum(stats.count for stats in per_layer.values())
+    if total == 0:
+        return 0.0
+    return sum(stats.average * stats.count for stats in per_layer.values()) / total

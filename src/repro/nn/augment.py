@@ -1,0 +1,166 @@
+"""Batch-level data augmentation for the training substrate.
+
+The reference training recipes the paper's Tables I/II baselines come from
+(CIFAR ResNet/VGG training) universally use random crops and horizontal
+flips; ADMM retraining phases benefit from the same regularization.  These
+transforms operate on image batches ``(N, C, H, W)`` with a seeded RNG so
+runs stay reproducible, and compose via :class:`Compose`.
+
+Use with the trainer through :class:`AugmentedDataset`, a view that applies
+the transform lazily per epoch — the underlying images are never modified.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .data import Dataset
+
+
+class Transform:
+    """Base class: a seeded, batch-level image transform."""
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class RandomHorizontalFlip(Transform):
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must lie in [0, 1]")
+        self.p = p
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        flip = rng.random(len(images)) < self.p
+        out = images.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomCrop(Transform):
+    """Pad by ``padding`` pixels (reflect) and crop back at a random offset."""
+
+    def __init__(self, padding: int = 2):
+        if padding < 1:
+            raise ValueError("padding must be >= 1")
+        self.padding = padding
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        pad = self.padding
+        n, _, height, width = images.shape
+        padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+                        mode="reflect")
+        rows = rng.integers(0, 2 * pad + 1, size=n)
+        cols = rng.integers(0, 2 * pad + 1, size=n)
+        out = np.empty_like(images)
+        for i in range(n):
+            out[i] = padded[i, :, rows[i]:rows[i] + height,
+                            cols[i]:cols[i] + width]
+        return out
+
+
+class GaussianNoise(Transform):
+    """Add zero-mean Gaussian pixel noise of standard deviation ``sigma``."""
+
+    def __init__(self, sigma: float = 0.05):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0.0:
+            return images
+        noise = rng.normal(0.0, self.sigma, size=images.shape)
+        return (images + noise).astype(images.dtype)
+
+
+class Cutout(Transform):
+    """Zero a random square patch per image (regularizes like dropout)."""
+
+    def __init__(self, size: int = 4):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        n, _, height, width = images.shape
+        if self.size >= min(height, width):
+            raise ValueError("cutout patch must be smaller than the image")
+        out = images.copy()
+        rows = rng.integers(0, height - self.size + 1, size=n)
+        cols = rng.integers(0, width - self.size + 1, size=n)
+        for i in range(n):
+            out[i, :, rows[i]:rows[i] + self.size,
+                cols[i]:cols[i] + self.size] = 0.0
+        return out
+
+
+class Compose(Transform):
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]):
+        if not transforms:
+            raise ValueError("need at least one transform")
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+def standard_augmentation(padding: int = 2, flip_p: float = 0.5,
+                          noise_sigma: float = 0.0) -> Compose:
+    """The CIFAR-recipe default: random crop + horizontal flip (+ noise)."""
+    transforms: List[Transform] = [RandomCrop(padding),
+                                   RandomHorizontalFlip(flip_p)]
+    if noise_sigma > 0:
+        transforms.append(GaussianNoise(noise_sigma))
+    return Compose(transforms)
+
+
+class AugmentedDataset:
+    """A :class:`Dataset` view whose images are transformed on access.
+
+    Each ``images`` read applies the transform with a fresh per-epoch RNG
+    stream, so successive epochs see different augmentations while the
+    underlying data never changes.  Quacks like :class:`Dataset` for the
+    trainer (``len``, ``images``, ``labels``, ``num_classes``).
+    """
+
+    def __init__(self, dataset: Dataset, transform: Transform, seed: int = 0):
+        self.dataset = dataset
+        self.transform = transform
+        self.seed = seed
+        self._draws = 0
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    @property
+    def name(self) -> str:
+        return f"{self.dataset.name}+aug"
+
+    @property
+    def num_classes(self) -> int:
+        return self.dataset.num_classes
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.dataset.labels
+
+    @property
+    def images(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed + self._draws)
+        self._draws += 1
+        return self.transform(self.dataset.images, rng)

@@ -1,0 +1,250 @@
+"""Neural-network operators with autograd support.
+
+Convolution is implemented through the classic im2col/col2im lowering, which
+is also exactly how the FORMS hardware consumes a convolution: the 2-D weight
+matrix produced by :func:`im2col` lowering (one column per filter, one row per
+filter-shape position) is the matrix that is cut into fragments and mapped
+onto ReRAM crossbar sub-arrays (paper Figs. 2/3/5).  Keeping the same lowering
+in software and in the hardware model means the fragment geometry in
+:mod:`repro.core.fragments` applies unchanged to both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _push, unbroadcast
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im lowering
+# ---------------------------------------------------------------------------
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size: input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}")
+    return out
+
+
+def _im2col_indices(x_shape: Tuple[int, int, int, int], kh: int, kw: int,
+                    stride: int, padding: int):
+    """Index arrays mapping a padded image to its im2col matrix."""
+    _, channels, height, width = x_shape
+    out_h = conv_output_size(height, kh, stride, padding)
+    out_w = conv_output_size(width, kw, stride, padding)
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Lower image batch ``(N, C, H, W)`` to columns ``(C*kh*kw, N*OH*OW)``.
+
+    Row order is C-major over (channel, kernel-row, kernel-col), matching the
+    filter-shape rows of the paper's 2-D weight format (Fig. 2).
+    """
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    k, i, j, out_h, out_w = _im2col_indices(
+        (x.shape[0], x.shape[1], x.shape[2] - 2 * padding, x.shape[3] - 2 * padding),
+        kh, kw, stride, padding)
+    cols = x[:, k, i, j]                      # (N, C*kh*kw, OH*OW)
+    return cols.transpose(1, 2, 0).reshape(cols.shape[1], -1)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int, kw: int,
+           stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Scatter-add columns back to image space (adjoint of :func:`im2col`)."""
+    batch, channels, height, width = x_shape
+    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding),
+                      dtype=cols.dtype)
+    k, i, j, out_h, out_w = _im2col_indices(x_shape, kh, kw, stride, padding)
+    cols_reshaped = cols.reshape(channels * kh * kw, -1, batch).transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+# ---------------------------------------------------------------------------
+# Layers as autograd ops
+# ---------------------------------------------------------------------------
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution.
+
+    ``x``: (N, C, H, W); ``weight``: (OC, C, KH, KW); ``bias``: (OC,) or None.
+    """
+    batch, channels, height, width = x.shape
+    out_channels, in_channels, kh, kw = weight.shape
+    if channels != in_channels:
+        raise ValueError(f"input has {channels} channels but weight expects {in_channels}")
+    out_h = conv_output_size(height, kh, stride, padding)
+    out_w = conv_output_size(width, kw, stride, padding)
+
+    cols = im2col(x.data, kh, kw, stride, padding)          # (C*KH*KW, N*OH*OW)
+    w2 = weight.data.reshape(out_channels, -1)              # (OC, C*KH*KW)
+    out = w2 @ cols                                         # (OC, N*OH*OW)
+    if bias is not None:
+        out = out + bias.data.reshape(-1, 1)
+    out = out.reshape(out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad2 = grad.transpose(1, 2, 3, 0).reshape(out_channels, -1)
+        if bias is not None and bias.requires_grad:
+            _push(bias, grad2.sum(axis=1))
+        if weight.requires_grad:
+            _push(weight, (grad2 @ cols.T).reshape(weight.shape))
+        if x.requires_grad:
+            dcols = w2.T @ grad2
+            _push(x, col2im(dcols, x.shape, kh, kw, stride, padding))
+
+    return Tensor._make(out, parents, "conv2d", backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight``: (out, in)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over square windows."""
+    stride = stride or kernel
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+
+    # Treat each channel plane independently via im2col on a (N*C, 1, H, W) view.
+    reshaped = x.data.reshape(batch * channels, 1, height, width)
+    cols = im2col(reshaped, kernel, kernel, stride, 0)      # (k*k, N*C*OH*OW)
+    arg = np.argmax(cols, axis=0)
+    out = cols[arg, np.arange(cols.shape[1])]
+    out = out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    out = out.reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(batch * channels, out_h, out_w).transpose(1, 2, 0).reshape(-1)
+        dcols = np.zeros_like(cols)
+        dcols[arg, np.arange(cols.shape[1])] = g
+        dx = col2im(dcols, (batch * channels, 1, height, width), kernel, kernel, stride, 0)
+        _push(x, dx.reshape(x.shape))
+
+    return Tensor._make(out, (x,), "max_pool2d", backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over square windows."""
+    stride = stride or kernel
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+
+    reshaped = x.data.reshape(batch * channels, 1, height, width)
+    cols = im2col(reshaped, kernel, kernel, stride, 0)
+    out = cols.mean(axis=0)
+    out = out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    out = out.reshape(batch, channels, out_h, out_w)
+    window = kernel * kernel
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(batch * channels, out_h, out_w).transpose(1, 2, 0).reshape(-1)
+        dcols = np.broadcast_to(g / window, (window, g.size)).copy()
+        dx = col2im(dcols, (batch * channels, 1, height, width), kernel, kernel, stride, 0)
+        _push(x, dx.reshape(x.shape))
+
+    return Tensor._make(out, (x,), "avg_pool2d", backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, returning (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               training: bool, momentum: float = 0.1, eps: float = 1e-5) -> Tensor:
+    """Batch normalization over (N, C, H, W) or (N, C) input.
+
+    ``running_mean``/``running_var`` are plain numpy buffers updated in place
+    while ``training`` is true (PyTorch semantics).
+    """
+    spatial = x.ndim == 4
+    axes = (0, 2, 3) if spatial else (0,)
+    shape = (1, -1, 1, 1) if spatial else (1, -1)
+
+    if training:
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        count = x.size // x.shape[1]
+        unbiased = var.data * count / max(count - 1, 1)
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mean.data.reshape(-1)
+        running_var *= (1.0 - momentum)
+        running_var += momentum * unbiased.reshape(-1)
+        x_hat = (x - mean) / (var + eps).sqrt()
+    else:
+        mean = Tensor(running_mean.reshape(shape))
+        var = Tensor(running_var.reshape(shape))
+        x_hat = (x - mean) / (var + eps).sqrt()
+
+    return x_hat * gamma.reshape(shape) + beta.reshape(shape)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: scales kept activations by 1/(1-p) during training."""
+    if not training or p <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))  # constant: no grad path needed
+    shifted = x - shift
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, K) and integer ``targets`` (N,)."""
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError("targets must be a 1-D array of class indices")
+    logp = log_softmax(logits, axis=1)
+    picked = logp[np.arange(logits.shape[0]), targets]
+    return -(picked.mean())
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy of raw logits against integer labels."""
+    return float((logits.argmax(axis=1) == np.asarray(targets)).mean())
+
+
+def topk_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy (paper reports top-5 for ImageNet)."""
+    k = min(k, logits.shape[1])
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float(np.any(top == np.asarray(targets)[:, None], axis=1).mean())

@@ -1,0 +1,98 @@
+"""Weight-initialization schemes.
+
+The layer constructors default to He-normal (conv) and fan-in uniform
+(linear); this module adds the standard alternatives — Xavier/Glorot,
+He-uniform, orthogonal — plus :func:`reinitialize` to re-seed a built model
+under any scheme.  Initialization interacts with the FORMS flow through the
+pre-training baseline: ADMM starts from a *trained* model, so the examples
+use these helpers when constructing fresh baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .layers import DEFAULT_DTYPE, Conv2d, Linear, Module
+
+
+def fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """(fan_in, fan_out) of a conv ``(OC, C, KH, KW)`` or linear ``(OUT, IN)``
+    weight."""
+    if len(shape) == 4:
+        oc, c, kh, kw = shape
+        receptive = kh * kw
+        return c * receptive, oc * receptive
+    if len(shape) == 2:
+        out_features, in_features = shape
+        return in_features, out_features
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform: variance balanced between forward and backward."""
+    fan_in, fan_out = fan_in_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = fan_in_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(DEFAULT_DTYPE)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform for ReLU networks."""
+    fan_in, _ = fan_in_out(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = fan_in_out(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(DEFAULT_DTYPE)
+
+
+def orthogonal(shape: Tuple[int, ...], rng: np.random.Generator,
+               gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization (QR of a Gaussian), flattened to 2-D."""
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))       # make the decomposition unique
+    if rows < cols:
+        q = q.T
+    return (gain * q[:rows, :cols]).reshape(shape).astype(DEFAULT_DTYPE)
+
+
+SCHEMES: Dict[str, callable] = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "orthogonal": orthogonal,
+}
+
+
+def reinitialize(model: Module, scheme: str = "he_normal",
+                 seed: int = 0) -> Module:
+    """Re-draw every conv/linear weight of ``model`` in place.
+
+    Biases reset to zero; BatchNorm parameters are left at their identity
+    defaults.  Returns the model for chaining.
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; options: {sorted(SCHEMES)}")
+    init = SCHEMES[scheme]
+    rng = np.random.default_rng(seed)
+    for module in model.modules():
+        if isinstance(module, (Conv2d, Linear)):
+            module.weight.data[...] = init(module.weight.data.shape, rng)
+            if module.bias is not None:
+                module.bias.data[...] = 0.0
+    return model

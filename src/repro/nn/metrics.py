@@ -1,0 +1,121 @@
+"""Classification metrics beyond top-1 accuracy.
+
+The trainer reports loss and top-1; the paper's ImageNet rows use top-5, and
+the robustness studies (Table VI, fault injection) benefit from per-class
+views — a die whose faults collapse one class can hide inside an aggregate
+accuracy.  All functions take plain numpy arrays (logits or predicted
+labels), so they compose with any evaluation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def predictions_from_logits(logits: np.ndarray) -> np.ndarray:
+    """Top-1 predicted class per row of ``(N, classes)`` logits."""
+    logits = np.asarray(logits)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, classes)")
+    return logits.argmax(axis=1)
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of rows whose true label is among the k largest logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, classes)")
+    if len(labels) != len(logits):
+        raise ValueError("labels and logits must have the same length")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError("k must lie in [1, num_classes]")
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((top == labels[:, None]).any(axis=1).mean())
+
+
+def confusion_matrix(labels: np.ndarray, predictions: np.ndarray,
+                     num_classes: Optional[int] = None) -> np.ndarray:
+    """Counts ``C[i, j]`` of true class i predicted as class j."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    if num_classes is None:
+        num_classes = int(max(labels.max(initial=0),
+                              predictions.max(initial=0))) + 1
+    if (labels < 0).any() or (predictions < 0).any() \
+            or (labels >= num_classes).any() or (predictions >= num_classes).any():
+        raise ValueError("class indices outside [0, num_classes)")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+@dataclass
+class ClassificationReport:
+    """Per-class precision/recall/F1 plus aggregates, from a confusion matrix."""
+
+    matrix: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def support(self) -> np.ndarray:
+        """True-example count per class."""
+        return self.matrix.sum(axis=1)
+
+    @property
+    def accuracy(self) -> float:
+        total = self.matrix.sum()
+        return float(np.trace(self.matrix) / total) if total else 0.0
+
+    @property
+    def recall(self) -> np.ndarray:
+        """Per-class recall (0 where the class has no examples)."""
+        denom = self.matrix.sum(axis=1)
+        return np.divide(np.diag(self.matrix), denom,
+                         out=np.zeros(self.num_classes), where=denom > 0)
+
+    @property
+    def precision(self) -> np.ndarray:
+        """Per-class precision (0 where the class is never predicted)."""
+        denom = self.matrix.sum(axis=0)
+        return np.divide(np.diag(self.matrix), denom,
+                         out=np.zeros(self.num_classes), where=denom > 0)
+
+    @property
+    def f1(self) -> np.ndarray:
+        p, r = self.precision, self.recall
+        denom = p + r
+        return np.divide(2 * p * r, denom, out=np.zeros(self.num_classes),
+                         where=denom > 0)
+
+    @property
+    def macro_f1(self) -> float:
+        """Unweighted mean F1 — sensitive to a single collapsed class."""
+        return float(self.f1.mean())
+
+    def worst_class(self) -> int:
+        """The class with the lowest recall (the fault-study headline)."""
+        return int(np.argmin(self.recall))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "macro_f1": self.macro_f1,
+            "worst_class_recall": float(self.recall.min(initial=0.0)),
+        }
+
+
+def classification_report(labels: np.ndarray, predictions: np.ndarray,
+                          num_classes: Optional[int] = None
+                          ) -> ClassificationReport:
+    """Build a :class:`ClassificationReport` from labels and predictions."""
+    return ClassificationReport(confusion_matrix(labels, predictions,
+                                                 num_classes))

@@ -1,0 +1,217 @@
+"""Benchmark network families from the paper.
+
+The paper evaluates LeNet-5 (MNIST), VGG-16 (CIFAR-10/100) and ResNet-18/50
+(CIFAR-10/100/ImageNet).  We implement the same topologies with a width
+multiplier so the experiments stay laptop-trainable on the numpy substrate;
+``width_mult=1.0`` recovers the standard channel counts.
+
+The important structural properties for FORMS are preserved at every width:
+convolution stacks whose im2col matrices are cut into fragments, residual
+blocks (BasicBlock for ResNet-18, Bottleneck for ResNet-50), batch norm, and
+a final linear classifier.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .layers import (AvgPool2d, BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d,
+                     Linear, MaxPool2d, Module, ReLU, Sequential)
+from .tensor import Tensor
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    return max(4, int(round(channels * width_mult)))
+
+
+class LeNet5(Module):
+    """LeNet-5 as used for the paper's MNIST rows (Table I)."""
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 1,
+                 image_size: int = 16, width_mult: float = 1.0):
+        super().__init__()
+        c1 = _scaled(6, width_mult)
+        c2 = _scaled(16, width_mult)
+        self.features = Sequential(
+            Conv2d(in_channels, c1, kernel_size=5, padding=2), ReLU(), MaxPool2d(2),
+            Conv2d(c1, c2, kernel_size=5, padding=2), ReLU(), MaxPool2d(2),
+        )
+        spatial = image_size // 4
+        flat = c2 * spatial * spatial
+        f1 = _scaled(120, width_mult)
+        f2 = _scaled(84, width_mult)
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(flat, f1), ReLU(),
+            Linear(f1, f2), ReLU(),
+            Linear(f2, num_classes),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+# VGG configurations: channel counts with 'M' marking 2x2 max-pool.
+VGG_CONFIGS = {
+    "VGG11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "VGG16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+}
+
+
+class VGG(Module):
+    """VGG-style plain conv stack (paper: VGG-16 on CIFAR-10/100)."""
+
+    def __init__(self, config: str = "VGG16", num_classes: int = 10,
+                 in_channels: int = 3, image_size: int = 16,
+                 width_mult: float = 1.0, batch_norm: bool = True):
+        super().__init__()
+        if config not in VGG_CONFIGS:
+            raise KeyError(f"unknown VGG config {config!r}")
+        layers: List[Module] = []
+        channels = in_channels
+        spatial = image_size
+        for item in VGG_CONFIGS[config]:
+            if item == "M":
+                if spatial >= 2:
+                    layers.append(MaxPool2d(2))
+                    spatial //= 2
+                continue
+            out_ch = _scaled(int(item), width_mult)
+            layers.append(Conv2d(channels, out_ch, kernel_size=3, padding=1, bias=not batch_norm))
+            if batch_norm:
+                layers.append(BatchNorm2d(out_ch))
+            layers.append(ReLU())
+            channels = out_ch
+        self.features = Sequential(*layers)
+        self.classifier = Sequential(Flatten(), Linear(channels * spatial * spatial, num_classes))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+class BasicBlock(Module):
+    """ResNet-18/34 residual block (two 3x3 convolutions)."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels * self.expansion:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels * self.expansion, 1, stride=stride, bias=False),
+                BatchNorm2d(out_channels * self.expansion))
+        else:
+            self.shortcut = Sequential()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class Bottleneck(Module):
+    """ResNet-50 residual block (1x1 reduce, 3x3, 1x1 expand)."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 1, bias=False)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=stride, padding=1, bias=False)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.conv3 = Conv2d(out_channels, out_channels * self.expansion, 1, bias=False)
+        self.bn3 = BatchNorm2d(out_channels * self.expansion)
+        if stride != 1 or in_channels != out_channels * self.expansion:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels * self.expansion, 1, stride=stride, bias=False),
+                BatchNorm2d(out_channels * self.expansion))
+        else:
+            self.shortcut = Sequential()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNet(Module):
+    """CIFAR-style ResNet (3x3 stem, four stages, global average pool)."""
+
+    def __init__(self, block, num_blocks: Sequence[int], num_classes: int = 10,
+                 in_channels: int = 3, width_mult: float = 1.0):
+        super().__init__()
+        widths = [_scaled(w, width_mult) for w in (64, 128, 256, 512)]
+        self.in_planes = widths[0]
+        self.conv1 = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False)
+        self.bn1 = BatchNorm2d(widths[0])
+        self.layer1 = self._make_stage(block, widths[0], num_blocks[0], stride=1)
+        self.layer2 = self._make_stage(block, widths[1], num_blocks[1], stride=2)
+        self.layer3 = self._make_stage(block, widths[2], num_blocks[2], stride=2)
+        self.layer4 = self._make_stage(block, widths[3], num_blocks[3], stride=2)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(widths[3] * block.expansion, num_classes)
+
+    def _make_stage(self, block, planes: int, count: int, stride: int) -> Sequential:
+        strides = [stride] + [1] * (count - 1)
+        stage = Sequential()
+        for s in strides:
+            stage.append(block(self.in_planes, planes, stride=s))
+            self.in_planes = planes * block.expansion
+        return stage
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.layer1(out)
+        out = self.layer2(out)
+        out = self.layer3(out)
+        out = self.layer4(out)
+        return self.fc(self.pool(out))
+
+
+def resnet18(num_classes: int = 10, in_channels: int = 3, width_mult: float = 1.0,
+             blocks_per_stage: int = 2) -> ResNet:
+    """ResNet-18 topology (two BasicBlocks per stage at full depth)."""
+    return ResNet(BasicBlock, [blocks_per_stage] * 4, num_classes, in_channels, width_mult)
+
+
+def resnet50(num_classes: int = 10, in_channels: int = 3, width_mult: float = 1.0,
+             num_blocks: Sequence[int] = (3, 4, 6, 3)) -> ResNet:
+    """ResNet-50 topology (Bottleneck blocks, [3,4,6,3] at full depth)."""
+    return ResNet(Bottleneck, list(num_blocks), num_classes, in_channels, width_mult)
+
+
+def resnet20(num_classes: int = 10, in_channels: int = 3, width_mult: float = 1.0) -> ResNet:
+    """Shallow BasicBlock ResNet used by the FPGM baseline rows."""
+    return ResNet(BasicBlock, [1, 1, 1, 1], num_classes, in_channels, width_mult)
+
+
+def build_model(name: str, num_classes: int, in_channels: int, image_size: int,
+                width_mult: float = 1.0, depth_scale: float = 1.0) -> Module:
+    """Build a named benchmark model scaled for the numpy substrate.
+
+    ``depth_scale`` < 1 reduces blocks-per-stage for the ResNets (topology
+    family preserved); ``width_mult`` scales channel counts everywhere.
+    """
+    name = name.lower()
+    if name == "lenet5":
+        return LeNet5(num_classes, in_channels, image_size, width_mult)
+    if name in ("vgg11", "vgg16"):
+        return VGG(name.upper(), num_classes, in_channels, image_size, width_mult)
+    if name == "resnet18":
+        blocks = max(1, int(round(2 * depth_scale)))
+        return resnet18(num_classes, in_channels, width_mult, blocks_per_stage=blocks)
+    if name == "resnet20":
+        return resnet20(num_classes, in_channels, width_mult)
+    if name == "resnet50":
+        full = (3, 4, 6, 3)
+        blocks = tuple(max(1, int(round(b * depth_scale))) for b in full)
+        return resnet50(num_classes, in_channels, width_mult, num_blocks=blocks)
+    raise KeyError(f"unknown model {name!r}")

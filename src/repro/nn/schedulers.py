@@ -1,0 +1,133 @@
+"""Learning-rate schedules for the training substrate.
+
+The ADMM phases and the paper's baseline training runs benefit from decayed
+learning rates (the reference works train with multi-step and cosine
+schedules).  All schedulers share the convention of
+:class:`repro.nn.optim.StepLR`: call :meth:`step` once per finished epoch;
+``lr_at(0)`` is the optimizer's initial rate.
+
+The base class computes rates *functionally* from the epoch counter (rather
+than multiplying in place), so a schedule can be inspected before training
+and composed with :class:`WarmupLR`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: functional epoch -> learning-rate mapping."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate after ``epoch`` completed epochs."""
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and write the new rate into the optimizer."""
+        self._epoch += 1
+        self.optimizer.lr = self.lr_at(self._epoch)
+
+    def preview(self, epochs: int) -> List[float]:
+        """The schedule's rates for epochs ``0 .. epochs - 1`` (inspection)."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        return [self.lr_at(e) for e in range(epochs)]
+
+
+class MultiStepLR(LRScheduler):
+    """Decay by ``gamma`` at each milestone epoch (reference CNN recipes)."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int],
+                 gamma: float = 0.1):
+        super().__init__(optimizer)
+        if not milestones:
+            raise ValueError("need at least one milestone")
+        ordered = sorted(milestones)
+        if ordered[0] <= 0:
+            raise ValueError("milestones must be positive epochs")
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("milestones must be distinct")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.milestones = ordered
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if m <= epoch)
+        return self.base_lr * self.gamma ** passed
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        super().__init__(optimizer)
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Half-cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs.
+
+    Past ``t_max`` the rate stays at ``eta_min`` (no restarts).
+    """
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        if eta_min < 0 or eta_min > optimizer.lr:
+            raise ValueError("eta_min must lie in [0, base_lr]")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch >= self.t_max:
+            return self.eta_min
+        cosine = (1.0 + math.cos(math.pi * epoch / self.t_max)) / 2.0
+        return self.eta_min + (self.base_lr - self.eta_min) * cosine
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup composed in front of another schedule.
+
+    Epochs ``1 .. warmup_epochs`` ramp linearly from ``base/warmup`` to the
+    base rate; afterwards the wrapped schedule runs with its epoch counter
+    shifted so its own epoch 0 lands right after the warmup.
+    """
+
+    def __init__(self, inner: LRScheduler, warmup_epochs: int):
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        super().__init__(inner.optimizer)
+        self.inner = inner
+        self.warmup_epochs = warmup_epochs
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / (self.warmup_epochs + 1)
+        return self.inner.lr_at(epoch - self.warmup_epochs)
+
+
+class ConstantLR(LRScheduler):
+    """No decay — the explicit identity schedule (useful as a default)."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr

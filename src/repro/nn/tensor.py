@@ -1,0 +1,527 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` training substrate.  The
+FORMS paper trains its models with PyTorch; offline we provide an equivalent
+(but intentionally small) autograd engine.  A :class:`Tensor` wraps a numpy
+array, records the operations applied to it, and :meth:`Tensor.backward`
+propagates gradients through the recorded graph in reverse topological order.
+
+Only the primitives needed by the layers in :mod:`repro.nn.functional` are
+implemented, but each primitive supports full numpy broadcasting with correct
+gradient reduction (see :func:`unbroadcast`).
+
+Example
+-------
+>>> from repro.nn.tensor import Tensor
+>>> x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad.tolist()
+[2.0, 4.0, 6.0]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float32
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Mirrors ``torch.no_grad``: inside the block, results of tensor operations
+    do not require grad and no backward closures are recorded.  Used by
+    evaluation loops and by the ADMM projection steps (which must modify
+    weights out-of-graph).
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _grad_enabled
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches ``shape``.
+
+    When an operand was broadcast during the forward pass, its gradient must
+    be summed over the broadcast axes.  This implements the inverse of numpy
+    broadcasting.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    if isinstance(value, (np.ndarray, np.generic)):
+        # Preserve the dtype of numpy arrays AND scalars (a full-reduction
+        # like ``t.sum()`` yields a 0-d numpy scalar whose precision must
+        # survive — silently downcasting float64 graphs breaks grad checks).
+        array = np.asarray(value)
+        if dtype is not None and array.dtype != dtype:
+            return array.astype(dtype)
+        return array
+    return np.asarray(value, dtype=dtype or DEFAULT_DTYPE)
+
+
+class Tensor:
+    """A numpy-backed array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array (or nested sequence / scalar) holding the values.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, dtype=None):
+        self.data: np.ndarray = _as_array(data, dtype)
+        self.requires_grad: bool = bool(requires_grad) and _grad_enabled
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self._op: str = ""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a view of this tensor cut off from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Tuple["Tensor", ...], op: str,
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=False)
+        out.requires_grad = requires
+        if requires:
+            out._backward = backward
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (appropriate for scalar losses).  Gradients
+        accumulate into ``.grad`` of leaf tensors (those created directly by
+        the user, e.g. parameters); interior nodes use ``.grad`` only as
+        transient staging and are cleared as the sweep consumes them.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            seed = np.ones_like(self.data)
+        else:
+            seed = _as_array(grad, self.data.dtype)
+            if seed.shape != self.data.shape:
+                raise ValueError(f"gradient shape {seed.shape} does not match tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        _push(self, seed)
+        for node in reversed(topo):
+            if node._backward is None:
+                continue  # leaf: gradient already accumulated by _push
+            node_grad = node.grad
+            if node_grad is None:
+                continue  # not on any path contributing to the output
+            node.grad = None  # interior staging is consumed exactly once
+            node._backward(node_grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic primitives
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.dtype)
+        data = self.data + other_t.data
+        parents = (self, other_t)
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, unbroadcast(grad, self.shape))
+            _push(other_t, unbroadcast(grad, other_t.shape))
+
+        return Tensor._make(data, parents, "add", backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            _push(self, -grad)
+
+        return Tensor._make(-self.data, (self,), "neg", backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.dtype)
+        data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, unbroadcast(grad, self.shape))
+            _push(other_t, unbroadcast(-grad, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), "sub", backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other, dtype=self.dtype) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.dtype)
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, unbroadcast(grad * other_t.data, self.shape))
+            _push(other_t, unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), "mul", backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.dtype)
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, unbroadcast(grad / other_t.data, self.shape))
+            _push(other_t, unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape))
+
+        return Tensor._make(data, (self, other_t), "div", backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other, dtype=self.dtype) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), "pow", backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.dtype)
+        data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                a, b = grad, other_t.data
+                if b.ndim == 1:
+                    ga = np.outer(grad, b) if self.data.ndim == 2 else grad[..., None] * b
+                else:
+                    ga = a @ np.swapaxes(b, -1, -2)
+                _push(self, unbroadcast(ga, self.shape))
+            if other_t.requires_grad:
+                if self.data.ndim == 1:
+                    gb = np.outer(self.data, grad)
+                else:
+                    gb = np.swapaxes(self.data, -1, -2) @ grad
+                _push(other_t, unbroadcast(gb, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), "matmul", backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad * data)
+
+        return Tensor._make(data, (self,), "exp", backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), "log", backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad / (2.0 * data))
+
+        return Tensor._make(data, (self,), "sqrt", backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad * (1.0 - data ** 2))
+
+        return Tensor._make(data, (self,), "tanh", backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad * mask)
+
+        return Tensor._make(data, (self,), "relu", backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), "sigmoid", backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), "abs", backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad * mask)
+
+        return Tensor._make(data, (self,), "clip", backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+            _push(self, np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(data, (self,), "sum", backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded)
+            # Distribute equally among ties (matches numpy/torch convention of
+            # subgradient choice closely enough for training).
+            counts = mask.sum(axis=axis, keepdims=True)
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+            _push(self, mask * (g / counts))
+
+        return Tensor._make(data, (self,), "max", backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad.reshape(self.shape))
+
+        return Tensor._make(data, (self,), "reshape", backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), "transpose", backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            _push(self, full)
+
+        return Tensor._make(data, (self,), "getitem", backward)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two axes symmetrically by ``padding``."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.data.ndim - 2) + [(padding, padding), (padding, padding)]
+        data = np.pad(self.data, pad_width)
+        sl = tuple([slice(None)] * (self.data.ndim - 2) +
+                   [slice(padding, -padding), slice(padding, -padding)])
+
+        def backward(grad: np.ndarray) -> None:
+            _push(self, grad[sl])
+
+        return Tensor._make(data, (self,), "pad2d", backward)
+
+
+def _push(tensor: Tensor, grad: np.ndarray) -> None:
+    """Accumulate ``grad`` into ``tensor`` during an active backward pass."""
+    if not tensor.requires_grad:
+        return
+    if tensor._backward is None:
+        # Leaf: accumulate into .grad
+        tensor._accumulate(grad)
+    else:
+        # Interior node: stash on the tensor until the topological sweep
+        # reaches it.  We reuse .grad as the staging area and clear it when
+        # consumed; this is safe because interior nodes never expose .grad.
+        if tensor.grad is None:
+            tensor.grad = grad.astype(tensor.data.dtype, copy=True)
+        else:
+            tensor.grad += grad
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            sl = [slice(None)] * grad.ndim
+            sl[axis] = slice(start, stop)
+            _push(t, grad[tuple(sl)])
+
+    return Tensor._make(data, tuple(tensors), "concatenate", backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        moved = np.moveaxis(grad, axis, 0)
+        for t, g in zip(tensors, moved):
+            _push(t, g)
+
+    return Tensor._make(data, tuple(tensors), "stack", backward)

@@ -1,0 +1,171 @@
+"""Training and evaluation loops.
+
+``fit`` accepts a ``grad_hook`` called after backprop and before the optimizer
+step — this is the seam through which :class:`repro.core.admm.ADMMTrainer`
+injects the augmented-Lagrangian penalty gradient (paper Eq. 4) without the
+trainer knowing anything about constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from . import functional as F
+from .data import DataLoader, Dataset
+from .layers import Module
+from .optim import Optimizer
+from .tensor import Tensor, no_grad
+
+
+@dataclass
+class EpochStats:
+    """Loss/accuracy for one pass over a split."""
+
+    epoch: int
+    loss: float
+    accuracy: float
+
+
+@dataclass
+class History:
+    """Training trajectory returned by :func:`fit`."""
+
+    train: List[EpochStats] = field(default_factory=list)
+    test: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        if not self.test:
+            raise ValueError("no test evaluations recorded")
+        return self.test[-1].accuracy
+
+
+def evaluate(model: Module, dataset: Dataset, batch_size: int = 64) -> EpochStats:
+    """Mean loss and top-1 accuracy of ``model`` on ``dataset``."""
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    total_loss = 0.0
+    total_correct = 0.0
+    count = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            total_loss += loss.item() * len(labels)
+            total_correct += F.accuracy(logits.data, labels) * len(labels)
+            count += len(labels)
+    model.train()
+    return EpochStats(epoch=-1, loss=total_loss / count, accuracy=total_correct / count)
+
+
+def evaluate_topk(model: Module, dataset: Dataset, k: int = 5,
+                  batch_size: int = 64) -> float:
+    """Top-k accuracy (the paper reports top-5 on ImageNet)."""
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    correct = 0.0
+    count = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            correct += F.topk_accuracy(logits.data, labels, k=k) * len(labels)
+            count += len(labels)
+    model.train()
+    return correct / count
+
+
+def recalibrate_batchnorm(model: Module, dataset: Dataset, passes: int = 2,
+                          batch_size: int = 64, momentum: float = 0.3,
+                          reset: bool = True) -> None:
+    """Refresh BatchNorm running statistics with forward passes.
+
+    Weight surgery (structured pruning, polarization, quantization, variation
+    injection) shifts every layer's activation distribution, leaving the BN
+    running mean/variance stale — the model then collapses in eval mode while
+    training-mode accuracy is fine.  This burn-in recomputes the statistics
+    without touching any weights, so constraint feasibility is preserved.
+    """
+    from .layers import BatchNorm2d  # local import avoids a cycle at load time
+
+    bns = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+    if not bns:
+        return
+    saved_momentum = [bn.momentum for bn in bns]
+    for bn in bns:
+        if reset:
+            bn.running_mean[...] = 0.0
+            bn.running_var[...] = 1.0
+        bn.momentum = momentum
+    was_training = model.training
+    model.train()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    with no_grad():
+        for _ in range(max(passes, 1)):
+            for images, _ in loader:
+                model(Tensor(images))
+    for bn, m in zip(bns, saved_momentum):
+        bn.momentum = m
+    model.train(was_training)
+
+
+def fit(model: Module, train_set: Dataset, optimizer: Optimizer,
+        epochs: int, batch_size: int = 32,
+        test_set: Optional[Dataset] = None,
+        grad_hook: Optional[Callable[[], None]] = None,
+        step_hook: Optional[Callable[[], None]] = None,
+        epoch_hook: Optional[Callable[[int], None]] = None,
+        scheduler=None, seed: int = 0, verbose: bool = False) -> History:
+    """Train ``model`` with cross-entropy for ``epochs`` passes.
+
+    Parameters
+    ----------
+    grad_hook:
+        Called after ``loss.backward()`` and before ``optimizer.step()`` on
+        every batch.  Used by ADMM to add ``rho * (W - Z + U)`` to weight
+        gradients.
+    step_hook:
+        Called after ``optimizer.step()`` on every batch.  Used by masked
+        retraining to clamp weights back onto the constraint set (projected
+        SGD) — per-batch, so pruned weights never regrow.
+    epoch_hook:
+        Called with the epoch index after each epoch (ADMM uses this for
+        fragment-sign re-estimation every M epochs, Sec. III-B).
+    """
+    history = History()
+    loader = DataLoader(train_set, batch_size=batch_size, shuffle=True, seed=seed)
+    model.train()
+    for epoch in range(epochs):
+        epoch_loss = 0.0
+        epoch_correct = 0.0
+        seen = 0
+        for images, labels in loader:
+            optimizer.zero_grad()
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            loss.backward()
+            if grad_hook is not None:
+                grad_hook()
+            optimizer.step()
+            if step_hook is not None:
+                step_hook()
+            epoch_loss += loss.item() * len(labels)
+            epoch_correct += F.accuracy(logits.data, labels) * len(labels)
+            seen += len(labels)
+        if scheduler is not None:
+            scheduler.step()
+        stats = EpochStats(epoch, epoch_loss / seen, epoch_correct / seen)
+        history.train.append(stats)
+        if test_set is not None:
+            test_stats = evaluate(model, test_set, batch_size=batch_size)
+            history.test.append(EpochStats(epoch, test_stats.loss, test_stats.accuracy))
+        if epoch_hook is not None:
+            epoch_hook(epoch)
+        if verbose:
+            msg = f"epoch {epoch}: train loss {stats.loss:.4f} acc {stats.accuracy:.3f}"
+            if test_set is not None:
+                msg += f" | test acc {history.test[-1].accuracy:.3f}"
+            print(msg)
+    return history

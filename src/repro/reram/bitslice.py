@@ -1,0 +1,55 @@
+"""Bit-slicing of integer weights across multi-level ReRAM cells.
+
+An 8-bit weight magnitude on 2-bit cells occupies four adjacent cells in the
+same crossbar row (paper Sec. IV-A: "each fragment will still have m rows,
+but 4 columns instead of 1").  Slices are stored little-endian: slice k holds
+bits ``[k*cell_bits, (k+1)*cell_bits)`` and carries weight ``2**(k*cell_bits)``
+in the shift-and-add recombination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def num_slices(weight_bits: int, cell_bits: int) -> int:
+    """Cells per weight magnitude (ceil division)."""
+    if weight_bits < 1 or cell_bits < 1:
+        raise ValueError("bit widths must be >= 1")
+    return -(-weight_bits // cell_bits)
+
+
+def bit_slice(values: np.ndarray, cell_bits: int, slices: int) -> np.ndarray:
+    """Slice non-negative integers into per-cell codes.
+
+    Returns shape ``values.shape + (slices,)`` with codes in
+    ``[0, 2**cell_bits)``, little-endian.
+    """
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        raise TypeError("bit_slice expects integer values")
+    if values.size and values.min() < 0:
+        raise ValueError("bit_slice expects non-negative magnitudes")
+    limit = 1 << (cell_bits * slices)
+    if values.size and values.max() >= limit:
+        raise ValueError(f"values exceed {slices} slices of {cell_bits} bits")
+    mask = (1 << cell_bits) - 1
+    out = np.empty(values.shape + (slices,), dtype=np.int64)
+    shifted = values.astype(np.int64)
+    for k in range(slices):
+        out[..., k] = shifted & mask
+        shifted = shifted >> cell_bits
+    return out
+
+
+def bit_unslice(codes: np.ndarray, cell_bits: int) -> np.ndarray:
+    """Recombine per-cell codes back into integers (inverse of bit_slice)."""
+    codes = np.asarray(codes)
+    slices = codes.shape[-1]
+    weights = (1 << (cell_bits * np.arange(slices))).astype(np.int64)
+    return (codes.astype(np.int64) * weights).sum(axis=-1)
+
+
+def slice_weights(place_values: int, cell_bits: int) -> np.ndarray:
+    """Shift-and-add place values ``2**(k*cell_bits)`` for ``place_values`` slices."""
+    return (1 << (cell_bits * np.arange(place_values))).astype(np.int64)

@@ -1,0 +1,97 @@
+"""Crossbar arrays and sub-array partitioning.
+
+A :class:`CrossbarArray` is a physical grid of programmed cells; its in-situ
+primitive is the analog MVM ``I = V_in^T * G`` performed by driving word lines
+and sensing column currents.  FORMS partitions each physical array into
+logical ``m x n`` sub-arrays (paper Fig. 5): computation is fine-grained — one
+fragment (sub-array column) per ADC conversion — while the physical array
+amortizes drivers and routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .device import DeviceSpec, ReRAMDevice, codes_to_digital
+
+
+class CrossbarArray:
+    """A programmed grid of ReRAM cells supporting analog MVM."""
+
+    def __init__(self, codes: np.ndarray, device: ReRAMDevice):
+        codes = np.asarray(codes)
+        if codes.ndim != 2:
+            raise ValueError("crossbar codes must be 2-D (rows, cols)")
+        self.codes = codes.astype(np.int64)
+        self.device = device
+        self.conductance = device.program(self.codes)
+
+    @property
+    def rows(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.codes.shape[1]
+
+    def analog_mvm(self, activation_bits: np.ndarray) -> np.ndarray:
+        """Column currents for a 0/1 word-line pattern ``(rows,)`` or ``(rows, batch)``.
+
+        Returns ``(cols,)`` or ``(cols, batch)`` currents.
+        """
+        activation_bits = np.asarray(activation_bits, dtype=np.float64)
+        if activation_bits.shape[0] != self.rows:
+            raise ValueError(f"activation rows {activation_bits.shape[0]} != crossbar rows {self.rows}")
+        currents = np.tensordot(self.conductance, activation_bits, axes=([0], [0]))
+        return self.device.spec.read_voltage * currents
+
+    def digital_mvm(self, activation_bits: np.ndarray) -> np.ndarray:
+        """Analog MVM followed by pedestal removal: estimates ``codes^T @ bits``.
+
+        The active-row count used for pedestal removal comes from the digital
+        input side (free — the zero-skip logic already sees every bit).
+        """
+        currents = self.analog_mvm(activation_bits)
+        active = np.asarray(activation_bits).sum(axis=0)
+        return codes_to_digital(currents, self.device.spec, active)
+
+
+@dataclass(frozen=True)
+class SubArrayLayout:
+    """Partition of a physical crossbar into logical m x n sub-arrays."""
+
+    array_rows: int = 128
+    array_cols: int = 128
+    sub_rows: int = 8      # the fragment size m
+    sub_cols: int = 128    # n; FORMS keeps full-width columns per sub-array
+
+    def __post_init__(self):
+        if self.sub_rows < 1 or self.sub_cols < 1:
+            raise ValueError("sub-array dimensions must be positive")
+        if self.sub_rows > self.array_rows or self.sub_cols > self.array_cols:
+            raise ValueError("sub-array cannot exceed the physical array")
+
+    @property
+    def subarrays_per_column_strip(self) -> int:
+        """Vertical sub-arrays stacked in the physical array (paper's q)."""
+        return self.array_rows // self.sub_rows
+
+    @property
+    def column_strips(self) -> int:
+        """Horizontal sub-array strips (paper's p)."""
+        return self.array_cols // self.sub_cols
+
+    @property
+    def subarrays_per_array(self) -> int:
+        return self.subarrays_per_column_strip * self.column_strips
+
+    def row_slices(self) -> Iterator[Tuple[int, slice]]:
+        for i in range(self.subarrays_per_column_strip):
+            yield i, slice(i * self.sub_rows, (i + 1) * self.sub_rows)
+
+    def col_slices(self) -> Iterator[Tuple[int, slice]]:
+        for j in range(self.column_strips):
+            yield j, slice(j * self.sub_cols, (j + 1) * self.sub_cols)

@@ -1,0 +1,135 @@
+"""ReRAM cell behavioural model.
+
+The paper uses the VTEAM memristor model [71] in SPICE; architecturally what
+matters is that a cell stores one of ``2**cell_bits`` discrete conductance
+levels between ``g_min`` (high-resistance state) and ``g_max`` (low-resistance
+state), that programming suffers device-to-device variation (modelled as
+multiplicative lognormal noise, following [82] and the paper's Table VI
+methodology), and that reads accumulate current ``I = V * g`` on a shared
+bit line.  This module provides exactly that behavioural surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Electrical parameters of one ReRAM cell.
+
+    Defaults are VTEAM-flavoured: R_on = 100 kOhm, R_off = 10 MOhm (on/off
+    ratio 100), 0.3 V read voltage, 2-bit cells (the paper's chosen design
+    point — Sec. IV-C explains why 2-bit beats 4/8-bit cells).
+    """
+
+    cell_bits: int = 2
+    r_on: float = 100e3
+    r_off: float = 10e6
+    read_voltage: float = 0.3
+    write_voltage: float = 2.0   # supplied by the charge pump [72]
+
+    def __post_init__(self):
+        if self.cell_bits < 1:
+            raise ValueError("cell_bits must be >= 1")
+        if self.r_on <= 0 or self.r_off <= self.r_on:
+            raise ValueError("need 0 < r_on < r_off")
+        if self.read_voltage <= 0:
+            raise ValueError("read_voltage must be positive")
+
+    @property
+    def levels(self) -> int:
+        """Number of programmable conductance states."""
+        return 2 ** self.cell_bits
+
+    @property
+    def g_min(self) -> float:
+        return 1.0 / self.r_off
+
+    @property
+    def g_max(self) -> float:
+        return 1.0 / self.r_on
+
+    @property
+    def g_step(self) -> float:
+        """Conductance difference between adjacent levels."""
+        return (self.g_max - self.g_min) / (self.levels - 1)
+
+    @property
+    def on_off_ratio(self) -> float:
+        return self.r_off / self.r_on
+
+    def ideal_conductance(self, codes: np.ndarray) -> np.ndarray:
+        """Map integer level codes ``[0, levels)`` to conductances."""
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.levels):
+            raise ValueError(f"codes must lie in [0, {self.levels})")
+        return self.g_min + codes.astype(np.float64) * self.g_step
+
+
+class ReRAMDevice:
+    """A programmable population of cells with device variation.
+
+    ``variation_sigma`` is the standard deviation of the lognormal
+    multiplicative conductance noise (paper Table VI uses mean 0, sigma 0.1 in
+    log space).  ``seed`` makes programming reproducible; each call to
+    :meth:`program` draws fresh variation (a new die).
+    """
+
+    def __init__(self, spec: DeviceSpec = DeviceSpec(),
+                 variation_sigma: float = 0.0,
+                 seed: Optional[int] = None):
+        if variation_sigma < 0:
+            raise ValueError("variation_sigma must be non-negative")
+        self.spec = spec
+        self.variation_sigma = variation_sigma
+        self._rng = np.random.default_rng(seed)
+
+    def program(self, codes: np.ndarray) -> np.ndarray:
+        """Program level codes, returning actual (noisy) conductances."""
+        ideal = self.spec.ideal_conductance(codes)
+        if self.variation_sigma == 0.0:
+            return ideal
+        noise = self._rng.lognormal(mean=0.0, sigma=self.variation_sigma,
+                                    size=ideal.shape)
+        return ideal * noise
+
+    def variation_factors(self, shape) -> np.ndarray:
+        """Draw standalone lognormal variation factors (for effective-weight
+        style variation studies that never build conductance arrays)."""
+        if self.variation_sigma == 0.0:
+            return np.ones(shape)
+        return self._rng.lognormal(mean=0.0, sigma=self.variation_sigma, size=shape)
+
+    def read_current(self, conductances: np.ndarray,
+                     active: np.ndarray) -> np.ndarray:
+        """Bit-line current for a 0/1 activation pattern.
+
+        ``active`` has shape ``(rows,)`` or matches ``conductances`` of shape
+        ``(rows, ...)``; the sum runs over the row axis (Kirchhoff's current
+        law on the shared column wire).
+        """
+        active = np.asarray(active)
+        if active.ndim == 1:
+            weighted = np.tensordot(active, conductances, axes=([0], [0]))
+        else:
+            weighted = (active * conductances).sum(axis=0)
+        return self.spec.read_voltage * weighted
+
+
+def codes_to_digital(currents: np.ndarray, spec: DeviceSpec,
+                     active_count: np.ndarray) -> np.ndarray:
+    """Convert bit-line currents back to the digital partial-sum domain.
+
+    The accumulated current is ``V * (sum_active g_min + step * sum codes)``;
+    the g_min pedestal is removed digitally using the number of active rows,
+    which the input-side logic knows for free (the same 1-counting used by
+    ISAAC's offset correction and by the zero-skip NOR tree).  Returns the
+    *analog estimate* of ``sum(codes over active rows)`` — quantization to
+    ADC levels happens separately in :mod:`repro.reram.converters`.
+    """
+    pedestal = spec.read_voltage * spec.g_min * active_count
+    return (currents - pedestal) / (spec.read_voltage * spec.g_step)

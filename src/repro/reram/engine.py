@@ -1,0 +1,246 @@
+"""Bit-serial in-situ computation engine (paper Figs. 5, 11, 12).
+
+:class:`InSituLayerEngine` executes one layer's matrix-vector products the way
+the hardware does:
+
+1. activations arrive as unsigned integers; each cycle the DACs drive one bit
+   of every input onto the word lines (LSB first);
+2. each fragment's column current is sampled, pedestal-corrected and
+   digitized by the fragment's ADC;
+3. shift-and-add recombines cell slices (x4 for 8-bit weights on 2-bit cells)
+   and input bits (x2 per cycle);
+4. the accumulation block adds or subtracts the fragment result according to
+   the sign-indicator bit (FORMS), applies the offset correction (ISAAC), or
+   subtracts the negative-plane result (PRIME dual);
+5. fragment results accumulate into the layer output.
+
+With ideal devices and sufficiently wide ADCs the engine reproduces the
+integer matmul **exactly** — the anchor correctness property of the simulator
+(see ``tests/reram/test_engine.py``).  With device variation or undersized
+ADCs, the deviation is the physically meaningful error the paper's Table VI
+and our ADC ablation measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.fragments import FragmentGeometry
+from ..core.quantization import QuantizationSpec
+from .bitslice import slice_weights
+from .converters import ADCSpec, DACSpec, SampleHold, required_adc_bits
+from .device import ReRAMDevice, codes_to_digital
+from .mapping import MappedLayer, map_layer
+
+
+class SignIndicator:
+    """1R array holding one sign bit per fragment (paper Fig. 5).
+
+    The accumulation block consults it to run its adder in add or subtract
+    mode; cost-wise it is a single resistive cell per fragment (Table III's
+    0.012 mW / 3.1e-6 mm2 row).
+    """
+
+    def __init__(self, signs: np.ndarray):
+        signs = np.asarray(signs)
+        if not np.isin(signs, (-1.0, 1.0)).all():
+            raise ValueError("signs must be +1/-1")
+        self.bits = (signs < 0).astype(np.int8)  # 1 encodes negative
+
+    def apply(self, fragment_values: np.ndarray) -> np.ndarray:
+        """Negate values of fragments whose sign bit is set.
+
+        ``fragment_values`` shaped ``(n_frag, cols, ...)`` — the leading two
+        axes must match the sign array.
+        """
+        signs = np.where(self.bits == 1, -1, 1).astype(fragment_values.dtype)
+        extra = fragment_values.ndim - signs.ndim
+        return fragment_values * signs.reshape(signs.shape + (1,) * extra)
+
+
+@dataclass
+class EngineStats:
+    """Non-ideality accounting of one engine run."""
+
+    conversions: int = 0
+    saturated: int = 0
+    cycles_fed: int = 0
+
+    @property
+    def saturation_fraction(self) -> float:
+        return self.saturated / self.conversions if self.conversions else 0.0
+
+    def merge(self, other: "EngineStats") -> None:
+        self.conversions += other.conversions
+        self.saturated += other.saturated
+        self.cycles_fed += other.cycles_fed
+
+
+class InSituLayerEngine:
+    """Computes ``levels.T @ x`` for one mapped layer via crossbar simulation.
+
+    Parameters
+    ----------
+    mapped:
+        Output of :func:`repro.reram.mapping.map_layer` for any scheme.
+    device:
+        The ReRAM population (carries variation).  Each engine instance
+        programs its own die.
+    adc:
+        ADC spec; ``None`` sizes it exactly for the worst-case fragment sum
+        (the configuration under which the engine is exact).
+    activation_bits:
+        Input bit width (paper: 16, with 8 also evaluated).
+    """
+
+    def __init__(self, mapped: MappedLayer, device: ReRAMDevice,
+                 adc: Optional[ADCSpec] = None, activation_bits: int = 16):
+        if activation_bits < 1:
+            raise ValueError("activation_bits must be >= 1")
+        self.mapped = mapped
+        self.device = device
+        self.activation_bits = activation_bits
+        spec = mapped.spec
+        geometry = mapped.geometry
+        if adc is None:
+            adc = ADCSpec(bits=required_adc_bits(geometry.fragment_size, spec.cell_bits))
+        self.adc = adc
+        self.dac = DACSpec()
+        self.sample_hold = SampleHold()
+        self.sign_indicator = (SignIndicator(mapped.signs)
+                               if mapped.signs is not None else None)
+        # Program one conductance plane per code plane (a fresh die each).
+        self.conductance: Dict[str, np.ndarray] = {
+            plane: device.program(codes) for plane, codes in mapped.code_planes.items()
+        }
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    def _plane_pass(self, plane: str, bits_stack: np.ndarray) -> np.ndarray:
+        """One bit-cycle through one conductance plane.
+
+        ``bits_stack``: (n_frag, m, positions) of 0/1.
+        Returns digital fragment values (n_frag, positions, cols) after ADC
+        and slice recombination.
+        """
+        conductance = self.conductance[plane]              # (n_frag, m, cols, slices)
+        spec = self.device.spec
+        drive = self.dac.convert(bits_stack)
+        currents = spec.read_voltage * np.einsum(
+            "fmp,fmcs->fpcs", drive, conductance, optimize=True)
+        held = self.sample_hold.hold(currents)
+        active = bits_stack.sum(axis=1)                    # (n_frag, positions)
+        analog = codes_to_digital(held, spec, active[:, :, None, None])
+        digital = self.adc.convert(analog)
+        self.stats.conversions += digital.size
+        self.stats.saturated += int((np.rint(analog) > self.adc.max_code).sum())
+        place = slice_weights(conductance.shape[-1], self.mapped.spec.cell_bits)
+        return (digital * place).sum(axis=-1)              # (n_frag, positions, cols)
+
+    def matvec_int(self, x_int: np.ndarray) -> np.ndarray:
+        """Integer MVM: returns ``(cols, positions)`` given ``(rows, positions)``.
+
+        ``x_int`` holds unsigned ``activation_bits``-bit integers in im2col
+        layout, rows already permuted to the layer's polarization policy.
+        """
+        x_int = np.asarray(x_int)
+        if not np.issubdtype(x_int.dtype, np.integer):
+            raise TypeError("engine inputs must be integer activations")
+        geometry = self.mapped.geometry
+        if x_int.ndim == 1:
+            x_int = x_int[:, None]
+        if x_int.shape[0] != geometry.rows:
+            raise ValueError(f"input rows {x_int.shape[0]} != matrix rows {geometry.rows}")
+        if x_int.min(initial=0) < 0 or x_int.max(initial=0) >= (1 << self.activation_bits):
+            raise ValueError(f"inputs outside unsigned {self.activation_bits}-bit range")
+        positions = x_int.shape[1]
+        pad = geometry.padded_rows - geometry.rows
+        if pad:
+            x_int = np.vstack([x_int, np.zeros((pad, positions), dtype=x_int.dtype)])
+        stacked = x_int.reshape(geometry.fragments_per_column,
+                                geometry.fragment_size, positions)
+
+        out = np.zeros((geometry.cols, positions), dtype=np.int64)
+        for bit in range(self.activation_bits):
+            remaining = stacked >> bit
+            if not remaining.any():
+                break  # zero-skipping: every shift register is empty
+            bits_stack = remaining & 1
+            self.stats.cycles_fed += 1
+            if self.mapped.scheme == "dual":
+                frag = (self._plane_pass("positive", bits_stack)
+                        - self._plane_pass("negative", bits_stack))
+            else:
+                frag = self._plane_pass("main", bits_stack)
+            if self.sign_indicator is not None:
+                frag = self.sign_indicator.apply(np.transpose(frag, (0, 2, 1)))
+                frag = np.transpose(frag, (0, 2, 1))
+            out += (1 << bit) * frag.sum(axis=0).T          # (cols, positions)
+        if self.mapped.scheme == "isaac_offset":
+            # Digital 1-count correction: the stored bias contributes
+            # offset * sum(inputs) to every column (paper Sec. II-B).
+            input_totals = x_int.sum(axis=0).astype(np.int64)
+            out -= self.mapped.offset * input_totals[None, :]
+        return out
+
+    def matvec_float(self, x_int: np.ndarray, weight_scale: float,
+                     activation_scale: float) -> np.ndarray:
+        """Dequantized MVM result in real units."""
+        return self.matvec_int(x_int).astype(np.float64) * weight_scale * activation_scale
+
+
+def build_engine(levels_matrix: np.ndarray, geometry: FragmentGeometry,
+                 spec: QuantizationSpec, device: ReRAMDevice,
+                 scheme: str = "forms", signs: Optional[np.ndarray] = None,
+                 adc: Optional[ADCSpec] = None,
+                 activation_bits: int = 16) -> InSituLayerEngine:
+    """Map integer levels and construct the engine in one step."""
+    if scheme == "forms" and signs is None:
+        from .mapping import infer_signs
+        signs = infer_signs(levels_matrix, geometry)
+    mapped = map_layer(levels_matrix, geometry, spec, scheme=scheme, signs=signs)
+    return InSituLayerEngine(mapped, device, adc=adc, activation_bits=activation_bits)
+
+
+# ---------------------------------------------------------------------------
+# Fast effective-weight path (network-scale variation studies, Table VI)
+# ---------------------------------------------------------------------------
+
+def effective_levels(mapped: MappedLayer, device: ReRAMDevice) -> np.ndarray:
+    """Real-valued weight levels as realized by a noisy die.
+
+    Equivalent to the bit-serial engine when ADC quantization is exact:
+    variation multiplies each cell's level code, and shift-and-add recombines
+    the noisy slices.  Note how the three schemes differ in noise coupling —
+    the ISAAC offset plane carries the large bias through the same noisy
+    cells (variation on the bias is *not* cancelled by the digital
+    correction, which subtracts the ideal offset), while FORMS stores bare
+    magnitudes.  This is the mechanism behind the robustness gap the paper
+    cites ([29]).
+    """
+    spec = mapped.spec
+    geometry = mapped.geometry
+    place = slice_weights(next(iter(mapped.code_planes.values())).shape[-1], spec.cell_bits)
+
+    def noisy_plane(codes: np.ndarray) -> np.ndarray:
+        factors = device.variation_factors(codes.shape)
+        return (codes * factors * place).sum(axis=-1)      # (n_frag, m, cols)
+
+    if mapped.scheme == "forms":
+        stack = noisy_plane(mapped.code_planes["main"])
+        signed = stack * mapped.signs[:, None, :]
+        return geometry.from_fragment_stack(signed)
+    if mapped.scheme == "isaac_offset":
+        stack = noisy_plane(mapped.code_planes["main"])
+        pad_rows = geometry.padded_rows - geometry.rows
+        corrected = stack - mapped.offset
+        if pad_rows:  # padding rows were never biased
+            corrected[-1, -pad_rows:, :] += mapped.offset
+        return geometry.from_fragment_stack(corrected)
+    # dual
+    pos = noisy_plane(mapped.code_planes["positive"])
+    neg = noisy_plane(mapped.code_planes["negative"])
+    return geometry.from_fragment_stack(pos - neg)

@@ -1,0 +1,127 @@
+"""Weight-to-crossbar mapping schemes.
+
+The paper contrasts three ways to put *signed* weights onto crossbars whose
+in-situ MVM only sums same-sign conductances:
+
+* **FORMS** (``"forms"``): weights are polarized per fragment, so only the
+  magnitude bits are stored; a 1R array holds one sign bit per fragment and
+  the accumulation block adds or subtracts (Fig. 5).  1x crossbars + tiny
+  sign indicator.
+* **ISAAC offset** (``"isaac_offset"``): every weight is stored biased by
+  ``2**(bits-1)``; the bias contribution — offset times the number of input
+  1s — is counted and subtracted digitally.  1x crossbars + offset circuitry,
+  and the large stored bias amplifies device variation.
+* **PRIME dual** (``"dual"``): positive and negative magnitudes live in two
+  separate crossbars whose results are subtracted.  2x crossbars.
+
+All three produce *identical* ideal results (property-tested); they differ
+only in cost and noise sensitivity — exactly the paper's argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.fragments import FragmentGeometry
+from ..core.quantization import QuantizationSpec
+from .bitslice import bit_slice, num_slices
+
+SCHEMES = ("forms", "isaac_offset", "dual")
+
+
+@dataclass
+class MappedLayer:
+    """Cell codes (and digital metadata) for one layer under one scheme.
+
+    ``code_planes`` maps plane name -> integer codes shaped
+    ``(n_fragments, fragment_size, cols, slices)``; FORMS and ISAAC have one
+    plane (``"main"``), the dual scheme has ``"positive"`` and ``"negative"``.
+    """
+
+    scheme: str
+    geometry: FragmentGeometry
+    spec: QuantizationSpec
+    code_planes: Dict[str, np.ndarray]
+    signs: Optional[np.ndarray] = None     # (n_frag, cols), FORMS only
+    offset: int = 0                        # ISAAC bias per weight
+
+    @property
+    def crossbar_copies(self) -> int:
+        return len(self.code_planes)
+
+    @property
+    def slices(self) -> int:
+        return next(iter(self.code_planes.values())).shape[-1]
+
+
+def _stack_levels(levels_matrix: np.ndarray, geometry: FragmentGeometry) -> np.ndarray:
+    """Fragment-stack an integer matrix, padding with zeros."""
+    return geometry.fragment_stack(levels_matrix).astype(np.int64)
+
+
+def map_layer(levels_matrix: np.ndarray, geometry: FragmentGeometry,
+              spec: QuantizationSpec, scheme: str = "forms",
+              signs: Optional[np.ndarray] = None) -> MappedLayer:
+    """Produce crossbar cell codes for integer weight ``levels_matrix``.
+
+    ``levels_matrix`` is the policy-ordered 2-D matrix of integer levels in
+    ``[-qmax, qmax]`` (shape ``(rows, cols)``).  For the FORMS scheme the
+    matrix must be fragment-polarized and ``signs`` must be supplied (or
+    inferable): storing magnitudes only is *valid* only because every
+    fragment is single-signed.
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; options: {SCHEMES}")
+    levels_matrix = np.asarray(levels_matrix)
+    if not np.issubdtype(levels_matrix.dtype, np.integer):
+        raise TypeError("map_layer expects integer weight levels")
+    if levels_matrix.shape != (geometry.rows, geometry.cols):
+        raise ValueError(f"levels shape {levels_matrix.shape} != "
+                         f"({geometry.rows}, {geometry.cols})")
+    qmax = spec.qmax
+    if np.abs(levels_matrix).max(initial=0) > qmax:
+        raise ValueError(f"levels exceed the {spec.weight_bits}-bit range")
+    slices = num_slices(spec.weight_bits, spec.cell_bits)
+    stack = _stack_levels(levels_matrix, geometry)
+
+    if scheme == "forms":
+        if signs is None:
+            raise ValueError("FORMS mapping requires fragment signs")
+        agree = stack * signs[:, None, :].astype(np.int64) >= 0
+        if not agree.all():
+            raise ValueError(
+                "FORMS mapping requires polarized weights: found fragment "
+                "entries whose sign disagrees with the fragment sign")
+        magnitudes = np.abs(stack)
+        codes = bit_slice(magnitudes, spec.cell_bits, slices)
+        return MappedLayer(scheme, geometry, spec, {"main": codes}, signs=signs)
+
+    if scheme == "isaac_offset":
+        offset = 2 ** (spec.weight_bits - 1)
+        biased = stack + offset
+        # Zero-pad fragments must stay at code 0 (no device is programmed),
+        # so remove the bias there; their inputs are structurally zero.
+        pad_rows = geometry.padded_rows - geometry.rows
+        if pad_rows:
+            biased[-1, -pad_rows:, :] = 0
+        # Biased values lie in [1, 2**bits - 1], which fits the same slice
+        # count as FORMS magnitudes (2**bits - 1 < 2**(cell_bits * slices)).
+        codes = bit_slice(biased, spec.cell_bits, slices)
+        return MappedLayer(scheme, geometry, spec, {"main": codes}, offset=offset)
+
+    # dual (PRIME-style)
+    positive = np.where(stack > 0, stack, 0)
+    negative = np.where(stack < 0, -stack, 0)
+    return MappedLayer(scheme, geometry, spec, {
+        "positive": bit_slice(positive, spec.cell_bits, slices),
+        "negative": bit_slice(negative, spec.cell_bits, slices),
+    })
+
+
+def infer_signs(levels_matrix: np.ndarray, geometry: FragmentGeometry) -> np.ndarray:
+    """Fragment signs inferred from a polarized integer matrix (sum rule)."""
+    stack = _stack_levels(levels_matrix, geometry)
+    return np.where(stack.sum(axis=1) >= 0, 1.0, -1.0)

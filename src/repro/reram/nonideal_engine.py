@@ -1,0 +1,128 @@
+"""Bit-serial engine with physical non-idealities in the signal path.
+
+:class:`NonidealEngine` extends the exact :class:`InSituLayerEngine` with the
+device/circuit effects of :mod:`repro.reram.nonideal`, applied where the
+physics puts them:
+
+* **stuck-at faults** hit the cell codes at programming time (before the
+  conductance plane is written);
+* **IR drop + nonlinear cell I-V** perturb the analog column currents of
+  every bit-serial cycle — evaluated per fragment with the first-order
+  network model (the fragment's m rows and its column wiring are the
+  sub-array's electrical extent);
+* **read noise** adds to the sensed current at the sample-and-hold.
+
+With every knob off the engine is bit-exact (inherits the anchor property);
+each knob degrades the output in a measurable, attributable way — the
+methodology behind the paper's Table VI extended to the full signal path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .converters import ADCSpec
+from .device import ReRAMDevice
+from .engine import InSituLayerEngine
+from .mapping import MappedLayer
+from .nonideal import CellIV, FaultModel, ReadNoise, WireModel, first_order_currents
+
+
+class NonidealEngine(InSituLayerEngine):
+    """The in-situ engine with faults, IR drop, cell nonlinearity and noise.
+
+    Parameters beyond :class:`InSituLayerEngine`:
+
+    fault_model:
+        Stuck-at fault injector applied to every code plane at programming
+        time; the realized fault fraction is recorded in ``fault_fraction``.
+    wire, cell_iv:
+        Wire parasitics and cell I-V curve for the per-fragment IR-drop
+        model.  Both must be given to enable the analog-network path;
+        ``cell_iv`` may be linear (superposition applies *within* one
+        fragment conversion — across fragments FORMS converts separately,
+        which is exactly the granularity advantage).
+    read_noise:
+        Additive Gaussian current noise at the sample-and-hold.
+    """
+
+    def __init__(self, mapped: MappedLayer, device: ReRAMDevice,
+                 adc: Optional[ADCSpec] = None, activation_bits: int = 16,
+                 fault_model: Optional[FaultModel] = None,
+                 wire: Optional[WireModel] = None,
+                 cell_iv: Optional[CellIV] = None,
+                 read_noise: Optional[ReadNoise] = None):
+        if (wire is None) != (cell_iv is None):
+            raise ValueError("wire and cell_iv must be supplied together")
+        self.fault_fraction = 0.0
+        if fault_model is not None:
+            faulty_planes = {}
+            total = faulted = 0
+            for plane, codes in mapped.code_planes.items():
+                mask = fault_model.sample(codes.shape)
+                faulty_planes[plane] = FaultModel.apply_to_codes(
+                    codes, mask, device.spec.levels)
+                total += mask.size
+                faulted += int((mask != 0).sum())
+            mapped = MappedLayer(scheme=mapped.scheme, geometry=mapped.geometry,
+                                 spec=mapped.spec, code_planes=faulty_planes,
+                                 signs=mapped.signs, offset=mapped.offset)
+            self.fault_fraction = faulted / total if total else 0.0
+        super().__init__(mapped, device, adc=adc,
+                         activation_bits=activation_bits)
+        self.wire = wire
+        self.cell_iv = cell_iv
+        self.read_noise = read_noise
+
+    # ------------------------------------------------------------------
+    def _analog_currents(self, plane: str, bits_stack: np.ndarray) -> np.ndarray:
+        """Column currents of one bit-cycle, with the configured physics.
+
+        Returns shape ``(n_frag, positions, cols, slices)`` like the parent's
+        internal convention.
+        """
+        conductance = self.conductance[plane]     # (n_frag, m, cols, slices)
+        spec = self.device.spec
+        drive = self.dac.convert(bits_stack)      # (n_frag, m, positions)
+        if self.wire is None:
+            currents = spec.read_voltage * np.einsum(
+                "fmp,fmcs->fpcs", drive, conductance, optimize=True)
+        else:
+            n_frag, m, cols, slices = conductance.shape
+            flat = conductance.reshape(n_frag, m, cols * slices)
+            currents = np.empty((n_frag, drive.shape[-1], cols, slices))
+            for f in range(n_frag):
+                out = first_order_currents(flat[f],
+                                           spec.read_voltage * drive[f],
+                                           self.wire, cell_iv=self.cell_iv)
+                currents[f] = out.reshape(cols, slices, -1).transpose(2, 0, 1)
+        if self.read_noise is not None:
+            currents = self.read_noise.apply(currents)
+        return currents
+
+    def _plane_pass(self, plane: str, bits_stack: np.ndarray) -> np.ndarray:
+        from .bitslice import slice_weights
+        from .device import codes_to_digital
+
+        currents = self._analog_currents(plane, bits_stack)
+        held = self.sample_hold.hold(currents)
+        active = bits_stack.sum(axis=1)
+        analog = codes_to_digital(held, self.device.spec,
+                                  active[:, :, None, None])
+        digital = self.adc.convert(analog)
+        self.stats.conversions += digital.size
+        self.stats.saturated += int((np.rint(analog) > self.adc.max_code).sum())
+        place = slice_weights(self.conductance[plane].shape[-1],
+                              self.mapped.spec.cell_bits)
+        return (digital * place).sum(axis=-1)
+
+
+def output_error(engine: InSituLayerEngine, reference: InSituLayerEngine,
+                 x_int: np.ndarray) -> float:
+    """Relative L1 error of ``engine`` against a reference engine's output."""
+    noisy = engine.matvec_int(x_int).astype(np.float64)
+    exact = reference.matvec_int(x_int).astype(np.float64)
+    denom = np.abs(exact).sum()
+    return float(np.abs(noisy - exact).sum() / denom) if denom else 0.0

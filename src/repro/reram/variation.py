@@ -1,0 +1,100 @@
+"""Device-variation injection at network scale (paper Table VI).
+
+Builds a "noisy twin" of a trained model: every compressible layer's weights
+are quantized, mapped to cell codes under a chosen scheme, perturbed by
+lognormal device variation, recombined into effective real weights, and
+written back.  Evaluating the twin measures the end-to-end accuracy
+degradation — averaged over many dies (the paper averages 50 runs).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.fragments import FragmentGeometry
+from ..core.pipeline import FORMSConfig, LayerArtifacts, collect_layer_artifacts
+from ..nn.data import Dataset
+from ..nn.layers import Module, compressible_layers
+from ..nn.trainer import evaluate
+from .device import DeviceSpec, ReRAMDevice
+from .engine import effective_levels
+from .mapping import infer_signs, map_layer
+
+
+def clone_model(model: Module) -> Module:
+    """Deep copy of a model (weights and buffers included)."""
+    return copy.deepcopy(model)
+
+
+def apply_variation(model: Module, config: FORMSConfig, sigma: float,
+                    scheme: str = "forms", seed: int = 0,
+                    artifacts: Optional[Dict[str, LayerArtifacts]] = None) -> Module:
+    """Return a noisy twin of ``model`` as realized on one die.
+
+    ``artifacts`` may be supplied to reuse precomputed quantization scales
+    and signs (e.g. from a :class:`FORMSResult`); otherwise they are
+    collected from the model's current weights.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    noisy = clone_model(model)
+    if artifacts is None:
+        artifacts = collect_layer_artifacts(model, config)
+    device = ReRAMDevice(DeviceSpec(cell_bits=config.cell_bits),
+                         variation_sigma=sigma, seed=seed)
+    spec = config.quant_spec()
+    layers = dict(compressible_layers(noisy))
+    for name, art in artifacts.items():
+        geometry = art.geometry
+        levels_matrix = geometry.matrix(art.int_weights)
+        signs = art.signs if scheme == "forms" else None
+        mapped = map_layer(levels_matrix, geometry, spec, scheme=scheme, signs=signs)
+        noisy_levels = effective_levels(mapped, device)
+        weight = geometry.weight(noisy_levels) * art.scale
+        layers[name].weight.data[...] = weight.astype(layers[name].weight.data.dtype)
+    return noisy
+
+
+@dataclass
+class VariationResult:
+    """Accuracy statistics across simulated dies."""
+
+    clean_accuracy: float
+    noisy_accuracies: List[float]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.noisy_accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(np.std(self.noisy_accuracies))
+
+    @property
+    def mean_degradation(self) -> float:
+        """Average accuracy lost to variation (the Table VI numbers)."""
+        return self.clean_accuracy - self.mean_accuracy
+
+
+def variation_study(model: Module, config: FORMSConfig, test_set: Dataset,
+                    sigma: float = 0.1, runs: int = 10, scheme: str = "forms",
+                    seed: int = 0, batch_size: int = 64) -> VariationResult:
+    """Measure accuracy degradation under device variation over ``runs`` dies.
+
+    The clean reference uses the same quantized mapping with sigma = 0, so the
+    reported degradation isolates *variation*, not quantization.
+    """
+    artifacts = collect_layer_artifacts(model, config)
+    clean = apply_variation(model, config, 0.0, scheme=scheme, seed=seed,
+                            artifacts=artifacts)
+    clean_acc = evaluate(clean, test_set, batch_size=batch_size).accuracy
+    accuracies = []
+    for run in range(runs):
+        noisy = apply_variation(model, config, sigma, scheme=scheme,
+                                seed=seed + 1 + run, artifacts=artifacts)
+        accuracies.append(evaluate(noisy, test_set, batch_size=batch_size).accuracy)
+    return VariationResult(clean_accuracy=clean_acc, noisy_accuracies=accuracies)

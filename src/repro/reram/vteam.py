@@ -1,0 +1,309 @@
+"""VTEAM memristor dynamics (paper ref [71], Kvatinsky et al. 2015).
+
+The behavioural :mod:`repro.reram.device` model assumes cells can be set to
+any of ``2**cell_bits`` discrete conductance levels; this module supplies the
+device physics underneath that assumption.  VTEAM is a *voltage-threshold*
+memristor model: the internal state ``x`` (0 = fully ON / low resistance,
+1 = fully OFF / high resistance) only moves when the applied voltage exceeds
+a polarity-dependent threshold,
+
+    dx/dt = k_off * (v / v_off - 1)^alpha_off * f_off(x)   for v > v_off > 0
+    dx/dt = 0                                              for v_on < v < v_off
+    dx/dt = k_on  * (v / v_on  - 1)^alpha_on  * f_on(x)    for v < v_on  < 0
+
+with ``k_off > 0`` (RESET, toward high resistance) and ``k_on < 0`` (SET,
+toward low resistance), and window functions ``f_on/f_off`` that vanish at
+the state bounds.  Resistance interpolates linearly in state:
+``R(x) = r_on + x * (r_off - r_on)``.
+
+Two consequences matter architecturally and are property-tested here:
+
+* reads are non-destructive — the 0.3 V read voltage sits inside the
+  threshold window, so MVM passes never drift the stored weights;
+* writes are inherently analog — hitting one of the discrete levels of
+  :class:`~repro.reram.device.DeviceSpec` requires the closed-loop
+  program-and-verify controller (:func:`program_level`), whose pulse count
+  is the write-latency figure the charge-pump/write-driver costing uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class VTEAMParams:
+    """VTEAM model parameters.
+
+    Defaults describe a cell compatible with the behavioural
+    :class:`~repro.reram.device.DeviceSpec` defaults (100 kOhm / 10 MOhm)
+    with +/-0.5 V thresholds — safely above the 0.3 V read voltage and below
+    the 2 V charge-pump write voltage (paper Sec. V-B).  ``k_off``/``k_on``
+    are scaled so a 2 V, 10 ns write pulse moves the state by roughly a
+    quarter of its range: a full SET/RESET takes a handful of pulses, and
+    program-and-verify can bisect to intermediate levels.
+    """
+
+    v_off: float = 0.5            # RESET threshold (V, positive)
+    v_on: float = -0.5            # SET threshold (V, negative)
+    k_off: float = 5e6            # RESET rate coefficient (1/s, positive)
+    k_on: float = -5e6            # SET rate coefficient (1/s, negative)
+    alpha_off: float = 3.0        # RESET voltage nonlinearity exponent
+    alpha_on: float = 3.0         # SET voltage nonlinearity exponent
+    r_on: float = 100e3           # resistance at x = 0 (Ohm)
+    r_off: float = 10e6           # resistance at x = 1 (Ohm)
+    window_p: float = 2.0         # window polynomial order (higher = harder stop)
+
+    def __post_init__(self):
+        if not self.v_on < 0.0 < self.v_off:
+            raise ValueError("thresholds must satisfy v_on < 0 < v_off")
+        if self.k_off <= 0 or self.k_on >= 0:
+            raise ValueError("need k_off > 0 (RESET) and k_on < 0 (SET)")
+        if self.alpha_off < 1 or self.alpha_on < 1:
+            raise ValueError("alpha exponents must be >= 1")
+        if not 0 < self.r_on < self.r_off:
+            raise ValueError("need 0 < r_on < r_off")
+        if self.window_p < 1:
+            raise ValueError("window_p must be >= 1")
+
+    # -- static maps -------------------------------------------------------
+    def resistance(self, x) -> np.ndarray:
+        """Resistance at state ``x`` (linear ion-drift interpolation)."""
+        x = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+        return self.r_on + x * (self.r_off - self.r_on)
+
+    def conductance(self, x) -> np.ndarray:
+        return 1.0 / self.resistance(x)
+
+    def state_for_conductance(self, g) -> np.ndarray:
+        """Inverse of :meth:`conductance` (clipped to the valid state range)."""
+        g = np.asarray(g, dtype=np.float64)
+        if (g <= 0).any():
+            raise ValueError("conductance must be positive")
+        x = (1.0 / g - self.r_on) / (self.r_off - self.r_on)
+        return np.clip(x, 0.0, 1.0)
+
+    # -- dynamics ----------------------------------------------------------
+    def window_off(self, x) -> np.ndarray:
+        """RESET window: full speed at x = 0, stops at x = 1."""
+        x = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+        return 1.0 - x ** self.window_p
+
+    def window_on(self, x) -> np.ndarray:
+        """SET window: full speed at x = 1, stops at x = 0."""
+        x = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+        return 1.0 - (1.0 - x) ** self.window_p
+
+    def dxdt(self, x, voltage: float) -> np.ndarray:
+        """State velocity at state ``x`` under applied ``voltage``."""
+        x = np.asarray(x, dtype=np.float64)
+        if voltage > self.v_off:
+            drive = self.k_off * (voltage / self.v_off - 1.0) ** self.alpha_off
+            return drive * self.window_off(x)
+        if voltage < self.v_on:
+            drive = self.k_on * (voltage / self.v_on - 1.0) ** self.alpha_on
+            return drive * self.window_on(x)
+        return np.zeros_like(x)
+
+
+class VTEAMCell:
+    """One (or an array of) VTEAM memristor(s) with mutable internal state.
+
+    ``state`` may be a scalar or any-shaped array; all operations broadcast.
+    """
+
+    def __init__(self, params: VTEAMParams = VTEAMParams(),
+                 state: float | np.ndarray = 1.0):
+        self.params = params
+        self.state = np.clip(np.asarray(state, dtype=np.float64), 0.0, 1.0)
+        #: Joule heating accumulated by every step/pulse (summed over cells),
+        #: the quantity behind write-energy budgets: E = integral v^2 g dt.
+        self.energy_j = 0.0
+
+    # -- electrical interface ----------------------------------------------
+    @property
+    def resistance(self) -> np.ndarray:
+        return self.params.resistance(self.state)
+
+    @property
+    def conductance(self) -> np.ndarray:
+        return self.params.conductance(self.state)
+
+    def read_current(self, read_voltage: float = 0.3) -> np.ndarray:
+        """Ohmic read.  Raises if the read would disturb the state."""
+        if not self.params.v_on < read_voltage < self.params.v_off:
+            raise ValueError(
+                f"read voltage {read_voltage} V is outside the non-disturb "
+                f"window ({self.params.v_on}, {self.params.v_off})")
+        return read_voltage * self.conductance
+
+    # -- time evolution ------------------------------------------------------
+    def step(self, voltage: float, dt: float) -> np.ndarray:
+        """One explicit-Euler integration step; returns the new state."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.energy_j += float((voltage ** 2 * self.conductance).sum()) * dt
+        self.state = np.clip(self.state + self.params.dxdt(self.state, voltage) * dt,
+                             0.0, 1.0)
+        return self.state
+
+    def apply_pulse(self, voltage: float, duration: float,
+                    steps: int = 16) -> np.ndarray:
+        """Apply a rectangular voltage pulse, integrating in ``steps`` substeps.
+
+        Sub-stepping keeps the explicit Euler integration stable when a pulse
+        would otherwise traverse a large fraction of the state range at once.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        dt = duration / steps
+        for _ in range(steps):
+            self.step(voltage, dt)
+        return self.state
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop programming
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProgramScheme:
+    """Program-and-verify controller settings.
+
+    Bang-bang with pulse-width bisection: apply a SET or RESET pulse toward
+    the target, verify with a read, and halve the pulse width whenever the
+    sign of the error flips (overshoot).  ``tolerance`` is relative to the
+    cell's full conductance range.
+    """
+
+    set_voltage: float = -2.0     # toward low resistance (higher conductance)
+    reset_voltage: float = 2.0    # toward high resistance (lower conductance)
+    pulse_width_s: float = 50e-9  # initial pulse width
+    min_pulse_width_s: float = 0.5e-9
+    max_pulses: int = 200
+    tolerance: float = 0.01       # fraction of (g_max - g_min)
+
+    def __post_init__(self):
+        if self.set_voltage >= 0 or self.reset_voltage <= 0:
+            raise ValueError("set_voltage must be negative, reset_voltage positive")
+        if not 0 < self.min_pulse_width_s <= self.pulse_width_s:
+            raise ValueError("need 0 < min_pulse_width_s <= pulse_width_s")
+        if self.max_pulses < 1:
+            raise ValueError("max_pulses must be >= 1")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+
+
+@dataclass
+class ProgramResult:
+    """Outcome of one program-and-verify session."""
+
+    target_g: float
+    achieved_g: float
+    pulses: int
+    converged: bool
+    energy_j: float = 0.0   # Joule heating spent on the write pulses
+
+    @property
+    def error(self) -> float:
+        return abs(self.achieved_g - self.target_g)
+
+
+def program_level(cell: VTEAMCell, target_g: float,
+                  scheme: ProgramScheme = ProgramScheme()) -> ProgramResult:
+    """Drive ``cell`` to ``target_g`` siemens with program-and-verify writes.
+
+    ``cell`` must hold a scalar state.  Returns the achieved conductance and
+    pulse count; ``converged`` is False when ``max_pulses`` ran out first.
+    """
+    params = cell.params
+    g_min, g_max = 1.0 / params.r_off, 1.0 / params.r_on
+    if not g_min <= target_g <= g_max:
+        raise ValueError(f"target conductance {target_g:g} outside "
+                         f"[{g_min:g}, {g_max:g}]")
+    tol = scheme.tolerance * (g_max - g_min)
+    width = scheme.pulse_width_s
+    previous_sign = 0
+    energy_start = cell.energy_j
+    for pulse in range(scheme.max_pulses):
+        error = target_g - float(cell.conductance)
+        if abs(error) <= tol:
+            return ProgramResult(target_g, float(cell.conductance), pulse,
+                                 True, cell.energy_j - energy_start)
+        sign = 1 if error > 0 else -1
+        if previous_sign and sign != previous_sign:
+            width = max(width / 2.0, scheme.min_pulse_width_s)
+        previous_sign = sign
+        # Conductance too low -> SET (negative voltage); too high -> RESET.
+        voltage = scheme.set_voltage if sign > 0 else scheme.reset_voltage
+        cell.apply_pulse(voltage, width)
+    converged = abs(target_g - float(cell.conductance)) <= tol
+    return ProgramResult(target_g, float(cell.conductance), scheme.max_pulses,
+                         converged, cell.energy_j - energy_start)
+
+
+def program_codes(codes: np.ndarray, params: VTEAMParams = VTEAMParams(),
+                  cell_bits: int = 2,
+                  scheme: ProgramScheme = ProgramScheme(),
+                  initial_state: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Program an array of level codes cell by cell through the VTEAM physics.
+
+    Bridges the dynamics model to the behavioural stack: the target levels
+    are exactly :meth:`DeviceSpec.ideal_conductance`.  Returns
+    ``(conductances, pulse_counts)`` with the shapes of ``codes``.
+
+    This is the slow, physically-honest path; the behavioural
+    :class:`~repro.reram.device.ReRAMDevice` is its fast surrogate (their
+    agreement is property-tested in ``tests/reram/test_vteam.py``).
+    """
+    spec = device_spec_from_vteam(params, cell_bits)
+    targets = spec.ideal_conductance(np.asarray(codes))
+    flat_targets = targets.reshape(-1)
+    achieved = np.empty_like(flat_targets)
+    pulses = np.empty(flat_targets.shape, dtype=np.int64)
+    for i, target in enumerate(flat_targets):
+        cell = VTEAMCell(params, state=initial_state)
+        result = program_level(cell, float(target), scheme)
+        achieved[i] = result.achieved_g
+        pulses[i] = result.pulses
+    return achieved.reshape(targets.shape), pulses.reshape(targets.shape)
+
+
+def device_spec_from_vteam(params: VTEAMParams, cell_bits: int = 2,
+                           read_voltage: Optional[float] = None) -> DeviceSpec:
+    """Derive the behavioural :class:`DeviceSpec` implied by VTEAM parameters.
+
+    The read voltage defaults to 60% of the SET/RESET threshold magnitude —
+    comfortably non-disturbing while maximizing read current (signal margin
+    at the sample-and-hold).
+    """
+    if read_voltage is None:
+        read_voltage = 0.6 * min(params.v_off, -params.v_on)
+    if not params.v_on < read_voltage < params.v_off:
+        raise ValueError("read_voltage must sit inside the threshold window")
+    return DeviceSpec(cell_bits=cell_bits, r_on=params.r_on, r_off=params.r_off,
+                      read_voltage=read_voltage,
+                      write_voltage=max(abs(params.v_off), abs(params.v_on)) * 4)
+
+
+def write_latency_s(pulse_counts: np.ndarray,
+                    scheme: ProgramScheme = ProgramScheme(),
+                    verify_time_s: float = 10e-9) -> float:
+    """Worst-case write latency of a crossbar programming session.
+
+    Cells on different columns program in parallel (one write driver per
+    column); cells on the same column serialize.  For the simple upper bound
+    used by the costing model we charge the max pulse count times one
+    pulse + verify period.
+    """
+    if verify_time_s < 0:
+        raise ValueError("verify_time_s must be non-negative")
+    worst = int(np.max(pulse_counts)) if np.size(pulse_counts) else 0
+    return worst * (scheme.pulse_width_s + verify_time_s)

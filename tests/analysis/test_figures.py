@@ -1,0 +1,152 @@
+"""Text figure rendering tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.figures import (bar_chart, grouped_bar_chart, histogram,
+                                    line_chart, sparkline)
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        chart = bar_chart(["ISAAC", "FORMS-8"], [1.0, 36.02], title="Table V")
+        assert "ISAAC" in chart and "FORMS-8" in chart
+        assert "36.02" in chart
+        assert "Table V" in chart
+
+    def test_max_value_fills_width(self):
+        chart = bar_chart(["a", "b"], [5.0, 10.0], width=20)
+        lines = chart.splitlines()
+        assert "#" * 20 in lines[1]
+        assert "#" * 10 in lines[0]
+        assert "#" * 11 not in lines[0]
+
+    def test_zero_value_has_empty_bar(self):
+        chart = bar_chart(["z", "x"], [0.0, 1.0], width=10)
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_all_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "#" not in chart
+
+    def test_deterministic(self):
+        args = (["a", "b"], [1.0, 2.0])
+        assert bar_chart(*args) == bar_chart(*args)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [float("nan")])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_bar_lengths_monotone_in_value(self, values):
+        labels = [f"v{i}" for i in range(len(values))]
+        lines = bar_chart(labels, values, width=40).splitlines()
+        lengths = [line.count("#") for line in lines]
+        order = np.argsort(values)
+        sorted_lengths = [lengths[i] for i in order]
+        assert sorted_lengths == sorted(sorted_lengths)
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        chart = grouped_bar_chart(
+            ["VGG16", "ResNet18"],
+            {"ISAAC": [7.5, 11.2], "FORMS-8": [59.3, 53.2]},
+            title="Fig. 13")
+        assert "VGG16:" in chart and "ResNet18:" in chart
+        assert chart.count("ISAAC") == 2
+        assert "Fig. 13" in chart
+
+    def test_shared_scale(self):
+        chart = grouped_bar_chart(["g"], {"small": [1.0], "big": [2.0]},
+                                  width=30)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[1].count("#") == 30
+        assert lines[0].count("#") == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g"], {})
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g"], {"s": [1.0, 2.0]})
+
+
+class TestLineChart:
+    def test_contains_axis_and_legend(self):
+        chart = line_chart([4, 8, 16], {"VGG16": [77.0, 76.8, 76.5]},
+                           title="Fig. 6")
+        assert "Fig. 6" in chart
+        assert "legend" in chart
+        assert "77.0" in chart and "76.5" in chart
+        assert "4" in chart and "16" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart([1, 2], {"a": [0.0, 1.0], "b": [1.0, 0.0]})
+        assert "*" in chart and "o" in chart
+
+    def test_extremes_hit_first_and_last_rows(self):
+        chart = line_chart([0, 1], {"s": [0.0, 10.0]}, height=5, width=10)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        assert "*" in rows[0]    # max on the top row
+        assert "*" in rows[-1]   # min on the bottom row
+
+    def test_flat_series_supported(self):
+        chart = line_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            line_chart([1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0, float("inf")]})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0, 2.0]}, height=1)
+
+
+class TestHistogram:
+    def test_percentages_sum_to_hundred(self):
+        rng = np.random.default_rng(0)
+        chart = histogram(rng.normal(size=500), bins=8)
+        totals = [float(line.rsplit(" ", 1)[-1])
+                  for line in chart.splitlines() if "|" in line]
+        assert sum(totals) == pytest.approx(100.0, abs=0.5)
+
+    def test_bin_count(self):
+        chart = histogram([1, 2, 3, 4], bins=4)
+        assert sum(1 for line in chart.splitlines() if "|" in line) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_input_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        glyphs = " .:-=+*#%@"
+        positions = [glyphs.index(c) for c in line]
+        assert positions == sorted(positions)
+
+    def test_constant_input(self):
+        assert len(set(sparkline([2, 2, 2]))) == 1

@@ -1,0 +1,51 @@
+"""Report generator tests (fast artifacts only)."""
+
+import pytest
+
+from repro.analysis.report import (DEFAULT_ARTIFACTS, ReportSection,
+                                   generate_report, write_report)
+from repro.cli import run
+
+FAST_ARTIFACTS = ("table3", "table4", "dse", "irdrop")
+
+
+class TestGenerate:
+    def test_contains_every_requested_section(self):
+        report = generate_report(FAST_ARTIFACTS)
+        for name in FAST_ARTIFACTS:
+            assert f"## {name}" in report
+
+    def test_header_and_footer(self):
+        report = generate_report(("table3",))
+        assert report.startswith("# FORMS reproduction")
+        assert "1 artifacts regenerated" in report
+
+    def test_tables_fenced(self):
+        report = generate_report(("table3",))
+        assert report.count("```") == 2
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(("table99",))
+
+    def test_default_artifacts_are_registered(self):
+        from repro.cli import EXPERIMENTS
+        for name in DEFAULT_ARTIFACTS:
+            assert name in EXPERIMENTS
+
+
+class TestWrite:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "sub" / "report.md",
+                            artifacts=("table3",))
+        assert path.exists()
+        assert "# FORMS reproduction" in path.read_text()
+
+
+class TestCLIReport:
+    def test_report_command(self, capsys, tmp_path):
+        # 'report' regenerates the default fast set; table5 included.
+        assert run(["report", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# FORMS reproduction" in out
+        assert (tmp_path / "report.md").exists()

@@ -1,0 +1,42 @@
+"""Table rendering tests."""
+
+import pytest
+
+from repro.analysis import render_kv, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(set(len(l) for l in lines[2:])) <= 2  # consistent widths
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "========"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]], floatfmt=".2f")
+        assert "3.14" in out and "3.1416" not in out
+
+    def test_none_and_bool(self):
+        out = render_table(["a", "b"], [[None, True]])
+        assert "-" in out and "yes" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_integers_not_float_formatted(self):
+        out = render_table(["n"], [[128]], floatfmt=".2f")
+        assert "128" in out and "128.00" not in out
+
+
+class TestRenderKV:
+    def test_pairs(self):
+        out = render_kv("Summary", [("acc", 0.95), ("count", 3)])
+        assert "Summary" in out
+        assert "acc: 0.950" in out
+        assert "count: 3" in out

@@ -1,0 +1,47 @@
+"""Recorded-baseline registry tests."""
+
+import pytest
+
+from repro.arch import (PAPER_CLAIMS, PAPER_FPS_SPEEDUPS, PAPER_TABLE5,
+                        RECORDED_BASELINES)
+
+
+class TestRecordedBaselines:
+    def test_registry_complete(self):
+        for name in ("ISAAC", "DaDianNao", "PUMA", "TPU", "WAX", "SIMBA"):
+            assert name in RECORDED_BASELINES
+
+    def test_isaac_is_unit(self):
+        isaac = RECORDED_BASELINES["ISAAC"]
+        assert isaac.gops_per_mm2_rel == 1.0
+        assert isaac.gops_per_w_rel == 1.0
+
+    def test_simba_range_display(self):
+        simba = RECORDED_BASELINES["SIMBA"]
+        assert simba.gops_per_w_display() == "0.08-2.5"
+        assert RECORDED_BASELINES["TPU"].gops_per_w_display() == "0.48"
+
+    def test_values_match_paper_table(self):
+        for name, rec in RECORDED_BASELINES.items():
+            paper = PAPER_TABLE5[name]
+            assert rec.gops_per_mm2_rel == paper[0]
+
+
+class TestPaperReferences:
+    def test_fps_speedups_six_stacks(self):
+        for key, values in PAPER_FPS_SPEEDUPS.items():
+            assert len(values) == 6, key
+            assert all(v > 0 for v in values)
+
+    def test_paper_headline_orderings(self):
+        """Sanity: the recorded paper numbers themselves satisfy the shapes
+        we assert on our measurements."""
+        for (net, ds), (pq_isaac, pq_puma, f8, f16, f8_full, f16_full) \
+                in PAPER_FPS_SPEEDUPS.items():
+            assert pq_puma <= pq_isaac
+            assert f8 < pq_isaac                  # no-skip FORMS trails
+            assert f8_full > f8 and f16_full > f16  # zero-skip always helps
+
+    def test_claims_registry(self):
+        low, high = PAPER_CLAIMS["fps_speedup_over_optimized_isaac"]
+        assert low == 1.12 and high == 2.4

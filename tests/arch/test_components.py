@@ -1,0 +1,101 @@
+"""Component catalog and ADC scaling-law tests (Table III)."""
+
+import pytest
+
+from repro.arch import (ADCScalingModel, default_adc_model, forms_adc_spec,
+                        forms_mcu_components, isaac_adc_spec,
+                        isaac_mcu_components, table3_rows)
+from repro.arch.components import (FORMS_ADC_POINT, ISAAC_ADC_POINT,
+                                   bom_area_mm2, bom_power_mw,
+                                   forms_adc_frequency)
+
+
+class TestADCScaling:
+    def test_calibration_reproduces_anchor_points(self):
+        model = default_adc_model()
+        for bits, freq, power, area in (ISAAC_ADC_POINT, FORMS_ADC_POINT):
+            assert model.power_mw(bits, freq) == pytest.approx(power, rel=1e-9)
+            assert model.area_mm2(bits) == pytest.approx(area, rel=1e-9)
+
+    def test_coefficients_positive(self):
+        model = default_adc_model()
+        assert model.power_linear > 0 and model.power_expo > 0
+        assert model.area_linear > 0 and model.area_expo > 0
+
+    def test_monotone_in_bits(self):
+        model = default_adc_model()
+        powers = [model.power_mw(b, 1e9) for b in range(2, 10)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_exponential_dominates_at_high_bits(self):
+        model = default_adc_model()
+        # doubling resolution from 8 to 9 bits costs much more than 4 to 5
+        assert (model.power_mw(9, 1e9) - model.power_mw(8, 1e9)
+                > 2 * (model.power_mw(5, 1e9) - model.power_mw(4, 1e9)))
+
+    def test_power_linear_in_frequency(self):
+        model = default_adc_model()
+        assert model.power_mw(6, 2e9) == pytest.approx(2 * model.power_mw(6, 1e9))
+
+    def test_calibration_same_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ADCScalingModel.calibrate((4, 1e9, 1.0, 1.0), (4, 2e9, 2.0, 2.0))
+
+    def test_sar_frequency_scaling(self):
+        assert forms_adc_frequency(4) == pytest.approx(2.1e9)
+        assert forms_adc_frequency(8) == pytest.approx(1.05e9)
+        with pytest.raises(ValueError):
+            forms_adc_frequency(0)
+
+
+class TestPublishedSpecs:
+    def test_isaac_adc_row(self):
+        spec = isaac_adc_spec()
+        assert spec.power_mw == 16.0
+        assert spec.area_mm2 == 0.0096
+        assert spec.param("resolution_bits") == 8
+
+    def test_forms_adc_row_fragment8(self):
+        spec = forms_adc_spec(8)
+        assert spec.power_mw == 15.2
+        assert spec.area_mm2 == 0.0091
+        assert spec.count == 32
+
+    def test_forms_adc_derived_sizes(self):
+        smaller = forms_adc_spec(4)   # 3-bit
+        larger = forms_adc_spec(16)   # 5-bit
+        assert smaller.param("resolution_bits") == 3
+        assert larger.param("resolution_bits") == 5
+        assert smaller.area_mm2 < forms_adc_spec(8).area_mm2 < larger.area_mm2
+
+    def test_forms_bom_contains_skip_and_sign(self):
+        names = {c.name for c in forms_mcu_components(8)}
+        assert "zero-skip logic" in names and "sign indicator" in names
+
+    def test_isaac_bom_lacks_them(self):
+        names = {c.name for c in isaac_mcu_components()}
+        assert "zero-skip logic" not in names and "sign indicator" not in names
+
+    def test_mcu_power_totals_match_table4(self):
+        # Table IV: 12 FORMS MCUs = 280.05 mW, 12 ISAAC MCUs = 288.96 mW.
+        assert 12 * bom_power_mw(forms_mcu_components(8)) == pytest.approx(280.05, rel=1e-3)
+        assert 12 * bom_power_mw(isaac_mcu_components()) == pytest.approx(288.96, rel=1e-3)
+
+    def test_mcu_area_totals_match_table4(self):
+        assert 12 * bom_area_mm2(forms_mcu_components(8)) == pytest.approx(0.152, rel=1e-2)
+        assert 12 * bom_area_mm2(isaac_mcu_components()) == pytest.approx(0.158, rel=1e-2)
+
+    def test_unit_properties(self):
+        spec = isaac_adc_spec()
+        assert spec.unit_power_mw == pytest.approx(2.0)
+        assert spec.param("missing", 42) == 42
+
+
+class TestTable3Rows:
+    def test_row_structure(self):
+        rows = table3_rows(8)
+        names = [r["component"] for r in rows]
+        assert names[0] == "ADC"
+        sign_row = [r for r in rows if r["component"] == "sign indicator"][0]
+        assert sign_row["isaac_power_mw"] is None
+        assert sign_row["forms_power_mw"] == pytest.approx(0.012)

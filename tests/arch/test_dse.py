@@ -1,0 +1,197 @@
+"""Design-space exploration tests (paper Sec. IV-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.dse import (MIN_LEVEL_MARGIN_SIGMAS, CrossbarSizeEvaluation,
+                            DesignEvaluation, DesignPoint,
+                            best_energy_efficiency, cell_bits_sweep,
+                            crossbar_size_sweep, design_chip, design_mcu,
+                            evaluate_design, fragment_sweep, pareto_front)
+from repro.reram.converters import paper_adc_bits, required_adc_bits
+from repro.reram.nonideal import fragment_read_error
+
+
+class TestDesignPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint(fragment_size=0)
+        with pytest.raises(ValueError):
+            DesignPoint(cell_bits=0)
+        with pytest.raises(ValueError):
+            DesignPoint(cell_bits=4, weight_bits=2)
+        with pytest.raises(ValueError):
+            DesignPoint(adcs_per_crossbar=3)   # does not divide 128
+        with pytest.raises(ValueError):
+            DesignPoint(adc_rule="spice")
+
+    def test_exact_adc_rule_covers_worst_case(self):
+        point = DesignPoint(fragment_size=8, cell_bits=2, adc_rule="exact")
+        assert point.adc_bits == required_adc_bits(8, 2) == 5
+
+    def test_paper_adc_rule_matches_published_pairing(self):
+        # 3/4/5 bits at fragments 4/8/16 with 2-bit cells (Sec. IV-C).
+        for m in (4, 8, 16):
+            point = DesignPoint(fragment_size=m, cell_bits=2, adc_rule="paper")
+            assert point.adc_bits == paper_adc_bits(m)
+
+    def test_sar_frequency_scales_inversely_with_bits(self):
+        fast = DesignPoint(fragment_size=4, adc_rule="paper")    # 3-bit
+        slow = DesignPoint(fragment_size=16, adc_rule="paper")   # 5-bit
+        assert fast.adc_frequency_hz > slow.adc_frequency_hz
+        # anchored at the published 4-bit / 2.1 GS/s point
+        anchor = DesignPoint(fragment_size=8, adc_rule="paper")
+        assert anchor.adc_frequency_hz == pytest.approx(2.1e9)
+
+    def test_cells_per_weight(self):
+        assert DesignPoint(cell_bits=2, weight_bits=8).cells_per_weight == 4
+        assert DesignPoint(cell_bits=8, weight_bits=8).cells_per_weight == 1
+
+    def test_level_margin_collapses_with_cell_bits(self):
+        margins = [DesignPoint(cell_bits=c).level_margin_sigmas(0.1)
+                   for c in (1, 2, 4, 8)]
+        assert margins == sorted(margins, reverse=True)
+        assert DesignPoint(cell_bits=2).level_margin_sigmas(0.0) == float("inf")
+
+
+class TestDesignRollup:
+    def test_fragment8_mcu_matches_catalog_shape(self):
+        mcu = design_mcu(DesignPoint(fragment_size=8, adc_rule="paper"))
+        assert mcu.adc_bits == 4
+        assert mcu.rows_per_activation == 8
+        assert mcu.adcs_per_crossbar == 4
+        assert mcu.power_mw > 0 and mcu.area_mm2 > 0
+
+    def test_chip_budget_scales_with_tiles(self):
+        small = design_chip(DesignPoint(tiles=10))
+        large = design_chip(DesignPoint(tiles=20))
+        assert large.crossbars == 2 * small.crossbars
+
+    def test_more_adc_bits_cost_more_power(self):
+        lean = design_mcu(DesignPoint(fragment_size=4))
+        rich = design_mcu(DesignPoint(fragment_size=32))
+        assert rich.adc_bits > lean.adc_bits
+        assert rich.power_mw > lean.power_mw
+
+
+class TestEvaluation:
+    def test_fields_populated(self):
+        result = evaluate_design(DesignPoint())
+        assert isinstance(result, DesignEvaluation)
+        assert result.gops > 0
+        assert 0 < result.adc_power_fraction < 1
+        assert result.gops_per_w == pytest.approx(result.gops / result.power_w)
+
+    def test_zero_skip_raises_throughput(self):
+        plain = evaluate_design(DesignPoint())
+        skipped = evaluate_design(DesignPoint(), average_eic=10.7)
+        assert skipped.gops > plain.gops
+
+
+class TestCellBitsSweep:
+    @pytest.mark.parametrize("rule", ["exact", "paper"])
+    def test_two_bit_cells_win_energy_efficiency(self, rule):
+        # The headline Sec. IV-C conclusion, under either ADC sizing rule.
+        evals = cell_bits_sweep(adc_rule=rule)
+        best = best_energy_efficiency(evals, require_feasible=True)
+        assert best.point.cell_bits == 2
+
+    def test_dense_cells_are_variation_infeasible(self):
+        evals = {e.point.cell_bits: e for e in cell_bits_sweep()}
+        assert evals[1].variation_feasible
+        assert evals[2].variation_feasible
+        assert not evals[4].variation_feasible
+        assert not evals[8].variation_feasible
+
+    def test_adc_share_grows_with_cell_bits(self):
+        fractions = [e.adc_power_fraction for e in cell_bits_sweep()]
+        assert fractions == sorted(fractions)
+
+    def test_unrestricted_best_under_exact_rule_is_still_two_bits(self):
+        evals = cell_bits_sweep(adc_rule="exact")
+        best = best_energy_efficiency(evals, require_feasible=False)
+        assert best.point.cell_bits == 2
+
+    def test_no_feasible_points_raises(self):
+        evals = cell_bits_sweep(options=(4, 8))
+        with pytest.raises(ValueError):
+            best_energy_efficiency(evals, require_feasible=True)
+
+
+class TestFragmentSweep:
+    def test_peak_efficiency_grows_with_fragment(self):
+        # Larger fragments amortize conversions (Table V: fragment 16 beats
+        # 8 on peak throughput); accuracy (Fig. 6) is what caps the size.
+        effs = [e.gops_per_w for e in fragment_sweep(options=(4, 8, 16))]
+        assert effs == sorted(effs)
+
+
+class TestCrossbarSizeSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return crossbar_size_sweep(options=(64, 128, 256))
+
+    def test_density_grows_with_size(self, sweep):
+        densities = [r.evaluation.weights_per_mm2 for r in sweep]
+        assert densities == sorted(densities)
+
+    def test_analog_error_grows_with_size(self, sweep):
+        errors = [r.analog_error for r in sweep]
+        assert errors == sorted(errors)
+        assert all(e > 0 for e in errors)
+
+    def test_paper_choice_is_densest_feasible(self, sweep):
+        # 128x128 (the published design) is the largest analog-feasible size.
+        feasible = [r for r in sweep if r.analog_feasible]
+        assert max(r.size for r in feasible) == 128
+
+    def test_fragment_read_error_validation(self):
+        with pytest.raises(ValueError):
+            fragment_read_error(rows=66, fragment_size=8)
+
+    def test_crossbar_dimension_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint(crossbar_rows=4, fragment_size=8)
+        with pytest.raises(ValueError):
+            DesignPoint(crossbar_rows=129, fragment_size=8)
+
+    def test_capacity_scales_quadratically(self):
+        small = evaluate_design(DesignPoint(crossbar_rows=64,
+                                            crossbar_cols=64))
+        large = evaluate_design(DesignPoint(crossbar_rows=128,
+                                            crossbar_cols=128))
+        assert large.weight_capacity == 4 * small.weight_capacity
+
+
+class TestParetoFront:
+    def test_front_contains_best_of_each_objective(self):
+        evals = cell_bits_sweep()
+        front = pareto_front(evals)
+        best_w = max(evals, key=lambda e: e.gops_per_w)
+        best_a = max(evals, key=lambda e: e.gops_per_mm2)
+        assert best_w in front
+        assert best_a in front
+
+    def test_dominated_points_excluded(self):
+        evals = cell_bits_sweep()
+        front = pareto_front(evals)
+        # 8-bit cells lose on both axes to 4-bit cells -> dominated.
+        assert all(e.point.cell_bits != 8 for e in front)
+
+    def test_single_objective_front_is_argmax(self):
+        evals = cell_bits_sweep()
+        front = pareto_front(evals, objectives=("gops_per_w",))
+        assert len(front) == 1
+        assert front[0] is max(evals, key=lambda e: e.gops_per_w)
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_front(cell_bits_sweep(), objectives=())
+
+    @given(st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                    max_size=4, unique=True))
+    @settings(max_examples=15, deadline=None)
+    def test_front_never_empty(self, bits_options):
+        evals = cell_bits_sweep(options=sorted(bits_options))
+        assert len(pareto_front(evals)) >= 1

@@ -1,0 +1,62 @@
+"""Energy accounting tests."""
+
+import pytest
+
+from repro.arch import (LayerWorkload, NetworkWorkload, forms_config,
+                        inference_energy, isaac16_config,
+                        zero_skip_energy_saving)
+from repro.core.zero_skip import EICStats
+
+
+def make_workload(eic_avg=10):
+    layers = []
+    for i in range(3):
+        layer = LayerWorkload(f"l{i}", "conv", rows=256, cols=64,
+                              live_rows=256, live_cols=64,
+                              positions_per_image=64)
+        for m in (4, 8, 16):
+            layer.eic_stats[m] = EICStats(m, 16, {eic_avg: 10})
+        layers.append(layer)
+    return NetworkWorkload("net", "data", layers)
+
+
+class TestInferenceEnergy:
+    def test_breakdown_positive(self):
+        breakdown = inference_energy(make_workload(), isaac16_config(tiles=2))
+        assert breakdown.analog_j > 0
+        assert breakdown.digital_j > 0
+        assert breakdown.static_j > 0
+        assert breakdown.total_j == pytest.approx(
+            breakdown.analog_j + breakdown.digital_j + breakdown.static_j)
+
+    def test_zero_skip_lowers_analog_energy(self):
+        workload = make_workload(eic_avg=8)
+        with_skip = inference_energy(workload, forms_config(8, pruned=False,
+                                                            zero_skip=True, tiles=2))
+        without = inference_energy(workload, forms_config(8, pruned=False,
+                                                          zero_skip=False, tiles=2))
+        assert with_skip.analog_j < without.analog_j
+
+    def test_noc_energy_included(self):
+        breakdown = inference_energy(make_workload(), isaac16_config(tiles=2),
+                                     noc_energy_j=1e-6)
+        assert breakdown.noc_j == 1e-6
+        assert breakdown.total_j >= 1e-6
+
+    def test_as_dict(self):
+        breakdown = inference_energy(make_workload(), isaac16_config(tiles=2))
+        d = breakdown.as_dict()
+        assert set(d) == {"analog_j", "digital_j", "static_j", "noc_j", "total_j"}
+
+
+class TestZeroSkipSaving:
+    def test_matches_eic_ratio(self):
+        workload = make_workload(eic_avg=8)
+        config = forms_config(8, pruned=False, zero_skip=True)
+        assert zero_skip_energy_saving(workload, config) == pytest.approx(0.5)
+
+    def test_zero_for_coarse_or_disabled(self):
+        workload = make_workload(eic_avg=8)
+        assert zero_skip_energy_saving(workload, isaac16_config()) == 0.0
+        config = forms_config(8, pruned=False, zero_skip=False)
+        assert zero_skip_energy_saving(workload, config) == 0.0

@@ -1,0 +1,178 @@
+"""Event-driven pipeline simulator tests (cross-validated vs the analytic model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.event_pipeline import (EventPipeline, MultiLayerPipeline,
+                                       PipelineStats, StageSpec,
+                                       layer_stage_spec)
+from repro.arch.pipeline import PipelineModel
+
+
+class TestStageSpec:
+    def test_paper_stage_counts(self):
+        # 22 stages at 16 feed cycles, 26 with pooling (Fig. 12).
+        assert layer_stage_spec(pooling=False).total_stages(16) == 22
+        assert layer_stage_spec(pooling=True).total_stages(16) == 26
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageSpec(front_stages=-1)
+
+
+class TestSingleLayer:
+    def test_first_item_latency_is_stage_count(self):
+        spec = layer_stage_spec()
+        sim = EventPipeline(spec, [16])
+        stats = sim.run()
+        assert stats.completion_times[0] == spec.total_stages(16) == 22
+
+    def test_constant_feed_matches_analytic_interval(self):
+        # Steady-state initiation interval == feed cycles, exactly as the
+        # analytic PipelineModel computes it.
+        spec = layer_stage_spec()
+        analytic = PipelineModel(input_bits=16)
+        sim = EventPipeline(spec, [16] * 64)
+        stats = sim.run()
+        intervals = np.diff(stats.completion_times)
+        assert (intervals == 16).all()
+        expected = analytic.initiation_interval_s() / analytic.cycle_time_s
+        assert intervals[0] == pytest.approx(expected)
+
+    def test_skipping_reduces_makespan(self):
+        spec = layer_stage_spec()
+        full = EventPipeline(spec, [16] * 32).run()
+        skipped = EventPipeline(spec, [7] * 32).run()
+        assert skipped.makespan < full.makespan
+
+    def test_variable_feed_throughput_is_mean_eic(self):
+        rng = np.random.default_rng(0)
+        eic = rng.integers(4, 14, size=400)
+        stats = EventPipeline(layer_stage_spec(), eic).run()
+        assert stats.steady_interval == pytest.approx(eic.mean(), rel=0.05)
+
+    def test_release_times_gate_arrivals(self):
+        spec = StageSpec(front_stages=1, back_stages=1)
+        stats = EventPipeline(spec, [2, 2]).run(release_times=[0.0, 100.0])
+        assert stats.completion_times[1] == 100.0 + 1 + 2 + 1
+        assert stats.stall_cycles == 0.0
+
+    def test_stall_accounting(self):
+        # Second item arrives while the first still feeds -> stalls.
+        spec = StageSpec(front_stages=0, back_stages=0)
+        stats = EventPipeline(spec, [10, 10]).run()
+        assert stats.stall_cycles == 10.0
+
+    def test_utilization_saturates_under_backlog(self):
+        stats = EventPipeline(StageSpec(0, 0), [8] * 100).run()
+        assert stats.feed_utilization == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventPipeline(StageSpec(), [0, 4])
+        with pytest.raises(ValueError):
+            EventPipeline(StageSpec(), [[4, 4]])
+        with pytest.raises(ValueError):
+            EventPipeline(StageSpec(), [4, 4]).run(release_times=[0.0])
+
+    @given(st.lists(st.integers(min_value=1, max_value=16), min_size=1,
+                    max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_bounds(self, eic):
+        # Makespan is at least the serial feed demand and at most the fully
+        # serialized (no-overlap) execution.
+        spec = layer_stage_spec()
+        stats = EventPipeline(spec, eic).run()
+        assert stats.makespan >= sum(eic)
+        assert stats.makespan <= sum(spec.total_stages(e) for e in eic)
+
+
+class TestMultiLayer:
+    def test_single_layer_chain_matches_event_pipeline(self):
+        spec = layer_stage_spec()
+        eic = [9, 12, 5, 16, 7]
+        solo = EventPipeline(spec, eic).run()
+        (chained,) = MultiLayerPipeline([(spec, eic)]).run()
+        np.testing.assert_allclose(chained.completion_times,
+                                   solo.completion_times)
+
+    def test_bottleneck_sets_steady_interval(self):
+        spec = layer_stage_spec()
+        fast = [4] * 200
+        slow = [12] * 200
+        stats = MultiLayerPipeline([(spec, fast), (spec, slow), (spec, fast)],
+                                   buffer_capacity=64).run()
+        assert stats[-1].steady_interval == pytest.approx(12.0, rel=0.05)
+
+    def test_bottleneck_layer_index(self):
+        spec = layer_stage_spec()
+        sim = MultiLayerPipeline([(spec, [4] * 8), (spec, [15] * 8)])
+        assert sim.bottleneck_layer() == 1
+
+    def test_back_pressure_slows_producer(self):
+        # A fast first layer behind a tiny buffer is held back by the slow
+        # second layer.
+        spec = StageSpec(front_stages=0, back_stages=0)
+        fast, slow = [2] * 64, [10] * 64
+        tight = MultiLayerPipeline([(spec, fast), (spec, slow)],
+                                   buffer_capacity=1).run()
+        roomy = MultiLayerPipeline([(spec, fast), (spec, slow)],
+                                   buffer_capacity=64).run()
+        # A single credit serializes the producer's feed with the consumer's
+        # (blocking-before-service): the initiation interval becomes
+        # fast + slow = 12 instead of the bottleneck's 10.
+        assert tight[-1].steady_interval == pytest.approx(12.0, rel=0.05)
+        assert roomy[-1].steady_interval == pytest.approx(10.0, rel=0.05)
+        # The producer's completions are spread out by back-pressure.
+        assert tight[0].completion_times[-1] > roomy[0].completion_times[-1]
+        assert tight[0].stall_cycles > roomy[0].stall_cycles
+
+    def test_two_credits_restore_overlap(self):
+        # Double buffering is enough to hide the credit round-trip here.
+        spec = StageSpec(front_stages=0, back_stages=0)
+        fast, slow = [2] * 64, [10] * 64
+        double = MultiLayerPipeline([(spec, fast), (spec, slow)],
+                                    buffer_capacity=2).run()
+        assert double[-1].steady_interval == pytest.approx(10.0, rel=0.05)
+
+    def test_larger_buffers_never_hurt(self):
+        rng = np.random.default_rng(1)
+        spec = layer_stage_spec()
+        feeds = [rng.integers(2, 16, size=80) for _ in range(3)]
+        layers = [(spec, f) for f in feeds]
+        small = MultiLayerPipeline(layers, buffer_capacity=1).run()
+        big = MultiLayerPipeline(layers, buffer_capacity=128).run()
+        assert big[-1].makespan <= small[-1].makespan + 1e-9
+
+    def test_item_ordering_preserved(self):
+        rng = np.random.default_rng(2)
+        spec = layer_stage_spec()
+        layers = [(spec, rng.integers(1, 16, size=50)) for _ in range(2)]
+        stats = MultiLayerPipeline(layers, buffer_capacity=4).run()
+        for layer_stats in stats:
+            assert (np.diff(layer_stats.completion_times) > 0).all()
+
+    def test_validation(self):
+        spec = layer_stage_spec()
+        with pytest.raises(ValueError):
+            MultiLayerPipeline([])
+        with pytest.raises(ValueError):
+            MultiLayerPipeline([(spec, [4])], buffer_capacity=0)
+        with pytest.raises(ValueError):
+            MultiLayerPipeline([(spec, [4, 4]), (spec, [4])])
+        with pytest.raises(ValueError):
+            MultiLayerPipeline([(spec, [0, 4])])
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=20, deadline=None)
+    def test_throughput_bounded_by_bottleneck(self, capacity, seed):
+        rng = np.random.default_rng(seed)
+        spec = layer_stage_spec()
+        feeds = [rng.integers(1, 16, size=60) for _ in range(3)]
+        stats = MultiLayerPipeline([(spec, f) for f in feeds],
+                                   buffer_capacity=capacity).run()
+        bottleneck_demand = max(f.sum() for f in feeds)
+        assert stats[-1].makespan >= bottleneck_demand

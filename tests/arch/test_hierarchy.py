@@ -1,0 +1,88 @@
+"""MCU / tile / chip roll-up tests (Table IV)."""
+
+import pytest
+
+from repro.arch import (dadiannao_chip, forms_chip, forms_mcu, forms_tile,
+                        isaac_chip, isaac_mcu, isaac_tile)
+
+
+class TestMCUTiming:
+    def test_isaac_cycle_time(self):
+        # 128 columns / 1.2 GS/s = 106.7 ns (paper Sec. IV-C)
+        assert isaac_mcu().cycle_time_s == pytest.approx(106.7e-9, rel=1e-2)
+
+    def test_forms_cycle_time(self):
+        # 32 columns / 2.1 GS/s = 15.2 ns
+        assert forms_mcu(8).cycle_time_s == pytest.approx(15.24e-9, rel=1e-2)
+
+    def test_row_groups(self):
+        assert isaac_mcu().row_groups_per_crossbar == 1
+        assert forms_mcu(8).row_groups_per_crossbar == 16
+        assert forms_mcu(16).row_groups_per_crossbar == 8
+
+    def test_full_mvm_times(self):
+        # ISAAC: 16 bits x 106.7ns = 1707ns; FORMS-8: 16 groups x 16 x 15.24ns
+        assert isaac_mcu().full_mvm_time_s(16) == pytest.approx(1707e-9, rel=1e-2)
+        assert forms_mcu(8).full_mvm_time_s(16) == pytest.approx(3901e-9, rel=1e-2)
+
+    def test_zero_skip_reduces_mvm_time(self):
+        mcu = forms_mcu(8)
+        assert mcu.full_mvm_time_s(10.7) < mcu.full_mvm_time_s(16)
+
+    def test_fragment16_faster_but_not_double(self):
+        # SAR frequency scaling makes m=16 ~1.5x faster than m=8, not 2x
+        # (paper reports +42% for polarization-only throughput).
+        ratio = forms_mcu(8).full_mvm_time_s(16) / forms_mcu(16).full_mvm_time_s(16)
+        assert 1.3 < ratio < 1.7
+
+
+class TestTile:
+    def test_forms_tile_power(self):
+        tile = forms_tile(8)
+        assert tile.power_mw == pytest.approx(333.1, rel=1e-3)
+        assert tile.mcus_power_mw == pytest.approx(280.05, rel=1e-3)
+
+    def test_isaac_tile_power(self):
+        assert isaac_tile().power_mw == pytest.approx(329.81, rel=1e-3)
+
+    def test_bus_and_edram_doubled_in_forms(self):
+        assert forms_tile().bus_bits == 2 * isaac_tile().bus_bits
+        assert forms_tile().edram_kb == 2 * isaac_tile().edram_kb
+
+    def test_crossbars_per_tile(self):
+        assert forms_tile().crossbars == 96
+
+
+class TestChip:
+    def test_forms_chip_matches_table4(self):
+        chip = forms_chip(8)
+        assert chip.power_mw == pytest.approx(66360.8, rel=1e-3)
+        assert chip.area_mm2 == pytest.approx(89.15, rel=2e-3)
+
+    def test_isaac_chip_matches_table4(self):
+        chip = isaac_chip()
+        assert chip.power_mw == pytest.approx(65808.08, rel=1e-3)
+        assert chip.area_mm2 == pytest.approx(85.09, rel=2e-3)
+
+    def test_iso_area_claim(self):
+        # paper: "almost the same power and area" — <0.1% power, <5% area.
+        forms, isaac = forms_chip(8), isaac_chip()
+        assert abs(forms.power_mw / isaac.power_mw - 1) < 0.01
+        assert abs(forms.area_mm2 / isaac.area_mm2 - 1) < 0.05
+
+    def test_crossbar_budget(self):
+        assert isaac_chip().crossbars == 168 * 12 * 8
+
+    def test_scaled_tiles(self):
+        assert isaac_chip(tiles=2).crossbars == 2 * 96
+
+    def test_summary_keys(self):
+        summary = forms_chip().summary()
+        assert set(summary) == {"tiles", "crossbars", "power_mw", "area_mm2"}
+
+    def test_dadiannao_recorded(self):
+        chip = dadiannao_chip()
+        assert chip.power_mw == 19856.0
+        assert chip.area_mm2 == 86.2
+        assert chip.power_w == pytest.approx(19.856)
+        assert "NFU x16" in chip.components

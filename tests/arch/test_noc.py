@@ -1,0 +1,156 @@
+"""Mesh NoC model tests."""
+
+import pytest
+
+from repro.arch import (LayerWorkload, MeshNoC, NetworkWorkload, NoCSpec,
+                        analyze_traffic, noc_summary, place_layers)
+
+
+def make_workload(n_layers=4):
+    layers = [LayerWorkload(f"l{i}", "conv", rows=64, cols=32,
+                            live_rows=64, live_cols=32, positions_per_image=16)
+              for i in range(n_layers)]
+    return NetworkWorkload("net", "data", layers)
+
+
+class TestMeshNoC:
+    def test_for_tiles_168(self):
+        mesh = MeshNoC.for_tiles(168)
+        assert mesh.tile_count >= 168
+        assert mesh.rows * mesh.cols == mesh.tile_count
+        assert {mesh.rows, mesh.cols} == {12, 14}
+
+    def test_snake_coords_adjacent(self):
+        mesh = MeshNoC(3, 4)
+        for i in range(mesh.tile_count - 1):
+            a, b = mesh.coord(i), mesh.coord(i + 1)
+            assert mesh.hops(a, b) == 1  # consecutive tiles are neighbours
+
+    def test_coord_bounds(self):
+        mesh = MeshNoC(2, 2)
+        with pytest.raises(IndexError):
+            mesh.coord(4)
+
+    def test_xy_route_is_minimal(self):
+        mesh = MeshNoC(4, 4)
+        path = mesh.xy_route((0, 0), (3, 2))
+        assert path[0] == (0, 0) and path[-1] == (3, 2)
+        assert len(path) - 1 == mesh.hops((0, 0), (3, 2)) == 5
+        # X first, then Y
+        assert path[1] == (0, 1)
+
+    def test_route_validates_nodes(self):
+        mesh = MeshNoC(2, 2)
+        with pytest.raises(KeyError):
+            mesh.xy_route((0, 0), (5, 5))
+
+    def test_hop_latency(self):
+        mesh = MeshNoC(2, 2, NoCSpec(clock_hz=1e9, hop_latency_cycles=2))
+        assert mesh.hop_latency_s(3) == pytest.approx(6e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshNoC(0, 4)
+        with pytest.raises(ValueError):
+            MeshNoC.for_tiles(0)
+        with pytest.raises(ValueError):
+            NoCSpec(link_bytes_per_cycle=0)
+
+
+class TestPlacement:
+    def test_spans_proportional_to_demand(self):
+        workload = make_workload(3)
+        mesh = MeshNoC(4, 4)
+        demands = {"l0": 96, "l1": 96 * 4, "l2": 96}
+        placements = place_layers(workload, mesh, demands, crossbars_per_tile=96)
+        spans = {p.name: p.span for p in placements}
+        assert spans["l1"] > spans["l0"]
+
+    def test_contiguous_and_disjoint(self):
+        workload = make_workload(4)
+        mesh = MeshNoC(4, 4)
+        placements = place_layers(workload, mesh, {l.name: 96 for l in workload.layers})
+        seen = []
+        for p in placements:
+            assert p.tiles == list(range(p.tiles[0], p.tiles[-1] + 1))
+            seen.extend(p.tiles)
+        assert len(seen) == len(set(seen))
+
+    def test_oversubscribed_mesh_scales_down(self):
+        workload = make_workload(4)
+        mesh = MeshNoC(2, 2)
+        placements = place_layers(workload, mesh,
+                                  {l.name: 96 * 10 for l in workload.layers})
+        assert sum(p.span for p in placements) <= mesh.tile_count
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            place_layers(NetworkWorkload("e", "d", []), MeshNoC(2, 2), {})
+
+
+class TestTraffic:
+    def test_traffic_accounting(self):
+        workload = make_workload(3)
+        mesh = MeshNoC(3, 3)
+        placements = place_layers(workload, mesh, {l.name: 96 for l in workload.layers})
+        report = analyze_traffic(workload, mesh, placements)
+        # 2 inter-layer transfers of live_rows x positions x 2 bytes each
+        expected = 2 * 64 * 16 * 2.0
+        assert report.total_bytes == pytest.approx(expected)
+        assert report.total_byte_hops >= report.total_bytes  # >= 1 hop each
+        assert report.energy_j > 0
+        assert report.worst_path_hops >= 1
+
+    def test_adjacent_layers_short_paths(self):
+        workload = make_workload(8)
+        mesh = MeshNoC(3, 3)
+        placements = place_layers(workload, mesh, {l.name: 1 for l in workload.layers})
+        report = analyze_traffic(workload, mesh, placements)
+        assert report.worst_path_hops <= 2  # snake placement keeps them close
+
+    def test_utilization_scales_with_fps(self):
+        workload = make_workload(3)
+        mesh = MeshNoC(3, 3)
+        placements = place_layers(workload, mesh, {l.name: 96 for l in workload.layers})
+        report = analyze_traffic(workload, mesh, placements)
+        u1 = report.max_link_utilization(1000.0)
+        u2 = report.max_link_utilization(2000.0)
+        assert u2 == pytest.approx(2 * u1)
+
+    def test_placement_count_mismatch(self):
+        workload = make_workload(3)
+        mesh = MeshNoC(3, 3)
+        placements = place_layers(workload, mesh, {l.name: 1 for l in workload.layers})
+        with pytest.raises(ValueError):
+            analyze_traffic(workload, mesh, placements[:-1])
+
+    def test_summary_keys(self):
+        summary = noc_summary(make_workload(3), tiles=9)
+        for key in ("mesh_rows", "total_bytes", "energy_j", "worst_path_hops"):
+            assert key in summary
+
+    def test_link_count(self):
+        # 3x3 mesh: 3 rows x 2 horizontal + 2 x 3 vertical = 12 links.
+        assert MeshNoC(3, 3).link_count == 12
+        assert MeshNoC(1, 5).link_count == 4
+        assert MeshNoC(1, 1).link_count == 0
+
+    def test_aggregate_below_hotspot_utilization(self):
+        # Balanced-load utilization can never exceed the hotspot figure.
+        workload = make_workload(3)
+        mesh = MeshNoC(3, 3)
+        placements = place_layers(workload, mesh,
+                                  {l.name: 96 for l in workload.layers})
+        report = analyze_traffic(workload, mesh, placements)
+        fps = 5000.0
+        assert (report.aggregate_utilization(fps)
+                <= report.max_link_utilization(fps) + 1e-12)
+
+    def test_aggregate_utilization_scales_with_fps(self):
+        workload = make_workload(3)
+        mesh = MeshNoC(3, 3)
+        placements = place_layers(workload, mesh,
+                                  {l.name: 96 for l in workload.layers})
+        report = analyze_traffic(workload, mesh, placements)
+        assert report.aggregate_utilization(2000.0) == pytest.approx(
+            2 * report.aggregate_utilization(1000.0))

@@ -1,0 +1,172 @@
+"""Performance model tests: crossbar counting, allocation, FPS, Table V."""
+
+import pytest
+
+from repro.arch import (AcceleratorConfig, LayerWorkload, NetworkWorkload,
+                        allocate_replication, forms_chip, forms_config,
+                        isaac16_config, isaac32_config, isaac_chip,
+                        layer_crossbars, layer_input_bits, layer_pass_time_s,
+                        layer_time_per_image_s, network_performance,
+                        peak_throughput, pruned_quantized_isaac_config,
+                        puma_config)
+from repro.arch.perf import pressure_matched_tiles
+from repro.core.zero_skip import EICStats
+
+
+def make_layer(name="conv", rows=256, cols=128, live_rows=None, live_cols=None,
+               positions=256, eic_avg=10.0):
+    layer = LayerWorkload(
+        name=name, kind="conv", rows=rows, cols=cols,
+        live_rows=live_rows or rows, live_cols=live_cols or cols,
+        positions_per_image=positions)
+    for m in (4, 8, 16):
+        layer.eic_stats[m] = EICStats(m, 16, {int(eic_avg): 100})
+    return layer
+
+
+def make_workload(layers=None):
+    return NetworkWorkload("test", "synthetic", layers or [make_layer()])
+
+
+class TestLayerCrossbars:
+    def test_dense_counting(self):
+        layer = make_layer(rows=128, cols=32)
+        config = isaac16_config()  # 16-bit -> 8 cells -> 16 filters/xbar
+        assert layer_crossbars(layer, config) == 2
+
+    def test_pruned_structure_used(self):
+        layer = make_layer(rows=256, cols=32, live_rows=128, live_cols=16)
+        config = pruned_quantized_isaac_config()  # 8-bit -> 32 filters/xbar
+        assert layer_crossbars(layer, config) == 1
+
+    def test_dual_doubles(self):
+        layer = make_layer(rows=128, cols=32)
+        single = layer_crossbars(layer, isaac16_config())
+        dual = layer_crossbars(layer, puma_config(16))
+        assert dual == 2 * single
+
+
+class TestTiming:
+    def test_input_bits_zero_skip(self):
+        layer = make_layer(eic_avg=9)
+        assert layer_input_bits(layer, forms_config(8, zero_skip=True)) == 9.0
+        assert layer_input_bits(layer, forms_config(8, zero_skip=False)) == 16.0
+        # coarse designs cannot skip
+        assert layer_input_bits(layer, isaac16_config()) == 16.0
+
+    def test_pass_time_coarse_vs_fine(self):
+        layer = make_layer(rows=128)
+        isaac_t = layer_pass_time_s(layer, isaac16_config())
+        forms_t = layer_pass_time_s(layer, forms_config(8, zero_skip=False))
+        assert forms_t == pytest.approx(isaac_t * 16 * 15.24 / 106.7, rel=0.01)
+
+    def test_pass_time_shallow_layer_fewer_groups(self):
+        shallow = make_layer(rows=24)
+        deep = make_layer(rows=128)
+        config = forms_config(8, zero_skip=False)
+        assert layer_pass_time_s(shallow, config) < layer_pass_time_s(deep, config)
+
+    def test_time_per_image_scales_with_replication(self):
+        layer = make_layer(positions=100)
+        config = isaac16_config()
+        t1 = layer_time_per_image_s(layer, config, replication=1.0)
+        t4 = layer_time_per_image_s(layer, config, replication=4.0)
+        assert t4 == pytest.approx(t1 / 4)
+
+
+class TestAllocation:
+    def test_budget_respected(self):
+        layers = [make_layer(name=f"l{i}", positions=2 ** i) for i in range(4)]
+        workload = make_workload(layers)
+        config = isaac16_config(tiles=1)
+        replication = allocate_replication(workload, config)
+        used = sum(layer_crossbars(l, config) * replication[l.name] for l in layers)
+        assert used <= config.chip.crossbars
+
+    def test_bottleneck_gets_replicas(self):
+        hot = make_layer(name="hot", positions=10_000, rows=64, cols=16)
+        cold = make_layer(name="cold", positions=10, rows=64, cols=16)
+        workload = make_workload([hot, cold])
+        replication = allocate_replication(workload, isaac16_config(tiles=1))
+        assert replication["hot"] > replication["cold"]
+
+    def test_cap_enforced(self):
+        workload = make_workload([make_layer(rows=16, cols=8)])
+        config = isaac16_config()
+        replication = allocate_replication(workload, config)
+        assert max(replication.values()) <= config.replication_cap()
+
+    def test_oversubscribed_goes_fractional(self):
+        huge = make_layer(rows=128 * 100, cols=128 * 100)
+        workload = make_workload([huge])
+        config = isaac32_config(tiles=1)
+        replication = allocate_replication(workload, config)
+        assert 0 < replication["conv"] < 1
+
+
+class TestNetworkPerformance:
+    def test_result_fields(self):
+        result = network_performance(make_workload(), isaac16_config())
+        assert result.fps > 0
+        assert result.bottleneck_layer == "conv"
+        assert result.effective_gops > 0
+        assert result.gops_per_mm2 > 0 and result.gops_per_w > 0
+
+    def test_fps_orderings(self):
+        """The paper's qualitative FPS relations on a deep-layer workload."""
+        layers = [make_layer(name=f"l{i}", rows=512, cols=128, positions=256,
+                             live_rows=256, live_cols=64, eic_avg=10)
+                  for i in range(6)]
+        workload = make_workload(layers)
+        tiles = 2
+        fps = {}
+        for config in (isaac32_config(tiles),
+                       pruned_quantized_isaac_config(tiles=tiles),
+                       puma_config(8, pruned=True, tiles=tiles),
+                       forms_config(8, zero_skip=False, tiles=tiles),
+                       forms_config(8, zero_skip=True, tiles=tiles)):
+            fps[config.name] = network_performance(workload, config).fps
+        assert fps["Pruned/Quantized-ISAAC"] > fps["ISAAC-32"]
+        assert fps["Pruned/Quantized-PUMA"] <= fps["Pruned/Quantized-ISAAC"]
+        assert fps["FORMS-8 (PQP+ZS)"] > fps["FORMS-8 (PQP)"]
+
+    def test_pressure_matched_tiles(self):
+        workload = make_workload([make_layer(rows=128 * 8, cols=128)])
+        tiles = pressure_matched_tiles(workload, pressure=2.0)
+        config = isaac32_config(tiles=tiles)
+        demand = sum(layer_crossbars(l, config) for l in workload.layers)
+        assert demand / config.chip.crossbars == pytest.approx(2.0, rel=0.5)
+        with pytest.raises(ValueError):
+            pressure_matched_tiles(workload, pressure=0)
+
+
+class TestPeakThroughput:
+    def test_polarization_only_below_isaac(self):
+        base = peak_throughput(isaac16_config())
+        poln = peak_throughput(AcceleratorConfig(
+            "FORMS-poln-8", forms_chip(8), "forms", weight_bits=16))
+        rel = poln.gops_per_mm2 / base.gops_per_mm2
+        assert 0.3 < rel < 0.7  # paper: 0.54
+
+    def test_fragment16_beats_fragment8(self):
+        p8 = peak_throughput(AcceleratorConfig("f8", forms_chip(8), "forms", weight_bits=16))
+        p16 = peak_throughput(AcceleratorConfig("f16", forms_chip(16), "forms", weight_bits=16))
+        gain = p16.gops_per_mm2 / p8.gops_per_mm2
+        assert 1.2 < gain < 1.8  # paper: +42%
+
+    def test_effective_ops_factor_scales(self):
+        config = pruned_quantized_isaac_config()
+        base = peak_throughput(config, effective_ops_factor=1.0)
+        scaled = peak_throughput(config, effective_ops_factor=5.0)
+        assert scaled.gops == pytest.approx(5 * base.gops)
+
+    def test_zero_skip_raises_peak(self):
+        config = forms_config(8, zero_skip=True)
+        noskip = peak_throughput(config, average_eic=None)
+        skip = peak_throughput(config, average_eic=10.0)
+        assert skip.gops > noskip.gops
+
+    def test_dual_halves_weights(self):
+        isaac = peak_throughput(isaac16_config())
+        puma = peak_throughput(puma_config(16))
+        assert puma.gops == pytest.approx(isaac.gops / 2, rel=1e-6)

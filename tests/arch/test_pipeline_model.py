@@ -1,0 +1,51 @@
+"""Execution pipeline model tests (Fig. 12)."""
+
+import pytest
+
+from repro.arch import BASE_STAGES, POOLING_STAGES, PipelineModel
+
+
+class TestPipelineModel:
+    def test_stage_counts(self):
+        assert PipelineModel().total_stages == BASE_STAGES == 22
+        assert PipelineModel(pooling=True).total_stages == POOLING_STAGES == 26
+
+    def test_feed_stages(self):
+        assert PipelineModel(input_bits=16).feed_stages == 16
+
+    def test_skipping_reduces_stages(self):
+        model = PipelineModel(input_bits=16)
+        assert model.stages_with_skipping(10.0) == 22 - 6
+        assert model.stages_with_skipping(16.0) == 22
+
+    def test_skipping_clamped(self):
+        model = PipelineModel(input_bits=16)
+        assert model.stages_with_skipping(0.5) == 22 - 15  # at least 1 bit
+        assert model.stages_with_skipping(99.0) == 22
+
+    def test_fill_latency(self):
+        model = PipelineModel(input_bits=16, cycle_time_s=100e-9)
+        assert model.fill_latency_s() == pytest.approx(22 * 100e-9)
+        assert model.fill_latency_s(10.0) == pytest.approx(16 * 100e-9)
+
+    def test_initiation_interval_is_feed_phase(self):
+        model = PipelineModel(input_bits=16, cycle_time_s=100e-9)
+        assert model.initiation_interval_s() == pytest.approx(1.6e-6)
+        assert model.initiation_interval_s(8.0) == pytest.approx(0.8e-6)
+
+    def test_throughput_inverse(self):
+        model = PipelineModel(input_bits=8)
+        assert model.throughput_inputs_per_s(4.0) == pytest.approx(
+            1.0 / model.initiation_interval_s(4.0))
+
+    def test_stage_labels_cover_pipeline(self):
+        model = PipelineModel(input_bits=16)
+        labels = model.stage_labels()
+        assert labels[0] == "eDRAM read"
+        assert sum("crossbar/ADC" in l for l in labels) == 16
+        pooled = PipelineModel(input_bits=16, pooling=True).stage_labels()
+        assert len(pooled) == len(labels) + 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineModel(input_bits=0)

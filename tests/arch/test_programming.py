@@ -1,0 +1,116 @@
+"""Chip-scale weight-programming cost tests."""
+
+import numpy as np
+import pytest
+
+from repro.arch.programming import (LevelWriteCost, ProgrammingCost,
+                                    WriteParallelism, cell_level_histogram,
+                                    level_write_costs,
+                                    model_programming_cost)
+from repro.reram.vteam import VTEAMParams
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return level_write_costs(VTEAMParams(), cell_bits=2)
+
+
+class TestLevelWriteCosts:
+    def test_covers_every_level(self, costs):
+        assert set(costs) == {0, 1, 2, 3}
+
+    def test_erased_level_is_free(self, costs):
+        # Cells start fully RESET (level 0): no pulses needed.
+        assert costs[0].pulses == 0
+        assert costs[0].energy_j == 0.0
+
+    def test_nonzero_levels_cost_pulses_and_energy(self, costs):
+        for level in (1, 2, 3):
+            assert costs[level].pulses > 0
+            assert costs[level].energy_j > 0.0
+            assert costs[level].time_s > 0.0
+
+
+class TestWriteParallelism:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteParallelism(drivers_per_crossbar=0)
+        with pytest.raises(ValueError):
+            WriteParallelism(verify_time_s=-1.0)
+
+
+class TestModelProgrammingCost:
+    HISTOGRAM = {0: 50_000, 1: 20_000, 2: 20_000, 3: 10_000}
+
+    def test_totals_consistent(self, costs):
+        cost = model_programming_cost(self.HISTOGRAM, crossbars=8)
+        assert cost.cells == 100_000
+        expected_pulses = sum(costs[l].pulses * n
+                              for l, n in self.HISTOGRAM.items())
+        assert cost.total_pulses == expected_pulses
+        expected_energy = sum(costs[l].energy_j * n
+                              for l, n in self.HISTOGRAM.items())
+        assert cost.energy_j == pytest.approx(expected_energy)
+        assert cost.latency_s > 0
+
+    def test_compression_cuts_programming_cost(self):
+        # Half the cells (the crossbar-reduction effect) -> half the energy
+        # and no more latency.
+        dense = model_programming_cost(self.HISTOGRAM, crossbars=8)
+        halved = {l: n // 2 for l, n in self.HISTOGRAM.items()}
+        compressed = model_programming_cost(halved, crossbars=4)
+        assert compressed.energy_j == pytest.approx(dense.energy_j / 2)
+        assert compressed.latency_s <= dense.latency_s
+
+    def test_parallelism_cuts_latency_not_energy(self):
+        serial = model_programming_cost(
+            self.HISTOGRAM, crossbars=8,
+            parallelism=WriteParallelism(concurrent_crossbars=1))
+        parallel = model_programming_cost(
+            self.HISTOGRAM, crossbars=8,
+            parallelism=WriteParallelism(concurrent_crossbars=8))
+        assert parallel.latency_s < serial.latency_s
+        assert parallel.energy_j == serial.energy_j
+
+    def test_unit_properties(self):
+        cost = ProgrammingCost(cells=1, crossbars=1, total_pulses=1,
+                               energy_j=0.002, latency_s=0.003)
+        assert cost.energy_mj == pytest.approx(2.0)
+        assert cost.latency_ms == pytest.approx(3.0)
+
+    def test_validation(self, costs):
+        with pytest.raises(ValueError):
+            model_programming_cost({0: 10}, crossbars=0)
+        with pytest.raises(ValueError):
+            model_programming_cost({9: 10}, crossbars=1)
+
+
+class TestHistogram:
+    def test_counts_all_planes(self):
+        planes = {
+            "positive": np.array([[0, 1], [1, 3]]),
+            "negative": np.array([[0, 0], [2, 3]]),
+        }
+        histogram = cell_level_histogram(planes)
+        assert histogram == {0: 3, 1: 2, 2: 1, 3: 2}
+
+    def test_integrates_with_mapping(self):
+        from repro.core.fragments import FragmentGeometry
+        from repro.core.quantization import QuantizationSpec
+        from repro.reram.mapping import infer_signs, map_layer
+
+        rng = np.random.default_rng(0)
+        geometry = FragmentGeometry((4, 1, 3, 3), 3, "w")
+        raw = rng.integers(-7, 8, size=(geometry.padded_rows, geometry.cols))
+        stack = raw.reshape(-1, geometry.fragment_size, geometry.cols)
+        signs = np.where(stack.sum(axis=1, keepdims=True) >= 0, 1, -1)
+        levels = (np.abs(stack) * signs).reshape(
+            geometry.padded_rows, geometry.cols)[:geometry.rows]
+        mapped = map_layer(levels, geometry, QuantizationSpec(8, 2),
+                           scheme="forms",
+                           signs=infer_signs(levels, geometry))
+        histogram = cell_level_histogram(mapped.code_planes)
+        total_cells = sum(plane.size for plane in mapped.code_planes.values())
+        assert sum(histogram.values()) == total_cells
+        cost = model_programming_cost(histogram, crossbars=1)
+        assert cost.cells == total_cells

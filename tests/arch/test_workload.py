@@ -1,0 +1,110 @@
+"""Workload extraction and transfer tests."""
+
+import numpy as np
+import pytest
+
+from repro.arch import LayerWorkload, NetworkWorkload, extract_workload
+from repro.arch.workload import trace_dimensions, transfer_measurements
+from repro.core.zero_skip import EICStats
+from repro.nn import (Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential,
+                      set_init_seed)
+from repro.nn.data import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def traced():
+    set_init_seed(13)
+    model = Sequential(Conv2d(1, 4, 3, padding=1), ReLU(), MaxPool2d(2),
+                       Conv2d(4, 6, 3, padding=1), ReLU(),
+                       Flatten(), Linear(6 * 4 * 4, 5))
+    train, _ = make_synthetic("w", 5, 1, 8, 16, 8, seed=13)
+    workload = extract_workload(model, train, fragment_sizes=(4, 8),
+                                sample_images=4)
+    return model, workload
+
+
+class TestExtractWorkload:
+    def test_layer_dimensions(self, traced):
+        _, workload = traced
+        conv1, conv2, linear = workload.layers
+        assert conv1.rows == 9 and conv1.cols == 4
+        assert conv2.rows == 36 and conv2.cols == 6
+        assert linear.rows == 96 and linear.cols == 5
+        assert conv1.kind == "conv" and linear.kind == "linear"
+
+    def test_positions_per_image(self, traced):
+        _, workload = traced
+        conv1, conv2, linear = workload.layers
+        assert conv1.positions_per_image == 64    # 8x8
+        assert conv2.positions_per_image == 16    # pooled to 4x4
+        assert linear.positions_per_image == 1
+
+    def test_macs(self, traced):
+        _, workload = traced
+        conv1 = workload.layers[0]
+        assert conv1.dense_macs_per_image == 9 * 4 * 64
+        assert workload.total_dense_macs == sum(
+            l.dense_macs_per_image for l in workload.layers)
+
+    def test_eic_stats_present(self, traced):
+        _, workload = traced
+        for layer in workload.layers:
+            for m in (4, 8):
+                assert isinstance(layer.eic_stats[m], EICStats)
+        assert 1.0 <= workload.average_eic(4) <= 16.0
+
+    def test_eic_monotone_in_fragment_size(self, traced):
+        _, workload = traced
+        assert workload.average_eic(4) <= workload.average_eic(8) + 1e-9
+
+    def test_average_eic_fallback(self):
+        layer = LayerWorkload("x", "conv", 8, 4, 8, 4, 10)
+        assert layer.average_eic(4, total_bits=16) == 16.0
+
+    def test_prune_ratio_dense(self, traced):
+        _, workload = traced
+        assert workload.prune_ratio == pytest.approx(1.0)
+
+
+class TestTraceDimensions:
+    def test_matches_extracted_dims(self, traced):
+        model, workload = traced
+        dims = trace_dimensions(model, channels=1, image_size=8)
+        for a, b in zip(dims.layers, workload.layers):
+            assert (a.rows, a.cols, a.positions_per_image) == \
+                   (b.rows, b.cols, b.positions_per_image)
+
+    def test_live_equals_dense(self, traced):
+        model, _ = traced
+        dims = trace_dimensions(model, channels=1, image_size=8)
+        for layer in dims.layers:
+            assert layer.live_rows == layer.rows
+            assert layer.live_cols == layer.cols
+
+
+class TestTransferMeasurements:
+    def test_ratios_and_eic_grafted(self, traced):
+        model, measured = traced
+        # prune the measured workload artificially
+        for layer in measured.layers:
+            layer.live_rows = max(1, layer.rows // 2)
+            layer.live_cols = max(1, layer.cols // 2)
+        dims = trace_dimensions(model, channels=1, image_size=8)
+        merged = transfer_measurements(dims, measured)
+        for layer, src in zip(merged.layers, measured.layers):
+            assert layer.live_rows == pytest.approx(layer.rows * src.live_rows / src.rows, abs=1)
+            assert layer.eic_stats == src.eic_stats
+        assert merged.prune_ratio > 1.5
+
+    def test_depth_mismatch_maps_by_relative_position(self, traced):
+        model, measured = traced
+        dims = trace_dimensions(model, channels=1, image_size=8)
+        short = NetworkWorkload("short", "d", [measured.layers[0], measured.layers[-1]])
+        merged = transfer_measurements(dims, short)
+        assert len(merged.layers) == len(dims.layers)
+
+    def test_empty_source_rejected(self, traced):
+        model, _ = traced
+        dims = trace_dimensions(model, channels=1, image_size=8)
+        with pytest.raises(ValueError):
+            transfer_measurements(dims, NetworkWorkload("e", "d", []))

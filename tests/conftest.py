@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (trained models) are session-scoped; everything
+downstream clones them rather than retraining.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, LeNet5, evaluate, fit, set_init_seed, synthetic_mnist
+from repro.nn.data import make_synthetic
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def mnist_small():
+    """A small synthetic MNIST split shared across tests."""
+    return synthetic_mnist(train_size=192, test_size=96, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trained_lenet(mnist_small):
+    """A LeNet-5 trained well above chance on the small MNIST stand-in."""
+    train_set, test_set = mnist_small
+    set_init_seed(7)
+    model = LeNet5(num_classes=10, in_channels=1, image_size=16)
+    fit(model, train_set, Adam(model.parameters(), lr=1e-3), epochs=4,
+        batch_size=32, seed=7)
+    accuracy = evaluate(model, test_set).accuracy
+    assert accuracy > 0.5, f"fixture model failed to train ({accuracy:.2f})"
+    return model
+
+
+@pytest.fixture()
+def tiny_dataset():
+    """A fresh 3-class dataset for fast training tests."""
+    return make_synthetic("tiny", num_classes=3, channels=1, size=8,
+                          train_size=96, test_size=48, seed=11)

@@ -1,0 +1,155 @@
+"""ADMM trainer and constraint-object tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ADMMConfig, ADMMTrainer, FragmentGeometry,
+                        PolarizationConstraint, PruningSpec,
+                        QuantizationConstraint, QuantizationSpec,
+                        StructuredPruningConstraint)
+from repro.core.pipeline import FrozenMaskConstraint
+from repro.nn import (Adam, Conv2d, Flatten, Linear, ReLU, Sequential,
+                      evaluate, fit, set_init_seed)
+
+
+def small_model():
+    set_init_seed(5)
+    return Sequential(Conv2d(1, 6, 3, padding=1), ReLU(),
+                      Flatten(), Linear(6 * 8 * 8, 3))
+
+
+@pytest.fixture()
+def trained(tiny_dataset):
+    train, test = tiny_dataset
+    model = small_model()
+    fit(model, train, Adam(model.parameters(), 1e-3), epochs=3, batch_size=16)
+    return model, train, test
+
+
+class TestConstraints:
+    def test_pruning_violation_zero_after_project(self, rng):
+        geom = FragmentGeometry((6, 1, 3, 3), 4)
+        c = StructuredPruningConstraint(geom, PruningSpec(0.5, 0.5))
+        w = rng.normal(size=(6, 1, 3, 3))
+        assert c.violation(w) > 0
+        assert c.violation(c.project(w)) == 0.0
+
+    def test_pruning_enforce_uses_captured_mask(self, rng):
+        geom = FragmentGeometry((6, 1, 3, 3), 4)
+        c = StructuredPruningConstraint(geom, PruningSpec(0.5, 0.5))
+        w = c.project(rng.normal(size=(6, 1, 3, 3)))
+        c.capture_mask(w)
+        drifted = w + rng.normal(scale=0.01, size=w.shape)
+        enforced = c.enforce(drifted)
+        np.testing.assert_array_equal(enforced == 0.0, w == 0.0)
+
+    def test_polarization_refresh_every_m(self, rng):
+        geom = FragmentGeometry((4, 1, 3, 3), 4)
+        c = PolarizationConstraint(geom, refresh_every=2)
+        w = rng.normal(size=(4, 1, 3, 3))
+        c.project(w)
+        for epoch in range(4):
+            c.refresh(w, epoch)
+        assert c.sign_updates == 2  # epochs 1 and 3
+
+    def test_polarization_invalid_refresh(self):
+        geom = FragmentGeometry((4, 1, 3, 3), 4)
+        with pytest.raises(ValueError):
+            PolarizationConstraint(geom, refresh_every=0)
+
+    def test_quantization_scale_persists(self, rng):
+        c = QuantizationConstraint(QuantizationSpec(8, 2))
+        w = rng.normal(size=(4, 4))
+        first = c.project(w)
+        scale = c.scale
+        c.project(first * 0.5)
+        assert c.scale == scale  # grid stays fixed across iterations
+        assert c.violation(first) == 0.0
+
+    def test_frozen_mask(self, rng):
+        mask = rng.normal(size=(3, 3)) > 0
+        c = FrozenMaskConstraint(mask.astype(np.float64))
+        w = rng.normal(size=(3, 3))
+        out = c.project(w)
+        np.testing.assert_array_equal(out[~mask], 0.0)
+        np.testing.assert_array_equal(out[mask], w[mask])
+        assert "live" in c.describe()
+
+    def test_describe_strings(self):
+        geom = FragmentGeometry((4, 1, 3, 3), 4)
+        assert "prune" in StructuredPruningConstraint(geom, PruningSpec()).describe()
+        assert "polarize" in PolarizationConstraint(geom).describe()
+        assert "quantize" in QuantizationConstraint(QuantizationSpec()).describe()
+
+
+class TestADMMConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ADMMConfig(rho=0.0)
+        with pytest.raises(ValueError):
+            ADMMConfig(iterations=0)
+
+
+class TestADMMTrainer:
+    def _constraints(self, model, fragment=4):
+        constraints = {}
+        for name, layer in [("0", model[0]), ("3", model[3])]:
+            geom = FragmentGeometry(tuple(layer.weight.shape), fragment)
+            constraints[name] = [PolarizationConstraint(geom)]
+        return constraints
+
+    def test_unknown_layer_rejected(self, trained):
+        model, _, _ = trained
+        with pytest.raises(KeyError):
+            ADMMTrainer(model, {"nope": []}, ADMMConfig(iterations=1))
+
+    def test_run_reduces_primal_residual(self, trained):
+        model, train, _ = trained
+        trainer = ADMMTrainer(model, self._constraints(model),
+                              ADMMConfig(iterations=3, epochs_per_iteration=1,
+                                         rho=5e-2, retrain_epochs=0))
+        report = trainer.run(train)
+        assert report.primal_residuals[-1] < report.primal_residuals[0]
+
+    def test_finalize_reaches_feasibility(self, trained):
+        model, train, test = trained
+        trainer = ADMMTrainer(model, self._constraints(model),
+                              ADMMConfig(iterations=1, epochs_per_iteration=1,
+                                         retrain_epochs=1))
+        trainer.run(train)
+        report = trainer.finalize(train, test_set=test)
+        assert trainer.max_violation() == 0.0
+        assert report.final_test_accuracy is not None
+
+    def test_finalize_keeps_reasonable_accuracy(self, trained):
+        model, train, test = trained
+        baseline = evaluate(model, test).accuracy
+        trainer = ADMMTrainer(model, self._constraints(model),
+                              ADMMConfig(iterations=2, epochs_per_iteration=1,
+                                         rho=2e-2, retrain_epochs=2))
+        trainer.run(train, test_set=test)
+        report = trainer.finalize(train, test_set=test)
+        # Polarization alone should cost little on an easy task.
+        assert report.final_test_accuracy > baseline - 0.25
+
+    def test_penalty_hook_adds_gradient(self, trained):
+        model, train, _ = trained
+        trainer = ADMMTrainer(model, self._constraints(model),
+                              ADMMConfig(iterations=1, retrain_epochs=0))
+        param = model[0].weight
+        param.grad = np.zeros_like(param.data)
+        trainer._penalty_grad_hook(rho=1.0)()
+        expected = param.data - trainer._aux["0"] + trainer._dual["0"]
+        np.testing.assert_allclose(param.grad, expected, rtol=1e-6)
+
+    def test_multiple_constraints_project_sequentially(self, trained, rng):
+        model, train, _ = trained
+        geom = FragmentGeometry(tuple(model[0].weight.shape), 4)
+        constraints = {"0": [StructuredPruningConstraint(geom, PruningSpec(0.5, 0.5)),
+                             PolarizationConstraint(geom)]}
+        trainer = ADMMTrainer(model, constraints,
+                              ADMMConfig(iterations=1, epochs_per_iteration=1,
+                                         retrain_epochs=1))
+        trainer.run(train)
+        trainer.finalize(train)
+        assert trainer.max_violation() == 0.0

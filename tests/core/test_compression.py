@@ -1,0 +1,110 @@
+"""Crossbar counting and compression report tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (CrossbarShape, FORMSConfig, QuantizationSpec,
+                        crossbars_for_matrix, model_compression_report)
+from repro.core.compression import SCHEME_COPIES, CompressionReport, LayerCompression
+from repro.nn import Conv2d, Flatten, Linear, ReLU, Sequential, set_init_seed
+
+
+class TestCrossbarsForMatrix:
+    def test_exact_fit(self):
+        xbar = CrossbarShape(128, 128)
+        # 128 rows, 32 filters at 4 cells each = 128 columns -> 1 crossbar
+        assert crossbars_for_matrix(128, 32, xbar, 4, "forms") == 1
+
+    def test_ceiling_rows(self):
+        xbar = CrossbarShape(128, 128)
+        assert crossbars_for_matrix(129, 32, xbar, 4, "forms") == 2
+
+    def test_ceiling_cols(self):
+        xbar = CrossbarShape(128, 128)
+        assert crossbars_for_matrix(128, 33, xbar, 4, "forms") == 2
+
+    def test_dual_doubles(self):
+        xbar = CrossbarShape(128, 128)
+        base = crossbars_for_matrix(100, 10, xbar, 4, "forms")
+        assert crossbars_for_matrix(100, 10, xbar, 4, "dual") == 2 * base
+        assert crossbars_for_matrix(100, 10, xbar, 4, "splitting") == 2 * base
+
+    def test_isaac_offset_single_copy(self):
+        xbar = CrossbarShape(128, 128)
+        assert (crossbars_for_matrix(10, 10, xbar, 4, "isaac_offset")
+                == crossbars_for_matrix(10, 10, xbar, 4, "forms"))
+
+    def test_more_cells_more_crossbars(self):
+        xbar = CrossbarShape(128, 128)
+        at8bit = crossbars_for_matrix(128, 128, xbar, 4, "forms")
+        at32bit = crossbars_for_matrix(128, 128, xbar, 16, "forms")
+        assert at32bit == 4 * at8bit
+
+    def test_validation(self):
+        xbar = CrossbarShape(128, 128)
+        with pytest.raises(ValueError):
+            crossbars_for_matrix(0, 1, xbar, 4)
+        with pytest.raises(ValueError):
+            crossbars_for_matrix(1, 1, xbar, 0)
+        with pytest.raises(KeyError):
+            crossbars_for_matrix(1, 1, xbar, 4, "unknown")
+        with pytest.raises(ValueError):
+            CrossbarShape(0, 128)
+
+
+class TestReportMath:
+    def _report(self):
+        report = CompressionReport(baseline_bits=32, weight_bits=8, fragment_size=8)
+        report.layers.append(LayerCompression(
+            name="conv", rows=100, cols=50, live_rows=50, live_cols=25,
+            baseline_crossbars=80, forms_crossbars=4))
+        return report
+
+    def test_layer_properties(self):
+        layer = self._report().layers[0]
+        assert layer.prune_ratio == 4.0
+        assert layer.crossbar_reduction == 20.0
+
+    def test_totals_and_factors(self):
+        report = self._report()
+        assert report.total_baseline_crossbars == 80
+        assert report.crossbar_reduction == 20.0
+        assert report.quantization_factor == 4.0
+        assert report.polarization_factor == 2.0
+        assert report.analytic_reduction() == 4.0 * 4.0 * 2.0
+
+    def test_summary_keys(self):
+        summary = self._report().summary()
+        for key in ("prune_ratio", "crossbar_reduction", "analytic_reduction"):
+            assert key in summary
+
+
+class TestModelReport:
+    def test_dense_model_decomposition(self):
+        set_init_seed(9)
+        model = Sequential(Conv2d(4, 8, 3, padding=1), ReLU(),
+                           Flatten(), Linear(8 * 4, 6))
+        spec = QuantizationSpec(8, 2)
+        report = model_compression_report(model, 8, "w", spec,
+                                          crossbar=CrossbarShape(16, 16))
+        # Dense model: measured reduction equals quant x polarization
+        # up to crossbar-ceiling effects.
+        assert report.prune_ratio == 1.0
+        assert report.crossbar_reduction >= report.quantization_factor
+        assert report.crossbar_reduction <= report.analytic_reduction() * 2
+
+    def test_reduction_grows_with_pruning(self):
+        set_init_seed(9)
+        model = Sequential(Conv2d(4, 8, 3, padding=1), Flatten(), Linear(8 * 4, 6))
+        conv = model[0]
+        dense = model_compression_report(model, 8, "w", QuantizationSpec(8, 2),
+                                         crossbar=CrossbarShape(16, 16))
+        conv.weight.data[:, 2:] = 0.0  # shape-prune half the rows
+        pruned = model_compression_report(model, 8, "w", QuantizationSpec(8, 2),
+                                          crossbar=CrossbarShape(16, 16))
+        assert pruned.crossbar_reduction >= dense.crossbar_reduction
+
+    def test_scheme_copies_constants(self):
+        assert SCHEME_COPIES["forms"] == 1
+        assert SCHEME_COPIES["dual"] == 2
+        assert SCHEME_COPIES["splitting"] == 2

@@ -1,0 +1,245 @@
+"""Fault-tolerant mapping tests (ref [29] mitigations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (ADMMConfig, CrossbarShape, FORMSConfig, FORMSPipeline)
+from repro.core.fault_tolerance import (MitigationConfig, MitigationPlan,
+                                        apply_fault_injection,
+                                        apply_faults_to_magnitudes,
+                                        fault_tolerance_study,
+                                        fragment_costs,
+                                        magnitude_fault_impact,
+                                        plan_mitigation)
+from repro.nn import (Adam, Conv2d, Flatten, Linear, ReLU, Sequential,
+                      evaluate, fit, set_init_seed)
+from repro.nn.data import make_synthetic
+from repro.reram.nonideal import FAULT_NONE, FAULT_SA0, FAULT_SA1, FaultModel
+
+MAX_LEVEL = 127
+
+
+def random_magnitudes(rows, cols, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, MAX_LEVEL + 1, size=(rows, cols))
+
+
+class TestImpactModel:
+    def test_no_faults_no_impact(self):
+        mag = random_magnitudes(16, 4)
+        mask = np.full(mag.shape, FAULT_NONE)
+        assert magnitude_fault_impact(mag, mask, MAX_LEVEL) == 0.0
+
+    def test_sa0_impact_is_lost_magnitude(self):
+        mag = np.array([[100, 0], [50, 20]])
+        mask = np.array([[FAULT_SA0, FAULT_NONE], [FAULT_NONE, FAULT_SA0]])
+        assert magnitude_fault_impact(mag, mask, MAX_LEVEL) == 120.0
+
+    def test_sa1_impact_is_saturation_gap(self):
+        mag = np.array([[100], [0]])
+        mask = np.array([[FAULT_SA1], [FAULT_SA1]])
+        assert magnitude_fault_impact(mag, mask, MAX_LEVEL) == 27.0 + 127.0
+
+    def test_sa0_on_zero_weight_is_free(self):
+        mag = np.zeros((4, 2), dtype=np.int64)
+        mask = np.full(mag.shape, FAULT_SA0)
+        assert magnitude_fault_impact(mag, mask, MAX_LEVEL) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            magnitude_fault_impact(np.zeros((2, 2)), np.zeros((3, 2)), MAX_LEVEL)
+        with pytest.raises(ValueError):
+            magnitude_fault_impact(np.full((2, 2), 200), np.zeros((2, 2)),
+                                   MAX_LEVEL)
+
+
+class TestFragmentCosts:
+    def test_shapes(self):
+        mag = random_magnitudes(16, 4)
+        mask = FaultModel(0.1, 0.05, seed=0).sample(mag.shape)
+        direct, complement = fragment_costs(mag, mask, MAX_LEVEL, 8)
+        assert direct.shape == (2, 4, 4)
+        assert complement.shape == (2, 4, 4)
+
+    def test_diagonal_matches_direct_impact(self):
+        mag = random_magnitudes(16, 4)
+        mask = FaultModel(0.2, 0.1, seed=1).sample(mag.shape)
+        direct, _ = fragment_costs(mag, mask, MAX_LEVEL, 8)
+        identity_total = direct[:, np.arange(4), np.arange(4)].sum()
+        assert identity_total == pytest.approx(
+            magnitude_fault_impact(mag, mask, MAX_LEVEL))
+
+    def test_complement_swaps_sa0_sa1_roles(self):
+        mag = np.full((8, 1), 100)
+        sa0_mask = np.full((8, 1), FAULT_SA0)
+        sa1_mask = np.full((8, 1), FAULT_SA1)
+        d_sa0, c_sa0 = fragment_costs(mag, sa0_mask, MAX_LEVEL, 8)
+        d_sa1, c_sa1 = fragment_costs(mag, sa1_mask, MAX_LEVEL, 8)
+        assert d_sa0.sum() == pytest.approx(c_sa1.sum())
+        assert d_sa1.sum() == pytest.approx(c_sa0.sum())
+
+    def test_ragged_rows_padded(self):
+        mag = random_magnitudes(10, 3)   # not a multiple of fragment 8
+        mask = np.full(mag.shape, FAULT_NONE)
+        direct, _ = fragment_costs(mag, mask, MAX_LEVEL, 8)
+        assert direct.shape == (2, 3, 3)
+        assert direct.sum() == 0.0
+
+
+class TestPlanMitigation:
+    def test_clean_die_identity_plan(self):
+        mag = random_magnitudes(16, 4)
+        mask = np.full(mag.shape, FAULT_NONE)
+        plan = plan_mitigation(mag, mask, MAX_LEVEL, 8)
+        assert plan.baseline_impact == 0.0
+        assert plan.planned_impact == 0.0
+        assert plan.impact_reduction == 0.0
+
+    def test_remapping_never_hurts(self):
+        for seed in range(5):
+            mag = random_magnitudes(32, 8, seed=seed)
+            mask = FaultModel(0.05, 0.01, seed=seed).sample(mag.shape)
+            plan = plan_mitigation(mag, mask, MAX_LEVEL, 8)
+            assert plan.planned_impact <= plan.baseline_impact + 1e-9
+
+    def test_remapping_steers_faults_to_zero_columns(self):
+        # Column 0 holds zeros, column 1 holds large weights; the fault sits
+        # on physical column 1 -> the plan should map the zero column there.
+        mag = np.zeros((8, 2), dtype=np.int64)
+        mag[:, 1] = 120
+        mask = np.full(mag.shape, FAULT_NONE)
+        mask[3, 1] = FAULT_SA0
+        plan = plan_mitigation(mag, mask, MAX_LEVEL, 8,
+                               MitigationConfig(differential_fragments=False))
+        assert plan.permutation[0] == 1   # zeros absorb the fault
+        assert plan.planned_impact == 0.0
+        assert plan.baseline_impact == 120.0
+
+    def test_differential_fixes_sa1_on_small_weights(self):
+        # Small weights + SA1 fault: direct storage costs max - q, the
+        # complement representation costs only q.
+        mag = np.full((8, 1), 5)
+        mask = np.full(mag.shape, FAULT_NONE)
+        mask[2, 0] = FAULT_SA1
+        no_diff = plan_mitigation(mag, mask, MAX_LEVEL, 8,
+                                  MitigationConfig(differential_fragments=False))
+        with_diff = plan_mitigation(mag, mask, MAX_LEVEL, 8,
+                                    MitigationConfig(differential_fragments=True))
+        assert no_diff.planned_impact == 122.0
+        assert with_diff.planned_impact == 5.0
+        assert with_diff.complement.any()
+
+    def test_disabled_remap_keeps_identity(self):
+        mag = random_magnitudes(16, 4)
+        mask = FaultModel(0.1, 0.05, seed=3).sample(mag.shape)
+        plan = plan_mitigation(mag, mask, MAX_LEVEL, 8,
+                               MitigationConfig(remap_columns=False,
+                                                differential_fragments=False))
+        np.testing.assert_array_equal(plan.permutation, np.arange(4))
+        assert plan.planned_impact == plan.baseline_impact
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=25, deadline=None)
+    def test_assignment_is_optimal_for_two_columns(self, seed):
+        # With 2 columns there are only 2 assignments; the LAP solution must
+        # match brute force.
+        mag = random_magnitudes(8, 2, seed=seed)
+        mask = FaultModel(0.15, 0.1, seed=seed).sample(mag.shape)
+        direct, _ = fragment_costs(mag, mask, MAX_LEVEL, 8)
+        cost = direct.sum(axis=0)
+        best = min(cost[0, 0] + cost[1, 1], cost[0, 1] + cost[1, 0])
+        plan = plan_mitigation(mag, mask, MAX_LEVEL, 8,
+                               MitigationConfig(differential_fragments=False))
+        assert plan.planned_impact == pytest.approx(best)
+
+
+class TestApplyFaults:
+    def test_no_faults_identity(self):
+        mag = random_magnitudes(16, 4)
+        mask = np.full(mag.shape, FAULT_NONE)
+        out = apply_faults_to_magnitudes(mag, mask, MAX_LEVEL, 8)
+        np.testing.assert_array_equal(out, mag)
+
+    def test_direct_faults_applied(self):
+        mag = np.array([[50, 60], [70, 80]])
+        mask = np.array([[FAULT_SA0, FAULT_NONE], [FAULT_NONE, FAULT_SA1]])
+        out = apply_faults_to_magnitudes(mag, mask, MAX_LEVEL, 2)
+        np.testing.assert_array_equal(out, [[0, 60], [70, MAX_LEVEL]])
+
+    def test_plan_execution_matches_planned_impact(self):
+        for seed in range(4):
+            mag = random_magnitudes(24, 6, seed=seed)
+            mask = FaultModel(0.08, 0.04, seed=seed).sample(mag.shape)
+            plan = plan_mitigation(mag, mask, MAX_LEVEL, 8)
+            realized = apply_faults_to_magnitudes(mag, mask, MAX_LEVEL, 8, plan)
+            actual_impact = float(np.abs(realized.astype(np.int64)
+                                         - mag.astype(np.int64)).sum())
+            assert actual_impact == pytest.approx(plan.planned_impact)
+
+    def test_mitigated_error_never_worse(self):
+        for seed in range(4):
+            mag = random_magnitudes(32, 8, seed=100 + seed)
+            mask = FaultModel(0.05, 0.02, seed=seed).sample(mag.shape)
+            plain = apply_faults_to_magnitudes(mag, mask, MAX_LEVEL, 8)
+            plan = plan_mitigation(mag, mask, MAX_LEVEL, 8)
+            fixed = apply_faults_to_magnitudes(mag, mask, MAX_LEVEL, 8, plan)
+            err_plain = np.abs(plain.astype(np.int64) - mag).sum()
+            err_fixed = np.abs(fixed.astype(np.int64) - mag).sum()
+            assert err_fixed <= err_plain
+
+    def test_ragged_rows_round_trip(self):
+        mag = random_magnitudes(10, 3, seed=9)
+        mask = np.full(mag.shape, FAULT_NONE)
+        out = apply_faults_to_magnitudes(mag, mask, MAX_LEVEL, 8)
+        assert out.shape == mag.shape
+        np.testing.assert_array_equal(out, mag)
+
+
+@pytest.fixture(scope="module")
+def optimized_for_faults():
+    train, test = make_synthetic("ft", 4, 1, 8, 160, 64, seed=23)
+    set_init_seed(23)
+    model = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(),
+                       Flatten(), Linear(8 * 8 * 8, 4))
+    fit(model, train, Adam(model.parameters(), 1e-3), epochs=4, batch_size=16)
+    admm = ADMMConfig(iterations=1, epochs_per_iteration=1, retrain_epochs=1)
+    config = FORMSConfig(fragment_size=4, crossbar=CrossbarShape(16, 16),
+                         filter_keep=0.75, shape_keep=0.75,
+                         prune_admm=admm, polarize_admm=admm,
+                         quantize_admm=admm)
+    FORMSPipeline(config).optimize(model, train, test, seed=23)
+    return model, config, train, test
+
+
+class TestModelLevelInjection:
+    def test_zero_rate_preserves_accuracy(self, optimized_for_faults):
+        model, config, _, test = optimized_for_faults
+        clean = apply_fault_injection(model, config,
+                                      FaultModel(0.0, 0.0, seed=0))
+        base = evaluate(model, test).accuracy
+        assert evaluate(clean, test).accuracy == pytest.approx(base, abs=0.02)
+
+    def test_faults_change_weights_original_untouched(self, optimized_for_faults):
+        from repro.nn.layers import compressible_layers
+
+        model, config, _, _ = optimized_for_faults
+        before = {name: layer.weight.data.copy()
+                  for name, layer in compressible_layers(model)}
+        faulty = apply_fault_injection(model, config,
+                                       FaultModel(0.2, 0.1, seed=1))
+        for name, layer in compressible_layers(model):
+            np.testing.assert_array_equal(layer.weight.data, before[name])
+        assert any(not np.array_equal(layer.weight.data, before[name])
+                   for name, layer in compressible_layers(faulty))
+
+    def test_study_mitigation_recovers_impact(self, optimized_for_faults):
+        model, config, _, test = optimized_for_faults
+        points = fault_tolerance_study(model, config, test,
+                                       fault_rates=[(0.05, 0.01)], runs=3,
+                                       seed=5)
+        (point,) = points
+        # Paired dies: mitigation can only remove fault impact.
+        assert point.mitigated_mean >= point.unmitigated_mean - 0.02
+        assert len(point.unmitigated_accuracies) == 3

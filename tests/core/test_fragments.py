@@ -1,0 +1,141 @@
+"""Fragment geometry tests: policies, round-trips, padding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FragmentGeometry, geometry_for_layer, row_permutation
+from repro.nn import Conv2d, Linear, set_init_seed
+
+
+class TestRowPermutation:
+    def test_w_major_is_identity(self):
+        perm = row_permutation(3, 2, 2, "w")
+        np.testing.assert_array_equal(perm, np.arange(12))
+
+    def test_h_major_swaps_kh_kw(self):
+        # For a (1, 2, 3) filter grid: W-major order is (h0w0,h0w1,h0w2,h1w0...)
+        perm = row_permutation(1, 2, 3, "h")
+        # H-major: h fastest -> (h0w0, h1w0, h0w1, h1w1, h0w2, h1w2)
+        np.testing.assert_array_equal(perm, [0, 3, 1, 4, 2, 5])
+
+    def test_c_major_puts_channels_adjacent(self):
+        perm = row_permutation(2, 2, 2, "c")
+        # first fragment entries: position (0,0) of channel 0 then channel 1
+        assert perm[0] == 0 and perm[1] == 4
+
+    def test_permutations_are_bijections(self):
+        for policy in ("w", "h", "c"):
+            perm = row_permutation(3, 3, 3, policy)
+            assert sorted(perm.tolist()) == list(range(27))
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            row_permutation(1, 1, 1, "z")
+
+
+class TestGeometry:
+    def test_conv_dimensions(self):
+        geom = FragmentGeometry((8, 3, 3, 3), fragment_size=4)
+        assert geom.rows == 27
+        assert geom.cols == 8
+        assert geom.fragments_per_column == 7  # ceil(27/4)
+        assert geom.num_fragments == 56
+        assert geom.padded_rows == 28
+
+    def test_linear_dimensions(self):
+        geom = FragmentGeometry((10, 64), fragment_size=8)
+        assert geom.rows == 64 and geom.cols == 10
+        assert not geom.is_conv
+
+    @pytest.mark.parametrize("policy", ["w", "h", "c"])
+    def test_matrix_weight_roundtrip_conv(self, policy, rng):
+        weight = rng.normal(size=(6, 4, 3, 3))
+        geom = FragmentGeometry(weight.shape, 8, policy)
+        np.testing.assert_array_equal(geom.weight(geom.matrix(weight)), weight)
+
+    def test_matrix_weight_roundtrip_linear(self, rng):
+        weight = rng.normal(size=(5, 17))
+        geom = FragmentGeometry(weight.shape, 4)
+        np.testing.assert_array_equal(geom.weight(geom.matrix(weight)), weight)
+
+    def test_matrix_columns_are_filters(self, rng):
+        weight = rng.normal(size=(6, 2, 3, 3))
+        geom = FragmentGeometry(weight.shape, 4, "w")
+        matrix = geom.matrix(weight)
+        np.testing.assert_array_equal(matrix[:, 2], weight[2].reshape(-1))
+
+    def test_fragment_stack_roundtrip_with_padding(self, rng):
+        weight = rng.normal(size=(3, 3, 3, 3))  # rows=27, not divisible by 4
+        geom = FragmentGeometry(weight.shape, 4)
+        matrix = geom.matrix(weight)
+        stack = geom.fragment_stack(matrix)
+        assert stack.shape == (7, 4, 3)
+        np.testing.assert_array_equal(stack[-1, -1, :], 0.0)  # zero padding
+        np.testing.assert_array_equal(geom.from_fragment_stack(stack), matrix)
+
+    def test_fragment_row_slices_cover_rows(self):
+        geom = FragmentGeometry((2, 3, 3, 3), 8)
+        covered = sum(s.stop - s.start for _, s in geom.fragment_row_slices())
+        assert covered == geom.rows
+
+    def test_input_permutation_matches_matrix_order(self, rng):
+        weight = rng.normal(size=(4, 3, 3, 3))
+        x = rng.normal(size=(27, 5))
+        for policy in ("w", "h", "c"):
+            geom = FragmentGeometry(weight.shape, 4, policy)
+            matrix = geom.matrix(weight)
+            perm = geom.input_permutation()
+            ordered = x if perm is None else x[perm]
+            # policy re-orders rows of weights and inputs together:
+            # the product must be invariant.
+            base = geom.matrix(weight)
+            np.testing.assert_allclose(matrix.T @ ordered,
+                                       weight.reshape(4, -1) @ x, rtol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FragmentGeometry((4, 3, 3, 3), 0)
+        with pytest.raises(ValueError):
+            FragmentGeometry((4, 3, 3), 4)
+        with pytest.raises(ValueError):
+            FragmentGeometry((4, 3, 3, 3), 4, "q")
+        geom = FragmentGeometry((4, 3, 3, 3), 4)
+        with pytest.raises(ValueError):
+            geom.matrix(np.zeros((4, 3, 3, 2)))
+        with pytest.raises(ValueError):
+            geom.weight(np.zeros((5, 4)))
+        with pytest.raises(ValueError):
+            geom.fragment_stack(np.zeros((5, 4)))
+        with pytest.raises(ValueError):
+            geom.from_fragment_stack(np.zeros((1, 2, 3)))
+
+    def test_geometry_for_layer(self):
+        set_init_seed(0)
+        conv = Conv2d(3, 8, 3)
+        geom = geometry_for_layer(conv, 8, "c")
+        assert geom.weight_shape == (8, 3, 3, 3)
+        lin = Linear(12, 5)
+        assert geometry_for_layer(lin, 4).rows == 12
+
+    def test_describe(self):
+        geom = FragmentGeometry((4, 3, 3, 3), 8, "c")
+        text = geom.describe()
+        assert "conv" in text and "m=8" in text
+
+
+@given(st.integers(1, 4), st.integers(1, 3), st.integers(1, 3),
+       st.integers(2, 8), st.sampled_from(["w", "h", "c"]),
+       st.integers(1, 9))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_property(oc, c, k, cols_extra, policy, m):
+    """matrix->weight and stack->matrix are exact inverses for any geometry."""
+    shape = (oc + cols_extra, c, k, k)
+    rng = np.random.default_rng(oc * 100 + c * 10 + k)
+    weight = rng.normal(size=shape)
+    geom = FragmentGeometry(shape, m, policy)
+    matrix = geom.matrix(weight)
+    np.testing.assert_array_equal(geom.weight(matrix), weight)
+    np.testing.assert_array_equal(
+        geom.from_fragment_stack(geom.fragment_stack(matrix)), matrix)

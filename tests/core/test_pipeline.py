@@ -1,0 +1,120 @@
+"""FORMS pipeline end-to-end tests (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ADMMConfig, CrossbarShape, FORMSConfig, FORMSPipeline,
+                        collect_layer_artifacts, is_polarized)
+from repro.nn import (Adam, Conv2d, Flatten, Linear, ReLU, Sequential,
+                      evaluate, fit, set_init_seed)
+from repro.reram.variation import clone_model
+
+
+def fast_admm():
+    return ADMMConfig(iterations=1, epochs_per_iteration=1, retrain_epochs=1,
+                      rho=2e-2)
+
+
+def fast_config(**overrides):
+    defaults = dict(fragment_size=4, crossbar=CrossbarShape(16, 16),
+                    filter_keep=0.6, shape_keep=0.6,
+                    prune_admm=fast_admm(), polarize_admm=fast_admm(),
+                    quantize_admm=fast_admm())
+    defaults.update(overrides)
+    return FORMSConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def trained_small():
+    from repro.nn.data import make_synthetic
+    train, test = make_synthetic("t", 4, 1, 8, 128, 64, seed=21)
+    set_init_seed(21)
+    model = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(),
+                       Conv2d(8, 8, 3, padding=1), ReLU(),
+                       Flatten(), Linear(8 * 8 * 8, 4))
+    fit(model, train, Adam(model.parameters(), 1e-3), epochs=4, batch_size=16)
+    return model, train, test
+
+
+class TestPipeline:
+    def test_full_pipeline_feasible_artifacts(self, trained_small):
+        model, train, test = trained_small
+        config = fast_config()
+        result = FORMSPipeline(config).optimize(clone_model(model), train, test)
+        assert set(result.phase_accuracies) == {"prune", "polarize", "quantize"}
+        for name, art in result.layers.items():
+            assert art.is_feasible, f"{name} is not polarized"
+            assert np.abs(art.int_weights).max() <= config.quant_spec().qmax
+            assert art.scale > 0
+        assert result.compression is not None
+        assert result.compression.crossbar_reduction > 1.0
+
+    def test_accuracy_drop_reasonable(self, trained_small):
+        model, train, test = trained_small
+        baseline = evaluate(model, test).accuracy
+        result = FORMSPipeline(fast_config()).optimize(clone_model(model), train, test)
+        assert result.baseline_accuracy == pytest.approx(baseline, abs=1e-9)
+        assert result.accuracy_drop < 0.35
+
+    def test_polarize_only_toggle(self, trained_small):
+        model, train, test = trained_small
+        config = fast_config(do_prune=False, do_quantize=False)
+        result = FORMSPipeline(config).optimize(clone_model(model), train, test)
+        assert list(result.phase_accuracies) == ["polarize"]
+        for name, layer_art in result.layers.items():
+            assert is_polarized(layer_art.int_weights.astype(float), layer_art.geometry)
+
+    def test_prune_only_keeps_structure(self, trained_small):
+        model, train, test = trained_small
+        config = fast_config(do_polarize=False, do_quantize=False)
+        result = FORMSPipeline(config).optimize(clone_model(model), train, test)
+        assert list(result.phase_accuracies) == ["prune"]
+        assert result.compression.prune_ratio > 1.0
+
+    def test_freeze_existing_structure(self, trained_small):
+        model, train, test = trained_small
+        pruned = clone_model(model)
+        FORMSPipeline(fast_config(do_polarize=False, do_quantize=False)).optimize(
+            pruned, train, test)
+        zeros_before = {name: layer.weight.data == 0.0
+                        for name, layer in
+                        __import__("repro.nn", fromlist=["compressible_layers"])
+                        .compressible_layers(pruned)}
+        config = fast_config(do_prune=False, freeze_existing_structure=True)
+        FORMSPipeline(config).optimize(pruned, train, test)
+        from repro.nn import compressible_layers
+        for name, layer in compressible_layers(pruned):
+            regrown = (~zeros_before[name]) | (layer.weight.data == 0.0)
+            assert regrown.all(), f"pruned weights regrew in {name}"
+
+    def test_first_conv_protected_from_pruning(self, trained_small):
+        model, train, test = trained_small
+        config = fast_config(filter_keep=0.3, shape_keep=0.3,
+                             do_polarize=False, do_quantize=False)
+        result = FORMSPipeline(config).optimize(clone_model(model), train, test)
+        first = result.compression.layers[0]
+        assert first.live_cols == first.cols  # in_channels==1 -> protected
+
+    def test_classifier_filters_never_pruned(self, trained_small):
+        model, train, test = trained_small
+        config = fast_config(filter_keep=0.3, shape_keep=0.3,
+                             do_polarize=False, do_quantize=False)
+        result = FORMSPipeline(config).optimize(clone_model(model), train, test)
+        linear = result.compression.layers[-1]
+        assert linear.live_cols == linear.cols  # class outputs intact
+
+    def test_collect_artifacts_on_any_model(self, trained_small):
+        model, _, _ = trained_small
+        arts = collect_layer_artifacts(model, fast_config())
+        assert len(arts) == 3
+        for art in arts.values():
+            assert art.signs.shape == (art.geometry.fragments_per_column,
+                                       art.geometry.cols)
+
+    def test_config_helpers(self):
+        config = fast_config(weight_bits=8, cell_bits=2)
+        assert config.quant_spec().cells_per_weight == 4
+        set_init_seed(0)
+        conv = Conv2d(2, 4, 3)
+        geom = config.geometry_for(conv)
+        assert geom.fragment_size == config.fragment_size

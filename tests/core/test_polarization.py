@@ -1,0 +1,125 @@
+"""Polarization projection and sign-rule tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (FragmentGeometry, compute_signs, fragment_signs,
+                        is_polarized, polarization_violation,
+                        project_polarization, project_stack,
+                        sign_flip_fraction)
+
+
+def make_stack(rng, n_frag=3, m=4, cols=5):
+    return rng.normal(size=(n_frag, m, cols))
+
+
+class TestFragmentSigns:
+    def test_sum_rule_matches_eq2(self, rng):
+        stack = np.zeros((1, 4, 2))
+        stack[0, :, 0] = [1.0, -0.5, -0.2, 0.1]   # sum 0.4 -> +
+        stack[0, :, 1] = [-1.0, 0.5, 0.2, -0.1]   # sum -0.4 -> -
+        signs = fragment_signs(stack, "sum")
+        np.testing.assert_array_equal(signs, [[1.0, -1.0]])
+
+    def test_sum_rule_zero_is_positive(self):
+        stack = np.zeros((1, 4, 1))
+        assert fragment_signs(stack, "sum")[0, 0] == 1.0
+
+    def test_l2_rule_picks_heavier_side(self):
+        stack = np.zeros((1, 3, 1))
+        stack[0, :, 0] = [2.0, -1.0, -1.5]  # sum -0.5 (sum rule: -),
+        # but positive energy 4.0 > negative 3.25 (l2 rule: +)
+        assert fragment_signs(stack, "sum")[0, 0] == -1.0
+        assert fragment_signs(stack, "l2")[0, 0] == 1.0
+
+    def test_unknown_rule(self):
+        with pytest.raises(ValueError):
+            fragment_signs(np.zeros((1, 2, 1)), "mean")
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            fragment_signs(np.zeros((2, 2)))
+
+
+class TestProjection:
+    def test_projection_feasible(self, rng):
+        stack = make_stack(rng)
+        signs = fragment_signs(stack)
+        projected = project_stack(stack, signs)
+        assert (projected * signs[:, None, :] >= 0).all()
+
+    def test_projection_idempotent(self, rng):
+        stack = make_stack(rng)
+        signs = fragment_signs(stack)
+        once = project_stack(stack, signs)
+        np.testing.assert_array_equal(project_stack(once, signs), once)
+
+    def test_projection_keeps_agreeing_weights(self, rng):
+        stack = np.abs(make_stack(rng))  # all positive
+        signs = np.ones((stack.shape[0], stack.shape[2]))
+        np.testing.assert_array_equal(project_stack(stack, signs), stack)
+
+    def test_shape_validation(self, rng):
+        stack = make_stack(rng)
+        with pytest.raises(ValueError):
+            project_stack(stack, np.ones((1, 1)))
+
+    def test_l2_rule_is_distance_optimal(self, rng):
+        # Over both sign choices, the l2 rule minimizes ||W - proj(W)||^2.
+        for _ in range(20):
+            frag = rng.normal(size=(1, 5, 1))
+            best_sign = fragment_signs(frag, "l2")[0, 0]
+            for sign in (-1.0, 1.0):
+                dist = ((frag - project_stack(frag, np.array([[sign]]))) ** 2).sum()
+                best = ((frag - project_stack(frag, np.array([[best_sign]]))) ** 2).sum()
+                assert best <= dist + 1e-12
+
+    def test_full_weight_projection(self, rng):
+        weight = rng.normal(size=(4, 3, 3, 3))
+        geom = FragmentGeometry(weight.shape, 4, "c")
+        signs = compute_signs(weight, geom)
+        projected = project_polarization(weight, geom, signs)
+        assert is_polarized(projected, geom)
+        # projection only zeroes, never changes surviving values
+        surviving = projected != 0
+        np.testing.assert_array_equal(projected[surviving], weight[surviving])
+
+
+class TestViolation:
+    def test_zero_for_feasible(self, rng):
+        weight = np.abs(rng.normal(size=(4, 2, 3, 3)))
+        geom = FragmentGeometry(weight.shape, 8)
+        assert polarization_violation(weight, geom) == 0.0
+        assert is_polarized(weight, geom)
+
+    def test_positive_for_mixed(self, rng):
+        weight = rng.normal(size=(4, 2, 3, 3))
+        geom = FragmentGeometry(weight.shape, 8)
+        assert polarization_violation(weight, geom) > 0.0
+
+    def test_all_zero_weight(self):
+        geom = FragmentGeometry((2, 1, 3, 3), 4)
+        assert polarization_violation(np.zeros((2, 1, 3, 3)), geom) == 0.0
+
+    def test_sign_flip_fraction(self):
+        old = np.array([[1.0, -1.0], [1.0, 1.0]])
+        new = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert sign_flip_fraction(old, new) == 0.25
+        with pytest.raises(ValueError):
+            sign_flip_fraction(old, np.ones((1, 2)))
+
+
+@given(st.integers(1, 4), st.integers(1, 8), st.integers(1, 5),
+       st.sampled_from(["sum", "l2"]))
+@settings(max_examples=40, deadline=None)
+def test_projection_properties(n_frag, m, cols, rule):
+    """Projection is feasible, idempotent, and never increases magnitude."""
+    rng = np.random.default_rng(n_frag * 1000 + m * 10 + cols)
+    stack = rng.normal(size=(n_frag, m, cols))
+    signs = fragment_signs(stack, rule)
+    projected = project_stack(stack, signs)
+    assert (projected * signs[:, None, :] >= 0).all()
+    np.testing.assert_array_equal(project_stack(projected, signs), projected)
+    assert (np.abs(projected) <= np.abs(stack) + 1e-12).all()

@@ -1,0 +1,140 @@
+"""Structured pruning projection tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (FragmentGeometry, PruningSpec, keep_topk_columns,
+                        keep_topk_rows, project_structured, prune_ratio,
+                        snap_keep_count, structure_summary, structured_mask)
+
+
+class TestSnapKeepCount:
+    def test_identity_at_granularity_one(self):
+        assert snap_keep_count(100, 37, 1) == 37
+
+    def test_rounds_up_to_multiple(self):
+        assert snap_keep_count(256, 100, 128) == 128
+        assert snap_keep_count(256, 129, 128) == 256
+        assert snap_keep_count(256, 128, 128) == 128
+
+    def test_capped_at_total(self):
+        assert snap_keep_count(100, 90, 128) == 100
+
+    def test_clips_to_valid_range(self):
+        assert snap_keep_count(10, 0, 1) == 1
+        assert snap_keep_count(10, 99, 1) == 10
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            snap_keep_count(0, 1, 1)
+
+
+class TestTopK:
+    def test_columns_keep_largest(self, rng):
+        matrix = np.diag([3.0, 1.0, 2.0])
+        out = keep_topk_columns(matrix, 2)
+        assert out[1, 1] == 0.0
+        assert out[0, 0] == 3.0 and out[2, 2] == 2.0
+
+    def test_rows_keep_largest(self):
+        matrix = np.diag([3.0, 1.0, 2.0])
+        out = keep_topk_rows(matrix, 1)
+        assert np.count_nonzero(out) == 1
+        assert out[0, 0] == 3.0
+
+    def test_keep_all_is_identity(self, rng):
+        matrix = rng.normal(size=(4, 5))
+        np.testing.assert_array_equal(keep_topk_columns(matrix, 5), matrix)
+        np.testing.assert_array_equal(keep_topk_rows(matrix, 4), matrix)
+
+
+class TestPruningSpec:
+    def test_keep_counts_snapped(self):
+        spec = PruningSpec(filter_keep=0.5, shape_keep=0.5,
+                           row_granularity=8, col_granularity=4)
+        rows, cols = spec.keep_counts(30, 10)
+        assert rows == 16  # ceil(15/8)*8
+        assert cols == 8   # ceil(5/4)*4
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            PruningSpec(filter_keep=0.0)
+        with pytest.raises(ValueError):
+            PruningSpec(shape_keep=1.5)
+
+
+class TestProjectStructured:
+    def test_produces_row_col_structure(self, rng):
+        weight = rng.normal(size=(8, 2, 3, 3))
+        geom = FragmentGeometry(weight.shape, 4)
+        spec = PruningSpec(filter_keep=0.5, shape_keep=0.5)
+        pruned = project_structured(weight, geom, spec)
+        summary = structure_summary(pruned, geom)
+        assert summary["live_cols"] == 4
+        assert summary["live_rows"] == 9
+
+    def test_idempotent(self, rng):
+        weight = rng.normal(size=(8, 2, 3, 3))
+        geom = FragmentGeometry(weight.shape, 4)
+        spec = PruningSpec(filter_keep=0.5, shape_keep=0.75)
+        once = project_structured(weight, geom, spec)
+        np.testing.assert_array_equal(project_structured(once, geom, spec), once)
+
+    def test_preserves_survivors(self, rng):
+        weight = rng.normal(size=(8, 2, 3, 3))
+        geom = FragmentGeometry(weight.shape, 4)
+        pruned = project_structured(weight, geom, PruningSpec(0.5, 0.5))
+        mask = pruned != 0
+        np.testing.assert_array_equal(pruned[mask], weight[mask])
+
+    def test_keep_one_is_identity(self, rng):
+        weight = rng.normal(size=(4, 2, 3, 3))
+        geom = FragmentGeometry(weight.shape, 4)
+        np.testing.assert_array_equal(
+            project_structured(weight, geom, PruningSpec(1.0, 1.0)), weight)
+
+
+class TestMaskAndSummary:
+    def test_mask_matches_nonzero_structure(self, rng):
+        weight = rng.normal(size=(8, 2, 3, 3))
+        geom = FragmentGeometry(weight.shape, 4)
+        pruned = project_structured(weight, geom, PruningSpec(0.5, 0.5))
+        mask = structured_mask(pruned, geom)
+        np.testing.assert_array_equal(mask, pruned != 0)
+
+    def test_prune_ratio(self):
+        weight = np.zeros((2, 10))
+        weight[0, :5] = 1.0
+        assert prune_ratio(weight) == 4.0
+
+    def test_prune_ratio_all_zero(self):
+        assert prune_ratio(np.zeros((2, 2))) == 4.0  # guards div-by-zero
+
+    def test_summary_dense(self, rng):
+        weight = rng.normal(size=(4, 2, 3, 3))
+        geom = FragmentGeometry(weight.shape, 4)
+        summary = structure_summary(weight, geom)
+        assert summary["live_rows"] == 18 and summary["live_cols"] == 4
+        assert summary["prune_ratio"] == 1.0
+
+
+@given(st.integers(2, 10), st.integers(2, 10),
+       st.floats(0.1, 1.0), st.floats(0.1, 1.0))
+@settings(max_examples=30, deadline=None)
+def test_projection_structure_property(rows_units, cols, fk, sk):
+    """Projected matrices always have pure row x column sparsity patterns."""
+    rng = np.random.default_rng(rows_units * 31 + cols)
+    weight = rng.normal(size=(cols, rows_units))
+    geom = FragmentGeometry(weight.shape, 2)
+    pruned = project_structured(weight, geom, PruningSpec(fk, sk))
+    matrix = pruned.reshape(cols, -1).T
+    live_rows = np.abs(matrix).sum(axis=1) > 0
+    live_cols = np.abs(matrix).sum(axis=0) > 0
+    # Every (live row, live col) cell must be exactly the original weight.
+    original = weight.reshape(cols, -1).T
+    np.testing.assert_array_equal(matrix[np.ix_(live_rows, live_cols)],
+                                  original[np.ix_(live_rows, live_cols)])
+    # Everything else is zero.
+    assert (matrix[~live_rows].sum() == 0.0) and (matrix[:, ~live_cols].sum() == 0.0)

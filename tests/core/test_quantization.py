@@ -1,0 +1,155 @@
+"""ReRAM-customized quantization tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (QuantizationSpec, activation_to_int, dequantize,
+                        is_quantized, layer_scale, project_quantization,
+                        quantization_error, quantize, quantize_to_int)
+
+
+class TestSpec:
+    def test_qmax(self):
+        assert QuantizationSpec(8, 2).qmax == 127
+        assert QuantizationSpec(4, 2).qmax == 7
+
+    def test_cells_per_weight(self):
+        assert QuantizationSpec(8, 2).cells_per_weight == 4
+        assert QuantizationSpec(16, 2).cells_per_weight == 8
+        assert QuantizationSpec(8, 4).cells_per_weight == 2
+
+    def test_bits_must_be_multiple_of_cell_bits(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(7, 2)
+
+    def test_other_validation(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(1, 1)
+        with pytest.raises(ValueError):
+            QuantizationSpec(8, 0)
+
+
+class TestQuantize:
+    def test_grid_values(self):
+        spec = QuantizationSpec(4, 2)
+        out = quantize(np.array([0.0, 0.9, 1.1, -3.3]), spec, scale=1.0)
+        np.testing.assert_array_equal(out, [0.0, 1.0, 1.0, -3.0])
+
+    def test_saturates_at_qmax(self):
+        spec = QuantizationSpec(4, 2)  # qmax 7
+        out = quantize(np.array([100.0, -100.0]), spec, scale=1.0)
+        np.testing.assert_array_equal(out, [7.0, -7.0])
+
+    def test_idempotent(self, rng):
+        spec = QuantizationSpec(8, 2)
+        w = rng.normal(size=(10, 10))
+        scale = layer_scale(w, spec)
+        once = quantize(w, spec, scale)
+        np.testing.assert_array_equal(quantize(once, spec, scale), once)
+
+    def test_error_bounded_by_half_step(self, rng):
+        spec = QuantizationSpec(8, 2)
+        w = rng.normal(size=1000)
+        scale = layer_scale(w, spec)
+        q = quantize(w, spec, scale)
+        inside = np.abs(w) <= spec.qmax * scale
+        assert np.abs(w[inside] - q[inside]).max() <= scale / 2 + 1e-12
+
+    def test_preserves_sign(self, rng):
+        spec = QuantizationSpec(8, 2)
+        w = rng.normal(size=500)
+        q = quantize(w, spec, layer_scale(w, spec))
+        assert (w * q >= 0.0).all()  # quantization never flips a sign
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(3), QuantizationSpec(8, 2), 0.0)
+
+
+class TestScaleAndInt:
+    def test_layer_scale_maps_max_to_qmax(self, rng):
+        spec = QuantizationSpec(8, 2)
+        w = rng.normal(size=100)
+        scale = layer_scale(w, spec)
+        np.testing.assert_allclose(np.abs(w).max() / scale, spec.qmax, rtol=1e-9)
+
+    def test_layer_scale_ignores_zeros(self):
+        spec = QuantizationSpec(8, 2)
+        w = np.array([0.0, 0.0, 2.54])
+        assert layer_scale(w, spec) == pytest.approx(2.54 / 127)
+
+    def test_layer_scale_all_zero(self):
+        assert layer_scale(np.zeros(5), QuantizationSpec(8, 2)) == 1.0
+
+    def test_percentile_clips_outliers(self, rng):
+        spec = QuantizationSpec(8, 2)
+        w = np.concatenate([rng.normal(size=1000), [100.0]])
+        assert layer_scale(w, spec, percentile=99.0) < layer_scale(w, spec)
+
+    def test_int_roundtrip(self, rng):
+        spec = QuantizationSpec(8, 2)
+        w = rng.normal(size=64)
+        scale = layer_scale(w, spec)
+        levels = quantize_to_int(w, spec, scale)
+        assert levels.dtype == np.int64
+        assert np.abs(levels).max() <= spec.qmax
+        np.testing.assert_allclose(dequantize(levels, scale),
+                                   quantize(w, spec, scale), rtol=1e-6)
+
+    def test_project_fits_scale_once(self, rng):
+        spec = QuantizationSpec(8, 2)
+        w = rng.normal(size=32)
+        projected, scale = project_quantization(w, spec)
+        assert scale > 0
+        assert is_quantized(projected, spec, scale)
+        # Passing the previous scale keeps the grid stable.
+        projected2, scale2 = project_quantization(projected, spec, scale)
+        assert scale2 == scale
+        np.testing.assert_array_equal(projected2, projected)
+
+    def test_quantization_error_metric(self, rng):
+        spec = QuantizationSpec(8, 2)
+        w = rng.normal(size=128)
+        scale = layer_scale(w, spec)
+        err = quantization_error(w, spec, scale)
+        assert 0.0 <= err <= scale  # RMS below one step
+
+
+class TestActivationToInt:
+    def test_clips_negative(self):
+        ints, _ = activation_to_int(np.array([-1.0, 0.5, 1.0]), bits=4, scale=1 / 15)
+        assert ints[0] == 0
+
+    def test_range(self, rng):
+        x = np.abs(rng.normal(size=100))
+        ints, scale = activation_to_int(x, bits=8)
+        assert ints.min() >= 0 and ints.max() <= 255
+        assert ints.max() == 255  # max maps to full scale
+
+    def test_all_zero_input(self):
+        ints, scale = activation_to_int(np.zeros(4), bits=8)
+        assert scale == 1.0
+        np.testing.assert_array_equal(ints, 0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            activation_to_int(np.ones(2), bits=0)
+
+
+@given(st.sampled_from([(4, 2), (8, 2), (8, 4), (16, 2)]),
+       st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_quantize_projection_property(spec_args, seed):
+    """Quantization is an idempotent projection that never flips signs and
+    never moves a value by more than half a step (inside the range)."""
+    spec = QuantizationSpec(*spec_args)
+    rng = np.random.default_rng(seed)
+    w = rng.normal(scale=0.5, size=64)
+    scale = layer_scale(w, spec)
+    q = quantize(w, spec, scale)
+    assert is_quantized(q, spec, scale)
+    assert (w * q >= 0).all()
+    inside = np.abs(w) < spec.qmax * scale
+    assert np.abs((w - q)[inside]).max() <= scale / 2 + 1e-9

@@ -1,0 +1,172 @@
+"""Per-layer pruning sensitivity scan and keep-ratio selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CrossbarShape
+from repro.core.sensitivity import (DEFAULT_KEEP_RATIOS, KeepSelection,
+                                    SensitivityCurve, layer_sensitivity_scan,
+                                    select_keep_ratios, sensitivity_report)
+from repro.nn import (Adam, Conv2d, Flatten, Linear, ReLU, Sequential,
+                      compressible_layers, evaluate, fit, set_init_seed)
+from repro.nn.data import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def trained_small():
+    train, test = make_synthetic("sens", 4, 1, 8, 160, 64, seed=31)
+    set_init_seed(31)
+    model = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(),
+                       Conv2d(8, 8, 3, padding=1), ReLU(),
+                       Flatten(), Linear(8 * 8 * 8, 4))
+    fit(model, train, Adam(model.parameters(), 1e-3), epochs=4, batch_size=16)
+    clean = evaluate(model, test).accuracy
+    assert clean > 0.5
+    return model, test, clean
+
+
+class TestScan:
+    def test_scan_covers_all_layers(self, trained_small):
+        model, test, _ = trained_small
+        curves = layer_sensitivity_scan(model, test, keep_ratios=(1.0, 0.5))
+        assert set(curves) == {name for name, _ in compressible_layers(model)}
+
+    def test_model_unchanged_after_scan(self, trained_small):
+        model, test, _ = trained_small
+        before = {n: l.weight.data.copy() for n, l in compressible_layers(model)}
+        layer_sensitivity_scan(model, test, keep_ratios=(1.0, 0.3))
+        for name, layer in compressible_layers(model):
+            np.testing.assert_array_equal(layer.weight.data, before[name])
+
+    def test_keep_one_matches_clean_accuracy(self, trained_small):
+        model, test, clean = trained_small
+        curves = layer_sensitivity_scan(model, test, keep_ratios=(1.0, 0.5))
+        for curve in curves.values():
+            assert curve.accuracy_at(1.0) == pytest.approx(clean, abs=1e-9)
+
+    def test_aggressive_pruning_hurts_somewhere(self, trained_small):
+        model, test, clean = trained_small
+        curves = layer_sensitivity_scan(model, test,
+                                        keep_ratios=(1.0, 0.6, 0.2))
+        drops = [curve.accuracy_at(1.0) - curve.accuracy_at(0.2)
+                 for curve in curves.values()]
+        assert max(drops) > 0.0
+
+    def test_axis_validation(self, trained_small):
+        model, test, _ = trained_small
+        with pytest.raises(ValueError):
+            layer_sensitivity_scan(model, test, prune_axis="rows???")
+        with pytest.raises(ValueError):
+            layer_sensitivity_scan(model, test, keep_ratios=(1.5,))
+        with pytest.raises(ValueError):
+            layer_sensitivity_scan(model, test, keep_ratios=())
+
+
+class TestCurve:
+    def make_curve(self):
+        return SensitivityCurve("conv", [1.0, 0.8, 0.6, 0.4],
+                                [0.90, 0.89, 0.84, 0.60], rows=18, cols=8)
+
+    def test_accuracy_at_nearest(self):
+        curve = self.make_curve()
+        assert curve.accuracy_at(0.8) == 0.89
+        assert curve.accuracy_at(0.75) == 0.89
+
+    def test_min_keep_within_tolerance(self):
+        curve = self.make_curve()
+        assert curve.min_keep_within(0.90, 0.02) == 0.8
+        assert curve.min_keep_within(0.90, 0.10) == 0.6
+        assert curve.min_keep_within(0.90, 0.40) == 0.4
+
+    def test_no_viable_ratio_keeps_everything(self):
+        curve = SensitivityCurve("c", [0.5], [0.1], rows=4, cols=4)
+        assert curve.min_keep_within(0.9, 0.01) == 1.0
+
+
+class TestSelection:
+    def curves(self):
+        return {
+            "robust": SensitivityCurve("robust", [1.0, 0.5, 0.25],
+                                       [0.9, 0.9, 0.89], rows=256, cols=64),
+            "fragile": SensitivityCurve("fragile", [1.0, 0.5, 0.25],
+                                        [0.9, 0.7, 0.4], rows=256, cols=64),
+        }
+
+    def test_selection_respects_sensitivity(self):
+        selection = select_keep_ratios(self.curves(), clean_accuracy=0.9,
+                                       tolerance=0.02)
+        assert selection.raw_keep["robust"] == 0.25
+        assert selection.raw_keep["fragile"] == 1.0
+
+    def test_protected_layers_pinned(self):
+        selection = select_keep_ratios(self.curves(), clean_accuracy=0.9,
+                                       tolerance=0.5, protected=("fragile",))
+        assert selection.raw_keep["fragile"] == 1.0
+        assert selection.raw_keep["robust"] == 0.25
+
+    def test_crossbar_snapping_rounds_up(self):
+        selection = select_keep_ratios(
+            self.curves(), clean_accuracy=0.9, tolerance=0.02,
+            crossbar=CrossbarShape(128, 128), cells_per_weight=4)
+        snapped = selection.snapped_keep["robust"]
+        # 25% of 256 rows = 64, snapped up to one full 128-row crossbar slice.
+        assert snapped["shape_keep"] == pytest.approx(0.5)
+        # 25% of 64 cols = 16, snapped to the 32-weight column granularity.
+        assert snapped["filter_keep"] == pytest.approx(0.5)
+
+    def test_no_crossbar_keeps_raw_ratio(self):
+        selection = select_keep_ratios(self.curves(), clean_accuracy=0.9,
+                                       tolerance=0.02)
+        assert selection.snapped_keep["robust"]["shape_keep"] == 0.25
+
+    def test_per_layer_keep_format(self):
+        selection = select_keep_ratios(self.curves(), clean_accuracy=0.9)
+        mapping = selection.as_per_layer_keep()
+        for keeps in mapping.values():
+            assert set(keeps) == {"shape_keep", "filter_keep"}
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            select_keep_ratios(self.curves(), 0.9, tolerance=-0.1)
+
+
+class TestReport:
+    def test_report_rows(self):
+        curves = {
+            "c": SensitivityCurve("c", [1.0, 0.5], [0.9, 0.8], rows=8, cols=4),
+        }
+        selection = select_keep_ratios(curves, clean_accuracy=0.9,
+                                       tolerance=0.15)
+        rows = sensitivity_report(curves, selection)
+        assert rows[0][0] == "c"
+        assert rows[0][1] == "8x4"
+        assert rows[0][4] == 0.5
+
+    def test_report_without_selection(self):
+        curves = {
+            "c": SensitivityCurve("c", [1.0], [0.9], rows=8, cols=4),
+        }
+        rows = sensitivity_report(curves)
+        assert rows[0][4] == "-"
+
+
+class TestEndToEnd:
+    def test_selected_ratios_feed_the_pipeline(self, trained_small):
+        # The selection output plugs straight into FORMSConfig.per_layer_keep
+        # and the pipeline trains against it.
+        from repro.core import ADMMConfig, FORMSConfig, FORMSPipeline
+        from repro.reram.variation import clone_model
+
+        model, test, clean = trained_small
+        curves = layer_sensitivity_scan(model, test, keep_ratios=(1.0, 0.5))
+        selection = select_keep_ratios(curves, clean, tolerance=0.10)
+        admm = ADMMConfig(iterations=1, epochs_per_iteration=1,
+                          retrain_epochs=1)
+        config = FORMSConfig(fragment_size=4, crossbar=CrossbarShape(16, 16),
+                             per_layer_keep=selection.as_per_layer_keep(),
+                             do_polarize=False, do_quantize=False,
+                             prune_admm=admm)
+        train, _ = make_synthetic("sens", 4, 1, 8, 160, 64, seed=31)
+        twin = clone_model(model)
+        result = FORMSPipeline(config).optimize(twin, train, test, seed=31)
+        assert result.final_accuracy > 0.4

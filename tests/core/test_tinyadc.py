@@ -1,0 +1,123 @@
+"""TinyADC column-sparsity constraint tests (ref [40])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (TinyADCConstraint, TinyADCSpec, adc_bits_saved,
+                        column_sum_bound, fragment_nonzeros,
+                        project_fragment_sparsity,
+                        required_bits_with_tinyadc)
+from repro.core.fragments import FragmentGeometry
+from repro.reram.converters import required_adc_bits
+
+
+def conv_geometry(fragment_size=4):
+    # (OC=6, C=2, KH=3, KW=3): 18 rows x 6 cols weight matrix.
+    return FragmentGeometry((6, 2, 3, 3), fragment_size, "w")
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TinyADCSpec(max_nonzeros=0)
+
+
+class TestProjection:
+    def test_caps_nonzeros_per_fragment(self):
+        rng = np.random.default_rng(0)
+        geometry = conv_geometry()
+        weight = rng.normal(size=(6, 2, 3, 3))
+        projected = project_fragment_sparsity(weight, geometry, 2)
+        counts = fragment_nonzeros(projected, geometry)
+        assert (counts <= 2).all()
+
+    def test_identity_when_k_covers_fragment(self):
+        rng = np.random.default_rng(1)
+        geometry = conv_geometry(fragment_size=4)
+        weight = rng.normal(size=(6, 2, 3, 3))
+        projected = project_fragment_sparsity(weight, geometry, 4)
+        np.testing.assert_array_equal(projected, weight)
+
+    def test_keeps_largest_magnitudes(self):
+        geometry = FragmentGeometry((1, 1, 2, 2), 4, "w")
+        weight = np.array([[[[0.1, -3.0], [2.0, 0.5]]]])
+        projected = project_fragment_sparsity(weight, geometry, 2)
+        kept = set(np.abs(projected[projected != 0]))
+        assert kept == {3.0, 2.0}
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(2)
+        geometry = conv_geometry()
+        weight = rng.normal(size=(6, 2, 3, 3))
+        once = project_fragment_sparsity(weight, geometry, 2)
+        twice = project_fragment_sparsity(once, geometry, 2)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_fragment_sparsity(np.zeros((6, 2, 3, 3)),
+                                      conv_geometry(), 0)
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_reduces_norm_distance_minimally(self, k, seed):
+        # Among all ways to zero down to k nonzeros, dropping the smallest
+        # magnitudes minimizes the L2 distance — check against brute force
+        # on a single fragment.
+        rng = np.random.default_rng(seed)
+        geometry = FragmentGeometry((1, 1, 2, 2), 4, "w")
+        weight = rng.normal(size=(1, 1, 2, 2))
+        projected = project_fragment_sparsity(weight, geometry, k)
+        kept = np.abs(projected[projected != 0])
+        dropped = np.setdiff1d(np.abs(weight).ravel(), kept)
+        if kept.size and dropped.size:
+            assert kept.min() >= dropped.max() - 1e-12
+
+
+class TestConstraint:
+    def test_violation_zero_after_projection(self):
+        rng = np.random.default_rng(3)
+        geometry = conv_geometry()
+        constraint = TinyADCConstraint(geometry, TinyADCSpec(2))
+        weight = rng.normal(size=(6, 2, 3, 3))
+        assert constraint.violation(weight) > 0
+        assert constraint.violation(constraint.project(weight)) == 0.0
+
+    def test_describe_mentions_k(self):
+        constraint = TinyADCConstraint(conv_geometry(), TinyADCSpec(3))
+        assert "k=3" in constraint.describe()
+
+
+class TestADCAccounting:
+    def test_column_sum_bound(self):
+        assert column_sum_bound(4, 2) == 12
+        assert column_sum_bound(0, 2) == 0
+        with pytest.raises(ValueError):
+            column_sum_bound(-1, 2)
+
+    def test_required_bits(self):
+        assert required_bits_with_tinyadc(2, 2) == 3   # bound 6 -> 3 bits
+        assert required_bits_with_tinyadc(8, 2) == 5   # bound 24 -> 5 bits
+        assert required_bits_with_tinyadc(0, 2) == 1   # clamped
+
+    def test_matches_dense_required_bits(self):
+        # With k = m the bound equals the dense fragment requirement.
+        for m in (4, 8, 16):
+            assert (required_bits_with_tinyadc(m, 2)
+                    == required_adc_bits(m, 2))
+
+    def test_bits_saved(self):
+        assert adc_bits_saved(8, 2, 2) == 2
+        assert adc_bits_saved(8, 8, 2) == 0
+        with pytest.raises(ValueError):
+            adc_bits_saved(4, 8, 2)
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_bits_monotone_in_k(self, k, cell_bits):
+        assert (required_bits_with_tinyadc(k, cell_bits)
+                <= required_bits_with_tinyadc(k + 1, cell_bits))

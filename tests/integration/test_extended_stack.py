@@ -1,0 +1,123 @@
+"""Integration tests across the extension subsystems.
+
+The unit suites validate each module in isolation; these scenarios chain
+them the way a user would: sensitivity-driven pruning feeding the ADMM
+pipeline, whole-network in-situ inference composed with the non-ideal
+engine, deployment costing through the VTEAM write model, and the DSE
+consuming measured EIC statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import (cell_level_histogram, evaluate_design,
+                        model_programming_cost)
+from repro.arch.dse import DesignPoint
+from repro.core import (ADMMConfig, CrossbarShape, FORMSConfig, FORMSPipeline,
+                        MitigationConfig, collect_layer_artifacts,
+                        fault_tolerance_study, layer_sensitivity_scan,
+                        select_keep_ratios)
+from repro.core.zero_skip import average_eic_over_layers, layer_eic_stats
+from repro.nn import (Adam, Conv2d, Flatten, Linear, ReLU, Sequential,
+                      evaluate, fit, set_init_seed)
+from repro.nn.data import make_synthetic
+from repro.reram import (DeviceSpec, NonidealEngine, ReRAMDevice,
+                         build_insitu_network)
+from repro.reram.mapping import map_layer
+from repro.reram.nonideal import FaultModel
+from repro.reram.variation import clone_model
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """A trained + FORMS-optimized model shared by the scenarios."""
+    train, test = make_synthetic("ext", 4, 1, 8, 192, 96, seed=77)
+    set_init_seed(77)
+    model = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(),
+                       Flatten(), Linear(8 * 8 * 8, 4))
+    fit(model, train, Adam(model.parameters(), 1e-3), epochs=4, batch_size=16)
+    clean = evaluate(model, test).accuracy
+    admm = ADMMConfig(iterations=1, epochs_per_iteration=1, retrain_epochs=1)
+    config = FORMSConfig(fragment_size=4, crossbar=CrossbarShape(16, 16),
+                         filter_keep=0.75, shape_keep=0.75,
+                         prune_admm=admm, polarize_admm=admm,
+                         quantize_admm=admm)
+    optimized = clone_model(model)
+    FORMSPipeline(config).optimize(optimized, train, test, seed=77)
+    return model, optimized, config, train, test, clean
+
+
+class TestSensitivityToPipeline:
+    def test_selected_ratios_survive_the_pipeline(self, stack):
+        model, _, _, train, test, clean = stack
+        curves = layer_sensitivity_scan(model, test, fragment_size=4,
+                                        keep_ratios=(1.0, 0.75, 0.5))
+        selection = select_keep_ratios(curves, clean, tolerance=0.08)
+        admm = ADMMConfig(iterations=1, epochs_per_iteration=1,
+                          retrain_epochs=1)
+        config = FORMSConfig(fragment_size=4, crossbar=CrossbarShape(16, 16),
+                             per_layer_keep=selection.as_per_layer_keep(),
+                             prune_admm=admm, polarize_admm=admm,
+                             quantize_admm=admm)
+        twin = clone_model(model)
+        result = FORMSPipeline(config).optimize(twin, train, test, seed=77)
+        assert result.final_accuracy >= clean - 0.25
+
+
+class TestInsituWithNonidealities:
+    def test_faulty_die_inference_end_to_end(self, stack):
+        _, optimized, config, _, test, _ = stack
+        insitu, engines = build_insitu_network(
+            optimized, config, ReRAMDevice(DeviceSpec(), 0.0),
+            engine_cls=NonidealEngine,
+            fault_model=FaultModel(0.02, 0.002, seed=1))
+        accuracy = evaluate(insitu, test).accuracy
+        clean_insitu, _ = build_insitu_network(
+            optimized, config, ReRAMDevice(DeviceSpec(), 0.0))
+        clean_accuracy = evaluate(clean_insitu, test).accuracy
+        assert accuracy <= clean_accuracy + 0.05
+        assert all(e.fault_fraction > 0 for e in engines.values())
+
+    def test_mitigation_study_on_optimized_model(self, stack):
+        _, optimized, config, _, test, _ = stack
+        (point,) = fault_tolerance_study(
+            optimized, config, test, fault_rates=[(0.04, 0.004)], runs=2,
+            seed=3, mitigation=MitigationConfig())
+        assert point.mitigated_mean >= point.unmitigated_mean - 0.03
+
+
+class TestDeploymentCosting:
+    def test_programming_cost_of_optimized_model(self, stack):
+        _, optimized, config, _, _, _ = stack
+        artifacts = collect_layer_artifacts(optimized, config)
+        spec = config.quant_spec()
+        histogram = {}
+        for art in artifacts.values():
+            levels = art.geometry.matrix(art.int_weights)
+            mapped = map_layer(levels, art.geometry, spec, scheme="forms",
+                               signs=art.signs)
+            for level, count in cell_level_histogram(
+                    mapped.code_planes).items():
+                histogram[level] = histogram.get(level, 0) + count
+        cost = model_programming_cost(histogram, crossbars=8)
+        assert cost.cells == sum(histogram.values())
+        assert cost.energy_j > 0
+        assert cost.latency_s > 0
+        # Pruned models leave many cells at the erased level 0 (free writes).
+        assert histogram.get(0, 0) > 0
+
+
+class TestMeasuredEICFeedsDSE:
+    def test_zero_skip_gain_from_measured_activations(self, stack):
+        _, optimized, config, _, test, _ = stack
+        rng = np.random.default_rng(0)
+        activations = rng.integers(0, 50, size=(64, 200)).astype(np.int64)
+        stats = layer_eic_stats(activations, fragment_size=8, total_bits=16)
+        eic = average_eic_over_layers({"probe": stats})
+        assert 1.0 <= eic <= 16.0
+        plain = evaluate_design(DesignPoint(fragment_size=8))
+        skipped = evaluate_design(DesignPoint(fragment_size=8),
+                                  average_eic=eic)
+        assert skipped.gops > plain.gops
+        assert skipped.gops / plain.gops == pytest.approx(16.0 / eic,
+                                                          rel=0.01)

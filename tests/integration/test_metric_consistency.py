@@ -1,0 +1,65 @@
+"""Consistency between the trainer's metrics and the metrics module.
+
+Two independent implementations exist for historical reasons — the trainer's
+loop-level ``evaluate``/``evaluate_topk`` and the array-level
+:mod:`repro.nn.metrics` — so the suite pins them to each other: any drift in
+one shows up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Tensor, classification_report, evaluate, evaluate_topk,
+                      no_grad, predictions_from_logits, topk_accuracy)
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def lenet_with_logits(trained_lenet, mnist_small):
+    _, test_set = mnist_small
+    trained_lenet.eval()
+    with no_grad():
+        logits = trained_lenet(Tensor(test_set.images)).data
+    trained_lenet.train()
+    return trained_lenet, test_set, logits
+
+
+class TestTopK:
+    def test_trainer_topk_matches_metrics(self, lenet_with_logits):
+        model, test_set, logits = lenet_with_logits
+        for k in (1, 3, 5):
+            trainer_value = evaluate_topk(model, test_set, k=k)
+            metrics_value = topk_accuracy(logits, test_set.labels, k=k)
+            assert trainer_value == pytest.approx(metrics_value, abs=1e-9)
+
+    def test_functional_topk_matches_metrics(self, lenet_with_logits):
+        _, test_set, logits = lenet_with_logits
+        functional_value = F.topk_accuracy(logits, test_set.labels, k=5)
+        metrics_value = topk_accuracy(logits, test_set.labels, k=5)
+        assert functional_value == pytest.approx(metrics_value, abs=1e-9)
+
+
+class TestTop1:
+    def test_evaluate_matches_classification_report(self, lenet_with_logits):
+        model, test_set, logits = lenet_with_logits
+        trainer_accuracy = evaluate(model, test_set).accuracy
+        report = classification_report(
+            test_set.labels, predictions_from_logits(logits),
+            num_classes=test_set.num_classes)
+        assert trainer_accuracy == pytest.approx(report.accuracy, abs=1e-9)
+
+    def test_report_support_covers_dataset(self, lenet_with_logits):
+        _, test_set, logits = lenet_with_logits
+        report = classification_report(
+            test_set.labels, predictions_from_logits(logits),
+            num_classes=test_set.num_classes)
+        assert report.support.sum() == len(test_set)
+
+    def test_recall_weighted_by_support_is_accuracy(self, lenet_with_logits):
+        _, test_set, logits = lenet_with_logits
+        report = classification_report(
+            test_set.labels, predictions_from_logits(logits),
+            num_classes=test_set.num_classes)
+        weighted = float((report.recall * report.support).sum()
+                         / report.support.sum())
+        assert weighted == pytest.approx(report.accuracy, abs=1e-12)

@@ -1,0 +1,167 @@
+"""Cross-constraint projection properties (hypothesis).
+
+The ADMM trainer's correctness rests on its Z-step projections actually
+being projections.  These properties are checked for all four constraint
+families together — structured pruning, fragment polarization, quantization,
+and the TinyADC bound:
+
+* **idempotence** — projecting twice equals projecting once;
+* **feasibility** — the projection output has zero constraint violation;
+* **non-expansion of the sparsifiers** — pruning/polarization/TinyADC only
+  zero entries, so they never increase the Frobenius norm;
+* **composition** — polarization and TinyADC preserve pruned zeros, so the
+  pipeline's prune -> polarize -> quantize order keeps earlier structure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (PruningSpec, QuantizationSpec, TinyADCConstraint,
+                        TinyADCSpec, compute_signs, is_polarized,
+                        polarization_violation, project_polarization,
+                        project_quantization, project_structured)
+from repro.core.fragments import FragmentGeometry
+from repro.core.tinyadc import project_fragment_sparsity
+
+SHAPES = st.sampled_from([(4, 2, 3, 3), (6, 1, 2, 2), (8, 3, 1, 1), (10, 6)])
+
+
+def weight_for(shape, seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(scale=0.5, size=shape)
+
+
+def geometry_for(shape, fragment_size=4):
+    return FragmentGeometry(shape, fragment_size, "w")
+
+
+class TestIdempotence:
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pruning(self, shape, seed):
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        spec = PruningSpec(filter_keep=0.6, shape_keep=0.6)
+        once = project_structured(weight, geometry, spec)
+        twice = project_structured(once, geometry, spec)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_polarization(self, shape, seed):
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        signs = compute_signs(weight, geometry, "sum")
+        once = project_polarization(weight, geometry, signs)
+        twice = project_polarization(once, geometry, signs)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_quantization(self, shape, seed):
+        weight = weight_for(shape, seed)
+        spec = QuantizationSpec(weight_bits=8, cell_bits=2)
+        once, scale = project_quantization(weight, spec, 0.0)
+        twice, _ = project_quantization(once, spec, scale)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_tinyadc(self, shape, seed):
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        once = project_fragment_sparsity(weight, geometry, 2)
+        twice = project_fragment_sparsity(once, geometry, 2)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestFeasibility:
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_polarization_feasible(self, shape, seed):
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        signs = compute_signs(weight, geometry, "sum")
+        projected = project_polarization(weight, geometry, signs)
+        assert is_polarized(projected, geometry)
+        assert polarization_violation(projected, geometry) == 0.0
+
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_tinyadc_feasible(self, shape, seed):
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        constraint = TinyADCConstraint(geometry, TinyADCSpec(2))
+        assert constraint.violation(constraint.project(weight)) == 0.0
+
+
+class TestNonExpansion:
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_sparsifiers_never_grow_the_norm(self, shape, seed):
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        norm = np.linalg.norm(weight)
+        pruned = project_structured(weight, geometry,
+                                    PruningSpec(filter_keep=0.5,
+                                                shape_keep=0.5))
+        signs = compute_signs(weight, geometry, "sum")
+        polarized = project_polarization(weight, geometry, signs)
+        sparse = project_fragment_sparsity(weight, geometry, 2)
+        for projected in (pruned, polarized, sparse):
+            assert np.linalg.norm(projected) <= norm + 1e-12
+
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_projection_is_closest_among_sign_patterns(self, shape, seed):
+        # Polarization projection zeroes exactly the disagreeing entries, so
+        # its distance is the norm of those entries — no feasible point with
+        # the same signs is closer.
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        signs = compute_signs(weight, geometry, "sum")
+        projected = project_polarization(weight, geometry, signs)
+        removed = weight - projected
+        # Whatever was removed disagrees with the kept entries' signs.
+        assert float((projected * removed).sum()) == pytest.approx(0.0,
+                                                                   abs=1e-9)
+
+
+class TestComposition:
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_polarization_preserves_pruned_zeros(self, shape, seed):
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        pruned = project_structured(weight, geometry,
+                                    PruningSpec(filter_keep=0.5,
+                                                shape_keep=0.5))
+        signs = compute_signs(pruned, geometry, "sum")
+        polarized = project_polarization(pruned, geometry, signs)
+        assert (polarized[pruned == 0.0] == 0.0).all()
+
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_tinyadc_preserves_pruned_zeros(self, shape, seed):
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        pruned = project_structured(weight, geometry,
+                                    PruningSpec(filter_keep=0.5,
+                                                shape_keep=0.5))
+        sparse = project_fragment_sparsity(pruned, geometry, 2)
+        assert (sparse[pruned == 0.0] == 0.0).all()
+
+    @given(SHAPES, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_quantization_preserves_polarity(self, shape, seed):
+        # Symmetric quantization never flips a weight's sign, so a polarized
+        # model stays polarized through the final quantization phase.
+        weight = weight_for(shape, seed)
+        geometry = geometry_for(shape)
+        signs = compute_signs(weight, geometry, "sum")
+        polarized = project_polarization(weight, geometry, signs)
+        quantized, _ = project_quantization(
+            polarized, QuantizationSpec(weight_bits=8, cell_bits=2), 0.0)
+        assert is_polarized(quantized, geometry)

@@ -1,0 +1,158 @@
+"""Data augmentation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.augment import (AugmentedDataset, Compose, Cutout,
+                              GaussianNoise, RandomCrop,
+                              RandomHorizontalFlip, standard_augmentation)
+from repro.nn.data import make_synthetic
+
+
+def batch(n=8, c=3, size=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, c, size, size)).astype(np.float32)
+
+
+class TestRandomHorizontalFlip:
+    def test_p_one_flips_everything(self):
+        images = batch()
+        out = RandomHorizontalFlip(p=1.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images[:, :, :, ::-1])
+
+    def test_p_zero_is_identity(self):
+        images = batch()
+        out = RandomHorizontalFlip(p=0.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images)
+
+    def test_original_untouched(self):
+        images = batch()
+        before = images.copy()
+        RandomHorizontalFlip(p=1.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(images, before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(p=1.5)
+
+
+class TestRandomCrop:
+    def test_shape_preserved(self):
+        images = batch()
+        out = RandomCrop(padding=2)(images, np.random.default_rng(0))
+        assert out.shape == images.shape
+
+    def test_content_is_shifted_window(self):
+        # With padding p, each output is a window of the reflect-padded
+        # original, so every output pixel row exists in the padded image.
+        images = batch(n=2)
+        out = RandomCrop(padding=2)(images, np.random.default_rng(1))
+        assert not np.isnan(out).any()
+        assert np.abs(out).max() <= np.abs(images).max() + 1e-6
+
+    def test_zero_offset_possible(self):
+        # Over many draws some crop must equal the identity window.
+        images = batch(n=64, size=6)
+        out = RandomCrop(padding=1)(images, np.random.default_rng(2))
+        identity = (out == images).all(axis=(1, 2, 3))
+        assert identity.any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomCrop(padding=0)
+
+
+class TestGaussianNoise:
+    def test_statistics(self):
+        images = np.zeros((4, 1, 64, 64), dtype=np.float64)
+        out = GaussianNoise(sigma=0.1)(images, np.random.default_rng(0))
+        assert out.std() == pytest.approx(0.1, rel=0.05)
+
+    def test_zero_sigma_identity(self):
+        images = batch()
+        out = GaussianNoise(sigma=0.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(sigma=-0.1)
+
+
+class TestCutout:
+    def test_patch_is_zeroed(self):
+        images = np.ones((4, 2, 8, 8), dtype=np.float32)
+        out = Cutout(size=3)(images, np.random.default_rng(0))
+        zeros_per_image = (out == 0).sum(axis=(1, 2, 3))
+        np.testing.assert_array_equal(zeros_per_image, 2 * 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cutout(size=0)
+        with pytest.raises(ValueError):
+            Cutout(size=8)(batch(size=8), np.random.default_rng(0))
+
+
+class TestCompose:
+    def test_applies_in_sequence(self):
+        images = batch()
+        pipeline = Compose([RandomHorizontalFlip(p=1.0),
+                            RandomHorizontalFlip(p=1.0)])
+        out = pipeline(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images)   # double flip = identity
+
+    def test_standard_augmentation_runs(self):
+        images = batch()
+        out = standard_augmentation(noise_sigma=0.01)(
+            images, np.random.default_rng(0))
+        assert out.shape == images.shape
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Compose([])
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_under_seed(self, seed):
+        images = batch()
+        pipeline = standard_augmentation()
+        a = pipeline(images, np.random.default_rng(seed))
+        b = pipeline(images, np.random.default_rng(seed))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAugmentedDataset:
+    def test_quacks_like_dataset(self):
+        train, _ = make_synthetic("aug", 3, 1, 8, 48, 24, seed=1)
+        view = AugmentedDataset(train, standard_augmentation(), seed=0)
+        assert len(view) == len(train)
+        assert view.num_classes == train.num_classes
+        np.testing.assert_array_equal(view.labels, train.labels)
+        assert "aug" in view.name
+
+    def test_fresh_augmentation_per_access(self):
+        train, _ = make_synthetic("aug", 3, 1, 8, 48, 24, seed=1)
+        view = AugmentedDataset(train, GaussianNoise(0.1), seed=0)
+        first = view.images
+        second = view.images
+        assert not np.array_equal(first, second)
+
+    def test_underlying_data_unchanged(self):
+        train, _ = make_synthetic("aug", 3, 1, 8, 48, 24, seed=1)
+        before = train.images.copy()
+        view = AugmentedDataset(train, standard_augmentation(), seed=0)
+        view.images
+        np.testing.assert_array_equal(train.images, before)
+
+    def test_trains_with_fit(self):
+        from repro.nn import Adam, Conv2d, Flatten, Linear, ReLU, Sequential, fit, set_init_seed
+
+        train, test = make_synthetic("aug", 3, 1, 8, 96, 48, seed=2)
+        set_init_seed(2)
+        model = Sequential(Conv2d(1, 4, 3, padding=1), ReLU(),
+                           Flatten(), Linear(4 * 8 * 8, 3))
+        view = AugmentedDataset(train, standard_augmentation(), seed=0)
+        history = fit(model, view, Adam(model.parameters(), 1e-3),
+                      epochs=2, batch_size=16)
+        assert history.train[-1].accuracy > 0.3

@@ -1,0 +1,99 @@
+"""Cross-cutting property tests tying the substrate layers together.
+
+These verify identities the rest of the repo silently relies on: im2col
+lowering agreeing with layer forward passes, fragment geometry commuting with
+the polarization input permutation, and the training loop respecting
+determinism guarantees.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FragmentGeometry
+from repro.nn import Adam, Conv2d, Linear, Tensor, fit, set_init_seed
+from repro.nn import functional as F
+from repro.nn.data import make_synthetic
+
+
+class TestConvIm2colIdentity:
+    @given(st.integers(1, 3), st.integers(1, 2), st.integers(0, 1))
+    @settings(max_examples=15, deadline=None)
+    def test_conv_forward_equals_matrix_product(self, out_ch, stride, padding):
+        """conv2d(x, W) == H^T @ im2col(x) with H the Fig. 2 weight matrix —
+        the identity that lets fragments act on both weights and inputs."""
+        rng = np.random.default_rng(out_ch * 10 + stride)
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(out_ch + 1, 3, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), None, stride=stride, padding=padding)
+        cols = F.im2col(x, 3, 3, stride, padding)
+        matrix = w.reshape(w.shape[0], -1).T       # (rows, filters)
+        product = matrix.T @ cols                  # (filters, positions)
+        n, oc, oh, ow = out.shape
+        restacked = out.data.transpose(1, 2, 3, 0).reshape(oc, -1)
+        np.testing.assert_allclose(restacked, product, rtol=1e-5, atol=1e-6)
+
+    @given(st.sampled_from(["w", "h", "c"]), st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_policy_permutation_preserves_products(self, policy, m):
+        """Permuting weight-matrix rows and input rows together is a no-op on
+        the layer output — why polarization policies cost no hardware."""
+        rng = np.random.default_rng(m)
+        w = rng.normal(size=(4, 2, 3, 3))
+        geometry = FragmentGeometry(w.shape, m, policy)
+        matrix = geometry.matrix(w)
+        x = rng.normal(size=(geometry.rows, 5))
+        perm = geometry.input_permutation()
+        x_ordered = x if perm is None else x[perm]
+        np.testing.assert_allclose(matrix.T @ x_ordered,
+                                   w.reshape(4, -1) @ x, rtol=1e-8)
+
+
+class TestDeterminism:
+    def test_training_fully_deterministic(self):
+        train, _ = make_synthetic("det", 3, 1, 8, 64, 16, seed=3)
+
+        def run():
+            set_init_seed(99)
+            model = Conv2d(1, 2, 3, padding=1)
+            head = Linear(2 * 8 * 8, 3)
+            set_init_seed(100)
+            full = _TinyNet(model, head)
+            fit(full, train, Adam(full.parameters(), 1e-3), epochs=2,
+                batch_size=16, seed=5)
+            return full.head.weight.data.copy()
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_dataset_generation_isolated_from_global_state(self):
+        np.random.seed(0)
+        a, _ = make_synthetic("iso", 3, 1, 8, 16, 8, seed=1)
+        np.random.seed(12345)
+        b, _ = make_synthetic("iso", 3, 1, 8, 16, 8, seed=1)
+        np.testing.assert_array_equal(a.images, b.images)
+
+
+class _TinyNet:
+    """Minimal two-layer module graph used by the determinism test."""
+
+    def __init__(self, conv, head):
+        from repro.nn import Module, Sequential, Flatten, ReLU
+        self.net = Sequential(conv, ReLU(), Flatten(), head)
+        self.head = head
+
+    def __call__(self, x):
+        return self.net(x)
+
+    def parameters(self):
+        return self.net.parameters()
+
+    def train(self, mode=True):
+        return self.net.train(mode)
+
+    def eval(self):
+        return self.net.eval()
+
+    @property
+    def training(self):
+        return self.net.training

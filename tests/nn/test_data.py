@@ -1,0 +1,115 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (DataLoader, Dataset, load_dataset, make_synthetic,
+                      synthetic_cifar10, synthetic_cifar100,
+                      synthetic_imagenet, synthetic_mnist)
+
+
+class TestMakeSynthetic:
+    def test_deterministic(self):
+        a, _ = make_synthetic("x", 4, 3, 8, 32, 16, seed=5)
+        b, _ = make_synthetic("x", 4, 3, 8, 32, 16, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_seed_changes_data(self):
+        a, _ = make_synthetic("x", 4, 3, 8, 32, 16, seed=5)
+        b, _ = make_synthetic("x", 4, 3, 8, 32, 16, seed=6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_shapes_and_dtypes(self):
+        train, test = make_synthetic("x", 5, 3, 12, 40, 20, seed=0)
+        assert train.images.shape == (40, 3, 12, 12)
+        assert train.images.dtype == np.float32
+        assert train.labels.dtype == np.int64
+        assert len(test) == 20
+
+    def test_class_balance(self):
+        train, _ = make_synthetic("x", 4, 1, 8, 80, 16, seed=0)
+        counts = np.bincount(train.labels, minlength=4)
+        assert counts.min() == counts.max() == 20
+
+    def test_train_test_disjoint_noise(self):
+        train, test = make_synthetic("x", 3, 1, 8, 30, 30, seed=0)
+        assert not np.array_equal(train.images[:10], test.images[:10])
+
+    def test_min_classes(self):
+        with pytest.raises(ValueError):
+            make_synthetic("x", 1, 1, 8, 10, 10)
+
+    def test_learnable_signal(self):
+        # Same-class images correlate more with their prototype than
+        # cross-class ones do: nearest-prototype classification beats chance.
+        train, test = make_synthetic("x", 4, 1, 12, 160, 80, seed=3, noise=0.5)
+        prototypes = np.stack([train.images[train.labels == c].mean(axis=0)
+                               for c in range(4)])
+        flat_p = prototypes.reshape(4, -1)
+        flat_x = test.images.reshape(len(test), -1)
+        pred = np.argmax(flat_x @ flat_p.T, axis=1)
+        assert (pred == test.labels).mean() > 0.5
+
+
+class TestDataset:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.zeros((3, 1, 2, 2)), np.zeros(2, dtype=np.int64), 2)
+
+    def test_subset_balanced(self):
+        train, _ = make_synthetic("x", 4, 1, 8, 80, 16, seed=0)
+        sub = train.subset(40)
+        assert len(sub) == 40
+        counts = np.bincount(sub.labels, minlength=4)
+        assert counts.max() == counts.min() == 10  # interleaved labels
+
+    def test_properties(self):
+        train, _ = make_synthetic("x", 3, 2, 10, 12, 6, seed=0)
+        assert train.channels == 2
+        assert train.image_size == 10
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        train, _ = make_synthetic("x", 3, 1, 8, 50, 10, seed=0)
+        loader = DataLoader(train, batch_size=16, shuffle=False)
+        total = sum(len(y) for _, y in loader)
+        assert total == 50
+        assert len(loader) == 4
+
+    def test_shuffle_deterministic_per_epoch(self):
+        train, _ = make_synthetic("x", 3, 1, 8, 32, 10, seed=0)
+        l1 = DataLoader(train, batch_size=8, shuffle=True, seed=9)
+        l2 = DataLoader(train, batch_size=8, shuffle=True, seed=9)
+        b1 = next(iter(l1))[1]
+        b2 = next(iter(l2))[1]
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_shuffle_varies_across_epochs(self):
+        train, _ = make_synthetic("x", 3, 1, 8, 64, 10, seed=0)
+        loader = DataLoader(train, batch_size=64, shuffle=True, seed=0)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+
+class TestNamedBuilders:
+    @pytest.mark.parametrize("builder,channels,classes", [
+        (synthetic_mnist, 1, 10),
+        (synthetic_cifar10, 3, 10),
+        (synthetic_cifar100, 3, 20),
+        (synthetic_imagenet, 3, 20),
+    ])
+    def test_structure(self, builder, channels, classes):
+        train, test = builder(train_size=16, test_size=8)
+        assert train.channels == channels
+        assert train.num_classes == classes
+
+    def test_load_dataset(self):
+        train, _ = load_dataset("mnist", train_size=8, test_size=4)
+        assert train.name == "mnist"
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            load_dataset("svhn")

@@ -1,0 +1,242 @@
+"""Tests for conv/pool/batchnorm/losses, including adjointness and gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    """Reference convolution with explicit loops."""
+    n, c, h, width = x.shape
+    oc, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (width + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, oc, oh, ow))
+    for i in range(n):
+        for o in range(oc):
+            for y in range(oh):
+                for xx in range(ow):
+                    patch = xp[i, :, y * stride:y * stride + kh, xx * stride:xx * stride + kw]
+                    out[i, o, y, xx] = (patch * w[o]).sum() + (b[o] if b is not None else 0.0)
+    return out
+
+
+class TestIm2Col:
+    def test_roundtrip_adjoint(self):
+        # <im2col(x), y> == <x, col2im(y)> (adjointness).
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = F.im2col(x, 3, 3, stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = (cols * y).sum()
+        rhs = (x * F.col2im(y, x.shape, 3, 3, stride=1, padding=1)).sum()
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+    def test_shape(self):
+        x = np.zeros((2, 3, 8, 8))
+        cols = F.im2col(x, 3, 3, stride=2, padding=1)
+        oh = ow = (8 + 2 - 3) // 2 + 1
+        assert cols.shape == (3 * 9, oh * ow * 2)
+
+    def test_output_size_validation(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, naive_conv2d(x, w, b, stride, padding),
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(2)
+        x, w = rng.normal(size=(1, 2, 5, 5)), rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), None, padding=1)
+        np.testing.assert_allclose(out.data, naive_conv2d(x, w, None, 1, 1),
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((3, 5, 3, 3))))
+
+    def test_gradients_numeric(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True, dtype=np.float64)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True, dtype=np.float64)
+        b = Tensor(rng.normal(size=3), requires_grad=True, dtype=np.float64)
+        out = F.conv2d(x, w, b, stride=2, padding=1)
+        (out * out).sum().backward()
+        eps = 1e-6
+        for tensor, idx in ((w, (1, 0, 2, 1)), (x, (0, 1, 2, 3)), (b, (2,))):
+            plus = tensor.data.copy(); plus[idx] += eps
+            args = {id(x): x.data, id(w): w.data, id(b): b.data}
+            args[id(tensor)] = plus
+            outp = F.conv2d(Tensor(args[id(x)]), Tensor(args[id(w)]),
+                            Tensor(args[id(b)]), stride=2, padding=1)
+            numeric = ((outp.data ** 2).sum() - (out.data ** 2).sum()) / eps
+            np.testing.assert_allclose(tensor.grad[idx], numeric, rtol=1e-3, atol=1e-3)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_array_equal(out.data[0, 0], [[5, 7], [13, 15.0]])
+
+    def test_max_pool_stride(self):
+        x = np.arange(25.0).reshape(1, 1, 5, 5)
+        out = F.max_pool2d(Tensor(x), 3, stride=2)
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[[[1.0, 3.0], [2.0, 0.0]]]]), requires_grad=True,
+                   dtype=np.float64)
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_array_equal(x.grad[0, 0], [[0, 1], [0, 0.0]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradient_uniform(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True, dtype=np.float64)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 0.25))
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.arange(8.0).reshape(1, 2, 2, 2))
+        np.testing.assert_allclose(F.global_avg_pool2d(x).data, [[1.5, 5.5]])
+
+
+class TestBatchNorm:
+    def _run(self, training, x=None):
+        rng = np.random.default_rng(4)
+        x = Tensor(x if x is not None else rng.normal(2.0, 3.0, size=(8, 4, 3, 3)))
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+        mean = np.zeros(4, dtype=np.float64)
+        var = np.ones(4, dtype=np.float64)
+        out = F.batch_norm(x, gamma, beta, mean, var, training=training)
+        return out, mean, var
+
+    def test_training_normalizes(self):
+        out, _, _ = self._run(True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self):
+        _, mean, var = self._run(True)
+        assert np.abs(mean).max() > 0.0
+        assert not np.allclose(var, 1.0)
+
+    def test_eval_uses_running_stats(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(4, 2, 2, 2))
+        gamma, beta = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        mean = np.array([1.0, -1.0])
+        var = np.array([4.0, 9.0])
+        out = F.batch_norm(Tensor(x), gamma, beta, mean, var, training=False)
+        expected = (x - mean.reshape(1, 2, 1, 1)) / np.sqrt(var.reshape(1, 2, 1, 1) + 1e-5)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5)
+
+    def test_2d_input(self):
+        x = Tensor(np.random.default_rng(6).normal(size=(16, 5)))
+        out = F.batch_norm(x, Tensor(np.ones(5)), Tensor(np.zeros(5)),
+                           np.zeros(5), np.ones(5), training=True)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_gradient_flows_to_gamma_beta(self):
+        x = Tensor(np.random.default_rng(7).normal(size=(4, 3, 2, 2)), dtype=np.float64)
+        gamma = Tensor(np.ones(3), requires_grad=True, dtype=np.float64)
+        beta = Tensor(np.zeros(3), requires_grad=True, dtype=np.float64)
+        out = F.batch_norm(x, gamma, beta, np.zeros(3), np.ones(3), training=True)
+        (out * out).sum().backward()
+        assert gamma.grad is not None and np.abs(gamma.grad).max() > 0
+        assert beta.grad is not None
+
+
+class TestLosses:
+    def test_log_softmax_normalized(self):
+        x = Tensor(np.random.default_rng(8).normal(size=(4, 5)) * 10)
+        logp = F.log_softmax(x, axis=1)
+        np.testing.assert_allclose(np.exp(logp.data).sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(F.log_softmax(x, axis=1).data).all()
+
+    def test_softmax_matches_manual(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        expected = np.exp(x) / np.exp(x).sum()
+        np.testing.assert_allclose(F.softmax(Tensor(x), axis=1).data, expected, rtol=1e-5)
+
+    def test_cross_entropy_value(self):
+        logits = Tensor(np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]])))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        np.testing.assert_allclose(loss.item(), expected, rtol=1e-5)
+
+    def test_cross_entropy_gradient(self):
+        logits = Tensor(np.random.default_rng(9).normal(size=(3, 4)),
+                        requires_grad=True, dtype=np.float64)
+        targets = np.array([1, 0, 3])
+        F.cross_entropy(logits, targets).backward()
+        # dL/dlogits = (softmax - onehot)/N
+        p = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        p /= p.sum(axis=1, keepdims=True)
+        onehot = np.eye(4)[targets]
+        np.testing.assert_allclose(logits.grad, (p - onehot) / 3, atol=1e-6)
+
+    def test_cross_entropy_rejects_2d_targets(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((2, 3)))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 2.0], [3.0, 0.0]])
+        assert F.accuracy(logits, np.array([1, 0])) == 1.0
+        assert F.accuracy(logits, np.array([0, 0])) == 0.5
+
+    def test_topk_accuracy(self):
+        logits = np.array([[5.0, 4.0, 1.0, 0.0]])
+        assert F.topk_accuracy(logits, np.array([1]), k=2) == 1.0
+        assert F.topk_accuracy(logits, np.array([3]), k=2) == 0.0
+        assert F.topk_accuracy(logits, np.array([3]), k=10) == 1.0  # k clamped
+
+
+class TestDropout:
+    def test_eval_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_training_scales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((1000,)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.3 < (out.data > 0).mean() < 0.7
+
+
+@given(st.integers(2, 5), st.integers(2, 5), st.integers(1, 2))
+@settings(max_examples=15, deadline=None)
+def test_conv_linearity_property(h, w, stride):
+    """conv(a*x) == a*conv(x): convolution is linear in its input."""
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(1, 2, h + 2, w + 2))
+    weight = rng.normal(size=(3, 2, 3, 3))
+    out1 = F.conv2d(Tensor(2.5 * x), Tensor(weight), None, stride=stride, padding=1).data
+    out2 = 2.5 * F.conv2d(Tensor(x), Tensor(weight), None, stride=stride, padding=1).data
+    np.testing.assert_allclose(out1, out2, rtol=1e-4, atol=1e-5)

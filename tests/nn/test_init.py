@@ -1,0 +1,101 @@
+"""Weight-initialization scheme tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (Conv2d, Linear, ReLU, Sequential, fan_in_out,
+                      he_normal, he_uniform, orthogonal, reinitialize,
+                      xavier_normal, xavier_uniform)
+
+
+class TestFanInOut:
+    def test_conv_shape(self):
+        assert fan_in_out((16, 3, 5, 5)) == (75, 400)
+
+    def test_linear_shape(self):
+        assert fan_in_out((10, 128)) == (128, 10)
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            fan_in_out((4,))
+
+
+class TestDistributions:
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform((64, 64), rng)
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(w).max() <= bound
+        assert np.abs(w).max() > 0.8 * bound   # actually fills the range
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = xavier_normal((256, 256), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 512), rel=0.05)
+
+    def test_he_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = he_normal((256, 256), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 256), rel=0.05)
+
+    def test_he_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = he_uniform((64, 32, 3, 3), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / (32 * 9))
+
+    def test_orthogonal_rows(self):
+        rng = np.random.default_rng(0)
+        w = orthogonal((8, 32), rng)
+        np.testing.assert_allclose(w @ w.T, np.eye(8), atol=1e-5)
+
+    def test_orthogonal_tall(self):
+        rng = np.random.default_rng(0)
+        w = orthogonal((32, 8), rng)
+        np.testing.assert_allclose(w.T @ w, np.eye(8), atol=1e-5)
+
+    def test_orthogonal_conv_shape(self):
+        rng = np.random.default_rng(0)
+        w = orthogonal((4, 2, 3, 3), rng, gain=2.0)
+        assert w.shape == (4, 2, 3, 3)
+        flat = w.reshape(4, -1) / 2.0
+        np.testing.assert_allclose(flat @ flat.T, np.eye(4), atol=1e-5)
+
+    @given(st.sampled_from([xavier_uniform, xavier_normal, he_uniform,
+                            he_normal]),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_under_seed(self, scheme, seed):
+        a = scheme((8, 16), np.random.default_rng(seed))
+        b = scheme((8, 16), np.random.default_rng(seed))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestReinitialize:
+    def make_model(self):
+        return Sequential(Conv2d(1, 4, 3, padding=1), ReLU(), Linear(4, 2))
+
+    def test_changes_weights_and_zeroes_biases(self):
+        model = self.make_model()
+        conv = model[0]
+        conv.bias.data[...] = 1.0
+        before = conv.weight.data.copy()
+        reinitialize(model, "xavier_uniform", seed=1)
+        assert not np.array_equal(conv.weight.data, before)
+        np.testing.assert_array_equal(conv.bias.data, 0.0)
+
+    def test_seeded_reproducibility(self):
+        a, b = self.make_model(), self.make_model()
+        reinitialize(a, "he_normal", seed=9)
+        reinitialize(b, "he_normal", seed=9)
+        np.testing.assert_array_equal(a[0].weight.data,
+                                      b[0].weight.data)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            reinitialize(self.make_model(), "glorot???")
+
+    def test_returns_model(self):
+        model = self.make_model()
+        assert reinitialize(model) is model

@@ -1,0 +1,146 @@
+"""Module system, layers, and parameter plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d,
+                      Module, Parameter, ReLU, Sequential, Tensor,
+                      compressible_layers, set_init_seed)
+from repro.nn.layers import GlobalAvgPool2d, kaiming_normal, uniform_fan_in
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        layer = Linear(3, 2)
+        names = [n for n, _ in layer.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_names(self):
+        model = Sequential(Linear(2, 2), Sequential(Linear(2, 2)))
+        names = [n for n, _ in model.named_parameters()]
+        assert "0.weight" in names and "1.0.weight" in names
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        (layer(Tensor(np.ones((1, 2)))) ** 2).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Sequential(Dropout(0.5)))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self):
+        set_init_seed(1)
+        a = Sequential(Conv2d(1, 2, 3), BatchNorm2d(2), Linear(4, 2))
+        set_init_seed(2)
+        b = Sequential(Conv2d(1, 2, 3), BatchNorm2d(2), Linear(4, 2))
+        state = a.state_dict()
+        b.load_state_dict(state)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_includes_buffers(self):
+        bn = BatchNorm2d(3)
+        bn.running_mean[...] = 7.0
+        state = bn.state_dict()
+        assert "running_mean" in state
+        np.testing.assert_array_equal(state["running_mean"], np.full(3, 7.0))
+
+    def test_load_state_dict_missing_key_raises(self):
+        layer = Linear(2, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({})
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+
+class TestLayers:
+    def test_conv_shape(self):
+        layer = Conv2d(3, 8, kernel_size=3, stride=2, padding=1)
+        out = layer(Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_conv_no_bias(self):
+        layer = Conv2d(1, 1, 3, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.named_parameters())) == 1
+
+    def test_linear_shape(self):
+        out = Linear(5, 3)(Tensor(np.zeros((4, 5), dtype=np.float32)))
+        assert out.shape == (4, 3)
+
+    def test_relu_flatten_pool(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 4, 4)).astype(np.float32))
+        assert (ReLU()(x).data >= 0).all()
+        assert Flatten()(x).shape == (2, 48)
+        assert MaxPool2d(2)(x).shape == (2, 3, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (2, 3)
+
+    def test_batchnorm_buffers_update_only_in_training(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(1).normal(3.0, 1.0, size=(8, 2, 2, 2)).astype(np.float32))
+        bn.eval()
+        bn(x)
+        np.testing.assert_array_equal(bn.running_mean, np.zeros(2))
+        bn.train()
+        bn(x)
+        assert np.abs(bn.running_mean).max() > 0
+
+    def test_sequential_iteration_and_index(self):
+        model = Sequential(Linear(2, 3), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+        assert len(list(iter(model))) == 2
+
+    def test_sequential_append(self):
+        model = Sequential(Linear(2, 2))
+        model.append(ReLU())
+        assert len(model) == 2
+        out = model(Tensor(np.full((1, 2), -1.0, dtype=np.float32)))
+        assert (out.data >= 0).all()
+
+    def test_compressible_layers_finds_conv_and_linear(self):
+        model = Sequential(Conv2d(1, 2, 3), ReLU(), BatchNorm2d(2),
+                           Flatten(), Linear(8, 2))
+        layers = compressible_layers(model)
+        assert len(layers) == 2
+        assert isinstance(layers[0][1], Conv2d)
+        assert isinstance(layers[1][1], Linear)
+
+    def test_repr(self):
+        assert "Conv2d(3, 8" in repr(Conv2d(3, 8, 3))
+        assert "Linear(5, 3)" in repr(Linear(5, 3))
+
+
+class TestInit:
+    def test_set_init_seed_reproducible(self):
+        set_init_seed(42)
+        a = Conv2d(3, 4, 3).weight.data.copy()
+        set_init_seed(42)
+        b = Conv2d(3, 4, 3).weight.data.copy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_kaiming_scale(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((1000, 50), fan_in=50, rng=rng)
+        np.testing.assert_allclose(w.std(), np.sqrt(2.0 / 50), rtol=0.05)
+
+    def test_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = uniform_fan_in((100, 16), fan_in=16, rng=rng)
+        assert np.abs(w).max() <= 0.25
+
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad

@@ -1,0 +1,127 @@
+"""Classification metrics tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.metrics import (ClassificationReport, classification_report,
+                              confusion_matrix, predictions_from_logits,
+                              topk_accuracy)
+
+
+class TestPredictions:
+    def test_argmax(self):
+        logits = np.array([[0.1, 0.9], [2.0, -1.0]])
+        np.testing.assert_array_equal(predictions_from_logits(logits), [1, 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predictions_from_logits(np.zeros(4))
+
+
+class TestTopK:
+    def test_top1_equals_argmax_accuracy(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(50, 6))
+        labels = rng.integers(0, 6, size=50)
+        top1 = topk_accuracy(logits, labels, k=1)
+        manual = float((predictions_from_logits(logits) == labels).mean())
+        assert top1 == pytest.approx(manual)
+
+    def test_full_k_is_perfect(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(20, 4))
+        labels = rng.integers(0, 4, size=20)
+        assert topk_accuracy(logits, labels, k=4) == 1.0
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(100, 8))
+        labels = rng.integers(0, 8, size=100)
+        accs = [topk_accuracy(logits, labels, k=k) for k in range(1, 9)]
+        assert accs == sorted(accs)
+
+    def test_validation(self):
+        logits = np.zeros((4, 3))
+        labels = np.zeros(4, dtype=int)
+        with pytest.raises(ValueError):
+            topk_accuracy(logits, labels, k=0)
+        with pytest.raises(ValueError):
+            topk_accuracy(logits, labels, k=4)
+        with pytest.raises(ValueError):
+            topk_accuracy(logits, labels[:2], k=1)
+
+
+class TestConfusionMatrix:
+    def test_simple_counts(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        predictions = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(labels, predictions, num_classes=3)
+        expected = np.array([[1, 1, 0], [0, 2, 0], [1, 0, 0]])
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_row_sums_are_support(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 5, size=200)
+        predictions = rng.integers(0, 5, size=200)
+        matrix = confusion_matrix(labels, predictions, num_classes=5)
+        for c in range(5):
+            assert matrix[c].sum() == (labels == c).sum()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 5]), np.array([0, 1]),
+                             num_classes=3)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_is_correct_count(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, size=60)
+        predictions = rng.integers(0, 4, size=60)
+        matrix = confusion_matrix(labels, predictions, num_classes=4)
+        assert np.trace(matrix) == (labels == predictions).sum()
+        assert matrix.sum() == 60
+
+
+class TestReport:
+    def perfect(self):
+        labels = np.array([0, 1, 2] * 10)
+        return classification_report(labels, labels, num_classes=3)
+
+    def test_perfect_classifier(self):
+        report = self.perfect()
+        assert report.accuracy == 1.0
+        np.testing.assert_array_equal(report.recall, 1.0)
+        np.testing.assert_array_equal(report.precision, 1.0)
+        assert report.macro_f1 == 1.0
+
+    def test_collapsed_class_visible_in_macro_f1(self):
+        # 90% aggregate accuracy can hide a dead class; macro-F1 cannot.
+        labels = np.array([0] * 90 + [1] * 10)
+        predictions = np.zeros(100, dtype=int)   # class 1 always missed
+        report = classification_report(labels, predictions, num_classes=2)
+        assert report.accuracy == pytest.approx(0.9)
+        assert report.macro_f1 < 0.5
+        assert report.worst_class() == 1
+        assert report.recall[1] == 0.0
+
+    def test_support(self):
+        labels = np.array([0, 0, 1])
+        report = classification_report(labels, labels, num_classes=2)
+        np.testing.assert_array_equal(report.support, [2, 1])
+
+    def test_summary_keys(self):
+        summary = self.perfect().summary()
+        assert set(summary) == {"accuracy", "macro_f1", "worst_class_recall"}
+
+    def test_empty_class_handled(self):
+        labels = np.array([0, 0])
+        predictions = np.array([0, 1])
+        report = classification_report(labels, predictions, num_classes=3)
+        assert report.recall[2] == 0.0
+        assert report.precision[2] == 0.0
+        assert not np.isnan(report.f1).any()

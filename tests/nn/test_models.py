@@ -1,0 +1,98 @@
+"""Benchmark model topology tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (VGG, LeNet5, Tensor, build_model, resnet18, resnet20,
+                      resnet50, set_init_seed)
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.models import BasicBlock, Bottleneck
+
+
+def forward_shape(model, channels=3, size=16, batch=2):
+    x = np.zeros((batch, channels, size, size), dtype=np.float32)
+    return model(Tensor(x)).shape
+
+
+class TestLeNet:
+    def test_output_shape(self):
+        set_init_seed(0)
+        model = LeNet5(num_classes=10, in_channels=1, image_size=16)
+        assert forward_shape(model, channels=1) == (2, 10)
+
+    def test_width_scaling(self):
+        small = LeNet5(width_mult=0.5).num_parameters()
+        full = LeNet5(width_mult=1.0).num_parameters()
+        assert small < full
+
+
+class TestVGG:
+    @pytest.mark.parametrize("config", ["VGG11", "VGG16"])
+    def test_output_shape(self, config):
+        set_init_seed(0)
+        model = VGG(config, num_classes=7, image_size=16, width_mult=0.2)
+        assert forward_shape(model) == (2, 7)
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            VGG("VGG99")
+
+    def test_conv_count_vgg16(self):
+        model = VGG("VGG16", width_mult=0.2)
+        convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+        assert len(convs) == 13  # VGG-16 has 13 conv layers
+
+    def test_small_images_do_not_vanish(self):
+        model = VGG("VGG16", num_classes=4, image_size=8, width_mult=0.2)
+        assert forward_shape(model, size=8) == (2, 4)
+
+
+class TestResNet:
+    def test_resnet18_shape_and_blocks(self):
+        set_init_seed(0)
+        model = resnet18(num_classes=5, width_mult=0.25)
+        assert forward_shape(model) == (2, 5)
+        blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        assert len(blocks) == 8  # 2 per stage x 4 stages
+
+    def test_resnet50_uses_bottleneck(self):
+        set_init_seed(0)
+        model = resnet50(num_classes=5, width_mult=0.125, num_blocks=(1, 1, 1, 1))
+        assert forward_shape(model) == (2, 5)
+        assert any(isinstance(m, Bottleneck) for m in model.modules())
+
+    def test_resnet20_shallow(self):
+        model = resnet20(num_classes=3, width_mult=0.25)
+        blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        assert len(blocks) == 4
+
+    def test_shortcut_projection_on_stride(self):
+        block = BasicBlock(8, 16, stride=2)
+        assert len(block.shortcut) > 0
+        block_same = BasicBlock(16, 16, stride=1)
+        assert len(block_same.shortcut) == 0
+
+    def test_classifier_dimension_matches_expansion(self):
+        model = resnet50(num_classes=9, width_mult=0.125, num_blocks=(1, 1, 1, 1))
+        fc = [m for m in model.modules() if isinstance(m, Linear)][-1]
+        assert fc.out_features == 9
+
+
+class TestBuildModel:
+    @pytest.mark.parametrize("name", ["lenet5", "vgg11", "vgg16", "resnet18",
+                                      "resnet20", "resnet50"])
+    def test_builds_and_runs(self, name):
+        set_init_seed(1)
+        channels = 1 if name == "lenet5" else 3
+        model = build_model(name, 6, channels, 16, width_mult=0.2, depth_scale=0.4)
+        assert forward_shape(model, channels=channels) == (2, 6)
+
+    def test_depth_scale_reduces_parameters(self):
+        set_init_seed(1)
+        deep = build_model("resnet50", 10, 3, 16, width_mult=0.125, depth_scale=1.0)
+        shallow = build_model("resnet50", 10, 3, 16, width_mult=0.125, depth_scale=0.34)
+        assert shallow.num_parameters() < deep.num_parameters()
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet", 10, 3, 16)

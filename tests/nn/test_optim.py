@@ -1,0 +1,109 @@
+"""Optimizer and scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, StepLR
+from repro.nn.layers import Parameter
+
+
+def quadratic_grad(param, target=0.0):
+    param.grad = 2.0 * (param.data - target)
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        quadratic_grad(p)
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.8])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        quadratic_grad(p)
+        opt.step()        # v = 2.0, p = 0.8
+        quadratic_grad(p)
+        opt.step()        # v = 0.9*2 + 1.6 = 3.4, p = 0.8 - 0.34
+        np.testing.assert_allclose(p.data, [0.46], rtol=1e-6)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9])
+
+    def test_skips_none_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_array_equal(p.data, [1.0])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            quadratic_grad(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-4)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        # With bias correction the first step is exactly lr * sign(grad).
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.01], rtol=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([4.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            quadratic_grad(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0], atol=1e-3)
+
+    def test_weight_decay_applied(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+
+class TestStepLR:
+    def test_decays_on_schedule(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        np.testing.assert_allclose(opt.lr, 0.1)
+        sched.step(); sched.step()
+        np.testing.assert_allclose(opt.lr, 0.01)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(SGD([Parameter(np.zeros(1))], lr=1.0), step_size=0)

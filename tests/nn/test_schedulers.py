@@ -1,0 +1,132 @@
+"""Learning-rate scheduler tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (SGD, ConstantLR, CosineAnnealingLR, ExponentialLR,
+                      Linear, MultiStepLR, WarmupLR)
+
+
+def make_optimizer(lr=0.1):
+    return SGD(Linear(4, 2).parameters(), lr=lr)
+
+
+class TestMultiStepLR:
+    def test_decays_at_milestones(self):
+        opt = make_optimizer(0.1)
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        rates = []
+        for _ in range(5):
+            sched.step()
+            rates.append(opt.lr)
+        np.testing.assert_allclose(rates, [0.1, 0.01, 0.01, 0.001, 0.001])
+
+    def test_unsorted_milestones_accepted(self):
+        opt = make_optimizer()
+        sched = MultiStepLR(opt, milestones=[4, 2])
+        assert sched.milestones == [2, 4]
+
+    def test_validation(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            MultiStepLR(opt, milestones=[])
+        with pytest.raises(ValueError):
+            MultiStepLR(opt, milestones=[0])
+        with pytest.raises(ValueError):
+            MultiStepLR(opt, milestones=[2, 2])
+        with pytest.raises(ValueError):
+            MultiStepLR(opt, milestones=[2], gamma=0.0)
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        opt = make_optimizer(1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        assert sched.preview(4) == [1.0, 0.5, 0.25, 0.125]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialLR(make_optimizer(), gamma=0.0)
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        opt = make_optimizer(0.2)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.02)
+        assert sched.lr_at(0) == pytest.approx(0.2)
+        assert sched.lr_at(10) == pytest.approx(0.02)
+        assert sched.lr_at(50) == pytest.approx(0.02)   # stays at the floor
+
+    def test_halfway_is_mean(self):
+        opt = make_optimizer(0.2)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        assert sched.lr_at(5) == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        sched = CosineAnnealingLR(make_optimizer(1.0), t_max=20)
+        rates = sched.preview(20)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_optimizer(), t_max=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_optimizer(0.1), t_max=5, eta_min=0.5)
+
+
+class TestWarmupLR:
+    def test_ramps_then_delegates(self):
+        opt = make_optimizer(0.1)
+        inner = ConstantLR(opt)
+        sched = WarmupLR(inner, warmup_epochs=4)
+        rates = sched.preview(6)
+        assert rates[0] == pytest.approx(0.1 / 5)
+        assert rates[3] == pytest.approx(0.1 * 4 / 5)
+        assert rates[4] == pytest.approx(0.1)
+        assert rates[5] == pytest.approx(0.1)
+
+    def test_warmup_then_cosine(self):
+        opt = make_optimizer(0.1)
+        sched = WarmupLR(CosineAnnealingLR(opt, t_max=10), warmup_epochs=2)
+        # After warmup, the cosine schedule starts from its own epoch 0.
+        assert sched.lr_at(2) == pytest.approx(0.1)
+        assert sched.lr_at(12) == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLR(ConstantLR(make_optimizer()), warmup_epochs=0)
+
+
+class TestSchedulerMechanics:
+    def test_step_updates_optimizer(self):
+        opt = make_optimizer(1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        assert sched.epoch == 1
+
+    def test_preview_does_not_mutate(self):
+        opt = make_optimizer(1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.preview(10)
+        assert opt.lr == 1.0
+        assert sched.epoch == 0
+
+    def test_preview_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLR(make_optimizer()).preview(0)
+
+    @given(st.floats(min_value=1e-5, max_value=1.0),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_rates_always_positive_and_bounded(self, base_lr, t_max):
+        opt = make_optimizer(base_lr)
+        sched = WarmupLR(CosineAnnealingLR(opt, t_max=t_max,
+                                           eta_min=base_lr * 0.01),
+                         warmup_epochs=3)
+        for rate in sched.preview(t_max + 5):
+            assert 0 < rate <= base_lr + 1e-12

@@ -1,0 +1,298 @@
+"""Autograd engine tests: forward semantics and gradient correctness.
+
+Every primitive gets a numerical gradient check (float64, central
+differences) in addition to shape/semantics tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack, unbroadcast
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fplus = fn(x)
+        flat[i] = orig - eps
+        fminus = fn(x)
+        flat[i] = orig
+        gflat[i] = (fplus - fminus) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, *shapes, seed=0, atol=1e-4):
+    """Compare autograd gradients of sum(op(*tensors)) to numeric ones."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(size=s).astype(np.float64) + 0.5 for s in shapes]
+    tensors = [Tensor(a.copy(), requires_grad=True, dtype=np.float64) for a in arrays]
+    out = op(*tensors)
+    out.sum().backward()
+    for i, (arr, tensor) in enumerate(zip(arrays, tensors)):
+        def scalar_fn(x, idx=i):
+            args = [Tensor(a) for a in arrays]
+            args[idx] = Tensor(x)
+            return float(op(*args).sum().data)
+        expected = numeric_grad(scalar_fn, arr.copy())
+        assert tensor.grad is not None, f"operand {i} got no gradient"
+        np.testing.assert_allclose(tensor.grad, expected, atol=atol,
+                                   err_msg=f"gradient mismatch for operand {i}")
+
+
+class TestForward:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_array_equal(out.data, [4.0, 6.0])
+
+    def test_add_scalar_broadcast(self):
+        out = Tensor([[1.0, 2.0]]) + 1.0
+        np.testing.assert_array_equal(out.data, [[2.0, 3.0]])
+
+    def test_sub_rsub(self):
+        np.testing.assert_array_equal((1.0 - Tensor([1.0, 2.0])).data, [0.0, -1.0])
+
+    def test_mul_div(self):
+        a = Tensor([2.0, 4.0])
+        np.testing.assert_array_equal((a * 3).data, [6.0, 12.0])
+        np.testing.assert_array_equal((a / 2).data, [1.0, 2.0])
+
+    def test_rtruediv(self):
+        np.testing.assert_allclose((1.0 / Tensor([2.0, 4.0])).data, [0.5, 0.25])
+
+    def test_pow(self):
+        np.testing.assert_array_equal((Tensor([2.0, 3.0]) ** 2).data, [4.0, 9.0])
+
+    def test_pow_non_scalar_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0, 6.0], [7.0, 8.0]])
+        np.testing.assert_array_equal((a @ b).data, np.array([[19, 22], [43, 50.0]]))
+
+    def test_neg(self):
+        np.testing.assert_array_equal((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_relu(self):
+        np.testing.assert_array_equal(Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0])
+
+    def test_clip(self):
+        np.testing.assert_array_equal(Tensor([-2.0, 0.5, 3.0]).clip(-1, 1).data,
+                                      [-1.0, 0.5, 1.0])
+
+    def test_reductions(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.sum().item() == 10.0
+        assert t.mean().item() == 2.5
+        np.testing.assert_array_equal(t.sum(axis=0).data, [4.0, 6.0])
+        np.testing.assert_array_equal(t.max(axis=1).data, [2.0, 4.0])
+        np.testing.assert_array_equal(t.min(axis=1).data, [1.0, 3.0])
+
+    def test_var(self):
+        data = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(Tensor(data).var(axis=1).data, np.var(data, axis=1))
+
+    def test_reshape_transpose(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape(2, 3).T.shape == (3, 2)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(10.0))
+        np.testing.assert_array_equal(t[2:5].data, [2.0, 3.0, 4.0])
+
+    def test_pad2d(self):
+        t = Tensor(np.ones((1, 1, 2, 2)))
+        assert t.pad2d(1).shape == (1, 1, 4, 4)
+        assert t.pad2d(0) is t
+
+    def test_concatenate_stack(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        np.testing.assert_array_equal(concatenate([a, b]).data, [1, 2, 3, 4.0])
+        assert stack([a, b]).shape == (2, 2)
+
+    def test_repr_and_len(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        assert "requires_grad" in repr(t)
+        assert len(t) == 2
+
+    def test_item_detach(self):
+        t = Tensor([3.5], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert Tensor(2.0).item() == 2.0
+
+
+class TestBackward:
+    def test_add_gradient(self):
+        check_gradient(lambda a, b: a + b, (3,), (3,))
+
+    def test_add_broadcast_gradient(self):
+        check_gradient(lambda a, b: a + b, (2, 3), (3,))
+        check_gradient(lambda a, b: a + b, (2, 3), (1, 3))
+
+    def test_sub_gradient(self):
+        check_gradient(lambda a, b: a - b, (4,), (4,))
+
+    def test_mul_gradient(self):
+        check_gradient(lambda a, b: a * b, (2, 2), (2, 2))
+
+    def test_mul_broadcast_gradient(self):
+        check_gradient(lambda a, b: a * b, (2, 3), (1, 3))
+
+    def test_div_gradient(self):
+        check_gradient(lambda a, b: a / (b * b + 1.0), (3,), (3,))
+
+    def test_pow_gradient(self):
+        check_gradient(lambda a: (a * a + 1.0) ** 1.5, (3,))
+
+    def test_matmul_gradient(self):
+        check_gradient(lambda a, b: a @ b, (2, 3), (3, 4))
+
+    def test_matmul_vector_gradient(self):
+        check_gradient(lambda a, b: a @ b, (3,), (3, 2))
+        check_gradient(lambda a, b: a @ b, (2, 3), (3,))
+
+    def test_exp_log_sqrt_tanh_sigmoid(self):
+        check_gradient(lambda a: (a * a + 1.0).exp() * 1e-1, (3,))
+        check_gradient(lambda a: (a * a + 1.0).log(), (3,))
+        check_gradient(lambda a: (a * a + 1.0).sqrt(), (3,))
+        check_gradient(lambda a: a.tanh(), (3,))
+        check_gradient(lambda a: a.sigmoid(), (3,))
+
+    def test_abs_gradient(self):
+        check_gradient(lambda a: (a + 10.0).abs(), (3,))
+
+    def test_relu_gradient(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True, dtype=np.float64)
+        x.relu().sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0])
+
+    def test_sum_axis_gradient(self):
+        check_gradient(lambda a: a.sum(axis=1), (2, 3))
+        check_gradient(lambda a: a.sum(axis=(0, 2), keepdims=True), (2, 3, 2))
+
+    def test_mean_gradient(self):
+        check_gradient(lambda a: a.mean(axis=0), (4, 2))
+
+    def test_max_gradient_unique(self):
+        x = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True, dtype=np.float64)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[0, 1], [1, 0.0]])
+
+    def test_max_gradient_ties_split(self):
+        x = Tensor(np.array([2.0, 2.0]), requires_grad=True, dtype=np.float64)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5])
+
+    def test_reshape_transpose_gradient(self):
+        check_gradient(lambda a: a.reshape(6) * np.arange(6.0), (2, 3))
+        check_gradient(lambda a: a.transpose(1, 0) @ a, (2, 3))
+
+    def test_getitem_gradient(self):
+        x = Tensor(np.arange(5.0), requires_grad=True, dtype=np.float64)
+        (x[1:3] * 2.0).sum().backward()
+        np.testing.assert_array_equal(x.grad, [0, 2, 2, 0, 0.0])
+
+    def test_clip_gradient(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True, dtype=np.float64)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0, 0.0])
+
+    def test_pad2d_gradient(self):
+        check_gradient(lambda a: a.pad2d(1), (1, 1, 2, 2))
+
+    def test_concatenate_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True, dtype=np.float64)
+        b = Tensor([3.0], requires_grad=True, dtype=np.float64)
+        (concatenate([a, b]) * np.array([1.0, 2.0, 3.0])).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 2.0])
+        np.testing.assert_array_equal(b.grad, [3.0])
+
+    def test_stack_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True, dtype=np.float64)
+        b = Tensor([3.0, 4.0], requires_grad=True, dtype=np.float64)
+        (stack([a, b], axis=0) * np.array([[1.0, 1.0], [2.0, 2.0]])).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [2.0, 2.0])
+
+    def test_diamond_graph_accumulates(self):
+        # y = x*x + x*x: gradient must be 4x, not 2x (shared subexpression).
+        x = Tensor([3.0], requires_grad=True, dtype=np.float64)
+        y = x * x
+        (y + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_repeated_backward_accumulates_on_leaves(self):
+        x = Tensor([1.0], requires_grad=True, dtype=np.float64)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_seed_shape_mismatch(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(3))
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True, dtype=np.float64)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()  # iterative topo sort: must not hit recursion limit
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            pass
+        assert (x * 2.0).requires_grad
+
+    def test_nested_no_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with no_grad():
+                pass
+            assert not (x * 1.0).requires_grad
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_leading_axis(self):
+        np.testing.assert_array_equal(unbroadcast(np.ones((4, 2)), (2,)), [4.0, 4.0])
+
+    def test_keepdim_axis(self):
+        out = unbroadcast(np.ones((2, 3)), (2, 1))
+        np.testing.assert_array_equal(out, [[3.0], [3.0]])
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sum_preserved(self, a, b):
+        grad = np.ones((a, b))
+        out = unbroadcast(grad, (1, b))
+        assert out.shape == (1, b)
+        assert out.sum() == grad.sum()

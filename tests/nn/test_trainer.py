@@ -1,0 +1,121 @@
+"""Training-loop, evaluation, and BN-recalibration tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, BatchNorm2d, Conv2d, Flatten, Linear, ReLU,
+                      Sequential, Tensor, evaluate, evaluate_topk, fit,
+                      recalibrate_batchnorm, set_init_seed)
+
+
+def make_model(num_classes=3):
+    set_init_seed(3)
+    return Sequential(Conv2d(1, 4, 3, padding=1), BatchNorm2d(4), ReLU(),
+                      Flatten(), Linear(4 * 8 * 8, num_classes))
+
+
+class TestFit:
+    def test_training_improves_accuracy(self, tiny_dataset):
+        train, test = tiny_dataset
+        model = make_model()
+        before = evaluate(model, test).accuracy
+        history = fit(model, train, Adam(model.parameters(), 1e-3), epochs=4,
+                      batch_size=16, test_set=test)
+        assert history.final_test_accuracy > max(before, 0.4)
+        assert len(history.train) == 4
+        assert len(history.test) == 4
+
+    def test_loss_decreases(self, tiny_dataset):
+        train, _ = tiny_dataset
+        model = make_model()
+        history = fit(model, train, Adam(model.parameters(), 1e-3), epochs=4,
+                      batch_size=16)
+        assert history.train[-1].loss < history.train[0].loss
+
+    def test_grad_hook_called_per_batch(self, tiny_dataset):
+        train, _ = tiny_dataset
+        model = make_model()
+        calls = []
+        fit(model, train, Adam(model.parameters(), 1e-3), epochs=1,
+            batch_size=32, grad_hook=lambda: calls.append(1))
+        assert len(calls) == (len(train) + 31) // 32
+
+    def test_step_hook_called_after_step(self, tiny_dataset):
+        train, _ = tiny_dataset
+        model = make_model()
+        snapshots = []
+
+        def hook():
+            snapshots.append(model[0].weight.data.copy())
+
+        fit(model, train, Adam(model.parameters(), 1e-3), epochs=1,
+            batch_size=48, step_hook=hook)
+        assert len(snapshots) == 2
+        assert not np.array_equal(snapshots[0], snapshots[1])
+
+    def test_epoch_hook_receives_indices(self, tiny_dataset):
+        train, _ = tiny_dataset
+        model = make_model()
+        seen = []
+        fit(model, train, Adam(model.parameters(), 1e-3), epochs=3,
+            batch_size=32, epoch_hook=seen.append)
+        assert seen == [0, 1, 2]
+
+    def test_history_no_test_raises(self):
+        from repro.nn.trainer import History
+        with pytest.raises(ValueError):
+            History().final_test_accuracy
+
+
+class TestEvaluate:
+    def test_restores_training_mode(self, tiny_dataset):
+        _, test = tiny_dataset
+        model = make_model()
+        model.train()
+        evaluate(model, test)
+        assert model.training
+
+    def test_topk_at_least_top1(self, tiny_dataset):
+        train, test = tiny_dataset
+        model = make_model()
+        fit(model, train, Adam(model.parameters(), 1e-3), epochs=2, batch_size=16)
+        top1 = evaluate(model, test).accuracy
+        top2 = evaluate_topk(model, test, k=2)
+        assert top2 >= top1
+
+
+class TestRecalibrateBatchnorm:
+    def test_fixes_corrupted_stats(self, tiny_dataset):
+        train, test = tiny_dataset
+        model = make_model()
+        fit(model, train, Adam(model.parameters(), 1e-3), epochs=4, batch_size=16)
+        good = evaluate(model, test).accuracy
+        bn = model[1]
+        bn.running_mean[...] = 100.0
+        bn.running_var[...] = 1e-4
+        corrupted = evaluate(model, test).accuracy
+        assert corrupted < good
+        recalibrate_batchnorm(model, train)
+        recovered = evaluate(model, test).accuracy
+        assert recovered >= good - 0.05
+
+    def test_does_not_touch_weights(self, tiny_dataset):
+        train, _ = tiny_dataset
+        model = make_model()
+        weights = model[0].weight.data.copy()
+        recalibrate_batchnorm(model, train)
+        np.testing.assert_array_equal(model[0].weight.data, weights)
+
+    def test_noop_without_batchnorm(self, tiny_dataset):
+        train, _ = tiny_dataset
+        model = Sequential(Flatten(), Linear(64, 3))
+        recalibrate_batchnorm(model, train)  # must not raise
+
+    def test_restores_momentum_and_mode(self, tiny_dataset):
+        train, _ = tiny_dataset
+        model = make_model()
+        model.eval()
+        before = model[1].momentum
+        recalibrate_batchnorm(model, train, momentum=0.9)
+        assert model[1].momentum == before
+        assert not model.training

@@ -1,0 +1,70 @@
+"""Bit-slicing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reram import bit_slice, bit_unslice, num_slices, slice_weights
+
+
+class TestNumSlices:
+    def test_exact(self):
+        assert num_slices(8, 2) == 4
+        assert num_slices(16, 2) == 8
+
+    def test_ceiling(self):
+        assert num_slices(7, 2) == 4
+        assert num_slices(9, 4) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            num_slices(0, 2)
+
+
+class TestBitSlice:
+    def test_known_value(self):
+        # 0b10110101 = 181 -> 2-bit slices little-endian: 01, 01, 11, 10
+        codes = bit_slice(np.array([181]), 2, 4)
+        np.testing.assert_array_equal(codes[0], [0b01, 0b01, 0b11, 0b10])
+
+    def test_shape(self):
+        codes = bit_slice(np.zeros((3, 5), dtype=np.int64), 2, 4)
+        assert codes.shape == (3, 5, 4)
+
+    def test_codes_within_cell_range(self, rng):
+        values = rng.integers(0, 256, size=100)
+        codes = bit_slice(values, 2, 4)
+        assert codes.min() >= 0 and codes.max() <= 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_slice(np.array([-1]), 2, 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bit_slice(np.array([256]), 2, 4)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            bit_slice(np.array([1.5]), 2, 4)
+
+
+class TestRoundTrip:
+    def test_unslice_inverts(self, rng):
+        values = rng.integers(0, 2 ** 8, size=(4, 6))
+        codes = bit_slice(values, 2, 4)
+        np.testing.assert_array_equal(bit_unslice(codes, 2), values)
+
+    def test_slice_weights_values(self):
+        np.testing.assert_array_equal(slice_weights(4, 2), [1, 4, 16, 64])
+
+
+@given(st.integers(1, 3), st.integers(1, 8), st.integers(0, 2 ** 16 - 1))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(cell_bits, extra, value):
+    slices = num_slices(16, cell_bits)
+    codes = bit_slice(np.array([value]), cell_bits, slices)
+    assert bit_unslice(codes, cell_bits)[0] == value
+    # recombination via slice_weights agrees
+    assert (codes[0] * slice_weights(slices, cell_bits)).sum() == value

@@ -1,0 +1,68 @@
+"""Crossbar array and sub-array layout tests."""
+
+import numpy as np
+import pytest
+
+from repro.reram import CrossbarArray, DeviceSpec, ReRAMDevice, SubArrayLayout
+
+
+class TestCrossbarArray:
+    def test_digital_mvm_recovers_codes(self, rng):
+        codes = rng.integers(0, 4, size=(8, 5))
+        xbar = CrossbarArray(codes, ReRAMDevice(DeviceSpec(), 0.0))
+        bits = rng.integers(0, 2, size=8).astype(np.float64)
+        out = xbar.digital_mvm(bits)
+        np.testing.assert_allclose(out, bits @ codes, atol=1e-6)
+
+    def test_digital_mvm_batch(self, rng):
+        codes = rng.integers(0, 4, size=(6, 4))
+        xbar = CrossbarArray(codes, ReRAMDevice(DeviceSpec(), 0.0))
+        bits = rng.integers(0, 2, size=(6, 3)).astype(np.float64)
+        out = xbar.digital_mvm(bits)
+        np.testing.assert_allclose(out, codes.T @ bits, atol=1e-6)
+
+    def test_analog_current_positive(self, rng):
+        codes = rng.integers(0, 4, size=(4, 4))
+        xbar = CrossbarArray(codes, ReRAMDevice(DeviceSpec(), 0.0))
+        current = xbar.analog_mvm(np.ones(4))
+        assert (current > 0).all()  # g_min pedestal always conducts
+
+    def test_validation(self):
+        device = ReRAMDevice(DeviceSpec(), 0.0)
+        with pytest.raises(ValueError):
+            CrossbarArray(np.zeros(4, dtype=np.int64), device)
+        xbar = CrossbarArray(np.zeros((4, 4), dtype=np.int64), device)
+        with pytest.raises(ValueError):
+            xbar.analog_mvm(np.ones(5))
+
+    def test_dimensions(self):
+        xbar = CrossbarArray(np.zeros((8, 3), dtype=np.int64),
+                             ReRAMDevice(DeviceSpec(), 0.0))
+        assert xbar.rows == 8 and xbar.cols == 3
+
+
+class TestSubArrayLayout:
+    def test_paper_default_partition(self):
+        layout = SubArrayLayout(128, 128, 8, 128)
+        assert layout.subarrays_per_column_strip == 16
+        assert layout.column_strips == 1
+        assert layout.subarrays_per_array == 16
+
+    def test_row_slices_tile_rows(self):
+        layout = SubArrayLayout(16, 16, 4, 16)
+        slices = list(layout.row_slices())
+        assert len(slices) == 4
+        covered = set()
+        for _, s in slices:
+            covered.update(range(s.start, s.stop))
+        assert covered == set(range(16))
+
+    def test_col_slices(self):
+        layout = SubArrayLayout(16, 16, 4, 8)
+        assert len(list(layout.col_slices())) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubArrayLayout(16, 16, 0, 16)
+        with pytest.raises(ValueError):
+            SubArrayLayout(16, 16, 32, 16)

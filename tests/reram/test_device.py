@@ -1,0 +1,98 @@
+"""ReRAM device model tests."""
+
+import numpy as np
+import pytest
+
+from repro.reram import DeviceSpec, ReRAMDevice, codes_to_digital
+
+
+class TestDeviceSpec:
+    def test_levels(self):
+        assert DeviceSpec(cell_bits=2).levels == 4
+        assert DeviceSpec(cell_bits=1).levels == 2
+
+    def test_conductance_endpoints(self):
+        spec = DeviceSpec()
+        assert spec.ideal_conductance(np.array([0]))[0] == pytest.approx(spec.g_min)
+        assert spec.ideal_conductance(np.array([spec.levels - 1]))[0] == pytest.approx(spec.g_max)
+
+    def test_conductance_monotone(self):
+        spec = DeviceSpec(cell_bits=2)
+        g = spec.ideal_conductance(np.arange(4))
+        assert (np.diff(g) > 0).all()
+        np.testing.assert_allclose(np.diff(g), spec.g_step)
+
+    def test_on_off_ratio(self):
+        spec = DeviceSpec(r_on=100e3, r_off=10e6)
+        assert spec.on_off_ratio == pytest.approx(100.0)
+
+    def test_code_range_validated(self):
+        spec = DeviceSpec(cell_bits=2)
+        with pytest.raises(ValueError):
+            spec.ideal_conductance(np.array([4]))
+        with pytest.raises(ValueError):
+            spec.ideal_conductance(np.array([-1]))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(cell_bits=0)
+        with pytest.raises(ValueError):
+            DeviceSpec(r_on=1e6, r_off=1e5)
+        with pytest.raises(ValueError):
+            DeviceSpec(read_voltage=0.0)
+
+
+class TestReRAMDevice:
+    def test_ideal_programming(self):
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        codes = np.array([[0, 1], [2, 3]])
+        np.testing.assert_array_equal(device.program(codes),
+                                      device.spec.ideal_conductance(codes))
+
+    def test_variation_statistics(self):
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.1, seed=0)
+        codes = np.full(20000, 3)
+        g = device.program(codes)
+        ratio = g / device.spec.ideal_conductance(codes)
+        # lognormal(0, 0.1): median 1.0, std of log = 0.1
+        np.testing.assert_allclose(np.median(ratio), 1.0, rtol=0.01)
+        np.testing.assert_allclose(np.log(ratio).std(), 0.1, rtol=0.05)
+
+    def test_variation_reproducible_by_seed(self):
+        codes = np.arange(4)
+        a = ReRAMDevice(DeviceSpec(), 0.1, seed=3).program(codes)
+        b = ReRAMDevice(DeviceSpec(), 0.1, seed=3).program(codes)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ReRAMDevice(DeviceSpec(), variation_sigma=-0.1)
+
+    def test_variation_factors_identity_at_zero(self):
+        device = ReRAMDevice(DeviceSpec(), 0.0)
+        np.testing.assert_array_equal(device.variation_factors((3, 3)), np.ones((3, 3)))
+
+    def test_read_current_kirchhoff(self):
+        device = ReRAMDevice(DeviceSpec(), 0.0)
+        g = device.program(np.array([[1, 2], [3, 0]]))
+        active = np.array([1.0, 1.0])
+        expected = device.spec.read_voltage * g.sum(axis=0)
+        np.testing.assert_allclose(device.read_current(g, active), expected)
+
+    def test_read_current_row_masking(self):
+        device = ReRAMDevice(DeviceSpec(), 0.0)
+        g = device.program(np.array([[3], [3]]))
+        one_row = device.read_current(g, np.array([1.0, 0.0]))
+        both = device.read_current(g, np.array([1.0, 1.0]))
+        np.testing.assert_allclose(both, 2 * one_row)
+
+
+class TestCodesToDigital:
+    def test_inverts_accumulation(self):
+        spec = DeviceSpec(cell_bits=2)
+        codes = np.array([3, 1, 2, 0])
+        active = np.array([1.0, 1.0, 0.0, 1.0])
+        g = spec.ideal_conductance(codes)
+        current = spec.read_voltage * (g * active).sum()
+        digital = codes_to_digital(current, spec, active_count=active.sum())
+        assert round(float(digital)) == 3 + 1 + 0  # active codes only

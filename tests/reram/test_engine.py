@@ -1,0 +1,182 @@
+"""In-situ engine tests — the exactness anchor of the whole simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FragmentGeometry, QuantizationSpec
+from repro.core.polarization import compute_signs, project_polarization
+from repro.reram import (ADCSpec, DeviceSpec, ReRAMDevice, SignIndicator,
+                         build_engine, infer_signs)
+
+
+def polarized_levels(rng, shape=(4, 2, 3, 3), m=4, qmax=127):
+    """Random polarized integer levels + geometry."""
+    geom = FragmentGeometry(shape, m)
+    w = rng.normal(size=shape)
+    signs = compute_signs(w, geom)
+    w = project_polarization(w, geom, signs)
+    levels = np.clip(np.rint(w * qmax / (np.abs(w).max() + 1e-9)),
+                     -qmax, qmax).astype(np.int64)
+    return geom.matrix(levels), geom
+
+
+@pytest.fixture()
+def case(rng):
+    levels, geom = polarized_levels(rng)
+    x = rng.integers(0, 2 ** 12, size=(geom.rows, 7))
+    return levels, geom, x
+
+
+class TestExactness:
+    @pytest.mark.parametrize("scheme", ["forms", "isaac_offset", "dual"])
+    def test_matches_integer_matmul(self, case, scheme):
+        levels, geom, x = case
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                              scheme=scheme, activation_bits=12)
+        np.testing.assert_array_equal(engine.matvec_int(x), levels.T @ x)
+
+    def test_matvec_float_scaling(self, case):
+        levels, geom, x = case
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                              activation_bits=12)
+        out = engine.matvec_float(x, weight_scale=0.5, activation_scale=0.25)
+        np.testing.assert_allclose(out, (levels.T @ x) * 0.125)
+
+    def test_1d_input(self, case):
+        levels, geom, x = case
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                              activation_bits=12)
+        np.testing.assert_array_equal(engine.matvec_int(x[:, 0]).reshape(-1),
+                                      levels.T @ x[:, 0])
+
+
+class TestZeroSkipping:
+    def test_cycles_match_max_effective_bits(self, rng):
+        levels, geom = polarized_levels(rng)
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                              activation_bits=16)
+        x = np.full((geom.rows, 3), 0b101, dtype=np.int64)  # 3 effective bits
+        engine.matvec_int(x)
+        assert engine.stats.cycles_fed == 3
+
+    def test_zero_inputs_feed_nothing(self, rng):
+        levels, geom = polarized_levels(rng)
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                              activation_bits=16)
+        out = engine.matvec_int(np.zeros((geom.rows, 2), dtype=np.int64))
+        np.testing.assert_array_equal(out, 0)
+        assert engine.stats.cycles_fed == 0
+
+    def test_skipping_never_changes_result(self, rng):
+        levels, geom = polarized_levels(rng)
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                              activation_bits=16)
+        x = rng.integers(0, 16, size=(geom.rows, 5))  # small values -> heavy skip
+        np.testing.assert_array_equal(engine.matvec_int(x), levels.T @ x)
+        assert engine.stats.cycles_fed <= 4
+
+
+class TestADCSaturation:
+    def test_undersized_adc_clips(self, rng):
+        levels, geom = polarized_levels(rng)
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        exact = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                             activation_bits=8)
+        clipped = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                               scheme="forms", adc=ADCSpec(bits=2),
+                               activation_bits=8)
+        x = np.full((geom.rows, 4), 255, dtype=np.int64)
+        exact_out = exact.matvec_int(x)
+        clip_out = clipped.matvec_int(x)
+        assert clipped.stats.saturation_fraction > 0.0
+        assert np.abs(clip_out).sum() < np.abs(exact_out).sum()
+
+    def test_default_adc_sized_for_exactness(self, rng):
+        levels, geom = polarized_levels(rng)
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                              activation_bits=8)
+        x = np.full((geom.rows, 2), 255, dtype=np.int64)
+        engine.matvec_int(x)
+        assert engine.stats.saturation_fraction == 0.0
+
+
+class TestVariation:
+    def test_error_grows_with_sigma(self, rng):
+        levels, geom = polarized_levels(rng, shape=(8, 4, 3, 3))
+        x = rng.integers(0, 2 ** 8, size=(geom.rows, 16))
+        expected = levels.T @ x
+        errors = []
+        for sigma in (0.02, 0.1, 0.3):
+            device = ReRAMDevice(DeviceSpec(), variation_sigma=sigma, seed=1)
+            engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                                  activation_bits=8)
+            out = engine.matvec_int(x)
+            errors.append(np.abs(out - expected).mean() / np.abs(expected).mean())
+        assert errors[0] < errors[1] < errors[2]
+        assert errors[0] < 0.05
+
+
+class TestSignIndicator:
+    def test_apply_negates_negative_fragments(self):
+        signs = np.array([[1.0, -1.0]])
+        si = SignIndicator(signs)
+        values = np.ones((1, 2, 3))
+        out = si.apply(values)
+        np.testing.assert_array_equal(out[0, 0], 1.0)
+        np.testing.assert_array_equal(out[0, 1], -1.0)
+
+    def test_rejects_invalid_signs(self):
+        with pytest.raises(ValueError):
+            SignIndicator(np.array([[0.5]]))
+
+    def test_bits_encoding(self):
+        si = SignIndicator(np.array([[1.0, -1.0, 1.0]]))
+        np.testing.assert_array_equal(si.bits, [[0, 1, 0]])
+
+
+class TestInputValidation:
+    def test_rejects_float_inputs(self, case):
+        levels, geom, _ = case
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device)
+        with pytest.raises(TypeError):
+            engine.matvec_int(np.zeros((geom.rows, 2)))
+
+    def test_rejects_out_of_range(self, case):
+        levels, geom, _ = case
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                              activation_bits=4)
+        with pytest.raises(ValueError):
+            engine.matvec_int(np.full((geom.rows, 1), 16, dtype=np.int64))
+
+    def test_rejects_row_mismatch(self, case):
+        levels, geom, _ = case
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2), device)
+        with pytest.raises(ValueError):
+            engine.matvec_int(np.zeros((geom.rows + 1, 1), dtype=np.int64))
+
+
+@given(st.integers(0, 10_000), st.sampled_from(["forms", "isaac_offset", "dual"]),
+       st.integers(1, 3), st.integers(2, 8))
+@settings(max_examples=25, deadline=None)
+def test_exactness_property(seed, scheme, cols_scale, m):
+    """For ANY polarized weights, ANY inputs, ANY scheme: the ideal bit-serial
+    engine reproduces the integer matmul exactly."""
+    rng = np.random.default_rng(seed)
+    levels, geom = polarized_levels(rng, shape=(2 * cols_scale, 1, 3, 3), m=m)
+    x = rng.integers(0, 2 ** 10, size=(geom.rows, 3))
+    device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+    engine = build_engine(levels, geom, QuantizationSpec(8, 2), device,
+                          scheme=scheme, activation_bits=10)
+    np.testing.assert_array_equal(engine.matvec_int(x), levels.T @ x)

@@ -1,0 +1,134 @@
+"""Full-network in-situ inference tests (every layer on the bit-serial engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig, CrossbarShape, FORMSConfig, FORMSPipeline
+from repro.nn import (Adam, Conv2d, Flatten, Linear, ReLU, Sequential,
+                      Tensor, evaluate, fit, set_init_seed)
+from repro.nn.data import make_synthetic
+from repro.reram import DeviceSpec, NonidealEngine, ReRAMDevice
+from repro.reram.inference import (InSituConv2d, InSituLinear,
+                                   build_insitu_network, total_cycles_fed)
+from repro.reram.nonideal import FaultModel
+
+
+@pytest.fixture(scope="module")
+def optimized_net():
+    train, test = make_synthetic("insitu", 4, 1, 8, 160, 64, seed=51)
+    set_init_seed(51)
+    model = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(),
+                       Flatten(), Linear(8 * 8 * 8, 4))
+    fit(model, train, Adam(model.parameters(), 1e-3), epochs=4, batch_size=16)
+    admm = ADMMConfig(iterations=1, epochs_per_iteration=1, retrain_epochs=1)
+    config = FORMSConfig(fragment_size=4, crossbar=CrossbarShape(16, 16),
+                         filter_keep=0.75, shape_keep=0.75,
+                         prune_admm=admm, polarize_admm=admm,
+                         quantize_admm=admm)
+    FORMSPipeline(config).optimize(model, train, test, seed=51)
+    return model, config, train, test
+
+
+def ideal_device():
+    return ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+
+
+class TestIdealInference:
+    def test_matches_digital_accuracy(self, optimized_net):
+        model, config, _, test = optimized_net
+        digital = evaluate(model, test).accuracy
+        insitu, _ = build_insitu_network(model, config, ideal_device(),
+                                         activation_bits=16)
+        assert evaluate(insitu, test).accuracy == pytest.approx(digital,
+                                                                abs=0.02)
+
+    def test_per_batch_outputs_close(self, optimized_net):
+        model, config, _, test = optimized_net
+        insitu, _ = build_insitu_network(model, config, ideal_device(),
+                                         activation_bits=16)
+        x = Tensor(test.images[:8])
+        digital = model(x).data
+        analog = insitu(x).data
+        scale = np.abs(digital).max()
+        assert np.abs(analog - digital).max() / scale < 0.05
+
+    def test_layers_replaced_with_wrappers(self, optimized_net):
+        model, config, _, _ = optimized_net
+        insitu, engines = build_insitu_network(model, config, ideal_device())
+        kinds = [type(m) for m in insitu.modules()]
+        assert InSituConv2d in kinds
+        assert InSituLinear in kinds
+        assert Conv2d not in kinds
+        assert Linear not in kinds
+        assert len(engines) == 2
+
+    def test_original_model_untouched(self, optimized_net):
+        model, config, _, test = optimized_net
+        before = evaluate(model, test).accuracy
+        build_insitu_network(model, config, ideal_device())
+        assert evaluate(model, test).accuracy == before
+
+    def test_isaac_offset_scheme_agrees(self, optimized_net):
+        model, config, _, test = optimized_net
+        forms, _ = build_insitu_network(model, config, ideal_device(),
+                                        scheme="forms")
+        isaac, _ = build_insitu_network(model, config, ideal_device(),
+                                        scheme="isaac_offset")
+        x = Tensor(test.images[:4])
+        np.testing.assert_allclose(isaac(x).data, forms(x).data,
+                                   rtol=1e-6, atol=1e-6)
+
+
+class TestCycleAccounting:
+    def test_zero_skipping_saves_cycles(self, optimized_net):
+        model, config, _, test = optimized_net
+        insitu, engines = build_insitu_network(model, config, ideal_device(),
+                                               activation_bits=16)
+        evaluate(insitu, test, batch_size=64)
+        # Per layer: positive pass <= 16 cycles, the (all-zero) negative pass
+        # of the post-ReLU layer terminates after its detection cycle.
+        cycles = total_cycles_fed(engines)
+        n_batches = -(-len(test) // 64)
+        worst_case = len(engines) * 2 * 16 * n_batches
+        assert 0 < cycles < worst_case
+
+    def test_negative_pass_skipped_after_relu(self, optimized_net):
+        model, config, _, test = optimized_net
+        insitu, engines = build_insitu_network(model, config, ideal_device(),
+                                               activation_bits=8)
+        x = Tensor(test.images[:4])
+        insitu(x)
+        # The linear layer sees post-ReLU activations: one signed decomposition
+        # whose negative part is empty, so it feeds at most 8 cycles total.
+        linear_engine = [e for name, e in engines.items() if "3" in name][0]
+        assert linear_engine.stats.cycles_fed <= 8
+
+
+class TestNonidealInference:
+    def test_variation_degrades_gracefully(self, optimized_net):
+        model, config, _, test = optimized_net
+        clean, _ = build_insitu_network(model, config, ideal_device())
+        noisy_device = ReRAMDevice(DeviceSpec(), variation_sigma=0.3, seed=9)
+        noisy, _ = build_insitu_network(model, config, noisy_device)
+        clean_acc = evaluate(clean, test).accuracy
+        noisy_acc = evaluate(noisy, test).accuracy
+        assert noisy_acc <= clean_acc + 0.03
+
+    def test_nonideal_engine_composition(self, optimized_net):
+        model, config, _, test = optimized_net
+        faulty, engines = build_insitu_network(
+            model, config, ideal_device(), engine_cls=NonidealEngine,
+            fault_model=FaultModel(0.05, 0.01, seed=4))
+        assert all(e.fault_fraction > 0 for e in engines.values())
+        accuracy = evaluate(faulty, test).accuracy
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_unknown_layer_type_rejected(self, optimized_net):
+        model, config, _, _ = optimized_net
+        from repro.core.pipeline import collect_layer_artifacts
+        artifacts = collect_layer_artifacts(model, config)
+        # Point an artifact at a non-compressible module path.
+        bad = {"1": next(iter(artifacts.values()))}
+        with pytest.raises(TypeError):
+            build_insitu_network(model, config, ideal_device(),
+                                 artifacts=bad)

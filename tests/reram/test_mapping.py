@@ -1,0 +1,105 @@
+"""Mapping scheme tests (FORMS / ISAAC offset / PRIME dual)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FragmentGeometry, QuantizationSpec
+from repro.reram import bit_unslice, infer_signs, map_layer
+
+
+@pytest.fixture()
+def polarized_case(rng):
+    spec = QuantizationSpec(8, 2)
+    geom = FragmentGeometry((4, 2, 3, 3), fragment_size=4)  # rows 18 -> pad to 20
+    levels = rng.integers(-spec.qmax, spec.qmax + 1, size=(geom.rows, geom.cols))
+    # polarize: make each fragment single-signed using the sum rule
+    signs = infer_signs(levels, geom)
+    stack = geom.fragment_stack(levels.astype(np.float64))
+    stack = np.where(stack * signs[:, None, :] >= 0, stack, 0.0)
+    levels = geom.from_fragment_stack(stack).astype(np.int64)
+    return levels, geom, spec, infer_signs(levels, geom)
+
+
+class TestFormsMapping:
+    def test_stores_magnitudes(self, polarized_case):
+        levels, geom, spec, signs = polarized_case
+        mapped = map_layer(levels, geom, spec, "forms", signs=signs)
+        recombined = bit_unslice(mapped.code_planes["main"], spec.cell_bits)
+        expected = np.abs(geom.fragment_stack(levels.astype(np.float64))).astype(np.int64)
+        np.testing.assert_array_equal(recombined, expected)
+        assert mapped.crossbar_copies == 1
+        assert mapped.slices == spec.cells_per_weight
+
+    def test_requires_signs(self, polarized_case):
+        levels, geom, spec, _ = polarized_case
+        with pytest.raises(ValueError, match="signs"):
+            map_layer(levels, geom, spec, "forms")
+
+    def test_rejects_unpolarized(self, rng):
+        spec = QuantizationSpec(8, 2)
+        geom = FragmentGeometry((2, 2, 3, 3), 4)
+        levels = rng.integers(-50, 51, size=(geom.rows, geom.cols))
+        signs = infer_signs(levels, geom)
+        # random levels are almost surely mixed-sign somewhere
+        with pytest.raises(ValueError, match="polarized"):
+            map_layer(levels, geom, spec, "forms", signs=signs)
+
+
+class TestIsaacMapping:
+    def test_bias_applied(self, polarized_case):
+        levels, geom, spec, _ = polarized_case
+        mapped = map_layer(levels, geom, spec, "isaac_offset")
+        assert mapped.offset == 128
+        recombined = bit_unslice(mapped.code_planes["main"], spec.cell_bits)
+        stack = geom.fragment_stack(levels.astype(np.float64)).astype(np.int64)
+        # real rows hold level + 128; padding rows hold 0
+        pad = geom.padded_rows - geom.rows
+        real = recombined[:-1] if pad else recombined
+        np.testing.assert_array_equal(real, stack[:-1] + 128 if pad else stack + 128)
+        if pad:
+            np.testing.assert_array_equal(recombined[-1, -pad:, :], 0)
+
+    def test_biased_codes_fit_slices(self, polarized_case):
+        levels, geom, spec, _ = polarized_case
+        mapped = map_layer(levels, geom, spec, "isaac_offset")
+        assert mapped.slices == spec.cells_per_weight
+
+
+class TestDualMapping:
+    def test_positive_negative_split(self, polarized_case):
+        levels, geom, spec, _ = polarized_case
+        mapped = map_layer(levels, geom, spec, "dual")
+        assert mapped.crossbar_copies == 2
+        pos = bit_unslice(mapped.code_planes["positive"], spec.cell_bits)
+        neg = bit_unslice(mapped.code_planes["negative"], spec.cell_bits)
+        stack = geom.fragment_stack(levels.astype(np.float64)).astype(np.int64)
+        np.testing.assert_array_equal(pos - neg, stack)
+        assert (pos * neg == 0).all()  # disjoint supports
+
+
+class TestValidation:
+    def test_unknown_scheme(self, polarized_case):
+        levels, geom, spec, signs = polarized_case
+        with pytest.raises(ValueError):
+            map_layer(levels, geom, spec, "hybrid")
+
+    def test_float_levels_rejected(self, polarized_case):
+        _, geom, spec, _ = polarized_case
+        with pytest.raises(TypeError):
+            map_layer(np.zeros((geom.rows, geom.cols)), geom, spec)
+
+    def test_shape_mismatch(self, polarized_case):
+        levels, geom, spec, _ = polarized_case
+        with pytest.raises(ValueError):
+            map_layer(levels[:-1], geom, spec, "dual")
+
+    def test_range_checked(self, polarized_case):
+        _, geom, spec, _ = polarized_case
+        too_big = np.full((geom.rows, geom.cols), 200, dtype=np.int64)
+        with pytest.raises(ValueError):
+            map_layer(too_big, geom, spec, "dual")
+
+    def test_infer_signs_sum_rule(self):
+        geom = FragmentGeometry((1, 1, 2, 2), 4)
+        levels = np.array([[5], [-1], [-1], [-1]], dtype=np.int64)
+        assert infer_signs(levels, geom)[0, 0] == 1.0  # sum=2 >= 0

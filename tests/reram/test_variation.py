@@ -1,0 +1,97 @@
+"""Network-scale variation injection tests (Table VI machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADMMConfig, CrossbarShape, FORMSConfig, FORMSPipeline
+from repro.nn import evaluate
+from repro.reram import apply_variation, clone_model, effective_levels, variation_study
+from repro.reram.mapping import infer_signs, map_layer
+from repro.core import FragmentGeometry, QuantizationSpec
+
+
+def small_config():
+    fast = ADMMConfig(iterations=1, epochs_per_iteration=1, retrain_epochs=1)
+    return FORMSConfig(fragment_size=4, crossbar=CrossbarShape(16, 16),
+                       do_prune=False, do_quantize=False,
+                       prune_admm=fast, polarize_admm=fast, quantize_admm=fast)
+
+
+class TestCloneModel:
+    def test_independent_weights(self, trained_lenet):
+        clone = clone_model(trained_lenet)
+        clone.parameters()[0].data[...] = 0.0
+        assert np.abs(trained_lenet.parameters()[0].data).max() > 0
+
+
+class TestEffectiveLevels:
+    def test_ideal_recovers_levels(self, rng):
+        spec = QuantizationSpec(8, 2)
+        geom = FragmentGeometry((2, 1, 3, 3), 4)
+        levels = rng.integers(-spec.qmax, spec.qmax, size=(geom.rows, geom.cols))
+        from repro.reram import ReRAMDevice, DeviceSpec
+        device = ReRAMDevice(DeviceSpec(), 0.0)
+        for scheme in ("isaac_offset", "dual"):
+            mapped = map_layer(levels, geom, spec, scheme)
+            np.testing.assert_allclose(effective_levels(mapped, device), levels)
+
+    def test_isaac_offset_amplifies_noise(self, rng):
+        """The stored bias couples device noise into ISAAC's effective weights
+        much harder than FORMS' bare magnitudes — the robustness mechanism the
+        paper cites ([29])."""
+        spec = QuantizationSpec(8, 2)
+        geom = FragmentGeometry((4, 2, 3, 3), 4)
+        small = rng.integers(-10, 11, size=(geom.rows, geom.cols))  # small weights
+        # polarize so the FORMS scheme applies
+        stack = geom.fragment_stack(small.astype(np.float64))
+        signs = np.where(stack.sum(axis=1) >= 0, 1.0, -1.0)
+        stack = np.where(stack * signs[:, None, :] >= 0, stack, 0.0)
+        levels = geom.from_fragment_stack(stack).astype(np.int64)
+        from repro.reram import ReRAMDevice, DeviceSpec
+        errors = {}
+        for scheme in ("forms", "isaac_offset"):
+            device = ReRAMDevice(DeviceSpec(), variation_sigma=0.1, seed=5)
+            mapped = map_layer(levels, geom, spec, scheme,
+                               signs=infer_signs(levels, geom) if scheme == "forms" else None)
+            eff = effective_levels(mapped, device)
+            errors[scheme] = np.abs(eff - levels).mean()
+        assert errors["isaac_offset"] > errors["forms"]
+
+
+class TestApplyVariation:
+    def test_sigma_zero_close_to_original(self, trained_lenet, mnist_small):
+        _, test = mnist_small
+        config = small_config()
+        clean = apply_variation(trained_lenet, config, 0.0, scheme="dual")
+        base_acc = evaluate(trained_lenet, test).accuracy
+        clean_acc = evaluate(clean, test).accuracy
+        # only quantization separates them
+        assert abs(clean_acc - base_acc) < 0.1
+
+    def test_original_model_untouched(self, trained_lenet):
+        before = trained_lenet.parameters()[0].data.copy()
+        apply_variation(trained_lenet, small_config(), 0.2, scheme="dual", seed=1)
+        np.testing.assert_array_equal(trained_lenet.parameters()[0].data, before)
+
+    def test_negative_sigma_rejected(self, trained_lenet):
+        with pytest.raises(ValueError):
+            apply_variation(trained_lenet, small_config(), -0.1, scheme="dual")
+
+
+class TestVariationStudy:
+    def test_degradation_grows_with_sigma(self, trained_lenet, mnist_small):
+        train, test = mnist_small
+        config = small_config()
+        mild = variation_study(trained_lenet, config, test, sigma=0.02, runs=3,
+                               scheme="dual", seed=0)
+        harsh = variation_study(trained_lenet, config, test, sigma=0.5, runs=3,
+                                scheme="dual", seed=0)
+        assert harsh.mean_degradation > mild.mean_degradation
+
+    def test_result_statistics(self, trained_lenet, mnist_small):
+        _, test = mnist_small
+        result = variation_study(trained_lenet, small_config(), test, sigma=0.1,
+                                 runs=3, scheme="dual", seed=0)
+        assert len(result.noisy_accuracies) == 3
+        assert result.std_accuracy >= 0.0
+        assert 0.0 <= result.mean_accuracy <= 1.0

@@ -1,0 +1,271 @@
+"""VTEAM memristor dynamics tests (paper ref [71])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reram import DeviceSpec
+from repro.reram.vteam import (ProgramResult, ProgramScheme, VTEAMCell,
+                               VTEAMParams, device_spec_from_vteam,
+                               program_codes, program_level, write_latency_s)
+
+
+class TestVTEAMParams:
+    def test_defaults_valid(self):
+        params = VTEAMParams()
+        assert params.v_on < 0 < params.v_off
+        assert params.k_off > 0 > params.k_on
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            VTEAMParams(v_on=0.5)
+        with pytest.raises(ValueError):
+            VTEAMParams(v_off=-0.5)
+
+    def test_rate_sign_validation(self):
+        with pytest.raises(ValueError):
+            VTEAMParams(k_off=-1.0)
+        with pytest.raises(ValueError):
+            VTEAMParams(k_on=1.0)
+
+    def test_resistance_validation(self):
+        with pytest.raises(ValueError):
+            VTEAMParams(r_on=1e6, r_off=1e5)
+
+    def test_resistance_endpoints(self):
+        params = VTEAMParams()
+        assert params.resistance(0.0) == pytest.approx(params.r_on)
+        assert params.resistance(1.0) == pytest.approx(params.r_off)
+
+    def test_resistance_monotone_in_state(self):
+        params = VTEAMParams()
+        states = np.linspace(0, 1, 11)
+        assert (np.diff(params.resistance(states)) > 0).all()
+
+    def test_state_conductance_round_trip(self):
+        params = VTEAMParams()
+        states = np.linspace(0, 1, 7)
+        recovered = params.state_for_conductance(params.conductance(states))
+        np.testing.assert_allclose(recovered, states, atol=1e-12)
+
+    def test_windows_vanish_at_bounds(self):
+        params = VTEAMParams()
+        assert params.window_off(1.0) == pytest.approx(0.0)
+        assert params.window_on(0.0) == pytest.approx(0.0)
+        assert params.window_off(0.0) == pytest.approx(1.0)
+        assert params.window_on(1.0) == pytest.approx(1.0)
+
+
+class TestThresholdBehaviour:
+    def test_no_motion_inside_window(self):
+        params = VTEAMParams()
+        x = np.array([0.2, 0.5, 0.8])
+        for v in (0.0, 0.3, -0.3, params.v_off, params.v_on):
+            np.testing.assert_array_equal(params.dxdt(x, v), 0.0)
+
+    def test_reset_direction(self):
+        params = VTEAMParams()
+        assert (params.dxdt(np.array([0.5]), 2.0) > 0).all()
+
+    def test_set_direction(self):
+        params = VTEAMParams()
+        assert (params.dxdt(np.array([0.5]), -2.0) < 0).all()
+
+    def test_read_is_nondestructive(self):
+        cell = VTEAMCell(state=0.5)
+        before = cell.state.copy()
+        for _ in range(1000):
+            cell.step(0.3, 1e-9)
+        np.testing.assert_array_equal(cell.state, before)
+
+    def test_read_current_guard(self):
+        cell = VTEAMCell(state=0.5)
+        with pytest.raises(ValueError):
+            cell.read_current(read_voltage=2.0)
+
+    def test_read_current_value(self):
+        cell = VTEAMCell(state=0.0)
+        expected = 0.3 / cell.params.r_on
+        assert float(cell.read_current(0.3)) == pytest.approx(expected)
+
+
+class TestCellDynamics:
+    def test_reset_pulse_raises_resistance(self):
+        cell = VTEAMCell(state=0.0)
+        r0 = float(cell.resistance)
+        cell.apply_pulse(2.0, 100e-9)
+        assert float(cell.resistance) > r0
+
+    def test_set_pulse_lowers_resistance(self):
+        cell = VTEAMCell(state=1.0)
+        r0 = float(cell.resistance)
+        cell.apply_pulse(-2.0, 100e-9)
+        assert float(cell.resistance) < r0
+
+    def test_state_stays_bounded_under_huge_pulse(self):
+        cell = VTEAMCell(state=0.5)
+        cell.apply_pulse(10.0, 1.0, steps=64)
+        assert 0.0 <= float(cell.state) <= 1.0
+        cell.apply_pulse(-10.0, 1.0, steps=64)
+        assert 0.0 <= float(cell.state) <= 1.0
+
+    def test_asymptotic_approach_to_bound(self):
+        # The window slows motion near the bound: two equal RESET pulses move
+        # the state less the second time.
+        cell = VTEAMCell(state=0.0)
+        cell.apply_pulse(2.0, 20e-9)
+        first = float(cell.state)
+        cell.apply_pulse(2.0, 20e-9)
+        second = float(cell.state) - first
+        assert 0 < second < first
+
+    def test_higher_voltage_moves_faster(self):
+        slow = VTEAMCell(state=0.0)
+        fast = VTEAMCell(state=0.0)
+        slow.apply_pulse(1.0, 10e-9)
+        fast.apply_pulse(2.0, 10e-9)
+        assert float(fast.state) > float(slow.state)
+
+    def test_array_state_broadcast(self):
+        cell = VTEAMCell(state=np.zeros((3, 2)))
+        cell.apply_pulse(2.0, 10e-9)
+        assert cell.state.shape == (3, 2)
+        assert (cell.state > 0).all()
+
+    def test_step_validation(self):
+        cell = VTEAMCell()
+        with pytest.raises(ValueError):
+            cell.step(1.0, 0.0)
+        with pytest.raises(ValueError):
+            cell.apply_pulse(1.0, -1e-9)
+        with pytest.raises(ValueError):
+            cell.apply_pulse(1.0, 1e-9, steps=0)
+
+    @given(st.floats(min_value=-5.0, max_value=5.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_resistance_always_in_range(self, voltage, x0):
+        cell = VTEAMCell(state=x0)
+        cell.apply_pulse(voltage, 1e-7) if voltage != 0 else None
+        r = float(cell.resistance)
+        assert cell.params.r_on <= r <= cell.params.r_off
+
+
+class TestProgramAndVerify:
+    def test_scheme_validation(self):
+        with pytest.raises(ValueError):
+            ProgramScheme(set_voltage=1.0)
+        with pytest.raises(ValueError):
+            ProgramScheme(reset_voltage=-1.0)
+        with pytest.raises(ValueError):
+            ProgramScheme(min_pulse_width_s=1e-6, pulse_width_s=1e-9)
+        with pytest.raises(ValueError):
+            ProgramScheme(tolerance=0.0)
+
+    def test_target_range_guard(self):
+        cell = VTEAMCell()
+        with pytest.raises(ValueError):
+            program_level(cell, 1.0)   # 1 S is far above g_max
+
+    @pytest.mark.parametrize("code", [0, 1, 2, 3])
+    def test_converges_to_each_2bit_level(self, code):
+        params = VTEAMParams()
+        spec = device_spec_from_vteam(params, cell_bits=2)
+        target = float(spec.ideal_conductance(np.array([code]))[0])
+        cell = VTEAMCell(params, state=1.0)
+        result = program_level(cell, target)
+        assert result.converged
+        tol = ProgramScheme().tolerance * (spec.g_max - spec.g_min)
+        assert result.error <= tol
+
+    def test_program_from_either_end(self):
+        params = VTEAMParams()
+        spec = device_spec_from_vteam(params, cell_bits=2)
+        target = float(spec.ideal_conductance(np.array([2]))[0])
+        from_off = program_level(VTEAMCell(params, state=1.0), target)
+        from_on = program_level(VTEAMCell(params, state=0.0), target)
+        assert from_off.converged and from_on.converged
+
+    def test_already_at_target_needs_no_pulses(self):
+        params = VTEAMParams()
+        g = float(params.conductance(0.5))
+        cell = VTEAMCell(params, state=0.5)
+        result = program_level(cell, g)
+        assert result.converged
+        assert result.pulses == 0
+
+    def test_program_codes_matches_device_spec(self):
+        params = VTEAMParams()
+        codes = np.array([[0, 3], [1, 2]])
+        achieved, pulses = program_codes(codes, params, cell_bits=2)
+        spec = device_spec_from_vteam(params, cell_bits=2)
+        ideal = spec.ideal_conductance(codes)
+        tol = ProgramScheme().tolerance * (spec.g_max - spec.g_min)
+        assert (np.abs(achieved - ideal) <= tol).all()
+        assert pulses.shape == codes.shape
+        assert (pulses >= 0).all()
+
+    def test_write_latency(self):
+        scheme = ProgramScheme(pulse_width_s=50e-9)
+        latency = write_latency_s(np.array([[3, 10], [7, 1]]), scheme,
+                                  verify_time_s=10e-9)
+        assert latency == pytest.approx(10 * 60e-9)
+        assert write_latency_s(np.array([]), scheme) == 0.0
+        with pytest.raises(ValueError):
+            write_latency_s(np.array([1]), scheme, verify_time_s=-1.0)
+
+
+class TestWriteEnergy:
+    def test_energy_accumulates_with_pulses(self):
+        cell = VTEAMCell(state=0.5)
+        assert cell.energy_j == 0.0
+        cell.apply_pulse(2.0, 50e-9)
+        first = cell.energy_j
+        cell.apply_pulse(2.0, 50e-9)
+        assert 0 < first < cell.energy_j
+
+    def test_energy_scales_with_voltage_squared(self):
+        # At fixed conductance (state pinned at the bound by the window),
+        # doubling the voltage quadruples Joule heating.
+        low = VTEAMCell(state=1.0)     # RESET pulses cannot move x further
+        high = VTEAMCell(state=1.0)
+        low.apply_pulse(1.0, 10e-9)
+        high.apply_pulse(2.0, 10e-9)
+        assert high.energy_j == pytest.approx(4.0 * low.energy_j, rel=1e-6)
+
+    def test_read_energy_far_below_write_energy(self):
+        reader = VTEAMCell(state=0.5)
+        writer = VTEAMCell(state=0.5)
+        reader.step(0.3, 50e-9)
+        writer.apply_pulse(2.0, 50e-9)
+        assert reader.energy_j < writer.energy_j / 10
+
+    def test_program_result_carries_energy(self):
+        params = VTEAMParams()
+        spec = device_spec_from_vteam(params, cell_bits=2)
+        target = float(spec.ideal_conductance(np.array([2]))[0])
+        result = program_level(VTEAMCell(params, state=1.0), target)
+        assert result.energy_j > 0.0
+        # already-at-target programming spends nothing
+        g = float(params.conductance(0.5))
+        free = program_level(VTEAMCell(params, state=0.5), g)
+        assert free.energy_j == 0.0
+
+
+class TestDeviceSpecBridge:
+    def test_spec_inherits_resistances(self):
+        params = VTEAMParams(r_on=50e3, r_off=5e6)
+        spec = device_spec_from_vteam(params, cell_bits=2)
+        assert spec.g_max == pytest.approx(1.0 / 50e3)
+        assert spec.g_min == pytest.approx(1.0 / 5e6)
+        assert isinstance(spec, DeviceSpec)
+
+    def test_default_read_voltage_inside_window(self):
+        params = VTEAMParams()
+        spec = device_spec_from_vteam(params)
+        assert params.v_on < spec.read_voltage < params.v_off
+
+    def test_explicit_read_voltage_guard(self):
+        with pytest.raises(ValueError):
+            device_spec_from_vteam(VTEAMParams(), read_voltage=1.0)
