@@ -14,8 +14,8 @@ from repro.analysis import FAST, ExperimentTable, forms_config_for, train_baseli
 from repro.core import FORMSPipeline
 from repro.nn import functional as F
 from repro.core.quantization import activation_to_int
-from repro.reram import (ADCSpec, DeviceSpec, ReRAMDevice, build_engine,
-                         paper_adc_bits, required_adc_bits)
+from repro.reram import (ADCSpec, DeviceSpec, DieCache, ReRAMDevice,
+                         build_engine, paper_adc_bits, required_adc_bits)
 from repro.reram.variation import clone_model
 
 
@@ -23,6 +23,10 @@ def run_ablation(seed: int = 0):
     baseline = train_baseline("lenet5", "mnist", FAST, seed=seed)
     rows = []
     extras = {}
+    # Both ADC sizings read the same codes off the same die: share the
+    # programmed conductance planes across the sweep instead of
+    # re-programming per engine.
+    die_cache = DieCache()
     for fragment in (4, 8, 16):
         config = forms_config_for(FAST, "mnist", fragment_size=fragment)
         model = clone_model(baseline.model)
@@ -47,7 +51,8 @@ def run_ablation(seed: int = 0):
         for label, bits in (("paper", paper_adc_bits(fragment)),
                             ("exact", required_adc_bits(fragment, 2))):
             engine = build_engine(levels, geometry, config.quant_spec(), device,
-                                  adc=ADCSpec(bits=bits), activation_bits=8)
+                                  adc=ADCSpec(bits=bits), activation_bits=8,
+                                  die_cache=die_cache)
             out = engine.matvec_int(x_int)
             err = float(np.abs(out - expected).sum() / (np.abs(expected).sum() + 1e-12))
             rows.append([fragment, label, bits,

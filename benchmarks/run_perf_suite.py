@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Run the engine perf-tracking suite and record ``BENCH_engine.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf_suite.py --smoke   # < 60 s
+    PYTHONPATH=src python benchmarks/run_perf_suite.py           # full suite
+    PYTHONPATH=src python benchmarks/run_perf_suite.py -o /tmp/bench.json
+
+The JSON schema and the benchmark inventory are documented in
+``benchmarks/README.md``.  The suite fails (exit code 1) if the headline
+micro-benchmark — the 16-bit-activation, 128-position layer MVM — regresses
+below the recorded speedup floor, so CI can track the perf trajectory.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import run_suite, write_payload                  # noqa: E402
+from repro.perf.suite import HEADLINE_MIN_SPEEDUP                # noqa: E402
+
+
+def format_summary(payload: dict) -> str:
+    lines = [f"engine perf suite ({payload['mode']} mode) — "
+             f"numpy {payload['host']['numpy']}, python {payload['host']['python']}",
+             f"{'benchmark':40s} {'fused':>12s} {'reference':>12s} {'speedup':>9s}"]
+    for record in payload["records"]:
+        fused_ms = record["fused"]["per_call_s"] * 1e3
+        if record["kind"] == "paired":
+            ref_ms = record["reference"]["per_call_s"] * 1e3
+            lines.append(f"{record['name']:40s} {fused_ms:10.3f}ms "
+                         f"{ref_ms:10.3f}ms {record['speedup']:8.1f}x")
+        else:
+            lines.append(f"{record['name']:40s} {fused_ms:10.3f}ms "
+                         f"{'—':>12s} {'—':>9s}")
+    crit = payload["criteria"]
+    lines.append(f"headline: {crit['headline_bench']} at "
+                 f"{crit['measured_speedup']:.1f}x "
+                 f"(floor {crit['min_speedup']:.0f}x) -> "
+                 f"{'PASS' if crit['pass'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode: fewer repeats, core benchmarks only "
+                             "(completes well under 60 s)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override timing repeats (default 3 smoke / 7 full)")
+    parser.add_argument("-o", "--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="output JSON path (default: BENCH_engine.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(smoke=args.smoke, repeats=args.repeats)
+    write_payload(args.output, payload)
+    print(format_summary(payload))
+    print(f"[recorded to {args.output}]")
+    if not payload["criteria"]["pass"]:
+        print(f"ERROR: headline speedup below the {HEADLINE_MIN_SPEEDUP:.0f}x "
+              "floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,14 +55,21 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int = 1, padding: int = 0) -
 
     Row order is C-major over (channel, kernel-row, kernel-col), matching the
     filter-shape rows of the paper's 2-D weight format (Fig. 2).
+
+    Implemented with :func:`numpy.lib.stride_tricks.sliding_window_view`: the
+    window gather is a zero-copy view and the only copy is the final reshape
+    into column layout, instead of the fancy-indexing gather (which
+    materializes an extra ``(N, C*kh*kw, OH*OW)`` intermediate).
     """
+    out_h = conv_output_size(x.shape[2], kh, stride, padding)
+    out_w = conv_output_size(x.shape[3], kw, stride, padding)
     if padding > 0:
         x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    k, i, j, out_h, out_w = _im2col_indices(
-        (x.shape[0], x.shape[1], x.shape[2] - 2 * padding, x.shape[3] - 2 * padding),
-        kh, kw, stride, padding)
-    cols = x[:, k, i, j]                      # (N, C*kh*kw, OH*OW)
-    return cols.transpose(1, 2, 0).reshape(cols.shape[1], -1)
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]    # (N, C, OH, OW, kh, kw)
+    channels = x.shape[1]
+    return windows.transpose(1, 4, 5, 2, 3, 0).reshape(
+        channels * kh * kw, out_h * out_w * x.shape[0])
 
 
 def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int, kw: int,

@@ -1,0 +1,20 @@
+"""Performance instrumentation and the engine perf-tracking suite.
+
+Two layers:
+
+* :mod:`repro.perf.instrument` — reusable wall-clock timing
+  (:func:`time_callable`) and engine conversion-count metering
+  (:class:`EngineMeter`) with no dependency on what is being measured;
+* :mod:`repro.perf.suite` — the micro-benchmark definitions behind
+  ``benchmarks/run_perf_suite.py``, which records the fused-engine speedup
+  trajectory to ``BENCH_engine.json`` at the repo root so every subsequent
+  performance PR has a baseline to beat.
+"""
+
+from .instrument import EngineMeter, TimingResult, time_callable
+from .suite import (BENCH_SCHEMA, default_suite, run_suite, write_payload)
+
+__all__ = [
+    "TimingResult", "time_callable", "EngineMeter",
+    "BENCH_SCHEMA", "default_suite", "run_suite", "write_payload",
+]

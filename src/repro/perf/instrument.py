@@ -1,0 +1,115 @@
+"""Wall-clock and conversion-count instrumentation.
+
+Measurement policy: ``time_callable`` reports the *best* of ``repeats``
+timed runs (each run may invoke the callable several times and divides by
+the call count).  Best-of is the standard micro-benchmark estimator for a
+noisy shared machine — the minimum is the run least perturbed by external
+load, and it is monotone: a code change that lowers the best really did
+less work.
+
+``EngineMeter`` snapshots :class:`repro.reram.engine.EngineStats` so a
+benchmark can report conversion counts, bit-cycles and kernel-job
+zero-skip savings alongside the timings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Outcome of one timed measurement."""
+
+    name: str
+    repeats: int
+    calls_per_repeat: int
+    best_s: float
+    mean_s: float
+    all_s: tuple
+
+    @property
+    def per_call_s(self) -> float:
+        """Best wall-clock per single call of the measured function."""
+        return self.best_s / self.calls_per_repeat
+
+    def speedup_vs(self, other: "TimingResult") -> float:
+        """How many times faster this result is than ``other`` (per call)."""
+        if self.per_call_s <= 0.0:
+            return float("inf")
+        return other.per_call_s / self.per_call_s
+
+    def to_record(self) -> Dict:
+        """JSON-ready representation (see benchmarks/README.md)."""
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "calls_per_repeat": self.calls_per_repeat,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "per_call_s": self.per_call_s,
+        }
+
+
+def time_callable(fn: Callable[[], object], *, name: str = "",
+                  repeats: int = 5, calls_per_repeat: int = 1,
+                  warmup: int = 1) -> TimingResult:
+    """Time ``fn`` and return best/mean wall-clock statistics.
+
+    ``warmup`` un-timed invocations absorb one-off costs (lazy imports,
+    allocator growth, einsum path caching) before measurement starts.
+    """
+    if repeats < 1 or calls_per_repeat < 1:
+        raise ValueError("repeats and calls_per_repeat must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls_per_repeat):
+            fn()
+        samples.append((time.perf_counter() - start) / calls_per_repeat)
+    return TimingResult(name=name, repeats=repeats,
+                        calls_per_repeat=calls_per_repeat,
+                        best_s=min(samples),
+                        mean_s=sum(samples) / len(samples),
+                        all_s=tuple(samples))
+
+
+@dataclass
+class EngineMeter:
+    """Delta-meter over one or more engines' :class:`EngineStats`.
+
+    Snapshot on construction (or :meth:`reset`), read the accumulated
+    difference with :meth:`delta` — robust to the engines being reused
+    across several measurements.
+    """
+
+    engines: Iterable
+    _baseline: Dict[int, tuple] = field(default_factory=dict, init=False)
+
+    TRACKED = ("conversions", "saturated", "cycles_fed",
+               "jobs_computed", "jobs_skipped")
+
+    def __post_init__(self):
+        self.engines = list(self.engines)
+        self.reset()
+
+    def _snapshot(self) -> Dict[int, tuple]:
+        return {id(e): tuple(getattr(e.stats, k) for k in self.TRACKED)
+                for e in self.engines}
+
+    def reset(self) -> None:
+        self._baseline = self._snapshot()
+
+    def delta(self) -> Dict[str, int]:
+        """Per-field totals accumulated since the last reset."""
+        now = self._snapshot()
+        totals = dict.fromkeys(self.TRACKED, 0)
+        for key, values in now.items():
+            before = self._baseline.get(key, (0,) * len(self.TRACKED))
+            for field_name, new, old in zip(self.TRACKED, values, before):
+                totals[field_name] += new - old
+        return totals

@@ -14,7 +14,7 @@ from .converters import (ADCSpec, DACSpec, SampleHold, paper_adc_bits,
                          required_adc_bits)
 from .crossbar import CrossbarArray, SubArrayLayout
 from .device import DeviceSpec, ReRAMDevice, codes_to_digital
-from .engine import (EngineStats, InSituLayerEngine, SignIndicator,
+from .engine import (DieCache, EngineStats, InSituLayerEngine, SignIndicator,
                      build_engine, effective_levels)
 from .mapping import SCHEMES, MappedLayer, infer_signs, map_layer
 from .nonideal import (LINEAR_CELL, CellIV, FaultModel, IRDropPoint,
@@ -36,8 +36,8 @@ __all__ = [
     "CrossbarArray", "SubArrayLayout",
     "bit_slice", "bit_unslice", "num_slices", "slice_weights",
     "MappedLayer", "map_layer", "infer_signs", "SCHEMES",
-    "InSituLayerEngine", "SignIndicator", "EngineStats", "build_engine",
-    "effective_levels",
+    "InSituLayerEngine", "SignIndicator", "EngineStats", "DieCache",
+    "build_engine", "effective_levels",
     "apply_variation", "variation_study", "VariationResult", "clone_model",
     "VTEAMParams", "VTEAMCell", "ProgramScheme", "ProgramResult",
     "program_level", "program_codes", "device_spec_from_vteam",

@@ -17,6 +17,7 @@ simulator; an undersized ADC clips, which is measurable as accuracy loss
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -66,12 +67,32 @@ class ADCSpec:
         """Round to the nearest code, saturating at the rails."""
         return np.clip(np.rint(np.asarray(analog)), 0, self.max_code).astype(np.int64)
 
+    def digitize(self, analog: np.ndarray) -> "Tuple[np.ndarray, int]":
+        """Convert plus rail accounting in one rounding pass.
+
+        Returns ``(digital, saturated)`` where ``saturated`` counts samples
+        clipped at either rail (overflow past full scale or underflow below
+        zero).  Semantically ``convert`` + both-rail counting, but the
+        engines call this on every kernel batch, so the rounded tensor is
+        computed once and reused.
+        """
+        rounded = np.rint(np.asarray(analog))
+        digital = np.clip(rounded, 0, self.max_code).astype(np.int64)
+        saturated = int(np.count_nonzero(digital != rounded))
+        return digital, saturated
+
     def saturation_fraction(self, analog: np.ndarray) -> float:
-        """Fraction of samples that exceed the full-scale code."""
+        """Fraction of samples clipped at either rail.
+
+        Counts overflow past the full-scale code *and* underflow below zero
+        — the negative rail is reachable whenever read noise or IR drop
+        pushes the pedestal-corrected estimate negative.
+        """
         analog = np.asarray(analog)
         if analog.size == 0:
             return 0.0
-        return float((np.rint(analog) > self.max_code).mean())
+        rounded = np.rint(analog)
+        return float(((rounded > self.max_code) | (rounded < 0)).mean())
 
 
 def required_adc_bits(fragment_size: int, cell_bits: int) -> int:
@@ -107,5 +128,12 @@ class SampleHold:
     area/power and so the signal path reads like Fig. 11.
     """
 
-    def hold(self, currents: np.ndarray) -> np.ndarray:
-        return np.asarray(currents, dtype=np.float64).copy()
+    def hold(self, currents: np.ndarray, copy: bool = True) -> np.ndarray:
+        """Buffer a current batch.
+
+        ``copy=False`` skips the defensive copy when the caller owns the
+        array exclusively (the engines hand over freshly computed current
+        tensors; copying them would be pure memory traffic).
+        """
+        held = np.asarray(currents, dtype=np.float64)
+        return held.copy() if copy and held is currents else held

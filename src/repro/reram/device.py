@@ -86,15 +86,23 @@ class ReRAMDevice:
             raise ValueError("variation_sigma must be non-negative")
         self.spec = spec
         self.variation_sigma = variation_sigma
+        self.seed = seed   # kept for die identity (repro.reram.engine.DieCache)
         self._rng = np.random.default_rng(seed)
 
-    def program(self, codes: np.ndarray) -> np.ndarray:
-        """Program level codes, returning actual (noisy) conductances."""
+    def program(self, codes: np.ndarray,
+                rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Program level codes, returning actual (noisy) conductances.
+
+        ``rng`` overrides the device's own stream — used by
+        :class:`repro.reram.engine.DieCache` to make a re-programmed die a
+        pure function of (device seed, codes) instead of call history.
+        """
         ideal = self.spec.ideal_conductance(codes)
         if self.variation_sigma == 0.0:
             return ideal
-        noise = self._rng.lognormal(mean=0.0, sigma=self.variation_sigma,
-                                    size=ideal.shape)
+        noise = (rng or self._rng).lognormal(mean=0.0,
+                                             sigma=self.variation_sigma,
+                                             size=ideal.shape)
         return ideal * noise
 
     def variation_factors(self, shape) -> np.ndarray:

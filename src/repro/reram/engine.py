@@ -19,12 +19,27 @@ integer matmul **exactly** — the anchor correctness property of the simulator
 (see ``tests/reram/test_engine.py``).  With device variation or undersized
 ADCs, the deviation is the physically meaningful error the paper's Table VI
 and our ADC ablation measure.
+
+Simulation strategy
+-------------------
+The hardware is bit-serial, but the simulator is not: :meth:`matvec_int`
+decomposes the whole integer activation block into a ``(bits, n_frag, m,
+positions)`` bit-plane tensor up front, drops the (bit-plane, fragment) pairs
+that are all zero — the simulator-side image of the zero-skip shift
+registers — and evaluates every surviving bit-cycle of every fragment in a
+handful of fused ``einsum`` contractions (the dual scheme's positive and
+negative planes ride the same contraction).  This is the fragment-level
+parallelism the paper claims as throughput, exploited as array-level
+parallelism.  The original cycle-by-cycle loop survives as
+:meth:`matvec_int_reference`, the forever-testable bit-exactness oracle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -32,8 +47,16 @@ from ..core.fragments import FragmentGeometry
 from ..core.quantization import QuantizationSpec
 from .bitslice import slice_weights
 from .converters import ADCSpec, DACSpec, SampleHold, required_adc_bits
-from .device import ReRAMDevice, codes_to_digital
+from .device import ReRAMDevice
 from .mapping import MappedLayer, map_layer
+
+#: per-kernel-call element budget of the fused bit-plane contraction
+#: (elements of the ``(jobs, positions, cols, slices)`` current tensor).
+#: Chunking along the jobs axis bounds peak memory *and* keeps each
+#: einsum -> pedestal -> ADC -> recombine pipeline stage cache-resident;
+#: 2**18 elements (2 MiB of float64) measures fastest on the elementwise-
+#: bound analog path.  Changing it never changes any result.
+FUSED_KERNEL_MAX_ELEMENTS = 1 << 18
 
 
 class SignIndicator:
@@ -63,20 +86,119 @@ class SignIndicator:
 
 @dataclass
 class EngineStats:
-    """Non-ideality accounting of one engine run."""
+    """Non-ideality and throughput accounting of one engine run.
+
+    ``conversions`` / ``cycles_fed`` keep the hardware's view: every
+    bit-cycle up to the highest live bit is fed and every fed cycle converts
+    every fragment column (zero planes included), exactly as the original
+    per-bit loop counted them.  ``jobs_computed`` / ``jobs_skipped`` expose
+    the simulator's view: how many (bit-plane, fragment) kernel jobs the
+    fused engine actually evaluated versus masked out as all-zero.
+    """
 
     conversions: int = 0
     saturated: int = 0
     cycles_fed: int = 0
+    jobs_computed: int = 0
+    jobs_skipped: int = 0
 
     @property
     def saturation_fraction(self) -> float:
         return self.saturated / self.conversions if self.conversions else 0.0
 
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of kernel jobs eliminated by bit-plane/fragment masking."""
+        total = self.jobs_computed + self.jobs_skipped
+        return self.jobs_skipped / total if total else 0.0
+
     def merge(self, other: "EngineStats") -> None:
         self.conversions += other.conversions
         self.saturated += other.saturated
         self.cycles_fed += other.cycles_fed
+        self.jobs_computed += other.jobs_computed
+        self.jobs_skipped += other.jobs_skipped
+
+
+class DieCache:
+    """Memoizes programmed conductance planes across engine constructions.
+
+    Sweeps (ADC sizing, fragment ablations, design-space exploration) build
+    many engines over the *same* weight codes and the *same* device
+    configuration; re-programming a fresh die for each is the dominant setup
+    cost and — for deterministic (``variation_sigma == 0``) devices — pure
+    waste.  The cache keys on the device identity (spec, sigma, seed) and a
+    content hash of the code plane, so identical ``(codes, device-seed)``
+    pairs share one programmed die.
+
+    For noisy devices this deliberately changes semantics from "a fresh die
+    per engine" to "one die reused across the sweep" — which is what
+    block-wise mixed-precision sweeps need to be affordable (and what a real
+    lab would do: program once, measure many).  Devices constructed without
+    a seed draw irreproducible variation, so they are keyed by object
+    identity instead and only share dies with themselves.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 64):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be >= 1 (or None for unbounded)")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._planes: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._planes)
+
+    @staticmethod
+    def _device_key(device: ReRAMDevice) -> Tuple:
+        seed = getattr(device, "seed", None)
+        if seed is None and device.variation_sigma > 0.0:
+            # Key on the object itself (identity hash): the cache entry then
+            # pins the device alive, so a freed address can never alias two
+            # different anonymous devices.
+            return ("anon", device)
+        return (device.spec, device.variation_sigma, seed)
+
+    @staticmethod
+    def _codes_key(codes: np.ndarray) -> Tuple:
+        codes = np.ascontiguousarray(codes)
+        digest = hashlib.sha1(codes.tobytes()).hexdigest()
+        return (codes.shape, str(codes.dtype), digest)
+
+    def get_or_program(self, device: ReRAMDevice, codes: np.ndarray) -> np.ndarray:
+        """Return the programmed conductances for ``codes``, caching the die.
+
+        Cached dies of noisy *seeded* devices are programmed from an RNG
+        derived deterministically from ``(device seed, codes)``, so a
+        re-program after LRU eviction reproduces the identical die — the
+        one-die-per-(codes, device-seed) guarantee survives any eviction
+        order.  (Unseeded devices draw from their own stream; they are keyed
+        by identity and irreproducible by definition.)
+        """
+        codes_key = self._codes_key(codes)
+        key = (self._device_key(device), codes_key)
+        plane = self._planes.get(key)
+        if plane is not None:
+            self.hits += 1
+            self._planes.move_to_end(key)
+            return plane
+        self.misses += 1
+        seed = getattr(device, "seed", None)
+        if device.variation_sigma > 0.0 and seed is not None:
+            digest = int(codes_key[-1][:16], 16)
+            rng = np.random.default_rng(
+                np.random.SeedSequence([int(seed), digest]))
+            plane = device.program(codes, rng=rng)
+        else:
+            plane = device.program(codes)
+        self._planes[key] = plane
+        if self.maxsize is not None and len(self._planes) > self.maxsize:
+            self._planes.popitem(last=False)
+        return plane
+
+    def clear(self) -> None:
+        self._planes.clear()
 
 
 class InSituLayerEngine:
@@ -88,16 +210,20 @@ class InSituLayerEngine:
         Output of :func:`repro.reram.mapping.map_layer` for any scheme.
     device:
         The ReRAM population (carries variation).  Each engine instance
-        programs its own die.
+        programs its own die unless a ``die_cache`` is supplied.
     adc:
         ADC spec; ``None`` sizes it exactly for the worst-case fragment sum
         (the configuration under which the engine is exact).
     activation_bits:
         Input bit width (paper: 16, with 8 also evaluated).
+    die_cache:
+        Optional :class:`DieCache`; identical ``(codes, device)`` pairs then
+        reuse one programmed die instead of re-programming per engine.
     """
 
     def __init__(self, mapped: MappedLayer, device: ReRAMDevice,
-                 adc: Optional[ADCSpec] = None, activation_bits: int = 16):
+                 adc: Optional[ADCSpec] = None, activation_bits: int = 16,
+                 die_cache: Optional[DieCache] = None):
         if activation_bits < 1:
             raise ValueError("activation_bits must be >= 1")
         self.mapped = mapped
@@ -112,39 +238,121 @@ class InSituLayerEngine:
         self.sample_hold = SampleHold()
         self.sign_indicator = (SignIndicator(mapped.signs)
                                if mapped.signs is not None else None)
-        # Program one conductance plane per code plane (a fresh die each).
+        # Program one conductance plane per code plane (a fresh die each,
+        # unless the die cache already holds this (codes, device) pair).
+        program = (device.program if die_cache is None
+                   else lambda codes: die_cache.get_or_program(device, codes))
         self.conductance: Dict[str, np.ndarray] = {
-            plane: device.program(codes) for plane, codes in mapped.code_planes.items()
+            plane: program(codes) for plane, codes in mapped.code_planes.items()
         }
+        # Per-engine constants of the signal path, hoisted out of the per-
+        # cycle loop: shift-and-add place values and the pedestal-correction
+        # terms of repro.reram.device.codes_to_digital.
+        dev = device.spec
+        self._place = slice_weights(mapped.slices, spec.cell_bits)
+        self._v_g_min = dev.read_voltage * dev.g_min
+        self._v_g_step = dev.read_voltage * dev.g_step
+        self._inv_v_g_step = 1.0 / self._v_g_step
+        if mapped.scheme == "dual":
+            self._plane_terms = (("positive", 1), ("negative", -1))
+        else:
+            self._plane_terms = (("main", 1),)
+        # Constants of the exact-matmul shortcut, built lazily on the first
+        # ideal-tier dispatch: engines that can never take an ideal tier
+        # (noisy die, analog physics) must not pay for them per
+        # construction — that would undo exactly the setup cost DieCache
+        # eliminates across sweeps.
+        self._exact_tier: Optional[Tuple[int, np.ndarray, np.ndarray, bool]] = None
         self.stats = EngineStats()
 
+    def _exact_tier_constants(self) -> Tuple[int, np.ndarray, np.ndarray, bool]:
+        """(plane headroom, effective stacks, matmul-exactness) — cached.
+
+        *Headroom* is the worst-case per-conversion partial sum (all input
+        bits on); when it fits the ADC, clipping is provably impossible.
+        The *effective weight stack* folds slice recombination, fragment
+        signs and plane signs into one (padded_rows, cols) integer matrix,
+        with a float64 copy for the BLAS product — exact while every
+        partial sum is an integer below 2**53, else the int64 product runs.
+        """
+        if self._exact_tier is None:
+            mapped = self.mapped
+            headroom = max(int(codes.sum(axis=1).max(initial=0))
+                           for codes in mapped.code_planes.values())
+            eff = np.zeros(mapped.code_planes[self._plane_terms[0][0]].shape[:3],
+                           dtype=np.int64)
+            for plane, sign in self._plane_terms:
+                eff += sign * (mapped.code_planes[plane] * self._place).sum(axis=-1)
+            if self.sign_indicator is not None:
+                eff *= np.where(self.sign_indicator.bits == 1, -1, 1
+                                ).astype(np.int64)[:, None, :]
+            stack_int = eff.reshape(-1, mapped.geometry.cols)
+            worst = (mapped.geometry.padded_rows
+                     * int(np.abs(eff).max(initial=0))
+                     * ((1 << self.activation_bits) - 1))
+            self._exact_tier = (headroom, stack_int.astype(np.float64),
+                                stack_int, worst < (1 << 53))
+        return self._exact_tier
+
     # ------------------------------------------------------------------
+    # Shared signal-path pieces
+    # ------------------------------------------------------------------
+    def _job_currents(self, conductance: np.ndarray,
+                      drive: np.ndarray) -> np.ndarray:
+        """Analog bit-line currents for a batch of fragment reads.
+
+        ``conductance``: (jobs, m, cols, slices); ``drive``: (jobs, m,
+        positions) word-line levels.  Returns (jobs, positions, cols,
+        slices).  The single override point for physics
+        (:class:`~repro.reram.nonideal_engine.NonidealEngine` adds IR drop
+        and read noise here).
+        """
+        return self.device.spec.read_voltage * np.einsum(
+            "jmp,jmcs->jpcs", drive, conductance, optimize=True)
+
+    def _convert_batch(self, held: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Pedestal-correct and ADC-convert one current batch.
+
+        ``held``: (jobs, positions, cols, slices) sampled currents;
+        ``active``: (jobs, positions) count of driven rows.  Returns digital
+        slice codes (jobs, positions, cols, slices).  Saturation accounting
+        covers both ADC rails: overflow past the full-scale code and
+        underflow below zero (reachable with read noise / IR drop).
+        """
+        analog = (held - self._v_g_min * active[:, :, None, None]) * self._inv_v_g_step
+        digital, saturated = self.adc.digitize(analog)
+        self.stats.conversions += digital.size
+        self.stats.saturated += saturated
+        return digital
+
+    def _digitize(self, held: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """:meth:`_convert_batch` plus shift-and-add slice recombination.
+
+        Returns digital fragment values (jobs, positions, cols).
+        """
+        digital = self._convert_batch(held, active)
+        return np.einsum("jpcs,s->jpc", digital, self._place)
+
     def _plane_pass(self, plane: str, bits_stack: np.ndarray) -> np.ndarray:
-        """One bit-cycle through one conductance plane.
+        """One bit-cycle through one conductance plane (reference path).
 
         ``bits_stack``: (n_frag, m, positions) of 0/1.
         Returns digital fragment values (n_frag, positions, cols) after ADC
         and slice recombination.
         """
-        conductance = self.conductance[plane]              # (n_frag, m, cols, slices)
-        spec = self.device.spec
         drive = self.dac.convert(bits_stack)
-        currents = spec.read_voltage * np.einsum(
-            "fmp,fmcs->fpcs", drive, conductance, optimize=True)
-        held = self.sample_hold.hold(currents)
+        currents = self._job_currents(self.conductance[plane], drive)
+        held = self.sample_hold.hold(currents, copy=False)
         active = bits_stack.sum(axis=1)                    # (n_frag, positions)
-        analog = codes_to_digital(held, spec, active[:, :, None, None])
-        digital = self.adc.convert(analog)
-        self.stats.conversions += digital.size
-        self.stats.saturated += int((np.rint(analog) > self.adc.max_code).sum())
-        place = slice_weights(conductance.shape[-1], self.mapped.spec.cell_bits)
-        return (digital * place).sum(axis=-1)              # (n_frag, positions, cols)
+        return self._digitize(held, active)
 
-    def matvec_int(self, x_int: np.ndarray) -> np.ndarray:
-        """Integer MVM: returns ``(cols, positions)`` given ``(rows, positions)``.
+    # ------------------------------------------------------------------
+    # Input preparation
+    # ------------------------------------------------------------------
+    def _prepare(self, x_int: np.ndarray) -> np.ndarray:
+        """Validate and fragment-stack one activation block.
 
-        ``x_int`` holds unsigned ``activation_bits``-bit integers in im2col
-        layout, rows already permuted to the layer's polarization policy.
+        Returns the padded stack ``(n_frag, m, positions)`` as int64.
         """
         x_int = np.asarray(x_int)
         if not np.issubdtype(x_int.dtype, np.integer):
@@ -160,8 +368,211 @@ class InSituLayerEngine:
         pad = geometry.padded_rows - geometry.rows
         if pad:
             x_int = np.vstack([x_int, np.zeros((pad, positions), dtype=x_int.dtype)])
-        stacked = x_int.reshape(geometry.fragments_per_column,
-                                geometry.fragment_size, positions)
+        return x_int.reshape(geometry.fragments_per_column,
+                             geometry.fragment_size, positions).astype(np.int64)
+
+    def _offset_correction(self, stacked: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """ISAAC digital 1-count correction: the stored bias contributes
+        ``offset * sum(inputs)`` to every column (paper Sec. II-B)."""
+        if self.mapped.scheme == "isaac_offset":
+            input_totals = stacked.sum(axis=(0, 1))
+            out = out - self.mapped.offset * input_totals[None, :]
+        return out
+
+    # ------------------------------------------------------------------
+    # Fused bit-plane kernel (the fast path)
+    # ------------------------------------------------------------------
+    def _analog_model_active(self) -> bool:
+        """Whether any stochastic/analog effect acts on the signal path."""
+        return False
+
+    def _conversion_noise_active(self) -> bool:
+        """Whether an all-zero drive pattern can still convert to non-zero.
+
+        True only with read noise: the ADC's zero rail rectifies zero-mean
+        noise into a positive pedestal, so even silent fragments contribute.
+        The fused kernel must then feed the full job grid instead of masking
+        all-zero jobs (deterministic effects — IR drop, variation — map zero
+        drive to zero current exactly, so masking stays lossless for them).
+        """
+        return False
+
+    def _job_memory_factor(self, m: int) -> int:
+        """Per-job memory multiplier of ``_job_currents`` beyond the current
+        tensor itself — used to scale the kernel chunk budget.  The base
+        einsum read allocates nothing extra; the batched IR-drop solver
+        overrides this (several ``m``-row intermediates per job)."""
+        return 1
+
+    def _signal_path_ideal(self) -> bool:
+        """True when every conversion provably equals the integer dot product.
+
+        Requires a variation-free die, no analog physics, and a
+        ``_job_currents`` that is known to reduce to the ideal read.  The
+        float signal path then round-trips integers with error orders of
+        magnitude below the ADC's rounding threshold, so the integer
+        shortcut tiers produce bit-identical results.
+        """
+        if self.device.variation_sigma != 0.0 or self._analog_model_active():
+            return False
+        impl = type(self)._job_currents
+        return (impl is InSituLayerEngine._job_currents
+                or getattr(impl, "_ideal_when_inactive", False))
+
+    def matvec_int(self, x_int: np.ndarray) -> np.ndarray:
+        """Integer MVM: returns ``(cols, positions)`` given ``(rows, positions)``.
+
+        ``x_int`` holds unsigned ``activation_bits``-bit integers in im2col
+        layout, rows already permuted to the layer's polarization policy.
+
+        All bit-cycles are evaluated through the fused bit-plane kernel;
+        (bit-plane, fragment) pairs with no live bits are masked out before
+        the contraction (zero-skipping at fragment granularity).  Three
+        tiers share the stats accounting and are all bit-exact against
+        :meth:`matvec_int_reference` — the anchor property:
+
+        * **exact matmul** — ideal signal path *and* an ADC wide enough that
+          clipping is impossible: the bit-serial pipeline telescopes into
+          one matmul against the pre-combined effective weight stack;
+        * **integer kernel** — ideal signal path with a clipping ADC: the
+          per-conversion dot products are computed in integer arithmetic and
+          clipped/counted exactly as the ADC would;
+        * **analog kernel** — any analog non-ideality (variation, IR drop,
+          read noise): the full float signal path, fused over job batches.
+        """
+        stacked = self._prepare(x_int)
+        geometry = self.mapped.geometry
+        n_frag, m, positions = stacked.shape
+        cols = geometry.cols
+        slices = self.mapped.slices
+        n_planes = len(self._plane_terms)
+
+        out = np.zeros((cols, positions), dtype=np.int64)
+        n_bits = int(stacked.max(initial=0)).bit_length()
+        if n_bits == 0:
+            return self._offset_correction(stacked, out)
+
+        # (bits, n_frag, m, positions) bit-plane tensor, LSB first.
+        shifts = np.arange(n_bits, dtype=np.int64)
+        planes = ((stacked[None, ...] >> shifts[:, None, None, None]) & 1
+                  ).astype(np.uint8)
+
+        # Zero-skipping as masking: keep only (bit, fragment) jobs with at
+        # least one live bit.  The hardware still clocks every cycle up to
+        # the top live bit, so cycle/conversion accounting stays on the
+        # hardware's terms (identical to the per-bit reference loop).  With
+        # conversion noise the mask must stay full: silent fragments still
+        # convert, and the ADC rectifies their noise into a real pedestal.
+        if self._conversion_noise_active():
+            live = np.ones((n_bits, n_frag), dtype=bool)
+        else:
+            live = planes.any(axis=(2, 3))
+        bits_idx, frag_idx = np.nonzero(live)
+        n_jobs = bits_idx.size
+        self.stats.cycles_fed += n_bits
+        self.stats.jobs_computed += n_jobs * n_planes
+        self.stats.jobs_skipped += (n_bits * n_frag - n_jobs) * n_planes
+        self.stats.conversions += ((n_bits * n_frag - n_jobs)
+                                   * positions * cols * slices * n_planes)
+
+        ideal = self._signal_path_ideal()
+        if ideal:
+            headroom, stack_f, stack_i, matmul_exact = self._exact_tier_constants()
+            if headroom <= self.adc.max_code:
+                # Exact-matmul tier: no conversion can clip (the worst-case
+                # fragment partial sum fits the ADC), so slice recombination,
+                # bit recombination, fragment signs and plane signs telescope
+                # into one matmul against the effective weight stack.
+                self.stats.conversions += (n_jobs * positions * cols * slices
+                                           * n_planes)
+                flat = stacked.reshape(n_frag * m, positions)
+                if matmul_exact:
+                    out += np.rint(stack_f.T @ flat.astype(np.float64)
+                                   ).astype(np.int64)
+                else:  # exactness bound exceeded: integer contraction instead
+                    out += stack_i.T @ flat
+                return self._offset_correction(stacked, out)
+
+        # Per-(job, slice) shift-and-add weights: ADC place value x input-bit
+        # place value x plane sign — and per-(job, col) fragment signs.  All
+        # digital recombination collapses into one integer contraction per
+        # chunk, so no (bits, n_frag, positions, cols) accumulator is ever
+        # materialized.
+        bit_weight = (np.int64(1) << bits_idx.astype(np.int64))    # (n_jobs,)
+        if self.sign_indicator is not None:
+            frag_signs = np.where(self.sign_indicator.bits == 1, -1, 1
+                                  ).astype(np.int64)               # (F, C)
+        else:
+            frag_signs = None
+
+        acc = np.zeros((positions, cols), dtype=np.int64)
+        per_job = max(1, positions * cols * slices * n_planes
+                      * self._job_memory_factor(m))
+        chunk = max(1, FUSED_KERNEL_MAX_ELEMENTS // per_job)
+        for start in range(0, n_jobs, chunk):
+            b = bits_idx[start:start + chunk]
+            f = frag_idx[start:start + chunk]
+            j = b.size
+            bit_planes = planes[b, f]                      # (j, m, positions)
+            slice_w = bit_weight[start:start + j, None] * self._place[None, :]
+            col_w = frag_signs[f] if frag_signs is not None else None
+            if n_planes > 1:
+                # Dual scheme: positive and negative planes share one kernel
+                # call, stacked along the jobs axis with opposite signs.
+                slice_w = np.concatenate(
+                    [sign * slice_w for _, sign in self._plane_terms])
+                if col_w is not None:
+                    col_w = np.concatenate([col_w] * n_planes)
+            if ideal:
+                # Integer kernel tier: each conversion is the integer dot
+                # product, clipped at the rails exactly as the ADC rounds.
+                codes = (self.mapped.code_planes[self._plane_terms[0][0]][f]
+                         if n_planes == 1 else np.concatenate(
+                             [self.mapped.code_planes[name][f]
+                              for name, _ in self._plane_terms]))
+                bits_in = (bit_planes if n_planes == 1
+                           else np.concatenate([bit_planes] * n_planes))
+                dots = np.einsum("jmp,jmcs->jpcs", bits_in, codes,
+                                 optimize=True)
+                digital = np.clip(dots, 0, self.adc.max_code)
+                self.stats.conversions += dots.size
+                self.stats.saturated += int(np.count_nonzero(digital != dots))
+            else:
+                drive = self.dac.convert(bit_planes)
+                active = bit_planes.sum(axis=1, dtype=np.int64)
+                cond = (self.conductance[self._plane_terms[0][0]][f]
+                        if n_planes == 1 else np.concatenate(
+                            [self.conductance[name][f]
+                             for name, _ in self._plane_terms]))
+                if n_planes > 1:
+                    drive = np.concatenate([drive] * n_planes)
+                    active = np.concatenate([active] * n_planes)
+                currents = self._job_currents(cond, drive)
+                held = self.sample_hold.hold(currents, copy=False)
+                digital = self._convert_batch(held, active)
+            if col_w is None:
+                acc += np.einsum("jpcs,js->pc", digital, slice_w,
+                                 optimize=True)
+            else:
+                acc += np.einsum("jpcs,js,jc->pc", digital, slice_w, col_w,
+                                 optimize=True)
+        out += acc.T
+        return self._offset_correction(stacked, out)
+
+    # ------------------------------------------------------------------
+    # Reference path (the original cycle-by-cycle loop)
+    # ------------------------------------------------------------------
+    def matvec_int_reference(self, x_int: np.ndarray) -> np.ndarray:
+        """Cycle-by-cycle MVM: the original bit-serial loop, kept forever.
+
+        Semantically identical to :meth:`matvec_int` (asserted across all
+        schemes in ``tests/reram/test_engine_fused.py``) but evaluates one
+        bit-plane per Python iteration — the bit-exactness oracle and the
+        baseline of ``benchmarks/run_perf_suite.py``.
+        """
+        stacked = self._prepare(x_int)
+        positions = stacked.shape[-1]
+        geometry = self.mapped.geometry
 
         out = np.zeros((geometry.cols, positions), dtype=np.int64)
         for bit in range(self.activation_bits):
@@ -170,21 +581,16 @@ class InSituLayerEngine:
                 break  # zero-skipping: every shift register is empty
             bits_stack = remaining & 1
             self.stats.cycles_fed += 1
-            if self.mapped.scheme == "dual":
-                frag = (self._plane_pass("positive", bits_stack)
-                        - self._plane_pass("negative", bits_stack))
-            else:
-                frag = self._plane_pass("main", bits_stack)
+            self.stats.jobs_computed += stacked.shape[0] * len(self._plane_terms)
+            frag = np.zeros((stacked.shape[0], positions, geometry.cols),
+                            dtype=np.int64)
+            for plane, sign in self._plane_terms:
+                frag += sign * self._plane_pass(plane, bits_stack)
             if self.sign_indicator is not None:
                 frag = self.sign_indicator.apply(np.transpose(frag, (0, 2, 1)))
                 frag = np.transpose(frag, (0, 2, 1))
             out += (1 << bit) * frag.sum(axis=0).T          # (cols, positions)
-        if self.mapped.scheme == "isaac_offset":
-            # Digital 1-count correction: the stored bias contributes
-            # offset * sum(inputs) to every column (paper Sec. II-B).
-            input_totals = x_int.sum(axis=0).astype(np.int64)
-            out -= self.mapped.offset * input_totals[None, :]
-        return out
+        return self._offset_correction(stacked, out)
 
     def matvec_float(self, x_int: np.ndarray, weight_scale: float,
                      activation_scale: float) -> np.ndarray:
@@ -196,13 +602,16 @@ def build_engine(levels_matrix: np.ndarray, geometry: FragmentGeometry,
                  spec: QuantizationSpec, device: ReRAMDevice,
                  scheme: str = "forms", signs: Optional[np.ndarray] = None,
                  adc: Optional[ADCSpec] = None,
-                 activation_bits: int = 16) -> InSituLayerEngine:
+                 activation_bits: int = 16,
+                 die_cache: Optional[DieCache] = None) -> InSituLayerEngine:
     """Map integer levels and construct the engine in one step."""
     if scheme == "forms" and signs is None:
         from .mapping import infer_signs
         signs = infer_signs(levels_matrix, geometry)
     mapped = map_layer(levels_matrix, geometry, spec, scheme=scheme, signs=signs)
-    return InSituLayerEngine(mapped, device, adc=adc, activation_bits=activation_bits)
+    return InSituLayerEngine(mapped, device, adc=adc,
+                             activation_bits=activation_bits,
+                             die_cache=die_cache)
 
 
 # ---------------------------------------------------------------------------

@@ -37,7 +37,7 @@ from ..nn.layers import Conv2d, Linear, Module
 from ..nn.tensor import Tensor
 from .converters import ADCSpec
 from .device import ReRAMDevice
-from .engine import InSituLayerEngine
+from .engine import DieCache, InSituLayerEngine
 from .mapping import map_layer
 from .variation import clone_model
 
@@ -48,7 +48,17 @@ def _signed_matvec(engine: InSituLayerEngine, cols: np.ndarray,
 
     Quantizes the positive and negative parts to the engine's activation
     grid with a shared scale, runs both through the crossbars, and
-    recombines digitally.
+    recombines digitally.  Both passes are concatenated along the positions
+    axis so the engine evaluates them in one fused ``matvec_int`` call
+    (positions are independent in the analog math, so this is exact); a
+    post-ReLU layer has an all-zero negative part and skips the second half
+    entirely — the engine's zero detection then costs nothing.
+
+    Accounting note: ``EngineStats`` describes this *fused* schedule — both
+    polarities ride one bit-serial pass, so ``cycles_fed`` counts the
+    shared schedule (the max of the two bit depths, like any other batch of
+    positions) and ``conversions`` covers both position sets, rather than
+    the two sequential passes the pre-fusion engine made.
     """
     qmax = (1 << engine.activation_bits) - 1
     positive = np.maximum(cols, 0.0)
@@ -56,10 +66,14 @@ def _signed_matvec(engine: InSituLayerEngine, cols: np.ndarray,
     top = float(max(positive.max(initial=0.0), negative.max(initial=0.0)))
     scale = top / qmax if top > 0.0 else 1.0
     pos_int = np.clip(np.rint(positive / scale), 0, qmax).astype(np.int64)
-    out = engine.matvec_int(pos_int).astype(np.float64)
     if negative.any():
         neg_int = np.clip(np.rint(negative / scale), 0, qmax).astype(np.int64)
-        out -= engine.matvec_int(neg_int).astype(np.float64)
+        both = engine.matvec_int(
+            np.concatenate([pos_int, neg_int], axis=1)).astype(np.float64)
+        split = pos_int.shape[1]
+        out = both[:, :split] - both[:, split:]
+    else:
+        out = engine.matvec_int(pos_int).astype(np.float64)
     return out * weight_scale * scale
 
 
@@ -135,6 +149,7 @@ def build_insitu_network(model: Module, config: FORMSConfig,
                          activation_bits: int = 16,
                          engine_cls: Type[InSituLayerEngine] = InSituLayerEngine,
                          artifacts: Optional[Dict[str, LayerArtifacts]] = None,
+                         die_cache: Optional[DieCache] = None,
                          **engine_kwargs
                          ) -> Tuple[Module, Dict[str, InSituLayerEngine]]:
     """Clone ``model`` with every conv/linear layer running on a crossbar.
@@ -143,7 +158,10 @@ def build_insitu_network(model: Module, config: FORMSConfig,
     :class:`~repro.reram.engine.EngineStats` (conversions, saturation,
     cycles fed) after inference runs.  ``engine_cls`` and ``engine_kwargs``
     select the physics (:class:`~repro.reram.nonideal_engine.NonidealEngine`
-    for faults / IR drop / read noise).
+    for faults / IR drop / read noise).  Pass a shared
+    :class:`~repro.reram.engine.DieCache` when rebuilding the network across
+    sweep points so identical ``(codes, device)`` pairs reuse one programmed
+    die instead of re-programming per engine.
     """
     insitu = clone_model(model)
     if artifacts is None:
@@ -157,6 +175,8 @@ def build_insitu_network(model: Module, config: FORMSConfig,
         levels = geometry.matrix(art.int_weights)
         signs = art.signs if scheme == "forms" else None
         mapped = map_layer(levels, geometry, spec, scheme=scheme, signs=signs)
+        if die_cache is not None:  # keep custom engine_cls signatures working
+            engine_kwargs = dict(engine_kwargs, die_cache=die_cache)
         engine = engine_cls(mapped, device, adc=adc,
                             activation_bits=activation_bits, **engine_kwargs)
         if isinstance(layer, Conv2d):

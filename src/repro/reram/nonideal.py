@@ -275,37 +275,51 @@ def first_order_currents(conductance: np.ndarray, v_in: np.ndarray,
     the nonlinear I-V curve when ``cell_iv`` is given.  Accurate to a few
     percent for realistic wire resistances (validated against
     :func:`solve_ir_drop` in the tests); cost is O(rows x cols).
+
+    Batched evaluation: ``conductance`` may carry arbitrary leading axes
+    ``(..., rows, cols)`` — one independent crossbar (fragment) per leading
+    index — with ``v_in`` shaped ``(..., rows)`` or ``(..., rows, batch)``.
+    Every fragment and every drive pattern is evaluated in one vectorized
+    pass; the in-situ engines feed whole (bit-plane, fragment) job batches
+    through here at once.  Returns ``(..., cols)`` or ``(..., cols, batch)``.
     """
     conductance = np.asarray(conductance, dtype=np.float64)
     v_in = np.asarray(v_in, dtype=np.float64)
-    squeeze = v_in.ndim == 1
-    v_mat = v_in.reshape(conductance.shape[0], -1)
-    rows, cols = conductance.shape
+    if conductance.ndim < 2:
+        raise ValueError("conductance must be at least 2-D (..., rows, cols)")
+    rows = conductance.shape[-2]
+    squeeze = v_in.ndim == conductance.ndim - 1
+    v = v_in[..., None] if squeeze else v_in
+    if v.shape[:-1] != conductance.shape[:-1]:
+        raise ValueError(f"v_in shape {v_in.shape} incompatible with "
+                         f"conductance shape {conductance.shape}")
 
-    out = np.empty((cols, v_mat.shape[1]))
-    for k in range(v_mat.shape[1]):
-        v = v_mat[:, k]
-        cell_i = conductance * v[:, None]          # ideal per-cell currents
-        # Word line: segment j carries the current of every cell at >= j;
-        # the drop accumulated at cell (i, j) sums segments 0..j-1 plus the
-        # driver resistance carrying the whole row current.
-        row_tail = np.cumsum(cell_i[:, ::-1], axis=1)[:, ::-1]
-        row_drop = wire.r_driver_ohm * row_tail[:, :1] + wire.r_wire_ohm * (
-            np.concatenate([np.zeros((rows, 1)),
-                            np.cumsum(row_tail[:, 1:], axis=1)], axis=1))
-        # Bit line: segment below row i carries the current of every cell at
-        # <= i; the lift at cell (i, j) sums segments i..rows-2 plus the
-        # sense resistance carrying the whole column current.
-        col_head = np.cumsum(cell_i, axis=0)
-        col_lift = wire.r_sense_ohm * col_head[-1:, :] + wire.r_wire_ohm * (
-            np.concatenate([np.cumsum(col_head[:-1, :][::-1], axis=0)[::-1],
-                            np.zeros((1, cols))], axis=0))
-        effective_v = v[:, None] - row_drop - col_lift
-        if cell_iv is not None and not cell_iv.is_linear:
-            out[:, k] = cell_iv.current(conductance, effective_v).sum(axis=0)
-        else:
-            out[:, k] = (conductance * effective_v).sum(axis=0)
-    return out[:, 0] if squeeze else out
+    # Ideal per-cell currents, batch axis last: (..., rows, cols, B).
+    cell_i = conductance[..., None] * v[..., :, None, :]
+    zeros_col = np.zeros_like(cell_i[..., :, :1, :])
+    zeros_row = np.zeros_like(cell_i[..., :1, :, :])
+    # Word line: segment j carries the current of every cell at >= j;
+    # the drop accumulated at cell (i, j) sums segments 0..j-1 plus the
+    # driver resistance carrying the whole row current.
+    row_tail = np.flip(np.cumsum(np.flip(cell_i, axis=-2), axis=-2), axis=-2)
+    row_drop = wire.r_driver_ohm * row_tail[..., :, :1, :] + wire.r_wire_ohm * (
+        np.concatenate([zeros_col,
+                        np.cumsum(row_tail[..., :, 1:, :], axis=-2)], axis=-2))
+    # Bit line: segment below row i carries the current of every cell at
+    # <= i; the lift at cell (i, j) sums segments i..rows-2 plus the
+    # sense resistance carrying the whole column current.
+    col_head = np.cumsum(cell_i, axis=-3)
+    col_lift = wire.r_sense_ohm * col_head[..., rows - 1:rows, :, :] + \
+        wire.r_wire_ohm * np.concatenate(
+            [np.flip(np.cumsum(np.flip(col_head[..., :-1, :, :], axis=-3),
+                               axis=-3), axis=-3),
+             zeros_row], axis=-3)
+    effective_v = v[..., :, None, :] - row_drop - col_lift
+    if cell_iv is not None and not cell_iv.is_linear:
+        out = cell_iv.current(conductance[..., None], effective_v).sum(axis=-3)
+    else:
+        out = (conductance[..., None] * effective_v).sum(axis=-3)
+    return out[..., 0] if squeeze else out
 
 
 # ---------------------------------------------------------------------------

@@ -9,12 +9,18 @@ physics puts them:
 * **IR drop + nonlinear cell I-V** perturb the analog column currents of
   every bit-serial cycle — evaluated per fragment with the first-order
   network model (the fragment's m rows and its column wiring are the
-  sub-array's electrical extent);
+  sub-array's electrical extent), with every (bit-plane, fragment) job of a
+  kernel batch solved in one vectorized pass;
 * **read noise** adds to the sensed current at the sample-and-hold.
 
 With every knob off the engine is bit-exact (inherits the anchor property);
 each knob degrades the output in a measurable, attributable way — the
 methodology behind the paper's Table VI extended to the full signal path.
+
+The physics plugs into the parent's fused bit-plane kernel through the
+single :meth:`~InSituLayerEngine._job_currents` override point, so both the
+fused fast path and the cycle-by-cycle reference path
+(:meth:`~InSituLayerEngine.matvec_int_reference`) run the same analog model.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import numpy as np
 
 from .converters import ADCSpec
 from .device import ReRAMDevice
-from .engine import InSituLayerEngine
+from .engine import DieCache, InSituLayerEngine
 from .mapping import MappedLayer
 from .nonideal import CellIV, FaultModel, ReadNoise, WireModel, first_order_currents
 
@@ -53,7 +59,8 @@ class NonidealEngine(InSituLayerEngine):
                  fault_model: Optional[FaultModel] = None,
                  wire: Optional[WireModel] = None,
                  cell_iv: Optional[CellIV] = None,
-                 read_noise: Optional[ReadNoise] = None):
+                 read_noise: Optional[ReadNoise] = None,
+                 die_cache: Optional[DieCache] = None):
         if (wire is None) != (cell_iv is None):
             raise ValueError("wire and cell_iv must be supplied together")
         self.fault_fraction = 0.0
@@ -71,52 +78,51 @@ class NonidealEngine(InSituLayerEngine):
                                  signs=mapped.signs, offset=mapped.offset)
             self.fault_fraction = faulted / total if total else 0.0
         super().__init__(mapped, device, adc=adc,
-                         activation_bits=activation_bits)
+                         activation_bits=activation_bits, die_cache=die_cache)
         self.wire = wire
         self.cell_iv = cell_iv
         self.read_noise = read_noise
 
     # ------------------------------------------------------------------
-    def _analog_currents(self, plane: str, bits_stack: np.ndarray) -> np.ndarray:
-        """Column currents of one bit-cycle, with the configured physics.
+    def _analog_model_active(self) -> bool:
+        return self.wire is not None or self.read_noise is not None
 
-        Returns shape ``(n_frag, positions, cols, slices)`` like the parent's
-        internal convention.
+    def _conversion_noise_active(self) -> bool:
+        return self.read_noise is not None
+
+    def _job_memory_factor(self, m: int) -> int:
+        # first_order_currents materializes ~6 (m, cols*slices, positions)
+        # intermediates per job; read-noise-only engines use the plain read.
+        return 6 * m if self.wire is not None else 1
+
+    def _job_currents(self, conductance: np.ndarray,
+                      drive: np.ndarray) -> np.ndarray:
+        """Column currents for one job batch, with the configured physics.
+
+        ``conductance``: (jobs, m, cols, slices); ``drive``: (jobs, m,
+        positions).  Returns ``(jobs, positions, cols, slices)`` like the
+        parent's convention.  Each job is one fragment read (the fragment's
+        m rows and its column wiring are the electrical extent), so the
+        IR-drop network is solved per job — batched over the whole jobs
+        axis in a single :func:`first_order_currents` call.
         """
-        conductance = self.conductance[plane]     # (n_frag, m, cols, slices)
         spec = self.device.spec
-        drive = self.dac.convert(bits_stack)      # (n_frag, m, positions)
         if self.wire is None:
-            currents = spec.read_voltage * np.einsum(
-                "fmp,fmcs->fpcs", drive, conductance, optimize=True)
+            currents = super()._job_currents(conductance, drive)
         else:
-            n_frag, m, cols, slices = conductance.shape
-            flat = conductance.reshape(n_frag, m, cols * slices)
-            currents = np.empty((n_frag, drive.shape[-1], cols, slices))
-            for f in range(n_frag):
-                out = first_order_currents(flat[f],
-                                           spec.read_voltage * drive[f],
-                                           self.wire, cell_iv=self.cell_iv)
-                currents[f] = out.reshape(cols, slices, -1).transpose(2, 0, 1)
+            jobs, m, cols, slices = conductance.shape
+            flat = conductance.reshape(jobs, m, cols * slices)
+            out = first_order_currents(flat, spec.read_voltage * drive,
+                                       self.wire, cell_iv=self.cell_iv)
+            currents = out.reshape(jobs, cols, slices, -1).transpose(0, 3, 1, 2)
         if self.read_noise is not None:
             currents = self.read_noise.apply(currents)
         return currents
 
-    def _plane_pass(self, plane: str, bits_stack: np.ndarray) -> np.ndarray:
-        from .bitslice import slice_weights
-        from .device import codes_to_digital
-
-        currents = self._analog_currents(plane, bits_stack)
-        held = self.sample_hold.hold(currents)
-        active = bits_stack.sum(axis=1)
-        analog = codes_to_digital(held, self.device.spec,
-                                  active[:, :, None, None])
-        digital = self.adc.convert(analog)
-        self.stats.conversions += digital.size
-        self.stats.saturated += int((np.rint(analog) > self.adc.max_code).sum())
-        place = slice_weights(self.conductance[plane].shape[-1],
-                              self.mapped.spec.cell_bits)
-        return (digital * place).sum(axis=-1)
+    # With wire/noise off, _job_currents reduces to the parent's ideal read,
+    # so the exact integer shortcut tiers remain valid (see
+    # InSituLayerEngine._signal_path_ideal).
+    _job_currents._ideal_when_inactive = True
 
 
 def output_error(engine: InSituLayerEngine, reference: InSituLayerEngine,

@@ -8,6 +8,8 @@ qualitative shape, not paper-level numbers (the benchmarks do that at FAST+).
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # Training-based experiment drivers
+
 from repro.analysis import (DATASET_KEEP, FAST, ExperimentScale,
                             compression_rows, eic_experiment, forms_config_for,
                             fps_experiment, fps_stack_configs, table3, table4,

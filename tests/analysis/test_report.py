@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow  # Report generation drives real experiment artifacts
+
 from repro.analysis.report import (DEFAULT_ARTIFACTS, ReportSection,
                                    generate_report, write_report)
 from repro.cli import run

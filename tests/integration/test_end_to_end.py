@@ -9,6 +9,8 @@ consumes the same model's workload.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # Full train -> optimize -> simulate pipeline
+
 from repro.arch import extract_workload, forms_config, isaac32_config, network_performance
 from repro.core import (ADMMConfig, CrossbarShape, FORMSConfig, FORMSPipeline,
                         activation_to_int)

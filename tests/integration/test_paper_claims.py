@@ -8,6 +8,8 @@ shapes are asserted by the benchmarks at FAST scale.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # Whole-stack paper-claim checks
+
 from repro.arch import (forms_chip, forms_config, isaac16_config, isaac_chip,
                         peak_throughput)
 from repro.arch.perf import AcceleratorConfig

@@ -47,6 +47,20 @@ class TestIm2Col:
         with pytest.raises(ValueError):
             F.conv_output_size(2, 5, 1, 0)
 
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (3, 2)])
+    def test_matches_index_gather(self, stride, padding):
+        """The sliding-window lowering equals the index-arithmetic gather."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(2, 3, 9, 7))
+        kh = kw = 3
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                        (padding, padding))) if padding else x
+        k, i, j, _, _ = F._im2col_indices(x.shape, kh, kw, stride, padding)
+        gathered = xp[:, k, i, j]
+        expected = gathered.transpose(1, 2, 0).reshape(gathered.shape[1], -1)
+        np.testing.assert_array_equal(
+            F.im2col(x, kh, kw, stride=stride, padding=padding), expected)
+
 
 class TestConv2d:
     @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])

@@ -1,0 +1,85 @@
+"""Perf subsystem tests: timing, metering, and the suite's JSON contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import QuantizationSpec
+from repro.perf import EngineMeter, TimingResult, time_callable
+from repro.perf.suite import (HEADLINE_BENCH, bench_die_cache, bench_mvm,
+                              default_suite, make_polarized_layer,
+                              write_payload)
+from repro.reram import DeviceSpec, ReRAMDevice, build_engine
+
+
+class TestTimeCallable:
+    def test_returns_positive_times(self):
+        result = time_callable(lambda: sum(range(100)), name="sum",
+                               repeats=3, calls_per_repeat=2)
+        assert result.name == "sum"
+        assert 0 < result.best_s <= result.mean_s
+        assert len(result.all_s) == 3
+        assert result.per_call_s == result.best_s / 2
+
+    def test_counts_invocations(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=2,
+                      calls_per_repeat=3, warmup=1)
+        assert len(calls) == 1 + 2 * 3
+
+    def test_speedup_vs(self):
+        fast = TimingResult("f", 1, 1, 0.5, 0.5, (0.5,))
+        slow = TimingResult("s", 1, 1, 2.0, 2.0, (2.0,))
+        assert fast.speedup_vs(slow) == 4.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_record_roundtrips_through_json(self):
+        record = time_callable(lambda: None, repeats=2).to_record()
+        assert json.loads(json.dumps(record)) == record
+
+
+class TestEngineMeter:
+    def test_delta_tracks_conversions(self):
+        levels, geom = make_polarized_layer(shape=(4, 2, 3, 3),
+                                            fragment_size=4)
+        engine = build_engine(levels, geom, QuantizationSpec(8, 2),
+                              ReRAMDevice(DeviceSpec(), 0.0),
+                              activation_bits=8)
+        x = np.random.default_rng(0).integers(0, 256, size=(geom.rows, 4))
+        meter = EngineMeter([engine])
+        assert meter.delta()["conversions"] == 0
+        engine.matvec_int(x)
+        delta = meter.delta()
+        assert delta["conversions"] > 0
+        assert delta["cycles_fed"] == engine.stats.cycles_fed
+        meter.reset()
+        assert meter.delta()["conversions"] == 0
+
+
+class TestSuite:
+    def test_headline_bench_in_every_mode(self):
+        assert HEADLINE_BENCH in default_suite(smoke=True)
+        assert HEADLINE_BENCH in default_suite(smoke=False)
+
+    def test_bench_mvm_record_contract(self):
+        record = bench_mvm("forms", repeats=1)
+        assert record["kind"] == "paired"
+        assert record["speedup"] > 0
+        assert record["fused"]["per_call_s"] > 0
+        assert record["engine_stats_per_call"]["conversions"] > 0
+        assert record["meta"]["activation_bits"] == 16
+        assert record["meta"]["positions"] == 128
+
+    def test_die_cache_bench_reuses_dies(self):
+        record = bench_die_cache(repeats=1, engines_per_sweep=3)
+        assert record["meta"]["cache_misses"] == 1
+        assert record["meta"]["cache_hits"] >= 2
+
+    def test_write_payload(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_payload(path, {"schema": "x", "records": []})
+        assert json.loads(path.read_text()) == {"schema": "x", "records": []}
