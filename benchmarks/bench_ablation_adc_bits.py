@@ -17,16 +17,19 @@ from repro.core.quantization import activation_to_int
 from repro.reram import (ADCSpec, DeviceSpec, DieCache, ReRAMDevice,
                          build_engine, paper_adc_bits, required_adc_bits)
 from repro.reram.variation import clone_model
+from repro.runtime import parallel_map, resolve_workers
 
 
-def run_ablation(seed: int = 0):
+def run_ablation(seed: int = 0, workers: int = None):
     baseline = train_baseline("lenet5", "mnist", FAST, seed=seed)
     rows = []
     extras = {}
     # Both ADC sizings read the same codes off the same die: share the
     # programmed conductance planes across the sweep instead of
-    # re-programming per engine.
+    # re-programming per engine (DieCache is lock-protected, so the
+    # concurrent sweep points below share it safely).
     die_cache = DieCache()
+    workers = resolve_workers(workers)
     for fragment in (4, 8, 16):
         config = forms_config_for(FAST, "mnist", fragment_size=fragment)
         model = clone_model(baseline.model)
@@ -48,17 +51,26 @@ def run_ablation(seed: int = 0):
         x_int, _ = activation_to_int(np.abs(cols), bits=8)
         expected = levels.T @ x_int
         device = ReRAMDevice(DeviceSpec(), 0.0)
-        for label, bits in (("paper", paper_adc_bits(fragment)),
-                            ("exact", required_adc_bits(fragment, 2))):
-            engine = build_engine(levels, geometry, config.quant_spec(), device,
-                                  adc=ADCSpec(bits=bits), activation_bits=8,
-                                  die_cache=die_cache)
+
+        def run_sizing(case):
+            label, bits = case
+            engine = build_engine(levels, geometry, config.quant_spec(),
+                                  device, adc=ADCSpec(bits=bits),
+                                  activation_bits=8, die_cache=die_cache)
             out = engine.matvec_int(x_int)
-            err = float(np.abs(out - expected).sum() / (np.abs(expected).sum() + 1e-12))
-            rows.append([fragment, label, bits,
-                         engine.stats.saturation_fraction * 100.0, err * 100.0])
+            err = float(np.abs(out - expected).sum()
+                        / (np.abs(expected).sum() + 1e-12))
+            return label, bits, engine.stats.saturation_fraction, err
+
+        # The two sizings are independent engine runs over one shared die.
+        for label, bits, saturation, err in parallel_map(
+                run_sizing, (("paper", paper_adc_bits(fragment)),
+                             ("exact", required_adc_bits(fragment, 2))),
+                workers=workers):
+            rows.append([fragment, label, bits, saturation * 100.0,
+                         err * 100.0])
             extras[(fragment, label)] = {
-                "saturation": engine.stats.saturation_fraction,
+                "saturation": saturation,
                 "error": err,
             }
     table = ExperimentTable(

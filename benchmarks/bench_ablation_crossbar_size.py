@@ -18,12 +18,14 @@ analog-feasible size.
 
 from repro.analysis import ExperimentTable
 from repro.arch.dse import CrossbarSizeEvaluation, crossbar_size_sweep
+from repro.runtime import resolve_workers
 
 SIZES = (64, 128, 256, 512)
 
 
-def run_sweep(seed: int = 0):
-    results = crossbar_size_sweep(options=SIZES, seed=seed)
+def run_sweep(seed: int = 0, workers: int = None):
+    results = crossbar_size_sweep(options=SIZES, seed=seed,
+                                  workers=resolve_workers(workers))
     rows = []
     for r in results:
         e = r.evaluation

@@ -19,19 +19,20 @@ operating-point shift, not the wiring alone.
 from repro.analysis import ExperimentTable
 from repro.reram.nonideal import (LINEAR_CELL, CellIV, WireModel,
                                   ir_drop_study)
+from repro.runtime import parallel_map, resolve_workers
 
 GRANULARITIES = [4, 8, 16, 32, 64]
 
 
-def run_study(seed: int = 0):
+def run_study(seed: int = 0, workers: int = None):
     wire = WireModel(r_wire_ohm=2.5)
-    nonlinear = ir_drop_study(rows=64, cols=8,
-                              active_row_options=GRANULARITIES,
-                              wire=wire, cell_iv=CellIV(nonlinearity=2.0),
-                              seed=seed)
-    linear = ir_drop_study(rows=64, cols=8,
-                           active_row_options=GRANULARITIES,
-                           wire=wire, cell_iv=LINEAR_CELL, seed=seed)
+    # The nonlinear and linear-control studies are independent solves.
+    nonlinear, linear = parallel_map(
+        lambda cell: ir_drop_study(rows=64, cols=8,
+                                   active_row_options=GRANULARITIES,
+                                   wire=wire, cell_iv=cell, seed=seed),
+        (CellIV(nonlinearity=2.0), LINEAR_CELL),
+        workers=resolve_workers(workers))
     rows = []
     for nl, li in zip(nonlinear, linear):
         rows.append([nl.active_rows, nl.relative_error * 100.0,

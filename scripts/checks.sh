@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# The standard check set: fast tier-1 signal + the engine perf gate.
+#
+#   sh scripts/checks.sh            # what CI runs (see .github/workflows)
+#
+# 1. `pytest -m "not slow"` — the fast tier-1 signal (the full tier-1
+#    command is `pytest -x -q` without the marker filter; the 35 slow
+#    training-driver tests are nightly material).
+# 2. `run_perf_suite.py --smoke` — records BENCH-schema results to a
+#    throwaway path and exits non-zero if the headline micro-benchmark
+#    (mvm_forms_16bit_128pos) falls below its 5x speedup floor, so a perf
+#    regression fails the check set exactly like a correctness regression.
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1 (fast signal): pytest -m 'not slow'"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q -m "not slow"
+
+echo "==> perf gate: run_perf_suite.py --smoke"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/run_perf_suite.py \
+    --smoke -o "${PERF_GATE_OUTPUT:-/tmp/forms_perf_gate.json}"
+
+echo "==> checks passed"

@@ -4,9 +4,41 @@ Fine-grained polarized ReRAM-based in-situ computation for mixed-signal DNN
 acceleration: the ADMM co-design framework (:mod:`repro.core`), the numpy DNN
 training substrate (:mod:`repro.nn`), the ReRAM device/crossbar simulator
 (:mod:`repro.reram`), the accelerator architecture model (:mod:`repro.arch`),
-and the evaluation harness (:mod:`repro.analysis`).
+the parallel execution runtime (:mod:`repro.runtime`), and the evaluation
+harness (:mod:`repro.analysis`).
+
+Runtime architecture
+--------------------
+The simulation stack splits scheduling from execution:
+
+* **Scheduler** — :meth:`repro.reram.engine.InSituLayerEngine.matvec_int`
+  builds a CSR-style job list from the *nonzero structure* of each
+  activation block (per-fragment ``live bits x live positions`` grids; the
+  per-fragment OR of the activation bits is the complete structure).
+  All-zero bit-planes, silent fragments and silent positions are never
+  materialized; tasks whose conversions provably cannot clip telescope
+  into one value-level GEMM.  The dense bit-plane kernel
+  (:meth:`matvec_int_dense`) and the cycle-by-cycle loop
+  (:meth:`matvec_int_reference`) are retained as the scheduling baseline
+  and the bit-exactness oracle.
+* **Executor** — :class:`repro.runtime.WorkerPool` fans out independent
+  work at three grains: job chunks within one MVM (``engine.pool`` /
+  ``matvec_int(..., pool=...)``), batch tiles across a whole-network
+  forward (:func:`repro.runtime.infer_tiled` — tiles pipeline through
+  different layers concurrently), and sweep points across DSE/ablation
+  grids (:func:`repro.runtime.parallel_map`, with a shared
+  :class:`repro.reram.DieCache` deduplicating die programming).
+* **Determinism** — results and engine stats are bit-identical at any
+  worker count: kernels accumulate into per-worker stats locals merged
+  under a lock, and read noise draws from substreams keyed by
+  (input digest, plane, bit-plane, fragment) rather than draw order.
+
+``benchmarks/run_perf_suite.py`` records the measured speedups of every
+layer of this stack to ``BENCH_engine.json``; ``scripts/checks.sh`` gates
+changes on the fast tier-1 tests plus the headline perf floor.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["nn", "core", "reram", "arch", "analysis", "__version__"]
+__all__ = ["nn", "core", "reram", "arch", "analysis", "runtime",
+           "__version__"]

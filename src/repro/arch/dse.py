@@ -253,30 +253,41 @@ def evaluate_design(point: DesignPoint, variation_sigma: float = 0.1,
 # Sweeps
 # ---------------------------------------------------------------------------
 
-def sweep(points: Iterable[DesignPoint],
-          variation_sigma: float = 0.1) -> List[DesignEvaluation]:
-    return [evaluate_design(p, variation_sigma) for p in points]
+def sweep(points: Iterable[DesignPoint], variation_sigma: float = 0.1,
+          workers: Optional[int] = None) -> List[DesignEvaluation]:
+    """Evaluate design points, fanned out across ``workers`` when > 1.
+
+    Points are independent analytic roll-ups, so the fan-out is trivially
+    safe; results come back in point order regardless of worker count.
+    """
+    from ..runtime import parallel_map
+    if workers is None or workers <= 1:
+        return [evaluate_design(p, variation_sigma) for p in points]
+    return parallel_map(lambda p: evaluate_design(p, variation_sigma),
+                        points, workers=workers)
 
 
 def cell_bits_sweep(fragment_size: int = 8,
                     options: Sequence[int] = (1, 2, 4, 8),
                     adc_rule: str = "exact",
-                    variation_sigma: float = 0.1) -> List[DesignEvaluation]:
+                    variation_sigma: float = 0.1,
+                    workers: Optional[int] = None) -> List[DesignEvaluation]:
     """The Sec. IV-C cell-density sweep at a fixed fragment size."""
     points = [DesignPoint(fragment_size=fragment_size, cell_bits=c,
                           weight_bits=max(8, c), adc_rule=adc_rule)
               for c in options]
-    return sweep(points, variation_sigma)
+    return sweep(points, variation_sigma, workers=workers)
 
 
 def fragment_sweep(cell_bits: int = 2,
                    options: Sequence[int] = (4, 8, 16, 32),
                    adc_rule: str = "exact",
-                   variation_sigma: float = 0.1) -> List[DesignEvaluation]:
+                   variation_sigma: float = 0.1,
+                   workers: Optional[int] = None) -> List[DesignEvaluation]:
     """Fragment-size sweep at fixed cell density."""
     points = [DesignPoint(fragment_size=m, cell_bits=cell_bits,
                           adc_rule=adc_rule) for m in options]
-    return sweep(points, variation_sigma)
+    return sweep(points, variation_sigma, workers=workers)
 
 
 @dataclass
@@ -302,7 +313,8 @@ class CrossbarSizeEvaluation:
 def crossbar_size_sweep(options: Sequence[int] = (64, 128, 256, 512),
                         fragment_size: int = 8, cell_bits: int = 2,
                         adc_rule: str = "paper",
-                        wire=None, seed: int = 0
+                        wire=None, seed: int = 0,
+                        workers: Optional[int] = None
                         ) -> List[CrossbarSizeEvaluation]:
     """The "best size of crossbar arrays" exploration (Sec. IV-C).
 
@@ -311,20 +323,26 @@ def crossbar_size_sweep(options: Sequence[int] = (64, 128, 256, 512),
     bit-line grows with the row count and every fragment read degrades with
     it (:func:`repro.reram.nonideal.fragment_read_error`).  The published
     128x128 choice is where density gains meet the analog error wall.
+    Sizes are independent (the analog-error solve dominates at 512 rows),
+    so they fan out across ``workers`` when > 1.
     """
     from ..reram.nonideal import CellIV, WireModel, fragment_read_error
+    from ..runtime import parallel_map
 
     wire = wire or WireModel()
-    results = []
-    for size in options:
+
+    def evaluate_size(size: int) -> CrossbarSizeEvaluation:
         point = DesignPoint(fragment_size=fragment_size, cell_bits=cell_bits,
                             adc_rule=adc_rule, crossbar_rows=size,
                             crossbar_cols=size)
         error = fragment_read_error(size, fragment_size, wire=wire,
                                     cell_iv=CellIV(), seed=seed)
-        results.append(CrossbarSizeEvaluation(
-            evaluation=evaluate_design(point), analog_error=error))
-    return results
+        return CrossbarSizeEvaluation(
+            evaluation=evaluate_design(point), analog_error=error)
+
+    if workers is None or workers <= 1:
+        return [evaluate_size(size) for size in options]
+    return parallel_map(evaluate_size, options, workers=workers)
 
 
 def best_energy_efficiency(evaluations: Sequence[DesignEvaluation],

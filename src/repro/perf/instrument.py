@@ -91,7 +91,8 @@ class EngineMeter:
     _baseline: Dict[int, tuple] = field(default_factory=dict, init=False)
 
     TRACKED = ("conversions", "saturated", "cycles_fed",
-               "jobs_computed", "jobs_skipped")
+               "jobs_scheduled", "jobs_skipped",
+               "pairs_scheduled", "pairs_skipped")
 
     def __post_init__(self):
         self.engines = list(self.engines)

@@ -11,6 +11,16 @@ speedups are *recorded*, not asserted from memory:
 * ``..._clipadc`` / ``..._variation`` / ``..._irdrop`` — the same MVM down
   the other engine tiers (integer kernel with a clipping ADC, full analog
   path with device variation, batched first-order IR drop);
+* ``mvm_forms_16bit_128pos_sparse`` / ``..._sparse_irdrop`` — the CSR job
+  scheduler on a post-ReLU-structured activation block (>= 50% zero
+  bit-planes) versus the retained dense bit-plane kernel
+  (:meth:`matvec_int_dense`, the PR-1 production path);
+* ``insitu_network_batch8_w{1,4}`` — whole-network inference through the
+  ``repro.runtime`` tiled executor at 1 and 4 workers versus the serial
+  full-batch dense-engine forward (the pre-runtime production path);
+* ``cell_iv_sinh_table`` — the tabulated sinh cell curve versus the closed
+  form (recorded because it *loses* on NumPy's SIMD sinh — the measured
+  reason the table defaults off);
 * ``signed_matvec_mixed`` — the signed decomposition of
   :func:`repro.reram.inference._signed_matvec` (one fused positions-axis
   call) versus the seed's two sequential reference passes;
@@ -27,6 +37,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 import platform
 import sys
 from typing import Dict, List, Optional
@@ -36,7 +47,8 @@ import numpy as np
 from ..core import FragmentGeometry, QuantizationSpec
 from ..core.polarization import compute_signs, project_polarization
 from ..nn import functional as F
-from ..reram import (ADCSpec, DeviceSpec, DieCache, ReRAMDevice, build_engine)
+from ..reram import (ADCSpec, DeviceSpec, DieCache, ReRAMDevice,
+                     build_engine, fused_kernel_max_elements)
 from ..reram.inference import _signed_matvec
 from ..reram.nonideal import CellIV, WireModel
 from ..reram.nonideal_engine import NonidealEngine
@@ -72,6 +84,42 @@ def _inputs(geometry: FragmentGeometry, positions: int = _POSITIONS,
             bits: int = _ACTIVATION_BITS, seed: int = 1) -> np.ndarray:
     rng = np.random.default_rng(seed)
     return rng.integers(0, 1 << bits, size=(geometry.rows, positions))
+
+
+def make_post_relu_inputs(geometry: FragmentGeometry,
+                          positions: int = _POSITIONS,
+                          bits: int = _ACTIVATION_BITS,
+                          fragment_size: int = _FRAGMENT,
+                          seed: int = 1) -> np.ndarray:
+    """Activation block shaped like a post-ReLU layer of a FORMS network.
+
+    Three kinds of structure a trained, pruned network actually produces:
+
+    * **dead channels** — upstream filter pruning (the paper's own
+      crossbar-aware structured pruning) zeroes whole input channels, so
+      entire fragments of the im2col block are silent;
+    * **heavy-tailed magnitudes** — most live channels are quiet (high
+      bit-planes never fire), a few carry the distribution's tail;
+    * **elementwise ReLU zeros and dead spatial patches** — all-zero
+      im2col positions.
+
+    The result has >= 50% all-zero (bit-plane, fragment) jobs and ~2/3
+    zero (job, position) pairs — the workload the sparse scheduler exists
+    for (`EngineStats.skip_fraction` / `pair_skip_fraction` of a run
+    record the realized fractions).
+    """
+    rng = np.random.default_rng(seed)
+    qmax = (1 << bits) - 1
+    rows = geometry.rows
+    n_frag = -(-rows // fragment_size)
+    frag_kind = rng.choice(3, size=n_frag, p=[0.3, 0.58, 0.12])
+    scale = np.where(frag_kind == 2, 6000.0, 30.0)
+    scale[frag_kind == 0] = 0.0                    # pruned upstream channels
+    row_scale = np.repeat(scale, fragment_size)[:rows]
+    x = rng.exponential(scale=1.0, size=(rows, positions)) * row_scale[:, None]
+    x *= rng.random(x.shape) > 0.55                # elementwise ReLU zeros
+    x[:, rng.random(positions) < 0.3] = 0.0        # dead im2col patches
+    return np.clip(np.rint(x), 0, qmax).astype(np.int64)
 
 
 def _paired_record(name: str, fused_fn, reference_fn, repeats: int,
@@ -142,6 +190,175 @@ def bench_mvm_irdrop(repeats: int = 3) -> Dict:
         lambda: engine.matvec_int_reference(x), repeats,
         meta={"scheme": "forms", "wire_ohm": 5.0, "nonlinearity": 2.0},
         engine=engine)
+
+
+def bench_mvm_sparse(repeats: int = 3) -> Dict:
+    """CSR job scheduler vs the dense bit-plane kernel, post-ReLU block.
+
+    Integer-kernel tier (the paper's clipping 4-bit ADC sizing): the sparse
+    path schedules only live (bit-plane, fragment, position) structure and
+    telescopes clip-free tasks; the dense path (``matvec_int_dense``, the
+    PR-1 production kernel) masks whole (bit-plane, fragment) jobs only.
+    Both are asserted bit-equal to the cycle-by-cycle reference before
+    timing.
+    """
+    levels, geometry = make_polarized_layer()
+    x = make_post_relu_inputs(geometry)
+    device = ReRAMDevice(DeviceSpec(), 0.0)
+    engine = build_engine(levels, geometry, _QSPEC, device, scheme="forms",
+                          adc=ADCSpec(bits=4),
+                          activation_bits=_ACTIVATION_BITS)
+    sparse_out = engine.matvec_int(x)
+    if not np.array_equal(sparse_out, engine.matvec_int_dense(x)):
+        raise AssertionError("sparse != dense kernel")
+    if not np.array_equal(sparse_out, engine.matvec_int_reference(x)):
+        raise AssertionError("sparse != cycle-by-cycle reference")
+    # one clean-call stats snapshot for the workload-shape metadata
+    from ..reram import EngineStats
+    engine.stats = EngineStats()
+    engine.matvec_int(x)
+    return _paired_record(
+        f"mvm_forms_16bit_{_POSITIONS}pos_sparse",
+        lambda: engine.matvec_int(x),
+        lambda: engine.matvec_int_dense(x), repeats,
+        meta={"scheme": "forms", "adc_bits": 4,
+              "positions": _POSITIONS,
+              "activation_bits": _ACTIVATION_BITS,
+              "zero_plane_fraction": engine.stats.skip_fraction,
+              "pair_skip_fraction": engine.stats.pair_skip_fraction,
+              "zero_element_fraction": float((x == 0).mean())},
+        engine=engine)
+
+
+def bench_mvm_sparse_irdrop(repeats: int = 3) -> Dict:
+    """The sparse scheduler on the analog IR-drop tier (same block)."""
+    levels, geometry = make_polarized_layer()
+    x = make_post_relu_inputs(geometry)
+    from ..reram.mapping import infer_signs, map_layer
+    mapped = map_layer(levels, geometry, _QSPEC, scheme="forms",
+                       signs=infer_signs(levels, geometry))
+    engine = NonidealEngine(mapped, ReRAMDevice(DeviceSpec(), 0.0),
+                            activation_bits=_ACTIVATION_BITS,
+                            wire=WireModel(r_wire_ohm=5.0),
+                            cell_iv=CellIV(nonlinearity=2.0))
+    sparse_out = engine.matvec_int(x)
+    if not np.array_equal(sparse_out, engine.matvec_int_dense(x)):
+        raise AssertionError("sparse != dense on the IR-drop tier")
+    return _paired_record(
+        f"mvm_forms_16bit_{_POSITIONS}pos_sparse_irdrop",
+        lambda: engine.matvec_int(x),
+        lambda: engine.matvec_int_dense(x), repeats,
+        meta={"scheme": "forms", "wire_ohm": 5.0, "nonlinearity": 2.0},
+        engine=engine)
+
+
+def bench_cell_iv_table(repeats: int = 3) -> Dict:
+    """Tabulated sinh cell curve vs the closed form, on a kernel-sized batch.
+
+    Recorded so the default (table off) is a measured decision: NumPy's
+    SIMD-vectorized ``np.sinh`` beats the multi-pass gather, so the
+    expected speedup here is *below* 1.  The table stays available
+    (``CellIV.tabulated()`` / ``NonidealEngine(auto_tabulate=True)``) for
+    platforms with slow transcendentals; its interpolation error is orders
+    of magnitude below the ADC rounding threshold (asserted bit-exact at
+    the engine level in the tests).
+    """
+    closed = CellIV(nonlinearity=2.0)
+    table = closed.tabulated()
+    rng = np.random.default_rng(9)
+    g = rng.uniform(1e-7, 1e-5, size=(1 << 19,))
+    dv = rng.uniform(-0.05, 0.3, size=g.shape)
+    err = float(np.abs(table.current(g, dv) - closed.current(g, dv)).max())
+    record = _paired_record(
+        "cell_iv_sinh_table", lambda: table.current(g, dv),
+        lambda: closed.current(g, dv), repeats,
+        meta={"elements": int(g.size), "table_points": table.table_points,
+              "max_abs_error_a": err})
+    return record
+
+
+def _post_relu_network(seed: int = 0):
+    """A FORMS-shaped small CNN: pruned filters, polarized weights.
+
+    Random weights stand in for training, but the *structure* is the real
+    post-pipeline one: crossbar-aware filter pruning (dead output channels
+    => silent downstream input fragments) followed by fragment
+    polarization, which is what makes whole-network activation blocks
+    sparse in exactly the way the scheduler exploits.
+    """
+    from ..core.pipeline import FORMSConfig
+    from ..core.polarization import compute_signs, project_polarization
+    from ..nn import (Conv2d, Flatten, Linear, ReLU, Sequential,
+                      compressible_layers, set_init_seed)
+    set_init_seed(seed)
+    model = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(),
+                       Conv2d(8, 8, 3, padding=1), ReLU(),
+                       Flatten(), Linear(8 * 16 * 16, 10))
+    rng = np.random.default_rng(seed + 7)
+    for layer in (model._modules["0"], model._modules["2"]):
+        dead = rng.permutation(layer.weight.data.shape[0])[5:]
+        layer.weight.data[dead] = 0.0
+        if layer.bias is not None:
+            layer.bias.data[dead] = 0.0
+    config = FORMSConfig(fragment_size=_FRAGMENT)
+    for _, layer in compressible_layers(model):
+        geometry = config.geometry_for(layer)
+        weight = layer.weight.data.astype(np.float64)
+        layer.weight.data[...] = project_polarization(
+            weight, geometry, compute_signs(weight, geometry))
+    images = np.maximum(0.0, rng.normal(size=(8, 1, 16, 16)) - 0.8)
+    return model, config, images
+
+
+def bench_insitu_network(workers: int, repeats: int = 3,
+                         tile_size: int = 2) -> Dict:
+    """Whole-network inference: tiled runtime at N workers vs serial dense.
+
+    The reference is the pre-runtime production path — one serial
+    full-batch forward through dense-kernel engines.  The fused side runs
+    the same network on sparse-scheduler engines with batch tiles fanned
+    out over a ``repro.runtime`` worker pool.  Outputs are asserted
+    bit-identical to a serial dense run of the identical tiling before
+    timing (the tiling, not the worker count, is the numerical
+    configuration).
+    """
+    from ..reram import paper_adc_bits
+    from ..reram.inference import build_insitu_network
+    from ..runtime import WorkerPool, infer_tiled, run_network_serial
+    from ..nn import Tensor
+
+    model, config, images = _post_relu_network()
+    device = ReRAMDevice(DeviceSpec(), 0.0)
+    adc = ADCSpec(bits=paper_adc_bits(_FRAGMENT))
+    sparse_net, sparse_engines = build_insitu_network(
+        model, config, device, adc=adc, activation_bits=_ACTIVATION_BITS)
+    dense_net, dense_engines = build_insitu_network(
+        model, config, device, adc=adc, activation_bits=_ACTIVATION_BITS)
+    for engine in dense_engines.values():
+        engine.sparse_enabled = False
+
+    with WorkerPool(workers) as pool:
+        fused_out = infer_tiled(sparse_net, images, pool=pool,
+                                tile_size=tile_size)
+        serial_same_tiling = run_network_serial(dense_net, images,
+                                                tile_size=tile_size)
+        if not np.array_equal(fused_out, serial_same_tiling):
+            raise AssertionError(
+                "tiled sparse runtime != serial dense (same tiling)")
+        record = _paired_record(
+            f"insitu_network_batch{images.shape[0]}_w{workers}",
+            lambda: infer_tiled(sparse_net, images, pool=pool,
+                                tile_size=tile_size),
+            lambda: dense_net(Tensor(images)).data, repeats,
+            meta={"workers": workers, "tile_size": tile_size,
+                  "batch": int(images.shape[0]),
+                  "layers": len(sparse_engines),
+                  "adc_bits": adc.bits,
+                  "activation_bits": _ACTIVATION_BITS})
+    meter = EngineMeter(sparse_engines.values())
+    infer_tiled(sparse_net, images, workers=1, tile_size=tile_size)
+    record["engine_stats_per_call"] = meter.delta()
+    return record
 
 
 def bench_signed_matvec(repeats: int = 3) -> Dict:
@@ -220,6 +437,12 @@ def _suite_plan(smoke: bool, repeats: int):
         (f"mvm_forms_16bit_{_POSITIONS}pos_clipadc",
          lambda: bench_mvm("forms", repeats=repeats, adc=ADCSpec(bits=4),
                            suffix="_clipadc")),
+        (f"mvm_forms_16bit_{_POSITIONS}pos_sparse",
+         lambda: bench_mvm_sparse(repeats=repeats)),
+        ("insitu_network_batch8_w1",
+         lambda: bench_insitu_network(1, repeats=repeats)),
+        ("insitu_network_batch8_w4",
+         lambda: bench_insitu_network(4, repeats=repeats)),
         ("signed_matvec_mixed", lambda: bench_signed_matvec(repeats=repeats)),
         ("die_cache_rebuild", lambda: bench_die_cache(repeats=repeats)),
     ]
@@ -230,6 +453,10 @@ def _suite_plan(smoke: bool, repeats: int):
                                suffix="_variation")),
             (f"mvm_forms_16bit_{_POSITIONS}pos_irdrop",
              lambda: bench_mvm_irdrop(repeats=repeats)),
+            (f"mvm_forms_16bit_{_POSITIONS}pos_sparse_irdrop",
+             lambda: bench_mvm_sparse_irdrop(repeats=repeats)),
+            ("cell_iv_sinh_table",
+             lambda: bench_cell_iv_table(repeats=repeats)),
             ("im2col_lenet_batch8", lambda: bench_im2col(repeats=repeats)),
         ]
     return plan
@@ -261,6 +488,8 @@ def run_suite(smoke: bool = True, repeats: Optional[int] = None) -> Dict:
             "python": sys.version.split()[0],
             "numpy": np.__version__,
             "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "fused_kernel_max_elements": fused_kernel_max_elements(),
         },
         "records": records,
         "criteria": {

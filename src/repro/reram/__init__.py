@@ -15,7 +15,9 @@ from .converters import (ADCSpec, DACSpec, SampleHold, paper_adc_bits,
 from .crossbar import CrossbarArray, SubArrayLayout
 from .device import DeviceSpec, ReRAMDevice, codes_to_digital
 from .engine import (DieCache, EngineStats, InSituLayerEngine, SignIndicator,
-                     build_engine, effective_levels)
+                     autotune_fused_kernel_max_elements, build_engine,
+                     effective_levels, fused_kernel_max_elements,
+                     set_fused_kernel_max_elements)
 from .mapping import SCHEMES, MappedLayer, infer_signs, map_layer
 from .nonideal import (LINEAR_CELL, CellIV, FaultModel, IRDropPoint,
                        ReadNoise, WireModel, first_order_currents,
@@ -38,6 +40,8 @@ __all__ = [
     "MappedLayer", "map_layer", "infer_signs", "SCHEMES",
     "InSituLayerEngine", "SignIndicator", "EngineStats", "DieCache",
     "build_engine", "effective_levels",
+    "fused_kernel_max_elements", "set_fused_kernel_max_elements",
+    "autotune_fused_kernel_max_elements",
     "apply_variation", "variation_study", "VariationResult", "clone_model",
     "VTEAMParams", "VTEAMCell", "ProgramScheme", "ProgramResult",
     "program_level", "program_codes", "device_spec_from_vteam",

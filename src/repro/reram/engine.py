@@ -22,24 +22,34 @@ and our ADC ablation measure.
 
 Simulation strategy
 -------------------
-The hardware is bit-serial, but the simulator is not: :meth:`matvec_int`
-decomposes the whole integer activation block into a ``(bits, n_frag, m,
-positions)`` bit-plane tensor up front, drops the (bit-plane, fragment) pairs
-that are all zero — the simulator-side image of the zero-skip shift
-registers — and evaluates every surviving bit-cycle of every fragment in a
-handful of fused ``einsum`` contractions (the dual scheme's positive and
-negative planes ride the same contraction).  This is the fragment-level
-parallelism the paper claims as throughput, exploited as array-level
-parallelism.  The original cycle-by-cycle loop survives as
+The hardware is bit-serial, but the simulator is not.  :meth:`matvec_int`
+schedules the activation block's *nonzero structure* instead of its dense
+shape: a CSR-style job list is built directly from the per-fragment OR of
+the activation bits, so all-zero bit-planes, silent fragments **and** silent
+positions never materialize — the simulator-side image of the zero-skip
+shift registers, now at (bit-plane, fragment, position) granularity.  Each
+fragment's surviving ``live bits x live positions`` grid is evaluated in one
+fused contraction (a single GEMM on the integer tiers), chunked to the
+kernel cache budget; independent chunks can fan out across a
+:class:`repro.runtime.WorkerPool`.
+
+The previous dense decomposition — the whole block expanded into a
+``(bits, n_frag, m, positions)`` bit-plane tensor with (bit-plane, fragment)
+masking only — survives as :meth:`matvec_int_dense` (the scheduling
+baseline, and the path taken when read noise forces the full conversion
+grid), and the original cycle-by-cycle loop survives as
 :meth:`matvec_int_reference`, the forever-testable bit-exactness oracle.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,13 +60,106 @@ from .converters import ADCSpec, DACSpec, SampleHold, required_adc_bits
 from .device import ReRAMDevice
 from .mapping import MappedLayer, map_layer
 
-#: per-kernel-call element budget of the fused bit-plane contraction
+#: default per-kernel-call element budget of the fused bit-plane contraction
 #: (elements of the ``(jobs, positions, cols, slices)`` current tensor).
-#: Chunking along the jobs axis bounds peak memory *and* keeps each
+#: Chunking along the jobs/positions axes bounds peak memory *and* keeps each
 #: einsum -> pedestal -> ADC -> recombine pipeline stage cache-resident;
 #: 2**18 elements (2 MiB of float64) measures fastest on the elementwise-
-#: bound analog path.  Changing it never changes any result.
+#: bound analog path.  Changing it never changes any result.  Resolution
+#: order at kernel time: per-engine ``kernel_max_elements`` >
+#: :func:`set_fused_kernel_max_elements` override > the
+#: ``FORMS_FUSED_KERNEL_MAX_ELEMENTS`` environment variable > a cached
+#: per-machine autotune (when ``FORMS_FUSED_KERNEL_AUTOTUNE`` is truthy) >
+#: this module default.
 FUSED_KERNEL_MAX_ELEMENTS = 1 << 18
+
+#: environment knobs of the kernel chunk budget
+FUSED_KERNEL_ENV = "FORMS_FUSED_KERNEL_MAX_ELEMENTS"
+FUSED_KERNEL_AUTOTUNE_ENV = "FORMS_FUSED_KERNEL_AUTOTUNE"
+
+_kernel_override: Optional[int] = None
+_kernel_autotuned: Optional[int] = None
+
+#: minimum average per-fragment grid size (elements of the conversion
+#: tensor) for the CSR scheduler to win over the dense masked kernel: below
+#: this, per-task Python overhead outweighs the skipped conversions (a
+#: many-fragment, few-position layer — e.g. a classifier head on a small
+#: batch — is the canonical case) and ``matvec_int`` falls back to the
+#: dense path.  Pure dispatch heuristic: results are bit-identical either
+#: way.  Per-engine override: ``sparse_min_task_elements``.
+SPARSE_MIN_TASK_ELEMENTS = 1 << 12
+
+
+def set_fused_kernel_max_elements(value: Optional[int]) -> None:
+    """Process-wide override of the kernel chunk budget (``None`` resets).
+
+    Takes precedence over the environment variable and the autotuner but
+    not over a per-engine ``kernel_max_elements``.
+    """
+    global _kernel_override
+    if value is not None and value < 1:
+        raise ValueError("kernel budget must be >= 1 element")
+    _kernel_override = value
+
+
+def autotune_fused_kernel_max_elements(
+        candidates: Sequence[int] = (1 << 15, 1 << 16, 1 << 17, 1 << 18,
+                                     1 << 19, 1 << 20),
+        repeats: int = 3) -> int:
+    """Measure the fastest chunk budget for this machine and return it.
+
+    Runs a representative fused-kernel pipeline (bit-plane contraction,
+    pedestal correction, ADC rounding) over one fixed workload, *chunked
+    along the jobs axis exactly as the engine chunks it* at each candidate
+    budget — the budget only moves work between chunks, so the minimum
+    wall clock identifies the cache-resident chunk size.  Every call
+    measures afresh; the process-wide cache lives in
+    :func:`fused_kernel_max_elements` (the "quick per-machine autotune at
+    first use" behind ``FORMS_FUSED_KERNEL_AUTOTUNE=1``).
+    """
+    rng = np.random.default_rng(0)
+    m, cols, slices, positions = 8, 16, 4, 128
+    per_job = positions * cols * slices
+    jobs = max(1, (1 << 21) // per_job)       # fixed ~2^21-element workload
+    drive = rng.integers(0, 2, size=(jobs, m, positions)).astype(np.float64)
+    cond = rng.uniform(1e-7, 1e-5, size=(jobs, m, cols, slices))
+    active = drive.sum(axis=1)
+    best_budget, best_time = max(candidates), float("inf")
+    for budget in candidates:
+        chunk = max(1, budget // per_job)
+        elapsed = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for lo in range(0, jobs, chunk):
+                hi = lo + chunk
+                currents = np.einsum("jmp,jmcs->jpcs", drive[lo:hi],
+                                     cond[lo:hi], optimize=True)
+                analog = (currents
+                          - 1e-8 * active[lo:hi, :, None, None]) * 1e6
+                np.clip(np.rint(analog), 0, 15)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        if elapsed < best_time:
+            best_budget, best_time = budget, elapsed
+    return int(best_budget)
+
+
+def fused_kernel_max_elements() -> int:
+    """The kernel chunk budget in effect for engines without a local value."""
+    global _kernel_autotuned
+    if _kernel_override is not None:
+        return _kernel_override
+    env = os.environ.get(FUSED_KERNEL_ENV, "").strip()
+    if env:
+        value = int(env)
+        if value < 1:
+            raise ValueError(f"{FUSED_KERNEL_ENV} must be >= 1, got {value}")
+        return value
+    if os.environ.get(FUSED_KERNEL_AUTOTUNE_ENV, "").strip().lower() in (
+            "1", "true", "yes", "on"):
+        if _kernel_autotuned is None:
+            _kernel_autotuned = autotune_fused_kernel_max_elements()
+        return _kernel_autotuned
+    return FUSED_KERNEL_MAX_ELEMENTS
 
 
 class SignIndicator:
@@ -91,16 +194,34 @@ class EngineStats:
     ``conversions`` / ``cycles_fed`` keep the hardware's view: every
     bit-cycle up to the highest live bit is fed and every fed cycle converts
     every fragment column (zero planes included), exactly as the original
-    per-bit loop counted them.  ``jobs_computed`` / ``jobs_skipped`` expose
-    the simulator's view: how many (bit-plane, fragment) kernel jobs the
-    fused engine actually evaluated versus masked out as all-zero.
+    per-bit loop counted them.  ``jobs_scheduled`` / ``jobs_skipped`` expose
+    the simulator's view at (bit-plane, fragment) granularity: how many
+    kernel jobs the scheduler emitted versus masked out as all-zero.
+    ``pairs_scheduled`` / ``pairs_skipped`` refine that to (bit-plane,
+    fragment, position) granularity — the accounting that is exact under the
+    sparse CSR scheduler, where silent positions are skipped inside an
+    otherwise-live job.
+
+    Kernel paths accumulate into a per-call (or per-worker) local instance
+    and :meth:`merge` it into the engine's stats once at the end; ``merge``
+    takes the target's lock, so engines are safe to share across worker
+    threads.
     """
 
     conversions: int = 0
     saturated: int = 0
     cycles_fed: int = 0
-    jobs_computed: int = 0
+    jobs_scheduled: int = 0
     jobs_skipped: int = 0
+    pairs_scheduled: int = 0
+    pairs_skipped: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  init=False, repr=False, compare=False)
+
+    @property
+    def jobs_computed(self) -> int:
+        """Backward-compatible alias of ``jobs_scheduled``."""
+        return self.jobs_scheduled
 
     @property
     def saturation_fraction(self) -> float:
@@ -109,15 +230,24 @@ class EngineStats:
     @property
     def skip_fraction(self) -> float:
         """Fraction of kernel jobs eliminated by bit-plane/fragment masking."""
-        total = self.jobs_computed + self.jobs_skipped
+        total = self.jobs_scheduled + self.jobs_skipped
         return self.jobs_skipped / total if total else 0.0
 
+    @property
+    def pair_skip_fraction(self) -> float:
+        """Fraction of (job, position) conversion groups never evaluated."""
+        total = self.pairs_scheduled + self.pairs_skipped
+        return self.pairs_skipped / total if total else 0.0
+
     def merge(self, other: "EngineStats") -> None:
-        self.conversions += other.conversions
-        self.saturated += other.saturated
-        self.cycles_fed += other.cycles_fed
-        self.jobs_computed += other.jobs_computed
-        self.jobs_skipped += other.jobs_skipped
+        with self._lock:
+            self.conversions += other.conversions
+            self.saturated += other.saturated
+            self.cycles_fed += other.cycles_fed
+            self.jobs_scheduled += other.jobs_scheduled
+            self.jobs_skipped += other.jobs_skipped
+            self.pairs_scheduled += other.pairs_scheduled
+            self.pairs_skipped += other.pairs_skipped
 
 
 class DieCache:
@@ -137,6 +267,11 @@ class DieCache:
     lab would do: program once, measure many).  Devices constructed without
     a seed draw irreproducible variation, so they are keyed by object
     identity instead and only share dies with themselves.
+
+    All cache operations hold an internal lock, so one cache can back
+    engine construction fanned out across ``repro.runtime`` workers
+    (programming is serialized under the lock — the point of the cache is
+    that it happens once per die anyway).
     """
 
     def __init__(self, maxsize: Optional[int] = 64):
@@ -146,6 +281,7 @@ class DieCache:
         self.hits = 0
         self.misses = 0
         self._planes: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._planes)
@@ -178,27 +314,29 @@ class DieCache:
         """
         codes_key = self._codes_key(codes)
         key = (self._device_key(device), codes_key)
-        plane = self._planes.get(key)
-        if plane is not None:
-            self.hits += 1
-            self._planes.move_to_end(key)
+        with self._lock:
+            plane = self._planes.get(key)
+            if plane is not None:
+                self.hits += 1
+                self._planes.move_to_end(key)
+                return plane
+            self.misses += 1
+            seed = getattr(device, "seed", None)
+            if device.variation_sigma > 0.0 and seed is not None:
+                digest = int(codes_key[-1][:16], 16)
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([int(seed), digest]))
+                plane = device.program(codes, rng=rng)
+            else:
+                plane = device.program(codes)
+            self._planes[key] = plane
+            if self.maxsize is not None and len(self._planes) > self.maxsize:
+                self._planes.popitem(last=False)
             return plane
-        self.misses += 1
-        seed = getattr(device, "seed", None)
-        if device.variation_sigma > 0.0 and seed is not None:
-            digest = int(codes_key[-1][:16], 16)
-            rng = np.random.default_rng(
-                np.random.SeedSequence([int(seed), digest]))
-            plane = device.program(codes, rng=rng)
-        else:
-            plane = device.program(codes)
-        self._planes[key] = plane
-        if self.maxsize is not None and len(self._planes) > self.maxsize:
-            self._planes.popitem(last=False)
-        return plane
 
     def clear(self) -> None:
-        self._planes.clear()
+        with self._lock:
+            self._planes.clear()
 
 
 class InSituLayerEngine:
@@ -219,16 +357,30 @@ class InSituLayerEngine:
     die_cache:
         Optional :class:`DieCache`; identical ``(codes, device)`` pairs then
         reuse one programmed die instead of re-programming per engine.
+    kernel_max_elements:
+        Per-engine kernel chunk budget; ``None`` defers to the process-wide
+        resolution (:func:`fused_kernel_max_elements`).
     """
 
     def __init__(self, mapped: MappedLayer, device: ReRAMDevice,
                  adc: Optional[ADCSpec] = None, activation_bits: int = 16,
-                 die_cache: Optional[DieCache] = None):
+                 die_cache: Optional[DieCache] = None,
+                 kernel_max_elements: Optional[int] = None):
         if activation_bits < 1:
             raise ValueError("activation_bits must be >= 1")
+        if kernel_max_elements is not None and kernel_max_elements < 1:
+            raise ValueError("kernel_max_elements must be >= 1")
         self.mapped = mapped
         self.device = device
         self.activation_bits = activation_bits
+        self.kernel_max_elements = kernel_max_elements
+        #: scheduling knobs of :meth:`matvec_int` — ``sparse_enabled``
+        #: selects the CSR job scheduler (ablation/benchmark knob; results
+        #: are bit-identical either way), ``pool`` fans independent job
+        #: chunks of one MVM across a :class:`repro.runtime.WorkerPool`.
+        self.sparse_enabled = True
+        self.sparse_min_task_elements = SPARSE_MIN_TASK_ELEMENTS
+        self.pool = None
         spec = mapped.spec
         geometry = mapped.geometry
         if adc is None:
@@ -257,12 +409,32 @@ class InSituLayerEngine:
             self._plane_terms = (("positive", 1), ("negative", -1))
         else:
             self._plane_terms = (("main", 1),)
-        # Constants of the exact-matmul shortcut, built lazily on the first
-        # ideal-tier dispatch: engines that can never take an ideal tier
-        # (noisy die, analog physics) must not pay for them per
-        # construction — that would undo exactly the setup cost DieCache
-        # eliminates across sweeps.
+        # Kernel-task constants (plane signs, signed place values, bit place
+        # values, fragment signs), hoisted out of the per-task hot path.
+        self._plane_signs = np.array([sign for _, sign in self._plane_terms],
+                                     dtype=np.int64)
+        self._plane_place_f = np.concatenate(
+            [sign * self._place for _, sign in self._plane_terms]
+        ).astype(np.float64)
+        self._frag_signs_arr = (
+            np.where(self.sign_indicator.bits == 1, -1, 1).astype(np.int64)
+            if self.sign_indicator is not None else None)
+        # Whether the sparse task's float64 recombination is provably exact:
+        # the worst partial result is one ADC code at full scale times the
+        # summed slice place values times the summed bit place values.
+        self._float_recombine_exact = (
+            float(self.adc.max_code)
+            * float(np.abs(self._plane_place_f).sum())
+            * float(np.int64(1) << activation_bits)) < float(1 << 53)
+        # Constants of the exact-matmul shortcut and the sparse integer
+        # kernel, built lazily on first dispatch: engines that can never
+        # take those tiers (noisy die, analog physics) must not pay for
+        # them per construction — that would undo exactly the setup cost
+        # DieCache eliminates across sweeps.
         self._exact_tier: Optional[Tuple[int, np.ndarray, np.ndarray, bool]] = None
+        self._codes_float: Optional[np.ndarray] = None
+        self._eff_stack: Optional[Tuple[np.ndarray, np.ndarray, bool]] = None
+        self._init_lock = threading.Lock()
         self.stats = EngineStats()
 
     def _exact_tier_constants(self) -> Tuple[int, np.ndarray, np.ndarray, bool]:
@@ -275,42 +447,109 @@ class InSituLayerEngine:
         with a float64 copy for the BLAS product — exact while every
         partial sum is an integer below 2**53, else the int64 product runs.
         """
-        if self._exact_tier is None:
-            mapped = self.mapped
-            headroom = max(int(codes.sum(axis=1).max(initial=0))
-                           for codes in mapped.code_planes.values())
-            eff = np.zeros(mapped.code_planes[self._plane_terms[0][0]].shape[:3],
-                           dtype=np.int64)
-            for plane, sign in self._plane_terms:
-                eff += sign * (mapped.code_planes[plane] * self._place).sum(axis=-1)
-            if self.sign_indicator is not None:
-                eff *= np.where(self.sign_indicator.bits == 1, -1, 1
-                                ).astype(np.int64)[:, None, :]
-            stack_int = eff.reshape(-1, mapped.geometry.cols)
-            worst = (mapped.geometry.padded_rows
-                     * int(np.abs(eff).max(initial=0))
-                     * ((1 << self.activation_bits) - 1))
-            self._exact_tier = (headroom, stack_int.astype(np.float64),
-                                stack_int, worst < (1 << 53))
-        return self._exact_tier
+        cached = self._exact_tier
+        if cached is not None:
+            return cached
+        # Fetch the shared effective-weight stack before taking the lock
+        # (plain Lock, not re-entrant).
+        _, eff_frag, _ = self._eff_stack_constants()
+        with self._init_lock:
+            if self._exact_tier is None:
+                mapped = self.mapped
+                headroom = max(int(codes.sum(axis=1).max(initial=0))
+                               for codes in mapped.code_planes.values())
+                if self._frag_signs_arr is not None:
+                    eff = eff_frag * self._frag_signs_arr[:, None, :]
+                else:
+                    eff = eff_frag
+                stack_int = eff.reshape(-1, mapped.geometry.cols)
+                worst = (mapped.geometry.padded_rows
+                         * int(np.abs(eff).max(initial=0))
+                         * ((1 << self.activation_bits) - 1))
+                self._exact_tier = (headroom, stack_int.astype(np.float64),
+                                    stack_int, worst < (1 << 53))
+            return self._exact_tier
+
+    def _codes_float_stack(self) -> np.ndarray:
+        """Per-fragment code planes as one float64 GEMM operand — cached.
+
+        Shape ``(n_frag, m, cols * slices * n_planes)``: the dual scheme's
+        positive and negative planes ride the same contraction, stacked
+        along the trailing slice axis (their signs live in the recombination
+        weights, not here).  Exact: every per-conversion dot product is a
+        sum of at most ``m`` products of small non-negative integers, far
+        below float64's 2**53 integer range.
+        """
+        cached = self._codes_float
+        if cached is not None:
+            return cached
+        with self._init_lock:
+            if self._codes_float is None:
+                mapped = self.mapped
+                stacked = np.concatenate(
+                    [mapped.code_planes[name] for name, _ in self._plane_terms],
+                    axis=-1)                       # (n_frag, m, cols, S)
+                n_frag, m = stacked.shape[:2]
+                self._codes_float = np.ascontiguousarray(
+                    stacked.reshape(n_frag, m, -1).astype(np.float64))
+            return self._codes_float
+
+    def _eff_stack_constants(self) -> Tuple[np.ndarray, np.ndarray, bool]:
+        """Per-fragment effective weights for the telescoped task tier.
+
+        ``(eff_float, eff_int, matmul_exact)`` where ``eff`` is
+        ``(n_frag, m, cols)`` — slice place values and plane signs folded,
+        fragment signs *not* (the task applies them at the end).  When no
+        conversion of a task can clip, the bit-serial pipeline telescopes
+        into ``values.T @ eff`` for that task; ``matmul_exact`` says the
+        float64 product is exact (worst partial sum below 2**53).
+        """
+        cached = self._eff_stack
+        if cached is not None:
+            return cached
+        with self._init_lock:
+            if self._eff_stack is None:
+                mapped = self.mapped
+                eff = np.zeros(
+                    mapped.code_planes[self._plane_terms[0][0]].shape[:3],
+                    dtype=np.int64)
+                for plane, sign in self._plane_terms:
+                    eff += sign * (mapped.code_planes[plane]
+                                   * self._place).sum(axis=-1)
+                worst = (mapped.geometry.fragment_size
+                         * int(np.abs(eff).max(initial=0))
+                         * ((1 << self.activation_bits) - 1))
+                self._eff_stack = (eff.astype(np.float64), eff,
+                                   worst < (1 << 53))
+            return self._eff_stack
+
+    def _kernel_budget(self) -> int:
+        """Chunk budget in effect for this engine's kernel calls."""
+        if self.kernel_max_elements is not None:
+            return self.kernel_max_elements
+        return fused_kernel_max_elements()
 
     # ------------------------------------------------------------------
     # Shared signal-path pieces
     # ------------------------------------------------------------------
-    def _job_currents(self, conductance: np.ndarray,
-                      drive: np.ndarray) -> np.ndarray:
+    def _job_currents(self, conductance: np.ndarray, drive: np.ndarray,
+                      noise_keys: Optional[Sequence[Tuple[int, ...]]] = None
+                      ) -> np.ndarray:
         """Analog bit-line currents for a batch of fragment reads.
 
         ``conductance``: (jobs, m, cols, slices); ``drive``: (jobs, m,
         positions) word-line levels.  Returns (jobs, positions, cols,
         slices).  The single override point for physics
         (:class:`~repro.reram.nonideal_engine.NonidealEngine` adds IR drop
-        and read noise here).
+        and read noise here).  ``noise_keys`` — one integer tuple per job —
+        identifies each job for deterministic per-job noise substreams;
+        the ideal read ignores it.
         """
         return self.device.spec.read_voltage * np.einsum(
             "jmp,jmcs->jpcs", drive, conductance, optimize=True)
 
-    def _convert_batch(self, held: np.ndarray, active: np.ndarray) -> np.ndarray:
+    def _convert_batch(self, held: np.ndarray, active: np.ndarray,
+                       stats: EngineStats) -> np.ndarray:
         """Pedestal-correct and ADC-convert one current batch.
 
         ``held``: (jobs, positions, cols, slices) sampled currents;
@@ -318,33 +557,44 @@ class InSituLayerEngine:
         slice codes (jobs, positions, cols, slices).  Saturation accounting
         covers both ADC rails: overflow past the full-scale code and
         underflow below zero (reachable with read noise / IR drop).
+        Accounting lands in ``stats`` (a per-call or per-worker local).
         """
         analog = (held - self._v_g_min * active[:, :, None, None]) * self._inv_v_g_step
         digital, saturated = self.adc.digitize(analog)
-        self.stats.conversions += digital.size
-        self.stats.saturated += saturated
+        stats.conversions += digital.size
+        stats.saturated += saturated
         return digital
 
-    def _digitize(self, held: np.ndarray, active: np.ndarray) -> np.ndarray:
+    def _digitize(self, held: np.ndarray, active: np.ndarray,
+                  stats: EngineStats) -> np.ndarray:
         """:meth:`_convert_batch` plus shift-and-add slice recombination.
 
         Returns digital fragment values (jobs, positions, cols).
         """
-        digital = self._convert_batch(held, active)
+        digital = self._convert_batch(held, active, stats)
         return np.einsum("jpcs,s->jpc", digital, self._place)
 
-    def _plane_pass(self, plane: str, bits_stack: np.ndarray) -> np.ndarray:
+    def _plane_pass(self, plane: str, plane_index: int, bit: int,
+                    bits_stack: np.ndarray, stats: EngineStats,
+                    digest: Optional[int]) -> np.ndarray:
         """One bit-cycle through one conductance plane (reference path).
 
         ``bits_stack``: (n_frag, m, positions) of 0/1.
         Returns digital fragment values (n_frag, positions, cols) after ADC
-        and slice recombination.
+        and slice recombination.  ``digest`` (the activation-block content
+        hash) seeds the per-job noise substreams so the reference path draws
+        the same noise as the fused kernel.
         """
         drive = self.dac.convert(bits_stack)
-        currents = self._job_currents(self.conductance[plane], drive)
+        keys = None
+        if digest is not None:
+            keys = [(digest, plane_index, bit, f)
+                    for f in range(bits_stack.shape[0])]
+        currents = self._job_currents(self.conductance[plane], drive,
+                                      noise_keys=keys)
         held = self.sample_hold.hold(currents, copy=False)
         active = bits_stack.sum(axis=1)                    # (n_frag, positions)
-        return self._digitize(held, active)
+        return self._digitize(held, active, stats)
 
     # ------------------------------------------------------------------
     # Input preparation
@@ -380,7 +630,7 @@ class InSituLayerEngine:
         return out
 
     # ------------------------------------------------------------------
-    # Fused bit-plane kernel (the fast path)
+    # Kernel configuration hooks
     # ------------------------------------------------------------------
     def _analog_model_active(self) -> bool:
         """Whether any stochastic/analog effect acts on the signal path."""
@@ -391,7 +641,7 @@ class InSituLayerEngine:
 
         True only with read noise: the ADC's zero rail rectifies zero-mean
         noise into a positive pedestal, so even silent fragments contribute.
-        The fused kernel must then feed the full job grid instead of masking
+        The kernel must then feed the full job grid instead of masking
         all-zero jobs (deterministic effects — IR drop, variation — map zero
         drive to zero current exactly, so masking stays lossless for them).
         """
@@ -419,28 +669,83 @@ class InSituLayerEngine:
         return (impl is InSituLayerEngine._job_currents
                 or getattr(impl, "_ideal_when_inactive", False))
 
-    def matvec_int(self, x_int: np.ndarray) -> np.ndarray:
+    def _input_digest(self, stacked: np.ndarray) -> int:
+        """Content hash of one activation block — the per-call component of
+        the noise substream keys.  Keying noise on (input block, job)
+        instead of call order makes noisy results independent of worker
+        count, chunk packing and evaluation order."""
+        return int.from_bytes(
+            hashlib.sha1(np.ascontiguousarray(stacked).tobytes()).digest()[:8],
+            "big")
+
+    def _fan_out(self, pool, run_one, tasks: List) -> List:
+        """Evaluate independent kernel tasks, optionally on a worker pool.
+
+        Each task runs against its own local :class:`EngineStats`; the
+        caller merges them at join, so no stats mutation is shared between
+        workers.  Returns ``[(result, stats), ...]`` in task order.
+        """
+
+        def wrapped(task):
+            local = EngineStats()
+            return run_one(task, local), local
+
+        if pool is None:
+            pool = self.pool
+        if pool is not None and getattr(pool, "workers", 1) > 1 and len(tasks) > 1:
+            return pool.map(wrapped, tasks)
+        return [wrapped(task) for task in tasks]
+
+    # ------------------------------------------------------------------
+    # Production path: sparse CSR job scheduler
+    # ------------------------------------------------------------------
+    def matvec_int(self, x_int: np.ndarray, pool=None) -> np.ndarray:
         """Integer MVM: returns ``(cols, positions)`` given ``(rows, positions)``.
 
         ``x_int`` holds unsigned ``activation_bits``-bit integers in im2col
         layout, rows already permuted to the layer's polarization policy.
 
-        All bit-cycles are evaluated through the fused bit-plane kernel;
-        (bit-plane, fragment) pairs with no live bits are masked out before
-        the contraction (zero-skipping at fragment granularity).  Three
-        tiers share the stats accounting and are all bit-exact against
+        The kernel schedules only the *nonzero structure* of the block: a
+        CSR-style job list of ``(fragment, live bits x live positions)``
+        grids built from the per-fragment OR of the activation bits.
+        All-zero bit-planes, silent fragments and silent positions are never
+        materialized, let alone evaluated.  Three tiers share the stats
+        accounting and are all bit-exact against
         :meth:`matvec_int_reference` — the anchor property:
 
         * **exact matmul** — ideal signal path *and* an ADC wide enough that
           clipping is impossible: the bit-serial pipeline telescopes into
-          one matmul against the pre-combined effective weight stack;
-        * **integer kernel** — ideal signal path with a clipping ADC: the
-          per-conversion dot products are computed in integer arithmetic and
-          clipped/counted exactly as the ADC would;
-        * **analog kernel** — any analog non-ideality (variation, IR drop,
-          read noise): the full float signal path, fused over job batches.
+          one matmul against the pre-combined effective weight stack,
+          compacted to the live positions;
+        * **integer kernel** — ideal signal path with a clipping ADC: each
+          fragment's live grid is one exact GEMM, clipped/counted exactly
+          as the ADC would;
+        * **analog kernel** — any deterministic analog non-ideality
+          (variation, IR drop): the full float signal path over the live
+          grid.  Read *noise* converts even silent fragments, so it forces
+          the dense grid (:meth:`matvec_int_dense`) with deterministic
+          per-job noise substreams.
+
+        ``pool`` (or the engine's ``pool`` attribute) fans independent job
+        chunks across ``repro.runtime`` workers; results and stats are
+        identical at any worker count.
         """
-        stacked = self._prepare(x_int)
+        if not self.sparse_enabled or self._conversion_noise_active():
+            return self._matvec_dense(self._prepare(x_int), pool)
+        return self._matvec_sparse(self._prepare(x_int), pool)
+
+    def matvec_int_dense(self, x_int: np.ndarray, pool=None) -> np.ndarray:
+        """The dense bit-plane kernel (the pre-scheduler production path).
+
+        Decomposes the whole block into a ``(bits, n_frag, m, positions)``
+        bit-plane tensor and masks (bit-plane, fragment) jobs only —
+        retained as the scheduling baseline of the perf suite and as the
+        forced path whenever read noise makes zero-skipping lossy.
+        Bit-identical to :meth:`matvec_int`.
+        """
+        return self._matvec_dense(self._prepare(x_int), pool)
+
+    def _matvec_sparse(self, stacked: np.ndarray, pool=None) -> np.ndarray:
         geometry = self.mapped.geometry
         n_frag, m, positions = stacked.shape
         cols = geometry.cols
@@ -452,6 +757,242 @@ class InSituLayerEngine:
         if n_bits == 0:
             return self._offset_correction(stacked, out)
 
+        # CSR construction: the OR over each fragment's rows is the complete
+        # nonzero structure — bit b of ``bits_or[f, p]`` says whether the
+        # (b, f) job has any live drive at position p.  No dense
+        # (bits, n_frag, m, positions) tensor is ever built.
+        bits_or = np.bitwise_or.reduce(stacked, axis=1)    # (n_frag, positions)
+        shifts = np.arange(n_bits, dtype=np.int64)
+        live = ((bits_or[None, :, :] >> shifts[:, None, None]) & 1
+                ).astype(bool)                             # (bits, n_frag, pos)
+        job_live = live.any(axis=2)                        # (bits, n_frag)
+        n_jobs = int(np.count_nonzero(job_live))
+        total_jobs = n_bits * n_frag
+        total_pairs = total_jobs * positions
+
+        # Hybrid dispatch: when the average per-fragment grid is too small
+        # to amortize a kernel task (many fragments, few positions), the
+        # dense masked kernel is the faster executor for the same schedule;
+        # likewise on the analog tier when position-level sparsity is
+        # negligible (the analog task has no telescoped shortcut, so a
+        # near-dense grid gains nothing over the one-einsum dense kernel).
+        # Both are pure dispatch decisions — results are bit-identical.
+        # Skipped for the exact-matmul tier, which has no per-fragment tasks.
+        ideal = self._signal_path_ideal()
+        exact_tier = (ideal and self._exact_tier_constants()[0]
+                      <= self.adc.max_code)
+        if not exact_tier:
+            live_bits_per_frag = job_live.sum(axis=0)      # (n_frag,)
+            live_pos_per_frag = (bits_or != 0).sum(axis=1)  # (n_frag,)
+            n_live_frag = int(np.count_nonzero(live_pos_per_frag))
+            scheduled = int((live_bits_per_frag * live_pos_per_frag).sum())
+            avg_task = (scheduled * cols * slices * n_planes
+                        / max(1, n_live_frag))
+            # sparse_min_task_elements == 0 disables both fallbacks (tests
+            # use it to pin the CSR path).
+            if self.sparse_min_task_elements:
+                if avg_task < self.sparse_min_task_elements:
+                    return self._matvec_dense(stacked, pool)
+                if not ideal and scheduled > 0.9 * n_jobs * positions:
+                    return self._matvec_dense(stacked, pool)
+
+        local = EngineStats()
+        local.cycles_fed += n_bits
+        local.jobs_scheduled += n_jobs * n_planes
+        local.jobs_skipped += (total_jobs - n_jobs) * n_planes
+
+        if exact_tier:
+            # Exact-matmul tier: no conversion can clip (the worst-case
+            # fragment partial sum fits the ADC), so slice recombination,
+            # bit recombination, fragment signs and plane signs telescope
+            # into one matmul — over the live positions only.
+            _, stack_f, stack_i, matmul_exact = self._exact_tier_constants()
+            live_p = bits_or.any(axis=0)                   # (positions,)
+            k = int(np.count_nonzero(live_p))
+            local.pairs_scheduled += n_jobs * k * n_planes
+            local.pairs_skipped += (total_pairs - n_jobs * k) * n_planes
+            local.conversions += total_pairs * n_planes * cols * slices
+            if k:
+                flat = (stacked[:, :, live_p] if k < positions else stacked
+                        ).reshape(n_frag * m, k)
+                if matmul_exact:
+                    sub = np.rint(stack_f.T @ flat.astype(np.float64)
+                                  ).astype(np.int64)
+                else:  # exactness bound exceeded: integer contraction
+                    sub = stack_i.T @ flat
+                if k < positions:
+                    out[:, live_p] = sub
+                else:
+                    out = sub
+            self.stats.merge(local)
+            return self._offset_correction(stacked, out)
+
+        # Kernel tiers: one task per (fragment, position chunk), each a
+        # ``live bits x live positions`` grid.  Tasks are independent —
+        # they touch disjoint (fragment, position) conversions — so they
+        # can fan out across workers; accumulation happens at join.
+        budget = self._kernel_budget()
+        mem_factor = self._job_memory_factor(m)
+        tasks: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        scheduled_pairs = 0
+        for f in range(n_frag):
+            lp = np.nonzero(bits_or[f])[0]
+            if lp.size == 0:
+                continue
+            lb = np.nonzero(job_live[:, f])[0]
+            scheduled_pairs += lb.size * lp.size
+            per_pos = max(1, lb.size * n_planes * cols * slices * mem_factor)
+            chunk = max(1, budget // per_pos)
+            for start in range(0, lp.size, chunk):
+                tasks.append((f, lb, lp[start:start + chunk]))
+        local.pairs_scheduled += scheduled_pairs * n_planes
+        local.pairs_skipped += (total_pairs - scheduled_pairs) * n_planes
+        # Hardware view: the skipped conversions still happen (a silent
+        # fragment column converts code 0); account them without computing.
+        local.conversions += ((total_pairs - scheduled_pairs)
+                              * n_planes * cols * slices)
+
+        bit_weight = (np.int64(1) << shifts)
+        run = (self._run_sparse_task_ideal if ideal
+               else self._run_sparse_task_analog)
+        for (f, lp, res), task_stats in self._fan_out(
+                pool, lambda task, st: run(stacked, bit_weight, task, st),
+                tasks):
+            out[:, lp] += res.T
+            local.merge(task_stats)
+        self.stats.merge(local)
+        return self._offset_correction(stacked, out)
+
+    def _frag_signs(self) -> Optional[np.ndarray]:
+        return self._frag_signs_arr
+
+    def _run_sparse_task_ideal(self, stacked: np.ndarray,
+                               bit_weight: np.ndarray,
+                               task: Tuple[int, np.ndarray, np.ndarray],
+                               stats: EngineStats):
+        """Integer-kernel tier for one (fragment, live grid) task.
+
+        Each conversion is the exact integer dot product, computed as one
+        float64 GEMM (exact: sums of small non-negative integers) and
+        clipped/counted exactly as the ADC rounds.
+
+        Before expanding bit-planes, the task tests a cheap clipping bound:
+        every conversion's dot product is bounded by the same contraction
+        over the *nonzero mask* of the fragment's rows (a bit of a value is
+        live only where the value is).  When that bound fits the ADC, no
+        conversion of this task can clip and the bit-serial pipeline
+        telescopes into one value-level GEMM against the effective weight
+        stack — the data-dependent, per-task version of the exact-matmul
+        tier (the hardware's "typical-case sums don't saturate" argument,
+        applied opportunistically and provably).
+        """
+        f, lb, lp = task
+        m = stacked.shape[1]
+        cols = self.mapped.geometry.cols
+        slices = self.mapped.slices
+        n_planes = len(self._plane_terms)
+        sub = stacked[f][:, lp]                            # (m, K)
+        max_code = float(self.adc.max_code)
+        if lb.size > 1:
+            nz = (sub != 0).T.astype(np.float64)           # (K, m)
+            bound = nz @ self._codes_float_stack()[f]      # (K, cols*S)
+            if bound.max(initial=0.0) <= max_code:
+                stats.conversions += (lb.size * lp.size * cols * slices
+                                      * n_planes)
+                eff_f, eff_i, exact = self._eff_stack_constants()
+                if exact:
+                    res = np.rint(sub.T.astype(np.float64)
+                                  @ eff_f[f]).astype(np.int64)
+                else:
+                    res = sub.T @ eff_i[f]                 # (K, cols)
+                frag_signs = self._frag_signs()
+                if frag_signs is not None:
+                    res = res * frag_signs[f]
+                return f, lp, res
+        bits = (sub[None, :, :] >> lb[:, None, None]) & 1
+        gemm_in = bits.transpose(0, 2, 1).reshape(-1, m).astype(np.float64)
+        dots = gemm_in @ self._codes_float_stack()[f]      # (B*K, cols*S)
+        # Integer tier underflow is impossible (bits and codes are
+        # non-negative), so only the full-scale rail can clip.
+        digital = np.minimum(dots, float(self.adc.max_code))
+        stats.conversions += dots.size
+        stats.saturated += int(np.count_nonzero(digital != dots))
+        # Recombination in float64 BLAS when provably exact (the engine
+        # checks the worst partial result against 2**53 at construction),
+        # else in an int64 contraction.  The trailing GEMM axis is
+        # (cols, planes, slices) — _codes_float_stack's stacking order —
+        # and _plane_place_f carries the plane signs.
+        if self._float_recombine_exact:
+            combined = (digital.reshape(-1, cols, n_planes * slices)
+                        @ self._plane_place_f).reshape(lb.size, lp.size, cols)
+            res = np.tensordot(bit_weight[lb].astype(np.float64), combined,
+                               axes=([0], [0]))            # (K, cols)
+            res = np.rint(res).astype(np.int64)
+        else:
+            vals = digital.astype(np.int64).reshape(
+                lb.size, lp.size, cols, n_planes, slices)
+            res = np.einsum("bkcns,s,n,b->kc", vals, self._place,
+                            self._plane_signs, bit_weight[lb], optimize=True)
+        frag_signs = self._frag_signs()
+        if frag_signs is not None:
+            res = res * frag_signs[f]
+        return f, lp, res
+
+    def _run_sparse_task_analog(self, stacked: np.ndarray,
+                                bit_weight: np.ndarray,
+                                task: Tuple[int, np.ndarray, np.ndarray],
+                                stats: EngineStats):
+        """Analog-kernel tier for one (fragment, live grid) task.
+
+        Runs the full float signal path — the dual scheme's planes stacked
+        along the jobs axis — over the fragment's live bits and positions
+        only.  Deterministic physics map zero drive to code 0 exactly, so
+        dropping silent conversions is lossless (asserted bit-exact against
+        the reference loop).
+        """
+        f, lb, lp = task
+        cols = self.mapped.geometry.cols
+        slices = self.mapped.slices
+        n_planes = len(self._plane_terms)
+        bits = (stacked[f][:, lp][None, :, :] >> lb[:, None, None]) & 1
+        drive = self.dac.convert(bits)                     # (B, m, K)
+        active = bits.sum(axis=1, dtype=np.int64)          # (B, K)
+        B = lb.size
+        cond = np.concatenate(
+            [np.broadcast_to(self.conductance[name][f],
+                             (B,) + self.conductance[name][f].shape)
+             for name, _ in self._plane_terms])            # (B*n, m, cols, s)
+        if n_planes > 1:
+            drive = np.concatenate([drive] * n_planes)
+            active = np.concatenate([active] * n_planes)
+        currents = self._job_currents(cond, drive)
+        held = self.sample_hold.hold(currents, copy=False)
+        digital = self._convert_batch(held, active, stats)  # (B*n, K, cols, s)
+        vals = digital.reshape(n_planes, B, lp.size, cols, slices)
+        res = np.einsum("nbkcs,s,n,b->kc", vals, self._place,
+                        self._plane_signs, bit_weight[lb],
+                        optimize=True)                      # (K, cols)
+        frag_signs = self._frag_signs()
+        if frag_signs is not None:
+            res = res * frag_signs[f]
+        return f, lp, res
+
+    # ------------------------------------------------------------------
+    # Dense bit-plane kernel (the scheduling baseline / noise path)
+    # ------------------------------------------------------------------
+    def _matvec_dense(self, stacked: np.ndarray, pool=None) -> np.ndarray:
+        geometry = self.mapped.geometry
+        n_frag, m, positions = stacked.shape
+        cols = geometry.cols
+        slices = self.mapped.slices
+        n_planes = len(self._plane_terms)
+
+        out = np.zeros((cols, positions), dtype=np.int64)
+        n_bits = int(stacked.max(initial=0)).bit_length()
+        if n_bits == 0:
+            return self._offset_correction(stacked, out)
+
+        local = EngineStats()
         # (bits, n_frag, m, positions) bit-plane tensor, LSB first.
         shifts = np.arange(n_bits, dtype=np.int64)
         planes = ((stacked[None, ...] >> shifts[:, None, None, None]) & 1
@@ -463,17 +1004,21 @@ class InSituLayerEngine:
         # hardware's terms (identical to the per-bit reference loop).  With
         # conversion noise the mask must stay full: silent fragments still
         # convert, and the ADC rectifies their noise into a real pedestal.
-        if self._conversion_noise_active():
+        noisy = self._conversion_noise_active()
+        if noisy:
             live = np.ones((n_bits, n_frag), dtype=bool)
         else:
             live = planes.any(axis=(2, 3))
         bits_idx, frag_idx = np.nonzero(live)
         n_jobs = bits_idx.size
-        self.stats.cycles_fed += n_bits
-        self.stats.jobs_computed += n_jobs * n_planes
-        self.stats.jobs_skipped += (n_bits * n_frag - n_jobs) * n_planes
-        self.stats.conversions += ((n_bits * n_frag - n_jobs)
-                                   * positions * cols * slices * n_planes)
+        local.cycles_fed += n_bits
+        local.jobs_scheduled += n_jobs * n_planes
+        local.jobs_skipped += (n_bits * n_frag - n_jobs) * n_planes
+        local.pairs_scheduled += n_jobs * positions * n_planes
+        local.pairs_skipped += (n_bits * n_frag - n_jobs) * positions * n_planes
+        local.conversions += ((n_bits * n_frag - n_jobs)
+                              * positions * cols * slices * n_planes)
+        digest = self._input_digest(stacked) if noisy else None
 
         ideal = self._signal_path_ideal()
         if ideal:
@@ -483,14 +1028,15 @@ class InSituLayerEngine:
                 # fragment partial sum fits the ADC), so slice recombination,
                 # bit recombination, fragment signs and plane signs telescope
                 # into one matmul against the effective weight stack.
-                self.stats.conversions += (n_jobs * positions * cols * slices
-                                           * n_planes)
+                local.conversions += (n_jobs * positions * cols * slices
+                                      * n_planes)
                 flat = stacked.reshape(n_frag * m, positions)
                 if matmul_exact:
                     out += np.rint(stack_f.T @ flat.astype(np.float64)
                                    ).astype(np.int64)
                 else:  # exactness bound exceeded: integer contraction instead
                     out += stack_i.T @ flat
+                self.stats.merge(local)
                 return self._offset_correction(stacked, out)
 
         # Per-(job, slice) shift-and-add weights: ADC place value x input-bit
@@ -499,19 +1045,18 @@ class InSituLayerEngine:
         # chunk, so no (bits, n_frag, positions, cols) accumulator is ever
         # materialized.
         bit_weight = (np.int64(1) << bits_idx.astype(np.int64))    # (n_jobs,)
-        if self.sign_indicator is not None:
-            frag_signs = np.where(self.sign_indicator.bits == 1, -1, 1
-                                  ).astype(np.int64)               # (F, C)
-        else:
-            frag_signs = None
+        frag_signs = self._frag_signs()
 
-        acc = np.zeros((positions, cols), dtype=np.int64)
         per_job = max(1, positions * cols * slices * n_planes
                       * self._job_memory_factor(m))
-        chunk = max(1, FUSED_KERNEL_MAX_ELEMENTS // per_job)
-        for start in range(0, n_jobs, chunk):
-            b = bits_idx[start:start + chunk]
-            f = frag_idx[start:start + chunk]
+        chunk = max(1, self._kernel_budget() // per_job)
+        chunks = [(start, min(start + chunk, n_jobs))
+                  for start in range(0, n_jobs, chunk)]
+
+        def run_chunk(bounds: Tuple[int, int], stats: EngineStats) -> np.ndarray:
+            start, stop = bounds
+            b = bits_idx[start:stop]
+            f = frag_idx[start:stop]
             j = b.size
             bit_planes = planes[b, f]                      # (j, m, positions)
             slice_w = bit_weight[start:start + j, None] * self._place[None, :]
@@ -535,8 +1080,8 @@ class InSituLayerEngine:
                 dots = np.einsum("jmp,jmcs->jpcs", bits_in, codes,
                                  optimize=True)
                 digital = np.clip(dots, 0, self.adc.max_code)
-                self.stats.conversions += dots.size
-                self.stats.saturated += int(np.count_nonzero(digital != dots))
+                stats.conversions += dots.size
+                stats.saturated += int(np.count_nonzero(digital != dots))
             else:
                 drive = self.dac.convert(bit_planes)
                 active = bit_planes.sum(axis=1, dtype=np.int64)
@@ -544,19 +1089,29 @@ class InSituLayerEngine:
                         if n_planes == 1 else np.concatenate(
                             [self.conductance[name][f]
                              for name, _ in self._plane_terms]))
+                keys = None
+                if digest is not None:
+                    keys = [(digest, pi, int(bb), int(ff))
+                            for pi in range(n_planes)
+                            for bb, ff in zip(b, f)]
                 if n_planes > 1:
                     drive = np.concatenate([drive] * n_planes)
                     active = np.concatenate([active] * n_planes)
-                currents = self._job_currents(cond, drive)
+                currents = self._job_currents(cond, drive, noise_keys=keys)
                 held = self.sample_hold.hold(currents, copy=False)
-                digital = self._convert_batch(held, active)
+                digital = self._convert_batch(held, active, stats)
             if col_w is None:
-                acc += np.einsum("jpcs,js->pc", digital, slice_w,
+                return np.einsum("jpcs,js->pc", digital, slice_w,
                                  optimize=True)
-            else:
-                acc += np.einsum("jpcs,js,jc->pc", digital, slice_w, col_w,
-                                 optimize=True)
+            return np.einsum("jpcs,js,jc->pc", digital, slice_w, col_w,
+                             optimize=True)
+
+        acc = np.zeros((positions, cols), dtype=np.int64)
+        for partial, chunk_stats in self._fan_out(pool, run_chunk, chunks):
+            acc += partial
+            local.merge(chunk_stats)
         out += acc.T
+        self.stats.merge(local)
         return self._offset_correction(stacked, out)
 
     # ------------------------------------------------------------------
@@ -566,13 +1121,19 @@ class InSituLayerEngine:
         """Cycle-by-cycle MVM: the original bit-serial loop, kept forever.
 
         Semantically identical to :meth:`matvec_int` (asserted across all
-        schemes in ``tests/reram/test_engine_fused.py``) but evaluates one
-        bit-plane per Python iteration — the bit-exactness oracle and the
-        baseline of ``benchmarks/run_perf_suite.py``.
+        schemes in ``tests/reram/test_engine_fused.py`` and
+        ``tests/reram/test_engine_sparse.py``) but evaluates one bit-plane
+        per Python iteration — the bit-exactness oracle and the baseline of
+        ``benchmarks/run_perf_suite.py``.  With read noise it draws the
+        same per-job substreams as the production path, so even noisy
+        engines are bit-exact across paths.
         """
         stacked = self._prepare(x_int)
         positions = stacked.shape[-1]
         geometry = self.mapped.geometry
+        local = EngineStats()
+        digest = (self._input_digest(stacked)
+                  if self._conversion_noise_active() else None)
 
         out = np.zeros((geometry.cols, positions), dtype=np.int64)
         for bit in range(self.activation_bits):
@@ -580,16 +1141,20 @@ class InSituLayerEngine:
             if not remaining.any():
                 break  # zero-skipping: every shift register is empty
             bits_stack = remaining & 1
-            self.stats.cycles_fed += 1
-            self.stats.jobs_computed += stacked.shape[0] * len(self._plane_terms)
+            local.cycles_fed += 1
+            local.jobs_scheduled += stacked.shape[0] * len(self._plane_terms)
+            local.pairs_scheduled += (stacked.shape[0] * positions
+                                      * len(self._plane_terms))
             frag = np.zeros((stacked.shape[0], positions, geometry.cols),
                             dtype=np.int64)
-            for plane, sign in self._plane_terms:
-                frag += sign * self._plane_pass(plane, bits_stack)
+            for plane_index, (plane, sign) in enumerate(self._plane_terms):
+                frag += sign * self._plane_pass(plane, plane_index, bit,
+                                                bits_stack, local, digest)
             if self.sign_indicator is not None:
                 frag = self.sign_indicator.apply(np.transpose(frag, (0, 2, 1)))
                 frag = np.transpose(frag, (0, 2, 1))
             out += (1 << bit) * frag.sum(axis=0).T          # (cols, positions)
+        self.stats.merge(local)
         return self._offset_correction(stacked, out)
 
     def matvec_float(self, x_int: np.ndarray, weight_scale: float,
@@ -603,7 +1168,8 @@ def build_engine(levels_matrix: np.ndarray, geometry: FragmentGeometry,
                  scheme: str = "forms", signs: Optional[np.ndarray] = None,
                  adc: Optional[ADCSpec] = None,
                  activation_bits: int = 16,
-                 die_cache: Optional[DieCache] = None) -> InSituLayerEngine:
+                 die_cache: Optional[DieCache] = None,
+                 kernel_max_elements: Optional[int] = None) -> InSituLayerEngine:
     """Map integer levels and construct the engine in one step."""
     if scheme == "forms" and signs is None:
         from .mapping import infer_signs
@@ -611,7 +1177,8 @@ def build_engine(levels_matrix: np.ndarray, geometry: FragmentGeometry,
     mapped = map_layer(levels_matrix, geometry, spec, scheme=scheme, signs=signs)
     return InSituLayerEngine(mapped, device, adc=adc,
                              activation_bits=activation_bits,
-                             die_cache=die_cache)
+                             die_cache=die_cache,
+                             kernel_max_elements=kernel_max_elements)
 
 
 # ---------------------------------------------------------------------------

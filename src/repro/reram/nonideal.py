@@ -78,20 +78,70 @@ class CellIV:
     which satisfies ``I(v_read) = g * v_read`` exactly and loses current
     superlinearly as IR drop pulls ``dv`` below ``v_read``.  ``nonlinearity``
     (k) of 0 recovers the linear cell; 2-3 is typical for HfOx ReRAM.
+
+    ``table_points > 0`` evaluates the sinh through a precomputed uniform
+    interpolation table over ``|dv| <= table_range * v_read`` instead of the
+    transcendental — the hot-loop form of the analog engine tier.  The
+    interpolation error is orders of magnitude below the ADC's rounding
+    threshold (asserted against the closed form in the tests), and voltages
+    outside the tabulated range fall back to the closed form, so the table
+    is an accuracy-neutral speed knob.
     """
 
     nonlinearity: float = 2.0
     v_read: float = 0.3
+    table_points: int = 0
+    table_range: float = 1.5
 
     def __post_init__(self):
         if self.nonlinearity < 0:
             raise ValueError("nonlinearity must be non-negative")
         if self.v_read <= 0:
             raise ValueError("v_read must be positive")
+        if self.table_points < 0:
+            raise ValueError("table_points must be non-negative")
+        if self.table_points and self.table_points < 2:
+            raise ValueError("a usable table needs at least 2 points")
+        if self.table_range <= 0:
+            raise ValueError("table_range must be positive")
 
     @property
     def is_linear(self) -> bool:
         return self.nonlinearity == 0.0
+
+    def tabulated(self, points: int = 8193) -> "CellIV":
+        """Copy of this curve with the sinh lookup table enabled."""
+        from dataclasses import replace
+        return replace(self, table_points=points)
+
+    def _table(self):
+        """Cached ``(inv_step, values)`` of sinh(k u)/sinh(k), u in +-range."""
+        cached = getattr(self, "_table_cache", None)
+        if cached is None:
+            k = self.nonlinearity
+            u = np.linspace(-self.table_range, self.table_range,
+                            self.table_points)
+            values = np.sinh(k * u) / np.sinh(k)
+            inv_step = (self.table_points - 1) / (2.0 * self.table_range)
+            cached = (inv_step, values)
+            object.__setattr__(self, "_table_cache", cached)  # frozen class
+        return cached
+
+    def _sinh_ratio(self, u: np.ndarray) -> np.ndarray:
+        """sinh(k u)/sinh(k) — tabulated linear interpolation when enabled."""
+        k = self.nonlinearity
+        if not self.table_points:
+            return np.sinh(k * u) / np.sinh(k)
+        inv_step, values = self._table()
+        pos = (u + self.table_range) * inv_step
+        idx = np.clip(np.floor(pos), 0, self.table_points - 2).astype(np.intp)
+        frac = pos - idx
+        lo = values[idx]
+        interp = lo + (values[idx + 1] - lo) * frac
+        outside = np.abs(u) > self.table_range
+        if np.any(outside):
+            interp = np.where(outside, np.sinh(k * u) / np.sinh(k), interp)
+        return interp
 
     def current(self, g: np.ndarray, dv: np.ndarray) -> np.ndarray:
         """Cell current at chord conductance ``g`` and applied voltage ``dv``."""
@@ -99,8 +149,7 @@ class CellIV:
         dv = np.asarray(dv, dtype=np.float64)
         if self.is_linear:
             return g * dv
-        k = self.nonlinearity
-        return g * self.v_read * np.sinh(k * dv / self.v_read) / np.sinh(k)
+        return g * self.v_read * self._sinh_ratio(dv / self.v_read)
 
     def effective_conductance(self, g: np.ndarray, dv: np.ndarray) -> np.ndarray:
         """Secant conductance ``I(dv)/dv`` with a finite ``dv -> 0`` limit."""
@@ -475,6 +524,24 @@ class ReadNoise:
     ``relative_sigma`` scales the noise to the full-scale fragment current
     (``m`` cells at ``g_max`` driven at the read voltage), matching how ADC
     input-referred noise is specified [32].
+
+    Two draw disciplines coexist:
+
+    * :meth:`apply` consumes a sequential stream — the draw depends on call
+      history (a fresh physical read every time);
+    * :meth:`apply_jobs` draws each kernel job from a *substream* keyed by
+      the job's identity (activation-block content hash, plane, bit-plane,
+      fragment).  The draw is then a pure function of (noise seed, input,
+      job), independent of chunk packing, evaluation order and worker
+      count — the property that makes noisy engine results bit-identical
+      across the fused kernel, the reference loop and any
+      ``repro.runtime`` worker configuration.  The trade-off is that
+      re-running the *same* input block repeats the same noise; treat the
+      seed as selecting one noise realization per distinct input.
+
+    An unseeded model draws a fresh base seed at construction, so
+    substreams stay deterministic *within* one instance but differ across
+    instances — matching the unseeded contract of the sequential stream.
     """
 
     relative_sigma: float = 0.005
@@ -487,6 +554,10 @@ class ReadNoise:
         if self.full_scale_a <= 0:
             raise ValueError("full_scale_a must be positive")
         self._rng = np.random.default_rng(self.seed)
+        if self.seed is not None:
+            self._base_seed = int(self.seed)
+        else:
+            self._base_seed = int(np.random.SeedSequence().entropy) % (1 << 63)
 
     @classmethod
     def for_fragment(cls, fragment_size: int, g_max: float,
@@ -502,6 +573,29 @@ class ReadNoise:
         sigma = self.relative_sigma * self.full_scale_a
         noise = self._rng.normal(0.0, sigma, size=np.shape(currents))
         return np.asarray(currents, dtype=np.float64) + noise
+
+    def substream(self, key) -> np.random.Generator:
+        """Deterministic generator for one job key (non-negative ints)."""
+        return np.random.default_rng(
+            np.random.SeedSequence([self._base_seed, *map(int, key)]))
+
+    def apply_jobs(self, currents: np.ndarray, keys) -> np.ndarray:
+        """Per-job keyed noise on a ``(jobs, ...)`` current batch.
+
+        ``keys`` carries one identity tuple per job along the leading axis;
+        each job's noise comes from its own substream, so the result does
+        not depend on how jobs were packed into this batch.
+        """
+        out = np.asarray(currents, dtype=np.float64).copy()
+        if self.relative_sigma == 0.0:
+            return out
+        if len(keys) != out.shape[0]:
+            raise ValueError(f"{len(keys)} keys for {out.shape[0]} jobs")
+        sigma = self.relative_sigma * self.full_scale_a
+        for j, key in enumerate(keys):
+            out[j] += self.substream(key).normal(0.0, sigma,
+                                                 size=out[j].shape)
+        return out
 
     def snr_db(self, signal_rms_a: float) -> float:
         """Signal-to-noise ratio of a given RMS signal current."""

@@ -51,7 +51,20 @@ class NonidealEngine(InSituLayerEngine):
         fragment conversion — across fragments FORMS converts separately,
         which is exactly the granularity advantage).
     read_noise:
-        Additive Gaussian current noise at the sample-and-hold.
+        Additive Gaussian current noise at the sample-and-hold.  Kernel
+        and reference paths draw it through per-job keyed substreams
+        (:meth:`~repro.reram.nonideal.ReadNoise.apply_jobs`), so noisy
+        results are bit-identical across execution paths and worker
+        counts.
+    kernel_max_elements:
+        Per-engine kernel chunk budget (see
+        :class:`~repro.reram.engine.InSituLayerEngine`).
+    auto_tabulate:
+        Swap a nonlinear ``cell_iv`` for its interpolation table
+        (:meth:`~repro.reram.nonideal.CellIV.tabulated`) — bit-exact
+        within ADC quantization; off by default because NumPy's SIMD
+        ``np.sinh`` measures faster (``cell_iv_sinh_table`` in the perf
+        suite).
     """
 
     def __init__(self, mapped: MappedLayer, device: ReRAMDevice,
@@ -60,7 +73,9 @@ class NonidealEngine(InSituLayerEngine):
                  wire: Optional[WireModel] = None,
                  cell_iv: Optional[CellIV] = None,
                  read_noise: Optional[ReadNoise] = None,
-                 die_cache: Optional[DieCache] = None):
+                 die_cache: Optional[DieCache] = None,
+                 kernel_max_elements: Optional[int] = None,
+                 auto_tabulate: bool = False):
         if (wire is None) != (cell_iv is None):
             raise ValueError("wire and cell_iv must be supplied together")
         self.fault_fraction = 0.0
@@ -78,8 +93,18 @@ class NonidealEngine(InSituLayerEngine):
                                  signs=mapped.signs, offset=mapped.offset)
             self.fault_fraction = faulted / total if total else 0.0
         super().__init__(mapped, device, adc=adc,
-                         activation_bits=activation_bits, die_cache=die_cache)
+                         activation_bits=activation_bits, die_cache=die_cache,
+                         kernel_max_elements=kernel_max_elements)
         self.wire = wire
+        # ``auto_tabulate`` swaps the sinh cell curve for its precomputed
+        # interpolation table (CellIV.tabulated) — bit-exact within ADC
+        # quantization, asserted against the closed form in the tests.  It
+        # defaults off because NumPy >= 2's SIMD-vectorized np.sinh beats
+        # any multi-pass gather on current hardware (measured in the perf
+        # suite); the knob exists for platforms with slow transcendentals.
+        if (auto_tabulate and cell_iv is not None and not cell_iv.is_linear
+                and cell_iv.table_points == 0):
+            cell_iv = cell_iv.tabulated()
         self.cell_iv = cell_iv
         self.read_noise = read_noise
 
@@ -95,8 +120,8 @@ class NonidealEngine(InSituLayerEngine):
         # intermediates per job; read-noise-only engines use the plain read.
         return 6 * m if self.wire is not None else 1
 
-    def _job_currents(self, conductance: np.ndarray,
-                      drive: np.ndarray) -> np.ndarray:
+    def _job_currents(self, conductance: np.ndarray, drive: np.ndarray,
+                      noise_keys=None) -> np.ndarray:
         """Column currents for one job batch, with the configured physics.
 
         ``conductance``: (jobs, m, cols, slices); ``drive``: (jobs, m,
@@ -105,6 +130,11 @@ class NonidealEngine(InSituLayerEngine):
         m rows and its column wiring are the electrical extent), so the
         IR-drop network is solved per job — batched over the whole jobs
         axis in a single :func:`first_order_currents` call.
+
+        ``noise_keys`` (one identity tuple per job, supplied by both the
+        fused kernel and the reference loop) routes read noise through
+        deterministic per-job substreams, making noisy results independent
+        of job packing, evaluation order and worker count.
         """
         spec = self.device.spec
         if self.wire is None:
@@ -116,7 +146,10 @@ class NonidealEngine(InSituLayerEngine):
                                        self.wire, cell_iv=self.cell_iv)
             currents = out.reshape(jobs, cols, slices, -1).transpose(0, 3, 1, 2)
         if self.read_noise is not None:
-            currents = self.read_noise.apply(currents)
+            if noise_keys is not None:
+                currents = self.read_noise.apply_jobs(currents, noise_keys)
+            else:
+                currents = self.read_noise.apply(currents)
         return currents
 
     # With wire/noise off, _job_currents reduces to the parent's ideal read,

@@ -1,0 +1,26 @@
+"""Parallel execution runtime for the in-situ simulation stack.
+
+The scheduler/executor split of the engine layer: the engines *schedule*
+work (CSR job lists over the activation block's nonzero structure — see
+``repro.reram.engine``), this package *executes* it — independent job
+chunks within one MVM, independent batch tiles across a whole-network
+forward pass, and independent sweep points across DSE/ablation grids all
+fan out over one :class:`WorkerPool`.
+
+Determinism is a hard contract: every fan-out path produces bit-identical
+results and identical :class:`~repro.reram.engine.EngineStats` at any
+worker count (including 1 and the no-pool serial path).  Engines keep
+per-worker stats locals merged under a lock at join, and
+:class:`~repro.reram.nonideal.ReadNoise` draws per-job keyed substreams,
+so even noisy inference is worker-count invariant.
+"""
+
+from .executor import WorkerPool, parallel_map, resolve_workers
+from .network import (attach_pool, detach_pool, evaluate_tiled, infer_tiled,
+                      run_network_serial)
+
+__all__ = [
+    "WorkerPool", "parallel_map", "resolve_workers",
+    "attach_pool", "detach_pool", "evaluate_tiled", "infer_tiled",
+    "run_network_serial",
+]

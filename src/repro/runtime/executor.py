@@ -1,0 +1,119 @@
+"""Worker-pool executor for independent simulation jobs.
+
+A thin, deterministic wrapper over :class:`concurrent.futures.
+ThreadPoolExecutor`.  Threads are the right pool for this stack: the hot
+kernels are NumPy contractions that release the GIL, engine state
+(conductance planes, code planes, constants) is read-only at run time and
+shared for free, and the engines' stats discipline (per-worker locals,
+locked merge at join) makes concurrent calls safe.
+
+Three properties the callers rely on:
+
+* **Ordered results** — :meth:`WorkerPool.map` returns results in item
+  order regardless of completion order.
+* **Eager errors** — the first worker exception propagates to the caller
+  (remaining futures are cancelled where possible).
+* **Re-entrancy** — a ``map`` issued *from inside* a worker thread runs
+  inline instead of deadlocking on the pool's own capacity, so layer-level
+  fan-out composes with tile-level fan-out without a worker budget
+  negotiation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment override of the default worker count
+WORKERS_ENV = "FORMS_WORKERS"
+
+_WORKER_THREAD_PREFIX = "forms-worker"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count in effect: explicit > ``FORMS_WORKERS`` > CPU count."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return workers
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        value = int(env)
+        if value < 1:
+            raise ValueError(f"{WORKERS_ENV} must be >= 1, got {value}")
+        return value
+    return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """A fixed-size thread pool with ordered, eager-error mapping.
+
+    ``workers=1`` (or mapping a single item) short-circuits to inline
+    execution — the serial path and the pooled path run the identical
+    code, which is what makes "bit-identical at any worker count" a
+    structural property rather than a test hope.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = resolve_workers(workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        if self.workers > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix=_WORKER_THREAD_PREFIX)
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, returning results in item order."""
+        items = list(items)
+        if (self._executor is None or len(items) <= 1
+                or threading.current_thread().name.startswith(
+                    _WORKER_THREAD_PREFIX)):
+            return [fn(item) for item in items]
+        futures = [self._executor.submit(fn, item) for item in items]
+        results: List[R] = []
+        error: Optional[BaseException] = None
+        for future in futures:
+            if error is not None:
+                future.cancel()
+                continue
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                error = exc
+        if error is not None:
+            raise error
+        return results
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 workers: Optional[int] = None,
+                 pool: Optional[WorkerPool] = None) -> List[R]:
+    """One-shot ordered parallel map (borrows ``pool`` or builds its own).
+
+    The convenience entry point for sweep drivers: DSE grids, ablation
+    sweeps and benchmark fan-outs call this with their per-point evaluator;
+    a shared :class:`~repro.reram.engine.DieCache` inside the evaluator
+    then deduplicates die programming across the concurrent points.
+    """
+    items = list(items)
+    if pool is not None:
+        return pool.map(fn, items)
+    with WorkerPool(workers) as owned:
+        return owned.map(fn, items)

@@ -1,0 +1,114 @@
+"""Parallel whole-network in-situ inference.
+
+:func:`repro.reram.inference.build_insitu_network` produces a model whose
+conv/linear layers run on crossbar engines; this module executes that model
+over a batch of inputs with the batch split into *tiles* and the tiles
+fanned out across a :class:`~repro.runtime.executor.WorkerPool`.  Tiles are
+independent end to end (a feedforward network has no cross-image state), so
+tile-level parallelism is also pipeline parallelism: while one worker's
+tile occupies layer 3's engine, another tile drives layer 1 — different
+layers of the network genuinely run concurrently.
+
+Numerical contract
+------------------
+* The **tile size** is part of the numerical configuration: activation
+  quantization picks its scale per engine call, so a different tiling can
+  quantize a tile on a (slightly) different grid.  Fix ``tile_size`` and
+  results are reproducible.
+* The **worker count** is not: for a fixed tiling, outputs and engine
+  stats are bit-identical at any worker count, with or without read noise
+  (noise is keyed per (input block, job), not per draw order).  This is
+  asserted in ``tests/runtime/``.
+
+Engines may be shared freely across tiles — kernel calls accumulate stats
+in per-call locals and merge under the stats lock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from .executor import WorkerPool
+
+
+def _engine_list(engines) -> List:
+    if hasattr(engines, "values"):
+        return list(engines.values())
+    return list(engines)
+
+
+def attach_pool(engines, pool: Optional[WorkerPool]) -> None:
+    """Point every engine's in-layer chunk fan-out at ``pool``.
+
+    Layer-level parallelism: one big MVM's independent job chunks spread
+    across the workers.  Composes safely with tile-level fan-out on the
+    same pool (a map issued from a worker runs inline), but for many small
+    tiles the tile-level fan-out alone is usually the better schedule.
+    """
+    for engine in _engine_list(engines):
+        engine.pool = pool
+
+
+def detach_pool(engines) -> None:
+    """Restore serial in-layer execution on every engine."""
+    attach_pool(engines, None)
+
+
+def _tiles(batch: int, tile_size: int) -> List[slice]:
+    return [slice(start, min(start + tile_size, batch))
+            for start in range(0, batch, tile_size)]
+
+
+def infer_tiled(model, images: np.ndarray, *, workers: Optional[int] = None,
+                tile_size: int = 1, pool: Optional[WorkerPool] = None
+                ) -> np.ndarray:
+    """Run ``model`` over ``images`` with batch tiles fanned out on workers.
+
+    ``images`` is the usual ``(batch, ...)`` input array; returns the
+    concatenated ``(batch, ...)`` output array.  ``pool`` (if given) is
+    borrowed and left open; otherwise a pool of ``workers`` is created for
+    the call.  ``workers=1`` (or a 1-image batch) is the serial baseline —
+    the identical code path minus the threads.
+    """
+    images = np.asarray(images)
+    if images.ndim < 1 or images.shape[0] == 0:
+        raise ValueError("images must carry at least one batch entry")
+    if tile_size < 1:
+        raise ValueError("tile_size must be >= 1")
+    tiles = _tiles(images.shape[0], tile_size)
+
+    def run_tile(tile: slice) -> np.ndarray:
+        return model(Tensor(images[tile])).data
+
+    if pool is not None:
+        outputs = pool.map(run_tile, tiles)
+    else:
+        with WorkerPool(workers) as owned:
+            outputs = owned.map(run_tile, tiles)
+    return np.concatenate(outputs, axis=0)
+
+
+def run_network_serial(model, images: np.ndarray, *,
+                       tile_size: int = 1) -> np.ndarray:
+    """The serial reference schedule: same tiling, no pool, one thread."""
+    images = np.asarray(images)
+    outputs = [model(Tensor(images[tile])).data
+               for tile in _tiles(images.shape[0], tile_size)]
+    return np.concatenate(outputs, axis=0)
+
+
+def evaluate_tiled(model, dataset, *, workers: Optional[int] = None,
+                   tile_size: int = 8) -> float:
+    """Classification accuracy of ``model`` on ``dataset`` via tiled fan-out.
+
+    ``dataset`` follows the ``repro.nn.data`` convention (``images`` /
+    ``labels`` arrays).  The serving-shaped entry point: one call, whole
+    test set, all workers busy.
+    """
+    logits = infer_tiled(model, dataset.images, workers=workers,
+                         tile_size=tile_size)
+    predictions = np.argmax(logits, axis=1)
+    return float((predictions == dataset.labels).mean())

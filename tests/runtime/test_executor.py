@@ -1,0 +1,119 @@
+"""WorkerPool / parallel_map contract tests."""
+
+import os
+import threading
+
+import pytest
+
+from repro.runtime import WorkerPool, parallel_map, resolve_workers
+from repro.runtime.executor import WORKERS_ENV
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers() == 7
+
+    def test_cpu_default(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_invalid_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+
+class TestWorkerPool:
+    def test_ordered_results(self):
+        with WorkerPool(4) as pool:
+            out = pool.map(lambda i: i * i, range(20))
+        assert out == [i * i for i in range(20)]
+
+    def test_serial_pool_is_inline(self):
+        thread_names = []
+        with WorkerPool(1) as pool:
+            pool.map(lambda _: thread_names.append(
+                threading.current_thread().name), range(3))
+        assert all(name == threading.main_thread().name
+                   for name in thread_names)
+
+    def test_exceptions_propagate(self):
+        def boom(i):
+            if i == 3:
+                raise RuntimeError("task 3 failed")
+            return i
+
+        with WorkerPool(4) as pool:
+            with pytest.raises(RuntimeError, match="task 3 failed"):
+                pool.map(boom, range(8))
+
+    def test_reentrant_map_runs_inline(self):
+        """A map issued from a worker thread must not deadlock the pool."""
+        with WorkerPool(2) as pool:
+            def outer(i):
+                return sum(pool.map(lambda j: i + j, range(3)))
+            assert pool.map(outer, range(4)) == [3, 6, 9, 12]
+
+    def test_single_item_runs_inline(self):
+        with WorkerPool(4) as pool:
+            assert pool.map(lambda x: threading.current_thread().name,
+                            [0]) == [threading.main_thread().name]
+
+
+class TestParallelMap:
+    def test_owned_pool(self):
+        assert parallel_map(lambda x: x + 1, range(5), workers=3) == \
+            [1, 2, 3, 4, 5]
+
+    def test_borrowed_pool_left_open(self):
+        with WorkerPool(2) as pool:
+            parallel_map(lambda x: x, range(4), pool=pool)
+            assert pool.map(lambda x: x, [1, 2]) == [1, 2]
+
+
+class TestSweepFanOut:
+    def test_dse_sweep_worker_invariant(self):
+        from repro.arch.dse import DesignPoint, sweep
+        points = [DesignPoint(fragment_size=m) for m in (4, 8, 16)]
+        serial = sweep(points)
+        pooled = sweep(points, workers=3)
+        assert [e.point for e in pooled] == [e.point for e in serial]
+        assert [e.gops for e in pooled] == [e.gops for e in serial]
+
+    def test_crossbar_size_sweep_worker_invariant(self):
+        from repro.arch.dse import crossbar_size_sweep
+        serial = crossbar_size_sweep(options=(64, 128))
+        pooled = crossbar_size_sweep(options=(64, 128), workers=2)
+        assert [r.analog_error for r in pooled] == \
+            [r.analog_error for r in serial]
+
+    def test_die_cache_shared_across_workers(self):
+        import numpy as np
+        from repro.core import FragmentGeometry, QuantizationSpec
+        from repro.core.polarization import compute_signs, project_polarization
+        from repro.reram import DeviceSpec, DieCache, ReRAMDevice, build_engine
+
+        rng = np.random.default_rng(0)
+        geom = FragmentGeometry((4, 2, 3, 3), 4)
+        w = rng.normal(size=(4, 2, 3, 3))
+        w = project_polarization(w, geom, compute_signs(w, geom))
+        levels = np.clip(np.rint(w * 50), -50, 50).astype(np.int64)
+        levels = geom.matrix(levels)
+        device = ReRAMDevice(DeviceSpec(), variation_sigma=0.2, seed=1)
+        cache = DieCache()
+
+        engines = parallel_map(
+            lambda _: build_engine(levels, geom, QuantizationSpec(8, 2),
+                                   device, die_cache=cache),
+            range(6), workers=3)
+        assert cache.misses == 1
+        assert cache.hits == 5
+        first = engines[0].conductance["main"]
+        assert all(e.conductance["main"] is first for e in engines[1:])
