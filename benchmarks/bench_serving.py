@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Open-loop Poisson serving benchmark: throughput/latency curve recorder.
+
+Drives the :mod:`repro.serving` request-queue server with open-loop
+Poisson arrivals at several offered rates and records one ``"serving"``
+record per rate into ``BENCH_engine.json`` (merged: the engine suite's
+records are preserved — schema in ``benchmarks/README.md``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke     # < 30 s
+    PYTHONPATH=src python benchmarks/bench_serving.py             # fuller curve
+    PYTHONPATH=src python benchmarks/bench_serving.py \\
+        --rates 25 100 400 --requests 64 -o /tmp/serving.json
+
+Every rate point asserts bit-identity of all served outputs against the
+serial single-image path before it is recorded, so a recorded curve can
+never come from wrong results.  Exits non-zero if that assertion fails or
+if fewer than two rate points were recorded.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import merge_serving_records, run_poisson_point  # noqa: E402
+from repro.reram import DieCache                                 # noqa: E402
+
+#: offered arrival rates (requests/s) per mode — two points minimum so the
+#: recorded curve always shows a light-load and a saturating point
+SMOKE_RATES = (50.0, 200.0)
+FULL_RATES = (25.0, 50.0, 100.0, 200.0, 400.0)
+
+
+def format_point(record: dict) -> str:
+    results, meta = record["results"], record["meta"]
+    return (f"{record['name']:24s} offered {results['offered_rate_rps']:6.0f} "
+            f"rps -> served {results['throughput_rps']:6.1f} rps, "
+            f"p50 {results['latency_p50_s'] * 1e3:7.2f} ms, "
+            f"p95 {results['latency_p95_s'] * 1e3:7.2f} ms, "
+            f"mean batch {results['mean_batch_size']:.2f}, "
+            f"occupancy {results['occupancy']:.2f} "
+            f"(w={meta['workers']})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode: two rate points, fewer requests")
+    parser.add_argument("--rates", type=float, nargs="+", default=None,
+                        help="offered arrival rates in requests/s "
+                             "(default: two smoke points / five full points)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per rate point (default 24 smoke / 48)")
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size (default: FORMS_WORKERS or "
+                             "CPU count)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="BENCH json to merge records into (default: "
+                             "BENCH_engine.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    rates = args.rates if args.rates is not None else (
+        list(SMOKE_RATES) if args.smoke else list(FULL_RATES))
+    requests = args.requests if args.requests is not None else (
+        24 if args.smoke else 48)
+    if len(rates) < 2:
+        print("ERROR: need at least two arrival-rate points for a curve",
+              file=sys.stderr)
+        return 1
+
+    records = []
+    die_cache = DieCache()   # shared: rate points rebuild identical engines
+    for rate in rates:
+        record = run_poisson_point(
+            rate, requests, max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms, workers=args.workers,
+            seed=args.seed, die_cache=die_cache)
+        print(format_point(record))
+        records.append(record)
+
+    if args.output.exists():
+        # an unreadable existing file must abort, not be clobbered — it
+        # may hold the whole engine-suite trajectory
+        try:
+            with open(args.output) as handle:
+                payload = json.load(handle)
+        except ValueError as exc:
+            print(f"ERROR: {args.output} exists but is not valid JSON "
+                  f"({exc}); refusing to overwrite it", file=sys.stderr)
+            return 1
+    else:
+        payload = {"schema": "forms-perf-suite/v1", "records": []}
+    merge_serving_records(payload, records)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[{len(records)} serving records merged into {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

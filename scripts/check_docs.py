@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Docs drift gate: the top-level docs must exist and cover every package.
+
+Fails (exit 1) unless ``README.md`` and ``docs/architecture.md`` both
+exist and each mentions every package directory under ``src/repro/*`` as
+a qualified name (``repro.<package>`` or ``repro/<package>`` — a bare
+substring would be vacuously satisfied for short names like ``nn`` or
+``core``) — so adding a package without documenting it fails the check
+set the same way a broken test would.  Run by ``scripts/checks.sh``.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+REQUIRED_DOCS = ("README.md", "docs/architecture.md")
+
+
+def packages() -> list:
+    src = REPO_ROOT / "src" / "repro"
+    return sorted(p.name for p in src.iterdir()
+                  if p.is_dir() and (p / "__init__.py").exists())
+
+
+def main() -> int:
+    names = packages()
+    if not names:
+        print("ERROR: no packages found under src/repro", file=sys.stderr)
+        return 1
+    failures = []
+    for rel in REQUIRED_DOCS:
+        path = REPO_ROOT / rel
+        if not path.exists():
+            failures.append(f"{rel}: missing")
+            continue
+        text = path.read_text(encoding="utf-8")
+        missing = [name for name in names
+                   if not re.search(rf"\brepro[./]{re.escape(name)}\b", text)]
+        if missing:
+            failures.append(f"{rel}: no mention of package(s) "
+                            f"{', '.join(missing)}")
+    if failures:
+        for failure in failures:
+            print(f"ERROR: {failure}", file=sys.stderr)
+        return 1
+    print(f"docs check: {len(REQUIRED_DOCS)} docs cover "
+          f"{len(names)} packages ({', '.join(names)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

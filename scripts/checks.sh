@@ -10,6 +10,12 @@
 #    throwaway path and exits non-zero if the headline micro-benchmark
 #    (mvm_forms_16bit_128pos) falls below its 5x speedup floor, so a perf
 #    regression fails the check set exactly like a correctness regression.
+# 3. `bench_serving.py --smoke` — two open-loop Poisson arrival-rate
+#    points through the batching inference server, each asserting
+#    bit-identity of every served output against the serial single-image
+#    path (a serving regression fails here before it ships).
+# 4. `check_docs.py` — README.md and docs/architecture.md must exist and
+#    mention every src/repro/* package (docs drift fails the check set).
 set -e
 
 cd "$(dirname "$0")/.."
@@ -20,5 +26,13 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q -m "not slow"
 echo "==> perf gate: run_perf_suite.py --smoke"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/run_perf_suite.py \
     --smoke -o "${PERF_GATE_OUTPUT:-/tmp/forms_perf_gate.json}"
+
+echo "==> serving smoke: bench_serving.py --smoke"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_serving.py \
+    --smoke --requests 12 \
+    -o "${SERVING_BENCH_OUTPUT:-/tmp/forms_serving_smoke.json}"
+
+echo "==> docs check: check_docs.py"
+python scripts/check_docs.py
 
 echo "==> checks passed"

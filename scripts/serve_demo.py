@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Stand up the batching inference server and serve synthetic traffic.
+
+The quickest way to *see* the serving layer work::
+
+    python scripts/serve_demo.py
+    python scripts/serve_demo.py --requests 32 --rate 400 --max-batch 8
+
+Builds the FORMS-shaped demo CNN, replays open-loop Poisson arrivals
+through :class:`repro.serving.InferenceServer`, checks every output
+bit-identical to a direct serial single-image forward, and prints
+per-request receipts (queue wait, batch ridden, conversions) plus the
+server's operational snapshot.  Equivalent to ``python -m repro serve``.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serving.demo import run_demo                          # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=16)
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="Poisson arrival rate in requests/s")
+    parser.add_argument("--max-batch", type=int, default=4)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    run_demo(requests=args.requests, rate_rps=args.rate,
+             max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+             workers=args.workers, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,10 @@ Fine-grained polarized ReRAM-based in-situ computation for mixed-signal DNN
 acceleration: the ADMM co-design framework (:mod:`repro.core`), the numpy DNN
 training substrate (:mod:`repro.nn`), the ReRAM device/crossbar simulator
 (:mod:`repro.reram`), the accelerator architecture model (:mod:`repro.arch`),
-the parallel execution runtime (:mod:`repro.runtime`), and the evaluation
-harness (:mod:`repro.analysis`).
+the parallel execution runtime (:mod:`repro.runtime`), the batching
+request-queue serving layer (:mod:`repro.serving`), the perf-tracking
+suites (:mod:`repro.perf`), and the evaluation harness
+(:mod:`repro.analysis`).
 
 Runtime architecture
 --------------------
@@ -33,12 +35,20 @@ The simulation stack splits scheduling from execution:
   under a lock, and read noise draws from substreams keyed by
   (input digest, plane, bit-plane, fragment) rather than draw order.
 
+* **Serving** — :class:`repro.serving.InferenceServer` coalesces
+  single-image requests into batches under a latency budget and dispatches
+  one tile per request on the shared pool, so a served result is
+  bit-identical to a standalone single-image call at any batch
+  composition, with per-request latency and engine-stats receipts.
+
 ``benchmarks/run_perf_suite.py`` records the measured speedups of every
-layer of this stack to ``BENCH_engine.json``; ``scripts/checks.sh`` gates
-changes on the fast tier-1 tests plus the headline perf floor.
+layer of this stack to ``BENCH_engine.json`` (and
+``benchmarks/bench_serving.py`` the serving throughput/latency curve);
+``scripts/checks.sh`` gates changes on the fast tier-1 tests, the
+headline perf floor, a serving smoke, and a docs-coverage check.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["nn", "core", "reram", "arch", "analysis", "runtime",
-           "__version__"]
+           "serving", "perf", "__version__"]

@@ -1,4 +1,4 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner and serving demo.
 
 Regenerate any paper table/figure from a shell::
 
@@ -9,6 +9,13 @@ Regenerate any paper table/figure from a shell::
 ``--scale`` selects an :class:`repro.analysis.ExperimentScale` preset
 (fast / standard / full); ``--out`` saves each rendered table next to
 printing it.
+
+``serve`` runs the batching inference server against synthetic Poisson
+traffic and prints per-request receipts plus the operational summary —
+a self-checking demo of :mod:`repro.serving` (every output is asserted
+bit-identical to the serial single-image path)::
+
+    python -m repro serve --requests 24 --rate 200 --max-batch 4 --workers 2
 """
 
 from __future__ import annotations
@@ -82,22 +89,43 @@ EXPERIMENTS: Dict[str, tuple] = {
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate FORMS (ISCA 2021) evaluation tables/figures.")
-    choices = sorted(EXPERIMENTS) + ["all", "report"]
+        description="Regenerate FORMS (ISCA 2021) evaluation tables/figures, "
+                    "or demo the batching inference server ('serve').")
+    choices = sorted(EXPERIMENTS) + ["all", "report", "serve"]
     parser.add_argument("experiment", choices=choices,
                         help="which artifact to regenerate ('report' builds "
-                             "a combined markdown report of the fast ones)")
+                             "a combined markdown report of the fast ones; "
+                             "'serve' runs the self-checking serving demo)")
     parser.add_argument("--scale", default="fast", choices=sorted(SCALES),
                         help="experiment scale preset (default: fast)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="directory to save rendered tables into")
+    serve = parser.add_argument_group("serve options")
+    serve.add_argument("--requests", type=int, default=16,
+                       help="number of synthetic requests (serve only)")
+    serve.add_argument("--rate", type=float, default=200.0,
+                       help="Poisson arrival rate in requests/s (serve only)")
+    serve.add_argument("--max-batch", type=int, default=4,
+                       help="batch coalescing cap (serve only)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="coalescing latency budget in ms (serve only)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker-pool size (serve only; default: "
+                            "FORMS_WORKERS or CPU count)")
     return parser
 
 
 def run(argv=None) -> int:
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
+    if args.experiment == "serve":
+        from .serving.demo import run_demo
+
+        run_demo(requests=args.requests, rate_rps=args.rate,
+                 max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                 workers=args.workers, seed=args.seed)
+        return 0
     if args.experiment == "report":
         from .analysis.report import generate_report
 

@@ -8,13 +8,22 @@ Two layers:
 * :mod:`repro.perf.suite` — the micro-benchmark definitions behind
   ``benchmarks/run_perf_suite.py``, which records the fused-engine speedup
   trajectory to ``BENCH_engine.json`` at the repo root so every subsequent
-  performance PR has a baseline to beat.
+  performance PR has a baseline to beat;
+* :mod:`repro.perf.serving` — the serving-layer record kind: open-loop
+  Poisson throughput/latency points measured by
+  ``benchmarks/bench_serving.py`` and merged into the same
+  ``BENCH_engine.json`` (both recorders preserve each other's records).
 """
 
 from .instrument import EngineMeter, TimingResult, time_callable
+from .serving import (SERVING_RECORD_KIND, drive_poisson,
+                      merge_serving_records, run_poisson_point,
+                      serving_record_name)
 from .suite import (BENCH_SCHEMA, default_suite, run_suite, write_payload)
 
 __all__ = [
     "TimingResult", "time_callable", "EngineMeter",
     "BENCH_SCHEMA", "default_suite", "run_suite", "write_payload",
+    "SERVING_RECORD_KIND", "drive_poisson", "merge_serving_records",
+    "run_poisson_point", "serving_record_name",
 ]

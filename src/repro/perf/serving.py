@@ -1,0 +1,163 @@
+"""Serving-layer benchmark records: open-loop Poisson traffic points.
+
+The engine suite (:mod:`repro.perf.suite`) records *paired* speedups; the
+serving layer has no baseline to pair against — its numbers are a
+throughput/latency *curve* over arrival rates.  This module defines the
+third record ``kind`` in ``BENCH_engine.json`` (``"serving"``, schema in
+``benchmarks/README.md``) and the driver that measures one point of the
+curve:
+
+* **open-loop** arrivals — request times are drawn from a Poisson process
+  at the target rate and submitted on schedule regardless of completions,
+  so queueing delay is measured rather than hidden (a closed loop would
+  throttle arrivals to the service rate);
+* every point asserts **bit-identity** of all served outputs against a
+  direct serial single-image forward before anything is recorded — a
+  recorded curve can never come from wrong results (the suite's rule);
+* records **merge** into an existing ``BENCH_engine.json`` payload and are
+  preserved when ``run_perf_suite.py`` rewrites the file (see
+  :func:`repro.perf.suite.write_payload`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+SERVING_RECORD_KIND = "serving"
+
+
+def serving_record_name(rate_rps: float) -> str:
+    rate = f"{rate_rps:g}".replace(".", "p")
+    return f"serving_poisson_r{rate}"
+
+
+def drive_poisson(rate_rps: float, requests: int, *, max_batch: int = 8,
+                  max_wait_ms: float = 2.0, workers: Optional[int] = None,
+                  seed: int = 0, activation_bits: int = 12,
+                  die_cache=None) -> Dict:
+    """Serve one open-loop Poisson arrival process and verify bit-identity.
+
+    The shared drive-and-verify harness behind :func:`run_poisson_point`
+    and the ``python -m repro serve`` demo: builds the perf suite's
+    FORMS-shaped demo network (pruned + polarized), replays ``requests``
+    Poisson arrivals at ``rate_rps`` through a fresh
+    :class:`~repro.serving.InferenceServer`, and asserts every served
+    output bit-identical to a direct serial single-image forward.
+    Returns ``{"results", "snapshot", "open_loop_s", "workers"}``.
+
+    Pass one shared ``die_cache`` (a :class:`~repro.reram.DieCache`)
+    across several calls — a rate sweep rebuilds the same engines per
+    point, and the cache deduplicates the die programming.
+    """
+    from ..reram import ADCSpec, DeviceSpec, ReRAMDevice, paper_adc_bits
+    from ..runtime import run_network_serial
+    from ..serving import InferenceServer
+    from .suite import _post_relu_network
+
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    model, config, images = _post_relu_network(seed=seed)
+    device = ReRAMDevice(DeviceSpec(), 0.0)
+    adc = ADCSpec(bits=paper_adc_bits(config.fragment_size))
+    rng = np.random.default_rng(seed)
+    pool_images = images[rng.integers(0, images.shape[0], size=requests)]
+    gaps = rng.exponential(1.0 / rate_rps, size=requests - 1)
+    # absolute arrival schedule (first request at t=0): sleeping per-gap
+    # would add submit overhead on top of every gap and drift the realized
+    # rate below the recorded offered rate
+    arrival_offsets = np.concatenate([[0.0], np.cumsum(gaps)])
+
+    with InferenceServer.from_model(
+            model, config, device, adc=adc,
+            activation_bits=activation_bits, max_batch=max_batch,
+            max_wait_s=max_wait_ms / 1e3, workers=workers,
+            die_cache=die_cache) as server:
+        start = time.monotonic()
+        futures = []
+        for image, offset in zip(pool_images, arrival_offsets):
+            delay = start + offset - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(server.submit_async(image))
+        results = [future.result() for future in futures]
+        open_loop_s = time.monotonic() - start
+        snapshot = server.server_stats()
+        resolved_workers = server.pool.workers
+
+    serial = run_network_serial(server.model, pool_images, tile_size=1)
+    for i, served in enumerate(results):
+        if not np.array_equal(served.output, serial[i]):
+            raise AssertionError(
+                f"request {i}: served != serial single-image forward")
+    return {"results": results, "snapshot": snapshot,
+            "open_loop_s": open_loop_s, "workers": resolved_workers}
+
+
+def run_poisson_point(rate_rps: float, requests: int = 32, *,
+                      max_batch: int = 8, max_wait_ms: float = 2.0,
+                      workers: Optional[int] = None, seed: int = 0,
+                      activation_bits: int = 12, die_cache=None) -> Dict:
+    """Measure one open-loop arrival-rate point and return its record.
+
+    Drives :func:`drive_poisson` (bit-identity asserted there) and
+    packages the server's stats snapshot plus per-request aggregates as
+    one ``"serving"`` record.  ``die_cache`` as in :func:`drive_poisson`.
+    """
+    driven = drive_poisson(rate_rps, requests, max_batch=max_batch,
+                           max_wait_ms=max_wait_ms, workers=workers,
+                           seed=seed, activation_bits=activation_bits,
+                           die_cache=die_cache)
+    results = driven["results"]
+    snapshot = driven["snapshot"]
+    open_loop_s = driven["open_loop_s"]
+    resolved_workers = driven["workers"]
+
+    batch_sizes = [served.stats.batch_size for served in results]
+    return {
+        "name": serving_record_name(rate_rps),
+        "kind": SERVING_RECORD_KIND,
+        "results": {
+            "throughput_rps": requests / open_loop_s,
+            "offered_rate_rps": rate_rps,
+            "latency_p50_s": snapshot["latency_p50_s"],
+            "latency_p95_s": snapshot["latency_p95_s"],
+            "latency_max_s": snapshot["latency_max_s"],
+            "queue_wait_mean_s": snapshot["queue_wait_mean_s"],
+            "queue_wait_p95_s": snapshot["queue_wait_p95_s"],
+            "batches_formed": snapshot["batches_formed"],
+            "mean_batch_size": snapshot["mean_batch_size"],
+            "max_batch_size": snapshot["max_batch_size"],
+            "occupancy": snapshot["occupancy"],
+        },
+        "meta": {
+            "requests": requests,
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            "workers": resolved_workers,
+            "seed": seed,
+            "activation_bits": activation_bits,
+            "mean_request_batch_size": float(np.mean(batch_sizes)),
+            "bit_identical_to_serial": True,
+        },
+    }
+
+
+def merge_serving_records(payload: Dict, records: List[Dict]) -> Dict:
+    """Replace-or-append serving records in a BENCH payload, in place.
+
+    Matching is by record ``name``; non-serving records are untouched, so
+    the engine suite's trajectory and the serving curve coexist in one
+    ``BENCH_engine.json``.
+    """
+    by_name = {record["name"]: record for record in records}
+    kept = [by_name.pop(record["name"], record)
+            for record in payload.get("records", [])]
+    kept.extend(record for record in records if record["name"] in by_name)
+    payload["records"] = kept
+    return payload

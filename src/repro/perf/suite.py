@@ -501,7 +501,36 @@ def run_suite(smoke: bool = True, repeats: Optional[int] = None) -> Dict:
     }
 
 
-def write_payload(path, payload: Dict) -> None:
+def write_payload(path, payload: Dict,
+                  preserve_kinds: tuple = ("serving",)) -> None:
+    """Write a BENCH payload, carrying over records of other subsystems.
+
+    ``run_suite`` regenerates only the *engine* records; records of the
+    kinds in ``preserve_kinds`` (the serving curve recorded by
+    ``benchmarks/bench_serving.py``) found in an existing file at ``path``
+    are appended unless the new payload already carries a record of the
+    same name — so the two recorders can share one ``BENCH_engine.json``
+    without clobbering each other.  An existing file that cannot be
+    parsed raises instead of being silently overwritten: it may hold the
+    only copy of the other recorder's trajectory.
+    """
+    previous = None
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                previous = json.load(handle)
+        except ValueError as exc:
+            raise ValueError(
+                f"{path} exists but is not valid JSON ({exc}); refusing to "
+                "overwrite it — it may hold records this run would drop"
+            ) from exc
+    if previous is not None and preserve_kinds:
+        have = {record["name"] for record in payload.get("records", [])}
+        payload = dict(payload)
+        payload["records"] = list(payload.get("records", [])) + [
+            record for record in previous.get("records", [])
+            if record.get("kind") in preserve_kinds
+            and record["name"] not in have]
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

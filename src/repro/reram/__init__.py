@@ -15,8 +15,9 @@ from .converters import (ADCSpec, DACSpec, SampleHold, paper_adc_bits,
 from .crossbar import CrossbarArray, SubArrayLayout
 from .device import DeviceSpec, ReRAMDevice, codes_to_digital
 from .engine import (DieCache, EngineStats, InSituLayerEngine, SignIndicator,
-                     autotune_fused_kernel_max_elements, build_engine,
-                     effective_levels, fused_kernel_max_elements,
+                     StatsScope, autotune_fused_kernel_max_elements,
+                     build_engine, effective_levels,
+                     fused_kernel_max_elements,
                      set_fused_kernel_max_elements)
 from .mapping import SCHEMES, MappedLayer, infer_signs, map_layer
 from .nonideal import (LINEAR_CELL, CellIV, FaultModel, IRDropPoint,
@@ -38,7 +39,8 @@ __all__ = [
     "CrossbarArray", "SubArrayLayout",
     "bit_slice", "bit_unslice", "num_slices", "slice_weights",
     "MappedLayer", "map_layer", "infer_signs", "SCHEMES",
-    "InSituLayerEngine", "SignIndicator", "EngineStats", "DieCache",
+    "InSituLayerEngine", "SignIndicator", "EngineStats", "StatsScope",
+    "DieCache",
     "build_engine", "effective_levels",
     "fused_kernel_max_elements", "set_fused_kernel_max_elements",
     "autotune_fused_kernel_max_elements",

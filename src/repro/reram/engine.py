@@ -249,6 +249,59 @@ class EngineStats:
             self.pairs_scheduled += other.pairs_scheduled
             self.pairs_skipped += other.pairs_skipped
 
+    def as_dict(self) -> Dict[str, int]:
+        """The seven counters as a plain JSON-ready dict."""
+        return {
+            "conversions": self.conversions,
+            "saturated": self.saturated,
+            "cycles_fed": self.cycles_fed,
+            "jobs_scheduled": self.jobs_scheduled,
+            "jobs_skipped": self.jobs_skipped,
+            "pairs_scheduled": self.pairs_scheduled,
+            "pairs_skipped": self.pairs_skipped,
+        }
+
+
+_STATS_SCOPES = threading.local()
+
+
+class StatsScope:
+    """Collects every engine-stats commit made by the *current thread*.
+
+    Kernel paths accumulate a per-call :class:`EngineStats` local and commit
+    it once, on the calling thread, when the MVM finishes (worker-side chunk
+    stats are merged into that local before the commit).  A ``StatsScope``
+    entered on a thread therefore observes exactly the engine activity of
+    the calls issued from that thread — across *all* engines — which is how
+    the serving layer slices one shared network's stats per request: each
+    request's tile runs inside its own scope on its worker thread.
+
+    Scopes nest (every active scope on the thread observes the commit) and
+    are thread-local, so concurrent tiles on different workers never see
+    each other's work::
+
+        with StatsScope() as scope:
+            engine.matvec_int(x)
+        scope.stats.conversions   # just this call's conversions
+    """
+
+    def __init__(self):
+        self.stats = EngineStats()
+
+    def __enter__(self) -> "StatsScope":
+        stack = getattr(_STATS_SCOPES, "stack", None)
+        if stack is None:
+            stack = _STATS_SCOPES.stack = []
+        stack.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _STATS_SCOPES.stack.pop()
+
+
+def _active_scopes() -> List["StatsScope"]:
+    return getattr(_STATS_SCOPES, "stack", [])
+
 
 class DieCache:
     """Memoizes programmed conductance planes across engine constructions.
@@ -678,6 +731,17 @@ class InSituLayerEngine:
             hashlib.sha1(np.ascontiguousarray(stacked).tobytes()).digest()[:8],
             "big")
 
+    def _commit_stats(self, local: EngineStats) -> None:
+        """Merge one call's stats into the engine and any active scopes.
+
+        Called once per MVM on the calling thread — the property
+        :class:`StatsScope` (and through it the serving layer's per-request
+        stats slicing) relies on.
+        """
+        self.stats.merge(local)
+        for scope in _active_scopes():
+            scope.stats.merge(local)
+
     def _fan_out(self, pool, run_one, tasks: List) -> List:
         """Evaluate independent kernel tasks, optionally on a worker pool.
 
@@ -824,7 +888,7 @@ class InSituLayerEngine:
                     out[:, live_p] = sub
                 else:
                     out = sub
-            self.stats.merge(local)
+            self._commit_stats(local)
             return self._offset_correction(stacked, out)
 
         # Kernel tiers: one task per (fragment, position chunk), each a
@@ -860,7 +924,7 @@ class InSituLayerEngine:
                 tasks):
             out[:, lp] += res.T
             local.merge(task_stats)
-        self.stats.merge(local)
+        self._commit_stats(local)
         return self._offset_correction(stacked, out)
 
     def _frag_signs(self) -> Optional[np.ndarray]:
@@ -1036,7 +1100,7 @@ class InSituLayerEngine:
                                    ).astype(np.int64)
                 else:  # exactness bound exceeded: integer contraction instead
                     out += stack_i.T @ flat
-                self.stats.merge(local)
+                self._commit_stats(local)
                 return self._offset_correction(stacked, out)
 
         # Per-(job, slice) shift-and-add weights: ADC place value x input-bit
@@ -1111,7 +1175,7 @@ class InSituLayerEngine:
             acc += partial
             local.merge(chunk_stats)
         out += acc.T
-        self.stats.merge(local)
+        self._commit_stats(local)
         return self._offset_correction(stacked, out)
 
     # ------------------------------------------------------------------
@@ -1154,7 +1218,7 @@ class InSituLayerEngine:
                 frag = self.sign_indicator.apply(np.transpose(frag, (0, 2, 1)))
                 frag = np.transpose(frag, (0, 2, 1))
             out += (1 << bit) * frag.sum(axis=0).T          # (cols, positions)
-        self.stats.merge(local)
+        self._commit_stats(local)
         return self._offset_correction(stacked, out)
 
     def matvec_float(self, x_int: np.ndarray, weight_scale: float,

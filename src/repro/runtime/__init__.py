@@ -17,10 +17,10 @@ so even noisy inference is worker-count invariant.
 
 from .executor import WorkerPool, parallel_map, resolve_workers
 from .network import (attach_pool, detach_pool, evaluate_tiled, infer_tiled,
-                      run_network_serial)
+                      infer_tiles, iter_tiles, run_network_serial)
 
 __all__ = [
     "WorkerPool", "parallel_map", "resolve_workers",
     "attach_pool", "detach_pool", "evaluate_tiled", "infer_tiled",
-    "run_network_serial",
+    "infer_tiles", "iter_tiles", "run_network_serial",
 ]

@@ -17,6 +17,23 @@ Three properties the callers rely on:
   inline instead of deadlocking on the pool's own capacity, so layer-level
   fan-out composes with tile-level fan-out without a worker budget
   negotiation.
+
+The determinism contract
+------------------------
+The pool is deliberately *boring*: it never reorders, samples, batches or
+retries.  Everything that makes parallel inference bit-identical to serial
+inference lives in the layers around it, but the pool's ordered map is the
+keystone — downstream consumers (:func:`repro.runtime.infer_tiled`, the
+:mod:`repro.serving` batcher) index results positionally, and the engines'
+stats discipline (per-call locals, locked **ordered merge** into integer
+counters on the calling thread) plus :class:`repro.reram.nonideal.
+ReadNoise`'s **per-job keyed substreams** do the rest.  Integer-counter
+merges commute, so stats are worker-count invariant even though the merge
+*order* is not; outputs are invariant because no floating-point
+accumulation ever crosses tiles.  A ``WorkerPool(1)`` (or a single-item
+map, or a re-entrant map) short-circuits to inline execution — the serial
+and pooled paths are the identical code, which is what makes the contract
+structural rather than a test hope.
 """
 
 from __future__ import annotations

@@ -9,16 +9,34 @@ tile-level parallelism is also pipeline parallelism: while one worker's
 tile occupies layer 3's engine, another tile drives layer 1 — different
 layers of the network genuinely run concurrently.
 
-Numerical contract
-------------------
-* The **tile size** is part of the numerical configuration: activation
-  quantization picks its scale per engine call, so a different tiling can
-  quantize a tile on a (slightly) different grid.  Fix ``tile_size`` and
-  results are reproducible.
-* The **worker count** is not: for a fixed tiling, outputs and engine
-  stats are bit-identical at any worker count, with or without read noise
-  (noise is keyed per (input block, job), not per draw order).  This is
-  asserted in ``tests/runtime/``.
+Numerical contract (the determinism contract)
+---------------------------------------------
+Downstream layers — most prominently :mod:`repro.serving`, which promises
+its clients that a batched request is bit-identical to a single-image call
+— rely on three properties of this module, all asserted in
+``tests/runtime/`` and ``tests/serving/``:
+
+* The **tiling is the numerical configuration**: activation quantization
+  picks its scale per engine call, so a different tiling can quantize a
+  tile on a (slightly) different grid.  Fix the tile boundaries and
+  results are reproducible.  (This is why the serving layer dispatches
+  one tile per request: each image keeps the quantization grid of a
+  standalone call, no matter which batch it rode in.)
+* The **worker count is not**: for a fixed tiling, outputs and engine
+  stats are bit-identical at any worker count — including 1 and the
+  no-pool serial path, which run the identical code minus the threads.
+  Two mechanisms make this structural rather than statistical:
+  **ordered merge** — :meth:`WorkerPool.map` returns results in item
+  order and kernels accumulate into per-call stats locals merged under
+  the engine's stats lock, so neither outputs nor counters depend on
+  completion order; and **keyed noise substreams** —
+  :class:`repro.reram.nonideal.ReadNoise` draws each job's noise from a
+  substream keyed on (input digest, plane, bit, fragment), not on draw
+  order, so even *noisy* inference is worker-count invariant.
+* **Per-thread stats attribution**: an engine commits each call's stats
+  once, on the thread that issued the call, which is what lets
+  :func:`infer_tiles` (via :class:`repro.reram.StatsScope`) hand back an
+  exact per-tile — and hence per-request — slice of the merged stats.
 
 Engines may be shared freely across tiles — kernel calls accumulate stats
 in per-call locals and merge under the stats lock.
@@ -26,11 +44,12 @@ in per-call locals and merge under the stats lock.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn.tensor import Tensor
+from ..reram import EngineStats, StatsScope
 from .executor import WorkerPool
 
 
@@ -57,9 +76,62 @@ def detach_pool(engines) -> None:
     attach_pool(engines, None)
 
 
-def _tiles(batch: int, tile_size: int) -> List[slice]:
+def iter_tiles(batch: int, tile_size: int) -> List[slice]:
+    """The uniform tiling: ``batch`` split into ``tile_size``-image slices."""
+    if tile_size < 1:
+        raise ValueError("tile_size must be >= 1")
     return [slice(start, min(start + tile_size, batch))
             for start in range(0, batch, tile_size)]
+
+
+_tiles = iter_tiles
+
+
+def infer_tiles(model, images: np.ndarray, tiles: Sequence,
+                *, workers: Optional[int] = None,
+                pool: Optional[WorkerPool] = None,
+                collect_stats: bool = False):
+    """Run ``model`` over explicit batch tiles fanned out on workers.
+
+    The tile-shape-agnostic entry point: ``tiles`` is any sequence of
+    indexers into the batch axis of ``images`` — slices (possibly ragged),
+    index arrays, single integers — and each tile is one engine-call unit.
+    Returns the list of per-tile output arrays *in tile order* (not
+    concatenated: callers like :mod:`repro.serving` slice results back out
+    per request).
+
+    With ``collect_stats=True`` each tile's forward pass runs inside a
+    :class:`repro.reram.StatsScope`, and the return value is a list of
+    ``(output, EngineStats)`` pairs — the exact slice of every shared
+    engine's merged stats attributable to that tile.  The slices are exact
+    because engines commit each call's stats on the calling thread and one
+    tile runs entirely on one worker thread (see the module docstring).
+
+    ``pool`` (if given) is borrowed and left open; otherwise a pool of
+    ``workers`` is created for the call.
+    """
+    images = np.asarray(images)
+    if images.ndim < 1 or images.shape[0] == 0:
+        raise ValueError("images must carry at least one batch entry")
+    tiles = list(tiles)
+    if not tiles:
+        raise ValueError("tiles must name at least one tile")
+
+    def run_tile(tile) -> np.ndarray:
+        if isinstance(tile, (int, np.integer)):
+            tile = slice(tile, tile + 1)
+        return model(Tensor(images[tile])).data
+
+    def run_tile_scoped(tile) -> Tuple[np.ndarray, EngineStats]:
+        with StatsScope() as scope:
+            out = run_tile(tile)
+        return out, scope.stats
+
+    run = run_tile_scoped if collect_stats else run_tile
+    if pool is not None:
+        return pool.map(run, tiles)
+    with WorkerPool(workers) as owned:
+        return owned.map(run, tiles)
 
 
 def infer_tiled(model, images: np.ndarray, *, workers: Optional[int] = None,
@@ -76,18 +148,9 @@ def infer_tiled(model, images: np.ndarray, *, workers: Optional[int] = None,
     images = np.asarray(images)
     if images.ndim < 1 or images.shape[0] == 0:
         raise ValueError("images must carry at least one batch entry")
-    if tile_size < 1:
-        raise ValueError("tile_size must be >= 1")
-    tiles = _tiles(images.shape[0], tile_size)
-
-    def run_tile(tile: slice) -> np.ndarray:
-        return model(Tensor(images[tile])).data
-
-    if pool is not None:
-        outputs = pool.map(run_tile, tiles)
-    else:
-        with WorkerPool(workers) as owned:
-            outputs = owned.map(run_tile, tiles)
+    outputs = infer_tiles(model, images,
+                          iter_tiles(images.shape[0], tile_size),
+                          workers=workers, pool=pool)
     return np.concatenate(outputs, axis=0)
 
 

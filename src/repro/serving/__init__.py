@@ -1,0 +1,38 @@
+"""Batched request-queue serving over the parallel inference runtime.
+
+The "traffic" layer of the stack (the ROADMAP's step from batch benchmark
+to serving): callers submit **single images**; the server coalesces
+concurrent submissions into batches under a configurable latency budget
+and dispatches them through :func:`repro.runtime.infer_tiles` on one
+shared :class:`~repro.runtime.WorkerPool` — one tile per request, so a
+batched request stays **bit-identical** to a standalone single-image call
+at any batch composition and worker count, read noise included.
+
+Components
+----------
+* :class:`RequestQueue` / :class:`Batcher` — thread-safe FIFO plus the
+  deadline-driven coalescing loop (``max_batch`` / ``max_wait_s``, the
+  deadline anchored on the oldest waiting request).
+* :class:`InferenceServer` — the facade: ``submit`` / ``submit_async`` /
+  ``submit_many``, graceful draining ``shutdown``, and
+  ``from_model(...)`` which lowers a float model through
+  :func:`repro.reram.build_insitu_network` with a shared
+  :class:`~repro.reram.DieCache`.
+* :class:`ServerStats` / :class:`RequestStats` — the operational view
+  (p50/p95 latency, queue depth, batch mix, occupancy) and the
+  per-request receipt (queue wait, the batch it rode in, and the exact
+  per-request slice of the shared engines' merged ``EngineStats``).
+
+``benchmarks/bench_serving.py`` drives this layer with open-loop Poisson
+traffic and records throughput/latency curves into ``BENCH_engine.json``;
+``python -m repro serve`` runs a self-checking demo.
+"""
+
+from .queue import Batcher, PendingRequest, QueueClosed, RequestQueue
+from .server import InferenceServer
+from .stats import RequestStats, ServedResult, ServerStats
+
+__all__ = [
+    "Batcher", "InferenceServer", "PendingRequest", "QueueClosed",
+    "RequestQueue", "RequestStats", "ServedResult", "ServerStats",
+]

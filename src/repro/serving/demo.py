@@ -1,0 +1,47 @@
+"""Self-contained serving demo: synthetic traffic against a small network.
+
+Backs both ``python -m repro serve`` and ``scripts/serve_demo.py``: drives
+the shared Poisson harness (:func:`repro.perf.serving.drive_poisson` —
+the same build/serve/verify path ``benchmarks/bench_serving.py`` records
+with) and prints per-request receipts plus the server's operational
+snapshot.  Every output is checked bit-identical to a direct single-image
+serial forward before the summary is printed — the demo doubles as an
+end-to-end smoke of the serving contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+def run_demo(requests: int = 16, rate_rps: float = 200.0,
+             max_batch: int = 4, max_wait_ms: float = 2.0,
+             workers: Optional[int] = None, seed: int = 0,
+             print_fn: Optional[Callable[[str], None]] = print) -> Dict:
+    """Serve ``requests`` Poisson arrivals and return the stats snapshot."""
+    from ..perf.serving import drive_poisson
+
+    say = print_fn if print_fn is not None else (lambda line: None)
+    say(f"serving {requests} requests at ~{rate_rps:.0f} rps "
+        f"(max_batch={max_batch}, max_wait={max_wait_ms:.1f} ms)")
+    driven = drive_poisson(rate_rps, requests, max_batch=max_batch,
+                           max_wait_ms=max_wait_ms, workers=workers,
+                           seed=seed)
+    results, snapshot = driven["results"], driven["snapshot"]
+    say("bit-identity vs serial single-image forward: OK")
+
+    for served in results[: min(8, len(results))]:
+        s = served.stats
+        say(f"  request {s.request_id:3d}: batch {s.batch_id} "
+            f"(size {s.batch_size}), queue {s.queue_wait_s * 1e3:6.2f} ms, "
+            f"latency {s.latency_s * 1e3:6.2f} ms, "
+            f"{s.engine_stats['conversions']} conversions")
+    if len(results) > 8:
+        say(f"  ... {len(results) - 8} more")
+    say(f"batches formed: {snapshot['batches_formed']} "
+        f"(mean size {snapshot['mean_batch_size']:.2f}), "
+        f"p50 latency {snapshot['latency_p50_s'] * 1e3:.2f} ms, "
+        f"p95 {snapshot['latency_p95_s'] * 1e3:.2f} ms, "
+        f"occupancy {snapshot['occupancy']:.2f}, "
+        f"throughput {snapshot['throughput_rps']:.1f} rps")
+    return snapshot

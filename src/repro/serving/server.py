@@ -1,0 +1,223 @@
+"""The batching inference server over the ``repro.runtime`` executor.
+
+:class:`InferenceServer` is the "traffic" front end of the stack: callers
+submit *single images*; the server coalesces concurrent submissions into
+batches under a latency budget (``max_batch`` / ``max_wait_s``) and
+dispatches each batch through :func:`repro.runtime.infer_tiles` on one
+shared :class:`~repro.runtime.WorkerPool` — one tile per request, so every
+worker chews on a different request of the batch and deep batches pipeline
+through different layers concurrently.
+
+Bit-identity guarantee
+----------------------
+A served result is **bit-identical** to a direct single-image
+``run_network_serial`` call on the same image — at any batch composition,
+arrival order and worker count.  Three properties of the lower layers make
+this structural (see ``repro/runtime/network.py``):
+
+* one tile per request: batching never changes the quantization grid an
+  image sees, because the engines are called per image exactly as in the
+  serial path;
+* worker-count invariance of the tiled executor (ordered merge, no
+  cross-tile floating-point accumulation);
+* per-job keyed read-noise substreams: a noisy engine draws each job's
+  noise from (input digest, plane, bit, fragment), so *which batch* a
+  request rode in cannot change its noise.
+
+``tests/serving/`` asserts the guarantee end to end, read noise included.
+
+Per-request stats
+-----------------
+Each result carries a :class:`~repro.serving.stats.RequestStats`: queue
+wait, the batch it rode in, and the exact slice of the shared engines'
+:class:`~repro.reram.engine.EngineStats` its tile accounted for (summing
+the slices over requests reproduces the engines' merged totals — tested).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..reram import DieCache
+from ..runtime import WorkerPool, infer_tiles
+from .queue import Batcher, PendingRequest, QueueClosed, RequestQueue
+from .stats import RequestStats, ServedResult, ServerStats
+
+
+class InferenceServer:
+    """Batching single-image inference over a shared in-situ network.
+
+    Parameters
+    ----------
+    model:
+        A callable network (typically the in-situ model returned by
+        :func:`repro.reram.build_insitu_network`) mapping a
+        ``(batch, ...)`` :class:`~repro.nn.tensor.Tensor` to logits.
+    max_batch / max_wait_s:
+        The coalescing latency budget: a batch dispatches as soon as
+        ``max_batch`` requests are waiting, or when the oldest waiting
+        request has aged ``max_wait_s``, whichever comes first.
+    workers / pool:
+        The shared :class:`~repro.runtime.WorkerPool` tiles fan out on.
+        A borrowed ``pool`` is left open at shutdown; otherwise the server
+        owns a pool of ``workers``.
+
+    Use as a context manager, or call :meth:`shutdown` — in-flight and
+    queued requests are drained before the server stops.
+    """
+
+    def __init__(self, model, *, max_batch: int = 8,
+                 max_wait_s: float = 0.002,
+                 workers: Optional[int] = None,
+                 pool: Optional[WorkerPool] = None):
+        self.model = model
+        self.queue = RequestQueue()
+        self.stats = ServerStats()
+        self._ids = itertools.count()
+        self._batch_ids = itertools.count()
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else WorkerPool(workers)
+        self.engines: Dict = {}          # filled by from_model
+        self.die_cache: Optional[DieCache] = None
+        self._shutdown_lock = threading.Lock()
+        self._shut_down = False
+        self._image_shape = None     # pinned by the first submission
+        self.batcher = Batcher(self.queue, self._dispatch,
+                               max_batch=max_batch, max_wait_s=max_wait_s)
+        self.batcher.start()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model, config, device, *, adc=None,
+                   activation_bits: int = 16, engine_cls=None,
+                   die_cache: Optional[DieCache] = None,
+                   max_batch: int = 8, max_wait_s: float = 0.002,
+                   workers: Optional[int] = None,
+                   pool: Optional[WorkerPool] = None,
+                   **engine_kwargs) -> "InferenceServer":
+        """Build the in-situ network and serve it.
+
+        Convenience constructor: lowers ``model`` through
+        :func:`repro.reram.build_insitu_network` with a shared
+        :class:`~repro.reram.DieCache` (created if not given), so a server
+        rebuilt across sweep points — or several servers over the same
+        weights — reuses programmed dies.  The engines dict and the cache
+        are exposed as ``server.engines`` / ``server.die_cache``.
+        """
+        from ..reram.inference import build_insitu_network
+        cache = die_cache if die_cache is not None else DieCache()
+        build_kwargs = dict(adc=adc, activation_bits=activation_bits,
+                            die_cache=cache, **engine_kwargs)
+        if engine_cls is not None:
+            build_kwargs["engine_cls"] = engine_cls
+        net, engines = build_insitu_network(model, config, device,
+                                            **build_kwargs)
+        server = cls(net, max_batch=max_batch, max_wait_s=max_wait_s,
+                     workers=workers, pool=pool)
+        server.engines = engines
+        server.die_cache = cache
+        return server
+
+    # ------------------------------------------------------------------
+    def submit_async(self, image: np.ndarray) -> Future:
+        """Enqueue one image; the future resolves to a :class:`ServedResult`."""
+        image = np.asarray(image)
+        if image.ndim < 1:
+            raise ValueError("image must be at least 1-D (no batch axis)")
+        with self._shutdown_lock:
+            if self._shut_down:
+                raise RuntimeError("server is shut down")
+            # shape mismatches must be rejected here, at the offending
+            # request — discovered at batch stacking they would fail
+            # innocent batch mates
+            if self._image_shape is None:
+                self._image_shape = image.shape
+            elif image.shape != self._image_shape:
+                raise ValueError(
+                    f"image shape {image.shape} does not match this "
+                    f"server's request shape {self._image_shape}")
+            request = PendingRequest(next(self._ids), image)
+            self.queue.put(request)
+        return request.future
+
+    def submit(self, image: np.ndarray,
+               timeout: Optional[float] = None) -> ServedResult:
+        """Serve one image, blocking until its batch completes."""
+        return self.submit_async(image).result(timeout)
+
+    def submit_many(self, images: Iterable[np.ndarray],
+                    timeout: Optional[float] = None) -> List[ServedResult]:
+        """Enqueue every image first, then wait — they may share batches."""
+        futures = [self.submit_async(image) for image in images]
+        return [future.result(timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    def server_stats(self) -> Dict:
+        """Operational snapshot (see :meth:`ServerStats.snapshot`)."""
+        return self.stats.snapshot(queue_depth=self.queue.depth)
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Drain queued and in-flight requests, then stop.
+
+        New submissions are refused immediately; everything already
+        accepted is served.  Idempotent.  The owned worker pool is closed
+        once the batcher has drained; if ``timeout`` expires first the
+        pool is left open so the background drain can still complete
+        (closing it would fail accepted requests with a pool error) — a
+        borrowed pool is always left open.
+        """
+        with self._shutdown_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            self.queue.close()
+        self.batcher.join(timeout)
+        if self._owns_pool and not self.batcher.is_alive():
+            self.pool.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, batch: List[PendingRequest]) -> None:
+        """Run one coalesced batch: one tile per request, shared pool."""
+        dispatch_t = time.monotonic()
+        batch_id = next(self._batch_ids)
+        tiles = [slice(i, i + 1) for i in range(len(batch))]
+        try:
+            stacked = np.stack([request.image for request in batch])
+            results = infer_tiles(self.model, stacked, tiles, pool=self.pool,
+                                  collect_stats=True)
+        except BaseException:
+            self.stats.record_failure(len(batch))
+            raise  # the batcher fails this batch's futures
+
+        done_t = time.monotonic()
+        self.stats.record_batch(len(batch), done_t - dispatch_t)
+        for request, (output, engine_stats) in zip(batch, results):
+            stats = RequestStats(
+                request_id=request.request_id,
+                batch_id=batch_id,
+                batch_size=len(batch),
+                queue_wait_s=dispatch_t - request.enqueue_t,
+                service_s=done_t - dispatch_t,
+                latency_s=done_t - request.enqueue_t,
+                engine_stats=engine_stats.as_dict(),
+            )
+            self.stats.record_request(stats)
+            # a client may have cancelled its future (e.g. a timed-out
+            # submit); that must not poison its batch mates
+            if not request.future.done():
+                try:
+                    request.future.set_result(ServedResult(output[0], stats))
+                except InvalidStateError:   # cancelled between check and set
+                    pass

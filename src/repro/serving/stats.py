@@ -1,0 +1,153 @@
+"""Per-request and server-wide serving statistics.
+
+:class:`RequestStats` is the receipt attached to every served request:
+where its latency went (queue wait vs service), which batch it rode in,
+and the exact slice of the shared engines' :class:`~repro.reram.engine.
+EngineStats` its tile accounted for (conversions, scheduled/skipped jobs
+and pairs — see :func:`repro.runtime.infer_tiles`).
+
+:class:`ServerStats` aggregates those receipts into the operational view:
+latency percentiles, queue-wait distribution, batch-size mix, dispatch
+occupancy and throughput.  All mutation happens under one lock; reads take
+a consistent :meth:`snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RequestStats:
+    """Accounting of one served request.
+
+    ``latency_s`` is enqueue to completion; ``queue_wait_s`` is enqueue to
+    batch dispatch; ``service_s`` is the wall clock of the batch dispatch
+    the request rode in (shared with its batch mates — tiles of one batch
+    run concurrently, so per-request service time is not separable).
+    ``engine_stats`` is this request's exact slice of the shared engines'
+    merged stats.
+    """
+
+    request_id: int
+    batch_id: int
+    batch_size: int
+    queue_wait_s: float
+    service_s: float
+    latency_s: float
+    engine_stats: Dict[str, int]
+
+    def as_dict(self) -> Dict:
+        return {
+            "request_id": self.request_id,
+            "batch_id": self.batch_id,
+            "batch_size": self.batch_size,
+            "queue_wait_s": self.queue_wait_s,
+            "service_s": self.service_s,
+            "latency_s": self.latency_s,
+            "engine_stats": dict(self.engine_stats),
+        }
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """What :meth:`repro.serving.InferenceServer.submit` returns."""
+
+    output: np.ndarray
+    stats: RequestStats
+
+
+class ServerStats:
+    """Thread-safe aggregator of completed-request receipts.
+
+    The batcher records one :meth:`record_batch` per dispatched batch and
+    one :meth:`record_request` per completed request; :meth:`snapshot`
+    reduces them to the numbers an operator watches — p50/p95 latency,
+    mean queue wait, batch-size mix, occupancy (fraction of wall time the
+    dispatch path was busy) and completed-request throughput.
+
+    Counters (requests, batches, busy time) are exact over the server's
+    lifetime; the latency/queue-wait *distributions* are kept in a sliding
+    window of the most recent ``window`` requests (``None`` = unbounded),
+    so a long-running server neither grows without bound nor pays more
+    than O(window) per snapshot.
+    """
+
+    def __init__(self, window: Optional[int] = 4096):
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None for unbounded)")
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.window = window
+        self.requests_completed = 0
+        self.requests_failed = 0
+        self.batches_formed = 0
+        self.batch_size_sum = 0
+        self.batch_size_max = 0
+        self.busy_s = 0.0
+        self._latencies: deque = deque(maxlen=window)
+        self._queue_waits: deque = deque(maxlen=window)
+
+    # ------------------------------------------------------------------
+    def record_batch(self, size: int, service_s: float) -> None:
+        with self._lock:
+            self.batches_formed += 1
+            self.batch_size_sum += size
+            self.batch_size_max = max(self.batch_size_max, size)
+            self.busy_s += service_s
+
+    def record_request(self, stats: RequestStats) -> None:
+        with self._lock:
+            self.requests_completed += 1
+            self._latencies.append(stats.latency_s)
+            self._queue_waits.append(stats.queue_wait_s)
+
+    def record_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self.requests_failed += count
+
+    # ------------------------------------------------------------------
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile (0-100) over completed requests."""
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            return float(np.percentile(self._latencies, q))
+
+    def snapshot(self, queue_depth: Optional[int] = None) -> Dict:
+        """One consistent JSON-ready view of everything recorded so far."""
+        with self._lock:
+            elapsed = time.monotonic() - self._started
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            waits = np.asarray(self._queue_waits, dtype=np.float64)
+            completed = self.requests_completed
+            snap = {
+                "requests_completed": completed,
+                "requests_failed": self.requests_failed,
+                "batches_formed": self.batches_formed,
+                "mean_batch_size": (self.batch_size_sum / self.batches_formed
+                                    if self.batches_formed else 0.0),
+                "max_batch_size": self.batch_size_max,
+                "elapsed_s": elapsed,
+                "occupancy": self.busy_s / elapsed if elapsed > 0 else 0.0,
+                "throughput_rps": completed / elapsed if elapsed > 0 else 0.0,
+                "latency_p50_s": float(np.percentile(latencies, 50))
+                if latencies.size else 0.0,
+                "latency_p95_s": float(np.percentile(latencies, 95))
+                if latencies.size else 0.0,
+                "latency_max_s": float(latencies.max())
+                if latencies.size else 0.0,
+                "queue_wait_mean_s": float(waits.mean())
+                if waits.size else 0.0,
+                "queue_wait_p95_s": float(np.percentile(waits, 95))
+                if waits.size else 0.0,
+            }
+        if queue_depth is not None:
+            snap["queue_depth"] = queue_depth
+        return snap

@@ -15,7 +15,8 @@ from repro.reram.inference import build_insitu_network
 from repro.reram.nonideal import ReadNoise
 from repro.reram.nonideal_engine import NonidealEngine
 from repro.runtime import (WorkerPool, attach_pool, detach_pool,
-                           evaluate_tiled, infer_tiled, run_network_serial)
+                           evaluate_tiled, infer_tiled, infer_tiles,
+                           iter_tiles, run_network_serial)
 
 
 @pytest.fixture(scope="module")
@@ -137,3 +138,60 @@ class TestRuntimeGlue:
             infer_tiled(net, images, tile_size=0)
         with pytest.raises(ValueError):
             infer_tiled(net, images[:0])
+
+
+class TestInferTiles:
+    """The tile-shape-agnostic entry point the serving layer builds on."""
+
+    def test_ragged_tiles_match_serial_per_tile(self, network_case):
+        net, _, images = build(network_case)
+        ref_net, _, _ = build(network_case)
+        tiles = [slice(0, 1), slice(1, 4), slice(4, 6), slice(6, 8)]
+        outputs = infer_tiles(net, images, tiles, workers=3)
+        assert len(outputs) == len(tiles)
+        for tile, out in zip(tiles, outputs):
+            np.testing.assert_array_equal(
+                out, run_network_serial(ref_net, images[tile],
+                                        tile_size=images[tile].shape[0]))
+
+    def test_integer_tiles_equal_single_image_slices(self, network_case):
+        net, _, images = build(network_case)
+        by_int = infer_tiles(net, images, [0, 2], workers=2)
+        by_slice = infer_tiles(net, images, [slice(0, 1), slice(2, 3)],
+                               workers=2)
+        for a, b in zip(by_int, by_slice):
+            np.testing.assert_array_equal(a, b)
+
+    def test_iter_tiles_round_trip(self, network_case):
+        net, _, images = build(network_case)
+        tiles = iter_tiles(images.shape[0], 3)
+        assert [t.start for t in tiles] == [0, 3, 6]
+        np.testing.assert_array_equal(
+            np.concatenate(infer_tiles(net, images, tiles, workers=2)),
+            infer_tiled(net, images, workers=2, tile_size=3))
+
+    def test_collect_stats_slices_sum_to_totals(self, network_case):
+        """Per-tile stats scopes partition the engines' merged stats."""
+        net, engines, images = build(network_case)
+        tiles = [slice(i, i + 1) for i in range(images.shape[0])]
+        results = infer_tiles(net, images, tiles, workers=4,
+                              collect_stats=True)
+        totals = {}
+        for engine in engines.values():
+            for key, value in engine.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        summed = {}
+        for _, stats in results:
+            for key, value in stats.as_dict().items():
+                summed[key] = summed.get(key, 0) + value
+        assert summed == totals
+        outputs = [out for out, _ in results]
+        serial_net, _, _ = build(network_case)
+        np.testing.assert_array_equal(
+            np.concatenate(outputs),
+            run_network_serial(serial_net, images, tile_size=1))
+
+    def test_validates_empty_tiles(self, network_case):
+        net, _, images = build(network_case)
+        with pytest.raises(ValueError):
+            infer_tiles(net, images, [])

@@ -1,0 +1,89 @@
+"""Serving benchmark records and their BENCH_engine.json merge semantics."""
+
+import json
+
+import pytest
+
+from repro.perf import (SERVING_RECORD_KIND, merge_serving_records,
+                        run_poisson_point, serving_record_name,
+                        write_payload)
+
+
+def serving_record(name, rate=50.0):
+    return {"name": name, "kind": SERVING_RECORD_KIND,
+            "results": {"offered_rate_rps": rate}, "meta": {}}
+
+
+class TestMerge:
+    def test_replaces_by_name_and_appends_new(self):
+        payload = {"records": [{"name": "mvm", "kind": "paired"},
+                               serving_record("serving_poisson_r50", 50.0)]}
+        fresh = [serving_record("serving_poisson_r50", 50.0),
+                 serving_record("serving_poisson_r200", 200.0)]
+        fresh[0]["results"]["throughput_rps"] = 42.0
+        merge_serving_records(payload, fresh)
+        names = [r["name"] for r in payload["records"]]
+        assert names == ["mvm", "serving_poisson_r50", "serving_poisson_r200"]
+        assert payload["records"][1]["results"]["throughput_rps"] == 42.0
+
+    def test_write_payload_preserves_serving_records(self, tmp_path):
+        """run_perf_suite rewriting BENCH_engine.json must not drop the
+        serving curve recorded by bench_serving.py."""
+        path = tmp_path / "bench.json"
+        existing = {"records": [serving_record("serving_poisson_r50"),
+                                {"name": "old_engine", "kind": "paired"}]}
+        path.write_text(json.dumps(existing))
+        write_payload(path, {"schema": "forms-perf-suite/v1",
+                             "records": [{"name": "mvm", "kind": "paired"}]})
+        merged = json.loads(path.read_text())
+        names = [r["name"] for r in merged["records"]]
+        assert names == ["mvm", "serving_poisson_r50"]
+
+    def test_write_payload_new_name_wins_over_preserved(self, tmp_path):
+        path = tmp_path / "bench.json"
+        stale = serving_record("serving_poisson_r50")
+        stale["results"]["throughput_rps"] = 1.0
+        path.write_text(json.dumps({"records": [stale]}))
+        fresh = serving_record("serving_poisson_r50")
+        fresh["results"]["throughput_rps"] = 9.0
+        write_payload(path, {"records": [fresh]})
+        merged = json.loads(path.read_text())
+        assert len(merged["records"]) == 1
+        assert merged["records"][0]["results"]["throughput_rps"] == 9.0
+
+    def test_write_payload_refuses_corrupt_existing_file(self, tmp_path):
+        """A corrupt BENCH file may hold the only serving trajectory —
+        refuse to overwrite rather than silently drop it."""
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="refusing"):
+            write_payload(path, {"records": []})
+        assert path.read_text() == "{not json"
+
+    def test_record_names(self):
+        assert serving_record_name(50.0) == "serving_poisson_r50"
+        assert serving_record_name(12.5) == "serving_poisson_r12p5"
+
+
+class TestPoissonPoint:
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            run_poisson_point(0.0, requests=4)
+        with pytest.raises(ValueError):
+            run_poisson_point(-50.0, requests=4)
+        with pytest.raises(ValueError):
+            run_poisson_point(100.0, requests=0)
+
+    def test_point_record_shape(self):
+        record = run_poisson_point(400.0, requests=6, max_batch=4,
+                                   workers=2, seed=1)
+        assert record["kind"] == SERVING_RECORD_KIND
+        assert record["name"] == "serving_poisson_r400"
+        results = record["results"]
+        assert results["offered_rate_rps"] == 400.0
+        assert results["throughput_rps"] > 0.0
+        assert results["latency_p95_s"] >= results["latency_p50_s"] > 0.0
+        assert results["batches_formed"] >= 2  # 6 requests, max_batch 4
+        assert record["meta"]["requests"] == 6
+        assert record["meta"]["workers"] == 2
+        assert record["meta"]["bit_identical_to_serial"] is True

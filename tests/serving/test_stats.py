@@ -1,0 +1,82 @@
+"""ServerStats aggregation and RequestStats receipts."""
+
+import numpy as np
+import pytest
+
+from repro.serving import RequestStats, ServerStats
+
+
+def receipt(i, latency, wait=0.0):
+    return RequestStats(request_id=i, batch_id=0, batch_size=1,
+                        queue_wait_s=wait, service_s=latency - wait,
+                        latency_s=latency, engine_stats={"conversions": 10})
+
+
+class TestServerStats:
+    def test_percentiles_match_numpy(self):
+        stats = ServerStats()
+        latencies = [0.001 * (i + 1) for i in range(20)]
+        for i, latency in enumerate(latencies):
+            stats.record_request(receipt(i, latency))
+        snap = stats.snapshot()
+        assert snap["latency_p50_s"] == float(np.percentile(latencies, 50))
+        assert snap["latency_p95_s"] == float(np.percentile(latencies, 95))
+        assert snap["latency_max_s"] == max(latencies)
+        assert stats.latency_percentile(50) == snap["latency_p50_s"]
+
+    def test_batch_mix_and_occupancy(self):
+        stats = ServerStats()
+        stats.record_batch(2, 0.010)
+        stats.record_batch(4, 0.030)
+        snap = stats.snapshot()
+        assert snap["batches_formed"] == 2
+        assert snap["mean_batch_size"] == 3.0
+        assert snap["max_batch_size"] == 4
+        # occupancy = busy_s / wall_s; the wall clock here is artificial,
+        # so only the bookkeeping (busy time accumulated) is asserted
+        assert snap["occupancy"] * snap["elapsed_s"] == pytest.approx(0.040)
+
+    def test_queue_wait_aggregates(self):
+        stats = ServerStats()
+        for i, wait in enumerate([0.001, 0.003]):
+            stats.record_request(receipt(i, wait + 0.01, wait=wait))
+        snap = stats.snapshot(queue_depth=5)
+        assert snap["queue_wait_mean_s"] == 0.002
+        assert snap["queue_depth"] == 5
+        assert snap["requests_completed"] == 2
+
+    def test_empty_snapshot_is_zeroed(self):
+        snap = ServerStats().snapshot()
+        assert snap["requests_completed"] == 0
+        assert snap["latency_p50_s"] == 0.0
+        assert snap["throughput_rps"] == 0.0
+        assert snap["mean_batch_size"] == 0.0
+        assert "queue_depth" not in snap
+
+    def test_distribution_window_is_bounded(self):
+        """Counters stay exact; percentile memory is capped at `window`."""
+        stats = ServerStats(window=8)
+        for i in range(50):
+            stats.record_request(receipt(i, 0.001 * (i + 1)))
+        snap = stats.snapshot()
+        assert snap["requests_completed"] == 50
+        assert len(stats._latencies) == 8
+        # percentiles now reflect the most recent 8 requests only
+        recent = [0.001 * (i + 1) for i in range(42, 50)]
+        assert snap["latency_p50_s"] == float(np.percentile(recent, 50))
+        with pytest.raises(ValueError):
+            ServerStats(window=0)
+
+    def test_failures_counted(self):
+        stats = ServerStats()
+        stats.record_failure(3)
+        assert stats.snapshot()["requests_failed"] == 3
+
+    def test_receipt_as_dict_round_trips(self):
+        r = receipt(7, 0.02, wait=0.005)
+        d = r.as_dict()
+        assert d["request_id"] == 7
+        assert d["latency_s"] == 0.02
+        assert d["engine_stats"] == {"conversions": 10}
+        d["engine_stats"]["conversions"] = 0   # copy, not a view
+        assert r.engine_stats["conversions"] == 10
