@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Multi-tenant mixed-traffic serving benchmark: SLA contention recorder.
+
+Drives two tenants with opposed SLAs — an interactive small model under
+the highest-precedence class (tiny batches, per-request deadline) and a
+bulk heavy model under a best-effort class (large batches, class latency
+bound) — through one shared ``WorkerPool`` + ``DieCache`` with open-loop
+Poisson arrivals at several offered rates, and records one ``"serving"``
+record per rate into ``BENCH_engine.json``: per-class and per-model
+latency percentiles, shed accounting and die-reuse stats, merged so the
+engine suite's and ``bench_serving.py``'s records are preserved (schema
+in ``benchmarks/README.md``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_multitenant.py --smoke   # < 30 s
+    PYTHONPATH=src python benchmarks/bench_multitenant.py           # full curve
+    PYTHONPATH=src python benchmarks/bench_multitenant.py \\
+        --rates 100 800 --requests 64 -o /tmp/multitenant.json
+
+Every rate point asserts — under mixed-class contention, with shedding
+in play — that each served output is bit-identical to a direct serial
+single-image forward through its tenant's network before anything is
+recorded.  Exits non-zero if that assertion fails or if fewer than two
+rate points were recorded.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import merge_serving_records, run_multitenant_point  # noqa: E402
+from repro.reram import DieCache                                     # noqa: E402
+
+#: offered arrival rates (requests/s) per mode — always a light-load and
+#: a saturating point so the recorded curve shows the SLA protection
+SMOKE_RATES = (50.0, 400.0)
+FULL_RATES = (25.0, 100.0, 400.0, 1600.0)
+
+
+def format_point(record: dict) -> str:
+    results, meta = record["results"], record["meta"]
+    lines = [f"{record['name']:26s} offered {results['offered_rate_rps']:6.0f}"
+             f" rps -> served {results['throughput_rps']:6.1f} rps, "
+             f"shed {results['requests_shed']} "
+             f"{results['shed_by_reason'] or ''} "
+             f"(w={meta['workers']}, mean batch "
+             f"{results['mean_batch_size']:.2f})"]
+    for name, group in sorted(results["per_class"].items()):
+        lines.append(f"    class {name:12s} completed {group['completed']:3d}"
+                     f" shed {group['shed']:3d}"
+                     f" p50 {group['latency_p50_s'] * 1e3:8.2f} ms"
+                     f" p95 {group['latency_p95_s'] * 1e3:8.2f} ms")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode: two rate points, fewer requests")
+    parser.add_argument("--rates", type=float, nargs="+", default=None,
+                        help="offered arrival rates in requests/s "
+                             "(default: two smoke points / four full points)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per rate point (default 16 smoke / 64)")
+    parser.add_argument("--interactive-fraction", type=float, default=0.4,
+                        help="fraction of traffic in the interactive class")
+    parser.add_argument("--deadline-ms", type=float, default=50.0,
+                        help="per-request deadline of the interactive class")
+    parser.add_argument("--bulk-shed-after-ms", type=float, default=150.0,
+                        help="bulk-class latency bound (shed past this)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size (default: FORMS_WORKERS or "
+                             "CPU count)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="BENCH json to merge records into (default: "
+                             "BENCH_engine.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    rates = args.rates if args.rates is not None else (
+        list(SMOKE_RATES) if args.smoke else list(FULL_RATES))
+    requests = args.requests if args.requests is not None else (
+        16 if args.smoke else 64)
+    if len(rates) < 2:
+        print("ERROR: need at least two arrival-rate points for a curve",
+              file=sys.stderr)
+        return 1
+
+    # <= 0 disables the bound, matching the serve CLIs' convention
+    deadline_ms = (args.deadline_ms
+                   if args.deadline_ms and args.deadline_ms > 0 else None)
+    bulk_shed_after_ms = (args.bulk_shed_after_ms
+                          if args.bulk_shed_after_ms
+                          and args.bulk_shed_after_ms > 0 else None)
+
+    records = []
+    die_cache = DieCache()   # shared: rate points rebuild identical tenants
+    for rate in rates:
+        record = run_multitenant_point(
+            rate, requests, interactive_fraction=args.interactive_fraction,
+            deadline_ms=deadline_ms,
+            bulk_shed_after_ms=bulk_shed_after_ms,
+            workers=args.workers, seed=args.seed, die_cache=die_cache)
+        print(format_point(record))
+        records.append(record)
+
+    if args.output.exists():
+        # an unreadable existing file must abort, not be clobbered — it
+        # may hold the whole engine-suite + serving trajectory
+        try:
+            with open(args.output) as handle:
+                payload = json.load(handle)
+        except ValueError as exc:
+            print(f"ERROR: {args.output} exists but is not valid JSON "
+                  f"({exc}); refusing to overwrite it", file=sys.stderr)
+            return 1
+    else:
+        payload = {"schema": "forms-perf-suite/v1", "records": []}
+    merge_serving_records(payload, records)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[{len(records)} multitenant records merged into {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,12 @@
 #    points through the batching inference server, each asserting
 #    bit-identity of every served output against the serial single-image
 #    path (a serving regression fails here before it ships).
-# 4. `check_docs.py` — README.md and docs/architecture.md must exist and
+# 4. `bench_multitenant.py --smoke` — two mixed-traffic points: two
+#    tenants on one shared pool under the two-class SLA policy, each
+#    point asserting per-model bit-identity under mixed-class contention
+#    before recording (records merge without clobbering the engine or
+#    serving entries in the BENCH payload).
+# 5. `check_docs.py` — README.md and docs/architecture.md must exist and
 #    mention every src/repro/* package (docs drift fails the check set).
 set -e
 
@@ -31,6 +36,11 @@ echo "==> serving smoke: bench_serving.py --smoke"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_serving.py \
     --smoke --requests 12 \
     -o "${SERVING_BENCH_OUTPUT:-/tmp/forms_serving_smoke.json}"
+
+echo "==> multi-tenant smoke: bench_multitenant.py --smoke"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_multitenant.py \
+    --smoke --requests 12 \
+    -o "${MULTITENANT_BENCH_OUTPUT:-/tmp/forms_multitenant_smoke.json}"
 
 echo "==> docs check: check_docs.py"
 python scripts/check_docs.py

@@ -11,6 +11,14 @@ through :class:`repro.serving.InferenceServer`, checks every output
 bit-identical to a direct serial single-image forward, and prints
 per-request receipts (queue wait, batch ridden, conversions) plus the
 server's operational snapshot.  Equivalent to ``python -m repro serve``.
+
+``--models 2`` (or ``--priority-classes 2``) switches to the
+self-checking two-model, two-class SLA demo: an interactive tenant with
+per-request deadlines and a bulk tenant with a latency bound contend for
+one shared ``WorkerPool`` + ``DieCache``; per-class latency/shed
+summaries, shed receipts, and a cross-model die-dedup proof are printed::
+
+    python scripts/serve_demo.py --models 2 --requests 32 --rate 400
 """
 
 import argparse
@@ -20,7 +28,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.serving.demo import run_demo                          # noqa: E402
+from repro.serving.demo import run_demo, run_multitenant_demo   # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -32,7 +40,28 @@ def main(argv=None) -> int:
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--models", type=int, default=1, choices=(1, 2),
+                        help="2 selects the two-model, two-class SLA demo")
+    parser.add_argument("--priority-classes", type=int, default=None,
+                        choices=(1, 2),
+                        help="number of SLA classes (default: --models)")
+    parser.add_argument("--deadline-ms", type=float, default=50.0,
+                        help="interactive-class deadline in the SLA demo "
+                             "(<= 0 disables)")
     args = parser.parse_args(argv)
+    classes = (args.priority_classes if args.priority_classes is not None
+               else args.models)
+    if args.models > 1 or classes > 1:
+        if (args.max_batch, args.max_wait_ms) != (4, 2.0):
+            print("note: --max-batch/--max-wait-ms are FIFO knobs; the SLA "
+                  "demo's classes carry their own coalescing budgets "
+                  "(ignored here)")
+        deadline = (args.deadline_ms
+                    if args.deadline_ms and args.deadline_ms > 0 else None)
+        run_multitenant_demo(requests=args.requests, rate_rps=args.rate,
+                             deadline_ms=deadline, workers=args.workers,
+                             seed=args.seed)
+        return 0
     run_demo(requests=args.requests, rate_rps=args.rate,
              max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
              workers=args.workers, seed=args.seed)

@@ -10,12 +10,20 @@ Regenerate any paper table/figure from a shell::
 (fast / standard / full); ``--out`` saves each rendered table next to
 printing it.
 
-``serve`` runs the batching inference server against synthetic Poisson
-traffic and prints per-request receipts plus the operational summary —
-a self-checking demo of :mod:`repro.serving` (every output is asserted
+``serve`` runs the inference server against synthetic Poisson traffic
+and prints per-request receipts plus the operational summary — a
+self-checking demo of :mod:`repro.serving` (every output is asserted
 bit-identical to the serial single-image path)::
 
     python -m repro serve --requests 24 --rate 200 --max-batch 4 --workers 2
+
+With ``--models 2`` (or ``--priority-classes 2``) the demo switches to
+the multi-tenant shape: two models registered on one shared pool, served
+under the two-class SLA policy (interactive deadlines via
+``--deadline-ms``, bulk latency bound, shedding receipts), plus a
+cross-model die-dedup proof::
+
+    python -m repro serve --models 2 --requests 32 --rate 400 --deadline-ms 50
 """
 
 from __future__ import annotations
@@ -113,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None,
                        help="worker-pool size (serve only; default: "
                             "FORMS_WORKERS or CPU count)")
+    serve.add_argument("--models", type=int, default=1, choices=(1, 2),
+                       help="number of tenant models: 2 selects the "
+                            "multi-tenant SLA demo (serve only)")
+    serve.add_argument("--priority-classes", type=int, default=None,
+                       choices=(1, 2),
+                       help="number of SLA classes (default: matches "
+                            "--models; 2 selects the SLA demo)")
+    serve.add_argument("--deadline-ms", type=float, default=50.0,
+                       help="per-request deadline of the interactive "
+                            "class in the SLA demo; <= 0 disables "
+                            "(serve only)")
     return parser
 
 
@@ -120,6 +139,21 @@ def run(argv=None) -> int:
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
     if args.experiment == "serve":
+        classes = (args.priority_classes if args.priority_classes is not None
+                   else args.models)
+        if args.models > 1 or classes > 1:
+            from .serving.demo import run_multitenant_demo
+
+            if (args.max_batch, args.max_wait_ms) != (4, 2.0):
+                print("note: --max-batch/--max-wait-ms are FIFO knobs; "
+                      "the SLA demo's classes carry their own coalescing "
+                      "budgets (ignored here)")
+            deadline = (args.deadline_ms if args.deadline_ms is not None
+                        and args.deadline_ms > 0 else None)
+            run_multitenant_demo(requests=args.requests, rate_rps=args.rate,
+                                 deadline_ms=deadline, workers=args.workers,
+                                 seed=args.seed)
+            return 0
         from .serving.demo import run_demo
 
         run_demo(requests=args.requests, rate_rps=args.rate,

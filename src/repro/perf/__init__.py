@@ -12,10 +12,16 @@ Two layers:
 * :mod:`repro.perf.serving` — the serving-layer record kind: open-loop
   Poisson throughput/latency points measured by
   ``benchmarks/bench_serving.py`` and merged into the same
-  ``BENCH_engine.json`` (both recorders preserve each other's records).
+  ``BENCH_engine.json`` (all recorders preserve each other's records);
+* :mod:`repro.perf.multitenant` — the multi-tenant extension of the
+  serving records: two tenants with opposed SLAs contending for one
+  worker pool (``benchmarks/bench_multitenant.py``), per-class and
+  per-model latency percentiles plus shed accounting.
 """
 
 from .instrument import EngineMeter, TimingResult, time_callable
+from .multitenant import (drive_mixed_traffic, multitenant_record_name,
+                          run_multitenant_point, tenant_models)
 from .serving import (SERVING_RECORD_KIND, drive_poisson,
                       merge_serving_records, run_poisson_point,
                       serving_record_name)
@@ -26,4 +32,6 @@ __all__ = [
     "BENCH_SCHEMA", "default_suite", "run_suite", "write_payload",
     "SERVING_RECORD_KIND", "drive_poisson", "merge_serving_records",
     "run_poisson_point", "serving_record_name",
+    "drive_mixed_traffic", "multitenant_record_name",
+    "run_multitenant_point", "tenant_models",
 ]

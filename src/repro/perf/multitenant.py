@@ -1,0 +1,271 @@
+"""Multi-tenant mixed-traffic serving benchmark: SLA contention points.
+
+The single-tenant curve (:mod:`repro.perf.serving`) measures one model
+under one FIFO queue; this module measures the scenario the SLA scheduler
+exists for — **two tenants with opposed service objectives contending for
+one worker pool**:
+
+* an *interactive* tenant: a small, fast model served under the
+  highest-precedence class with tiny batches and a per-request deadline
+  (the latency-sensitive traffic whose p95 the scheduler must protect);
+* a *bulk* tenant: a heavier model served best-effort under a
+  low-precedence class with large coalesced batches and a class latency
+  bound — under saturation its requests batch up and, past the bound,
+  are shed with explicit receipts.
+
+Records share the ``"serving"`` BENCH record kind (they merge into
+``BENCH_engine.json`` through the same
+:func:`repro.perf.serving.merge_serving_records` path, preserving the
+engine suite's and ``bench_serving.py``'s entries) and extend its results
+with per-class and per-model latency percentiles plus shed accounting.
+
+Every point asserts — before anything is recorded — that each served
+output is **bit-identical** to a direct serial single-image forward
+through its tenant's network, under mixed-class contention with shedding
+in play: scheduling pressure must never leak into the numerics.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .serving import SERVING_RECORD_KIND
+
+#: tenant and class names of the canonical mixed-traffic scenario
+INTERACTIVE = "interactive"
+BULK = "bulk"
+FAST_MODEL = "fast"
+BATCH_MODEL = "batch"
+
+
+def multitenant_record_name(rate_rps: float) -> str:
+    rate = f"{rate_rps:g}".replace(".", "p")
+    return f"serving_multitenant_r{rate}"
+
+
+def tenant_models(seed: int = 0):
+    """Two FORMS-shaped tenants with opposed serving profiles.
+
+    ``fast`` is a one-conv CNN (the interactive tenant: cheap forward,
+    latency is all that matters); ``batch`` is the perf suite's pruned
+    two-conv network (the bulk tenant: heavier forward, throughput via
+    coalescing).  Both are fragment-polarized on the same
+    :class:`~repro.core.pipeline.FORMSConfig` and share one 16x16 input
+    shape so one Poisson image pool drives both.
+    """
+    from ..core.pipeline import FORMSConfig
+    from ..core.polarization import compute_signs, project_polarization
+    from ..nn import (Conv2d, Flatten, Linear, ReLU, Sequential,
+                      compressible_layers, set_init_seed)
+    set_init_seed(seed)
+    fast = Sequential(Conv2d(1, 4, 3, padding=1), ReLU(),
+                      Flatten(), Linear(4 * 16 * 16, 10))
+    set_init_seed(seed + 100)
+    batch = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(),
+                       Conv2d(8, 8, 3, padding=1), ReLU(),
+                       Flatten(), Linear(8 * 16 * 16, 10))
+    rng = np.random.default_rng(seed + 7)
+    for layer in (batch._modules["0"], batch._modules["2"]):
+        dead = rng.permutation(layer.weight.data.shape[0])[5:]
+        layer.weight.data[dead] = 0.0
+        if layer.bias is not None:
+            layer.bias.data[dead] = 0.0
+    config = FORMSConfig(fragment_size=8)
+    for model in (fast, batch):
+        for _, layer in compressible_layers(model):
+            geometry = config.geometry_for(layer)
+            weight = layer.weight.data.astype(np.float64)
+            layer.weight.data[...] = project_polarization(
+                weight, geometry, compute_signs(weight, geometry))
+    images = np.maximum(0.0, rng.normal(size=(8, 1, 16, 16)) - 0.8)
+    return {FAST_MODEL: fast, BATCH_MODEL: batch}, config, images
+
+
+def mixed_policy(*, interactive_max_batch: int = 2,
+                 interactive_max_wait_ms: float = 0.5,
+                 bulk_max_batch: int = 8, bulk_max_wait_ms: float = 4.0,
+                 bulk_shed_after_ms: Optional[float] = 150.0):
+    """The canonical two-class policy of the mixed-traffic scenario."""
+    from ..serving import PriorityClass, SlaPolicy
+    return SlaPolicy((
+        PriorityClass(INTERACTIVE, max_batch=interactive_max_batch,
+                      max_wait_s=interactive_max_wait_ms / 1e3),
+        PriorityClass(BULK, max_batch=bulk_max_batch,
+                      max_wait_s=bulk_max_wait_ms / 1e3,
+                      shed_after_s=(bulk_shed_after_ms / 1e3
+                                    if bulk_shed_after_ms is not None
+                                    else None)),
+    ))
+
+
+def drive_mixed_traffic(rate_rps: float, requests: int, *,
+                        interactive_fraction: float = 0.4,
+                        deadline_ms: Optional[float] = 50.0,
+                        bulk_shed_after_ms: Optional[float] = 150.0,
+                        max_queue_depth: Optional[int] = None,
+                        workers: Optional[int] = None, seed: int = 0,
+                        activation_bits: int = 12, die_cache=None,
+                        read_noise=None) -> Dict:
+    """Serve one mixed-class Poisson arrival process and verify numerics.
+
+    Builds the two-tenant registry (shared pool + die cache), replays
+    ``requests`` open-loop Poisson arrivals at ``rate_rps`` — each
+    request is interactive (``fast`` model, highest class, optional
+    ``deadline_ms`` budget) with probability ``interactive_fraction``,
+    bulk otherwise — and collects served results and shed receipts.
+
+    Before returning, asserts every *served* output bit-identical to a
+    direct serial single-image forward through its tenant's network —
+    contention and shedding around a request must never change its bits.
+    Pass ``read_noise`` (a :class:`~repro.reram.nonideal.ReadNoise`) to
+    run both tenants on noisy engines; the assertion still holds (keyed
+    substreams).  ``max_queue_depth`` arms an
+    :class:`~repro.serving.AdmissionController`.
+    """
+    from ..reram import ADCSpec, DeviceSpec, ReRAMDevice, paper_adc_bits
+    from ..runtime import run_network_serial
+    from ..serving import (AdmissionController, InferenceServer,
+                           ModelRegistry, RequestShed)
+
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if not 0.0 <= interactive_fraction <= 1.0:
+        raise ValueError("interactive_fraction must be within [0, 1]")
+
+    models, config, images = tenant_models(seed=seed)
+    device = ReRAMDevice(DeviceSpec(), 0.0)
+    adc = ADCSpec(bits=paper_adc_bits(config.fragment_size))
+    build_kwargs: Dict = dict(adc=adc, activation_bits=activation_bits)
+    if read_noise is not None:
+        from ..reram.nonideal_engine import NonidealEngine
+        build_kwargs.update(engine_cls=NonidealEngine,
+                            read_noise=read_noise)
+
+    registry = ModelRegistry(workers=workers, die_cache=die_cache)
+    for name, model in models.items():
+        registry.register(name, model, config, device, **build_kwargs)
+    policy = mixed_policy(bulk_shed_after_ms=bulk_shed_after_ms)
+    admission = (AdmissionController(max_queue_depth=max_queue_depth)
+                 if max_queue_depth is not None else None)
+
+    rng = np.random.default_rng(seed)
+    image_idx = rng.integers(0, images.shape[0], size=requests)
+    interactive = rng.random(requests) < interactive_fraction
+    gaps = rng.exponential(1.0 / rate_rps, size=max(requests - 1, 0))
+    # absolute arrival schedule (first request at t=0): sleeping per-gap
+    # would drift the realized rate below the recorded offered rate
+    arrival_offsets = np.concatenate([[0.0], np.cumsum(gaps)])
+
+    assignments: List[Tuple[str, str, int]] = []   # (model, class, image idx)
+    futures: List[Future] = []
+    with registry, InferenceServer(registry=registry, policy=policy,
+                                   admission=admission) as server:
+        start = time.monotonic()
+        for i in range(requests):
+            delay = start + arrival_offsets[i] - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            if interactive[i]:
+                kwargs = dict(model=FAST_MODEL, priority=INTERACTIVE,
+                              deadline_s=(deadline_ms / 1e3
+                                          if deadline_ms is not None
+                                          else None))
+            else:
+                kwargs = dict(model=BATCH_MODEL, priority=BULK)
+            assignments.append((kwargs["model"],
+                                kwargs["priority"], int(image_idx[i])))
+            futures.append(server.submit_async(images[image_idx[i]],
+                                               **kwargs))
+        served: List[Optional[object]] = []
+        sheds: List[Optional[object]] = []
+        for future in futures:
+            try:
+                served.append(future.result())
+                sheds.append(None)
+            except RequestShed as exc:
+                served.append(None)
+                sheds.append(exc.receipt)
+        open_loop_s = time.monotonic() - start
+        snapshot = server.server_stats()
+        registry_stats = server.registry_stats()
+        resolved_workers = server.pool.workers
+
+        # the acceptance assertion: contention, class mix and shedding
+        # never leak into the numerics of the survivors
+        serial = {name: run_network_serial(registry.get(name).network,
+                                           images, tile_size=1)
+                  for name in models}
+        for i, result in enumerate(served):
+            if result is None:
+                continue
+            model_name, _, img = assignments[i]
+            if not np.array_equal(result.output, serial[model_name][img]):
+                raise AssertionError(
+                    f"request {i} ({model_name}): served output != serial "
+                    "single-image forward under mixed-class contention")
+
+    return {"served": served, "sheds": sheds, "assignments": assignments,
+            "snapshot": snapshot, "registry": registry_stats,
+            "open_loop_s": open_loop_s, "workers": resolved_workers}
+
+
+def run_multitenant_point(rate_rps: float, requests: int = 48, *,
+                          interactive_fraction: float = 0.4,
+                          deadline_ms: Optional[float] = 50.0,
+                          bulk_shed_after_ms: Optional[float] = 150.0,
+                          max_queue_depth: Optional[int] = None,
+                          workers: Optional[int] = None, seed: int = 0,
+                          activation_bits: int = 12,
+                          die_cache=None) -> Dict:
+    """Measure one mixed-traffic arrival-rate point and return its record.
+
+    Drives :func:`drive_mixed_traffic` (per-model bit-identity asserted
+    there) and packages the per-class/per-model view as one ``"serving"``
+    record: the multi-tenant extension of the
+    :mod:`repro.perf.serving` schema (see ``benchmarks/README.md``).
+    """
+    driven = drive_mixed_traffic(
+        rate_rps, requests, interactive_fraction=interactive_fraction,
+        deadline_ms=deadline_ms, bulk_shed_after_ms=bulk_shed_after_ms,
+        max_queue_depth=max_queue_depth, workers=workers, seed=seed,
+        activation_bits=activation_bits, die_cache=die_cache)
+    snapshot = driven["snapshot"]
+    completed = sum(result is not None for result in driven["served"])
+    return {
+        "name": multitenant_record_name(rate_rps),
+        "kind": SERVING_RECORD_KIND,
+        "results": {
+            "offered_rate_rps": rate_rps,
+            "throughput_rps": completed / driven["open_loop_s"],
+            "requests_completed": completed,
+            "requests_shed": snapshot["requests_shed"],
+            "shed_by_reason": snapshot["shed_by_reason"],
+            "latency_p50_s": snapshot["latency_p50_s"],
+            "latency_p95_s": snapshot["latency_p95_s"],
+            "queue_wait_p95_s": snapshot["queue_wait_p95_s"],
+            "mean_batch_size": snapshot["mean_batch_size"],
+            "max_batch_size": snapshot["max_batch_size"],
+            "occupancy": snapshot["occupancy"],
+            "per_class": snapshot["per_class"],
+            "per_model": snapshot["per_model"],
+        },
+        "meta": {
+            "requests": requests,
+            "interactive_fraction": interactive_fraction,
+            "deadline_ms": deadline_ms,
+            "bulk_shed_after_ms": bulk_shed_after_ms,
+            "max_queue_depth": max_queue_depth,
+            "workers": driven["workers"],
+            "seed": seed,
+            "activation_bits": activation_bits,
+            "models": sorted(driven["registry"]["models"]),
+            "die_cache": driven["registry"]["die_cache"],
+            "bit_identical_to_serial": True,
+        },
+    }

@@ -39,7 +39,13 @@ its clients that a batched request is bit-identical to a single-image call
   exact per-tile — and hence per-request — slice of the merged stats.
 
 Engines may be shared freely across tiles — kernel calls accumulate stats
-in per-call locals and merge under the stats lock.
+in per-call locals and merge under the stats lock.  The same holds
+*across models*: the multi-tenant serving layer
+(:mod:`repro.serving.registry`) runs several independent networks' tiles
+on one pool, and because no state is shared between engines of different
+models (the shared :class:`~repro.reram.DieCache` hands out read-only
+programmed planes), which tenants co-occupy the pool — and in what order
+the SLA scheduler interleaves them — can never change any tile's bits.
 """
 
 from __future__ import annotations

@@ -1,38 +1,63 @@
-"""Batched request-queue serving over the parallel inference runtime.
+"""Multi-tenant, SLA-scheduled request serving over the parallel runtime.
 
-The "traffic" layer of the stack (the ROADMAP's step from batch benchmark
-to serving): callers submit **single images**; the server coalesces
-concurrent submissions into batches under a configurable latency budget
-and dispatches them through :func:`repro.runtime.infer_tiles` on one
-shared :class:`~repro.runtime.WorkerPool` — one tile per request, so a
-batched request stays **bit-identical** to a standalone single-image call
-at any batch composition and worker count, read noise included.
+The "traffic" layer of the stack, grown from the PR-3 batch server into a
+multiplexed one: several in-situ networks share one
+:class:`~repro.runtime.WorkerPool` and one :class:`~repro.reram.DieCache`
+(:class:`ModelRegistry` — FORMS's programmed dies are the scarce
+resource, so identical weight codes across tenants program one die), and
+an SLA scheduler replaces the FIFO batcher: requests carry a priority
+class and an optional deadline, dispatch is strict class precedence with
+earliest-deadline-first inside a class, overdue requests are **shed**
+with an explicit receipt (:class:`RequestShed` / :class:`ShedReceipt` —
+never a hang, never dispatched), and an :class:`AdmissionController`
+throttles intake from the occupancy/queue-depth gauges.
+
+Callers still submit **single images**; every batch dispatches as one
+tile per request on the shared pool, so a served request stays
+**bit-identical** to a standalone single-image call at any batch
+composition, worker count, tenant mix and scheduling outcome (shedding
+one class never perturbs survivors), read noise included.
 
 Components
 ----------
-* :class:`RequestQueue` / :class:`Batcher` — thread-safe FIFO plus the
-  deadline-driven coalescing loop (``max_batch`` / ``max_wait_s``, the
-  deadline anchored on the oldest waiting request).
-* :class:`InferenceServer` — the facade: ``submit`` / ``submit_async`` /
-  ``submit_many``, graceful draining ``shutdown``, and
-  ``from_model(...)`` which lowers a float model through
-  :func:`repro.reram.build_insitu_network` with a shared
-  :class:`~repro.reram.DieCache`.
+* :class:`ModelRegistry` / :class:`RegisteredModel` — the tenant table:
+  register/unregister/warm-up, per-model request shapes, die-reuse stats.
+* :class:`SlaPolicy` / :class:`PriorityClass` / :class:`SlaQueue` — the
+  scheduling policy and the multi-class queue behind the dispatch loop;
+  :meth:`SlaPolicy.fifo` is the degenerate single-class policy the
+  classic FIFO server runs on.
+* :class:`AdmissionController` — intake throttle on the
+  :class:`ServerStats` gauges.
+* :class:`InferenceServer` — the facade: ``submit(image, model=...,
+  priority=..., deadline_s=...)`` / ``submit_async`` / ``submit_many``,
+  graceful draining ``shutdown``, and ``from_model(...)`` lowering a
+  float model through :func:`repro.reram.build_insitu_network`.
+* :class:`RequestQueue` / :class:`Batcher` — the FIFO queue (retained)
+  and the dispatch loop shared by both queue shapes.
 * :class:`ServerStats` / :class:`RequestStats` — the operational view
-  (p50/p95 latency, queue depth, batch mix, occupancy) and the
-  per-request receipt (queue wait, the batch it rode in, and the exact
-  per-request slice of the shared engines' merged ``EngineStats``).
+  (p50/p95 latency overall and per class / per model, shed counts by
+  reason, queue depth, batch mix, occupancy) and the per-request receipt
+  (queue wait, batch ridden, model, class, and the exact per-request
+  slice of the shared engines' merged ``EngineStats``).
 
-``benchmarks/bench_serving.py`` drives this layer with open-loop Poisson
-traffic and records throughput/latency curves into ``BENCH_engine.json``;
-``python -m repro serve`` runs a self-checking demo.
+``benchmarks/bench_serving.py`` records single-tenant open-loop Poisson
+curves and ``benchmarks/bench_multitenant.py`` the mixed-class
+multi-tenant contention scenario, both into ``BENCH_engine.json``;
+``python -m repro serve`` runs self-checking demos of either shape.
 """
 
 from .queue import Batcher, PendingRequest, QueueClosed, RequestQueue
-from .server import InferenceServer
+from .registry import ModelRegistry, RegisteredModel
+from .scheduler import (SHED_ADMISSION, SHED_DEADLINE, SHED_LATENCY_BOUND,
+                        AdmissionController, PriorityClass, RequestShed,
+                        ShedReceipt, SlaPolicy, SlaQueue, SlaRequest)
+from .server import DEFAULT_MODEL, InferenceServer
 from .stats import RequestStats, ServedResult, ServerStats
 
 __all__ = [
-    "Batcher", "InferenceServer", "PendingRequest", "QueueClosed",
-    "RequestQueue", "RequestStats", "ServedResult", "ServerStats",
+    "AdmissionController", "Batcher", "DEFAULT_MODEL", "InferenceServer",
+    "ModelRegistry", "PendingRequest", "PriorityClass", "QueueClosed",
+    "RegisteredModel", "RequestQueue", "RequestShed", "RequestStats",
+    "SHED_ADMISSION", "SHED_DEADLINE", "SHED_LATENCY_BOUND", "ServedResult",
+    "ServerStats", "ShedReceipt", "SlaPolicy", "SlaQueue", "SlaRequest",
 ]

@@ -1,12 +1,25 @@
-"""Self-contained serving demo: synthetic traffic against a small network.
+"""Self-contained serving demos: synthetic traffic against small networks.
 
-Backs both ``python -m repro serve`` and ``scripts/serve_demo.py``: drives
-the shared Poisson harness (:func:`repro.perf.serving.drive_poisson` —
-the same build/serve/verify path ``benchmarks/bench_serving.py`` records
-with) and prints per-request receipts plus the server's operational
-snapshot.  Every output is checked bit-identical to a direct single-image
-serial forward before the summary is printed — the demo doubles as an
-end-to-end smoke of the serving contract.
+Backs both ``python -m repro serve`` and ``scripts/serve_demo.py`` in two
+shapes:
+
+* :func:`run_demo` — the single-model FIFO demo (the PR-3 path): drives
+  the shared Poisson harness (:func:`repro.perf.serving.drive_poisson`,
+  the same build/serve/verify path ``benchmarks/bench_serving.py``
+  records with) and prints per-request receipts plus the operational
+  snapshot;
+* :func:`run_multitenant_demo` — the two-model, two-class SLA demo:
+  drives :func:`repro.perf.multitenant.drive_mixed_traffic` (interactive
+  class with per-request deadlines on a small model, bulk class with a
+  latency bound on a heavier one, both on one shared pool), prints
+  per-class latency/shed summaries and the registry's die-reuse stats,
+  and additionally *proves* cross-model die dedup by registering a
+  replica tenant over identical weights and asserting cache hits.
+
+Both demos are self-checking: every served output is asserted
+bit-identical to a direct single-image serial forward (per tenant) in
+the drivers before any summary is printed — the demos double as
+end-to-end smokes of the serving contract.
 """
 
 from __future__ import annotations
@@ -44,4 +57,66 @@ def run_demo(requests: int = 16, rate_rps: float = 200.0,
         f"p95 {snapshot['latency_p95_s'] * 1e3:.2f} ms, "
         f"occupancy {snapshot['occupancy']:.2f}, "
         f"throughput {snapshot['throughput_rps']:.1f} rps")
+    return snapshot
+
+
+def run_multitenant_demo(requests: int = 32, rate_rps: float = 400.0,
+                         deadline_ms: Optional[float] = 50.0,
+                         workers: Optional[int] = None, seed: int = 0,
+                         print_fn: Optional[Callable[[str], None]] = print
+                         ) -> Dict:
+    """Two tenants, two SLA classes, one pool — and prove the dedup.
+
+    Returns the server stats snapshot.  Raises if any served output
+    deviates from its tenant's serial single-image forward, or if the
+    replica-tenant registration fails to hit the shared die cache.
+    """
+    from ..perf.multitenant import (BATCH_MODEL, FAST_MODEL,
+                                    drive_mixed_traffic, tenant_models)
+    from ..reram import (ADCSpec, DeviceSpec, DieCache, ReRAMDevice,
+                         paper_adc_bits)
+    from ..serving import ModelRegistry
+
+    say = print_fn if print_fn is not None else (lambda line: None)
+    say(f"serving {requests} mixed-class requests at ~{rate_rps:.0f} rps "
+        f"(interactive deadline "
+        f"{'none' if deadline_ms is None else f'{deadline_ms:.0f} ms'}; "
+        f"models '{FAST_MODEL}' + '{BATCH_MODEL}' on one pool)")
+    driven = drive_mixed_traffic(rate_rps, requests, deadline_ms=deadline_ms,
+                                 workers=workers, seed=seed)
+    say("bit-identity vs per-tenant serial forwards: OK")
+
+    snapshot = driven["snapshot"]
+    for name, group in sorted(snapshot["per_class"].items()):
+        say(f"  class {name:12s} completed {group['completed']:3d}, "
+            f"shed {group['shed']:3d}, "
+            f"p50 {group['latency_p50_s'] * 1e3:7.2f} ms, "
+            f"p95 {group['latency_p95_s'] * 1e3:7.2f} ms")
+    for receipt in [r for r in driven["sheds"] if r is not None][:4]:
+        say(f"  shed request {receipt.request_id:3d}: {receipt.reason} "
+            f"({receipt.priority_class}) after "
+            f"{receipt.queue_wait_s * 1e3:.1f} ms")
+    cache = driven["registry"]["die_cache"]
+    say(f"die cache: {cache['hits']} hits / {cache['misses']} misses, "
+        f"{cache['unique_dies']} unique dies for "
+        f"{driven['registry']['engines_total']} engines")
+
+    # cross-model dedup, proven: a replica tenant over identical weights
+    # must program zero new dies
+    models, config, _ = tenant_models(seed=seed)
+    shared = DieCache()
+    device = ReRAMDevice(DeviceSpec(), 0.0)
+    adc = ADCSpec(bits=paper_adc_bits(config.fragment_size))
+    with ModelRegistry(workers=1, die_cache=shared) as registry:
+        registry.register(FAST_MODEL, models[FAST_MODEL], config, device,
+                          adc=adc, activation_bits=12)
+        misses_before = shared.misses
+        registry.register(f"{FAST_MODEL}-replica", models[FAST_MODEL],
+                          config, device, adc=adc, activation_bits=12)
+        stats = registry.stats()
+    if shared.misses != misses_before or stats["die_cache"]["hits"] == 0:
+        raise AssertionError("replica tenant re-programmed dies — "
+                             "cross-model dedup broken")
+    say(f"cross-model die dedup: replica tenant registered with "
+        f"{stats['die_cache']['hits']} cache hits, 0 new dies — OK")
     return snapshot

@@ -118,9 +118,17 @@ class Batcher:
     instead, the batcher fails every *unresolved* future in the batch with
     that exception — a dispatch error never strands a caller — and keeps
     serving subsequent batches.
+
+    Two queue shapes are accepted: this module's FIFO
+    :class:`RequestQueue`, whose ``get_batch(max_batch, max_wait_s)``
+    is driven with the batcher's own coalescing knobs, and an SLA queue
+    (:class:`repro.serving.scheduler.SlaQueue`, recognised by its
+    ``policy`` attribute), whose zero-argument ``get_batch`` carries the
+    per-class knobs itself — the FIFO server is then just the batcher
+    over the degenerate single-class policy.
     """
 
-    def __init__(self, queue: RequestQueue, dispatch: Callable[[List], None],
+    def __init__(self, queue, dispatch: Callable[[List], None],
                  *, max_batch: int = 8, max_wait_s: float = 0.002):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -130,12 +138,19 @@ class Batcher:
         self.dispatch = dispatch
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
+        # the SLA queue's batching knobs live in its policy, per class
+        self._policy_driven = hasattr(queue, "policy")
         self._thread: Optional[threading.Thread] = None
+
+    def _next_batch(self) -> Optional[List]:
+        if self._policy_driven:
+            return self.queue.get_batch()
+        return self.queue.get_batch(self.max_batch, self.max_wait_s)
 
     def run(self) -> None:
         """Serve until the queue is closed and drained."""
         while True:
-            batch = self.queue.get_batch(self.max_batch, self.max_wait_s)
+            batch = self._next_batch()
             if batch is None:
                 return
             try:

@@ -1,19 +1,42 @@
-"""The batching inference server over the ``repro.runtime`` executor.
+"""The SLA-scheduled inference server over the ``repro.runtime`` executor.
 
 :class:`InferenceServer` is the "traffic" front end of the stack: callers
-submit *single images*; the server coalesces concurrent submissions into
-batches under a latency budget (``max_batch`` / ``max_wait_s``) and
-dispatches each batch through :func:`repro.runtime.infer_tiles` on one
-shared :class:`~repro.runtime.WorkerPool` — one tile per request, so every
-worker chews on a different request of the batch and deep batches pipeline
-through different layers concurrently.
+submit *single images* — optionally naming a registered model, a priority
+class and a per-request deadline — and the server coalesces concurrent
+submissions into batches under the :class:`~repro.serving.scheduler.
+SlaPolicy` in force, dispatching each batch through
+:func:`repro.runtime.infer_tiles` on the shared
+:class:`~repro.runtime.WorkerPool` — one tile per request, so every
+worker chews on a different request of the batch and deep batches
+pipeline through different layers concurrently.
+
+Multi-tenancy and scheduling
+----------------------------
+The server fronts a :class:`~repro.serving.registry.ModelRegistry`
+(several in-situ networks over one pool and one
+:class:`~repro.reram.DieCache`) and an
+:class:`~repro.serving.scheduler.SlaQueue`: strict class precedence,
+earliest-deadline-first within a class, per-class coalescing knobs,
+deadline/latency-bound shedding (an explicit
+:class:`~repro.serving.scheduler.ShedReceipt` via
+:class:`~repro.serving.scheduler.RequestShed`, never a hang) and an
+optional :class:`~repro.serving.scheduler.AdmissionController` that
+refuses intake from the occupancy/queue-depth gauges before the queue
+melts down.
+
+The classic single-model FIFO server is the degenerate configuration —
+``InferenceServer(network)`` wraps the network in a private registry and
+runs :meth:`SlaPolicy.fifo`: one class, no deadlines, no shedding, the
+same ``max_batch`` / ``max_wait_s`` semantics as always.
 
 Bit-identity guarantee
 ----------------------
 A served result is **bit-identical** to a direct single-image
-``run_network_serial`` call on the same image — at any batch composition,
-arrival order and worker count.  Three properties of the lower layers make
-this structural (see ``repro/runtime/network.py``):
+``run_network_serial`` call on the same image through the same model —
+at any batch composition, arrival order, worker count, tenant mix and
+scheduling outcome (shedding other requests never perturbs survivors).
+Three properties of the lower layers make this structural (see
+``repro/runtime/network.py``):
 
 * one tile per request: batching never changes the quantization grid an
   image sees, because the engines are called per image exactly as in the
@@ -22,16 +45,18 @@ this structural (see ``repro/runtime/network.py``):
   cross-tile floating-point accumulation);
 * per-job keyed read-noise substreams: a noisy engine draws each job's
   noise from (input digest, plane, bit, fragment), so *which batch* a
-  request rode in cannot change its noise.
+  request rode in — or which requests were shed around it — cannot
+  change its noise.
 
 ``tests/serving/`` asserts the guarantee end to end, read noise included.
 
 Per-request stats
 -----------------
 Each result carries a :class:`~repro.serving.stats.RequestStats`: queue
-wait, the batch it rode in, and the exact slice of the shared engines'
-:class:`~repro.reram.engine.EngineStats` its tile accounted for (summing
-the slices over requests reproduces the engines' merged totals — tested).
+wait, the batch it rode in, its model and priority class, and the exact
+slice of the shared engines' :class:`~repro.reram.engine.EngineStats` its
+tile accounted for (summing the slices over requests reproduces the
+engines' merged totals — tested).
 """
 
 from __future__ import annotations
@@ -40,56 +65,89 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from ..reram import DieCache
 from ..runtime import WorkerPool, infer_tiles
-from .queue import Batcher, PendingRequest, QueueClosed, RequestQueue
+from .queue import Batcher
+from .registry import ModelRegistry, RegisteredModel
+from .scheduler import (SHED_ADMISSION, AdmissionController, RequestShed,
+                        ShedReceipt, SlaPolicy, SlaQueue, SlaRequest)
 from .stats import RequestStats, ServedResult, ServerStats
+
+#: the model name a single-model server registers its network under
+DEFAULT_MODEL = "default"
 
 
 class InferenceServer:
-    """Batching single-image inference over a shared in-situ network.
+    """SLA-scheduled single-image inference over shared in-situ networks.
 
     Parameters
     ----------
     model:
         A callable network (typically the in-situ model returned by
-        :func:`repro.reram.build_insitu_network`) mapping a
-        ``(batch, ...)`` :class:`~repro.nn.tensor.Tensor` to logits.
+        :func:`repro.reram.build_insitu_network`) — the single-model
+        convenience path; it is registered as ``"default"`` in a private
+        :class:`~repro.serving.registry.ModelRegistry`.  Mutually
+        exclusive with ``registry``.
+    registry:
+        A caller-owned :class:`~repro.serving.registry.ModelRegistry` —
+        the multi-tenant path.  The registry (and its pool) is borrowed:
+        left open at shutdown.
+    policy / admission:
+        The :class:`~repro.serving.scheduler.SlaPolicy` scheduling the
+        queue (default: :meth:`SlaPolicy.fifo` built from ``max_batch`` /
+        ``max_wait_s``) and an optional
+        :class:`~repro.serving.scheduler.AdmissionController`.
     max_batch / max_wait_s:
-        The coalescing latency budget: a batch dispatches as soon as
-        ``max_batch`` requests are waiting, or when the oldest waiting
-        request has aged ``max_wait_s``, whichever comes first.
+        The FIFO coalescing knobs — used only to build the default
+        policy; ignored when ``policy`` is given (each class carries its
+        own knobs).
     workers / pool:
-        The shared :class:`~repro.runtime.WorkerPool` tiles fan out on.
-        A borrowed ``pool`` is left open at shutdown; otherwise the server
-        owns a pool of ``workers``.
+        Pool configuration for the private registry of the single-model
+        path.  With ``registry`` the pool travels with the registry and
+        these must be left unset.
 
     Use as a context manager, or call :meth:`shutdown` — in-flight and
-    queued requests are drained before the server stops.
+    queued requests are drained before the server stops (queued requests
+    remain subject to deadline/latency-bound shedding while draining).
     """
 
-    def __init__(self, model, *, max_batch: int = 8,
-                 max_wait_s: float = 0.002,
+    def __init__(self, model=None, *, registry: Optional[ModelRegistry] = None,
+                 policy: Optional[SlaPolicy] = None,
+                 admission: Optional[AdmissionController] = None,
+                 max_batch: int = 8, max_wait_s: float = 0.002,
                  workers: Optional[int] = None,
                  pool: Optional[WorkerPool] = None):
-        self.model = model
-        self.queue = RequestQueue()
+        if (model is None) == (registry is None):
+            raise ValueError("pass exactly one of model= or registry=")
+        if registry is not None and (workers is not None or pool is not None):
+            raise ValueError("workers/pool travel with the registry; "
+                             "configure them on the ModelRegistry")
+        if registry is None:
+            # private registry: closed at shutdown (ModelRegistry.close
+            # leaves a borrowed ``pool`` open, so ownership is safe)
+            self.registry = ModelRegistry(pool=pool, workers=workers)
+            self.registry.register_network(DEFAULT_MODEL, model)
+            self._owns_registry = True
+        else:
+            self.registry = registry
+            self._owns_registry = False
+        self.policy = (policy if policy is not None
+                       else SlaPolicy.fifo(max_batch=max_batch,
+                                           max_wait_s=max_wait_s))
+        self.admission = admission
         self.stats = ServerStats()
+        self.queue = SlaQueue(self.policy, on_shed=self.stats.record_shed)
         self._ids = itertools.count()
         self._batch_ids = itertools.count()
-        self._owns_pool = pool is None
-        self.pool = pool if pool is not None else WorkerPool(workers)
-        self.engines: Dict = {}          # filled by from_model
-        self.die_cache: Optional[DieCache] = None
         self._shutdown_lock = threading.Lock()
         self._shut_down = False
-        self._image_shape = None     # pinned by the first submission
-        self.batcher = Batcher(self.queue, self._dispatch,
-                               max_batch=max_batch, max_wait_s=max_wait_s)
+        # the SLA queue carries its per-class coalescing knobs in the
+        # policy, so the batcher needs none of its own
+        self.batcher = Batcher(self.queue, self._dispatch)
         self.batcher.start()
 
     # ------------------------------------------------------------------
@@ -97,6 +155,8 @@ class InferenceServer:
     def from_model(cls, model, config, device, *, adc=None,
                    activation_bits: int = 16, engine_cls=None,
                    die_cache: Optional[DieCache] = None,
+                   policy: Optional[SlaPolicy] = None,
+                   admission: Optional[AdmissionController] = None,
                    max_batch: int = 8, max_wait_s: float = 0.002,
                    workers: Optional[int] = None,
                    pool: Optional[WorkerPool] = None,
@@ -104,57 +164,114 @@ class InferenceServer:
         """Build the in-situ network and serve it.
 
         Convenience constructor: lowers ``model`` through
-        :func:`repro.reram.build_insitu_network` with a shared
-        :class:`~repro.reram.DieCache` (created if not given), so a server
-        rebuilt across sweep points — or several servers over the same
-        weights — reuses programmed dies.  The engines dict and the cache
-        are exposed as ``server.engines`` / ``server.die_cache``.
+        :func:`repro.reram.build_insitu_network` into a private
+        single-model registry with a shared :class:`~repro.reram.DieCache`
+        (created if not given), so a server rebuilt across sweep points —
+        or several servers over the same weights — reuses programmed
+        dies.  The engines dict and the cache stay reachable as
+        ``server.engines`` / ``server.die_cache``.
         """
-        from ..reram.inference import build_insitu_network
-        cache = die_cache if die_cache is not None else DieCache()
-        build_kwargs = dict(adc=adc, activation_bits=activation_bits,
-                            die_cache=cache, **engine_kwargs)
-        if engine_cls is not None:
-            build_kwargs["engine_cls"] = engine_cls
-        net, engines = build_insitu_network(model, config, device,
-                                            **build_kwargs)
-        server = cls(net, max_batch=max_batch, max_wait_s=max_wait_s,
-                     workers=workers, pool=pool)
-        server.engines = engines
-        server.die_cache = cache
+        registry = ModelRegistry(die_cache=die_cache, pool=pool,
+                                 workers=workers)
+        try:
+            registry.register(DEFAULT_MODEL, model, config, device, adc=adc,
+                              activation_bits=activation_bits,
+                              engine_cls=engine_cls, **engine_kwargs)
+            server = cls(registry=registry, policy=policy,
+                         admission=admission, max_batch=max_batch,
+                         max_wait_s=max_wait_s)
+        except BaseException:
+            registry.close()
+            raise
+        # the private registry is an implementation detail here: the
+        # server owns it (and thereby the pool, unless ``pool`` was
+        # borrowed — ModelRegistry.close leaves a borrowed pool open)
+        server._owns_registry = True
         return server
 
     # ------------------------------------------------------------------
-    def submit_async(self, image: np.ndarray) -> Future:
-        """Enqueue one image; the future resolves to a :class:`ServedResult`."""
+    # single-model conveniences (the pre-registry surface, kept working)
+    @property
+    def pool(self) -> WorkerPool:
+        return self.registry.pool
+
+    @property
+    def die_cache(self) -> DieCache:
+        return self.registry.die_cache
+
+    @property
+    def model(self):
+        """The sole registered network (multi-tenant servers: use
+        ``server.registry.get(name).network``)."""
+        return self.registry.get(None).network
+
+    @property
+    def engines(self) -> Dict:
+        """The sole registered model's engines dict (may be empty when
+        the server was handed a bare callable)."""
+        return self.registry.get(None).engines
+
+    # ------------------------------------------------------------------
+    def submit_async(self, image: np.ndarray, *,
+                     model: Optional[str] = None,
+                     priority: Optional[str] = None,
+                     deadline_s: Optional[float] = None) -> Future:
+        """Enqueue one image; the future resolves to a
+        :class:`ServedResult` — or raises
+        :class:`~repro.serving.scheduler.RequestShed` if the request was
+        shed (deadline expired in queue, class latency bound hit, or
+        refused at admission).
+
+        ``model`` defaults to the sole registered model; ``priority``
+        defaults to the policy's lowest-precedence class; ``deadline_s``
+        is a relative latency budget — the request is shed, never
+        dispatched, once it has been queued that long.
+        """
         image = np.asarray(image)
         if image.ndim < 1:
             raise ValueError("image must be at least 1-D (no batch axis)")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 (or None)")
         with self._shutdown_lock:
             if self._shut_down:
                 raise RuntimeError("server is shut down")
-            # shape mismatches must be rejected here, at the offending
-            # request — discovered at batch stacking they would fail
-            # innocent batch mates
-            if self._image_shape is None:
-                self._image_shape = image.shape
-            elif image.shape != self._image_shape:
-                raise ValueError(
-                    f"image shape {image.shape} does not match this "
-                    f"server's request shape {self._image_shape}")
-            request = PendingRequest(next(self._ids), image)
+            # resolve + validate at the offending request, not at batch
+            # stacking where failures would hit innocent batch mates
+            entry = self.registry.get(model)
+            self.registry.pin_shape(entry, image.shape)
+            rank = self.policy.rank_of(priority)
+            cls = self.policy.classes[rank]
+            request_id = next(self._ids)
+            if self.admission is not None and not self.admission.admit(
+                    self.queue.depth, self.stats.occupancy()):
+                receipt = ShedReceipt(
+                    request_id=request_id, model=entry.name,
+                    priority_class=cls.name, reason=SHED_ADMISSION,
+                    queue_wait_s=0.0, deadline_s=deadline_s)
+                self.stats.record_shed(receipt)
+                refused: Future = Future()
+                refused.set_exception(RequestShed(receipt))
+                return refused
+            request = SlaRequest(
+                request_id=request_id, image=image, model=entry.name,
+                class_rank=rank, priority_class=cls.name,
+                deadline_t=(time.monotonic() + deadline_s
+                            if deadline_s is not None else None),
+                deadline_s=deadline_s, entry=entry)
             self.queue.put(request)
         return request.future
 
-    def submit(self, image: np.ndarray,
-               timeout: Optional[float] = None) -> ServedResult:
-        """Serve one image, blocking until its batch completes."""
-        return self.submit_async(image).result(timeout)
+    def submit(self, image: np.ndarray, timeout: Optional[float] = None,
+               **kwargs) -> ServedResult:
+        """Serve one image, blocking until its batch completes (raises
+        :class:`RequestShed` if it is shed instead)."""
+        return self.submit_async(image, **kwargs).result(timeout)
 
     def submit_many(self, images: Iterable[np.ndarray],
-                    timeout: Optional[float] = None) -> List[ServedResult]:
+                    timeout: Optional[float] = None,
+                    **kwargs) -> List[ServedResult]:
         """Enqueue every image first, then wait — they may share batches."""
-        futures = [self.submit_async(image) for image in images]
+        futures = [self.submit_async(image, **kwargs) for image in images]
         return [future.result(timeout) for future in futures]
 
     # ------------------------------------------------------------------
@@ -162,15 +279,21 @@ class InferenceServer:
         """Operational snapshot (see :meth:`ServerStats.snapshot`)."""
         return self.stats.snapshot(queue_depth=self.queue.depth)
 
+    def registry_stats(self) -> Dict:
+        """Structural snapshot of the tenant registry (die reuse etc.)."""
+        return self.registry.stats()
+
     def shutdown(self, timeout: Optional[float] = None) -> None:
         """Drain queued and in-flight requests, then stop.
 
         New submissions are refused immediately; everything already
-        accepted is served.  Idempotent.  The owned worker pool is closed
-        once the batcher has drained; if ``timeout`` expires first the
-        pool is left open so the background drain can still complete
-        (closing it would fail accepted requests with a pool error) — a
-        borrowed pool is always left open.
+        accepted is served (or shed, if its deadline expires while the
+        drain is in progress).  Idempotent.  A server-owned registry
+        (single-model path, ``from_model``) is closed once the batcher
+        has drained; if ``timeout`` expires first it is left open so the
+        background drain can still complete (closing the pool would fail
+        accepted requests with a pool error) — a caller-owned registry
+        is always left open.
         """
         with self._shutdown_lock:
             if self._shut_down:
@@ -178,8 +301,8 @@ class InferenceServer:
             self._shut_down = True
             self.queue.close()
         self.batcher.join(timeout)
-        if self._owns_pool and not self.batcher.is_alive():
-            self.pool.close()
+        if self._owns_registry and not self.batcher.is_alive():
+            self.registry.close()
 
     def __enter__(self) -> "InferenceServer":
         return self
@@ -188,15 +311,22 @@ class InferenceServer:
         self.shutdown()
 
     # ------------------------------------------------------------------
-    def _dispatch(self, batch: List[PendingRequest]) -> None:
-        """Run one coalesced batch: one tile per request, shared pool."""
+    def _dispatch(self, batch: List[SlaRequest]) -> None:
+        """Run one coalesced batch: one tile per request, shared pool.
+
+        The scheduler guarantees every request of a batch targets the
+        same model, so one network forward serves them all.  The entry
+        was resolved (and pinned on the request) at submit time, so an
+        unregister between submit and dispatch cannot fail the batch.
+        """
         dispatch_t = time.monotonic()
         batch_id = next(self._batch_ids)
+        entry = batch[0].entry
         tiles = [slice(i, i + 1) for i in range(len(batch))]
         try:
             stacked = np.stack([request.image for request in batch])
-            results = infer_tiles(self.model, stacked, tiles, pool=self.pool,
-                                  collect_stats=True)
+            results = infer_tiles(entry.network, stacked, tiles,
+                                  pool=self.pool, collect_stats=True)
         except BaseException:
             self.stats.record_failure(len(batch))
             raise  # the batcher fails this batch's futures
@@ -212,6 +342,9 @@ class InferenceServer:
                 service_s=done_t - dispatch_t,
                 latency_s=done_t - request.enqueue_t,
                 engine_stats=engine_stats.as_dict(),
+                model=request.model,
+                priority_class=request.priority_class,
+                deadline_s=request.deadline_s,
             )
             self.stats.record_request(stats)
             # a client may have cancelled its future (e.g. a timed-out

@@ -2,14 +2,22 @@
 
 :class:`RequestStats` is the receipt attached to every served request:
 where its latency went (queue wait vs service), which batch it rode in,
-and the exact slice of the shared engines' :class:`~repro.reram.engine.
-EngineStats` its tile accounted for (conversions, scheduled/skipped jobs
-and pairs — see :func:`repro.runtime.infer_tiles`).
+which model and priority class it belonged to, and the exact slice of the
+shared engines' :class:`~repro.reram.engine.EngineStats` its tile
+accounted for (conversions, scheduled/skipped jobs and pairs — see
+:func:`repro.runtime.infer_tiles`).
 
 :class:`ServerStats` aggregates those receipts into the operational view:
-latency percentiles, queue-wait distribution, batch-size mix, dispatch
-occupancy and throughput.  All mutation happens under one lock; reads take
-a consistent :meth:`snapshot`.
+latency percentiles (overall and per priority class / per model), shed
+counts by reason and class, queue-wait distribution, batch-size mix,
+dispatch occupancy and throughput.  All mutation happens under one lock;
+reads take a consistent :meth:`snapshot`.
+
+Every aggregation is guarded against empty and zero-duration windows: a
+snapshot taken before any request completes (or before wall time has
+measurably advanced) returns zeros, never a division-by-zero or an
+empty-percentile crash — the admission controller polls these gauges from
+the submit path, where a crash would reject traffic.
 """
 
 from __future__ import annotations
@@ -18,9 +26,22 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """``np.percentile`` with the empty-window guard (empty -> 0.0)."""
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def _mean(values: Sequence[float]) -> float:
+    if not len(values):
+        return 0.0
+    return float(np.asarray(values, dtype=np.float64).mean())
 
 
 @dataclass(frozen=True)
@@ -32,7 +53,10 @@ class RequestStats:
     the request rode in (shared with its batch mates — tiles of one batch
     run concurrently, so per-request service time is not separable).
     ``engine_stats`` is this request's exact slice of the shared engines'
-    merged stats.
+    merged stats.  ``model`` / ``priority_class`` name the tenant and the
+    SLA class the request was served under (the single-model FIFO server
+    uses ``"default"`` for both); ``deadline_s`` is the relative deadline
+    it carried, if any.
     """
 
     request_id: int
@@ -42,6 +66,9 @@ class RequestStats:
     service_s: float
     latency_s: float
     engine_stats: Dict[str, int]
+    model: str = "default"
+    priority_class: str = "default"
+    deadline_s: Optional[float] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -52,6 +79,9 @@ class RequestStats:
             "service_s": self.service_s,
             "latency_s": self.latency_s,
             "engine_stats": dict(self.engine_stats),
+            "model": self.model,
+            "priority_class": self.priority_class,
+            "deadline_s": self.deadline_s,
         }
 
 
@@ -63,20 +93,45 @@ class ServedResult:
     stats: RequestStats
 
 
+class _GroupWindow:
+    """Sliding latency/queue-wait window plus exact counters for one
+    (class or model) group."""
+
+    __slots__ = ("completed", "shed", "latencies", "queue_waits")
+
+    def __init__(self, window: Optional[int]):
+        self.completed = 0
+        self.shed = 0
+        self.latencies: Deque[float] = deque(maxlen=window)
+        self.queue_waits: Deque[float] = deque(maxlen=window)
+
+    def snapshot(self) -> Dict:
+        return {
+            "completed": self.completed,
+            "shed": self.shed,
+            "latency_p50_s": _percentile(self.latencies, 50),
+            "latency_p95_s": _percentile(self.latencies, 95),
+            "queue_wait_p95_s": _percentile(self.queue_waits, 95),
+        }
+
+
 class ServerStats:
-    """Thread-safe aggregator of completed-request receipts.
+    """Thread-safe aggregator of completed-request and shed receipts.
 
-    The batcher records one :meth:`record_batch` per dispatched batch and
-    one :meth:`record_request` per completed request; :meth:`snapshot`
-    reduces them to the numbers an operator watches — p50/p95 latency,
-    mean queue wait, batch-size mix, occupancy (fraction of wall time the
-    dispatch path was busy) and completed-request throughput.
+    The batcher records one :meth:`record_batch` per dispatched batch,
+    one :meth:`record_request` per completed request and one
+    :meth:`record_shed` per shed request; :meth:`snapshot` reduces them
+    to the numbers an operator watches — p50/p95 latency (overall, per
+    priority class and per model), shed counts by reason, mean queue
+    wait, batch-size mix, occupancy (fraction of wall time the dispatch
+    path was busy) and completed-request throughput.
 
-    Counters (requests, batches, busy time) are exact over the server's
-    lifetime; the latency/queue-wait *distributions* are kept in a sliding
-    window of the most recent ``window`` requests (``None`` = unbounded),
-    so a long-running server neither grows without bound nor pays more
-    than O(window) per snapshot.
+    Counters (requests, sheds, batches, busy time) are exact over the
+    server's lifetime; the latency/queue-wait *distributions* are kept in
+    sliding windows of the most recent ``window`` entries (``None`` =
+    unbounded), so a long-running server neither grows without bound nor
+    pays more than O(window) per snapshot.  All reductions go through the
+    empty/zero-duration-window guards (see the module docstring).
     """
 
     def __init__(self, window: Optional[int] = 4096):
@@ -87,12 +142,23 @@ class ServerStats:
         self.window = window
         self.requests_completed = 0
         self.requests_failed = 0
+        self.requests_shed = 0
         self.batches_formed = 0
         self.batch_size_sum = 0
         self.batch_size_max = 0
         self.busy_s = 0.0
-        self._latencies: deque = deque(maxlen=window)
-        self._queue_waits: deque = deque(maxlen=window)
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._queue_waits: Deque[float] = deque(maxlen=window)
+        self._by_class: Dict[str, _GroupWindow] = {}
+        self._by_model: Dict[str, _GroupWindow] = {}
+        self._shed_by_reason: Dict[str, int] = {}
+
+    def _group(self, groups: Dict[str, _GroupWindow],
+               key: str) -> _GroupWindow:
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = _GroupWindow(self.window)
+        return group
 
     # ------------------------------------------------------------------
     def record_batch(self, size: int, service_s: float) -> None:
@@ -107,6 +173,22 @@ class ServerStats:
             self.requests_completed += 1
             self._latencies.append(stats.latency_s)
             self._queue_waits.append(stats.queue_wait_s)
+            for groups, key in ((self._by_class, stats.priority_class),
+                                (self._by_model, stats.model)):
+                group = self._group(groups, key)
+                group.completed += 1
+                group.latencies.append(stats.latency_s)
+                group.queue_waits.append(stats.queue_wait_s)
+
+    def record_shed(self, receipt) -> None:
+        """Count one shed request (a :class:`~repro.serving.scheduler.
+        ShedReceipt`) against its reason, class and model."""
+        with self._lock:
+            self.requests_shed += 1
+            self._shed_by_reason[receipt.reason] = (
+                self._shed_by_reason.get(receipt.reason, 0) + 1)
+            self._group(self._by_class, receipt.priority_class).shed += 1
+            self._group(self._by_model, receipt.model).shed += 1
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
@@ -116,20 +198,25 @@ class ServerStats:
     def latency_percentile(self, q: float) -> float:
         """The ``q``-th latency percentile (0-100) over completed requests."""
         with self._lock:
-            if not self._latencies:
-                return 0.0
-            return float(np.percentile(self._latencies, q))
+            return _percentile(self._latencies, q)
+
+    def occupancy(self) -> float:
+        """Fraction of wall time the dispatch path was busy (0.0 until
+        wall time has measurably advanced) — the admission gauge."""
+        with self._lock:
+            elapsed = time.monotonic() - self._started
+            return self.busy_s / elapsed if elapsed > 0 else 0.0
 
     def snapshot(self, queue_depth: Optional[int] = None) -> Dict:
         """One consistent JSON-ready view of everything recorded so far."""
         with self._lock:
             elapsed = time.monotonic() - self._started
-            latencies = np.asarray(self._latencies, dtype=np.float64)
-            waits = np.asarray(self._queue_waits, dtype=np.float64)
             completed = self.requests_completed
             snap = {
                 "requests_completed": completed,
                 "requests_failed": self.requests_failed,
+                "requests_shed": self.requests_shed,
+                "shed_by_reason": dict(self._shed_by_reason),
                 "batches_formed": self.batches_formed,
                 "mean_batch_size": (self.batch_size_sum / self.batches_formed
                                     if self.batches_formed else 0.0),
@@ -137,16 +224,16 @@ class ServerStats:
                 "elapsed_s": elapsed,
                 "occupancy": self.busy_s / elapsed if elapsed > 0 else 0.0,
                 "throughput_rps": completed / elapsed if elapsed > 0 else 0.0,
-                "latency_p50_s": float(np.percentile(latencies, 50))
-                if latencies.size else 0.0,
-                "latency_p95_s": float(np.percentile(latencies, 95))
-                if latencies.size else 0.0,
-                "latency_max_s": float(latencies.max())
-                if latencies.size else 0.0,
-                "queue_wait_mean_s": float(waits.mean())
-                if waits.size else 0.0,
-                "queue_wait_p95_s": float(np.percentile(waits, 95))
-                if waits.size else 0.0,
+                "latency_p50_s": _percentile(self._latencies, 50),
+                "latency_p95_s": _percentile(self._latencies, 95),
+                "latency_max_s": (float(max(self._latencies))
+                                  if self._latencies else 0.0),
+                "queue_wait_mean_s": _mean(self._queue_waits),
+                "queue_wait_p95_s": _percentile(self._queue_waits, 95),
+                "per_class": {name: group.snapshot()
+                              for name, group in self._by_class.items()},
+                "per_model": {name: group.snapshot()
+                              for name, group in self._by_model.items()},
             }
         if queue_depth is not None:
             snap["queue_depth"] = queue_depth

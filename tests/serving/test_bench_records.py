@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.perf import (SERVING_RECORD_KIND, merge_serving_records,
+                        multitenant_record_name, run_multitenant_point,
                         run_poisson_point, serving_record_name,
                         write_payload)
 
@@ -63,6 +64,32 @@ class TestMerge:
     def test_record_names(self):
         assert serving_record_name(50.0) == "serving_poisson_r50"
         assert serving_record_name(12.5) == "serving_poisson_r12p5"
+        assert multitenant_record_name(400.0) == "serving_multitenant_r400"
+        assert multitenant_record_name(12.5) == "serving_multitenant_r12p5"
+
+    def test_multitenant_merge_clobbers_nothing(self, tmp_path):
+        """The satellite guarantee: merging multitenant records must
+        leave engine records and the single-tenant serving curve
+        untouched, and write_payload must preserve both serving kinds."""
+        payload = {"records": [{"name": "mvm", "kind": "paired"},
+                               serving_record("serving_poisson_r50"),
+                               serving_record("serving_multitenant_r400")]}
+        fresh = [serving_record("serving_multitenant_r400", 400.0),
+                 serving_record("serving_multitenant_r800", 800.0)]
+        fresh[0]["results"]["requests_shed"] = 5
+        merge_serving_records(payload, fresh)
+        names = [r["name"] for r in payload["records"]]
+        assert names == ["mvm", "serving_poisson_r50",
+                         "serving_multitenant_r400",
+                         "serving_multitenant_r800"]
+        assert payload["records"][2]["results"]["requests_shed"] == 5
+        # the engine suite rewriting the file keeps both serving curves
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        write_payload(path, {"schema": "forms-perf-suite/v1",
+                             "records": [{"name": "mvm", "kind": "paired"}]})
+        merged = json.loads(path.read_text())
+        assert [r["name"] for r in merged["records"]] == names
 
 
 class TestPoissonPoint:
@@ -87,3 +114,33 @@ class TestPoissonPoint:
         assert record["meta"]["requests"] == 6
         assert record["meta"]["workers"] == 2
         assert record["meta"]["bit_identical_to_serial"] is True
+
+
+class TestMultitenantPoint:
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            run_multitenant_point(0.0, requests=4)
+        with pytest.raises(ValueError):
+            run_multitenant_point(100.0, requests=0)
+        with pytest.raises(ValueError):
+            run_multitenant_point(100.0, requests=4,
+                                  interactive_fraction=1.5)
+
+    def test_point_record_shape(self):
+        record = run_multitenant_point(400.0, requests=10, workers=2,
+                                       seed=1)
+        assert record["kind"] == SERVING_RECORD_KIND
+        assert record["name"] == "serving_multitenant_r400"
+        results = record["results"]
+        assert results["offered_rate_rps"] == 400.0
+        assert (results["requests_completed"]
+                + results["requests_shed"]) == 10
+        assert set(results["per_class"]) <= {"interactive", "bulk"}
+        assert set(results["per_model"]) <= {"fast", "batch"}
+        for group in results["per_class"].values():
+            assert group["latency_p95_s"] >= group["latency_p50_s"] >= 0.0
+        meta = record["meta"]
+        assert meta["bit_identical_to_serial"] is True
+        assert meta["models"] == ["batch", "fast"]
+        assert meta["die_cache"]["misses"] > 0
+        assert meta["workers"] == 2

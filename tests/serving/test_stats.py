@@ -3,13 +3,20 @@
 import numpy as np
 import pytest
 
-from repro.serving import RequestStats, ServerStats
+from repro.serving import (SHED_DEADLINE, SHED_LATENCY_BOUND, RequestStats,
+                           ServerStats, ShedReceipt)
 
 
-def receipt(i, latency, wait=0.0):
+def receipt(i, latency, wait=0.0, model="default", cls="default"):
     return RequestStats(request_id=i, batch_id=0, batch_size=1,
                         queue_wait_s=wait, service_s=latency - wait,
-                        latency_s=latency, engine_stats={"conversions": 10})
+                        latency_s=latency, engine_stats={"conversions": 10},
+                        model=model, priority_class=cls)
+
+
+def shed(i, reason=SHED_DEADLINE, model="default", cls="default"):
+    return ShedReceipt(request_id=i, model=model, priority_class=cls,
+                       reason=reason, queue_wait_s=0.01, deadline_s=0.05)
 
 
 class TestServerStats:
@@ -78,5 +85,81 @@ class TestServerStats:
         assert d["request_id"] == 7
         assert d["latency_s"] == 0.02
         assert d["engine_stats"] == {"conversions": 10}
+        assert d["model"] == "default"
+        assert d["priority_class"] == "default"
+        assert d["deadline_s"] is None
         d["engine_stats"]["conversions"] = 0   # copy, not a view
         assert r.engine_stats["conversions"] == 10
+
+
+class TestGroupedStats:
+    def test_per_class_and_per_model_percentiles(self):
+        stats = ServerStats()
+        hi = [0.001 * (i + 1) for i in range(10)]
+        lo = [0.010 * (i + 1) for i in range(10)]
+        for i, latency in enumerate(hi):
+            stats.record_request(receipt(i, latency, cls="hi", model="fast"))
+        for i, latency in enumerate(lo):
+            stats.record_request(receipt(100 + i, latency, cls="lo",
+                                         model="batch"))
+        snap = stats.snapshot()
+        assert snap["per_class"]["hi"]["completed"] == 10
+        assert snap["per_class"]["hi"]["latency_p50_s"] == float(
+            np.percentile(hi, 50))
+        assert snap["per_class"]["lo"]["latency_p95_s"] == float(
+            np.percentile(lo, 95))
+        assert snap["per_model"]["fast"]["completed"] == 10
+        assert snap["per_model"]["batch"]["latency_p50_s"] == float(
+            np.percentile(lo, 50))
+
+    def test_shed_accounting(self):
+        stats = ServerStats()
+        stats.record_shed(shed(0, SHED_DEADLINE, cls="hi", model="fast"))
+        stats.record_shed(shed(1, SHED_LATENCY_BOUND, cls="lo",
+                               model="batch"))
+        stats.record_shed(shed(2, SHED_LATENCY_BOUND, cls="lo",
+                               model="batch"))
+        snap = stats.snapshot()
+        assert snap["requests_shed"] == 3
+        assert snap["shed_by_reason"] == {SHED_DEADLINE: 1,
+                                          SHED_LATENCY_BOUND: 2}
+        assert snap["per_class"]["hi"]["shed"] == 1
+        assert snap["per_class"]["lo"]["shed"] == 2
+        assert snap["per_model"]["batch"]["shed"] == 2
+        # shed-only groups still produce guarded (zero) percentiles
+        assert snap["per_class"]["lo"]["latency_p95_s"] == 0.0
+
+    def test_empty_and_zero_duration_windows_are_guarded(self):
+        """The satellite guard: a snapshot taken before any request
+        completes — or a shed-only / empty group — must return zeros,
+        never divide by zero or reduce an empty array."""
+        stats = ServerStats()
+        snap = stats.snapshot(queue_depth=0)
+        assert snap["latency_p50_s"] == 0.0
+        assert snap["latency_p95_s"] == 0.0
+        assert snap["latency_max_s"] == 0.0
+        assert snap["queue_wait_mean_s"] == 0.0
+        assert snap["queue_wait_p95_s"] == 0.0
+        assert snap["occupancy"] == 0.0
+        assert snap["throughput_rps"] == 0.0
+        assert snap["mean_batch_size"] == 0.0
+        assert snap["per_class"] == {}
+        assert snap["per_model"] == {}
+        assert stats.latency_percentile(95) == 0.0
+        assert stats.occupancy() == 0.0
+        # a shed recorded before any completion: groups exist, but their
+        # distributions are empty — still no crash
+        stats.record_shed(shed(0))
+        snap = stats.snapshot()
+        assert snap["per_class"]["default"]["latency_p50_s"] == 0.0
+        assert snap["per_class"]["default"]["queue_wait_p95_s"] == 0.0
+
+    def test_group_windows_are_bounded(self):
+        stats = ServerStats(window=4)
+        for i in range(20):
+            stats.record_request(receipt(i, 0.001 * (i + 1), cls="hi"))
+        snap = stats.snapshot()
+        assert snap["per_class"]["hi"]["completed"] == 20
+        recent = [0.001 * (i + 1) for i in range(16, 20)]
+        assert snap["per_class"]["hi"]["latency_p50_s"] == float(
+            np.percentile(recent, 50))
