@@ -1,22 +1,30 @@
 #!/usr/bin/env python
-"""Open-loop Poisson serving benchmark: throughput/latency curve recorder.
+"""Open-loop HTTP serving benchmark: the Poisson curve measured over the wire.
 
-Drives the :mod:`repro.serving` request-queue server with open-loop
-Poisson arrivals at several offered rates and records one ``"serving"``
-record per rate into ``BENCH_engine.json`` (merged: the engine suite's
-records are preserved — schema in ``benchmarks/README.md``).
+Drives the :class:`repro.serving.HttpFrontend` with open-loop Poisson
+arrivals — every request a real ``POST /v1/infer`` over a loopback
+socket on its own client thread — and records one ``serving_http_r*``
+record per offered rate into ``BENCH_engine.json`` (kind ``"serving"``,
+merged: engine, ``serving_poisson_*`` and ``serving_multitenant_*``
+records are preserved; schema in ``benchmarks/README.md``).
+
+The point of the fourth curve: the ``serving_poisson_*`` baseline stops
+at ``submit_async``, so comparing the two curves at the same offered
+rate isolates what the transport adds — connect, JSON/base64 payloads,
+parse, respond.  Each record carries both views (client round-trip
+``rtt_*`` vs server-side ``latency_*``).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_serving.py --smoke     # < 30 s
-    PYTHONPATH=src python benchmarks/bench_serving.py             # fuller curve
-    PYTHONPATH=src python benchmarks/bench_serving.py \\
-        --rates 25 100 400 --requests 64 -o /tmp/serving.json
+    PYTHONPATH=src python benchmarks/bench_http.py --smoke      # < 30 s
+    PYTHONPATH=src python benchmarks/bench_http.py              # fuller curve
+    PYTHONPATH=src python benchmarks/bench_http.py \\
+        --rates 25 100 400 --requests 64 --binary -o /tmp/http.json
 
-Every rate point asserts bit-identity of all served outputs against the
-serial single-image path before it is recorded, so a recorded curve can
-never come from wrong results.  Exits non-zero if that assertion fails or
-if fewer than two rate points were recorded.
+Every rate point asserts bit-identity of every decoded HTTP output
+against the serial single-image path before it is recorded — the
+transport is proven numerics-invisible before any number lands.  Exits
+non-zero if that assertion fails or fewer than two points were recorded.
 """
 
 import argparse
@@ -26,24 +34,24 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.perf import merge_records_into_file, run_poisson_point  # noqa: E402
-from repro.reram import DieCache                                 # noqa: E402
+from repro.perf import merge_records_into_file, run_http_point  # noqa: E402
+from repro.reram import DieCache                                # noqa: E402
 
-#: offered arrival rates (requests/s) per mode — two points minimum so the
-#: recorded curve always shows a light-load and a saturating point
+#: offered arrival rates (requests/s) per mode — mirrors bench_serving so
+#: the http and in-process curves pair up point by point
 SMOKE_RATES = (50.0, 200.0)
 FULL_RATES = (25.0, 50.0, 100.0, 200.0, 400.0)
 
 
 def format_point(record: dict) -> str:
     results, meta = record["results"], record["meta"]
-    return (f"{record['name']:24s} offered {results['offered_rate_rps']:6.0f} "
+    return (f"{record['name']:22s} offered {results['offered_rate_rps']:6.0f} "
             f"rps -> served {results['throughput_rps']:6.1f} rps, "
-            f"p50 {results['latency_p50_s'] * 1e3:7.2f} ms, "
-            f"p95 {results['latency_p95_s'] * 1e3:7.2f} ms, "
-            f"mean batch {results['mean_batch_size']:.2f}, "
-            f"occupancy {results['occupancy']:.2f} "
-            f"(w={meta['workers']})")
+            f"rtt p50 {results['rtt_p50_s'] * 1e3:7.2f} ms "
+            f"(server p50 {results['latency_p50_s'] * 1e3:6.2f} ms), "
+            f"rtt p95 {results['rtt_p95_s'] * 1e3:7.2f} ms, "
+            f"mean batch {results['mean_batch_size']:.2f} "
+            f"(w={meta['workers']}, {meta['encoding']})")
 
 
 def main(argv=None) -> int:
@@ -60,6 +68,8 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker-pool size (default: FORMS_WORKERS or "
                              "CPU count)")
+    parser.add_argument("--binary", action="store_true",
+                        help="base64 .npy payloads instead of JSON arrays")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("-o", "--output", type=pathlib.Path,
                         default=REPO_ROOT / "BENCH_engine.json",
@@ -79,10 +89,10 @@ def main(argv=None) -> int:
     records = []
     die_cache = DieCache()   # shared: rate points rebuild identical engines
     for rate in rates:
-        record = run_poisson_point(
+        record = run_http_point(
             rate, requests, max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms, workers=args.workers,
-            seed=args.seed, die_cache=die_cache)
+            seed=args.seed, binary=args.binary, die_cache=die_cache)
         print(format_point(record))
         records.append(record)
 
@@ -91,7 +101,7 @@ def main(argv=None) -> int:
     except ValueError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
         return 1
-    print(f"[{len(records)} serving records merged into {args.output}]")
+    print(f"[{len(records)} http serving records merged into {args.output}]")
     return 0
 
 

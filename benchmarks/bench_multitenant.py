@@ -26,14 +26,14 @@ rate points were recorded.
 """
 
 import argparse
-import json
 import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.perf import merge_serving_records, run_multitenant_point  # noqa: E402
+from repro.perf import (merge_records_into_file,  # noqa: E402
+                        run_multitenant_point)
 from repro.reram import DieCache                                     # noqa: E402
 
 #: offered arrival rates (requests/s) per mode — always a light-load and
@@ -110,22 +110,11 @@ def main(argv=None) -> int:
         print(format_point(record))
         records.append(record)
 
-    if args.output.exists():
-        # an unreadable existing file must abort, not be clobbered — it
-        # may hold the whole engine-suite + serving trajectory
-        try:
-            with open(args.output) as handle:
-                payload = json.load(handle)
-        except ValueError as exc:
-            print(f"ERROR: {args.output} exists but is not valid JSON "
-                  f"({exc}); refusing to overwrite it", file=sys.stderr)
-            return 1
-    else:
-        payload = {"schema": "forms-perf-suite/v1", "records": []}
-    merge_serving_records(payload, records)
-    with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    try:
+        merge_records_into_file(args.output, records)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
     print(f"[{len(records)} multitenant records merged into {args.output}]")
     return 0
 

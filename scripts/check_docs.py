@@ -1,12 +1,24 @@
 #!/usr/bin/env python
-"""Docs drift gate: the top-level docs must exist and cover every package.
+"""Docs drift gate: the docs must exist, be reachable, and stay complete.
 
-Fails (exit 1) unless ``README.md`` and ``docs/architecture.md`` both
-exist and each mentions every package directory under ``src/repro/*`` as
-a qualified name (``repro.<package>`` or ``repro/<package>`` — a bare
-substring would be vacuously satisfied for short names like ``nn`` or
-``core``) — so adding a package without documenting it fails the check
-set the same way a broken test would.  Run by ``scripts/checks.sh``.
+Four rules, each failing the check set (exit 1) the way a broken test
+would:
+
+1. ``README.md`` and ``docs/architecture.md`` exist and mention every
+   package directory under ``src/repro/*`` as a qualified name
+   (``repro.<package>`` or ``repro/<package>`` — a bare substring would
+   be vacuously satisfied for short names like ``nn`` or ``core``).
+2. Every ``docs/*.md`` file is linked from ``README.md`` (an undocumented
+   doc is an unreachable doc).
+3. Every ``python -m repro`` subcommand appears in the docs corpus
+   (``README.md`` + ``docs/*.md``) as ``repro <subcommand>`` — adding an
+   experiment without telling operators it exists fails the gate.
+4. Every long flag of the ``serve`` option group (the serving CLI
+   surface, including the HTTP front end's flags) appears literally in
+   the corpus — the wire/operator docs cannot silently trail the CLI.
+
+Rules 3-4 introspect the real parser (``repro.cli.build_parser``), so
+the gate tracks the CLI by construction.  Run by ``scripts/checks.sh``.
 """
 
 import pathlib
@@ -14,6 +26,8 @@ import re
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
 REQUIRED_DOCS = ("README.md", "docs/architecture.md")
 
 
@@ -23,12 +37,43 @@ def packages() -> list:
                   if p.is_dir() and (p / "__init__.py").exists())
 
 
-def main() -> int:
+def docs_files() -> list:
+    return sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def read_if_exists(path: pathlib.Path) -> str:
+    """Missing files read as empty: rule 1 already reports the absence,
+    so the later rules degrade to failures, not tracebacks."""
+    return path.read_text(encoding="utf-8") if path.exists() else ""
+
+
+def docs_corpus() -> str:
+    """README plus every docs page — where rules 3-4 look for coverage."""
+    texts = [read_if_exists(REPO_ROOT / "README.md")]
+    texts += [path.read_text(encoding="utf-8") for path in docs_files()]
+    return "\n".join(texts)
+
+
+def cli_surface():
+    """(subcommands, serve flags) introspected from the live parser."""
+    from repro.cli import build_parser
+    parser = build_parser()
+    subcommands, serve_flags = [], []
+    for group in parser._action_groups:
+        for action in group._group_actions:
+            if not action.option_strings and action.choices:
+                subcommands = sorted(action.choices)
+            elif group.title == "serve options":
+                serve_flags.extend(opt for opt in action.option_strings
+                                   if opt.startswith("--"))
+    return subcommands, sorted(serve_flags)
+
+
+def check_packages(failures: list) -> int:
     names = packages()
     if not names:
-        print("ERROR: no packages found under src/repro", file=sys.stderr)
-        return 1
-    failures = []
+        failures.append("no packages found under src/repro")
+        return 0
     for rel in REQUIRED_DOCS:
         path = REPO_ROOT / rel
         if not path.exists():
@@ -40,12 +85,48 @@ def main() -> int:
         if missing:
             failures.append(f"{rel}: no mention of package(s) "
                             f"{', '.join(missing)}")
+    return len(names)
+
+
+def check_docs_linked(failures: list) -> int:
+    readme = read_if_exists(REPO_ROOT / "README.md")
+    pages = docs_files()
+    for path in pages:
+        if f"docs/{path.name}" not in readme:
+            failures.append(f"README.md: docs/{path.name} is not linked "
+                            "(every docs page must be reachable from the "
+                            "README)")
+    return len(pages)
+
+
+def check_cli_coverage(failures: list):
+    corpus = docs_corpus()
+    subcommands, serve_flags = cli_surface()
+    for name in subcommands:
+        # must appear as an invocation, e.g. "python -m repro fig8"
+        if not re.search(rf"\brepro\s+{re.escape(name)}\b", corpus):
+            failures.append(f"docs corpus: subcommand `python -m repro "
+                            f"{name}` is undocumented")
+    for flag in serve_flags:
+        if flag not in corpus:
+            failures.append(f"docs corpus: serve flag `{flag}` is "
+                            "undocumented")
+    return subcommands, serve_flags
+
+
+def main() -> int:
+    failures: list = []
+    n_packages = check_packages(failures)
+    n_docs = check_docs_linked(failures)
+    subcommands, serve_flags = check_cli_coverage(failures)
     if failures:
         for failure in failures:
             print(f"ERROR: {failure}", file=sys.stderr)
         return 1
-    print(f"docs check: {len(REQUIRED_DOCS)} docs cover "
-          f"{len(names)} packages ({', '.join(names)})")
+    print(f"docs check: {len(REQUIRED_DOCS)} docs cover {n_packages} "
+          f"packages, {n_docs} docs page(s) linked from README, "
+          f"{len(subcommands)} subcommands and {len(serve_flags)} serve "
+          "flags documented")
     return 0
 
 

@@ -19,8 +19,19 @@
 #    point asserting per-model bit-identity under mixed-class contention
 #    before recording (records merge without clobbering the engine or
 #    serving entries in the BENCH payload).
-# 5. `check_docs.py` — README.md and docs/architecture.md must exist and
-#    mention every src/repro/* package (docs drift fails the check set).
+# 5. `python -m repro serve --http 0 --http-demo` — the HTTP wire smoke:
+#    launch the two-tenant demo server on an ephemeral port, replay
+#    concurrent mixed-class requests through real sockets, assert every
+#    decoded response bit-identical to the in-process serial forward,
+#    then drain and verify the port actually closed.
+# 6. `bench_http.py --smoke` — two open-loop Poisson rate points driven
+#    as real `POST /v1/infer` traffic (client round-trip + server-side
+#    latency recorded; bit-identity of decoded outputs asserted per
+#    point).
+# 7. `check_docs.py` — README.md and docs/architecture.md must exist and
+#    mention every src/repro/* package, every docs/*.md page must be
+#    linked from the README, and every `python -m repro` subcommand and
+#    `serve` flag must appear in the docs (drift fails the check set).
 set -e
 
 cd "$(dirname "$0")/.."
@@ -41,6 +52,15 @@ echo "==> multi-tenant smoke: bench_multitenant.py --smoke"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_multitenant.py \
     --smoke --requests 12 \
     -o "${MULTITENANT_BENCH_OUTPUT:-/tmp/forms_multitenant_smoke.json}"
+
+echo "==> http wire smoke: serve --http 0 --http-demo"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro serve \
+    --http 0 --http-demo --models 2 --requests 12 --rate 400
+
+echo "==> http bench smoke: bench_http.py --smoke"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_http.py \
+    --smoke --requests 12 \
+    -o "${HTTP_BENCH_OUTPUT:-/tmp/forms_http_smoke.json}"
 
 echo "==> docs check: check_docs.py"
 python scripts/check_docs.py

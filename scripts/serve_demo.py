@@ -19,6 +19,16 @@ one shared ``WorkerPool`` + ``DieCache``; per-class latency/shed
 summaries, shed receipts, and a cross-model die-dedup proof are printed::
 
     python scripts/serve_demo.py --models 2 --requests 32 --rate 400
+
+``--http PORT`` puts the demo server on a socket (the
+``repro.serving.http`` wire protocol, documented in ``docs/serving.md``)
+and serves until Ctrl-C so you can drive it with curl; ``--http-demo``
+instead replays ``--requests`` self-checking requests through the wire
+(bit-identity asserted against the in-process serial forward), drains,
+and exits::
+
+    python scripts/serve_demo.py --http 8100
+    python scripts/serve_demo.py --http 0 --http-demo --models 2
 """
 
 import argparse
@@ -48,9 +58,23 @@ def main(argv=None) -> int:
     parser.add_argument("--deadline-ms", type=float, default=50.0,
                         help="interactive-class deadline in the SLA demo "
                              "(<= 0 disables)")
+    parser.add_argument("--http", type=int, default=None, metavar="PORT",
+                        help="serve over HTTP on PORT (0 = ephemeral) "
+                             "until Ctrl-C; see docs/serving.md")
+    parser.add_argument("--http-demo", action="store_true",
+                        help="with --http: replay --requests requests "
+                             "through the wire, verify, drain, exit")
+    parser.add_argument("--http-host", default="127.0.0.1",
+                        help="bind address for --http (default: loopback)")
     args = parser.parse_args(argv)
     classes = (args.priority_classes if args.priority_classes is not None
                else args.models)
+    if args.http_demo and args.http is None:
+        parser.error("--http-demo requires --http PORT")
+    if args.http is not None:
+        from repro.serving.demo import run_http_cli
+
+        return run_http_cli(args)
     if args.models > 1 or classes > 1:
         if (args.max_batch, args.max_wait_ms) != (4, 2.0):
             print("note: --max-batch/--max-wait-ms are FIFO knobs; the SLA "

@@ -24,6 +24,18 @@ under the two-class SLA policy (interactive deadlines via
 cross-model die-dedup proof::
 
     python -m repro serve --models 2 --requests 32 --rate 400 --deadline-ms 50
+
+``--http PORT`` puts either demo server on a socket — the
+:class:`repro.serving.HttpFrontend` wire protocol documented in
+``docs/serving.md`` (``--http 0`` picks an ephemeral port) — and serves
+until Ctrl-C, printing the walkthrough curl lines.  ``--http-demo``
+instead replays ``--requests`` self-checking requests *through the
+wire* (concurrent clients, mixed classes with ``--models 2``, every
+decoded response asserted bit-identical to the in-process serial
+forward), drains, and exits — the CI smoke::
+
+    python -m repro serve --http 8100                 # curl me
+    python -m repro serve --http 0 --http-demo --models 2 --requests 16
 """
 
 from __future__ import annotations
@@ -132,6 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline of the interactive "
                             "class in the SLA demo; <= 0 disables "
                             "(serve only)")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="expose the demo server over HTTP on PORT "
+                            "(0 = ephemeral) and serve until Ctrl-C; "
+                            "wire protocol in docs/serving.md (serve only)")
+    serve.add_argument("--http-demo", action="store_true",
+                       help="with --http: replay --requests self-checking "
+                            "requests through the wire, drain, and exit "
+                            "instead of serving forever (serve only)")
+    serve.add_argument("--http-host", default="127.0.0.1",
+                       help="bind address for --http (default: loopback "
+                            "only; serve only)")
     return parser
 
 
@@ -141,6 +164,13 @@ def run(argv=None) -> int:
     if args.experiment == "serve":
         classes = (args.priority_classes if args.priority_classes is not None
                    else args.models)
+        if args.http_demo and args.http is None:
+            print("ERROR: --http-demo requires --http PORT", file=sys.stderr)
+            return 2
+        if args.http is not None:
+            from .serving.demo import run_http_cli
+
+            return run_http_cli(args)
         if args.models > 1 or classes > 1:
             from .serving.demo import run_multitenant_demo
 

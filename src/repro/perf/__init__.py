@@ -16,22 +16,33 @@ Two layers:
 * :mod:`repro.perf.multitenant` — the multi-tenant extension of the
   serving records: two tenants with opposed SLAs contending for one
   worker pool (``benchmarks/bench_multitenant.py``), per-class and
-  per-model latency percentiles plus shed accounting.
+  per-model latency percentiles plus shed accounting;
+* :mod:`repro.perf.http` — the same open-loop Poisson traffic measured
+  *over the wire* through the :class:`~repro.serving.HttpFrontend`
+  (``benchmarks/bench_http.py``): client-side round-trip percentiles
+  next to the server-side snapshot, so transport cost is readable
+  against the in-process ``serving_poisson_*`` curve.
 """
 
+from .http import (HTTP_TRANSPORT, drive_http_poisson, http_record_name,
+                   replay_http_open_loop, run_http_point)
 from .instrument import EngineMeter, TimingResult, time_callable
 from .multitenant import (drive_mixed_traffic, multitenant_record_name,
                           run_multitenant_point, tenant_models)
 from .serving import (SERVING_RECORD_KIND, drive_poisson,
-                      merge_serving_records, run_poisson_point,
+                      merge_records_into_file, merge_serving_records,
+                      poisson_arrival_offsets, run_poisson_point,
                       serving_record_name)
 from .suite import (BENCH_SCHEMA, default_suite, run_suite, write_payload)
 
 __all__ = [
     "TimingResult", "time_callable", "EngineMeter",
     "BENCH_SCHEMA", "default_suite", "run_suite", "write_payload",
-    "SERVING_RECORD_KIND", "drive_poisson", "merge_serving_records",
-    "run_poisson_point", "serving_record_name",
+    "SERVING_RECORD_KIND", "drive_poisson", "merge_records_into_file",
+    "merge_serving_records", "poisson_arrival_offsets", "run_poisson_point",
+    "serving_record_name",
     "drive_mixed_traffic", "multitenant_record_name",
     "run_multitenant_point", "tenant_models",
+    "HTTP_TRANSPORT", "drive_http_poisson", "http_record_name",
+    "replay_http_open_loop", "run_http_point",
 ]

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .serving import SERVING_RECORD_KIND
+from .serving import SERVING_RECORD_KIND, poisson_arrival_offsets
 
 #: tenant and class names of the canonical mixed-traffic scenario
 INTERACTIVE = "interactive"
@@ -157,10 +157,7 @@ def drive_mixed_traffic(rate_rps: float, requests: int, *,
     rng = np.random.default_rng(seed)
     image_idx = rng.integers(0, images.shape[0], size=requests)
     interactive = rng.random(requests) < interactive_fraction
-    gaps = rng.exponential(1.0 / rate_rps, size=max(requests - 1, 0))
-    # absolute arrival schedule (first request at t=0): sleeping per-gap
-    # would drift the realized rate below the recorded offered rate
-    arrival_offsets = np.concatenate([[0.0], np.cumsum(gaps)])
+    arrival_offsets = poisson_arrival_offsets(rng, rate_rps, requests)
 
     assignments: List[Tuple[str, str, int]] = []   # (model, class, image idx)
     futures: List[Future] = []

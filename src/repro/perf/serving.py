@@ -21,6 +21,8 @@ curve:
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
 from typing import Dict, List, Optional
 
@@ -33,6 +35,21 @@ SERVING_RECORD_KIND = "serving"
 def serving_record_name(rate_rps: float) -> str:
     rate = f"{rate_rps:g}".replace(".", "p")
     return f"serving_poisson_r{rate}"
+
+
+def poisson_arrival_offsets(rng: np.random.Generator, rate_rps: float,
+                            requests: int) -> np.ndarray:
+    """Absolute open-loop arrival schedule (first request at t=0).
+
+    One shared implementation for every serving benchmark and demo, so
+    the ``serving_poisson_*``, ``serving_multitenant_*`` and
+    ``serving_http_r*`` curves (and the wire demos) keep identical
+    arrival statistics under one seed discipline.  Anchoring on an
+    absolute schedule — rather than sleeping per gap — keeps the
+    realized rate from drifting below the recorded offered rate.
+    """
+    gaps = rng.exponential(1.0 / rate_rps, size=max(requests - 1, 0))
+    return np.concatenate([[0.0], np.cumsum(gaps)])
 
 
 def drive_poisson(rate_rps: float, requests: int, *, max_batch: int = 8,
@@ -67,11 +84,7 @@ def drive_poisson(rate_rps: float, requests: int, *, max_batch: int = 8,
     adc = ADCSpec(bits=paper_adc_bits(config.fragment_size))
     rng = np.random.default_rng(seed)
     pool_images = images[rng.integers(0, images.shape[0], size=requests)]
-    gaps = rng.exponential(1.0 / rate_rps, size=requests - 1)
-    # absolute arrival schedule (first request at t=0): sleeping per-gap
-    # would add submit overhead on top of every gap and drift the realized
-    # rate below the recorded offered rate
-    arrival_offsets = np.concatenate([[0.0], np.cumsum(gaps)])
+    arrival_offsets = poisson_arrival_offsets(rng, rate_rps, requests)
 
     with InferenceServer.from_model(
             model, config, device, adc=adc,
@@ -160,4 +173,32 @@ def merge_serving_records(payload: Dict, records: List[Dict]) -> Dict:
             for record in payload.get("records", [])]
     kept.extend(record for record in records if record["name"] in by_name)
     payload["records"] = kept
+    return payload
+
+
+def merge_records_into_file(path, records: List[Dict]) -> Dict:
+    """Merge serving records into a BENCH json file on disk.
+
+    The one read-merge-write implementation behind every serving
+    recorder (``bench_serving.py`` / ``bench_multitenant.py`` /
+    ``bench_http.py``).  Raises :class:`ValueError` if ``path`` exists
+    but is not valid JSON — an unreadable file may hold the whole
+    engine-suite trajectory and must abort the run, never be clobbered.
+    Returns the merged payload.
+    """
+    path = pathlib.Path(path)
+    if path.exists():
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except ValueError as exc:
+            raise ValueError(
+                f"{path} exists but is not valid JSON ({exc}); "
+                "refusing to overwrite it")
+    else:
+        payload = {"schema": "forms-perf-suite/v1", "records": []}
+    merge_serving_records(payload, records)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
     return payload

@@ -34,6 +34,11 @@ Components
   float model through :func:`repro.reram.build_insitu_network`.
 * :class:`RequestQueue` / :class:`Batcher` — the FIFO queue (retained)
   and the dispatch loop shared by both queue shapes.
+* :class:`HttpFrontend` / :class:`HttpClient` — the wire: a std-lib
+  threaded HTTP front end exposing ``submit`` as ``POST /v1/infer``
+  (plus ``/v1/infer_batch``, ``/v1/models``, ``/v1/stats``,
+  ``/healthz``) with structured shed/admission errors and a draining
+  shutdown — protocol reference in ``docs/serving.md``.
 * :class:`ServerStats` / :class:`RequestStats` — the operational view
   (p50/p95 latency overall and per class / per model, shed counts by
   reason, queue depth, batch mix, occupancy) and the per-request receipt
@@ -41,11 +46,16 @@ Components
   slice of the shared engines' merged ``EngineStats``).
 
 ``benchmarks/bench_serving.py`` records single-tenant open-loop Poisson
-curves and ``benchmarks/bench_multitenant.py`` the mixed-class
-multi-tenant contention scenario, both into ``BENCH_engine.json``;
-``python -m repro serve`` runs self-checking demos of either shape.
+curves, ``benchmarks/bench_multitenant.py`` the mixed-class
+multi-tenant contention scenario, and ``benchmarks/bench_http.py`` the
+same open-loop traffic through the HTTP front end (queue + transport
+end to end), all into ``BENCH_engine.json``; ``python -m repro serve``
+runs self-checking demos of either shape (``--http`` puts them on a
+socket).
 """
 
+from .http import (ERROR_CODES, HttpClient, HttpError, HttpFrontend,
+                   WireFormatError, WireResult)
 from .queue import Batcher, PendingRequest, QueueClosed, RequestQueue
 from .registry import ModelRegistry, RegisteredModel
 from .scheduler import (SHED_ADMISSION, SHED_DEADLINE, SHED_LATENCY_BOUND,
@@ -55,9 +65,11 @@ from .server import DEFAULT_MODEL, InferenceServer
 from .stats import RequestStats, ServedResult, ServerStats
 
 __all__ = [
-    "AdmissionController", "Batcher", "DEFAULT_MODEL", "InferenceServer",
+    "AdmissionController", "Batcher", "DEFAULT_MODEL", "ERROR_CODES",
+    "HttpClient", "HttpError", "HttpFrontend", "InferenceServer",
     "ModelRegistry", "PendingRequest", "PriorityClass", "QueueClosed",
     "RegisteredModel", "RequestQueue", "RequestShed", "RequestStats",
     "SHED_ADMISSION", "SHED_DEADLINE", "SHED_LATENCY_BOUND", "ServedResult",
     "ServerStats", "ShedReceipt", "SlaPolicy", "SlaQueue", "SlaRequest",
+    "WireFormatError", "WireResult",
 ]

@@ -14,7 +14,15 @@ shapes:
   latency bound on a heavier one, both on one shared pool), prints
   per-class latency/shed summaries and the registry's die-reuse stats,
   and additionally *proves* cross-model die dedup by registering a
-  replica tenant over identical weights and asserting cache hits.
+  replica tenant over identical weights and asserting cache hits;
+* :func:`run_http_server` / :func:`run_http_demo` — the same demo
+  servers behind the :class:`~repro.serving.HttpFrontend` (``--http``):
+  either serve until interrupted (the curl-walkthrough mode of
+  ``docs/serving.md``) or replay ``requests`` self-checking requests
+  *over the wire* — concurrent client threads, mixed classes when
+  ``models=2``, every decoded response asserted bit-identical to the
+  in-process serial forward — then drain and exit (``--http-demo``, the
+  CI smoke).
 
 Both demos are self-checking: every served output is asserted
 bit-identical to a direct single-image serial forward (per tenant) in
@@ -24,7 +32,10 @@ end-to-end smokes of the serving contract.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 
 def run_demo(requests: int = 16, rate_rps: float = 200.0,
@@ -120,3 +131,245 @@ def run_multitenant_demo(requests: int = 32, rate_rps: float = 400.0,
     say(f"cross-model die dedup: replica tenant registered with "
         f"{stats['die_cache']['hits']} cache hits, 0 new dies — OK")
     return snapshot
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end over the demo servers
+def build_demo_server(models: int = 1, *,
+                      deadline_ms: Optional[float] = 50.0,
+                      max_batch: int = 4, max_wait_ms: float = 2.0,
+                      workers: Optional[int] = None, seed: int = 0,
+                      activation_bits: int = 12, die_cache=None):
+    """Stand up the demo :class:`~repro.serving.InferenceServer`, idle.
+
+    The traffic-free sibling of the drive functions: builds exactly the
+    network(s) the in-process demos serve — the perf suite's post-ReLU
+    CNN for ``models=1``, the ``fast``/``batch`` tenant pair under the
+    two-class SLA policy for ``models=2`` — and returns ``(server,
+    traffic)`` where ``traffic`` describes how to aim synthetic requests
+    at it: ``traffic["images"]`` is the demo image pool and
+    ``traffic["cases"]`` one ``(model, priority, deadline_ms)`` submit
+    template per class (a single entry of ``None``s for the FIFO shape).
+    The caller owns the server (``shutdown`` closes its registry/pool).
+    """
+    from ..reram import ADCSpec, DeviceSpec, ReRAMDevice, paper_adc_bits
+
+    if models not in (1, 2):
+        raise ValueError("the demo serves 1 or 2 models")
+    device = ReRAMDevice(DeviceSpec(), 0.0)
+    if models == 1:
+        from ..perf.suite import _post_relu_network
+        from .server import InferenceServer
+        model, config, images = _post_relu_network(seed=seed)
+        adc = ADCSpec(bits=paper_adc_bits(config.fragment_size))
+        server = InferenceServer.from_model(
+            model, config, device, adc=adc,
+            activation_bits=activation_bits, max_batch=max_batch,
+            max_wait_s=max_wait_ms / 1e3, workers=workers,
+            die_cache=die_cache)
+        traffic = {"images": images,
+                   "cases": [(None, None, None)],
+                   "interactive_fraction": 1.0}
+        return server, traffic
+    from ..perf.multitenant import (BATCH_MODEL, BULK, FAST_MODEL,
+                                    INTERACTIVE, mixed_policy,
+                                    tenant_models)
+    from .registry import ModelRegistry
+    from .server import InferenceServer
+    tenants, config, images = tenant_models(seed=seed)
+    adc = ADCSpec(bits=paper_adc_bits(config.fragment_size))
+    registry = ModelRegistry(workers=workers, die_cache=die_cache)
+    try:
+        for name, model in tenants.items():
+            registry.register(name, model, config, device, adc=adc,
+                              activation_bits=activation_bits)
+        server = InferenceServer(registry=registry, policy=mixed_policy())
+    except BaseException:
+        registry.close()
+        raise
+    server._owns_registry = True    # the demo's registry dies with the server
+    traffic = {"images": images,
+               "cases": [(FAST_MODEL, INTERACTIVE, deadline_ms),
+                         (BATCH_MODEL, BULK, None)],
+               "interactive_fraction": 0.4}
+    return server, traffic
+
+
+def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
+                  models: int = 1, *, host: str = "127.0.0.1", port: int = 0,
+                  deadline_ms: Optional[float] = 50.0,
+                  max_batch: int = 4, max_wait_ms: float = 2.0,
+                  workers: Optional[int] = None, seed: int = 0,
+                  print_fn: Optional[Callable[[str], None]] = print) -> Dict:
+    """Drive the demo server *over the wire* and verify every bit.
+
+    Replays ``requests`` open-loop Poisson arrivals as concurrent
+    ``POST /v1/infer`` calls (mixed classes and alternating JSON /
+    base64 encodings when ``models=2``), asserts every decoded response
+    bit-identical to the in-process serial single-image forward of its
+    tenant, prints the wire-side operational snapshot, then drains the
+    front end and confirms the port actually closed.  Returns the
+    ``/v1/stats`` snapshot.  Raises on any numeric deviation or any
+    failure other than an explicit shed receipt.
+    """
+    from ..perf.http import replay_http_open_loop
+    from ..perf.serving import poisson_arrival_offsets
+    from ..runtime import run_network_serial
+    from .http import HttpClient, HttpFrontend
+
+    say = print_fn if print_fn is not None else (lambda line: None)
+    server, traffic = build_demo_server(models, deadline_ms=deadline_ms,
+                                        max_batch=max_batch,
+                                        max_wait_ms=max_wait_ms,
+                                        workers=workers, seed=seed)
+    images, cases = traffic["images"], traffic["cases"]
+    rng = np.random.default_rng(seed)
+    image_idx = rng.integers(0, images.shape[0], size=requests)
+    interactive = rng.random(requests) < traffic["interactive_fraction"]
+    arrival_offsets = poisson_arrival_offsets(rng, rate_rps, requests)
+
+    plan: List[Tuple[np.ndarray, Dict]] = []
+    assignments: List[Tuple[Optional[str], int]] = []
+    for i in range(requests):
+        model, priority, deadline = cases[0 if interactive[i] else -1]
+        kwargs: Dict = {"binary": bool(i % 2)}   # exercise both encodings
+        if model is not None:
+            kwargs.update(model=model, priority=priority)
+            if deadline is not None:
+                kwargs["deadline_ms"] = deadline
+        plan.append((images[image_idx[i]], kwargs))
+        assignments.append((model, int(image_idx[i])))
+
+    with server:
+        frontend = HttpFrontend(server, host=host, port=port,
+                                owns_server=True).start()
+        client = HttpClient.for_frontend(frontend)
+        say(f"http front end on {frontend.url} — replaying {requests} "
+            f"requests at ~{rate_rps:.0f} rps over the wire "
+            f"({models} model(s), health: {client.healthz()['status']})")
+        outcomes, open_loop_s = replay_http_open_loop(client, plan,
+                                                      arrival_offsets)
+        snapshot = client.stats()
+        # serial references while the networks are still reachable
+        names = {model for model, _ in assignments}
+        serial = {model: run_network_serial(
+                      server.registry.get(model).network, images, tile_size=1)
+                  for model in names}
+        frontend.shutdown()
+
+    served = shed = 0
+    for i, outcome in enumerate(outcomes):
+        model, img = assignments[i]
+        if outcome["error"] is not None:
+            # only an explicit shed receipt is an acceptable outcome;
+            # transport-level exceptions carry no .code and must fail
+            if getattr(outcome["error"], "code", None) != "shed":
+                raise AssertionError(
+                    f"request {i} failed over the wire: {outcome['error']}")
+            shed += 1
+            continue
+        served += 1
+        if not np.array_equal(outcome["result"].output, serial[model][img]):
+            raise AssertionError(
+                f"request {i} ({model or 'default'}): decoded HTTP output "
+                "!= in-process serial forward")
+    say(f"bit-identity of all {served} served responses vs in-process "
+        f"serial forwards: OK ({shed} shed with receipts)")
+    say(f"wire snapshot: p50 {snapshot['latency_p50_s'] * 1e3:.2f} ms, "
+        f"p95 {snapshot['latency_p95_s'] * 1e3:.2f} ms, "
+        f"mean batch {snapshot['mean_batch_size']:.2f}, "
+        f"occupancy {snapshot['occupancy']:.2f}, "
+        f"{requests / open_loop_s:.1f} rps over the wire")
+    for name, group in sorted(snapshot.get("per_class", {}).items()):
+        say(f"  class {name:12s} completed {group['completed']:3d}, "
+            f"shed {group['shed']:3d}, "
+            f"p95 {group['latency_p95_s'] * 1e3:7.2f} ms")
+    # the drain proof: the socket must actually be gone
+    try:
+        client.healthz()
+    except OSError:
+        say("drain: port closed, all handlers finished — OK")
+    else:
+        raise AssertionError("front end still answering after shutdown")
+    return snapshot
+
+
+def run_http_server(models: int = 1, *, host: str = "127.0.0.1",
+                    port: int = 8100,
+                    deadline_ms: Optional[float] = 50.0,
+                    max_batch: int = 4, max_wait_ms: float = 2.0,
+                    workers: Optional[int] = None, seed: int = 0,
+                    print_fn: Optional[Callable[[str], None]] = print,
+                    ready: Optional[Callable] = None,
+                    stop: Optional[threading.Event] = None) -> Dict:
+    """Serve the demo model(s) over HTTP until interrupted.
+
+    The operator mode behind ``python -m repro serve --http PORT``: binds
+    the front end, prints the curl lines of the ``docs/serving.md``
+    walkthrough, and blocks until Ctrl-C (or ``stop`` is set — the
+    test hook; ``ready`` receives the live frontend once bound).
+    Draining shutdown on the way out; returns the final stats snapshot.
+    """
+    from .http import HttpFrontend
+
+    say = print_fn if print_fn is not None else (lambda line: None)
+    server, traffic = build_demo_server(models, deadline_ms=deadline_ms,
+                                        max_batch=max_batch,
+                                        max_wait_ms=max_wait_ms,
+                                        workers=workers, seed=seed)
+    stop = stop if stop is not None else threading.Event()
+    with server:
+        frontend = HttpFrontend(server, host=host, port=port,
+                                owns_server=True, log=say).start()
+        shape = list(traffic["images"].shape[1:])
+        say(f"serving {server.registry.names()} on {frontend.url} "
+            f"(request shape {shape}; Ctrl-C drains and exits)")
+        say("try:")
+        say(f"  curl -s {frontend.url}/healthz")
+        say(f"  curl -s {frontend.url}/v1/models")
+        model, priority, deadline = traffic["cases"][0]
+        envelope = "\\\"input\\\": [[...]]" if model is None else (
+            f"\\\"model\\\": \\\"{model}\\\", \\\"priority\\\": "
+            f"\\\"{priority}\\\", \\\"input\\\": [[...]]")
+        say(f"  curl -s -X POST {frontend.url}/v1/infer "
+            f"-H 'Content-Type: application/json' -d '{{{envelope}}}'")
+        say(f"  curl -s {frontend.url}/v1/stats")
+        if ready is not None:
+            ready(frontend)
+        try:
+            while not stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:
+            say("interrupt: draining")
+        frontend.shutdown()
+        # snapshot after the drain so requests served during it count
+        snapshot = server.server_stats()
+        say("drained; front end closed")
+    return snapshot
+
+
+def run_http_cli(args) -> int:
+    """The shared ``--http`` dispatch of ``python -m repro serve`` and
+    ``scripts/serve_demo.py`` (one copy, so the two entry points cannot
+    drift): resolves the deadline, coerces the model count, prints the
+    FIFO-knobs note for the SLA shape, and runs either the self-checking
+    wire demo (``--http-demo``) or the serve-until-interrupted server.
+    """
+    deadline = (args.deadline_ms if args.deadline_ms is not None
+                and args.deadline_ms > 0 else None)
+    classes = (args.priority_classes if args.priority_classes is not None
+               else args.models)
+    models = 2 if (args.models > 1 or classes > 1) else 1
+    if models > 1 and (args.max_batch, args.max_wait_ms) != (4, 2.0):
+        print("note: --max-batch/--max-wait-ms are FIFO knobs; the SLA "
+              "demo's classes carry their own coalescing budgets "
+              "(ignored here)")
+    knobs = dict(models=models, host=args.http_host, port=args.http,
+                 deadline_ms=deadline, max_batch=args.max_batch,
+                 max_wait_ms=args.max_wait_ms, workers=args.workers,
+                 seed=args.seed)
+    if args.http_demo:
+        run_http_demo(requests=args.requests, rate_rps=args.rate, **knobs)
+    else:
+        run_http_server(**knobs)
+    return 0

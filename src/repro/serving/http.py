@@ -1,0 +1,726 @@
+"""HTTP front end for the serving layer: the wire protocol over
+:class:`~repro.serving.server.InferenceServer`.
+
+Everything below PR 5 is in-process: the server, the SLA scheduler and
+the registry can only be driven by code importing :mod:`repro.serving`.
+This module makes the stack *externally drivable* — a std-lib
+(`http.server` ``ThreadingHTTPServer``) front end that speaks a small,
+documented JSON wire protocol (reference: ``docs/serving.md``), so the
+ROADMAP's end-to-end latency budget includes the socket, the parse and
+the queue, not just the dispatch loop.
+
+Endpoints
+---------
+=========================  ====================================================
+``POST /v1/infer``         one image in, logits + per-request receipt out;
+                           ``model`` / ``priority`` / ``deadline_ms`` map onto
+                           the SLA path of :meth:`InferenceServer.submit_async`
+``POST /v1/infer_batch``   many images enqueued *before* any is waited on, so
+                           they may coalesce into shared batches
+``GET  /v1/models``        the registry snapshot (tenants, die-dedup stats)
+``GET  /v1/stats``         the operational snapshot (per-class / per-model
+                           percentiles, sheds, occupancy, queue depth)
+``GET  /healthz``          liveness: 200 while serving, 503 while draining
+=========================  ====================================================
+
+Payload encodings
+-----------------
+Images travel either as nested JSON arrays (``"input"`` — decoded as
+float64; Python's ``repr``-based JSON float serialization round-trips
+every finite float64 exactly, so JSON is *not* a lossy channel here) or
+as base64 of ``.npy`` bytes (``"input_b64"`` — any dtype, byte-exact).
+The response mirrors the request's encoding (``"output"`` vs
+``"output_b64"``).
+
+Error contract
+--------------
+Every failure is a structured JSON body ``{"error": {"code": ...,
+"message": ...}}`` with a stable machine-readable ``code`` (the full
+table lives in ``docs/serving.md``).  A shed or admission-refused
+request returns 503 with ``code "shed"`` and the full
+:class:`~repro.serving.scheduler.ShedReceipt`; a request arriving while
+the front end drains returns 503 ``"shutting_down"``.  Request bodies
+are bounded (``max_body_bytes``, 413 past it, read no further).
+
+Bit-identity over the wire
+--------------------------
+The transport is **numerics-invisible**: a decoded ``POST /v1/infer``
+output is bit-identical to the in-process ``submit`` result for the same
+image — at any worker count, read noise on or off, JSON or base64
+encoding (``tests/serving/test_http.py``).  The front end never touches
+the image values; it only moves bytes and dict keys.
+
+Shutdown
+--------
+:meth:`HttpFrontend.shutdown` drains: new requests are refused with 503
+``"shutting_down"``, the owned inference server drains its queue (so
+in-flight HTTP handlers waiting on futures complete — or fail with an
+explicit shed/shutdown error, never a wedged socket), the accept loop
+stops, and remaining handler threads are waited out.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .queue import QueueClosed
+from .scheduler import RequestShed
+
+#: default request-body bound (bytes) — far above any demo image, far
+#: below anything that could exhaust the container
+DEFAULT_MAX_BODY_BYTES = 8 << 20
+
+#: structured error codes of the wire protocol (documented in
+#: docs/serving.md — keep the two in lockstep; tests assert membership)
+ERROR_CODES = (
+    "malformed_json",     # 400: body is not valid UTF-8 JSON / not an object
+    "invalid_request",    # 400: JSON is fine but the envelope is not
+    "invalid_input",      # 400: image undecodable or wrong shape
+    "unknown_model",      # 404: "model" names no registered tenant
+    "unknown_priority",   # 400: "priority" names no class of the policy
+    "length_required",    # 411: POST without Content-Length
+    "body_too_large",     # 413: Content-Length past max_body_bytes
+    "not_found",          # 404: unknown path
+    "method_not_allowed",  # 405: wrong verb for a known path
+    "shed",               # 503: shed/admission-refused (carries a receipt)
+    "shutting_down",      # 503: the front end is draining
+    "internal",           # 500: dispatch failure (batcher error)
+)
+
+
+class WireFormatError(ValueError):
+    """A request that cannot be mapped onto a submission.
+
+    Carries the HTTP ``status`` and the structured error ``code`` the
+    handler should answer with.
+    """
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+# ---------------------------------------------------------------------------
+# payload encode/decode — shared by the server handler and HttpClient, so
+# the two ends of the wire cannot drift apart
+def encode_array(array: np.ndarray) -> str:
+    """Base64 of the array's ``.npy`` serialization (byte-exact)."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    return base64.b64encode(buffer.getvalue()).decode("ascii")
+
+
+def decode_array_b64(data: str) -> np.ndarray:
+    try:
+        raw = base64.b64decode(data, validate=True)
+        return np.load(io.BytesIO(raw), allow_pickle=False)
+    except Exception as exc:
+        raise WireFormatError(400, "invalid_input",
+                              f"undecodable base64 .npy payload: {exc}")
+
+
+def decode_array_json(obj) -> np.ndarray:
+    """Nested JSON lists -> float64 (the wire's canonical numeric dtype)."""
+    try:
+        array = np.asarray(obj, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(400, "invalid_input",
+                              f"input is not a numeric array: {exc}")
+    if array.dtype != np.float64:   # pragma: no cover — asarray guarantees
+        raise WireFormatError(400, "invalid_input", "input must be numeric")
+    return array
+
+
+def decode_input(payload: Dict, *, key: str = "input") -> Tuple[np.ndarray, bool]:
+    """Extract one image from a request envelope.
+
+    Returns ``(array, binary)`` where ``binary`` records which encoding
+    the caller used (the response mirrors it).
+    """
+    key_b64 = f"{key}_b64"
+    has_json, has_b64 = key in payload, key_b64 in payload
+    if has_json == has_b64:
+        raise WireFormatError(
+            400, "invalid_request",
+            f"pass exactly one of {key!r} (nested JSON array) or "
+            f"{key_b64!r} (base64 .npy)")
+    if has_b64:
+        if not isinstance(payload[key_b64], str):
+            raise WireFormatError(400, "invalid_request",
+                                  f"{key_b64!r} must be a base64 string")
+        return decode_array_b64(payload[key_b64]), True
+    return decode_array_json(payload[key]), False
+
+
+def result_body(result, binary: bool) -> Dict:
+    """A :class:`~repro.serving.stats.ServedResult` as a response dict."""
+    body: Dict = {"stats": result.stats.as_dict()}
+    if binary:
+        body["output_b64"] = encode_array(result.output)
+    else:
+        body["output"] = result.output.tolist()
+    return body
+
+
+def error_body(code: str, message: str, **extra) -> Dict:
+    assert code in ERROR_CODES, f"undocumented error code {code!r}"
+    error = {"code": code, "message": message}
+    error.update(extra)
+    return {"error": error}
+
+
+def shed_body(exc: RequestShed) -> Dict:
+    return error_body("shed", str(exc), reason=exc.receipt.reason,
+                      receipt=exc.receipt.as_dict())
+
+
+def _submit_kwargs(server, payload: Dict) -> Dict:
+    """Validate and map the request envelope onto ``submit_async`` kwargs.
+
+    Pre-resolves the model and the priority class so the two distinct
+    failure modes get distinct error codes (``unknown_model`` 404 vs
+    ``unknown_priority`` 400) instead of one opaque 400.
+    """
+    model = payload.get("model")
+    if model is not None and not isinstance(model, str):
+        raise WireFormatError(400, "invalid_request", "'model' must be a string")
+    priority = payload.get("priority")
+    if priority is not None and not isinstance(priority, str):
+        raise WireFormatError(400, "invalid_request",
+                              "'priority' must be a string")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) \
+                or isinstance(deadline_ms, bool) or deadline_ms <= 0:
+            raise WireFormatError(400, "invalid_request",
+                                  "'deadline_ms' must be a number > 0")
+    try:
+        server.registry.get(model)
+    except KeyError as exc:
+        raise WireFormatError(404, "unknown_model", str(exc.args[0]))
+    except ValueError as exc:
+        # a multi-tenant registry needs an explicit name
+        raise WireFormatError(400, "invalid_request", str(exc))
+    try:
+        server.policy.rank_of(priority)
+    except KeyError as exc:
+        raise WireFormatError(400, "unknown_priority", str(exc.args[0]))
+    return {
+        "model": model,
+        "priority": priority,
+        "deadline_s": deadline_ms / 1e3 if deadline_ms is not None else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    """One request of the wire protocol; state lives on the frontend."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "forms-serving/1"
+
+    # the ThreadingHTTPServer subclass below carries .frontend
+    @property
+    def frontend(self) -> "HttpFrontend":
+        return self.server.frontend   # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):   # noqa: A002 — stdlib signature
+        log = self.frontend.log
+        if log is not None:
+            log(f"{self.address_string()} {format % args}")
+
+    # -- plumbing ----------------------------------------------------------
+    def _reply(self, status: int, body: Dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _reply_error(self, status: int, code: str, message: str,
+                     **extra) -> None:
+        self._reply(status, error_body(code, message, **extra))
+
+    def _read_body(self) -> Optional[bytes]:
+        """Bounded body read; replies (and returns None) on protocol errors."""
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            self.close_connection = True
+            self._reply_error(411, "length_required",
+                              "POST requires a Content-Length header")
+            return None
+        try:
+            length = int(length_header)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            self.close_connection = True
+            self._reply_error(400, "invalid_request",
+                              "Content-Length is not a non-negative integer")
+            return None
+        if length > self.frontend.max_body_bytes:
+            # refuse without reading: the connection cannot be reused
+            self.close_connection = True
+            self._reply_error(
+                413, "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.frontend.max_body_bytes}-byte bound",
+                max_body_bytes=self.frontend.max_body_bytes)
+            return None
+        body = self.rfile.read(length)
+        if len(body) != length:
+            self.close_connection = True
+            self._reply_error(400, "invalid_request", "truncated request body")
+            return None
+        return body
+
+    def _parse_json(self, body: bytes) -> Optional[Dict]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._reply_error(400, "malformed_json",
+                              f"request body is not valid JSON: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._reply_error(400, "malformed_json",
+                              "request body must be a JSON object")
+            return None
+        return payload
+
+    # -- verbs -------------------------------------------------------------
+    def do_GET(self) -> None:   # noqa: N802 — stdlib naming
+        with self.frontend._track():
+            if self.path == "/healthz":
+                self._handle_healthz()
+            elif self.path == "/v1/stats":
+                self._reply(200, self.frontend.server.server_stats())
+            elif self.path == "/v1/models":
+                self._reply(200, self.frontend.server.registry_stats())
+            elif self.path in ("/v1/infer", "/v1/infer_batch"):
+                self._reply_error(405, "method_not_allowed",
+                                  f"{self.path} requires POST")
+            else:
+                self._reply_error(404, "not_found",
+                                  f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:   # noqa: N802 — stdlib naming
+        with self.frontend._track():
+            if self.path not in ("/v1/infer", "/v1/infer_batch"):
+                if self.path in ("/healthz", "/v1/stats", "/v1/models"):
+                    self.close_connection = True
+                    self._reply_error(405, "method_not_allowed",
+                                      f"{self.path} requires GET")
+                else:
+                    self.close_connection = True
+                    self._reply_error(404, "not_found",
+                                      f"unknown path {self.path!r}")
+                return
+            body = self._read_body()
+            if body is None:
+                return
+            if self.frontend.draining:
+                self._reply_error(503, "shutting_down",
+                                  "the server is draining; request refused")
+                return
+            payload = self._parse_json(body)
+            if payload is None:
+                return
+            try:
+                if self.path == "/v1/infer":
+                    self._handle_infer(payload)
+                else:
+                    self._handle_infer_batch(payload)
+            except WireFormatError as exc:
+                self._reply_error(exc.status, exc.code, str(exc))
+            except RequestShed as exc:
+                self._reply(503, shed_body(exc))
+            except QueueClosed as exc:
+                self._reply_error(503, "shutting_down", str(exc))
+            except RuntimeError as exc:
+                if "shut down" in str(exc):
+                    self._reply_error(503, "shutting_down", str(exc))
+                else:
+                    self._reply_error(500, "internal", str(exc))
+            except Exception as exc:   # noqa: BLE001 — the wire must answer
+                self._reply_error(500, "internal",
+                                  f"{type(exc).__name__}: {exc}")
+
+    # -- endpoints ---------------------------------------------------------
+    def _handle_healthz(self) -> None:
+        frontend = self.frontend
+        draining = frontend.draining
+        body = {
+            "status": "draining" if draining else "ok",
+            "draining": draining,
+            "models": frontend.server.registry.names(),
+        }
+        self._reply(503 if draining else 200, body)
+
+    def _handle_infer(self, payload: Dict) -> None:
+        server = self.frontend.server
+        image, binary = decode_input(payload)
+        kwargs = _submit_kwargs(server, payload)
+        try:
+            future = server.submit_async(image, **kwargs)
+        except ValueError as exc:
+            # image-shape pin mismatch / degenerate image — the one
+            # validation submit_async owns that _submit_kwargs cannot
+            raise WireFormatError(400, "invalid_input", str(exc))
+        result = future.result()
+        self._reply(200, result_body(result, binary))
+
+    def _handle_infer_batch(self, payload: Dict) -> None:
+        server = self.frontend.server
+        has_json, has_b64 = "inputs" in payload, "inputs_b64" in payload
+        raw = payload.get("inputs_b64" if has_b64 else "inputs")
+        if has_json == has_b64 or not isinstance(raw, list) or not raw:
+            raise WireFormatError(
+                400, "invalid_request",
+                "pass exactly one non-empty list: 'inputs' (nested JSON "
+                "arrays) or 'inputs_b64' (base64 .npy strings)")
+        binary = has_b64
+        images = [decode_array_b64(item) if binary else decode_array_json(item)
+                  for item in raw]
+        kwargs = _submit_kwargs(server, payload)
+        futures, submit_error = [], None
+        for index, image in enumerate(images):
+            try:
+                futures.append(server.submit_async(image, **kwargs))
+            except (ValueError, RuntimeError) as exc:
+                submit_error = (index, exc)
+                break
+        # never strand what was already enqueued — drain it even when a
+        # later item failed to submit
+        items: List[Dict] = []
+        served = shed = 0
+        for future in futures:
+            try:
+                result = future.result()
+                items.append(result_body(result, binary))
+                served += 1
+            except RequestShed as exc:
+                items.append(shed_body(exc))
+                shed += 1
+        if submit_error is not None:
+            index, exc = submit_error
+            if isinstance(exc, RuntimeError) and "shut down" in str(exc):
+                code, status = "shutting_down", 503
+            else:
+                code, status = "invalid_input", 400
+            self._reply_error(status, code,
+                              f"inputs[{index}]: {exc}", index=index)
+            return
+        status = 200 if shed == 0 else (503 if served == 0 else 207)
+        self._reply(status, {"results": items, "completed": served,
+                             "shed": shed})
+
+
+class _Httpd(ThreadingHTTPServer):
+    daemon_threads = True
+    # handler threads are tracked by HttpFrontend._track, not joined here
+    block_on_close = False
+    frontend: "HttpFrontend"
+
+
+class _Tracked:
+    """Context manager counting one in-flight request on a frontend."""
+
+    __slots__ = ("frontend",)
+
+    def __init__(self, frontend: "HttpFrontend"):
+        self.frontend = frontend
+
+    def __enter__(self) -> "_Tracked":
+        with self.frontend._inflight_lock:
+            self.frontend._inflight += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self.frontend._inflight_lock:
+            self.frontend._inflight -= 1
+            self.frontend._inflight_lock.notify_all()
+
+
+# ---------------------------------------------------------------------------
+class HttpFrontend:
+    """The threaded HTTP front end over one :class:`InferenceServer`.
+
+    Parameters
+    ----------
+    server:
+        The inference server to expose.  ``owns_server=True`` hands its
+        lifecycle to the front end: :meth:`shutdown` drains it (the CLI
+        path).  The default borrows it — the owner keeps submitting
+        in-process alongside the wire (the test/benchmark path).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port, readable back
+        from :attr:`port` / :attr:`url`.
+    max_body_bytes:
+        Request-body bound; a longer ``Content-Length`` is refused with
+        413 before the body is read.
+    log:
+        Optional callable receiving one access-log line per request
+        (default: silent — the demos pass ``print``).
+
+    Use as a context manager (``with HttpFrontend(server) as fe: ...``)
+    or call :meth:`start` / :meth:`shutdown` explicitly.
+    """
+
+    def __init__(self, server, host: str = "127.0.0.1", port: int = 0, *,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 owns_server: bool = False, log=None):
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        self.server = server
+        self.max_body_bytes = max_body_bytes
+        self.owns_server = owns_server
+        self.log = log
+        self._draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Condition()
+        self._httpd = _Httpd((host, port), _Handler)
+        self._httpd.frontend = self
+        self._thread: Optional[threading.Thread] = None
+        self._shut_down = False
+
+    # -- address -----------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- in-flight accounting (the drain barrier) ---------------------------
+    def _track(self) -> _Tracked:
+        return _Tracked(self)
+
+    def _wait_inflight(self, timeout: Optional[float]) -> bool:
+        with self._inflight_lock:
+            return self._inflight_lock.wait_for(
+                lambda: self._inflight == 0, timeout=timeout)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "HttpFrontend":
+        if self._thread is not None:
+            raise RuntimeError("frontend already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="forms-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Drain and stop.  Idempotent.
+
+        Order matters: (1) flip :attr:`draining` so new ``POST``s are
+        refused with 503 ``"shutting_down"``; (2) drain the owned
+        inference server, which serves (or sheds, with receipts) every
+        already-accepted request — in-flight HTTP handlers blocked on
+        futures therefore complete with real responses, never a wedged
+        socket; (3) stop the accept loop and wait out remaining handler
+        threads.  A borrowed server is left running.
+        """
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._draining = True
+        if self.owns_server:
+            self.server.shutdown(timeout)
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self._wait_inflight(timeout if timeout is not None else 5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "HttpFrontend":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ---------------------------------------------------------------------------
+class HttpError(RuntimeError):
+    """An error response of the wire protocol, decoded.
+
+    ``status`` is the HTTP status, ``code`` the structured error code
+    (one of :data:`ERROR_CODES`), ``payload`` the full ``"error"``
+    object — for ``code == "shed"`` it carries the ``receipt``.
+    """
+
+    def __init__(self, status: int, payload: Dict):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        code = error.get("code", "internal")
+        super().__init__(f"HTTP {status} [{code}]: "
+                         f"{error.get('message', payload)}")
+        self.status = status
+        self.code = code
+        self.payload = error
+
+    @property
+    def receipt(self) -> Optional[Dict]:
+        return self.payload.get("receipt")
+
+
+class WireResult:
+    """A served response, decoded: the wire twin of
+    :class:`~repro.serving.stats.ServedResult` (``stats`` is the receipt
+    dict rather than a :class:`RequestStats`)."""
+
+    __slots__ = ("output", "stats")
+
+    def __init__(self, output: np.ndarray, stats: Dict):
+        self.output = output
+        self.stats = stats
+
+    @classmethod
+    def from_body(cls, body: Dict) -> "WireResult":
+        if "output_b64" in body:
+            output = decode_array_b64(body["output_b64"])
+        else:
+            output = np.asarray(body["output"], dtype=np.float64)
+        return cls(output, body.get("stats", {}))
+
+
+class HttpClient:
+    """Minimal std-lib client for the wire protocol.
+
+    One short-lived connection per call — safe to share one client
+    across threads (the load generator and the smoke tests do).  Every
+    non-2xx response raises :class:`HttpError` carrying the structured
+    code, except the per-item errors inside an ``infer_batch`` response,
+    which are returned in place.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def for_frontend(cls, frontend: HttpFrontend,
+                     timeout: float = 60.0) -> "HttpClient":
+        return cls(frontend.host, frontend.port, timeout)
+
+    # -- plumbing -----------------------------------------------------------
+    def request(self, method: str, path: str,
+                body: Optional[Dict] = None) -> Tuple[int, Dict]:
+        """One round trip; returns ``(status, decoded JSON)`` untouched."""
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout)
+        try:
+            data = (json.dumps(body).encode("utf-8")
+                    if body is not None else None)
+            headers = {"Content-Type": "application/json",
+                       "Connection": "close"}
+            try:
+                connection.request(method, path, body=data, headers=headers)
+            except (BrokenPipeError, ConnectionResetError):
+                # the server refused mid-send (e.g. 413 on an oversized
+                # body, answered without reading it) and closed its end;
+                # the error response is usually already in our receive
+                # buffer — read it instead of surfacing the pipe error
+                pass
+            response = connection.getresponse()
+            raw = response.read()
+            return response.status, json.loads(raw.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[Dict] = None,
+                 ok: Tuple[int, ...] = (200,)) -> Tuple[int, Dict]:
+        status, payload = self.request(method, path, body)
+        if status not in ok:
+            raise HttpError(status, payload)
+        return status, payload
+
+    # -- endpoints ----------------------------------------------------------
+    def infer(self, image: np.ndarray, *, model: Optional[str] = None,
+              priority: Optional[str] = None,
+              deadline_ms: Optional[float] = None,
+              binary: bool = False) -> WireResult:
+        """``POST /v1/infer``; raises :class:`HttpError` on any failure
+        (``code "shed"`` carries the receipt)."""
+        body: Dict = {}
+        if binary:
+            body["input_b64"] = encode_array(np.asarray(image))
+        else:
+            body["input"] = np.asarray(image).tolist()
+        if model is not None:
+            body["model"] = model
+        if priority is not None:
+            body["priority"] = priority
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        _, payload = self._checked("POST", "/v1/infer", body)
+        return WireResult.from_body(payload)
+
+    def infer_batch(self, images, *, model: Optional[str] = None,
+                    priority: Optional[str] = None,
+                    deadline_ms: Optional[float] = None,
+                    binary: bool = False
+                    ) -> List[Union[WireResult, HttpError]]:
+        """``POST /v1/infer_batch``; per-item results in request order —
+        a :class:`WireResult` for served items, an (unraised)
+        :class:`HttpError` for shed ones.  Raises on envelope-level
+        failures (malformed request, unknown model, all items shed)."""
+        body: Dict = {}
+        if binary:
+            body["inputs_b64"] = [encode_array(np.asarray(image))
+                                  for image in images]
+        else:
+            body["inputs"] = [np.asarray(image).tolist() for image in images]
+        if model is not None:
+            body["model"] = model
+        if priority is not None:
+            body["priority"] = priority
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        # 503 with a "results" envelope is the every-item-shed case: the
+        # per-item receipts are the payload, so decode rather than raise
+        status, payload = self.request("POST", "/v1/infer_batch", body)
+        if status not in (200, 207, 503) or "results" not in payload:
+            raise HttpError(status, payload)
+        out: List[Union[WireResult, HttpError]] = []
+        for item in payload["results"]:
+            if "error" in item:
+                out.append(HttpError(503, item))
+            else:
+                out.append(WireResult.from_body(item))
+        return out
+
+    def stats(self) -> Dict:
+        return self._checked("GET", "/v1/stats")[1]
+
+    def models(self) -> Dict:
+        return self._checked("GET", "/v1/models")[1]
+
+    def healthz(self) -> Dict:
+        """Liveness probe — returns the body for both 200 and 503
+        (draining) so operators can poll it during a drain."""
+        status, payload = self.request("GET", "/healthz")
+        if status not in (200, 503):
+            raise HttpError(status, payload)
+        return payload

@@ -4,8 +4,9 @@ import json
 
 import pytest
 
-from repro.perf import (SERVING_RECORD_KIND, merge_serving_records,
-                        multitenant_record_name, run_multitenant_point,
+from repro.perf import (SERVING_RECORD_KIND, http_record_name,
+                        merge_serving_records, multitenant_record_name,
+                        run_http_point, run_multitenant_point,
                         run_poisson_point, serving_record_name,
                         write_payload)
 
@@ -66,6 +67,29 @@ class TestMerge:
         assert serving_record_name(12.5) == "serving_poisson_r12p5"
         assert multitenant_record_name(400.0) == "serving_multitenant_r400"
         assert multitenant_record_name(12.5) == "serving_multitenant_r12p5"
+        assert http_record_name(200.0) == "serving_http_r200"
+        assert http_record_name(12.5) == "serving_http_r12p5"
+
+    def test_http_merge_clobbers_no_other_kind(self, tmp_path):
+        """The acceptance clause: serving_http_r* records land next to
+        engine, poisson and multitenant entries without replacing any,
+        and survive an engine-suite rewrite."""
+        payload = {"records": [{"name": "mvm", "kind": "paired"},
+                               serving_record("serving_poisson_r200"),
+                               serving_record("serving_multitenant_r400")]}
+        fresh = [serving_record("serving_http_r200", 200.0),
+                 serving_record("serving_http_r400", 400.0)]
+        merge_serving_records(payload, fresh)
+        names = [r["name"] for r in payload["records"]]
+        assert names == ["mvm", "serving_poisson_r200",
+                         "serving_multitenant_r400",
+                         "serving_http_r200", "serving_http_r400"]
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        write_payload(path, {"schema": "forms-perf-suite/v1",
+                             "records": [{"name": "mvm", "kind": "paired"}]})
+        merged = json.loads(path.read_text())
+        assert [r["name"] for r in merged["records"]] == names
 
     def test_multitenant_merge_clobbers_nothing(self, tmp_path):
         """The satellite guarantee: merging multitenant records must
@@ -143,4 +167,30 @@ class TestMultitenantPoint:
         assert meta["bit_identical_to_serial"] is True
         assert meta["models"] == ["batch", "fast"]
         assert meta["die_cache"]["misses"] > 0
+
+
+class TestHttpPoint:
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            run_http_point(0.0, requests=4)
+        with pytest.raises(ValueError):
+            run_http_point(100.0, requests=0)
+
+    @pytest.mark.parametrize("binary", [False, True], ids=["json", "b64"])
+    def test_point_record_shape(self, binary):
+        record = run_http_point(400.0, requests=6, max_batch=4, workers=2,
+                                seed=1, binary=binary)
+        assert record["kind"] == SERVING_RECORD_KIND
+        assert record["name"] == "serving_http_r400"
+        results = record["results"]
+        assert results["offered_rate_rps"] == 400.0
+        assert results["throughput_rps"] > 0.0
+        # client round trips bound the server-side window from above
+        assert results["rtt_p95_s"] >= results["rtt_p50_s"] > 0.0
+        assert results["rtt_p50_s"] >= results["latency_p50_s"] > 0.0
+        meta = record["meta"]
+        assert meta["transport"] == "http"
+        assert meta["encoding"] == ("npy_b64" if binary else "json")
+        assert meta["requests"] == 6
         assert meta["workers"] == 2
+        assert meta["bit_identical_to_serial"] is True
