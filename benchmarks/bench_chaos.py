@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Chaos serving benchmark: fault injection and live-recovery recorder.
+
+Drives the two-tenant mixed-traffic scenario with a scripted chaos
+scenario armed — stuck-at faults flipped onto both tenants' live dies at
+dispatch boundaries mid-traffic, plus a dispatch-path stall — through
+open-loop Poisson arrivals at several offered rates, and records one
+``"chaos"`` record per rate into ``BENCH_engine.json``: detection /
+recovery / receipt accounting next to the usual throughput and latency
+percentiles, merged so the engine suite's and the serving recorders'
+records are preserved (schema in ``benchmarks/README.md``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke     # < 30 s
+    PYTHONPATH=src python benchmarks/bench_chaos.py             # full curve
+    PYTHONPATH=src python benchmarks/bench_chaos.py \\
+        --rates 100 800 --requests 48 -o /tmp/chaos.json
+
+Every rate point asserts — before anything is recorded — that every
+completed request is bit-identical to its tenant's *pre-fault* serial
+single-image forward, that every submitted future resolves within a
+bounded wait (zero hung futures), and that every injected stuck-at fault
+was detected and recovered.  Exits non-zero if any assertion fails or if
+fewer than two rate points were recorded.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import (merge_records_into_file,  # noqa: E402
+                        run_chaos_point)
+
+#: offered arrival rates (requests/s) per mode — a light-load point and a
+#: saturating one, so recovery cost is readable at both ends of the curve
+SMOKE_RATES = (50.0, 400.0)
+FULL_RATES = (25.0, 100.0, 400.0, 1600.0)
+
+
+def format_point(record: dict) -> str:
+    results, meta = record["results"], record["meta"]
+    health = meta["die_health"]
+    return (f"{record['name']:22s} offered {results['offered_rate_rps']:6.0f}"
+            f" rps -> served {results['throughput_rps']:6.1f} rps "
+            f"(p95 {results['latency_p95_s'] * 1e3:7.2f} ms); "
+            f"{results['faults_injected']} events -> "
+            f"{results['faults_detected']} detected, "
+            f"{results['fault_recoveries']} recovered, "
+            f"{results['requests_recovered']} requests carried receipts; "
+            f"dies {health['healthy']} healthy / "
+            f"{health['quarantined']} quarantined "
+            f"(w={meta['workers']})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode: two rate points, fewer requests")
+    parser.add_argument("--rates", type=float, nargs="+", default=None,
+                        help="offered arrival rates in requests/s "
+                             "(default: two smoke points / four full points)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per rate point (default 12 smoke / 48)")
+    parser.add_argument("--interactive-fraction", type=float, default=0.4,
+                        help="fraction of traffic in the interactive class")
+    parser.add_argument("--max-fault-retries", type=int, default=2,
+                        help="dispatch retry budget after a detected fault")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size (default: FORMS_WORKERS or "
+                             "CPU count)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="BENCH json to merge records into (default: "
+                             "BENCH_engine.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    rates = args.rates if args.rates is not None else (
+        list(SMOKE_RATES) if args.smoke else list(FULL_RATES))
+    requests = args.requests if args.requests is not None else (
+        12 if args.smoke else 48)
+    if len(rates) < 2:
+        print("ERROR: need at least two arrival-rate points for a curve",
+              file=sys.stderr)
+        return 1
+
+    records = []
+    for rate in rates:
+        record = run_chaos_point(
+            rate, requests, interactive_fraction=args.interactive_fraction,
+            max_fault_retries=args.max_fault_retries,
+            workers=args.workers, seed=args.seed)
+        print(format_point(record))
+        records.append(record)
+
+    try:
+        merge_records_into_file(args.output, records)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    print(f"[{len(records)} chaos records merged into {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,9 +16,13 @@ would:
 4. Every long flag of the ``serve`` option group (the serving CLI
    surface, including the HTTP front end's flags) appears literally in
    the corpus — the wire/operator docs cannot silently trail the CLI.
+5. Every wire error code of ``repro.serving.ERROR_CODES`` appears
+   backticked in the corpus — the error reference of ``docs/serving.md``
+   cannot silently trail the protocol.
 
-Rules 3-4 introspect the real parser (``repro.cli.build_parser``), so
-the gate tracks the CLI by construction.  Run by ``scripts/checks.sh``.
+Rules 3-5 introspect the real parser (``repro.cli.build_parser``) and
+the real wire contract (``repro.serving.http.ERROR_CODES``), so the
+gate tracks the code by construction.  Run by ``scripts/checks.sh``.
 """
 
 import pathlib
@@ -114,19 +118,31 @@ def check_cli_coverage(failures: list):
     return subcommands, serve_flags
 
 
+def check_error_codes(failures: list) -> int:
+    """Rule 5: every stable wire error code is in the error reference."""
+    from repro.serving.http import ERROR_CODES
+    corpus = docs_corpus()
+    for code in ERROR_CODES:
+        if f"`{code}`" not in corpus:
+            failures.append(f"docs corpus: wire error code `{code}` is "
+                            "undocumented (docs/serving.md error reference)")
+    return len(ERROR_CODES)
+
+
 def main() -> int:
     failures: list = []
     n_packages = check_packages(failures)
     n_docs = check_docs_linked(failures)
     subcommands, serve_flags = check_cli_coverage(failures)
+    n_codes = check_error_codes(failures)
     if failures:
         for failure in failures:
             print(f"ERROR: {failure}", file=sys.stderr)
         return 1
     print(f"docs check: {len(REQUIRED_DOCS)} docs cover {n_packages} "
           f"packages, {n_docs} docs page(s) linked from README, "
-          f"{len(subcommands)} subcommands and {len(serve_flags)} serve "
-          "flags documented")
+          f"{len(subcommands)} subcommands, {len(serve_flags)} serve "
+          f"flags and {n_codes} wire error codes documented")
     return 0
 
 

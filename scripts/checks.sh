@@ -28,7 +28,12 @@
 #    as real `POST /v1/infer` traffic (client round-trip + server-side
 #    latency recorded; bit-identity of decoded outputs asserted per
 #    point).
-# 7. `check_docs.py` — README.md and docs/architecture.md must exist and
+# 7. `bench_chaos.py --smoke` — two mixed-traffic points under scripted
+#    die faults: stuck-at flips land on both tenants' live dies, each
+#    point asserting checksum detection + online re-program recovery,
+#    bit-identity of every completed request against the *pre-fault*
+#    serial forward, and zero hung futures before recording.
+# 8. `check_docs.py` — README.md and docs/architecture.md must exist and
 #    mention every src/repro/* package, every docs/*.md page must be
 #    linked from the README, and every `python -m repro` subcommand and
 #    `serve` flag must appear in the docs (drift fails the check set).
@@ -61,6 +66,11 @@ echo "==> http bench smoke: bench_http.py --smoke"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_http.py \
     --smoke --requests 12 \
     -o "${HTTP_BENCH_OUTPUT:-/tmp/forms_http_smoke.json}"
+
+echo "==> chaos recovery smoke: bench_chaos.py --smoke"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_chaos.py \
+    --smoke --requests 12 \
+    -o "${CHAOS_BENCH_OUTPUT:-/tmp/forms_chaos_smoke.json}"
 
 echo "==> docs check: check_docs.py"
 python scripts/check_docs.py

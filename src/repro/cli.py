@@ -25,6 +25,15 @@ cross-model die-dedup proof::
 
     python -m repro serve --models 2 --requests 32 --rate 400 --deadline-ms 50
 
+``--chaos`` runs the fault-recovery demo: scripted stuck-at die faults
+land on both tenants mid-traffic, the checksum guards detect them, the
+server quarantines and re-programs the dies online and retries the
+batches — every completed request asserted bit-identical to the
+*pre-fault* serial forward, zero hung futures, recovery receipts
+printed::
+
+    python -m repro serve --chaos --requests 24 --rate 400
+
 ``--http PORT`` puts either demo server on a socket — the
 :class:`repro.serving.HttpFrontend` wire protocol documented in
 ``docs/serving.md`` (``--http 0`` picks an ephemeral port) — and serves
@@ -144,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline of the interactive "
                             "class in the SLA demo; <= 0 disables "
                             "(serve only)")
+    serve.add_argument("--chaos", action="store_true",
+                       help="run the fault-recovery demo: scripted stuck-at "
+                            "die faults under mixed-tenant traffic, checksum "
+                            "detection, online re-program, bounded retry — "
+                            "self-checking (serve only)")
     serve.add_argument("--http", type=int, default=None, metavar="PORT",
                        help="expose the demo server over HTTP on PORT "
                             "(0 = ephemeral) and serve until Ctrl-C; "
@@ -167,6 +181,16 @@ def run(argv=None) -> int:
         if args.http_demo and args.http is None:
             print("ERROR: --http-demo requires --http PORT", file=sys.stderr)
             return 2
+        if args.chaos:
+            if args.http is not None:
+                print("ERROR: --chaos is an in-process demo; drop --http",
+                      file=sys.stderr)
+                return 2
+            from .serving.demo import run_chaos_demo
+
+            run_chaos_demo(requests=args.requests, rate_rps=args.rate,
+                           workers=args.workers, seed=args.seed)
+            return 0
         if args.http is not None:
             from .serving.demo import run_http_cli
 

@@ -37,7 +37,7 @@ from scipy.optimize import linear_sum_assignment
 from ..nn.data import Dataset
 from ..nn.layers import Module, compressible_layers
 from ..nn.trainer import evaluate
-from ..reram.nonideal import FAULT_SA0, FAULT_SA1, FaultModel
+from ..reram.nonideal import FAULT_NONE, FAULT_SA0, FAULT_SA1, FaultModel
 from .pipeline import FORMSConfig, LayerArtifacts, collect_layer_artifacts
 
 
@@ -185,6 +185,86 @@ def apply_faults_to_magnitudes(magnitudes: np.ndarray, mask: np.ndarray,
     stuck[phys_mask == FAULT_SA1] = max_level
     recovered = np.where(comp_rows, max_level - stuck, stuck)
     return recovered[:original_rows].astype(magnitudes.dtype)
+
+
+# ---------------------------------------------------------------------------
+# Online re-map entry points (live recovery path)
+# ---------------------------------------------------------------------------
+#
+# The functions above are *programming-time* decisions: the die's fault map
+# is known before deployment and the layer is lowered once.  The serving
+# stack additionally needs the same machinery *online*: a checksum guard
+# (repro.reram.faults) detects that a programmed die has drifted mid-traffic,
+# re-reads it against the healthy reference, and hands the diff here to (a)
+# classify the stuck cells and (b) plan the [29]-style mitigations for the
+# quarantined die — all while the request that tripped the detection waits
+# for its bounded retry.
+
+def diagnose_stuck_codes(reference: np.ndarray, observed: np.ndarray,
+                         cell_levels: int) -> np.ndarray:
+    """Cell-granularity stuck-at mask from a re-read of a suspect die.
+
+    ``reference`` is the healthy code plane as programmed, ``observed`` the
+    re-read, both shaped ``(n_fragments, fragment_size, cols, slices)`` (any
+    shape works — the diff is elementwise).  Cells re-reading as the lowest
+    level are classified :data:`FAULT_SA0`, the highest level
+    :data:`FAULT_SA1`; a drifted-but-not-saturated cell is classified by the
+    sign of its drift so the impact model stays conservative.
+    """
+    reference = np.asarray(reference)
+    observed = np.asarray(observed)
+    if reference.shape != observed.shape:
+        raise ValueError("reference and observed code shapes must match")
+    mask = np.zeros(reference.shape, dtype=np.int8)
+    changed = observed != reference
+    mask[changed & (observed <= 0)] = FAULT_SA0
+    mask[changed & (observed >= cell_levels - 1)] = FAULT_SA1
+    drifted = changed & (mask == FAULT_NONE)
+    mask[drifted & (observed < reference)] = FAULT_SA0
+    mask[drifted & (observed > reference)] = FAULT_SA1
+    return mask
+
+
+def plan_die_recovery(reference_codes: np.ndarray, observed_codes: np.ndarray,
+                      place: np.ndarray, cell_levels: int,
+                      config: MitigationConfig = MitigationConfig()
+                      ) -> Tuple[np.ndarray, MitigationPlan]:
+    """Diagnose a live die against its healthy reference and plan the re-map.
+
+    The online counterpart of :func:`plan_mitigation`, working directly on
+    engine geometry: bit-sliced code planes shaped
+    ``(n_fragments, fragment_size, cols, slices)`` and the engine's
+    shift-and-add ``place`` values.  Slices are recombined to magnitude
+    granularity (the abstraction level of [29]); the fault mask is reduced
+    the same way (any slice stuck low -> SA0 dominates the magnitude error,
+    stuck high -> SA1).
+
+    Returns ``(cell_mask, plan)``: the cell-granularity diagnosis (for the
+    recovery receipt) and the :class:`MitigationPlan` for the quarantined
+    die — used to decide whether the die could be rehabilitated in place
+    (``plan.impact_reduction``) while the replacement is programmed.
+    """
+    reference_codes = np.asarray(reference_codes)
+    observed_codes = np.asarray(observed_codes)
+    if reference_codes.ndim != 4:
+        raise ValueError("expected (n_fragments, fragment_size, cols, slices)"
+                         f" code planes, got shape {reference_codes.shape}")
+    cell_mask = diagnose_stuck_codes(reference_codes, observed_codes,
+                                     cell_levels)
+    place = np.asarray(place, dtype=np.float64)
+    n_frag, frag_rows, cols, _ = reference_codes.shape
+    max_level = int((cell_levels - 1) * place.sum())
+    mag = np.einsum("fmcs,s->fmc", reference_codes.astype(np.float64), place)
+    observed_mag = np.einsum("fmcs,s->fmc",
+                             observed_codes.astype(np.float64), place)
+    drift = observed_mag - mag
+    mag_mask = np.zeros(mag.shape, dtype=np.int8)
+    mag_mask[drift < 0] = FAULT_SA0
+    mag_mask[drift > 0] = FAULT_SA1
+    plan = plan_mitigation(mag.reshape(n_frag * frag_rows, cols),
+                           mag_mask.reshape(n_frag * frag_rows, cols),
+                           max_level, frag_rows, config)
+    return cell_mask, plan
 
 
 # ---------------------------------------------------------------------------

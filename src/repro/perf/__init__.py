@@ -21,9 +21,16 @@ Two layers:
   *over the wire* through the :class:`~repro.serving.HttpFrontend`
   (``benchmarks/bench_http.py``): client-side round-trip percentiles
   next to the server-side snapshot, so transport cost is readable
-  against the in-process ``serving_poisson_*`` curve.
+  against the in-process ``serving_poisson_*`` curve;
+* :mod:`repro.perf.chaos` — the ``"chaos"`` record kind: mixed-tenant
+  Poisson traffic under scripted die faults
+  (``benchmarks/bench_chaos.py``) — stuck-at injection, checksum
+  detection, quarantine + online re-program, bounded batch retry — with
+  the bit-identity / zero-hung-futures contract asserted per point.
 """
 
+from .chaos import (CHAOS_RECORD_KIND, chaos_record_name,
+                    default_chaos_events, drive_chaos, run_chaos_point)
 from .http import (HTTP_TRANSPORT, drive_http_poisson, http_record_name,
                    replay_http_open_loop, run_http_point)
 from .instrument import EngineMeter, TimingResult, time_callable
@@ -45,4 +52,6 @@ __all__ = [
     "run_multitenant_point", "tenant_models",
     "HTTP_TRANSPORT", "drive_http_poisson", "http_record_name",
     "replay_http_open_loop", "run_http_point",
+    "CHAOS_RECORD_KIND", "chaos_record_name", "default_chaos_events",
+    "drive_chaos", "run_chaos_point",
 ]

@@ -1,0 +1,295 @@
+"""Chaos benchmark: fault injection, detection and live recovery.
+
+The serving curves (:mod:`repro.perf.serving`, :mod:`~repro.perf.
+multitenant`) measure the stack when every die is healthy; this module
+measures the scenario the fault-tolerance subsystem exists for — **a
+programmed die develops stuck-at faults under live mixed-tenant load**:
+
+* a scripted :class:`~repro.reram.faults.FaultInjector` flips a tenant's
+  die to a seeded stuck-at map at a dispatch boundary mid-traffic (plus
+  optional dispatch delays and crashes);
+* the armed :class:`~repro.reram.faults.DieGuard` checksum columns trip
+  on the next MVM touching the die;
+* the server quarantines the die, re-programs it through the shared
+  :class:`~repro.reram.DieCache` and retries the batch, attaching a
+  recovery receipt to every request that rode the recovered dispatch.
+
+Records carry their own ``"chaos"`` BENCH record kind (merged into
+``BENCH_engine.json`` through :func:`repro.perf.serving.
+merge_records_into_file`, preserving the engine/serving curves — and
+preserved by them in turn; see :func:`repro.perf.suite.write_payload`).
+
+Every point asserts — before anything is recorded — the whole-point
+robustness contract:
+
+* **bit-identity**: every *completed* request equals a direct serial
+  single-image forward through its tenant's network, computed *before*
+  any fault was injected — recovery restored the exact pre-fault die;
+* **zero hung futures**: every submitted future resolves (completion,
+  shed receipt, or an injected crash error) within a bounded wait;
+* **liveness**: every scripted stuck-at fault was detected and recovered
+  (the post-traffic probe requests guarantee each tenant dispatches at
+  least once after the last scripted event).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from concurrent.futures import wait as futures_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .multitenant import (BATCH_MODEL, BULK, FAST_MODEL, INTERACTIVE,
+                          mixed_policy, tenant_models)
+from .serving import poisson_arrival_offsets
+
+#: BENCH record kind of the chaos scenario points
+CHAOS_RECORD_KIND = "chaos"
+
+#: bounded wait proving "zero hung futures" — generous against CI jitter,
+#: tiny against an actual hang (a lost future would wait forever)
+RESOLVE_TIMEOUT_S = 60.0
+
+
+def chaos_record_name(rate_rps: float) -> str:
+    rate = f"{rate_rps:g}".replace(".", "p")
+    return f"chaos_mixed_r{rate}"
+
+
+def default_chaos_events(*, sa0_rate: float = 0.03, sa1_rate: float = 0.01,
+                         include_crash: bool = False):
+    """The canonical chaos scenario: both tenants lose a die early.
+
+    Returns a tuple of :class:`~repro.reram.faults.FaultEvent`: a
+    stuck-at flip on the bulk tenant's most sensitive die at the first
+    dispatch, a dispatch-path stall, and a stuck-at flip on the
+    interactive tenant shortly after — so recovery is exercised on both
+    tenants while Poisson arrivals are still queueing.  With
+    ``include_crash`` a scripted dispatch crash rides along (its batch
+    fails fast with :class:`~repro.reram.faults.InjectedDispatchError`;
+    the server keeps serving).
+    """
+    from ..reram.faults import (EVENT_CRASH, EVENT_DELAY, EVENT_STUCK_AT,
+                                FaultEvent)
+    events = [
+        FaultEvent(EVENT_STUCK_AT, at_dispatch=1, model=BATCH_MODEL,
+                   sa0_rate=sa0_rate, sa1_rate=sa1_rate),
+        FaultEvent(EVENT_DELAY, at_dispatch=2, delay_s=0.002),
+        FaultEvent(EVENT_STUCK_AT, at_dispatch=4, model=FAST_MODEL,
+                   sa0_rate=sa0_rate, sa1_rate=sa1_rate),
+    ]
+    if include_crash:
+        events.append(FaultEvent(EVENT_CRASH, at_dispatch=6))
+    return tuple(events)
+
+
+def drive_chaos(rate_rps: float, requests: int, *, events=None,
+                interactive_fraction: float = 0.4,
+                max_fault_retries: int = 2,
+                workers: Optional[int] = None, seed: int = 0,
+                activation_bits: int = 12) -> Dict:
+    """Serve one mixed-tenant Poisson process under scripted die faults.
+
+    Builds the two-tenant registry on one shared
+    :class:`~repro.reram.DieCache`, computes serial per-tenant reference
+    forwards **before any fault exists**, then replays ``requests``
+    open-loop Poisson arrivals at ``rate_rps`` with ``events`` (default
+    :func:`default_chaos_events`) armed on a seeded
+    :class:`~repro.reram.faults.FaultInjector` and checksum guards on
+    every die (``detect_faults=True``).  After the arrival loop one probe
+    request per tenant guarantees a dispatch boundary (and hence
+    detection and recovery) after the last scripted event.
+
+    Asserts the robustness contract documented in the module docstring
+    before returning; the returned dict carries served results, shed /
+    failure accounting, the injector log, the server snapshot and the
+    die-health snapshot.
+    """
+    from ..reram import (ADCSpec, DeviceSpec, DieCache, ReRAMDevice,
+                         paper_adc_bits)
+    from ..reram.faults import (EVENT_STUCK_AT, FaultInjector,
+                                InjectedDispatchError)
+    from ..runtime import run_network_serial
+    from ..serving import InferenceServer, ModelRegistry, RequestShed
+
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if not 0.0 <= interactive_fraction <= 1.0:
+        raise ValueError("interactive_fraction must be within [0, 1]")
+    if events is None:
+        events = default_chaos_events()
+
+    models, config, images = tenant_models(seed=seed)
+    device = ReRAMDevice(DeviceSpec(), 0.0)
+    adc = ADCSpec(bits=paper_adc_bits(config.fragment_size))
+    registry = ModelRegistry(workers=workers, die_cache=DieCache())
+    for name, model in models.items():
+        registry.register(name, model, config, device, adc=adc,
+                          activation_bits=activation_bits)
+
+    # references BEFORE any fault is injected: recovery must restore the
+    # exact pre-fault die, so these stay the oracle for the whole run
+    serial = {name: run_network_serial(registry.get(name).network, images,
+                                       tile_size=1) for name in models}
+
+    injector = FaultInjector(events, seed=seed)
+    # latency-bound shedding off: the only shed reason a chaos point may
+    # record is fault_recovery (retry budget exhaustion)
+    policy = mixed_policy(bulk_shed_after_ms=None)
+
+    rng = np.random.default_rng(seed)
+    image_idx = rng.integers(0, images.shape[0], size=requests)
+    interactive = rng.random(requests) < interactive_fraction
+    arrival_offsets = poisson_arrival_offsets(rng, rate_rps, requests)
+
+    assignments: List[Tuple[str, int]] = []    # (model, image idx)
+    futures: List[Future] = []
+    with registry, InferenceServer(registry=registry, policy=policy,
+                                   detect_faults=True,
+                                   fault_injector=injector,
+                                   max_fault_retries=max_fault_retries,
+                                   ) as server:
+        start = time.monotonic()
+        for i in range(requests):
+            delay = start + arrival_offsets[i] - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            model = FAST_MODEL if interactive[i] else BATCH_MODEL
+            priority = INTERACTIVE if interactive[i] else BULK
+            assignments.append((model, int(image_idx[i])))
+            futures.append(server.submit_async(images[image_idx[i]],
+                                               model=model,
+                                               priority=priority))
+        # post-traffic probes: each tenant must dispatch at least once
+        # *after* the last scripted event has been applied, or a die
+        # flipped at the final dispatch boundary would go undetected
+        # (events apply at any model's boundary; detection needs the
+        # flipped die itself to run an MVM).  Probe in rounds until the
+        # scenario is fully applied, then one clean round for detection.
+        max_rounds = 2 + max((event.at_dispatch for event in events),
+                             default=0)
+        for _ in range(max_rounds):
+            scenario_done = not injector.pending
+            probes: List[Future] = []
+            for model, priority in ((FAST_MODEL, INTERACTIVE),
+                                    (BATCH_MODEL, BULK)):
+                assignments.append((model, 0))
+                probe = server.submit_async(images[0], model=model,
+                                            priority=priority)
+                futures.append(probe)
+                probes.append(probe)
+            futures_wait(probes, timeout=RESOLVE_TIMEOUT_S)
+            if scenario_done:
+                break
+
+        served: List[Optional[object]] = []
+        sheds: List[Optional[object]] = []
+        crashes = 0
+        for future in futures:
+            try:    # bounded wait — a timeout here IS a hung future
+                served.append(future.result(timeout=RESOLVE_TIMEOUT_S))
+                sheds.append(None)
+            except RequestShed as exc:
+                served.append(None)
+                sheds.append(exc.receipt)
+            except InjectedDispatchError:
+                served.append(None)
+                sheds.append(None)
+                crashes += 1
+        open_loop_s = time.monotonic() - start
+        snapshot = server.server_stats()
+        health = server.die_health.snapshot()
+        resolved_workers = server.pool.workers
+
+    # ------------------------------------------------------------- the
+    # robustness contract: what makes a chaos point worth recording
+    for i, result in enumerate(served):
+        if result is None:
+            continue
+        model, img = assignments[i]
+        if not np.array_equal(result.output, serial[model][img]):
+            raise AssertionError(
+                f"request {i} ({model}): served output != pre-fault serial "
+                "forward — recovery did not restore the die bit-exactly")
+    stuck_events = sum(event.kind == EVENT_STUCK_AT for event in events)
+    flips = sum(entry.get("stuck_cells_total", 0) > 0
+                for entry in injector.log())
+    if max_fault_retries > 0 and flips:
+        if snapshot["faults_detected"] < flips:
+            raise AssertionError(
+                f"{flips} dies flipped but only "
+                f"{snapshot['faults_detected']} detections — a fault "
+                "served silently")
+        if snapshot["fault_recoveries"] < flips:
+            raise AssertionError(
+                f"{flips} dies flipped but only "
+                f"{snapshot['fault_recoveries']} recoveries")
+    if injector.pending:
+        raise AssertionError(
+            f"{len(injector.pending)} scripted events never came due — "
+            "scenario needs more dispatches (raise `requests`)")
+
+    recovered = [result for result in served
+                 if result is not None and result.stats.recovery is not None]
+    return {"served": served, "sheds": sheds, "assignments": assignments,
+            "recovered": recovered, "crashes": crashes,
+            "snapshot": snapshot, "health": health,
+            "injected": injector.log(), "stuck_events": stuck_events,
+            "open_loop_s": open_loop_s, "workers": resolved_workers}
+
+
+def run_chaos_point(rate_rps: float, requests: int = 32, *, events=None,
+                    interactive_fraction: float = 0.4,
+                    max_fault_retries: int = 2,
+                    workers: Optional[int] = None, seed: int = 0,
+                    activation_bits: int = 12) -> Dict:
+    """Measure one chaos arrival-rate point and return its record.
+
+    Drives :func:`drive_chaos` (the bit-identity / zero-hung-futures /
+    recovery-liveness contract is asserted there) and packages the
+    outcome as one ``"chaos"`` record for ``BENCH_engine.json``
+    (schema in ``benchmarks/README.md``).
+    """
+    driven = drive_chaos(rate_rps, requests, events=events,
+                         interactive_fraction=interactive_fraction,
+                         max_fault_retries=max_fault_retries,
+                         workers=workers, seed=seed,
+                         activation_bits=activation_bits)
+    snapshot = driven["snapshot"]
+    completed = sum(result is not None for result in driven["served"])
+    return {
+        "name": chaos_record_name(rate_rps),
+        "kind": CHAOS_RECORD_KIND,
+        "results": {
+            "offered_rate_rps": rate_rps,
+            "throughput_rps": completed / driven["open_loop_s"],
+            "requests_completed": completed,
+            "requests_failed": snapshot["requests_failed"],
+            "requests_shed": snapshot["requests_shed"],
+            "shed_by_reason": snapshot["shed_by_reason"],
+            "faults_injected": len(driven["injected"]),
+            "faults_detected": snapshot["faults_detected"],
+            "fault_recoveries": snapshot["fault_recoveries"],
+            "requests_recovered": snapshot["requests_recovered"],
+            "latency_p50_s": snapshot["latency_p50_s"],
+            "latency_p95_s": snapshot["latency_p95_s"],
+        },
+        "meta": {
+            "requests": requests,
+            "interactive_fraction": interactive_fraction,
+            "max_fault_retries": max_fault_retries,
+            "workers": driven["workers"],
+            "seed": seed,
+            "activation_bits": activation_bits,
+            "models": sorted({model for model, _ in driven["assignments"]}),
+            "scenario": driven["injected"],
+            "die_health": dict(driven["health"]["counts"],
+                               recoveries=driven["health"]["recoveries"]),
+            "bit_identical_to_serial": True,
+            "zero_hung_futures": True,
+        },
+    }

@@ -19,6 +19,9 @@ from .engine import (DieCache, EngineStats, InSituLayerEngine, SignIndicator,
                      build_engine, effective_levels,
                      fused_kernel_max_elements,
                      set_fused_kernel_max_elements)
+from .faults import (DieFaultDetected, DieGuard, FaultEvent, FaultInjector,
+                     InjectedDispatchError, fragment_sensitivity,
+                     rank_engines_by_sensitivity)
 from .mapping import SCHEMES, MappedLayer, infer_signs, map_layer
 from .nonideal import (LINEAR_CELL, CellIV, FaultModel, IRDropPoint,
                        ReadNoise, WireModel, first_order_currents,
@@ -51,6 +54,9 @@ __all__ = [
     "WireModel", "CellIV", "LINEAR_CELL", "solve_ir_drop",
     "first_order_currents", "ideal_currents", "ir_drop_study", "IRDropPoint",
     "FaultModel", "ReadNoise", "fragment_read_error",
+    "DieFaultDetected", "DieGuard", "FaultEvent", "FaultInjector",
+    "InjectedDispatchError", "fragment_sensitivity",
+    "rank_engines_by_sensitivity",
     "NonidealEngine", "output_error",
     "InSituConv2d", "InSituLinear", "build_insitu_network",
     "total_cycles_fed",

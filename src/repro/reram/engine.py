@@ -488,7 +488,54 @@ class InSituLayerEngine:
         self._codes_float: Optional[np.ndarray] = None
         self._eff_stack: Optional[Tuple[np.ndarray, np.ndarray, bool]] = None
         self._init_lock = threading.Lock()
+        #: optional online checksum guard (:class:`repro.reram.faults.
+        #: DieGuard`); when set, every MVM audits the programmed die's
+        #: sentinel sums before computing and raises
+        #: :class:`repro.reram.faults.DieFaultDetected` on a mismatch.
+        self.guard = None
         self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Online die maintenance (the live-recovery path of repro.reram.faults)
+    # ------------------------------------------------------------------
+    def reset_plane_caches(self) -> None:
+        """Invalidate the lazily-built code-derived tier constants.
+
+        Must be called after any mutation of ``mapped.code_planes`` /
+        ``conductance`` (an online die fault or swap): the exact-matmul
+        tier, the sparse integer kernel's code stack and the effective
+        weight stack are all folded from the codes at first dispatch and
+        would otherwise keep serving the stale die.
+        """
+        with self._init_lock:
+            self._exact_tier = None
+            self._codes_float = None
+            self._eff_stack = None
+
+    def swap_planes(self, code_planes: Dict[str, np.ndarray],
+                    conductance: Dict[str, np.ndarray]) -> None:
+        """Replace programmed planes in place — the online die swap.
+
+        ``code_planes`` / ``conductance`` map plane names to replacement
+        arrays; plane names must already exist on the engine.  Dict entries
+        are *rebound, never mutated in place*: a
+        :class:`DieCache`-shared conductance array may be aliased by other
+        engines (and by the cache itself), so an in-place write would
+        corrupt every sharer.  Callers must quiesce concurrent MVMs on this
+        engine (the serving stack swaps only at dispatch boundaries, on the
+        batcher thread).
+        """
+        for plane, codes in code_planes.items():
+            if plane not in self.mapped.code_planes:
+                raise KeyError(f"unknown code plane {plane!r}; engine has "
+                               f"{sorted(self.mapped.code_planes)}")
+            self.mapped.code_planes[plane] = codes
+        for plane, cond in conductance.items():
+            if plane not in self.conductance:
+                raise KeyError(f"unknown conductance plane {plane!r}; engine "
+                               f"has {sorted(self.conductance)}")
+            self.conductance[plane] = cond
+        self.reset_plane_caches()
 
     def _exact_tier_constants(self) -> Tuple[int, np.ndarray, np.ndarray, bool]:
         """(plane headroom, effective stacks, matmul-exactness) — cached.
@@ -794,6 +841,9 @@ class InSituLayerEngine:
         chunks across ``repro.runtime`` workers; results and stats are
         identical at any worker count.
         """
+        guard = self.guard
+        if guard is not None:
+            guard.check(self)
         if not self.sparse_enabled or self._conversion_noise_active():
             return self._matvec_dense(self._prepare(x_int), pool)
         return self._matvec_sparse(self._prepare(x_int), pool)
@@ -807,6 +857,9 @@ class InSituLayerEngine:
         forced path whenever read noise makes zero-skipping lossy.
         Bit-identical to :meth:`matvec_int`.
         """
+        guard = self.guard
+        if guard is not None:
+            guard.check(self)
         return self._matvec_dense(self._prepare(x_int), pool)
 
     def _matvec_sparse(self, stacked: np.ndarray, pool=None) -> np.ndarray:

@@ -41,9 +41,20 @@ Components
   shutdown — protocol reference in ``docs/serving.md``.
 * :class:`ServerStats` / :class:`RequestStats` — the operational view
   (p50/p95 latency overall and per class / per model, shed counts by
-  reason, queue depth, batch mix, occupancy) and the per-request receipt
-  (queue wait, batch ridden, model, class, and the exact per-request
-  slice of the shared engines' merged ``EngineStats``).
+  reason, queue depth, batch mix, occupancy, fault detections and
+  recoveries) and the per-request receipt (queue wait, batch ridden,
+  model, class, the exact per-request slice of the shared engines'
+  merged ``EngineStats``, and — after a die recovery — the recovery
+  receipt).
+* :class:`DieHealthRegistry` — per-die health states
+  (``healthy`` / ``quarantined`` / ``reprogramming``) behind the
+  ``/healthz`` die-pool summary; driven by the dispatch path's online
+  fault recovery (checksum detection via
+  :class:`~repro.reram.faults.DieGuard`, quarantine, re-program through
+  the shared die cache, bounded batch retry — ``detect_faults=True`` on
+  the server; scripted chaos via
+  :class:`~repro.reram.faults.FaultInjector`).  Retry-exhausted batches
+  shed with :data:`SHED_FAULT_RECOVERY` receipts.
 
 ``benchmarks/bench_serving.py`` records single-tenant open-loop Poisson
 curves, ``benchmarks/bench_multitenant.py`` the mixed-class
@@ -54,22 +65,28 @@ runs self-checking demos of either shape (``--http`` puts them on a
 socket).
 """
 
+from .health import (DIE_HEALTHY, DIE_QUARANTINED, DIE_REPROGRAMMING,
+                     DieHealthRegistry)
 from .http import (ERROR_CODES, HttpClient, HttpError, HttpFrontend,
                    WireFormatError, WireResult)
 from .queue import Batcher, PendingRequest, QueueClosed, RequestQueue
 from .registry import ModelRegistry, RegisteredModel
-from .scheduler import (SHED_ADMISSION, SHED_DEADLINE, SHED_LATENCY_BOUND,
-                        AdmissionController, PriorityClass, RequestShed,
-                        ShedReceipt, SlaPolicy, SlaQueue, SlaRequest)
+from .scheduler import (SHED_ADMISSION, SHED_DEADLINE, SHED_FAULT_RECOVERY,
+                        SHED_LATENCY_BOUND, AdmissionController,
+                        PriorityClass, RequestShed, ShedReceipt, SlaPolicy,
+                        SlaQueue, SlaRequest)
 from .server import DEFAULT_MODEL, InferenceServer
 from .stats import RequestStats, ServedResult, ServerStats
 
 __all__ = [
-    "AdmissionController", "Batcher", "DEFAULT_MODEL", "ERROR_CODES",
+    "AdmissionController", "Batcher", "DEFAULT_MODEL",
+    "DIE_HEALTHY", "DIE_QUARANTINED", "DIE_REPROGRAMMING",
+    "DieHealthRegistry", "ERROR_CODES",
     "HttpClient", "HttpError", "HttpFrontend", "InferenceServer",
     "ModelRegistry", "PendingRequest", "PriorityClass", "QueueClosed",
     "RegisteredModel", "RequestQueue", "RequestShed", "RequestStats",
-    "SHED_ADMISSION", "SHED_DEADLINE", "SHED_LATENCY_BOUND", "ServedResult",
+    "SHED_ADMISSION", "SHED_DEADLINE", "SHED_FAULT_RECOVERY",
+    "SHED_LATENCY_BOUND", "ServedResult",
     "ServerStats", "ShedReceipt", "SlaPolicy", "SlaQueue", "SlaRequest",
     "WireFormatError", "WireResult",
 ]

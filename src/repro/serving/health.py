@@ -1,0 +1,107 @@
+"""Per-die health tracking for the serving stack.
+
+Every in-situ engine a server fronts is one *die* from the operator's
+point of view: programmed once, shared by every request of its model, and
+— under the online fault machinery of :mod:`repro.reram.faults` — capable
+of being quarantined and re-programmed mid-traffic.  The
+:class:`DieHealthRegistry` is the single place those transitions are
+recorded: the dispatch path marks dies
+``healthy -> quarantined -> reprogramming -> healthy`` as recovery
+progresses, ``/healthz`` summarizes the counts, and ``/v1/stats``
+consumers correlate shed spikes with the transition log.
+
+States are intentionally a tiny closed set (:data:`DIE_HEALTHY`,
+:data:`DIE_QUARANTINED`, :data:`DIE_REPROGRAMMING`); everything else an
+operator needs (which fragment tripped, what the mitigation planner said)
+travels on the per-request recovery receipts instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: die states, in recovery order
+DIE_HEALTHY = "healthy"
+DIE_QUARANTINED = "quarantined"
+DIE_REPROGRAMMING = "reprogramming"
+DIE_STATES = (DIE_HEALTHY, DIE_QUARANTINED, DIE_REPROGRAMMING)
+
+
+class DieHealthRegistry:
+    """Thread-safe state registry for the dies a server serves from.
+
+    Keys are ``(model, layer)`` pairs — one per in-situ engine.  The
+    registry never blocks the dispatch path: transitions are O(1) under
+    one lock, and :meth:`counts` / :meth:`snapshot` produce the JSON-ready
+    views the HTTP layer exposes.  ``recoveries`` counts completed
+    quarantine -> healthy round trips (the number an operator alarms on).
+    """
+
+    def __init__(self, event_log: int = 256):
+        if event_log < 1:
+            raise ValueError("event_log must be >= 1")
+        self._lock = threading.Lock()
+        self._states: Dict[Tuple[str, str], str] = {}
+        self._events: List[Dict] = []
+        self._event_log = event_log
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, model: str, layer: str) -> None:
+        """Register one die as healthy (idempotent)."""
+        with self._lock:
+            self._states.setdefault((model, layer), DIE_HEALTHY)
+
+    def mark(self, model: str, layer: str, state: str,
+             detail: Optional[str] = None) -> None:
+        """Transition one die; unknown dies are attached implicitly."""
+        if state not in DIE_STATES:
+            raise ValueError(f"unknown die state {state!r}; "
+                             f"expected one of {DIE_STATES}")
+        with self._lock:
+            previous = self._states.get((model, layer), DIE_HEALTHY)
+            self._states[(model, layer)] = state
+            if state == DIE_HEALTHY and previous != DIE_HEALTHY:
+                self.recoveries += 1
+            self._events.append({
+                "t": time.time(), "model": model, "layer": layer,
+                "from": previous, "to": state, "detail": detail})
+            del self._events[:-self._event_log]
+
+    def state_of(self, model: str, layer: str) -> str:
+        with self._lock:
+            return self._states.get((model, layer), DIE_HEALTHY)
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """``{healthy, quarantined, reprogramming, recoveries}`` — the
+        ``/healthz`` die-pool summary."""
+        with self._lock:
+            out = {state: 0 for state in DIE_STATES}
+            for state in self._states.values():
+                out[state] += 1
+            out["recoveries"] = self.recoveries
+            return out
+
+    def snapshot(self) -> Dict:
+        """Full JSON-ready view: per-die states plus the transition log."""
+        with self._lock:
+            return {
+                "dies": {f"{model}/{layer}": state
+                         for (model, layer), state
+                         in sorted(self._states.items())},
+                "counts": {state: sum(1 for s in self._states.values()
+                                      if s == state)
+                           for state in DIE_STATES},
+                "recoveries": self.recoveries,
+                "events": [dict(event) for event in self._events],
+            }
+
+    @property
+    def degraded(self) -> bool:
+        """True while any die is quarantined or re-programming."""
+        with self._lock:
+            return any(state != DIE_HEALTHY
+                       for state in self._states.values())

@@ -65,12 +65,14 @@ import base64
 import io
 import json
 import threading
+import time
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..reram.faults import DieFaultDetected
 from .queue import QueueClosed
 from .scheduler import RequestShed
 
@@ -92,6 +94,10 @@ ERROR_CODES = (
     "method_not_allowed",  # 405: wrong verb for a known path
     "shed",               # 503: shed/admission-refused (carries a receipt)
     "shutting_down",      # 503: the front end is draining
+    "die_fault",          # 503: a die fault escaped the recovery path
+    #                       (checksum tripped and no healthy reference was
+    #                       available to restore from — the request failed
+    #                       loudly instead of being answered wrong)
     "internal",           # 500: dispatch failure (batcher error)
 )
 
@@ -346,6 +352,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(503, shed_body(exc))
             except QueueClosed as exc:
                 self._reply_error(503, "shutting_down", str(exc))
+            except DieFaultDetected as exc:
+                # before the RuntimeError arm: DieFaultDetected IS a
+                # RuntimeError, and this one deserves its own code —
+                # detection fired but the recovery path could not serve
+                # the request (e.g. an unguarded engine tripped)
+                self._reply_error(503, "die_fault", str(exc))
             except RuntimeError as exc:
                 if "shut down" in str(exc):
                     self._reply_error(503, "shutting_down", str(exc))
@@ -364,6 +376,15 @@ class _Handler(BaseHTTPRequestHandler):
             "draining": draining,
             "models": frontend.server.registry.names(),
         }
+        # die-pool health summary — additive: existing clients keyed on
+        # status/draining/models are untouched, and a degraded pool (some
+        # die quarantined or re-programming) stays HTTP 200: the server is
+        # alive and serving, just worth an operator's look
+        health = getattr(frontend.server, "die_health", None)
+        if health is not None:
+            body["dies"] = health.counts()
+            if not draining and health.degraded:
+                body["status"] = "degraded"
         self._reply(503 if draining else 200, body)
 
     def _handle_infer(self, payload: Dict) -> None:
@@ -611,17 +632,53 @@ class HttpClient:
     non-2xx response raises :class:`HttpError` carrying the structured
     code, except the per-item errors inside an ``infer_batch`` response,
     which are returned in place.
+
+    Retry policy
+    ------------
+    With ``retries > 0`` the *idempotent GETs* (``/healthz``,
+    ``/v1/stats``, ``/v1/models``) are retried on connection errors —
+    and, for the two stats endpoints, on HTTP 503 — with capped
+    exponential backoff and deterministic seeded jitter
+    (``backoff_seed``; two clients built with the same seed sleep the
+    same schedule, keeping chaos runs replayable).  ``/healthz`` never
+    retries a 503: a draining server answers 503 *with a valid body*,
+    which callers must see immediately.  POSTs are never retried — the
+    server may have executed a request whose response was lost, and
+    re-submitting inference is the caller's policy decision, not the
+    transport's.  The default ``retries=0`` keeps the historical
+    fail-fast behaviour.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    def __init__(self, host: str, port: int, timeout: float = 60.0, *,
+                 retries: int = 0, backoff_s: float = 0.05,
+                 backoff_cap_s: float = 1.0,
+                 backoff_seed: Optional[int] = None):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff_s / backoff_cap_s must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._backoff_rng = np.random.default_rng(backoff_seed)
+        self._backoff_lock = threading.Lock()
 
     @classmethod
     def for_frontend(cls, frontend: HttpFrontend,
-                     timeout: float = 60.0) -> "HttpClient":
-        return cls(frontend.host, frontend.port, timeout)
+                     timeout: float = 60.0, **kwargs) -> "HttpClient":
+        return cls(frontend.host, frontend.port, timeout, **kwargs)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based): exponential from
+        ``backoff_s``, capped at ``backoff_cap_s``, jittered into
+        [0.5, 1.5) of the base by the seeded stream."""
+        base = min(self.backoff_cap_s, self.backoff_s * (2 ** attempt))
+        with self._backoff_lock:
+            jitter = 0.5 + self._backoff_rng.random()
+        return base * jitter
 
     # -- plumbing -----------------------------------------------------------
     def request(self, method: str, path: str,
@@ -711,16 +768,46 @@ class HttpClient:
                 out.append(WireResult.from_body(item))
         return out
 
+    def _get_retrying(self, path: str,
+                      retry_statuses: Tuple[int, ...] = (503,)
+                      ) -> Tuple[int, Dict]:
+        """GET with the idempotent retry policy (see the class docstring).
+
+        Retries connection-level errors always; HTTP statuses only when
+        listed in ``retry_statuses``.  After the last attempt the final
+        outcome — error or response — surfaces unchanged.
+        """
+        for attempt in range(self.retries + 1):
+            last_attempt = attempt == self.retries
+            try:
+                status, payload = self.request("GET", path)
+            except OSError:
+                if last_attempt:
+                    raise
+            else:
+                if status not in retry_statuses or last_attempt:
+                    return status, payload
+            time.sleep(self.backoff_delay(attempt))
+        raise AssertionError("unreachable")   # pragma: no cover
+
     def stats(self) -> Dict:
-        return self._checked("GET", "/v1/stats")[1]
+        status, payload = self._get_retrying("/v1/stats")
+        if status != 200:
+            raise HttpError(status, payload)
+        return payload
 
     def models(self) -> Dict:
-        return self._checked("GET", "/v1/models")[1]
+        status, payload = self._get_retrying("/v1/models")
+        if status != 200:
+            raise HttpError(status, payload)
+        return payload
 
     def healthz(self) -> Dict:
         """Liveness probe — returns the body for both 200 and 503
-        (draining) so operators can poll it during a drain."""
-        status, payload = self.request("GET", "/healthz")
+        (draining) so operators can poll it during a drain.  Retries
+        connection errors only: a 503 here is a *valid* draining body,
+        not a transient to paper over."""
+        status, payload = self._get_retrying("/healthz", retry_statuses=())
         if status not in (200, 503):
             raise HttpError(status, payload)
         return payload

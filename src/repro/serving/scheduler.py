@@ -59,6 +59,10 @@ from .queue import QueueClosed
 SHED_DEADLINE = "deadline"           # the request's own deadline expired
 SHED_LATENCY_BOUND = "latency_bound"  # the class's shed_after_s bound hit
 SHED_ADMISSION = "admission"         # refused at intake by the controller
+SHED_FAULT_RECOVERY = "fault_recovery"  # die fault persisted past the
+#                                         dispatch retry budget (the batch
+#                                         is shed with receipts instead of
+#                                         served wrong or left hanging)
 
 
 @dataclass(frozen=True)

@@ -65,16 +65,20 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..reram import DieCache
+from ..reram.faults import DieFaultDetected, DieGuard, FaultInjector
 from ..runtime import WorkerPool, infer_tiles
+from .health import (DIE_HEALTHY, DIE_QUARANTINED, DIE_REPROGRAMMING,
+                     DieHealthRegistry)
 from .queue import Batcher
 from .registry import ModelRegistry, RegisteredModel
-from .scheduler import (SHED_ADMISSION, AdmissionController, RequestShed,
-                        ShedReceipt, SlaPolicy, SlaQueue, SlaRequest)
+from .scheduler import (SHED_ADMISSION, SHED_FAULT_RECOVERY,
+                        AdmissionController, RequestShed, ShedReceipt,
+                        SlaPolicy, SlaQueue, SlaRequest)
 from .stats import RequestStats, ServedResult, ServerStats
 
 #: the model name a single-model server registers its network under
@@ -109,6 +113,21 @@ class InferenceServer:
         Pool configuration for the private registry of the single-model
         path.  With ``registry`` the pool travels with the registry and
         these must be left unset.
+    detect_faults / guard_coverage:
+        With ``detect_faults=True`` every registered model's engines are
+        armed with :class:`~repro.reram.faults.DieGuard` checksum guards
+        (sensitivity-weighted audit placement at ``guard_coverage``): each
+        MVM audits the programmed die's sentinel sums and fails fast on a
+        mismatch, which the dispatch path turns into quarantine + online
+        re-program + bounded retry (see :meth:`_dispatch`).  The per-die
+        states are tracked in :attr:`die_health` either way.
+    fault_injector / max_fault_retries:
+        An optional :class:`~repro.reram.faults.FaultInjector` consulted
+        at every dispatch boundary (scripted chaos scenarios), and the
+        number of quarantine/re-program/retry rounds one batch may consume
+        before its requests are shed with :data:`~repro.serving.scheduler.
+        SHED_FAULT_RECOVERY` receipts — shed explicitly, never served
+        wrong, never left hanging.
 
     Use as a context manager, or call :meth:`shutdown` — in-flight and
     queued requests are drained before the server stops (queued requests
@@ -120,7 +139,13 @@ class InferenceServer:
                  admission: Optional[AdmissionController] = None,
                  max_batch: int = 8, max_wait_s: float = 0.002,
                  workers: Optional[int] = None,
-                 pool: Optional[WorkerPool] = None):
+                 pool: Optional[WorkerPool] = None,
+                 detect_faults: bool = False,
+                 guard_coverage: float = 1.0,
+                 fault_injector: Optional[FaultInjector] = None,
+                 max_fault_retries: int = 2):
+        if max_fault_retries < 0:
+            raise ValueError("max_fault_retries must be >= 0")
         if (model is None) == (registry is None):
             raise ValueError("pass exactly one of model= or registry=")
         if registry is not None and (workers is not None or pool is not None):
@@ -145,6 +170,18 @@ class InferenceServer:
         self._batch_ids = itertools.count()
         self._shutdown_lock = threading.Lock()
         self._shut_down = False
+        # --- online fault tolerance -----------------------------------
+        self.die_health = DieHealthRegistry()
+        self.fault_injector = fault_injector
+        self.max_fault_retries = max_fault_retries
+        self._guards: Dict[Tuple[str, str], DieGuard] = {}
+        self._engine_ids: Dict[int, Tuple[str, str]] = {}
+        for name in self.registry.names():
+            entry = self.registry.get(name)
+            for layer in entry.engines:
+                self.die_health.attach(entry.name, layer)
+            if detect_faults:
+                self.arm_model(name, coverage=guard_coverage)
         # the SLA queue carries its per-class coalescing knobs in the
         # policy, so the batcher needs none of its own
         self.batcher = Batcher(self.queue, self._dispatch)
@@ -160,6 +197,10 @@ class InferenceServer:
                    max_batch: int = 8, max_wait_s: float = 0.002,
                    workers: Optional[int] = None,
                    pool: Optional[WorkerPool] = None,
+                   detect_faults: bool = False,
+                   guard_coverage: float = 1.0,
+                   fault_injector: Optional[FaultInjector] = None,
+                   max_fault_retries: int = 2,
                    **engine_kwargs) -> "InferenceServer":
         """Build the in-situ network and serve it.
 
@@ -179,7 +220,10 @@ class InferenceServer:
                               engine_cls=engine_cls, **engine_kwargs)
             server = cls(registry=registry, policy=policy,
                          admission=admission, max_batch=max_batch,
-                         max_wait_s=max_wait_s)
+                         max_wait_s=max_wait_s, detect_faults=detect_faults,
+                         guard_coverage=guard_coverage,
+                         fault_injector=fault_injector,
+                         max_fault_retries=max_fault_retries)
         except BaseException:
             registry.close()
             raise
@@ -210,6 +254,30 @@ class InferenceServer:
         """The sole registered model's engines dict (may be empty when
         the server was handed a bare callable)."""
         return self.registry.get(None).engines
+
+    # ------------------------------------------------------------------
+    def arm_model(self, name: Optional[str] = None,
+                  coverage: float = 1.0) -> int:
+        """Arm checksum guards on one model's engines (idempotent).
+
+        Snapshots the healthy code planes, records the per-fragment
+        sentinel sums and attaches a
+        :class:`~repro.reram.faults.DieGuard` to every in-situ engine of
+        the model.  Returns the number of dies now guarded.  Models
+        registered after construction can be armed here; bare-callable
+        networks have no dies and arm zero guards.
+        """
+        entry = self.registry.get(name)
+        for layer, engine in entry.engines.items():
+            key = (entry.name, layer)
+            self.die_health.attach(entry.name, layer)
+            if key in self._guards:
+                continue
+            guard = DieGuard(engine, coverage=coverage)
+            engine.guard = guard
+            self._guards[key] = guard
+            self._engine_ids[id(engine)] = key
+        return sum(1 for key in self._guards if key[0] == entry.name)
 
     # ------------------------------------------------------------------
     def submit_async(self, image: np.ndarray, *,
@@ -318,18 +386,49 @@ class InferenceServer:
         same model, so one network forward serves them all.  The entry
         was resolved (and pinned on the request) at submit time, so an
         unregister between submit and dispatch cannot fail the batch.
+
+        Fault recovery: a :class:`~repro.reram.faults.DieFaultDetected`
+        escaping the forward (a checksum guard tripped before the faulty
+        die could compute anything) quarantines the die, re-programs the
+        replacement through the shared die cache and retries the whole
+        batch — up to ``max_fault_retries`` rounds, after which every
+        request is shed with an explicit ``fault_recovery`` receipt.
+        Requests that complete across a recovery carry the recovery
+        receipt on their :class:`RequestStats` and are bit-identical to a
+        fault-free forward (the restored die *is* the healthy die).
+        Dispatch boundaries are also where a configured
+        :class:`~repro.reram.faults.FaultInjector` applies scripted chaos
+        — the only point where no MVMs are in flight, so die mutation is
+        race-free.
         """
         dispatch_t = time.monotonic()
         batch_id = next(self._batch_ids)
         entry = batch[0].entry
         tiles = [slice(i, i + 1) for i in range(len(batch))]
+        recovery: Optional[Dict] = None
+        retries = 0
         try:
+            if self.fault_injector is not None:
+                self.fault_injector.on_dispatch(self)
             stacked = np.stack([request.image for request in batch])
-            results = infer_tiles(entry.network, stacked, tiles,
-                                  pool=self.pool, collect_stats=True)
+            while True:
+                try:
+                    results = infer_tiles(entry.network, stacked, tiles,
+                                          pool=self.pool, collect_stats=True)
+                    break
+                except DieFaultDetected as fault:
+                    self.stats.record_fault_detected()
+                    if retries >= self.max_fault_retries:
+                        self._shed_batch_fault(batch, fault, dispatch_t,
+                                               recovery)
+                        return
+                    retries += 1
+                    recovery = self._recover_die(fault, retries, recovery)
         except BaseException:
             self.stats.record_failure(len(batch))
             raise  # the batcher fails this batch's futures
+        if recovery is not None:
+            self.stats.record_recovery(len(batch))
 
         done_t = time.monotonic()
         self.stats.record_batch(len(batch), done_t - dispatch_t)
@@ -345,6 +444,7 @@ class InferenceServer:
                 model=request.model,
                 priority_class=request.priority_class,
                 deadline_s=request.deadline_s,
+                recovery=recovery,
             )
             self.stats.record_request(stats)
             # a client may have cancelled its future (e.g. a timed-out
@@ -353,4 +453,82 @@ class InferenceServer:
                 try:
                     request.future.set_result(ServedResult(output[0], stats))
                 except InvalidStateError:   # cancelled between check and set
+                    pass
+
+    # ------------------------------------------------------------------
+    def _recover_die(self, fault: DieFaultDetected, retries: int,
+                     prior: Optional[Dict]) -> Dict:
+        """Quarantine -> diagnose -> plan -> re-program -> back to healthy.
+
+        Runs on the batcher thread between dispatch attempts.  Returns the
+        JSON-ready recovery receipt attached to every request of the
+        retried batch.  An unguarded engine (fault raised by a guard the
+        server does not own) re-raises: there is no healthy reference to
+        restore from, so the batch must fail loudly instead.
+        """
+        engine = fault.engine
+        model, layer = self._engine_ids.get(
+            id(engine), (getattr(engine, "name", "?"), "?"))
+        guard = self._guards.get((model, layer))
+        if guard is None:
+            guard = getattr(engine, "guard", None)
+        if guard is None:
+            raise fault
+        detail = ", ".join(f"{plane}: fragments "
+                           f"{np.asarray(frags).tolist()}"
+                           for plane, frags in fault.fragments.items())
+        self.die_health.mark(model, layer, DIE_QUARANTINED,
+                             detail=f"checksum mismatch ({detail})")
+        masks = guard.diagnose(engine)
+        plans = guard.plan_remap(engine)
+        self.die_health.mark(model, layer, DIE_REPROGRAMMING)
+        restore = guard.restore(engine, die_cache=self.die_cache)
+        self.die_health.mark(model, layer, DIE_HEALTHY,
+                             detail="replacement die programmed")
+        receipt = {
+            "model": model,
+            "layer": layer,
+            "detected_planes": list(fault.planes),
+            "faulty_fragments": {plane: np.asarray(frags).tolist()
+                                 for plane, frags in fault.fragments.items()},
+            "stuck_cells": {plane: int((mask != 0).sum())
+                            for plane, mask in masks.items()},
+            "mitigation": {plane: {
+                "baseline_impact": plan.baseline_impact,
+                "planned_impact": plan.planned_impact,
+                "impact_reduction": plan.impact_reduction,
+            } for plane, plan in plans.items()},
+            "reprogram": restore,
+            "retries": retries,
+        }
+        if prior is not None:
+            receipt["prior_recoveries"] = (
+                prior.get("prior_recoveries", 0) + 1)
+        return receipt
+
+    def _shed_batch_fault(self, batch: List[SlaRequest],
+                          fault: DieFaultDetected, dispatch_t: float,
+                          recovery: Optional[Dict]) -> None:
+        """Retry budget exhausted: shed the batch with explicit receipts.
+
+        The die stays quarantined (recovery could not hold), every future
+        resolves exceptionally with a ``fault_recovery``
+        :class:`ShedReceipt` — never a silent wrong answer, never a hung
+        future — and the batcher keeps serving other models.
+        """
+        model, layer = self._engine_ids.get(id(fault.engine), ("?", "?"))
+        self.die_health.mark(model, layer, DIE_QUARANTINED,
+                             detail="retry budget exhausted")
+        for request in batch:
+            receipt = ShedReceipt(
+                request_id=request.request_id, model=request.model,
+                priority_class=request.priority_class,
+                reason=SHED_FAULT_RECOVERY,
+                queue_wait_s=dispatch_t - request.enqueue_t,
+                deadline_s=request.deadline_s)
+            self.stats.record_shed(receipt)
+            if not request.future.done():
+                try:
+                    request.future.set_exception(RequestShed(receipt))
+                except InvalidStateError:
                     pass

@@ -69,6 +69,11 @@ class RequestStats:
     model: str = "default"
     priority_class: str = "default"
     deadline_s: Optional[float] = None
+    #: recovery receipt — present only when this request's batch rode a die
+    #: fault: which die was quarantined, how it was diagnosed, what the
+    #: [29]-style remap planner said, and how many dispatch retries the
+    #: batch took before completing (bit-identically) on the restored die.
+    recovery: Optional[Dict] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -82,6 +87,8 @@ class RequestStats:
             "model": self.model,
             "priority_class": self.priority_class,
             "deadline_s": self.deadline_s,
+            "recovery": (dict(self.recovery)
+                         if self.recovery is not None else None),
         }
 
 
@@ -143,6 +150,9 @@ class ServerStats:
         self.requests_completed = 0
         self.requests_failed = 0
         self.requests_shed = 0
+        self.faults_detected = 0
+        self.fault_recoveries = 0
+        self.requests_recovered = 0
         self.batches_formed = 0
         self.batch_size_sum = 0
         self.batch_size_max = 0
@@ -194,6 +204,18 @@ class ServerStats:
         with self._lock:
             self.requests_failed += count
 
+    def record_fault_detected(self) -> None:
+        """Count one checksum detection (a die tripped its guard)."""
+        with self._lock:
+            self.faults_detected += 1
+
+    def record_recovery(self, requests: int) -> None:
+        """Count one completed die recovery and the ``requests`` that rode
+        the recovered batch to a (bit-identical) completion."""
+        with self._lock:
+            self.fault_recoveries += 1
+            self.requests_recovered += requests
+
     # ------------------------------------------------------------------
     def latency_percentile(self, q: float) -> float:
         """The ``q``-th latency percentile (0-100) over completed requests."""
@@ -217,6 +239,9 @@ class ServerStats:
                 "requests_failed": self.requests_failed,
                 "requests_shed": self.requests_shed,
                 "shed_by_reason": dict(self._shed_by_reason),
+                "faults_detected": self.faults_detected,
+                "fault_recoveries": self.fault_recoveries,
+                "requests_recovered": self.requests_recovered,
                 "batches_formed": self.batches_formed,
                 "mean_batch_size": (self.batch_size_sum / self.batches_formed
                                     if self.batches_formed else 0.0),

@@ -1,0 +1,243 @@
+"""Online die-fault machinery: injection, checksum detection, restoration.
+
+The contract under test: a stuck-at fault flipped onto a live die is (a)
+visible to every bit-exact compute tier (nothing but the guard stands
+between a stuck cell and a wrong answer), (b) detected by the sentinel
+checksums before the MVM's results escape, (c) diagnosed and planned at
+cell granularity, and (d) reversible — ``DieGuard.restore`` brings the
+engine back bit-identical to its pre-fault self, through the shared
+``DieCache`` (a cache hit returning the original conductance array) or
+from the retained healthy planes.  Scenarios replay deterministically
+from one seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FragmentGeometry, QuantizationSpec
+from repro.core.polarization import compute_signs, project_polarization
+from repro.reram import (DeviceSpec, DieCache, ReRAMDevice, build_engine)
+from repro.reram.faults import (DieFaultDetected, DieGuard, FaultEvent,
+                                FaultInjector, fragment_sensitivity,
+                                rank_engines_by_sensitivity)
+
+QSPEC = QuantizationSpec(8, 2)
+
+
+def polarized_levels(shape=(4, 2, 3, 3), m=4, seed=0, qmax=127):
+    rng = np.random.default_rng(seed)
+    geom = FragmentGeometry(shape, m)
+    w = rng.normal(size=shape)
+    signs = compute_signs(w, geom)
+    w = project_polarization(w, geom, signs)
+    levels = np.clip(np.rint(w * qmax / (np.abs(w).max() + 1e-9)),
+                     -qmax, qmax).astype(np.int64)
+    return geom.matrix(levels), geom
+
+
+def make_engine(seed=0, die_cache=None, scheme="forms"):
+    levels, geom = polarized_levels(seed=seed)
+    device = ReRAMDevice(DeviceSpec(), variation_sigma=0.0)
+    return build_engine(levels, geom, QSPEC, device, scheme=scheme,
+                        activation_bits=12, die_cache=die_cache), geom
+
+
+def some_input(geom, seed=1, cols=5):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2 ** 12, size=(geom.rows, cols))
+
+
+class TestDetection:
+    def test_clean_engine_never_trips(self):
+        engine, geom = make_engine()
+        engine.guard = DieGuard(engine)
+        x = some_input(geom)
+        healthy = engine.matvec_int(x)
+        np.testing.assert_array_equal(healthy,
+                                      engine.matvec_int_reference(x))
+        assert engine.guard.checks >= 1
+        assert engine.guard.faults_detected == 0
+
+    def test_flip_detected_before_results_escape(self):
+        engine, geom = make_engine()
+        guard = DieGuard(engine)
+        engine.guard = guard
+        log = FaultInjector(seed=7).flip_die(engine, sa0_rate=0.1,
+                                             sa1_rate=0.05)
+        assert log["stuck_cells_total"] > 0
+        with pytest.raises(DieFaultDetected) as info:
+            engine.matvec_int(some_input(geom))
+        assert "main" in info.value.planes
+        assert len(info.value.fragments["main"]) > 0
+        assert guard.faults_detected == 1
+
+    def test_dense_path_also_guarded(self):
+        engine, geom = make_engine()
+        engine.guard = DieGuard(engine)
+        FaultInjector(seed=7).flip_die(engine, sa0_rate=0.1, sa1_rate=0.05)
+        with pytest.raises(DieFaultDetected):
+            engine.matvec_int_dense(some_input(geom))
+
+    @pytest.mark.parametrize("scheme", ["forms", "isaac_offset", "dual"])
+    def test_fault_corrupts_every_tier_unguarded(self, scheme):
+        """Without a guard, the fault silently changes the numerics on the
+        fused tier AND the cycle-by-cycle oracle — detection really is the
+        only line of defense."""
+        engine, geom = make_engine(scheme=scheme)
+        x = some_input(geom)
+        healthy_fused = engine.matvec_int(x)
+        healthy_ref = engine.matvec_int_reference(x)
+        FaultInjector(seed=3).flip_die(engine, sa0_rate=0.2, sa1_rate=0.1)
+        assert not np.array_equal(engine.matvec_int(x), healthy_fused)
+        assert not np.array_equal(engine.matvec_int_reference(x),
+                                  healthy_ref)
+
+    def test_deterministic_replay(self):
+        """Same seed, same engine build -> identical stuck cells and
+        identical faulty outputs."""
+        outs = []
+        for _ in range(2):
+            engine, geom = make_engine()
+            log = FaultInjector(seed=11).flip_die(engine, sa0_rate=0.1,
+                                                  sa1_rate=0.05)
+            outs.append((log["stuck_cells_total"],
+                         engine.matvec_int(some_input(geom))))
+        assert outs[0][0] == outs[1][0]
+        np.testing.assert_array_equal(outs[0][1], outs[1][1])
+
+
+class TestCoverage:
+    def test_partial_coverage_audits_hot_fragments(self):
+        engine, _ = make_engine()
+        n_frag = engine.mapped.code_planes["main"].shape[0]
+        guard = DieGuard(engine, coverage=0.25, full_audit_every=4)
+        assert 1 <= len(guard.audit_fragments) < n_frag
+        weight = fragment_sensitivity(engine)
+        audited = set(guard.audit_fragments.tolist())
+        # the audited set is the sensitivity-heaviest fragments
+        for frag in audited:
+            assert all(weight[frag] >= weight[other] or other in audited
+                       for other in range(n_frag))
+
+    def test_periodic_full_audit_bounds_detection_latency(self):
+        """A fault outside the hot set escapes per-MVM audits but is caught
+        by the Nth-check full sweep."""
+        engine, geom = make_engine()
+        guard = DieGuard(engine, coverage=0.01, full_audit_every=3)
+        engine.guard = guard
+        cold = [f for f in range(engine.mapped.code_planes["main"].shape[0])
+                if f not in set(guard.audit_fragments.tolist())]
+        assert cold, "coverage=0.01 must leave unaudited fragments"
+        # corrupt exactly one cold fragment (rebind, never mutate in place)
+        codes = engine.mapped.code_planes["main"].copy()
+        codes[cold[0]] = 0
+        engine.swap_planes({"main": codes},
+                           {"main": engine.device.program(codes)})
+        x = some_input(geom)
+        engine.matvec_int(x)            # check 1: hot set only -> passes
+        engine.matvec_int(x)            # check 2: passes
+        with pytest.raises(DieFaultDetected):   # check 3: full sweep
+            engine.matvec_int(x)
+
+    def test_coverage_validation(self):
+        engine, _ = make_engine()
+        with pytest.raises(ValueError):
+            DieGuard(engine, coverage=0.0)
+        with pytest.raises(ValueError):
+            DieGuard(engine, coverage=1.5)
+        with pytest.raises(ValueError):
+            DieGuard(engine, full_audit_every=0)
+
+
+class TestDiagnosisAndRecovery:
+    def test_diagnose_finds_only_changed_cells(self):
+        engine, geom = make_engine()
+        guard = DieGuard(engine)
+        engine.guard = guard
+        FaultInjector(seed=5).flip_die(engine, sa0_rate=0.1, sa1_rate=0.05)
+        masks = guard.diagnose(engine)
+        changed = (engine.mapped.code_planes["main"]
+                   != guard.reference["main"])
+        np.testing.assert_array_equal(masks["main"] != 0, changed)
+
+    def test_plan_remap_reduces_projected_impact(self):
+        engine, _ = make_engine()
+        guard = DieGuard(engine)
+        FaultInjector(seed=5).flip_die(engine, sa0_rate=0.1, sa1_rate=0.05)
+        plans = guard.plan_remap(engine)
+        assert "main" in plans
+        plan = plans["main"]
+        assert plan.baseline_impact >= plan.planned_impact >= 0.0
+
+    def test_plan_remap_skips_untouched_planes(self):
+        engine, _ = make_engine()
+        guard = DieGuard(engine)
+        assert guard.plan_remap(engine) == {}
+
+    @pytest.mark.parametrize("use_cache", [True, False])
+    def test_restore_is_bit_identical(self, use_cache):
+        cache = DieCache() if use_cache else None
+        engine, geom = make_engine(die_cache=cache)
+        guard = DieGuard(engine)
+        engine.guard = guard
+        x = some_input(geom)
+        healthy = engine.matvec_int(x)
+        healthy_conductance = engine.conductance["main"]
+        FaultInjector(seed=9).flip_die(engine, sa0_rate=0.1, sa1_rate=0.05)
+        info = guard.restore(engine, die_cache=cache)
+        assert info["via_die_cache"] is use_cache
+        if use_cache:
+            # the healthy codes are still keyed: restoring is a cache hit
+            # returning the very conductance array the engine started with
+            assert info["cache_hits"] == 1
+        assert engine.conductance["main"] is healthy_conductance
+        np.testing.assert_array_equal(engine.matvec_int(x), healthy)
+        np.testing.assert_array_equal(engine.matvec_int_reference(x),
+                                      healthy)
+
+    def test_swap_planes_rejects_unknown_plane(self):
+        engine, _ = make_engine()
+        codes = engine.mapped.code_planes["main"]
+        with pytest.raises(KeyError):
+            engine.swap_planes({"nope": codes},
+                               {"nope": engine.conductance["main"]})
+
+
+class TestSensitivityRanking:
+    def test_fragment_sensitivity_shape_and_positivity(self):
+        engine, _ = make_engine()
+        weight = fragment_sensitivity(engine)
+        assert weight.shape == (engine.mapped.code_planes["main"].shape[0],)
+        assert (weight >= 0).all() and weight.sum() > 0
+
+    def test_rank_engines_heaviest_first_deterministic(self):
+        heavy, _ = make_engine(seed=0)
+        light, _ = make_engine(seed=1)
+        engines = {"a": heavy, "b": light}
+        order = rank_engines_by_sensitivity(engines)
+        totals = {name: fragment_sensitivity(engine).sum()
+                  for name, engine in engines.items()}
+        assert order == sorted(engines,
+                               key=lambda name: (-totals[name], name))
+        assert order == rank_engines_by_sensitivity(engines)
+
+
+class TestFaultEventValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent("meltdown")
+
+    def test_bad_rates_and_delay(self):
+        with pytest.raises(ValueError):
+            FaultEvent("stuck_at", sa0_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultEvent("stuck_at", at_dispatch=-1)
+        with pytest.raises(ValueError):
+            FaultEvent("delay", delay_s=-0.1)
+
+    def test_as_dict_round_trip(self):
+        event = FaultEvent("stuck_at", at_dispatch=3, model="m",
+                           sa0_rate=0.2)
+        d = event.as_dict()
+        assert d["kind"] == "stuck_at" and d["at_dispatch"] == 3
+        assert FaultEvent(**d) == event

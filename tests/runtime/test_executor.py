@@ -2,6 +2,7 @@
 
 import os
 import threading
+import time
 
 import pytest
 
@@ -53,6 +54,79 @@ class TestWorkerPool:
         with WorkerPool(4) as pool:
             with pytest.raises(RuntimeError, match="task 3 failed"):
                 pool.map(boom, range(8))
+
+    def test_first_error_is_eager_not_drained(self):
+        """The eager-error contract: a fast failure propagates without
+        waiting for the slow healthy siblings to finish their work."""
+        def task(i):
+            if i == 0:
+                raise RuntimeError("fast failure")
+            time.sleep(0.5)
+            return i
+
+        pool = WorkerPool(4)
+        try:
+            start = time.monotonic()
+            with pytest.raises(RuntimeError, match="fast failure"):
+                pool.map(task, range(8))
+            # serial drain would cost ~3.5 s of sleeps; eager is instant
+            assert time.monotonic() - start < 0.4
+        finally:
+            pool.close()   # joins the in-flight sleepers, bounded
+
+    def test_pending_work_is_cancelled_after_an_error(self):
+        """Items the pool has not started when the error surfaces must be
+        cancelled, not executed: a die-fault abort mid-batch cannot keep
+        burning queued MVMs."""
+        release = threading.Event()
+        started = []
+        lock = threading.Lock()
+
+        def task(i):
+            with lock:
+                started.append(i)
+            if i == 0:
+                raise RuntimeError("abort")
+            release.wait(timeout=10.0)
+            return i
+
+        pool = WorkerPool(2)
+        try:
+            with pytest.raises(RuntimeError, match="abort"):
+                pool.map(task, range(8))
+            # each worker can hold at most one blocked task when the
+            # error lands; everything still queued was cancelled
+            assert len(started) <= 3
+        finally:
+            release.set()
+            pool.close()
+        assert len(started) < 8
+
+    def test_earliest_item_error_wins_deterministically(self):
+        """When several items fail, the caller sees the error of the
+        earliest item in submission order — not a completion-order race."""
+        def boom(i):
+            raise ValueError(f"item-{i}")
+
+        with WorkerPool(4) as pool:
+            with pytest.raises(ValueError, match="item-0"):
+                pool.map(boom, range(8))
+
+    def test_error_then_close_never_hangs(self):
+        """After an eager-error map, close() must return promptly: no
+        orphaned future may keep the pool alive."""
+        def task(i):
+            if i % 2:
+                raise RuntimeError("odd")
+            return i
+
+        pool = WorkerPool(3)
+        with pytest.raises(RuntimeError, match="odd"):
+            pool.map(task, range(9))
+        closer = threading.Thread(target=pool.close)
+        closer.start()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive(), "close() hung after an error map"
 
     def test_reentrant_map_runs_inline(self):
         """A map issued from a worker thread must not deadlock the pool."""
