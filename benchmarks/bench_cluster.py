@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Cluster chaos benchmark: SIGKILL replicas under live router traffic.
+
+Boots N subprocess replicas of the identical demo build behind a
+:class:`~repro.serving.ClusterRouter`, replays open-loop Poisson
+``POST /v1/infer`` arrivals through the router at several offered rates
+while a killer thread SIGKILLs the interactive tenant's primary replica
+mid-traffic (and restarts it on the same port), and records one
+``"cluster"`` record per rate into ``BENCH_engine.json`` — failover /
+hedge / receipt accounting next to the round-trip percentiles, merged so
+the engine, serving and chaos recorders' records are preserved (schema
+in ``benchmarks/README.md``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke    # < 60 s
+    PYTHONPATH=src python benchmarks/bench_cluster.py            # full curve
+    PYTHONPATH=src python benchmarks/bench_cluster.py \\
+        --rates 100 800 --requests 48 --replicas 3 -o /tmp/cluster.json
+
+Every rate point asserts — before anything is recorded — that every
+completed response is bit-identical to the parent's serial single-image
+forward of the same deterministic build, that every request resolves
+within a bounded wait (zero hung requests), that every failure is a
+documented receipt (``shed`` / ``cluster_unavailable``), and that the
+killed replica rejoined the directory after restart.  Exits non-zero if
+any assertion fails or if fewer than two rate points were recorded.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import (merge_records_into_file,  # noqa: E402
+                        run_cluster_point)
+
+#: offered arrival rates (requests/s) per mode — light load and
+#: saturation, so failover cost is readable at both ends of the curve
+SMOKE_RATES = (50.0, 400.0)
+FULL_RATES = (25.0, 100.0, 400.0, 1600.0)
+
+
+def format_point(record: dict) -> str:
+    results, meta = record["results"], record["meta"]
+    return (f"{record['name']:22s} offered {results['offered_rate_rps']:6.0f}"
+            f" rps -> served {results['throughput_rps']:6.1f} rps "
+            f"(rtt p95 {results['rtt_p95_s'] * 1e3:7.2f} ms); "
+            f"{results['kills']} kill(s) -> "
+            f"{results['router_failovers']} failovers, "
+            f"{results['requests_completed']} completed / "
+            f"{results['requests_shed']} receipts "
+            f"({meta['replicas']} replicas, "
+            f"hedge={'off' if meta['hedge_delay_s'] is None else meta['hedge_delay_s']})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode: two rate points, fewer requests")
+    parser.add_argument("--rates", type=float, nargs="+", default=None,
+                        help="offered arrival rates in requests/s "
+                             "(default: two smoke points / four full points)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per rate point (default 12 smoke / 48)")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="backend replica processes per point")
+    parser.add_argument("--replication", type=int, default=2,
+                        help="preferred replicas per model on the hash ring")
+    parser.add_argument("--kills", type=int, default=1,
+                        help="replicas to SIGKILL mid-traffic per point")
+    parser.add_argument("--no-restart", action="store_true",
+                        help="leave killed replicas dead (default: restart "
+                             "them on the same port mid-run)")
+    parser.add_argument("--hedge-ms", type=float, default=None,
+                        help="hedged-request delay in ms (default: off)")
+    parser.add_argument("--interactive-fraction", type=float, default=0.4,
+                        help="fraction of traffic in the interactive class")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker threads per replica process")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="BENCH json to merge records into (default: "
+                             "BENCH_engine.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    rates = args.rates if args.rates is not None else (
+        list(SMOKE_RATES) if args.smoke else list(FULL_RATES))
+    requests = args.requests if args.requests is not None else (
+        12 if args.smoke else 48)
+    if len(rates) < 2:
+        print("ERROR: need at least two arrival-rate points for a curve",
+              file=sys.stderr)
+        return 1
+
+    records = []
+    for rate in rates:
+        record = run_cluster_point(
+            rate, requests, replicas=args.replicas,
+            replication=args.replication, kills=args.kills,
+            restart=not args.no_restart,
+            hedge_delay_s=(args.hedge_ms / 1e3
+                           if args.hedge_ms is not None else None),
+            interactive_fraction=args.interactive_fraction,
+            workers=args.workers, seed=args.seed)
+        print(format_point(record))
+        records.append(record)
+
+    try:
+        merge_records_into_file(args.output, records)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    print(f"[{len(records)} cluster records merged into {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,7 +33,13 @@
 #    point asserting checksum detection + online re-program recovery,
 #    bit-identity of every completed request against the *pre-fault*
 #    serial forward, and zero hung futures before recording.
-# 8. `check_docs.py` — README.md and docs/architecture.md must exist and
+# 8. `python -m repro serve --cluster 2 --http 0 --http-demo` — the
+#    cluster failover smoke: boot two subprocess replicas behind the
+#    router, SIGKILL one mid-traffic and restart it, assert every
+#    completed response bit-identical to the serial forward, every
+#    failure a documented receipt, zero hung requests, and that the
+#    killed replica rejoined.
+# 9. `check_docs.py` — README.md and docs/architecture.md must exist and
 #    mention every src/repro/* package, every docs/*.md page must be
 #    linked from the README, and every `python -m repro` subcommand and
 #    `serve` flag must appear in the docs (drift fails the check set).
@@ -71,6 +77,10 @@ echo "==> chaos recovery smoke: bench_chaos.py --smoke"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_chaos.py \
     --smoke --requests 12 \
     -o "${CHAOS_BENCH_OUTPUT:-/tmp/forms_chaos_smoke.json}"
+
+echo "==> cluster failover smoke: serve --cluster 2 --http 0 --http-demo"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro serve \
+    --cluster 2 --http 0 --http-demo --requests 12 --rate 400
 
 echo "==> docs check: check_docs.py"
 python scripts/check_docs.py

@@ -29,6 +29,14 @@ and exits::
 
     python scripts/serve_demo.py --http 8100
     python scripts/serve_demo.py --http 0 --http-demo --models 2
+
+``--cluster N`` serves through a :class:`repro.serving.ClusterRouter`
+over N subprocess replicas of the identical build (health-checked
+failover, consistent-hash placement); with ``--http-demo`` it runs the
+SIGKILL/restart failover smoke instead::
+
+    python scripts/serve_demo.py --cluster 2 --http 8100
+    python scripts/serve_demo.py --cluster 2 --http 0 --http-demo
 """
 
 import argparse
@@ -66,11 +74,27 @@ def main(argv=None) -> int:
                              "through the wire, verify, drain, exit")
     parser.add_argument("--http-host", default="127.0.0.1",
                         help="bind address for --http (default: loopback)")
+    parser.add_argument("--cluster", type=int, default=None, metavar="N",
+                        help="with --http: serve through a cluster router "
+                             "over N subprocess replicas (with --http-demo "
+                             "runs the SIGKILL/restart failover smoke)")
+    parser.add_argument("--cluster-replication", type=int, default=2,
+                        metavar="R",
+                        help="preferred replicas per model on the hash ring")
+    parser.add_argument("--hedge-ms", type=float, default=None,
+                        help="cluster router hedging delay in ms "
+                             "(default: off)")
     args = parser.parse_args(argv)
     classes = (args.priority_classes if args.priority_classes is not None
                else args.models)
     if args.http_demo and args.http is None:
         parser.error("--http-demo requires --http PORT")
+    if args.cluster is not None:
+        if args.http is None:
+            parser.error("--cluster requires --http PORT (the router's "
+                         "bind port)")
+        if args.cluster < 1:
+            parser.error("--cluster needs at least one replica")
     if args.http is not None:
         from repro.serving.demo import run_http_cli
 

@@ -45,6 +45,19 @@ forward), drains, and exits — the CI smoke::
 
     python -m repro serve --http 8100                 # curl me
     python -m repro serve --http 0 --http-demo --models 2 --requests 16
+
+``--cluster N`` puts a sharded cluster behind the same wire protocol:
+N subprocess replicas of the identical demo build under a
+:class:`repro.serving.ClusterRouter` (consistent-hash placement with
+``--cluster-replication`` preferred replicas per model, health-checked
+failover, optional ``--hedge-ms`` hedged attempts, explicit
+``cluster_unavailable`` receipts when every replica is down).  With
+``--http-demo`` it runs the self-checking failover smoke instead: a
+replica is SIGKILLed and restarted mid-traffic, and every completed
+response is asserted bit-identical to the serial forward::
+
+    python -m repro serve --cluster 3 --http 8100     # curl the router
+    python -m repro serve --cluster 2 --http 0 --http-demo --requests 16
 """
 
 from __future__ import annotations
@@ -169,6 +182,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--http-host", default="127.0.0.1",
                        help="bind address for --http (default: loopback "
                             "only; serve only)")
+    serve.add_argument("--cluster", type=int, default=None, metavar="N",
+                       help="with --http: serve through a cluster router "
+                            "over N subprocess replicas (health-checked "
+                            "failover, consistent-hash placement; with "
+                            "--http-demo runs the SIGKILL/restart failover "
+                            "smoke; serve only)")
+    serve.add_argument("--cluster-replication", type=int, default=2,
+                       metavar="R",
+                       help="preferred replicas per model on the cluster's "
+                            "hash ring (serve only; default 2)")
+    serve.add_argument("--hedge-ms", type=float, default=None,
+                       help="cluster router hedging delay in ms: fire a "
+                            "duplicate attempt at the next replica when "
+                            "the first answer is this late (default: off; "
+                            "serve only)")
     return parser
 
 
@@ -181,6 +209,15 @@ def run(argv=None) -> int:
         if args.http_demo and args.http is None:
             print("ERROR: --http-demo requires --http PORT", file=sys.stderr)
             return 2
+        if args.cluster is not None:
+            if args.http is None:
+                print("ERROR: --cluster requires --http PORT (the router's "
+                      "bind port)", file=sys.stderr)
+                return 2
+            if args.cluster < 1:
+                print("ERROR: --cluster needs at least one replica",
+                      file=sys.stderr)
+                return 2
         if args.chaos:
             if args.http is not None:
                 print("ERROR: --chaos is an in-process demo; drop --http",

@@ -26,11 +26,19 @@ Two layers:
   Poisson traffic under scripted die faults
   (``benchmarks/bench_chaos.py``) — stuck-at injection, checksum
   detection, quarantine + online re-program, bounded batch retry — with
-  the bit-identity / zero-hung-futures contract asserted per point.
+  the bit-identity / zero-hung-futures contract asserted per point;
+* :mod:`repro.perf.cluster` — the ``"cluster"`` record kind: open-loop
+  traffic through the :class:`~repro.serving.ClusterRouter` while
+  subprocess replicas are SIGKILLed and restarted mid-run
+  (``benchmarks/bench_cluster.py``) — failover/hedge accounting with
+  the same bit-identity / zero-hung / documented-receipts contract
+  asserted per point.
 """
 
 from .chaos import (CHAOS_RECORD_KIND, chaos_record_name,
                     default_chaos_events, drive_chaos, run_chaos_point)
+from .cluster import (CLUSTER_RECORD_KIND, cluster_record_name,
+                      drive_cluster_chaos, run_cluster_point)
 from .http import (HTTP_TRANSPORT, drive_http_poisson, http_record_name,
                    replay_http_open_loop, run_http_point)
 from .instrument import EngineMeter, TimingResult, time_callable
@@ -54,4 +62,6 @@ __all__ = [
     "replay_http_open_loop", "run_http_point",
     "CHAOS_RECORD_KIND", "chaos_record_name", "default_chaos_events",
     "drive_chaos", "run_chaos_point",
+    "CLUSTER_RECORD_KIND", "cluster_record_name", "drive_cluster_chaos",
+    "run_cluster_point",
 ]

@@ -1,0 +1,263 @@
+"""Cluster chaos benchmark: SIGKILL replicas under live wire traffic.
+
+The single-process chaos points (:mod:`repro.perf.chaos`) break *dies*
+inside one server; this module breaks *whole replicas* under a live
+:class:`~repro.serving.cluster.ClusterRouter` — the scenario the
+sharded serving cluster exists for.  One point:
+
+* boots N subprocess replicas of the identical demo build (same
+  ``--seed``, so every replica serves bit-identical outputs) behind a
+  router (:class:`~repro.serving.cluster.ClusterHarness`);
+* computes per-tenant serial reference forwards **in the parent** from
+  the same deterministic build — the oracle no replica death can touch;
+* replays open-loop Poisson arrivals as concurrent ``POST /v1/infer``
+  calls through the router while a killer thread SIGKILLs the replica
+  that is *primary for the interactive tenant* mid-traffic (and
+  restarts it on the same port before the run ends);
+* classifies every outcome: a completed response must be
+  **bit-identical** to the serial reference (and must echo its request's
+  trace id in the receipt); an error must be one of the *documented
+  receipts* — ``shed`` (a live replica's admission/SLA decision) or
+  ``cluster_unavailable`` (every candidate dead) — anything else fails
+  the point;
+* proves **zero hung requests** with a bounded join
+  (:func:`repro.perf.http.replay_http_open_loop` with
+  ``join_timeout_s``), and that the killed replica rejoined (the
+  directory reports it ``up`` again after restart).
+
+Records carry their own ``"cluster"`` BENCH record kind, merged into
+``BENCH_engine.json`` through :func:`repro.perf.serving.
+merge_records_into_file` and preserved by every other producer (see
+:func:`repro.perf.suite.write_payload`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .serving import poisson_arrival_offsets
+
+#: BENCH record kind of the cluster chaos points
+CLUSTER_RECORD_KIND = "cluster"
+
+#: bounded wait proving "zero hung requests" — counted from the last
+#: scheduled arrival; generous against replica-restart jitter, tiny
+#: against an actual hang
+RESOLVE_TIMEOUT_S = 120.0
+
+#: the only error codes a cluster chaos point may record: explicit,
+#: documented receipts (anything else — a 500, a transport error
+#: escaping the router, a silent hang — fails the point)
+ALLOWED_ERROR_CODES = ("shed", "cluster_unavailable")
+
+
+def cluster_record_name(rate_rps: float) -> str:
+    rate = f"{rate_rps:g}".replace(".", "p")
+    return f"cluster_chaos_r{rate}"
+
+
+def drive_cluster_chaos(rate_rps: float, requests: int, *,
+                        replicas: int = 2, replication: int = 2,
+                        kills: int = 1, restart: bool = True,
+                        hedge_delay_s: Optional[float] = None,
+                        interactive_fraction: float = 0.4,
+                        workers: int = 1, seed: int = 0,
+                        log=None) -> Dict:
+    """Serve one Poisson process through the router while replicas die.
+
+    Returns ``{"outcomes", "assignments", "completed", "shed_codes",
+    "kill_log", "cluster", "open_loop_s", "ports"}`` after asserting
+    the whole-point contract documented in the module docstring.
+    ``kills`` replicas are SIGKILLed (primary-for-``fast`` first, then
+    ring order), staggered across the first ~40% of the arrival
+    schedule; with ``restart`` each killed replica is respawned on its
+    port and must be ``up`` again before the point passes.
+    """
+    from ..perf.multitenant import BATCH_MODEL, BULK, FAST_MODEL, INTERACTIVE
+    from ..runtime import run_network_serial
+    from ..serving.cluster import ClusterHarness, RoutingPolicy
+    from ..serving.demo import build_demo_server
+    from .http import replay_http_open_loop
+
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if not 0 <= kills <= replicas:
+        raise ValueError("kills must be within [0, replicas]")
+
+    # the oracle: the same deterministic build the replicas boot from,
+    # forwarded serially in the parent before any chaos exists
+    server, traffic = build_demo_server(2, workers=workers, seed=seed,
+                                        deadline_ms=None)
+    images = traffic["images"]
+    serial = {name: run_network_serial(server.registry.get(name).network,
+                                       images, tile_size=1)
+              for name in (FAST_MODEL, BATCH_MODEL)}
+    server.shutdown()
+
+    rng = np.random.default_rng(seed)
+    image_idx = rng.integers(0, images.shape[0], size=requests)
+    interactive = rng.random(requests) < interactive_fraction
+    arrival_offsets = poisson_arrival_offsets(rng, rate_rps, requests)
+    span_s = float(arrival_offsets[-1]) if requests else 0.0
+
+    plan: List[Tuple[np.ndarray, Dict]] = []
+    assignments: List[Tuple[str, int]] = []
+    for i in range(requests):
+        model = FAST_MODEL if interactive[i] else BATCH_MODEL
+        priority = INTERACTIVE if interactive[i] else BULK
+        plan.append((images[image_idx[i]],
+                     {"model": model, "priority": priority,
+                      "binary": bool(i % 2),
+                      "trace_id": f"cluster-{seed}-{i}"}))
+        assignments.append((model, int(image_idx[i])))
+
+    policy = RoutingPolicy(hedge_delay_s=hedge_delay_s)
+    kill_log: List[Dict] = []
+    with ClusterHarness(replicas, seed=seed, workers=workers,
+                        replication=replication, policy=policy,
+                        log=log) as harness:
+        # kill the replica actually serving the interactive tenant first
+        # — the failover we claim to survive, not a cold spare
+        order = harness.directory.placement(FAST_MODEL)
+        order += [name for name in harness.names() if name not in order]
+        victims = order[:kills]
+
+        def killer() -> None:
+            for k, victim in enumerate(victims):
+                # stagger kills across the early arrival window so
+                # traffic is in flight when the process dies
+                target = span_s * 0.4 * (k + 1) / max(1, len(victims))
+                time.sleep(max(0.0, start_at + target - time.monotonic()))
+                harness.kill(victim)
+                kill_log.append({"replica": victim, "action": "kill",
+                                 "at_s": time.monotonic() - start_at})
+                if restart:
+                    harness.restart(victim)
+                    kill_log.append({"replica": victim, "action": "restart",
+                                     "at_s": time.monotonic() - start_at})
+
+        client = harness.client()
+        start_at = time.monotonic()
+        chaos = threading.Thread(target=killer, name="forms-cluster-killer",
+                                 daemon=True)
+        chaos.start()
+        outcomes, open_loop_s = replay_http_open_loop(
+            client, plan, arrival_offsets, join_timeout_s=RESOLVE_TIMEOUT_S)
+        chaos.join(timeout=RESOLVE_TIMEOUT_S)
+        if chaos.is_alive():
+            raise AssertionError("the kill/restart thread hung")
+        # the rejoin proof: after restarts, one probe round must see
+        # every replica answering again
+        if restart:
+            states = harness.directory.probe_once()
+            missing = sorted(name for name, state in states.items()
+                             if state != "up")
+            if missing:
+                raise AssertionError(
+                    f"replicas {missing} never rejoined after restart")
+        status, cluster = client.request("GET", "/v1/cluster")
+        if status != 200:
+            raise AssertionError(f"/v1/cluster answered {status}")
+        ports = {name: proc.port for name, proc in harness.replicas.items()}
+
+    # ------------------------------------------------------------- the
+    # robustness contract: what makes a cluster point worth recording
+    completed = 0
+    shed_codes: Dict[str, int] = {}
+    for i, outcome in enumerate(outcomes):
+        model, img = assignments[i]
+        error = outcome["error"]
+        if error is not None:
+            code = getattr(error, "code", None)
+            if code not in ALLOWED_ERROR_CODES:
+                raise AssertionError(
+                    f"request {i} failed outside the documented receipts: "
+                    f"{error!r}")
+            shed_codes[code] = shed_codes.get(code, 0) + 1
+            continue
+        completed += 1
+        if not np.array_equal(outcome["result"].output, serial[model][img]):
+            raise AssertionError(
+                f"request {i} ({model}): routed output != serial "
+                "single-image forward — failover leaked into the numerics")
+        trace = outcome["result"].stats.get("trace_id")
+        if trace != f"cluster-{seed}-{i}":
+            raise AssertionError(
+                f"request {i}: receipt trace_id {trace!r} does not echo "
+                "the X-Request-Id sent through the router")
+    if completed == 0:
+        raise AssertionError("no request completed — the cluster served "
+                             "nothing worth recording")
+    if len(kill_log) < kills * (2 if restart else 1):
+        raise AssertionError("the kill/restart schedule did not complete")
+    return {"outcomes": outcomes, "assignments": assignments,
+            "completed": completed, "shed_codes": shed_codes,
+            "kill_log": kill_log, "cluster": cluster,
+            "open_loop_s": open_loop_s, "ports": ports}
+
+
+def run_cluster_point(rate_rps: float, requests: int = 24, *,
+                      replicas: int = 2, replication: int = 2,
+                      kills: int = 1, restart: bool = True,
+                      hedge_delay_s: Optional[float] = None,
+                      interactive_fraction: float = 0.4,
+                      workers: int = 1, seed: int = 0, log=None) -> Dict:
+    """Measure one cluster chaos point and return its record.
+
+    Drives :func:`drive_cluster_chaos` (bit-identity / zero-hung /
+    documented-receipts / rejoin contract asserted there) and packages
+    the outcome as one ``"cluster"`` record for ``BENCH_engine.json``
+    (schema in ``benchmarks/README.md``).
+    """
+    driven = drive_cluster_chaos(rate_rps, requests, replicas=replicas,
+                                 replication=replication, kills=kills,
+                                 restart=restart,
+                                 hedge_delay_s=hedge_delay_s,
+                                 interactive_fraction=interactive_fraction,
+                                 workers=workers, seed=seed, log=log)
+    rtts = np.asarray([outcome["latency_s"]
+                       for outcome in driven["outcomes"]], dtype=np.float64)
+    router = driven["cluster"]["router"]
+    return {
+        "name": cluster_record_name(rate_rps),
+        "kind": CLUSTER_RECORD_KIND,
+        "results": {
+            "offered_rate_rps": rate_rps,
+            "throughput_rps": driven["completed"] / driven["open_loop_s"],
+            "requests_completed": driven["completed"],
+            "requests_shed": sum(driven["shed_codes"].values()),
+            "shed_by_code": driven["shed_codes"],
+            "kills": kills,
+            "restarts": kills if restart else 0,
+            "router_attempts": router["attempts"],
+            "router_failovers": router["failovers"],
+            "hedges_fired": router["hedges_fired"],
+            "hedges_won": router["hedges_won"],
+            "unavailable_receipts": router["unavailable"],
+            "rtt_p50_s": float(np.percentile(rtts, 50)),
+            "rtt_p95_s": float(np.percentile(rtts, 95)),
+            "rtt_max_s": float(rtts.max()),
+        },
+        "meta": {
+            "transport": "http-cluster",
+            "requests": requests,
+            "replicas": replicas,
+            "replication": replication,
+            "hedge_delay_s": hedge_delay_s,
+            "interactive_fraction": interactive_fraction,
+            "workers": workers,
+            "seed": seed,
+            "kill_log": driven["kill_log"],
+            "replica_states": {
+                name: info["state"] for name, info in
+                driven["cluster"]["directory"]["replicas"].items()},
+            "bit_identical_to_serial": True,
+            "zero_hung_futures": True,
+        },
+    }

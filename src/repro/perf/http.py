@@ -46,7 +46,8 @@ def http_record_name(rate_rps: float) -> str:
 
 
 def replay_http_open_loop(client, plan: Sequence[Tuple[np.ndarray, Dict]],
-                          arrival_offsets: Sequence[float]
+                          arrival_offsets: Sequence[float],
+                          join_timeout_s: Optional[float] = None
                           ) -> Tuple[List[Dict], float]:
     """Fire one open-loop arrival schedule of ``POST /v1/infer`` calls.
 
@@ -61,6 +62,12 @@ def replay_http_open_loop(client, plan: Sequence[Tuple[np.ndarray, Dict]],
     :class:`~repro.serving.http.HttpError` for protocol-level failures
     or the raw exception for transport-level ones — connection reset,
     timeout; exactly one of the two fields is ``None``).
+
+    With ``join_timeout_s`` the join is *bounded*: a load thread still
+    running once the shared budget (counted from the last scheduled
+    arrival) runs out raises ``AssertionError`` — the chaos points'
+    "zero hung requests" proof, where an unbounded join would turn a
+    hang into a hung benchmark.
     """
     if len(plan) != len(arrival_offsets):
         raise ValueError("plan and arrival_offsets must align")
@@ -89,8 +96,18 @@ def replay_http_open_loop(client, plan: Sequence[Tuple[np.ndarray, Dict]],
                in enumerate(zip(plan, arrival_offsets))]
     for thread in threads:
         thread.start()
-    for thread in threads:
-        thread.join()
+    if join_timeout_s is None:
+        for thread in threads:
+            thread.join()
+    else:
+        deadline = (start + (arrival_offsets[-1] if len(arrival_offsets)
+                             else 0.0) + join_timeout_s)
+        for i, thread in enumerate(threads):
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                raise AssertionError(
+                    f"request {i} hung: no response or error within "
+                    f"{join_timeout_s:.0f}s of the last arrival")
     return outcomes, time.monotonic() - start   # type: ignore[return-value]
 
 

@@ -39,6 +39,12 @@ Components
   (plus ``/v1/infer_batch``, ``/v1/models``, ``/v1/stats``,
   ``/healthz``) with structured shed/admission errors and a draining
   shutdown — protocol reference in ``docs/serving.md``.
+* :class:`ClusterRouter` / :class:`ReplicaDirectory` /
+  :class:`ClusterHarness` (:mod:`repro.serving.cluster`) — the sharded
+  cluster over N replica front ends: consistent-hash placement,
+  health-checked failover and hedging, scatter/gather batches,
+  ``cluster_unavailable`` receipts, and the subprocess kill/restart
+  chaos harness behind ``python -m repro serve --cluster N``.
 * :class:`ServerStats` / :class:`RequestStats` — the operational view
   (p50/p95 latency overall and per class / per model, shed counts by
   reason, queue depth, batch mix, occupancy, fault detections and
@@ -65,10 +71,12 @@ runs self-checking demos of either shape (``--http`` puts them on a
 socket).
 """
 
+from .cluster import (ClusterHarness, ClusterRouter, ReplicaDirectory,
+                      ReplicaProcess, RoutingPolicy)
 from .health import (DIE_HEALTHY, DIE_QUARANTINED, DIE_REPROGRAMMING,
                      DieHealthRegistry)
-from .http import (ERROR_CODES, HttpClient, HttpError, HttpFrontend,
-                   WireFormatError, WireResult)
+from .http import (DEFAULT_RETRY_AFTER_S, ERROR_CODES, HttpClient, HttpError,
+                   HttpFrontend, WireFormatError, WireResult, new_trace_id)
 from .queue import Batcher, PendingRequest, QueueClosed, RequestQueue
 from .registry import ModelRegistry, RegisteredModel
 from .scheduler import (SHED_ADMISSION, SHED_DEADLINE, SHED_FAULT_RECOVERY,
@@ -79,14 +87,16 @@ from .server import DEFAULT_MODEL, InferenceServer
 from .stats import RequestStats, ServedResult, ServerStats
 
 __all__ = [
-    "AdmissionController", "Batcher", "DEFAULT_MODEL",
+    "AdmissionController", "Batcher", "ClusterHarness", "ClusterRouter",
+    "DEFAULT_MODEL", "DEFAULT_RETRY_AFTER_S",
     "DIE_HEALTHY", "DIE_QUARANTINED", "DIE_REPROGRAMMING",
     "DieHealthRegistry", "ERROR_CODES",
     "HttpClient", "HttpError", "HttpFrontend", "InferenceServer",
     "ModelRegistry", "PendingRequest", "PriorityClass", "QueueClosed",
-    "RegisteredModel", "RequestQueue", "RequestShed", "RequestStats",
+    "RegisteredModel", "ReplicaDirectory", "ReplicaProcess",
+    "RequestQueue", "RequestShed", "RequestStats", "RoutingPolicy",
     "SHED_ADMISSION", "SHED_DEADLINE", "SHED_FAULT_RECOVERY",
     "SHED_LATENCY_BOUND", "ServedResult",
     "ServerStats", "ShedReceipt", "SlaPolicy", "SlaQueue", "SlaRequest",
-    "WireFormatError", "WireResult",
+    "WireFormatError", "WireResult", "new_trace_id",
 ]

@@ -1,0 +1,25 @@
+"""Sharded serving cluster: router, replica directory, chaos harness.
+
+The PR-7 layer over :mod:`repro.serving.http`: a
+:class:`~.router.ClusterRouter` speaks the single-front-end wire
+protocol to callers and fans out to N backend
+:class:`~repro.serving.http.HttpFrontend` replicas, with
+consistent-hash placement, health-checked failover, optional hedging
+and explicit ``cluster_unavailable`` receipts
+(operator guide: ``docs/serving.md``; diagram:
+``docs/architecture.md`` §8).
+"""
+
+from .directory import (REPLICA_DOWN, REPLICA_SUSPECT, REPLICA_UP, HashRing,
+                        ReplicaDirectory)
+from .replicas import (READY_TIMEOUT_S, ClusterHarness, ReplicaProcess,
+                       free_port)
+from .router import (RETRYABLE_503_CODES, ClusterRouter, RouterStats,
+                     RoutingPolicy)
+
+__all__ = [
+    "REPLICA_UP", "REPLICA_SUSPECT", "REPLICA_DOWN",
+    "HashRing", "ReplicaDirectory",
+    "RETRYABLE_503_CODES", "RoutingPolicy", "RouterStats", "ClusterRouter",
+    "READY_TIMEOUT_S", "free_port", "ReplicaProcess", "ClusterHarness",
+]

@@ -1,0 +1,628 @@
+"""The cluster router: one wire-protocol process over N replicas.
+
+:class:`ClusterRouter` speaks the PR-5 wire protocol (``docs/serving.md``)
+on the front and fans out to backend :class:`~repro.serving.http.
+HttpFrontend` replicas on the back, so a caller cannot tell a cluster
+from a single front end — same endpoints, same envelopes, same error
+codes, plus one: ``cluster_unavailable`` (503) when no live replica can
+serve a model, an explicit receipt where a naive proxy would hang or
+500.
+
+Routing of ``POST /v1/infer``:
+
+* the :class:`~.directory.ReplicaDirectory` supplies the candidate list
+  (consistent-hash preferred replicas first, live spill after);
+* each attempt gets its own socket timeout
+  (:attr:`RoutingPolicy.attempt_timeout_s`);
+* **failover** — a connection error, a 503 ``shutting_down`` or a 503
+  ``die_fault`` moves to the next candidate after a capped-exponential
+  backoff.  This is safe *because inference is pure*: re-executing a
+  tile on another replica of the same seed produces the identical bits
+  (the bench asserts it), unlike the single client's never-retry-POST
+  rule where the transport cannot know the request is idempotent;
+* any other answer — success, ``shed`` (the replica is alive and
+  explicitly refusing), a 4xx — is **authoritative** and passes through
+  unchanged;
+* **hedging** (:attr:`RoutingPolicy.hedge_delay_s`) — optionally fire
+  the same request at the next candidate when the first answer has not
+  arrived within the delay, and take whichever authoritative answer
+  lands first: the classic tail-latency trade of duplicate work for a
+  bounded p99, again safe only because the work is idempotent.
+
+``POST /v1/infer_batch`` is scatter/gather: items round-robin across
+the candidates as sub-batches, each shard fails over independently, and
+the gathered reply carries **per-item receipts** in request order — a
+served result, the replica's shed receipt, or a ``cluster_unavailable``
+receipt for items whose every candidate died (mixed outcomes use 207,
+exactly like a partially-shed single-replica batch).
+
+``GET /v1/cluster`` exposes the directory snapshot, the routing policy,
+the router's own counters and a best-effort live ``/v1/stats`` of every
+replica.  The router's ``X-Request-Id`` handling is inherited from
+:class:`~repro.serving.http.JsonHttpHandler` and the id is *forwarded*
+to the chosen replica, so one trace id follows a request through router
+log, replica receipt and error body.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from http.server import ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..http import (DEFAULT_MAX_BODY_BYTES, DEFAULT_RETRY_AFTER_S,
+                    TRANSPORT_ERRORS, HttpClient, JsonHttpHandler,
+                    error_body)
+from .directory import ReplicaDirectory
+
+#: 503 codes that mean "this replica cannot take the work right now,
+#: another one can" — the failover set.  ``shed`` is deliberately NOT
+#: here: a shed is an admission decision by a live replica and passes
+#: through as the authoritative answer.
+RETRYABLE_503_CODES = ("shutting_down", "die_fault")
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """The router's failover/hedging knobs (``/v1/cluster`` echoes them).
+
+    ``attempt_timeout_s`` bounds one proxied round trip;
+    ``max_attempts`` bounds the failover loop (candidates are retried
+    cyclically when fewer than ``max_attempts`` are live);
+    ``backoff_s``/``backoff_cap_s`` shape the capped-exponential pause
+    between sequential attempts; ``hedge_delay_s`` (``None`` = off)
+    fires a duplicate attempt at the next candidate when the first has
+    not answered within the delay.
+    """
+
+    attempt_timeout_s: float = 30.0
+    max_attempts: int = 3
+    backoff_s: float = 0.01
+    backoff_cap_s: float = 0.1
+    hedge_delay_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be > 0")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff_s / backoff_cap_s must be >= 0")
+        if self.hedge_delay_s is not None and self.hedge_delay_s < 0:
+            raise ValueError("hedge_delay_s must be >= 0 (or None)")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Pause before firing attempt ``attempt`` (1-based retry)."""
+        return min(self.backoff_cap_s, self.backoff_s * (2 ** (attempt - 1)))
+
+    def as_dict(self) -> Dict:
+        return {
+            "attempt_timeout_s": self.attempt_timeout_s,
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+            "backoff_cap_s": self.backoff_cap_s,
+            "hedge_delay_s": self.hedge_delay_s,
+        }
+
+
+class RouterStats:
+    """Thread-safe router-level counters (``/v1/stats`` and
+    ``/v1/cluster`` serve :meth:`snapshot`)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0           # front-door requests routed
+        self.attempts = 0           # proxied attempts fired
+        self.failovers = 0          # retryable outcomes that moved on
+        self.hedges_fired = 0
+        self.hedges_won = 0         # hedge answered before the primary
+        self.unavailable = 0        # cluster_unavailable receipts issued
+        self.batch_items = 0        # scatter/gather items routed
+        self.batch_items_unavailable = 0
+
+    def record(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "attempts": self.attempts,
+                "failovers": self.failovers,
+                "hedges_fired": self.hedges_fired,
+                "hedges_won": self.hedges_won,
+                "unavailable": self.unavailable,
+                "batch_items": self.batch_items,
+                "batch_items_unavailable": self.batch_items_unavailable,
+            }
+
+
+def _unavailable_error(model: Optional[str], attempts: int,
+                       trace_id: Optional[str] = None) -> Dict:
+    """The ``cluster_unavailable`` receipt body."""
+    which = f"model {model!r}" if model is not None else "the default model"
+    body = error_body(
+        "cluster_unavailable",
+        f"no live replica could serve {which} "
+        f"({attempts} attempt(s) exhausted)",
+        model=model, attempts=attempts)
+    if trace_id is not None:
+        body["error"].setdefault("trace_id", trace_id)
+    return body
+
+
+class _RouterHandler(JsonHttpHandler):
+    """One front-door request; all state lives on the router."""
+
+    @property
+    def router(self) -> "ClusterRouter":
+        return self.server.owner   # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:   # noqa: N802 — stdlib naming
+        self._begin_request()
+        with self.router._track():
+            if self.path == "/healthz":
+                self._handle_healthz()
+            elif self.path == "/v1/cluster":
+                self._reply(200, self.router.cluster_snapshot())
+            elif self.path == "/v1/stats":
+                self._reply(200, self.router.stats_snapshot())
+            elif self.path == "/v1/models":
+                self._handle_models()
+            elif self.path in ("/v1/infer", "/v1/infer_batch"):
+                self._reply_error(405, "method_not_allowed",
+                                  f"{self.path} requires POST")
+            else:
+                self._reply_error(404, "not_found",
+                                  f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:   # noqa: N802 — stdlib naming
+        self._begin_request()
+        with self.router._track():
+            if self.path not in ("/v1/infer", "/v1/infer_batch"):
+                self.close_connection = True
+                if self.path in ("/healthz", "/v1/stats", "/v1/models",
+                                 "/v1/cluster"):
+                    self._reply_error(405, "method_not_allowed",
+                                      f"{self.path} requires GET")
+                else:
+                    self._reply_error(404, "not_found",
+                                      f"unknown path {self.path!r}")
+                return
+            body = self._read_body()
+            if body is None:
+                return
+            if self.router.draining:
+                self._reply_error(503, "shutting_down",
+                                  "the router is draining; request refused")
+                return
+            payload = self._parse_json(body)
+            if payload is None:
+                return
+            model = payload.get("model")
+            if model is not None and not isinstance(model, str):
+                self._reply_error(400, "invalid_request",
+                                  "'model' must be a string")
+                return
+            try:
+                if self.path == "/v1/infer":
+                    status, reply = self.router.route_infer(
+                        payload, model, trace_id=self._trace_id)
+                else:
+                    status, reply = self.router.route_infer_batch(
+                        payload, model, trace_id=self._trace_id)
+            except Exception as exc:   # noqa: BLE001 — the wire must answer
+                self._reply_error(500, "internal",
+                                  f"{type(exc).__name__}: {exc}")
+                return
+            self._reply(status, reply)
+
+    # -- GET endpoints ------------------------------------------------------
+    def _handle_healthz(self) -> None:
+        router = self.router
+        counts = router.directory.snapshot()["counts"]
+        draining = router.draining
+        body = {
+            "status": ("draining" if draining
+                       else "ok" if counts["up"] == len(
+                           router.directory.names())
+                       else "degraded"),
+            "draining": draining,
+            "role": "router",
+            "replicas": counts,
+        }
+        self._reply(503 if draining else 200, body)
+
+    def _handle_models(self) -> None:
+        """Forward ``/v1/models`` to the first live replica and graft the
+        router's placement map on."""
+        router = self.router
+        outcome = router.proxy_get("/v1/models")
+        if outcome is None:
+            self._reply(503, _unavailable_error(None, 0, self._trace_id))
+            return
+        status, payload = outcome
+        if status == 200 and isinstance(payload, dict):
+            models = payload.get("models")
+            names = (list(models) if isinstance(models, (dict, list))
+                     else [])
+            payload["placement"] = {name: router.directory.placement(name)
+                                    for name in names}
+        self._reply(status, payload)
+
+
+class _RouterHttpd(ThreadingHTTPServer):
+    daemon_threads = True
+    block_on_close = False
+    owner: "ClusterRouter"
+
+
+class _Tracked:
+    """Context manager counting one in-flight request on the router."""
+
+    __slots__ = ("router",)
+
+    def __init__(self, router: "ClusterRouter"):
+        self.router = router
+
+    def __enter__(self) -> "_Tracked":
+        with self.router._inflight_lock:
+            self.router._inflight += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self.router._inflight_lock:
+            self.router._inflight -= 1
+            self.router._inflight_lock.notify_all()
+
+
+# ---------------------------------------------------------------------------
+class ClusterRouter:
+    """Wire-protocol front door over a :class:`ReplicaDirectory`.
+
+    The router owns the directory's probe loop by default
+    (``own_directory=True``): :meth:`start` starts probing,
+    :meth:`shutdown` stops it.  Use as a context manager, exactly like
+    :class:`~repro.serving.http.HttpFrontend`.
+
+    ``client_factory`` is the ``(host, port, timeout) -> client`` hook
+    the proxied attempts go through (tests inject scripted replicas).
+    """
+
+    def __init__(self, directory: ReplicaDirectory, *,
+                 policy: Optional[RoutingPolicy] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 retry_after_s: Optional[float] = DEFAULT_RETRY_AFTER_S,
+                 own_directory: bool = True,
+                 client_factory: Optional[Callable] = None,
+                 log: Optional[Callable[[str], None]] = None):
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        if retry_after_s is not None and retry_after_s < 0:
+            raise ValueError("retry_after_s must be >= 0 (or None)")
+        self.directory = directory
+        self.policy = policy if policy is not None else RoutingPolicy()
+        self.max_body_bytes = max_body_bytes
+        self.retry_after_s = retry_after_s
+        self.own_directory = own_directory
+        self.log = log
+        self.stats = RouterStats()
+        self._client_factory = (client_factory if client_factory is not None
+                                else HttpClient)
+        self._draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Condition()
+        self._httpd = _RouterHttpd((host, port), _RouterHandler)
+        self._httpd.owner = self
+        self._thread: Optional[threading.Thread] = None
+        self._shut_down = False
+
+    # -- address ------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _track(self) -> _Tracked:
+        return _Tracked(self)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "ClusterRouter":
+        if self._thread is not None:
+            raise RuntimeError("router already started")
+        if self.own_directory:
+            self.directory.start()
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="forms-cluster-router",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Refuse new work, stop probing, stop accepting, wait out
+        in-flight handlers.  Idempotent.  Replicas are not touched —
+        their lifecycle belongs to whoever spawned them."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._draining = True
+        if self.own_directory:
+            self.directory.stop()
+        if self._thread is not None:
+            # stdlib shutdown() blocks on serve_forever's acknowledgment,
+            # so it must only run when the accept loop actually ran
+            self._httpd.shutdown()
+            self._thread.join(timeout)
+        with self._inflight_lock:
+            self._inflight_lock.wait_for(
+                lambda: self._inflight == 0,
+                timeout=timeout if timeout is not None else 5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ClusterRouter":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- one proxied attempt ------------------------------------------------
+    def _attempt(self, name: str, method: str, path: str,
+                 body: Optional[Dict],
+                 trace_id: Optional[str]) -> Tuple[str, int, Dict]:
+        """One round trip to replica ``name``.
+
+        Returns ``("ok", status, payload)`` for an authoritative answer
+        (passed through unchanged) or ``("retry", status, payload)``
+        for a failover-able outcome; health reporting happens here.
+        """
+        host, port = self.directory.endpoint(name)
+        client = self._client_factory(host, port,
+                                      self.policy.attempt_timeout_s)
+        headers = ({"X-Request-Id": trace_id}
+                   if trace_id is not None else None)
+        try:
+            if headers is not None:
+                status, payload = client.request(method, path, body, headers)
+            else:
+                status, payload = client.request(method, path, body)
+        except TRANSPORT_ERRORS as exc:
+            self.directory.report_failure(name)
+            return ("retry", 0,
+                    error_body("cluster_unavailable",
+                               f"replica {name}: {exc}", replica=name))
+        code = None
+        if isinstance(payload, dict):
+            error = payload.get("error")
+            if isinstance(error, dict):
+                code = error.get("code")
+        if status == 503 and code in RETRYABLE_503_CODES:
+            self.directory.report_failure(name)
+            return "retry", status, payload
+        self.directory.report_success(name)
+        return "ok", status, payload
+
+    def _proxy(self, plan: List[str], method: str, path: str,
+               body: Optional[Dict], trace_id: Optional[str], *,
+               hedge_delay_s: Optional[float] = None
+               ) -> Optional[Tuple[int, Dict]]:
+        """Failover (and optionally hedge) ``body`` across ``plan``.
+
+        Fires attempts in plan order; a retryable outcome moves on after
+        the policy backoff.  With ``hedge_delay_s`` a second candidate
+        is fired when the first answer is that late, and the first
+        *authoritative* answer wins (a straggler thread parks its result
+        in the queue and dies — daemon, harmless).  Returns ``None``
+        when every attempt came back retryable: the caller's
+        ``cluster_unavailable``.
+        """
+        results: "queue.SimpleQueue" = queue.SimpleQueue()
+        inflight = 0
+        fired = 0
+
+        def fire(name: str, hedge: bool) -> None:
+            nonlocal inflight, fired
+            inflight += 1
+            fired += 1
+            self.stats.record(attempts=1, hedges_fired=int(hedge))
+
+            def attempt_thread():
+                results.put((hedge, self._attempt(name, method, path, body,
+                                                  trace_id)))
+            threading.Thread(target=attempt_thread,
+                             name="forms-router-attempt",
+                             daemon=True).start()
+
+        fire(plan[0], hedge=False)
+        answered = False
+        while inflight:
+            timeout = None
+            if (not answered and hedge_delay_s is not None
+                    and fired < len(plan) and inflight == 1):
+                timeout = hedge_delay_s
+            try:
+                hedge, (kind, status, payload) = results.get(timeout=timeout)
+            except queue.Empty:
+                fire(plan[fired], hedge=True)
+                continue
+            inflight -= 1
+            answered = True
+            if kind == "ok":
+                self.stats.record(hedges_won=int(hedge))
+                return status, payload
+            self.stats.record(failovers=1)
+            if inflight == 0 and fired < len(plan):
+                time.sleep(self.policy.backoff_delay(fired))
+                fire(plan[fired], hedge=False)
+        return None
+
+    def _plan(self, model: Optional[str]) -> List[str]:
+        """The attempt schedule: candidates cycled up to ``max_attempts``."""
+        candidates = self.directory.candidates(model)
+        if not candidates:
+            return []
+        return [candidates[i % len(candidates)]
+                for i in range(self.policy.max_attempts)]
+
+    # -- routing ------------------------------------------------------------
+    def proxy_get(self, path: str) -> Optional[Tuple[int, Dict]]:
+        """Forward one GET to the first answering live replica."""
+        plan = self._plan(None)
+        if not plan:
+            return None
+        return self._proxy(plan, "GET", path, None, None)
+
+    def route_infer(self, payload: Dict, model: Optional[str], *,
+                    trace_id: Optional[str] = None) -> Tuple[int, Dict]:
+        """Route one ``POST /v1/infer`` envelope; returns
+        ``(status, reply)`` ready for the wire."""
+        self.stats.record(requests=1)
+        plan = self._plan(model)
+        if not plan:
+            self.stats.record(unavailable=1)
+            return 503, _unavailable_error(model, 0, trace_id)
+        outcome = self._proxy(plan, "POST", "/v1/infer", payload, trace_id,
+                              hedge_delay_s=self.policy.hedge_delay_s)
+        if outcome is None:
+            self.stats.record(unavailable=1)
+            return 503, _unavailable_error(model, len(plan), trace_id)
+        return outcome
+
+    def route_infer_batch(self, payload: Dict, model: Optional[str], *,
+                          trace_id: Optional[str] = None) -> Tuple[int, Dict]:
+        """Scatter one ``/v1/infer_batch`` envelope, gather per-item
+        receipts in request order."""
+        self.stats.record(requests=1)
+        has_json = "inputs" in payload
+        has_b64 = "inputs_b64" in payload
+        key = "inputs_b64" if has_b64 else "inputs"
+        raw = payload.get(key)
+        if has_json == has_b64 or not isinstance(raw, list) or not raw:
+            return 400, error_body(
+                "invalid_request",
+                "pass exactly one non-empty list: 'inputs' (nested JSON "
+                "arrays) or 'inputs_b64' (base64 .npy strings)")
+        self.stats.record(batch_items=len(raw))
+        candidates = self.directory.candidates(model)
+        if not candidates:
+            self.stats.record(unavailable=1,
+                              batch_items_unavailable=len(raw))
+            return 503, _unavailable_error(model, 0, trace_id)
+
+        # scatter: item i starts at candidate i % k; a shard is the
+        # group of items sharing a starting candidate, and each shard
+        # fails over independently along its own rotation of the list
+        shards: Dict[int, List[int]] = {}
+        for index in range(len(raw)):
+            shards.setdefault(index % len(candidates), []).append(index)
+        passthrough = {k: payload[k]
+                       for k in ("model", "priority", "deadline_ms")
+                       if k in payload}
+        items: List[Optional[Dict]] = [None] * len(raw)
+        outcomes: "queue.SimpleQueue" = queue.SimpleQueue()
+
+        def route_shard(offset: int, indices: List[int]) -> None:
+            rotation = (candidates[offset:] + candidates[:offset])
+            plan = [rotation[i % len(rotation)]
+                    for i in range(self.policy.max_attempts)]
+            body = dict(passthrough)
+            body[key] = [raw[i] for i in indices]
+            outcomes.put((indices,
+                          self._proxy(plan, "POST", "/v1/infer_batch",
+                                      body, trace_id)))
+
+        for offset, indices in shards.items():
+            threading.Thread(target=route_shard, args=(offset, indices),
+                             name="forms-router-shard", daemon=True).start()
+        for _ in range(len(shards)):
+            indices, outcome = outcomes.get()
+            if outcome is None:
+                # every candidate of this shard died: explicit per-item
+                # receipts, never a dropped index
+                self.stats.record(batch_items_unavailable=len(indices))
+                for i in indices:
+                    entry = _unavailable_error(model,
+                                               self.policy.max_attempts,
+                                               trace_id)
+                    entry["error"]["index"] = i
+                    items[i] = entry
+                continue
+            status, reply = outcome
+            results = (reply.get("results")
+                       if isinstance(reply, dict) else None)
+            if isinstance(results, list) and len(results) == len(indices):
+                for i, item in zip(indices, results):
+                    items[i] = item
+                continue
+            # an envelope-level replica error (e.g. invalid_input at one
+            # item): attribute it to every item of the shard, remapping
+            # the replica's shard-relative index to the caller's
+            error = (reply.get("error")
+                     if isinstance(reply, dict) else None)
+            error = error if isinstance(error, dict) else {
+                "code": "internal", "message": f"replica answered {status}"}
+            shard_index = error.get("index")
+            for position, i in enumerate(indices):
+                entry = dict(error)
+                if isinstance(shard_index, int) \
+                        and 0 <= shard_index < len(indices):
+                    entry["index"] = indices[shard_index]
+                    entry["at_fault"] = position == shard_index
+                if trace_id is not None:
+                    entry.setdefault("trace_id", trace_id)
+                items[i] = {"error": entry}
+        completed = sum("error" not in item for item in items)
+        shed = len(items) - completed
+        status = 200 if shed == 0 else (503 if completed == 0 else 207)
+        return status, {"results": items, "completed": completed,
+                        "shed": shed}
+
+    # -- introspection ------------------------------------------------------
+    def stats_snapshot(self) -> Dict:
+        """``GET /v1/stats``: router counters + per-replica attempt
+        accounting (no fan-out; cheap enough for tight polling)."""
+        directory = self.directory.snapshot()
+        return {"role": "router", "router": self.stats.snapshot(),
+                "replicas": directory["replicas"],
+                "counts": directory["counts"]}
+
+    def cluster_snapshot(self) -> Dict:
+        """``GET /v1/cluster``: the full operator view — directory state,
+        routing policy, router counters and a best-effort live
+        ``/v1/stats`` fetch from every replica."""
+        directory = self.directory.snapshot()
+        replica_stats: Dict[str, Dict] = {}
+        for name in self.directory.names():
+            host, port = self.directory.endpoint(name)
+            client = self._client_factory(
+                host, port, self.directory.probe_timeout_s)
+            try:
+                status, payload = client.request("GET", "/v1/stats")
+            except TRANSPORT_ERRORS as exc:
+                replica_stats[name] = {"unreachable": str(exc)}
+            else:
+                replica_stats[name] = (payload if status == 200
+                                       else {"status": status,
+                                             "body": payload})
+        return {"role": "router", "directory": directory,
+                "policy": self.policy.as_dict(),
+                "router": self.stats.snapshot(),
+                "replica_stats": replica_stats}

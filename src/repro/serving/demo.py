@@ -29,7 +29,13 @@ shapes:
   *over the wire* — concurrent client threads, mixed classes when
   ``models=2``, every decoded response asserted bit-identical to the
   in-process serial forward — then drain and exit (``--http-demo``, the
-  CI smoke).
+  CI smoke);
+* :func:`run_cluster_server` / :func:`run_cluster_demo` — the same wire
+  protocol through a :class:`~repro.serving.cluster.ClusterRouter` over
+  N subprocess replicas (``--cluster N``): serve until interrupted, or
+  the self-checking failover smoke (``--http-demo``) that SIGKILLs and
+  restarts a replica mid-traffic and asserts bit-identity, documented
+  receipts and zero hung requests end to end.
 
 Both demos are self-checking: every served output is asserted
 bit-identical to a direct single-image serial forward (per tenant) in
@@ -409,13 +415,129 @@ def run_http_server(models: int = 1, *, host: str = "127.0.0.1",
     return snapshot
 
 
+def run_cluster_server(replicas: int = 2, *, host: str = "127.0.0.1",
+                       port: int = 8100, workers: int = 1, seed: int = 0,
+                       replication: int = 2,
+                       hedge_delay_s: Optional[float] = None,
+                       print_fn: Optional[Callable[[str], None]] = print,
+                       ready: Optional[Callable] = None,
+                       stop: Optional[threading.Event] = None) -> Dict:
+    """Serve the demo models through a replica cluster until interrupted.
+
+    The operator mode behind ``python -m repro serve --cluster N --http
+    PORT``: boots ``replicas`` subprocess replicas of the identical demo
+    build (bit-identical outputs — the property failover relies on),
+    a health-probing directory and a
+    :class:`~repro.serving.cluster.ClusterRouter` on ``port``, prints
+    the cluster walkthrough curl lines, and blocks until Ctrl-C (or
+    ``stop`` — the test hook; ``ready`` receives the live harness).
+    Returns the final ``/v1/cluster`` snapshot.
+    """
+    from .cluster import ClusterHarness, RoutingPolicy
+    from .http import HttpClient
+
+    say = print_fn if print_fn is not None else (lambda line: None)
+    stop = stop if stop is not None else threading.Event()
+    policy = RoutingPolicy(hedge_delay_s=hedge_delay_s)
+    with ClusterHarness(replicas, seed=seed, workers=workers,
+                        replication=replication, policy=policy,
+                        router_port=port, host=host, log=None) as harness:
+        router = harness.router
+        backends = ", ".join(f"{name}:{proc.port}"
+                             for name, proc in harness.replicas.items())
+        say(f"cluster router on {router.url} over {replicas} replica(s) "
+            f"({backends}; replication={replication}; Ctrl-C drains and "
+            f"exits)")
+        say("try:")
+        say(f"  curl -s {router.url}/healthz")
+        say(f"  curl -s {router.url}/v1/cluster")
+        say(f"  curl -s -X POST {router.url}/v1/infer "
+            f"-H 'Content-Type: application/json' "
+            f"-d '{{\"model\": \"fast\", \"priority\": \"interactive\", "
+            f"\"input\": [[...]]}}'")
+        if ready is not None:
+            ready(harness)
+        try:
+            while not stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:
+            say("interrupt: draining")
+        client = HttpClient(router.host, router.port)
+        _, snapshot = client.request("GET", "/v1/cluster")
+    say("drained; router and replicas closed")
+    return snapshot
+
+
+def run_cluster_demo(requests: int = 16, rate_rps: float = 200.0,
+                     replicas: int = 2, *, workers: int = 1, seed: int = 0,
+                     replication: int = 2,
+                     hedge_delay_s: Optional[float] = None,
+                     print_fn: Optional[Callable[[str], None]] = print
+                     ) -> Dict:
+    """Kill a replica under live routed traffic and prove the failover.
+
+    The self-checking cluster smoke behind ``--cluster N --http 0
+    --http-demo``: drives :func:`repro.perf.cluster.drive_cluster_chaos`
+    — open-loop Poisson ``POST /v1/infer`` arrivals through the router
+    while the interactive tenant's primary replica is SIGKILLed and
+    restarted mid-run — and prints the failover accounting.  The driver
+    raises if any completed response deviates from the parent's serial
+    single-image forward, any request hangs, any failure is not a
+    documented receipt, or the killed replica fails to rejoin.  Returns
+    the final ``/v1/cluster`` snapshot.
+    """
+    from ..perf.cluster import drive_cluster_chaos
+
+    say = print_fn if print_fn is not None else (lambda line: None)
+    say(f"cluster chaos: {requests} requests at ~{rate_rps:.0f} rps "
+        f"through a router over {replicas} replica(s), SIGKILL + restart "
+        f"mid-traffic")
+    driven = drive_cluster_chaos(rate_rps, requests, replicas=replicas,
+                                 replication=replication,
+                                 hedge_delay_s=hedge_delay_s,
+                                 workers=workers, seed=seed)
+    for entry in driven["kill_log"]:
+        say(f"  t={entry['at_s'] * 1e3:7.1f} ms: {entry['action']} "
+            f"{entry['replica']}")
+    router = driven["cluster"]["router"]
+    counts = driven["cluster"]["directory"]["counts"]
+    say(f"completed {driven['completed']}/{requests} "
+        f"(receipts: {driven['shed_codes'] or 'none'}); "
+        f"{router['failovers']} failovers, "
+        f"{router['hedges_fired']} hedges fired "
+        f"({router['hedges_won']} won), "
+        f"{router['unavailable']} unavailable receipts")
+    say(f"replicas after restart: {counts['up']} up, "
+        f"{counts['suspect']} suspect, {counts['down']} down")
+    say(f"bit-identity of all {driven['completed']} completed responses "
+        f"vs serial forwards: OK (zero hung requests; trace ids echoed)")
+    return driven["cluster"]
+
+
 def run_http_cli(args) -> int:
     """The shared ``--http`` dispatch of ``python -m repro serve`` and
     ``scripts/serve_demo.py`` (one copy, so the two entry points cannot
     drift): resolves the deadline, coerces the model count, prints the
     FIFO-knobs note for the SLA shape, and runs either the self-checking
-    wire demo (``--http-demo``) or the serve-until-interrupted server.
+    wire demo (``--http-demo``) or the serve-until-interrupted server —
+    single-process by default, the replica cluster with ``--cluster N``.
     """
+    cluster = getattr(args, "cluster", None)
+    if cluster is not None:
+        hedge = (args.hedge_ms / 1e3 if getattr(args, "hedge_ms", None)
+                 is not None else None)
+        knobs = dict(replicas=cluster,
+                     workers=(args.workers if args.workers is not None
+                              else 1),
+                     seed=args.seed,
+                     replication=getattr(args, "cluster_replication", 2),
+                     hedge_delay_s=hedge)
+        if args.http_demo:
+            run_cluster_demo(requests=args.requests, rate_rps=args.rate,
+                             **knobs)
+        else:
+            run_cluster_server(host=args.http_host, port=args.http, **knobs)
+        return 0
     deadline = (args.deadline_ms if args.deadline_ms is not None
                 and args.deadline_ms > 0 else None)
     classes = (args.priority_classes if args.priority_classes is not None

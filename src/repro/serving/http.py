@@ -42,6 +42,14 @@ request returns 503 with ``code "shed"`` and the full
 the front end drains returns 503 ``"shutting_down"``.  Request bodies
 are bounded (``max_body_bytes``, 413 past it, read no further).
 
+Every 503 carries a ``Retry-After`` header (fractional seconds) plus a
+``"retry_after_s"`` mirror inside the error object, which the client's
+retry loop honors over its computed backoff.  Every request adopts (or
+mints) an ``X-Request-Id``: echoed as a response header, injected into
+error bodies as ``"trace_id"`` and threaded through the scheduler into
+served/shed receipts — one id traces a request across the router, the
+replica and the receipt.
+
 Bit-identity over the wire
 --------------------------
 The transport is **numerics-invisible**: a decoded ``POST /v1/infer``
@@ -64,9 +72,11 @@ from __future__ import annotations
 import base64
 import io
 import json
+import re
 import threading
 import time
-from http.client import HTTPConnection
+import uuid
+from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -79,6 +89,32 @@ from .scheduler import RequestShed
 #: default request-body bound (bytes) — far above any demo image, far
 #: below anything that could exhaust the container
 DEFAULT_MAX_BODY_BYTES = 8 << 20
+
+#: default ``Retry-After`` hint (seconds) attached to 503 responses —
+#: small, because a shed or a drain is a *moment*, not an outage; the
+#: header carries fractional decimal seconds (a documented deviation
+#: from RFC 9110's integer seconds: every consumer here is our own
+#: client or the router, and sub-second backoff is the useful range)
+DEFAULT_RETRY_AFTER_S = 0.25
+
+#: accepted shape of a client-supplied ``X-Request-Id``: printable
+#: ASCII, bounded — anything else is replaced by a generated id rather
+#: than rejected (tracing must never fail a request)
+_TRACE_ID_RE = re.compile(r"^[\x21-\x7e]{1,128}$")
+
+
+def new_trace_id() -> str:
+    """A fresh request-trace id (hex, no dashes — header-safe)."""
+    return uuid.uuid4().hex
+
+
+#: what a failed round trip through :meth:`HttpClient.request` can raise
+#: when the far end dies mid-exchange: connection errors (``OSError``,
+#: including ``RemoteDisconnected``), protocol tears (``HTTPException``
+#: — truncated status line after a SIGKILL) and partial-body JSON decode
+#: failures (``ValueError``).  The cluster's failover classification
+#: treats every one of these as "this replica, right now" — retryable.
+TRANSPORT_ERRORS = (OSError, HTTPException, ValueError)
 
 #: structured error codes of the wire protocol (documented in
 #: docs/serving.md — keep the two in lockstep; tests assert membership)
@@ -98,6 +134,10 @@ ERROR_CODES = (
     #                       (checksum tripped and no healthy reference was
     #                       available to restore from — the request failed
     #                       loudly instead of being answered wrong)
+    "cluster_unavailable",  # 503: every replica that could serve the model
+    #                       is down (emitted by the ClusterRouter, never by
+    #                       a single front end — an explicit receipt, not a
+    #                       hang or a silent 500)
     "internal",           # 500: dispatch failure (batcher error)
 )
 
@@ -228,28 +268,66 @@ def _submit_kwargs(server, payload: Dict) -> Dict:
 
 
 # ---------------------------------------------------------------------------
-class _Handler(BaseHTTPRequestHandler):
-    """One request of the wire protocol; state lives on the frontend."""
+class JsonHttpHandler(BaseHTTPRequestHandler):
+    """Shared JSON-over-HTTP plumbing of the wire protocol.
+
+    Subclassed by the front end's :class:`_Handler` and the cluster
+    router's handler (``repro.serving.cluster.router``), so the two
+    processes speak byte-compatible protocol mechanics: bounded body
+    reads, structured error replies, ``Retry-After`` on 503s and
+    ``X-Request-Id`` echo.  The serving object (front end or router)
+    lives on ``self.server.owner`` and must expose ``max_body_bytes``,
+    ``retry_after_s`` and ``log``.
+    """
 
     protocol_version = "HTTP/1.1"
     server_version = "forms-serving/1"
 
-    # the ThreadingHTTPServer subclass below carries .frontend
+    #: set per request by :meth:`_begin_request`
+    _trace_id: Optional[str] = None
+
     @property
-    def frontend(self) -> "HttpFrontend":
-        return self.server.frontend   # type: ignore[attr-defined]
+    def owner(self):
+        return self.server.owner   # type: ignore[attr-defined]
 
     def log_message(self, format, *args):   # noqa: A002 — stdlib signature
-        log = self.frontend.log
+        log = self.owner.log
         if log is not None:
             log(f"{self.address_string()} {format % args}")
 
     # -- plumbing ----------------------------------------------------------
+    def _begin_request(self) -> None:
+        """Adopt the caller's ``X-Request-Id`` (or mint one).
+
+        An unusable supplied id (non-printable, overlong) is replaced,
+        never refused: tracing is diagnostics, not validation.  The id is
+        echoed as a response header on every reply and injected into
+        error bodies as ``"trace_id"``.
+        """
+        supplied = self.headers.get("X-Request-Id")
+        if supplied is not None and _TRACE_ID_RE.match(supplied):
+            self._trace_id = supplied
+        else:
+            self._trace_id = new_trace_id()
+
     def _reply(self, status: int, body: Dict) -> None:
+        retry_after = (self.owner.retry_after_s if status == 503 else None)
+        error = body.get("error")
+        if isinstance(error, dict):
+            if retry_after is not None:
+                # JSON mirror of the Retry-After header, so std-lib
+                # clients (which decode bodies, not headers) can honor it
+                error.setdefault("retry_after_s", retry_after)
+            if self._trace_id is not None:
+                error.setdefault("trace_id", self._trace_id)
         data = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if self._trace_id is not None:
+            self.send_header("X-Request-Id", self._trace_id)
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
         self.end_headers()
         self.wfile.write(data)
 
@@ -274,14 +352,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply_error(400, "invalid_request",
                               "Content-Length is not a non-negative integer")
             return None
-        if length > self.frontend.max_body_bytes:
+        if length > self.owner.max_body_bytes:
             # refuse without reading: the connection cannot be reused
             self.close_connection = True
             self._reply_error(
                 413, "body_too_large",
                 f"request body of {length} bytes exceeds the "
-                f"{self.frontend.max_body_bytes}-byte bound",
-                max_body_bytes=self.frontend.max_body_bytes)
+                f"{self.owner.max_body_bytes}-byte bound",
+                max_body_bytes=self.owner.max_body_bytes)
             return None
         body = self.rfile.read(length)
         if len(body) != length:
@@ -303,8 +381,18 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return payload
 
+
+class _Handler(JsonHttpHandler):
+    """One request of the wire protocol; state lives on the frontend."""
+
+    # the ThreadingHTTPServer subclass below carries .frontend
+    @property
+    def frontend(self) -> "HttpFrontend":
+        return self.server.frontend   # type: ignore[attr-defined]
+
     # -- verbs -------------------------------------------------------------
     def do_GET(self) -> None:   # noqa: N802 — stdlib naming
+        self._begin_request()
         with self.frontend._track():
             if self.path == "/healthz":
                 self._handle_healthz()
@@ -320,6 +408,7 @@ class _Handler(BaseHTTPRequestHandler):
                                   f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:   # noqa: N802 — stdlib naming
+        self._begin_request()
         with self.frontend._track():
             if self.path not in ("/v1/infer", "/v1/infer_batch"):
                 if self.path in ("/healthz", "/v1/stats", "/v1/models"):
@@ -391,6 +480,7 @@ class _Handler(BaseHTTPRequestHandler):
         server = self.frontend.server
         image, binary = decode_input(payload)
         kwargs = _submit_kwargs(server, payload)
+        kwargs["trace_id"] = self._trace_id
         try:
             future = server.submit_async(image, **kwargs)
         except ValueError as exc:
@@ -413,6 +503,7 @@ class _Handler(BaseHTTPRequestHandler):
         images = [decode_array_b64(item) if binary else decode_array_json(item)
                   for item in raw]
         kwargs = _submit_kwargs(server, payload)
+        kwargs["trace_id"] = self._trace_id
         futures, submit_error = [], None
         for index, image in enumerate(images):
             try:
@@ -452,6 +543,11 @@ class _Httpd(ThreadingHTTPServer):
     block_on_close = False
     frontend: "HttpFrontend"
 
+    @property
+    def owner(self) -> "HttpFrontend":
+        # the JsonHttpHandler plumbing hook (shared with the router)
+        return self.frontend
+
 
 class _Tracked:
     """Context manager counting one in-flight request on a frontend."""
@@ -489,6 +585,11 @@ class HttpFrontend:
     max_body_bytes:
         Request-body bound; a longer ``Content-Length`` is refused with
         413 before the body is read.
+    retry_after_s:
+        ``Retry-After`` hint attached (as a header and as the
+        ``"retry_after_s"`` body mirror) to every 503 response —
+        shed, ``shutting_down``, ``die_fault`` and the draining
+        ``/healthz`` body.  ``None`` disables the hint.
     log:
         Optional callable receiving one access-log line per request
         (default: silent — the demos pass ``print``).
@@ -499,11 +600,15 @@ class HttpFrontend:
 
     def __init__(self, server, host: str = "127.0.0.1", port: int = 0, *,
                  max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 retry_after_s: Optional[float] = DEFAULT_RETRY_AFTER_S,
                  owns_server: bool = False, log=None):
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
+        if retry_after_s is not None and retry_after_s < 0:
+            raise ValueError("retry_after_s must be >= 0 (or None)")
         self.server = server
         self.max_body_bytes = max_body_bytes
+        self.retry_after_s = retry_after_s
         self.owns_server = owns_server
         self.log = log
         self._draining = False
@@ -681,8 +786,8 @@ class HttpClient:
         return base * jitter
 
     # -- plumbing -----------------------------------------------------------
-    def request(self, method: str, path: str,
-                body: Optional[Dict] = None) -> Tuple[int, Dict]:
+    def request(self, method: str, path: str, body: Optional[Dict] = None,
+                extra_headers: Optional[Dict] = None) -> Tuple[int, Dict]:
         """One round trip; returns ``(status, decoded JSON)`` untouched."""
         connection = HTTPConnection(self.host, self.port,
                                     timeout=self.timeout)
@@ -691,14 +796,20 @@ class HttpClient:
                     if body is not None else None)
             headers = {"Content-Type": "application/json",
                        "Connection": "close"}
+            if extra_headers:
+                headers.update(extra_headers)
             try:
                 connection.request(method, path, body=data, headers=headers)
             except (BrokenPipeError, ConnectionResetError):
                 # the server refused mid-send (e.g. 413 on an oversized
                 # body, answered without reading it) and closed its end;
                 # the error response is usually already in our receive
-                # buffer — read it instead of surfacing the pipe error
-                pass
+                # buffer — read it instead of surfacing the pipe error.
+                # But when http.client already tore the socket down there
+                # is nothing to read: surface the connection error (a
+                # bare getresponse() would die on the closed socket)
+                if connection.sock is None:
+                    raise
             response = connection.getresponse()
             raw = response.read()
             return response.status, json.loads(raw.decode("utf-8"))
@@ -707,19 +818,32 @@ class HttpClient:
 
     def _checked(self, method: str, path: str,
                  body: Optional[Dict] = None,
-                 ok: Tuple[int, ...] = (200,)) -> Tuple[int, Dict]:
-        status, payload = self.request(method, path, body)
+                 ok: Tuple[int, ...] = (200,),
+                 extra_headers: Optional[Dict] = None) -> Tuple[int, Dict]:
+        # the positional 3-argument call is kept for unheadered requests:
+        # tests (and chaos harnesses) monkey-patch ``request`` with
+        # scripted transports speaking exactly that signature
+        if extra_headers:
+            status, payload = self.request(method, path, body, extra_headers)
+        else:
+            status, payload = self.request(method, path, body)
         if status not in ok:
             raise HttpError(status, payload)
         return status, payload
+
+    @staticmethod
+    def _trace_headers(trace_id: Optional[str]) -> Optional[Dict]:
+        return {"X-Request-Id": trace_id} if trace_id is not None else None
 
     # -- endpoints ----------------------------------------------------------
     def infer(self, image: np.ndarray, *, model: Optional[str] = None,
               priority: Optional[str] = None,
               deadline_ms: Optional[float] = None,
-              binary: bool = False) -> WireResult:
+              binary: bool = False,
+              trace_id: Optional[str] = None) -> WireResult:
         """``POST /v1/infer``; raises :class:`HttpError` on any failure
-        (``code "shed"`` carries the receipt)."""
+        (``code "shed"`` carries the receipt).  ``trace_id`` travels as
+        the ``X-Request-Id`` header and comes back in the receipt."""
         body: Dict = {}
         if binary:
             body["input_b64"] = encode_array(np.asarray(image))
@@ -731,13 +855,15 @@ class HttpClient:
             body["priority"] = priority
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
-        _, payload = self._checked("POST", "/v1/infer", body)
+        _, payload = self._checked("POST", "/v1/infer", body,
+                                   extra_headers=self._trace_headers(trace_id))
         return WireResult.from_body(payload)
 
     def infer_batch(self, images, *, model: Optional[str] = None,
                     priority: Optional[str] = None,
                     deadline_ms: Optional[float] = None,
-                    binary: bool = False
+                    binary: bool = False,
+                    trace_id: Optional[str] = None
                     ) -> List[Union[WireResult, HttpError]]:
         """``POST /v1/infer_batch``; per-item results in request order —
         a :class:`WireResult` for served items, an (unraised)
@@ -757,7 +883,12 @@ class HttpClient:
             body["deadline_ms"] = deadline_ms
         # 503 with a "results" envelope is the every-item-shed case: the
         # per-item receipts are the payload, so decode rather than raise
-        status, payload = self.request("POST", "/v1/infer_batch", body)
+        headers = self._trace_headers(trace_id)
+        if headers:
+            status, payload = self.request("POST", "/v1/infer_batch", body,
+                                           headers)
+        else:
+            status, payload = self.request("POST", "/v1/infer_batch", body)
         if status not in (200, 207, 503) or "results" not in payload:
             raise HttpError(status, payload)
         out: List[Union[WireResult, HttpError]] = []
@@ -768,17 +899,37 @@ class HttpClient:
                 out.append(WireResult.from_body(item))
         return out
 
+    @staticmethod
+    def _retry_after(payload) -> Optional[float]:
+        """The server's ``Retry-After`` hint, read from the JSON mirror
+        (``error.retry_after_s`` — this client decodes bodies, not
+        headers); ``None`` when absent or unusable."""
+        if not isinstance(payload, dict):
+            return None
+        error = payload.get("error")
+        if not isinstance(error, dict):
+            return None
+        hint = error.get("retry_after_s")
+        if isinstance(hint, (int, float)) and not isinstance(hint, bool) \
+                and hint >= 0:
+            return float(hint)
+        return None
+
     def _get_retrying(self, path: str,
                       retry_statuses: Tuple[int, ...] = (503,)
                       ) -> Tuple[int, Dict]:
         """GET with the idempotent retry policy (see the class docstring).
 
         Retries connection-level errors always; HTTP statuses only when
-        listed in ``retry_statuses``.  After the last attempt the final
-        outcome — error or response — surfaces unchanged.
+        listed in ``retry_statuses``.  A retried 503 carrying the
+        server's ``Retry-After`` hint sleeps that long instead of the
+        computed backoff (the server knows its own drain/shed horizon).
+        After the last attempt the final outcome — error or response —
+        surfaces unchanged.
         """
         for attempt in range(self.retries + 1):
             last_attempt = attempt == self.retries
+            server_hint = None
             try:
                 status, payload = self.request("GET", path)
             except OSError:
@@ -787,7 +938,9 @@ class HttpClient:
             else:
                 if status not in retry_statuses or last_attempt:
                     return status, payload
-            time.sleep(self.backoff_delay(attempt))
+                server_hint = self._retry_after(payload)
+            time.sleep(server_hint if server_hint is not None
+                       else self.backoff_delay(attempt))
         raise AssertionError("unreachable")   # pragma: no cover
 
     def stats(self) -> Dict:

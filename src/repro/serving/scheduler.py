@@ -152,6 +152,7 @@ class SlaRequest:
     deadline_t: Optional[float] = None
     deadline_s: Optional[float] = None
     entry: object = None
+    trace_id: Optional[str] = None
     enqueue_t: float = field(default_factory=time.monotonic)
     future: Future = field(default_factory=Future)
 
@@ -178,6 +179,7 @@ class ShedReceipt:
     reason: str
     queue_wait_s: float
     deadline_s: Optional[float] = None
+    trace_id: Optional[str] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -187,6 +189,7 @@ class ShedReceipt:
             "reason": self.reason,
             "queue_wait_s": self.queue_wait_s,
             "deadline_s": self.deadline_s,
+            "trace_id": self.trace_id,
         }
 
 
@@ -317,7 +320,7 @@ class SlaQueue:
             request_id=request.request_id, model=request.model,
             priority_class=request.priority_class, reason=reason,
             queue_wait_s=now - request.enqueue_t,
-            deadline_s=request.deadline_s)
+            deadline_s=request.deadline_s, trace_id=request.trace_id)
         if not request.future.done():
             try:
                 request.future.set_exception(RequestShed(receipt))

@@ -283,7 +283,8 @@ class InferenceServer:
     def submit_async(self, image: np.ndarray, *,
                      model: Optional[str] = None,
                      priority: Optional[str] = None,
-                     deadline_s: Optional[float] = None) -> Future:
+                     deadline_s: Optional[float] = None,
+                     trace_id: Optional[str] = None) -> Future:
         """Enqueue one image; the future resolves to a
         :class:`ServedResult` — or raises
         :class:`~repro.serving.scheduler.RequestShed` if the request was
@@ -293,7 +294,9 @@ class InferenceServer:
         ``model`` defaults to the sole registered model; ``priority``
         defaults to the policy's lowest-precedence class; ``deadline_s``
         is a relative latency budget — the request is shed, never
-        dispatched, once it has been queued that long.
+        dispatched, once it has been queued that long.  ``trace_id`` (the
+        wire's ``X-Request-Id``) rides through to the served or shed
+        receipt so one id traces the request across processes.
         """
         image = np.asarray(image)
         if image.ndim < 1:
@@ -315,7 +318,8 @@ class InferenceServer:
                 receipt = ShedReceipt(
                     request_id=request_id, model=entry.name,
                     priority_class=cls.name, reason=SHED_ADMISSION,
-                    queue_wait_s=0.0, deadline_s=deadline_s)
+                    queue_wait_s=0.0, deadline_s=deadline_s,
+                    trace_id=trace_id)
                 self.stats.record_shed(receipt)
                 refused: Future = Future()
                 refused.set_exception(RequestShed(receipt))
@@ -325,7 +329,7 @@ class InferenceServer:
                 class_rank=rank, priority_class=cls.name,
                 deadline_t=(time.monotonic() + deadline_s
                             if deadline_s is not None else None),
-                deadline_s=deadline_s, entry=entry)
+                deadline_s=deadline_s, entry=entry, trace_id=trace_id)
             self.queue.put(request)
         return request.future
 
@@ -445,6 +449,7 @@ class InferenceServer:
                 priority_class=request.priority_class,
                 deadline_s=request.deadline_s,
                 recovery=recovery,
+                trace_id=request.trace_id,
             )
             self.stats.record_request(stats)
             # a client may have cancelled its future (e.g. a timed-out
@@ -525,7 +530,8 @@ class InferenceServer:
                 priority_class=request.priority_class,
                 reason=SHED_FAULT_RECOVERY,
                 queue_wait_s=dispatch_t - request.enqueue_t,
-                deadline_s=request.deadline_s)
+                deadline_s=request.deadline_s,
+                trace_id=request.trace_id)
             self.stats.record_shed(receipt)
             if not request.future.done():
                 try:

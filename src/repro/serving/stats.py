@@ -74,6 +74,10 @@ class RequestStats:
     #: [29]-style remap planner said, and how many dispatch retries the
     #: batch took before completing (bit-identically) on the restored die.
     recovery: Optional[Dict] = None
+    #: cross-process trace id (the wire's ``X-Request-Id``): the same
+    #: string in the router's log, the replica's receipt and the caller's
+    #: error body — ``None`` for in-process submissions without one.
+    trace_id: Optional[str] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -89,6 +93,7 @@ class RequestStats:
             "deadline_s": self.deadline_s,
             "recovery": (dict(self.recovery)
                          if self.recovery is not None else None),
+            "trace_id": self.trace_id,
         }
 
 

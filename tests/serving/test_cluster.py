@@ -1,0 +1,353 @@
+"""The cluster layer's in-process contract: ring, health, routing.
+
+Two real :class:`~repro.serving.HttpFrontend` replicas with identical
+deterministic networks stand behind a :class:`~repro.serving.
+ClusterRouter`, so every routing decision is checkable against exact
+expected outputs — a caller must not be able to tell the cluster from a
+single front end (same envelopes, same receipts), except for the one
+honest addition: ``cluster_unavailable`` when nobody can serve.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.serving import (ClusterRouter, HttpClient, HttpError,
+                           HttpFrontend, InferenceServer, ModelRegistry,
+                           ReplicaDirectory, RoutingPolicy)
+from repro.serving.cluster import (REPLICA_DOWN, REPLICA_SUSPECT, REPLICA_UP,
+                                   HashRing)
+from repro.serving.cluster.directory import _ring_hash
+
+EXPECTED = {"fast": (2.0, 1.0), "batch": (-3.0, 0.5)}
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        names = [f"replica-{i}" for i in range(5)]
+        a, b = HashRing(names), HashRing(names)
+        for key in ("fast", "batch", "", "another-model"):
+            assert a.preferred(key, 3) == b.preferred(key, 3)
+
+    def test_preferred_are_distinct_and_capped(self):
+        ring = HashRing(["a", "b", "c"])
+        chosen = ring.preferred("model", 2)
+        assert len(chosen) == len(set(chosen)) == 2
+        assert ring.preferred("model", 10) and \
+            sorted(ring.preferred("model", 10)) == ["a", "b", "c"]
+
+    def test_keys_spread_over_replicas(self):
+        names = [f"replica-{i}" for i in range(4)]
+        ring = HashRing(names)
+        primaries = {ring.preferred(f"key-{k}", 1)[0] for k in range(200)}
+        assert primaries == set(names)
+
+    def test_hash_is_process_stable(self):
+        # sha256, not the salted builtin: a pinned value survives restarts
+        assert _ring_hash("replica-0#0") == 0xEC8963B186885AE6
+
+    def test_minimal_disruption_on_leave(self):
+        """Keys not owned by the leaving replica keep their primary."""
+        names = [f"replica-{i}" for i in range(4)]
+        before = HashRing(names)
+        after = HashRing([n for n in names if n != "replica-2"])
+        for k in range(100):
+            primary = before.preferred(f"key-{k}", 1)[0]
+            if primary != "replica-2":
+                assert after.preferred(f"key-{k}", 1)[0] == primary
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+
+
+class TestDirectoryHealthMachine:
+    def make_directory(self, **kwargs):
+        kwargs.setdefault("suspect_after", 1)
+        kwargs.setdefault("down_after", 3)
+        return ReplicaDirectory({"r0": ("127.0.0.1", 1),
+                                 "r1": ("127.0.0.1", 2)}, **kwargs)
+
+    def test_failures_walk_up_suspect_down(self):
+        directory = self.make_directory()
+        assert directory.replica("r0").state == REPLICA_UP
+        directory.report_failure("r0")
+        assert directory.replica("r0").state == REPLICA_SUSPECT
+        directory.report_failure("r0")
+        directory.report_failure("r0")
+        assert directory.replica("r0").state == REPLICA_DOWN
+
+    def test_one_success_snaps_back_to_up(self):
+        directory = self.make_directory()
+        for _ in range(3):
+            directory.report_failure("r0")
+        assert directory.replica("r0").state == REPLICA_DOWN
+        directory.report_success("r0")
+        replica = directory.replica("r0")
+        assert replica.state == REPLICA_UP
+        assert replica.consecutive_failures == 0
+        assert replica.transitions == 3   # up->suspect->down->up
+
+    def test_candidates_order_and_exclusion(self):
+        directory = self.make_directory(replication=1)
+        preferred = directory.placement("fast")[0]
+        other = next(n for n in directory.names() if n != preferred)
+        assert directory.candidates("fast") == [preferred, other]
+        for _ in range(3):
+            directory.report_failure(preferred)
+        assert directory.candidates("fast") == [other]   # down: excluded
+        directory.report_failure(other)
+        assert directory.candidates("fast") == [other]   # suspect: still in
+        for _ in range(2):
+            directory.report_failure(other)
+        assert directory.candidates("fast") == []        # unavailable
+
+    def test_strict_placement_never_spills(self):
+        directory = self.make_directory(replication=1,
+                                        strict_placement=True)
+        preferred = directory.placement("fast")[0]
+        assert directory.candidates("fast") == [preferred]
+        for _ in range(3):
+            directory.report_failure(preferred)
+        assert directory.candidates("fast") == []
+
+    def test_snapshot_shape(self):
+        directory = self.make_directory()
+        directory.report_failure("r1")
+        snapshot = directory.snapshot()
+        assert snapshot["counts"] == {"up": 1, "suspect": 1, "down": 0}
+        assert snapshot["replicas"]["r1"]["failures"] == 1
+        assert snapshot["replication"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaDirectory({})
+        with pytest.raises(ValueError):
+            self.make_directory(replication=0)
+        with pytest.raises(ValueError):
+            self.make_directory(suspect_after=3, down_after=1)
+
+
+def linear_network(scale, shift):
+    def network(tensor):
+        return Tensor(tensor.data.reshape(tensor.data.shape[0], -1)
+                      * scale + shift)
+    return network
+
+
+def make_replica():
+    """One two-tenant front end; deterministic, so replicas are
+    bit-identical by construction."""
+    registry = ModelRegistry(workers=1)
+    for name, (scale, shift) in EXPECTED.items():
+        registry.register_network(name, linear_network(scale, shift))
+    server = InferenceServer(registry=registry, max_batch=4, max_wait_s=0.0)
+    return HttpFrontend(server, owns_server=True).start()
+
+
+@pytest.fixture()
+def cluster():
+    frontends = {f"r{i}": make_replica() for i in range(2)}
+    directory = ReplicaDirectory(
+        {name: (f.host, f.port) for name, f in frontends.items()},
+        replication=2, suspect_after=1, down_after=3,
+        probe_interval_s=0.05, probe_timeout_s=2.0)
+    policy = RoutingPolicy(attempt_timeout_s=10.0, max_attempts=3,
+                           backoff_s=1e-3, backoff_cap_s=5e-3)
+    router = ClusterRouter(directory, policy=policy,
+                           own_directory=False).start()
+    try:
+        yield router, directory, frontends
+    finally:
+        router.shutdown()
+        for frontend in frontends.values():
+            frontend.shutdown()
+
+
+class TestRouterEndToEnd:
+    def test_infer_is_transparent_and_bit_exact(self, cluster):
+        router, _, frontends = cluster
+        client = HttpClient("127.0.0.1", router.port)
+        image = np.arange(6.0)
+        for model, (scale, shift) in EXPECTED.items():
+            wire = client.infer(image, model=model, binary=(model == "fast"),
+                                trace_id=f"trace-{model}")
+            np.testing.assert_array_equal(wire.output, image * scale + shift)
+            assert wire.stats["model"] == model
+            assert wire.stats["trace_id"] == f"trace-{model}"
+
+    def test_failover_survives_a_dead_primary(self, cluster):
+        router, directory, frontends = cluster
+        client = HttpClient("127.0.0.1", router.port)
+        victim = directory.placement("fast")[0]
+        frontends[victim].shutdown()     # socket gone: transport failures
+        image = np.ones(4)
+        wire = client.infer(image, model="fast")
+        np.testing.assert_array_equal(wire.output, image * 2.0 + 1.0)
+        assert router.stats.snapshot()["failovers"] >= 1
+        assert directory.replica(victim).state != REPLICA_UP
+
+    def test_all_replicas_down_yields_cluster_unavailable(self, cluster):
+        router, directory, frontends = cluster
+        client = HttpClient("127.0.0.1", router.port)
+        for frontend in frontends.values():
+            frontend.shutdown()
+        with pytest.raises(HttpError) as info:
+            client.infer(np.ones(4), model="fast", trace_id="trace-down")
+        assert info.value.status == 503
+        assert info.value.code == "cluster_unavailable"
+        error = info.value.payload
+        assert error["trace_id"] == "trace-down"
+        assert error["retry_after_s"] > 0       # the 503 contract holds
+        assert router.stats.snapshot()["unavailable"] == 1
+
+    def test_batch_scatter_gather_bit_exact(self, cluster):
+        router, _, _ = cluster
+        client = HttpClient("127.0.0.1", router.port)
+        images = np.arange(24.0).reshape(6, 4)
+        results = client.infer_batch(images, model="batch")
+        assert len(results) == 6
+        for image, result in zip(images, results):
+            assert not isinstance(result, HttpError)
+            np.testing.assert_array_equal(result.output,
+                                          image * -3.0 + 0.5)
+        assert router.stats.snapshot()["batch_items"] == 6
+
+    def test_batch_with_cluster_down_gets_per_item_receipts(self, cluster):
+        router, _, frontends = cluster
+        client = HttpClient("127.0.0.1", router.port)
+        for frontend in frontends.values():
+            frontend.shutdown()
+        results = client.infer_batch(np.ones((3, 4)), model="fast")
+        assert len(results) == 3
+        for item in results:
+            assert isinstance(item, HttpError)
+            assert item.code == "cluster_unavailable"
+        snapshot = router.stats.snapshot()
+        assert snapshot["batch_items_unavailable"] == 3
+
+    def test_draining_router_refuses_with_receipt(self, cluster):
+        router, _, _ = cluster
+        client = HttpClient("127.0.0.1", router.port)
+        router._draining = True
+        try:
+            with pytest.raises(HttpError) as info:
+                client.infer(np.ones(4), model="fast")
+        finally:
+            router._draining = False
+        assert info.value.status == 503
+        assert info.value.code == "shutting_down"
+
+    def test_healthz_reflects_replica_counts(self, cluster):
+        router, directory, frontends = cluster
+        client = HttpClient("127.0.0.1", router.port)
+        payload = client.healthz()
+        assert payload["role"] == "router"
+        assert payload["status"] == "ok"
+        assert payload["replicas"] == {"up": 2, "suspect": 0, "down": 0}
+        victim = directory.names()[0]
+        frontends[victim].shutdown()
+        directory.probe_once()
+        degraded = client.healthz()
+        assert degraded["status"] == "degraded"
+        assert degraded["replicas"]["up"] == 1
+
+    def test_models_endpoint_grafts_placement(self, cluster):
+        router, directory, _ = cluster
+        client = HttpClient("127.0.0.1", router.port)
+        payload = client.models()
+        assert sorted(payload["models"]) == ["batch", "fast"]
+        assert payload["placement"]["fast"] == directory.placement("fast")
+        assert payload["placement"]["batch"] == directory.placement("batch")
+
+    def test_cluster_endpoint_is_the_operator_view(self, cluster):
+        router, _, _ = cluster
+        client = HttpClient("127.0.0.1", router.port)
+        client.infer(np.ones(4), model="fast")
+        status, payload = client.request("GET", "/v1/cluster")
+        assert status == 200
+        assert payload["role"] == "router"
+        assert payload["policy"] == router.policy.as_dict()
+        assert payload["directory"]["counts"]["up"] == 2
+        assert payload["router"]["requests"] >= 1
+        for name in ("r0", "r1"):
+            assert "requests_completed" in payload["replica_stats"][name]
+
+    def test_probe_marks_dead_then_restarted(self, cluster):
+        """The probe loop's state machine against real sockets: a dead
+        replica walks to down, a replacement on the same port rejoins."""
+        router, directory, frontends = cluster
+        victim = directory.names()[0]
+        frontends[victim].shutdown()
+        for _ in range(3):
+            directory.probe_once()
+        assert directory.replica(victim).state == REPLICA_DOWN
+        replacement = make_replica()
+        try:
+            directory.replica(victim).host = replacement.host
+            directory.replica(victim).port = replacement.port
+            assert directory.probe_once()[victim] == REPLICA_UP
+        finally:
+            replacement.shutdown()
+
+
+class TestHedging:
+    def test_hedge_beats_a_blackholed_primary(self):
+        """First candidate accepts the connection and never answers (a
+        listening-but-stuck socket); the hedge fires after the delay and
+        its answer wins."""
+        blackhole = socket.socket()
+        blackhole.bind(("127.0.0.1", 0))
+        blackhole.listen(8)
+        live = make_replica()
+        directory = ReplicaDirectory(
+            {"stuck": ("127.0.0.1", blackhole.getsockname()[1]),
+             "live": (live.host, live.port)},
+            replication=2, suspect_after=1, down_after=3)
+        # pin the plan order: the stuck replica must be first everywhere
+        directory.placement = lambda model: ["stuck", "live"]
+        directory.candidates = lambda model: ["stuck", "live"]
+        policy = RoutingPolicy(attempt_timeout_s=8.0, max_attempts=2,
+                               hedge_delay_s=0.05)
+        router = ClusterRouter(directory, policy=policy,
+                               own_directory=False).start()
+        try:
+            client = HttpClient("127.0.0.1", router.port, timeout=15.0)
+            image = np.ones(4)
+            wire = client.infer(image, model="fast")
+            np.testing.assert_array_equal(wire.output, image * 2.0 + 1.0)
+            snapshot = router.stats.snapshot()
+            assert snapshot["hedges_fired"] == 1
+            assert snapshot["hedges_won"] == 1
+        finally:
+            router.shutdown()
+            live.shutdown()
+            blackhole.close()
+
+
+class TestRoutingPolicy:
+    def test_backoff_schedule_caps(self):
+        policy = RoutingPolicy(backoff_s=0.01, backoff_cap_s=0.05)
+        assert [policy.backoff_delay(i) for i in (1, 2, 3, 4, 5)] == \
+            [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoutingPolicy(attempt_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RoutingPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RoutingPolicy(backoff_s=-1.0)
+        with pytest.raises(ValueError):
+            RoutingPolicy(hedge_delay_s=-0.1)
+
+    def test_wire_echo(self):
+        policy = RoutingPolicy(hedge_delay_s=0.25)
+        assert policy.as_dict()["hedge_delay_s"] == 0.25
