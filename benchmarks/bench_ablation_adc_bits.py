@@ -8,6 +8,8 @@ output error.  Expected: the paper sizing saturates rarely on real data and
 introduces only small error; one bit fewer than that degrades visibly.
 """
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import FAST, ExperimentTable, forms_config_for, train_baseline
@@ -20,7 +22,22 @@ from repro.reram.variation import clone_model
 from repro.runtime import parallel_map, resolve_workers
 
 
-def run_ablation(seed: int = 0, workers: int = None):
+def _run_sizing(case, *, levels, geometry, quant, device, x_int, expected,
+                die_cache):
+    """One ADC sizing over the shared die (module-level: pickles onto the
+    process backend, where each worker re-programs identical bits through
+    its own per-process die cache)."""
+    label, bits = case
+    engine = build_engine(levels, geometry, quant, device,
+                          adc=ADCSpec(bits=bits), activation_bits=8,
+                          die_cache=die_cache)
+    out = engine.matvec_int(x_int)
+    err = float(np.abs(out - expected).sum()
+                / (np.abs(expected).sum() + 1e-12))
+    return label, bits, engine.stats.saturation_fraction, err
+
+
+def run_ablation(seed: int = 0, workers: int = None, backend: str = None):
     baseline = train_baseline("lenet5", "mnist", FAST, seed=seed)
     rows = []
     extras = {}
@@ -52,21 +69,15 @@ def run_ablation(seed: int = 0, workers: int = None):
         expected = levels.T @ x_int
         device = ReRAMDevice(DeviceSpec(), 0.0)
 
-        def run_sizing(case):
-            label, bits = case
-            engine = build_engine(levels, geometry, config.quant_spec(),
-                                  device, adc=ADCSpec(bits=bits),
-                                  activation_bits=8, die_cache=die_cache)
-            out = engine.matvec_int(x_int)
-            err = float(np.abs(out - expected).sum()
-                        / (np.abs(expected).sum() + 1e-12))
-            return label, bits, engine.stats.saturation_fraction, err
-
+        run_sizing = partial(_run_sizing, levels=levels, geometry=geometry,
+                             quant=config.quant_spec(), device=device,
+                             x_int=x_int, expected=expected,
+                             die_cache=die_cache)
         # The two sizings are independent engine runs over one shared die.
         for label, bits, saturation, err in parallel_map(
                 run_sizing, (("paper", paper_adc_bits(fragment)),
                              ("exact", required_adc_bits(fragment, 2))),
-                workers=workers):
+                workers=workers, backend=backend):
             rows.append([fragment, label, bits, saturation * 100.0,
                          err * 100.0])
             extras[(fragment, label)] = {

@@ -21,13 +21,15 @@ from repro.arch.dse import best_energy_efficiency, cell_bits_sweep
 from repro.runtime import resolve_workers
 
 
-def run_sweep(variation_sigma: float = 0.1, workers: int = None):
+def run_sweep(variation_sigma: float = 0.1, workers: int = None,
+              backend: str = None):
     rows = []
     extras = {}
     for rule in ("exact", "paper"):
         for ev in cell_bits_sweep(adc_rule=rule,
                                   variation_sigma=variation_sigma,
-                                  workers=resolve_workers(workers)):
+                                  workers=resolve_workers(workers),
+                                  backend=backend):
             rows.append([
                 rule, ev.point.cell_bits, ev.point.adc_bits,
                 ev.gops_per_w, ev.gops_per_mm2,

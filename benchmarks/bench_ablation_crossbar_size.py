@@ -23,9 +23,10 @@ from repro.runtime import resolve_workers
 SIZES = (64, 128, 256, 512)
 
 
-def run_sweep(seed: int = 0, workers: int = None):
+def run_sweep(seed: int = 0, workers: int = None, backend: str = None):
     results = crossbar_size_sweep(options=SIZES, seed=seed,
-                                  workers=resolve_workers(workers))
+                                  workers=resolve_workers(workers),
+                                  backend=backend)
     rows = []
     for r in results:
         e = r.evaluation

@@ -16,6 +16,8 @@ irrelevant — the mechanism behind the paper's claim really is the cells'
 operating-point shift, not the wiring alone.
 """
 
+from functools import partial
+
 from repro.analysis import ExperimentTable
 from repro.reram.nonideal import (LINEAR_CELL, CellIV, WireModel,
                                   ir_drop_study)
@@ -24,15 +26,20 @@ from repro.runtime import parallel_map, resolve_workers
 GRANULARITIES = [4, 8, 16, 32, 64]
 
 
-def run_study(seed: int = 0, workers: int = None):
+def _run_cell_study(cell, *, wire, seed):
+    """One cell model's IR-drop study (module-level: pickles onto the
+    process backend)."""
+    return ir_drop_study(rows=64, cols=8, active_row_options=GRANULARITIES,
+                         wire=wire, cell_iv=cell, seed=seed)
+
+
+def run_study(seed: int = 0, workers: int = None, backend: str = None):
     wire = WireModel(r_wire_ohm=2.5)
     # The nonlinear and linear-control studies are independent solves.
     nonlinear, linear = parallel_map(
-        lambda cell: ir_drop_study(rows=64, cols=8,
-                                   active_row_options=GRANULARITIES,
-                                   wire=wire, cell_iv=cell, seed=seed),
+        partial(_run_cell_study, wire=wire, seed=seed),
         (CellIV(nonlinearity=2.0), LINEAR_CELL),
-        workers=resolve_workers(workers))
+        workers=resolve_workers(workers), backend=backend)
     rows = []
     for nl, li in zip(nonlinear, linear):
         rows.append([nl.active_rows, nl.relative_error * 100.0,

@@ -52,13 +52,19 @@ def main(argv=None) -> int:
                              "(completes well under 60 s)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="override timing repeats (default 3 smoke / 7 full)")
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default=None,
+                        help="repro.runtime backend of the multi-worker "
+                             "benches (default: FORMS_BACKEND or thread); "
+                             "recorded in the payload's host metadata")
     parser.add_argument("-o", "--output", type=pathlib.Path,
                         default=REPO_ROOT / "BENCH_engine.json",
                         help="output JSON path (default: BENCH_engine.json "
                              "at the repo root)")
     args = parser.parse_args(argv)
 
-    payload = run_suite(smoke=args.smoke, repeats=args.repeats)
+    payload = run_suite(smoke=args.smoke, repeats=args.repeats,
+                        backend=args.backend)
     write_payload(args.output, payload)
     print(format_summary(payload))
     print(f"[recorded to {args.output}]")

@@ -19,10 +19,15 @@ would:
 5. Every wire error code of ``repro.serving.ERROR_CODES`` appears
    backticked in the corpus — the error reference of ``docs/serving.md``
    cannot silently trail the protocol.
+6. Every runtime execution backend of ``repro.runtime.BACKENDS`` appears
+   backticked in the corpus, along with the ``FORMS_BACKEND`` override —
+   adding an execution tier without documenting when it wins fails the
+   gate.
 
-Rules 3-5 introspect the real parser (``repro.cli.build_parser``) and
-the real wire contract (``repro.serving.http.ERROR_CODES``), so the
-gate tracks the code by construction.  Run by ``scripts/checks.sh``.
+Rules 3-6 introspect the real parser (``repro.cli.build_parser``), the
+real wire contract (``repro.serving.http.ERROR_CODES``) and the real
+executor surface (``repro.runtime.BACKENDS``), so the gate tracks the
+code by construction.  Run by ``scripts/checks.sh``.
 """
 
 import pathlib
@@ -129,12 +134,28 @@ def check_error_codes(failures: list) -> int:
     return len(ERROR_CODES)
 
 
+def check_backends(failures: list) -> int:
+    """Rule 6: every execution backend (and its env override) is documented."""
+    from repro.runtime import BACKEND_ENV, BACKENDS
+    corpus = docs_corpus()
+    for backend in BACKENDS:
+        if f"`{backend}`" not in corpus:
+            failures.append(f"docs corpus: runtime backend `{backend}` is "
+                            "undocumented (docs/architecture.md runtime "
+                            "section)")
+    if BACKEND_ENV not in corpus:
+        failures.append(f"docs corpus: the {BACKEND_ENV} environment "
+                        "override is undocumented")
+    return len(BACKENDS)
+
+
 def main() -> int:
     failures: list = []
     n_packages = check_packages(failures)
     n_docs = check_docs_linked(failures)
     subcommands, serve_flags = check_cli_coverage(failures)
     n_codes = check_error_codes(failures)
+    n_backends = check_backends(failures)
     if failures:
         for failure in failures:
             print(f"ERROR: {failure}", file=sys.stderr)
@@ -142,7 +163,8 @@ def main() -> int:
     print(f"docs check: {len(REQUIRED_DOCS)} docs cover {n_packages} "
           f"packages, {n_docs} docs page(s) linked from README, "
           f"{len(subcommands)} subcommands, {len(serve_flags)} serve "
-          f"flags and {n_codes} wire error codes documented")
+          f"flags, {n_codes} wire error codes and {n_backends} runtime "
+          "backends documented")
     return 0
 
 

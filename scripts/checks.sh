@@ -10,6 +10,14 @@
 #    throwaway path and exits non-zero if the headline micro-benchmark
 #    (mvm_forms_16bit_128pos) falls below its 5x speedup floor, so a perf
 #    regression fails the check set exactly like a correctness regression.
+#    Runs twice: once on the default thread backend, once with
+#    `--backend process` — the multi-worker benches then fan tiles out to
+#    spawn-context worker processes over shared-memory planes, so the
+#    whole process tier (spawn, ship, merge, unlink) gets an end-to-end
+#    smoke on every push.  (The un-`slow` half of
+#    tests/runtime/test_backend_equivalence.py already ran the
+#    serial/thread/process differential matrix at workers 1 and 2 in
+#    step 1.)
 # 3. `bench_serving.py --smoke` — two open-loop Poisson arrival-rate
 #    points through the batching inference server, each asserting
 #    bit-identity of every served output against the serial single-image
@@ -53,6 +61,11 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q -m "not slow"
 echo "==> perf gate: run_perf_suite.py --smoke"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/run_perf_suite.py \
     --smoke -o "${PERF_GATE_OUTPUT:-/tmp/forms_perf_gate.json}"
+
+echo "==> process-backend smoke: run_perf_suite.py --smoke --backend process"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/run_perf_suite.py \
+    --smoke --backend process \
+    -o "${PERF_GATE_PROCESS_OUTPUT:-/tmp/forms_perf_gate_process.json}"
 
 echo "==> serving smoke: bench_serving.py --smoke"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_serving.py \

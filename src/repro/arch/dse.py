@@ -254,40 +254,48 @@ def evaluate_design(point: DesignPoint, variation_sigma: float = 0.1,
 # ---------------------------------------------------------------------------
 
 def sweep(points: Iterable[DesignPoint], variation_sigma: float = 0.1,
-          workers: Optional[int] = None) -> List[DesignEvaluation]:
+          workers: Optional[int] = None,
+          backend: Optional[str] = None) -> List[DesignEvaluation]:
     """Evaluate design points, fanned out across ``workers`` when > 1.
 
     Points are independent analytic roll-ups, so the fan-out is trivially
-    safe; results come back in point order regardless of worker count.
+    safe; results come back in point order regardless of worker count (or
+    ``backend`` — the evaluator is a module-level partial, so the grid
+    runs unchanged on the process tier).
     """
+    from functools import partial
+
     from ..runtime import parallel_map
     if workers is None or workers <= 1:
         return [evaluate_design(p, variation_sigma) for p in points]
-    return parallel_map(lambda p: evaluate_design(p, variation_sigma),
-                        points, workers=workers)
+    return parallel_map(partial(evaluate_design,
+                                variation_sigma=variation_sigma),
+                        points, workers=workers, backend=backend)
 
 
 def cell_bits_sweep(fragment_size: int = 8,
                     options: Sequence[int] = (1, 2, 4, 8),
                     adc_rule: str = "exact",
                     variation_sigma: float = 0.1,
-                    workers: Optional[int] = None) -> List[DesignEvaluation]:
+                    workers: Optional[int] = None,
+                    backend: Optional[str] = None) -> List[DesignEvaluation]:
     """The Sec. IV-C cell-density sweep at a fixed fragment size."""
     points = [DesignPoint(fragment_size=fragment_size, cell_bits=c,
                           weight_bits=max(8, c), adc_rule=adc_rule)
               for c in options]
-    return sweep(points, variation_sigma, workers=workers)
+    return sweep(points, variation_sigma, workers=workers, backend=backend)
 
 
 def fragment_sweep(cell_bits: int = 2,
                    options: Sequence[int] = (4, 8, 16, 32),
                    adc_rule: str = "exact",
                    variation_sigma: float = 0.1,
-                   workers: Optional[int] = None) -> List[DesignEvaluation]:
+                   workers: Optional[int] = None,
+                   backend: Optional[str] = None) -> List[DesignEvaluation]:
     """Fragment-size sweep at fixed cell density."""
     points = [DesignPoint(fragment_size=m, cell_bits=cell_bits,
                           adc_rule=adc_rule) for m in options]
-    return sweep(points, variation_sigma, workers=workers)
+    return sweep(points, variation_sigma, workers=workers, backend=backend)
 
 
 @dataclass
@@ -310,11 +318,28 @@ class CrossbarSizeEvaluation:
         return self.analog_error <= self.MAX_ANALOG_ERROR
 
 
+def _evaluate_crossbar_size(size: int, fragment_size: int, cell_bits: int,
+                            adc_rule: str, wire, seed: int
+                            ) -> CrossbarSizeEvaluation:
+    """One size point of :func:`crossbar_size_sweep` (module-level so the
+    sweep's partial pickles onto the process backend)."""
+    from ..reram.nonideal import CellIV, fragment_read_error
+
+    point = DesignPoint(fragment_size=fragment_size, cell_bits=cell_bits,
+                        adc_rule=adc_rule, crossbar_rows=size,
+                        crossbar_cols=size)
+    error = fragment_read_error(size, fragment_size, wire=wire,
+                                cell_iv=CellIV(), seed=seed)
+    return CrossbarSizeEvaluation(
+        evaluation=evaluate_design(point), analog_error=error)
+
+
 def crossbar_size_sweep(options: Sequence[int] = (64, 128, 256, 512),
                         fragment_size: int = 8, cell_bits: int = 2,
                         adc_rule: str = "paper",
                         wire=None, seed: int = 0,
-                        workers: Optional[int] = None
+                        workers: Optional[int] = None,
+                        backend: Optional[str] = None
                         ) -> List[CrossbarSizeEvaluation]:
     """The "best size of crossbar arrays" exploration (Sec. IV-C).
 
@@ -326,23 +351,19 @@ def crossbar_size_sweep(options: Sequence[int] = (64, 128, 256, 512),
     Sizes are independent (the analog-error solve dominates at 512 rows),
     so they fan out across ``workers`` when > 1.
     """
-    from ..reram.nonideal import CellIV, WireModel, fragment_read_error
+    from functools import partial
+
+    from ..reram.nonideal import WireModel
     from ..runtime import parallel_map
 
     wire = wire or WireModel()
-
-    def evaluate_size(size: int) -> CrossbarSizeEvaluation:
-        point = DesignPoint(fragment_size=fragment_size, cell_bits=cell_bits,
-                            adc_rule=adc_rule, crossbar_rows=size,
-                            crossbar_cols=size)
-        error = fragment_read_error(size, fragment_size, wire=wire,
-                                    cell_iv=CellIV(), seed=seed)
-        return CrossbarSizeEvaluation(
-            evaluation=evaluate_design(point), analog_error=error)
-
+    evaluate_size = partial(_evaluate_crossbar_size,
+                            fragment_size=fragment_size, cell_bits=cell_bits,
+                            adc_rule=adc_rule, wire=wire, seed=seed)
     if workers is None or workers <= 1:
         return [evaluate_size(size) for size in options]
-    return parallel_map(evaluate_size, options, workers=workers)
+    return parallel_map(evaluate_size, options, workers=workers,
+                        backend=backend)
 
 
 def best_energy_efficiency(evaluations: Sequence[DesignEvaluation],

@@ -155,6 +155,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None,
                        help="worker-pool size (serve only; default: "
                             "FORMS_WORKERS or CPU count)")
+    serve.add_argument("--backend", default=None,
+                       choices=("thread", "process"),
+                       help="repro.runtime execution backend for the "
+                            "serving pool: 'thread' shares one in-process "
+                            "pool, 'process' fans tiles out to worker "
+                            "processes over shared-memory planes — served "
+                            "bits are identical either way (serve only; "
+                            "default: FORMS_BACKEND or thread; not "
+                            "compatible with --chaos, whose die guards "
+                            "live in-process)")
     serve.add_argument("--models", type=int, default=1, choices=(1, 2),
                        help="number of tenant models: 2 selects the "
                             "multi-tenant SLA demo (serve only)")
@@ -218,6 +228,16 @@ def run(argv=None) -> int:
                 print("ERROR: --cluster needs at least one replica",
                       file=sys.stderr)
                 return 2
+        if args.backend == "process" and args.chaos:
+            print("ERROR: --chaos needs the thread backend: its die guards "
+                  "and fault injection instrument live engine objects, "
+                  "which process workers never see", file=sys.stderr)
+            return 2
+        if args.backend == "process" and args.http is not None:
+            print("ERROR: --http serves from the thread backend (the "
+                  "cluster already isolates replicas as subprocesses); "
+                  "drop --backend process", file=sys.stderr)
+            return 2
         if args.chaos:
             if args.http is not None:
                 print("ERROR: --chaos is an in-process demo; drop --http",
@@ -243,13 +263,13 @@ def run(argv=None) -> int:
                         and args.deadline_ms > 0 else None)
             run_multitenant_demo(requests=args.requests, rate_rps=args.rate,
                                  deadline_ms=deadline, workers=args.workers,
-                                 seed=args.seed)
+                                 backend=args.backend, seed=args.seed)
             return 0
         from .serving.demo import run_demo
 
         run_demo(requests=args.requests, rate_rps=args.rate,
                  max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-                 workers=args.workers, seed=args.seed)
+                 workers=args.workers, backend=args.backend, seed=args.seed)
         return 0
     if args.experiment == "report":
         from .analysis.report import generate_report

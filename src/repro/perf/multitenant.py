@@ -107,7 +107,8 @@ def drive_mixed_traffic(rate_rps: float, requests: int, *,
                         deadline_ms: Optional[float] = 50.0,
                         bulk_shed_after_ms: Optional[float] = 150.0,
                         max_queue_depth: Optional[int] = None,
-                        workers: Optional[int] = None, seed: int = 0,
+                        workers: Optional[int] = None,
+                        backend: Optional[str] = None, seed: int = 0,
                         activation_bits: int = 12, die_cache=None,
                         read_noise=None) -> Dict:
     """Serve one mixed-class Poisson arrival process and verify numerics.
@@ -147,7 +148,8 @@ def drive_mixed_traffic(rate_rps: float, requests: int, *,
         build_kwargs.update(engine_cls=NonidealEngine,
                             read_noise=read_noise)
 
-    registry = ModelRegistry(workers=workers, die_cache=die_cache)
+    registry = ModelRegistry(workers=workers, backend=backend,
+                             die_cache=die_cache)
     for name, model in models.items():
         registry.register(name, model, config, device, **build_kwargs)
     policy = mixed_policy(bulk_shed_after_ms=bulk_shed_after_ms)

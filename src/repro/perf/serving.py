@@ -54,6 +54,7 @@ def poisson_arrival_offsets(rng: np.random.Generator, rate_rps: float,
 
 def drive_poisson(rate_rps: float, requests: int, *, max_batch: int = 8,
                   max_wait_ms: float = 2.0, workers: Optional[int] = None,
+                  backend: Optional[str] = None,
                   seed: int = 0, activation_bits: int = 12,
                   die_cache=None) -> Dict:
     """Serve one open-loop Poisson arrival process and verify bit-identity.
@@ -89,7 +90,7 @@ def drive_poisson(rate_rps: float, requests: int, *, max_batch: int = 8,
     with InferenceServer.from_model(
             model, config, device, adc=adc,
             activation_bits=activation_bits, max_batch=max_batch,
-            max_wait_s=max_wait_ms / 1e3, workers=workers,
+            max_wait_s=max_wait_ms / 1e3, workers=workers, backend=backend,
             die_cache=die_cache) as server:
         start = time.monotonic()
         futures = []

@@ -311,16 +311,17 @@ def _post_relu_network(seed: int = 0):
 
 
 def bench_insitu_network(workers: int, repeats: int = 3,
-                         tile_size: int = 2) -> Dict:
+                         tile_size: int = 2,
+                         backend: Optional[str] = None) -> Dict:
     """Whole-network inference: tiled runtime at N workers vs serial dense.
 
     The reference is the pre-runtime production path — one serial
     full-batch forward through dense-kernel engines.  The fused side runs
     the same network on sparse-scheduler engines with batch tiles fanned
-    out over a ``repro.runtime`` worker pool.  Outputs are asserted
-    bit-identical to a serial dense run of the identical tiling before
-    timing (the tiling, not the worker count, is the numerical
-    configuration).
+    out over a ``repro.runtime`` worker pool on ``backend``.  Outputs are
+    asserted bit-identical to a serial dense run of the identical tiling
+    before timing (the tiling — not the worker count or backend — is the
+    numerical configuration).
     """
     from ..reram import paper_adc_bits
     from ..reram.inference import build_insitu_network
@@ -337,7 +338,7 @@ def bench_insitu_network(workers: int, repeats: int = 3,
     for engine in dense_engines.values():
         engine.sparse_enabled = False
 
-    with WorkerPool(workers) as pool:
+    with WorkerPool(workers, backend=backend) as pool:
         fused_out = infer_tiled(sparse_net, images, pool=pool,
                                 tile_size=tile_size)
         serial_same_tiling = run_network_serial(dense_net, images,
@@ -351,7 +352,7 @@ def bench_insitu_network(workers: int, repeats: int = 3,
                                 tile_size=tile_size),
             lambda: dense_net(Tensor(images)).data, repeats,
             meta={"workers": workers, "tile_size": tile_size,
-                  "batch": int(images.shape[0]),
+                  "backend": pool.backend, "batch": int(images.shape[0]),
                   "layers": len(sparse_engines),
                   "adc_bits": adc.bits,
                   "activation_bits": _ACTIVATION_BITS})
@@ -428,7 +429,7 @@ def bench_im2col(repeats: int = 3) -> Dict:
             "meta": {"input": list(x.shape), "kernel": 5, "padding": 2}}
 
 
-def _suite_plan(smoke: bool, repeats: int):
+def _suite_plan(smoke: bool, repeats: int, backend: Optional[str] = None):
     """The single source of truth: ordered (name, runner) pairs."""
     plan = [(f"mvm_{scheme}_16bit_{_POSITIONS}pos",
              lambda scheme=scheme: bench_mvm(scheme, repeats=repeats))
@@ -440,9 +441,9 @@ def _suite_plan(smoke: bool, repeats: int):
         (f"mvm_forms_16bit_{_POSITIONS}pos_sparse",
          lambda: bench_mvm_sparse(repeats=repeats)),
         ("insitu_network_batch8_w1",
-         lambda: bench_insitu_network(1, repeats=repeats)),
+         lambda: bench_insitu_network(1, repeats=repeats, backend=backend)),
         ("insitu_network_batch8_w4",
-         lambda: bench_insitu_network(4, repeats=repeats)),
+         lambda: bench_insitu_network(4, repeats=repeats, backend=backend)),
         ("signed_matvec_mixed", lambda: bench_signed_matvec(repeats=repeats)),
         ("die_cache_rebuild", lambda: bench_die_cache(repeats=repeats)),
     ]
@@ -467,12 +468,21 @@ def default_suite(smoke: bool = True) -> List[str]:
     return [name for name, _ in _suite_plan(smoke, repeats=1)]
 
 
-def run_suite(smoke: bool = True, repeats: Optional[int] = None) -> Dict:
-    """Run the suite and return the JSON payload (see benchmarks/README.md)."""
+def run_suite(smoke: bool = True, repeats: Optional[int] = None,
+              backend: Optional[str] = None) -> Dict:
+    """Run the suite and return the JSON payload (see benchmarks/README.md).
+
+    ``backend`` selects the ``repro.runtime`` execution tier of the
+    multi-worker benches (and is recorded in the host metadata, so a
+    payload always says which tier produced its worker-scaling points).
+    """
+    from ..runtime import resolve_backend
+
     if repeats is None:
         repeats = 3 if smoke else 7
+    backend = resolve_backend(backend)
     records: List[Dict] = []
-    for name, runner in _suite_plan(smoke, repeats):
+    for name, runner in _suite_plan(smoke, repeats, backend=backend):
         record = runner()
         if record["name"] != name:
             raise AssertionError(
@@ -480,17 +490,23 @@ def run_suite(smoke: bool = True, repeats: Optional[int] = None) -> Dict:
         records.append(record)
 
     headline = next(r for r in records if r["name"] == HEADLINE_BENCH)
+    host = {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "fused_kernel_max_elements": fused_kernel_max_elements(),
+        "backend": backend,
+    }
+    if (os.cpu_count() or 1) <= 1:
+        host["parallelism_note"] = (
+            "single-core host: the multi-worker points (w4 vs w1) measure "
+            "dispatch overhead, not scaling — w4 >= w1 is not expected here")
     return {
         "schema": BENCH_SCHEMA,
         "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "mode": "smoke" if smoke else "full",
-        "host": {
-            "python": sys.version.split()[0],
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-            "fused_kernel_max_elements": fused_kernel_max_elements(),
-        },
+        "host": host,
         "records": records,
         "criteria": {
             "headline_bench": HEADLINE_BENCH,

@@ -261,6 +261,17 @@ class EngineStats:
             "pairs_skipped": self.pairs_skipped,
         }
 
+    # Stats cross the process-backend boundary by value; the lock is a
+    # per-process concern and must never be pickled (spawn-safe contract).
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 _STATS_SCOPES = threading.local()
 
@@ -391,6 +402,17 @@ class DieCache:
         with self._lock:
             self._planes.clear()
 
+    # A cache never crosses the process boundary by content: workers get a
+    # *fresh, empty* per-process cache (configuration only — no lock, no
+    # planes, no device references).  Deterministic devices re-program
+    # bit-identical dies from ``SeedSequence([seed, codes digest])``, so
+    # sharing bits never required sharing state.
+    def __getstate__(self):
+        return {"maxsize": self.maxsize}
+
+    def __setstate__(self, state):
+        self.__init__(maxsize=state.get("maxsize", 64))
+
 
 class InSituLayerEngine:
     """Computes ``levels.T @ x`` for one mapped layer via crossbar simulation.
@@ -493,6 +515,9 @@ class InSituLayerEngine:
         #: sentinel sums before computing and raises
         #: :class:`repro.reram.faults.DieFaultDetected` on a mismatch.
         self.guard = None
+        #: bumped by :meth:`swap_planes`; the process backend's ship memo
+        #: keys on it, so a shipped copy of this engine is never stale.
+        self._swap_epoch = 0
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -535,7 +560,36 @@ class InSituLayerEngine:
                 raise KeyError(f"unknown conductance plane {plane!r}; engine "
                                f"has {sorted(self.conductance)}")
             self.conductance[plane] = cond
+        self._swap_epoch += 1
         self.reset_plane_caches()
+
+    # ------------------------------------------------------------------
+    # Process-backend transport (spawn-safe pickling)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """What ships to a process worker: the die, not the machinery.
+
+        Locks are never pickled (recreated fresh on arrival), an attached
+        worker pool is a parent-process object and stays behind, and so
+        does the checksum guard — fault detection audits the parent's
+        dispatch path, and the serving layer keeps fault-injected models
+        on the thread backend.  The lazily-built code-derived tier
+        constants are dropped too: workers rebuild them on first dispatch
+        from the shipped codes, which keeps the payload to exactly the
+        state that determines the bits.
+        """
+        state = self.__dict__.copy()
+        state["_init_lock"] = None
+        state["pool"] = None
+        state["guard"] = None
+        state["_exact_tier"] = None
+        state["_codes_float"] = None
+        state["_eff_stack"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._init_lock = threading.Lock()
 
     def _exact_tier_constants(self) -> Tuple[int, np.ndarray, np.ndarray, bool]:
         """(plane headroom, effective stacks, matmul-exactness) — cached.
@@ -803,6 +857,11 @@ class InSituLayerEngine:
 
         if pool is None:
             pool = self.pool
+        if pool is not None and not getattr(pool, "supports_closures", True):
+            # In-layer chunk fan-out closes over the call's local arrays,
+            # so it cannot ride a process pool; tile-level fan-out is the
+            # process backend's unit of work and this stays inline there.
+            pool = None
         if pool is not None and getattr(pool, "workers", 1) > 1 and len(tasks) > 1:
             return pool.map(wrapped, tasks)
         return [wrapped(task) for task in tasks]

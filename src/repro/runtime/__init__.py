@@ -7,20 +7,39 @@ chunks within one MVM, independent batch tiles across a whole-network
 forward pass, and independent sweep points across DSE/ablation grids all
 fan out over one :class:`WorkerPool`.
 
-Determinism is a hard contract: every fan-out path produces bit-identical
-results and identical :class:`~repro.reram.engine.EngineStats` at any
-worker count (including 1 and the no-pool serial path).  Engines keep
-per-worker stats locals merged under a lock at join, and
-:class:`~repro.reram.nonideal.ReadNoise` draws per-job keyed substreams,
-so even noisy inference is worker-count invariant.
+The pool runs on one of two interchangeable backends: ``thread`` (the
+default — NumPy kernels release the GIL and engine state is shared for
+free) or ``process`` — spawn-safe worker processes with the large arrays
+(programmed conductance planes, activation batches) passed through a
+:class:`SharedPlanePool` of ``multiprocessing.shared_memory`` segments
+instead of per-task pickles, for the parts of the stack the GIL does
+serialize.  ``serial`` names the explicit inline tier.
+
+Determinism is a hard contract on *every* backend: every fan-out path
+produces bit-identical results and identical
+:class:`~repro.reram.engine.EngineStats` at any worker count (including 1
+and the no-pool serial path).  Engines keep per-worker stats locals
+merged under a lock at join (per-process deltas merged at collect on the
+process backend), and :class:`~repro.reram.nonideal.ReadNoise` draws
+per-job keyed substreams, so even noisy inference is worker-count — and
+backend — invariant.  ``tests/runtime/test_backend_equivalence.py`` is
+the differential proof.
 """
 
-from .executor import WorkerPool, parallel_map, resolve_workers
-from .network import (attach_pool, detach_pool, evaluate_tiled, infer_tiled,
-                      infer_tiles, iter_tiles, run_network_serial)
+from .executor import (BACKEND_ENV, BACKENDS, WORKERS_ENV, WorkerPool,
+                       parallel_map, resolve_backend, resolve_workers)
+from .network import (attach_pool, collect_engines, detach_pool,
+                      evaluate_tiled, infer_tiled, infer_tiles, iter_tiles,
+                      run_network_serial)
+from .process import in_worker_process, process_backend_available
+from .shared import (SharedPlaneHandle, SharedPlanePool,
+                     shared_memory_available)
 
 __all__ = [
-    "WorkerPool", "parallel_map", "resolve_workers",
-    "attach_pool", "detach_pool", "evaluate_tiled", "infer_tiled",
-    "infer_tiles", "iter_tiles", "run_network_serial",
+    "BACKENDS", "BACKEND_ENV", "WORKERS_ENV",
+    "WorkerPool", "parallel_map", "resolve_backend", "resolve_workers",
+    "attach_pool", "collect_engines", "detach_pool", "evaluate_tiled",
+    "infer_tiled", "infer_tiles", "iter_tiles", "run_network_serial",
+    "in_worker_process", "process_backend_available",
+    "SharedPlaneHandle", "SharedPlanePool", "shared_memory_available",
 ]

@@ -50,19 +50,38 @@ the SLA scheduler interleaves them — can never change any tile's bits.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+import functools
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn.tensor import Tensor
 from ..reram import EngineStats, StatsScope
-from .executor import WorkerPool
+from .executor import _WORKER_THREAD_PREFIX, WorkerPool
 
 
 def _engine_list(engines) -> List:
     if hasattr(engines, "values"):
         return list(engines.values())
     return list(engines)
+
+
+def collect_engines(model) -> Dict[str, object]:
+    """Every crossbar engine reachable from ``model``, keyed by module name.
+
+    The same traversal (and the same keys) as
+    :func:`repro.reram.inference.build_insitu_network`'s engines dict —
+    the process backend uses it to merge worker-side per-engine stats
+    back into the caller's engine objects.
+    """
+    engines: Dict[str, object] = {}
+    if hasattr(model, "named_modules"):
+        for name, module in model.named_modules():
+            engine = getattr(module, "engine", None)
+            if engine is not None:
+                engines[name] = engine
+    return engines
 
 
 def attach_pool(engines, pool: Optional[WorkerPool]) -> None:
@@ -93,10 +112,69 @@ def iter_tiles(batch: int, tile_size: int) -> List[slice]:
 _tiles = iter_tiles
 
 
+def _normalize_tile(tile):
+    if isinstance(tile, (int, np.integer)):
+        return slice(int(tile), int(tile) + 1)
+    return tile
+
+
+def _process_tile_task(task, *, shipment):
+    """Run one tile in a process worker (module-level: must pickle).
+
+    The model and its engines arrive via the shipment (deserialized once
+    per worker); the images array rides the plane-aware pickle, so every
+    task attaches the same shared-memory batch.  Returns the tile output
+    plus two stats views: per-engine counter deltas (exact — a worker
+    runs one task at a time on one thread) for the parent's merge, and
+    the scope aggregate for ``collect_stats`` callers.
+    """
+    from .process import load_shipment
+
+    tile, images = task
+    model, _engines = load_shipment(shipment)
+    engines = collect_engines(model)
+    before = {name: engine.stats.as_dict() for name, engine in engines.items()}
+    with StatsScope() as scope:
+        out = model(Tensor(images[_normalize_tile(tile)])).data
+    deltas = {}
+    for name, engine in engines.items():
+        after = engine.stats.as_dict()
+        deltas[name] = {key: after[key] - before[name][key] for key in after}
+    return out, deltas, scope.stats.as_dict()
+
+
+def _infer_tiles_process(model, images, tiles, pool, collect_stats):
+    """The process-backend tile fan-out: ship once, run tiles, merge stats.
+
+    The deterministic contract is preserved structurally: ``pool.map`` is
+    ordered and eager-error on every backend, each tile's bits depend only
+    on the shipped planes and the shared images (both byte-exact copies of
+    the caller's arrays), and the per-engine counter deltas merge into the
+    caller's engines in tile order — integer merges commute, so the totals
+    equal the serial run's no matter how tiles landed on workers.
+    """
+    engines = collect_engines(model)
+    version = tuple(getattr(engine, "_swap_epoch", 0)
+                    for engine in engines.values())
+    shipment = pool.ship((model, engines), version=version)
+    run = functools.partial(_process_tile_task, shipment=shipment)
+    raw = pool.map(run, [(tile, images) for tile in tiles])
+    results = []
+    for out, deltas, scope_counters in raw:
+        for name, counters in deltas.items():
+            engines[name].stats.merge(EngineStats(**counters))
+        if collect_stats:
+            results.append((out, EngineStats(**scope_counters)))
+        else:
+            results.append(out)
+    return results
+
+
 def infer_tiles(model, images: np.ndarray, tiles: Sequence,
                 *, workers: Optional[int] = None,
                 pool: Optional[WorkerPool] = None,
-                collect_stats: bool = False):
+                collect_stats: bool = False,
+                backend: Optional[str] = None):
     """Run ``model`` over explicit batch tiles fanned out on workers.
 
     The tile-shape-agnostic entry point: ``tiles`` is any sequence of
@@ -114,7 +192,12 @@ def infer_tiles(model, images: np.ndarray, tiles: Sequence,
     tile runs entirely on one worker thread (see the module docstring).
 
     ``pool`` (if given) is borrowed and left open; otherwise a pool of
-    ``workers`` is created for the call.
+    ``workers`` on ``backend`` is created for the call.  On a
+    process-backend pool the model ships to the workers once (planes in
+    shared memory) and worker-side per-engine stats merge back into the
+    caller's engines — outputs and merged stats are bit-identical to the
+    thread and serial schedules (``tests/runtime/
+    test_backend_equivalence.py``).
     """
     images = np.asarray(images)
     if images.ndim < 1 or images.shape[0] == 0:
@@ -124,39 +207,46 @@ def infer_tiles(model, images: np.ndarray, tiles: Sequence,
         raise ValueError("tiles must name at least one tile")
 
     def run_tile(tile) -> np.ndarray:
-        if isinstance(tile, (int, np.integer)):
-            tile = slice(tile, tile + 1)
-        return model(Tensor(images[tile])).data
+        return model(Tensor(images[_normalize_tile(tile)])).data
 
     def run_tile_scoped(tile) -> Tuple[np.ndarray, EngineStats]:
         with StatsScope() as scope:
             out = run_tile(tile)
         return out, scope.stats
 
-    run = run_tile_scoped if collect_stats else run_tile
+    def dispatch(active_pool):
+        if (getattr(active_pool, "backend", "thread") == "process"
+                and active_pool.workers > 1 and len(tiles) > 1
+                and not threading.current_thread().name.startswith(
+                    _WORKER_THREAD_PREFIX)):
+            return _infer_tiles_process(model, images, tiles, active_pool,
+                                        collect_stats)
+        run = run_tile_scoped if collect_stats else run_tile
+        return active_pool.map(run, tiles)
+
     if pool is not None:
-        return pool.map(run, tiles)
-    with WorkerPool(workers) as owned:
-        return owned.map(run, tiles)
+        return dispatch(pool)
+    with WorkerPool(workers, backend=backend) as owned:
+        return dispatch(owned)
 
 
 def infer_tiled(model, images: np.ndarray, *, workers: Optional[int] = None,
-                tile_size: int = 1, pool: Optional[WorkerPool] = None
-                ) -> np.ndarray:
+                tile_size: int = 1, pool: Optional[WorkerPool] = None,
+                backend: Optional[str] = None) -> np.ndarray:
     """Run ``model`` over ``images`` with batch tiles fanned out on workers.
 
     ``images`` is the usual ``(batch, ...)`` input array; returns the
     concatenated ``(batch, ...)`` output array.  ``pool`` (if given) is
-    borrowed and left open; otherwise a pool of ``workers`` is created for
-    the call.  ``workers=1`` (or a 1-image batch) is the serial baseline —
-    the identical code path minus the threads.
+    borrowed and left open; otherwise a pool of ``workers`` on ``backend``
+    is created for the call.  ``workers=1`` (or a 1-image batch) is the
+    serial baseline — the identical code path minus the workers.
     """
     images = np.asarray(images)
     if images.ndim < 1 or images.shape[0] == 0:
         raise ValueError("images must carry at least one batch entry")
     outputs = infer_tiles(model, images,
                           iter_tiles(images.shape[0], tile_size),
-                          workers=workers, pool=pool)
+                          workers=workers, pool=pool, backend=backend)
     return np.concatenate(outputs, axis=0)
 
 
@@ -170,7 +260,8 @@ def run_network_serial(model, images: np.ndarray, *,
 
 
 def evaluate_tiled(model, dataset, *, workers: Optional[int] = None,
-                   tile_size: int = 8) -> float:
+                   tile_size: int = 8,
+                   backend: Optional[str] = None) -> float:
     """Classification accuracy of ``model`` on ``dataset`` via tiled fan-out.
 
     ``dataset`` follows the ``repro.nn.data`` convention (``images`` /
@@ -178,6 +269,6 @@ def evaluate_tiled(model, dataset, *, workers: Optional[int] = None,
     test set, all workers busy.
     """
     logits = infer_tiled(model, dataset.images, workers=workers,
-                         tile_size=tile_size)
+                         tile_size=tile_size, backend=backend)
     predictions = np.argmax(logits, axis=1)
     return float((predictions == dataset.labels).mean())

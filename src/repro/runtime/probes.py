@@ -1,0 +1,99 @@
+"""Importable, picklable pool tasks for the cross-backend contract tests.
+
+The process backend can only run tasks it can pickle by reference, which
+rules out the closures test code would naturally write inline.  This
+module is the stable home for the small module-level functions the
+differential suite (``tests/runtime/test_process_backend.py`` and
+friends) fans out — and doubles as the template for writing process-safe
+sweep evaluators: take the item as the first argument, bind the rest
+with :func:`functools.partial`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from .executor import parallel_map
+
+
+def square(value):
+    return value * value
+
+
+def pid_square(value):
+    """The worker-placement probe: which process computed this item?"""
+    return os.getpid(), value * value
+
+
+def sleep_echo(value, delay: float = 0.0):
+    """Bind ``delay`` with partial to hold workers busy (placement tests)."""
+    time.sleep(delay)
+    return value
+
+
+def pid_sleep_echo(value, delay: float = 0.0):
+    """Like :func:`sleep_echo` but tagged with the worker pid — long enough
+    delays force the executor to spread items over every worker process."""
+    time.sleep(delay)
+    return os.getpid(), value
+
+
+def fail_on(value, trigger):
+    """Raise on the trigger item — the eager-error propagation probe."""
+    if value == trigger:
+        raise ValueError(f"probe failure on {value!r}")
+    return value
+
+
+def interrupt_on(value, trigger):
+    """Raise KeyboardInterrupt on the trigger item (Ctrl-C propagation)."""
+    if value == trigger:
+        raise KeyboardInterrupt
+    return value
+
+
+def nested_square_map(value):
+    """Issue a nested process-backend map from inside a worker.
+
+    The re-entrancy contract says this must run inline in the issuing
+    worker — no grandchild processes, no deadlock on pool capacity.
+    Returns ``(worker pid, nested results)`` so the test can prove the
+    nested map never left the worker.
+    """
+    nested = parallel_map(square, [value, value + 1, value + 2],
+                          workers=4, backend="process")
+    return os.getpid(), nested
+
+
+def worker_cache_info(_value):
+    """Identity of this process's die cache: ``(pid, id, entries)``."""
+    from .process import worker_die_cache
+
+    cache = worker_die_cache()
+    return os.getpid(), id(cache), len(cache)
+
+
+def program_via_worker_cache(task):
+    """Program ``codes`` on ``device`` through the per-process die cache.
+
+    Returns ``(pid, plane)`` — the differential test asserts the plane is
+    bit-identical to the parent's, proving per-process caches reproduce
+    the same dies without sharing state (or a pickled lock).
+    """
+    device, codes = task
+    from .process import worker_die_cache
+
+    plane = worker_die_cache().get_or_program(device, codes)
+    return os.getpid(), plane
+
+
+def run_engine_mvm(task):
+    """One engine MVM as a pool task: ``task = (engine, x_int)``.
+
+    The fuzz oracle fans MVM position-tiles out with this on every
+    backend; the engine pickles whole (planes externalized to shared
+    memory above the size threshold) and computes in the worker.
+    """
+    engine, x_int = task
+    return engine.matvec_int(x_int)

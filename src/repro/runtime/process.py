@@ -1,0 +1,175 @@
+"""Process-backend internals: spawn workers, plane-aware pickling, shipping.
+
+The :class:`~repro.runtime.WorkerPool` process backend lives here.  Three
+pieces make it both cheap and bit-exact:
+
+* **Plane-aware pickling** — task payloads run through a pickler whose
+  ``persistent_id`` swaps large ``np.ndarray`` objects for
+  :class:`~repro.runtime.shared.SharedPlaneHandle` tokens registered on
+  the pool's :class:`~repro.runtime.shared.SharedPlanePool`; workers
+  resolve tokens back to zero-copy read-only views.  Small arrays ride
+  inline — a segment costs more than it saves below ~64 KiB.
+* **Shipping** — an object used by *every* task (the in-situ model and its
+  engines) is pickled once, the pickle bytes themselves parked in shared
+  memory, and workers unpickle it once per process into a token-keyed
+  cache.  N tiles cost one deserialization per worker, not N.
+* **Spawn-safe workers** — the executor always uses the ``spawn`` start
+  method, so no lock, RNG state or thread survives into a worker by
+  fork accident; each worker initializes its own flag + per-process
+  :class:`~repro.reram.DieCache` (engines re-program identical bits from
+  their deterministic seeds — a lock is never pickled).
+
+Bit-exactness across the process boundary is inherited, not re-proven:
+engines' outputs depend only on their programmed planes and inputs (both
+shipped byte-exact), and :class:`repro.reram.nonideal.ReadNoise` keys its
+substreams on (base seed, input digest, plane, bit, fragment) — values
+that travel through the pickle unchanged — so noisy runs produce the
+same bits in a worker process as on a thread.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .shared import (SharedPlaneHandle, SharedPlanePool, attach_bytes,
+                     attach_plane)
+
+#: set by the worker initializer; the re-entrancy contract keys off it
+#: (a nested process-backend map inside a worker runs inline, never
+#: double-spawns).
+_IN_WORKER_PROCESS = False
+
+#: lazily-created per-process die cache (one per worker process — and one
+#: in the parent, which is just another process as far as the cache goes).
+_DIE_CACHE = None
+
+#: worker-side cache of shipped objects: token -> deserialized object.
+_SHIPMENTS: Dict[str, Any] = {}
+
+
+def in_worker_process() -> bool:
+    """True inside a process-backend worker (spawned by :func:`_worker_init`)."""
+    return _IN_WORKER_PROCESS
+
+
+def worker_die_cache():
+    """This process's own :class:`~repro.reram.DieCache` (created on demand).
+
+    Process workers never share a cache object with the parent — they
+    share *bits*: deterministic (seeded) devices re-program identical
+    planes from ``SeedSequence([seed, codes digest])``, so a per-process
+    cache reproduces the parent's dies without a pickled lock.
+    """
+    global _DIE_CACHE
+    if _DIE_CACHE is None:
+        from ..reram import DieCache
+        _DIE_CACHE = DieCache()
+    return _DIE_CACHE
+
+
+def _worker_init() -> None:
+    """Runs once in every spawned worker before it takes tasks."""
+    global _IN_WORKER_PROCESS
+    _IN_WORKER_PROCESS = True
+    worker_die_cache()
+
+
+# ----------------------------------------------------------------------
+# Plane-aware pickling
+# ----------------------------------------------------------------------
+class _PlanePickler(pickle.Pickler):
+    """Swaps large arrays for shared-memory handles while pickling."""
+
+    def __init__(self, buffer, pool: Optional[SharedPlanePool]):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pool = pool
+
+    def persistent_id(self, obj):
+        if self._pool is not None and type(obj) is np.ndarray:
+            return self._pool.export(obj)  # None => pickle inline
+        return None
+
+
+class _PlaneUnpickler(pickle.Unpickler):
+    def persistent_load(self, pid):
+        if isinstance(pid, SharedPlaneHandle):
+            return attach_plane(pid)
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def dumps_planes(obj, pool: Optional[SharedPlanePool]) -> bytes:
+    """Pickle ``obj`` with large arrays externalized onto ``pool``."""
+    buffer = io.BytesIO()
+    _PlanePickler(buffer, pool).dump(obj)
+    return buffer.getvalue()
+
+
+def loads_planes(data) -> Any:
+    """Inverse of :func:`dumps_planes`; handles resolve to attached views."""
+    return _PlaneUnpickler(io.BytesIO(data)).load()
+
+
+def invoke_payload(payload: bytes):
+    """The task trampoline submitted to the executor: ``fn(item)``."""
+    fn, item = loads_planes(payload)
+    return fn(item)
+
+
+# ----------------------------------------------------------------------
+# Shipping: pickle-once objects shared by every task
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shipment:
+    """Names a shipped object: worker-cache token + pickle-bytes segment."""
+
+    token: str
+    payload: SharedPlaneHandle
+
+
+def load_shipment(shipment: Shipment) -> Any:
+    """Resolve a shipment in this process (deserialized once, then cached)."""
+    cached = _SHIPMENTS.get(shipment.token)
+    if cached is None:
+        cached = loads_planes(attach_bytes(shipment.payload))
+        _SHIPMENTS[shipment.token] = cached
+    return cached
+
+
+def clear_shipments() -> None:
+    """Drop this process's shipment cache (test hook)."""
+    _SHIPMENTS.clear()
+
+
+# ----------------------------------------------------------------------
+# Executor construction
+# ----------------------------------------------------------------------
+def make_process_executor(workers: int):
+    """A spawn-context :class:`ProcessPoolExecutor` with the worker init.
+
+    ``spawn`` (never ``fork``) is load-bearing: the engines, caches and
+    stats objects all carry :class:`threading.Lock` fields, and a forked
+    child could inherit one mid-acquire.  Spawned workers start from a
+    clean interpreter and receive state only through the plane-aware
+    pickle layer, which recreates every lock fresh.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=multiprocessing.get_context("spawn"),
+        initializer=_worker_init)
+
+
+def process_backend_available() -> Tuple[bool, str]:
+    """Whether ``backend="process"`` can run here (else: reason to fall back)."""
+    from .shared import shared_memory_available
+
+    if in_worker_process():
+        return False, "already inside a process-backend worker"
+    return shared_memory_available()

@@ -1,0 +1,262 @@
+"""Shared-memory conductance-plane pool for the process backend.
+
+The process backend's whole premise is that the big read-only arrays of an
+engine — programmed conductance planes, code planes, activation batches —
+must not be pickled per task.  A :class:`SharedPlanePool` owns a set of
+POSIX shared-memory segments: the parent *registers* an array once (content
+-addressed, so bit-identical planes from different engines share one
+segment), tasks carry only a :class:`SharedPlaneHandle` (name + shape +
+dtype), and workers *attach* the segment as a zero-copy read-only NumPy
+view.  The pool owns unlink-on-shutdown cleanup: segments live exactly as
+long as the :class:`~repro.runtime.WorkerPool` that created them, and the
+differential tests assert that nothing is left in ``/dev/shm`` afterwards.
+
+Attached views are read-only on purpose: a worker scribbling on a shared
+plane would corrupt every other worker's bits, which is exactly the class
+of bug the bit-exactness contract exists to make impossible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import secrets
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - the stdlib module exists on every supported host
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+#: every segment this stack creates carries this prefix, so tests (and
+#: operators) can audit ``/dev/shm`` for leaks without false positives.
+SEGMENT_PREFIX = "forms_shm_"
+
+#: environment override of the minimum array size worth a segment
+MIN_SHARED_BYTES_ENV = "FORMS_SHARED_MIN_BYTES"
+
+#: arrays below this many bytes ride inline in the task pickle — a
+#: segment + attach round-trip costs more than copying a small array.
+DEFAULT_MIN_SHARED_BYTES = 64 * 1024
+
+#: per-process attach cache: segment name -> (SharedMemory, read-only view).
+#: A worker attaches each plane once, no matter how many tasks use it.
+_ATTACHED: Dict[str, Tuple[object, np.ndarray]] = {}
+
+_TRACKER_PATCH_LOCK = threading.Lock()
+
+
+def resolve_min_shared_bytes(min_bytes: Optional[int] = None) -> int:
+    """Threshold in effect: explicit > ``FORMS_SHARED_MIN_BYTES`` > default."""
+    if min_bytes is not None:
+        if min_bytes < 0:
+            raise ValueError("min_bytes must be >= 0")
+        return min_bytes
+    env = os.environ.get(MIN_SHARED_BYTES_ENV, "").strip()
+    if env:
+        value = int(env)
+        if value < 0:
+            raise ValueError(f"{MIN_SHARED_BYTES_ENV} must be >= 0, got {value}")
+        return value
+    return DEFAULT_MIN_SHARED_BYTES
+
+
+@dataclass(frozen=True)
+class SharedPlaneHandle:
+    """Pickles in place of a registered array: segment name + array layout."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def shared_memory_available() -> Tuple[bool, str]:
+    """Probe whether POSIX shared memory actually works on this host.
+
+    Returns ``(ok, reason)``; the reason string feeds the graceful
+    thread-backend fallback message.  The probe creates, attaches and
+    unlinks a real segment — import success alone does not prove ``/dev/shm``
+    is writable (containers mount it read-only or absent often enough).
+    """
+    if _shm is None:
+        return False, "multiprocessing.shared_memory is not importable"
+    try:
+        probe = _shm.SharedMemory(create=True, size=16,
+                                  name=SEGMENT_PREFIX + "probe_"
+                                  + secrets.token_hex(4))
+        try:
+            probe.buf[0] = 1
+        finally:
+            probe.close()
+            probe.unlink()
+    except Exception as exc:  # noqa: BLE001 - any failure means "fall back"
+        return False, f"{type(exc).__name__}: {exc}"
+    return True, "ok"
+
+
+def _open_untracked(name: str):
+    """Attach a segment *without* registering it with the resource tracker.
+
+    Ownership here is explicit — the pool that created a segment unlinks
+    it — so attaches must not be tracked: the tracker's name cache is one
+    shared *set* per process family, and Python < 3.13 registers every
+    ``SharedMemory`` open, so a mere attach would alias (and on exit
+    unlink or double-unregister) the owner's entry.  3.13+ spells this
+    ``track=False``; earlier interpreters need the registration call
+    suppressed for the duration of the open.
+    """
+    if _shm is None:
+        raise RuntimeError("shared memory unavailable in this process")
+    if sys.version_info >= (3, 13):
+        return _shm.SharedMemory(name=name, track=False)
+    from multiprocessing import resource_tracker
+    with _TRACKER_PATCH_LOCK:
+        original = resource_tracker.register
+
+        def _skip_shared_memory(res_name, rtype):
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return _shm.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def attach_plane(handle: SharedPlaneHandle) -> np.ndarray:
+    """Zero-copy read-only view of a registered plane (cached per process)."""
+    cached = _ATTACHED.get(handle.name)
+    if cached is None:
+        segment = _open_untracked(handle.name)
+        view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                          buffer=segment.buf)
+        view.flags.writeable = False
+        cached = (segment, view)
+        _ATTACHED[handle.name] = cached
+    segment, view = cached
+    if view.shape != tuple(handle.shape) or view.dtype != np.dtype(handle.dtype):
+        view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                          buffer=segment.buf)
+        view.flags.writeable = False
+    return view
+
+
+def attach_bytes(handle: SharedPlaneHandle) -> memoryview:
+    """The raw-byte flavour of :func:`attach_plane` (shipped pickles)."""
+    return attach_plane(handle).data
+
+
+def detach_all() -> None:
+    """Drop this process's attach cache (test hook; owners keep segments)."""
+    for segment, _ in _ATTACHED.values():
+        try:
+            segment.close()
+        except Exception:  # noqa: BLE001
+            pass
+    _ATTACHED.clear()
+
+
+class SharedPlanePool:
+    """Owns shared-memory segments for one worker pool's lifetime.
+
+    ``register`` is content-addressed: two bit-identical arrays (e.g. the
+    same programmed die referenced by several engines, or the same
+    activation batch pickled once per tile task) map to one segment.  An
+    ``id()`` memo (with a keep-alive reference) skips re-hashing arrays
+    that are registered repeatedly — the per-task common case.
+
+    The pool unlinks every segment in :meth:`close`; until then, handles
+    stay valid for any process that can see ``/dev/shm``.
+    """
+
+    def __init__(self, min_bytes: Optional[int] = None):
+        self.min_bytes = resolve_min_shared_bytes(min_bytes)
+        self._segments: Dict[str, object] = {}
+        self._by_digest: Dict[Tuple, SharedPlaneHandle] = {}
+        self._by_id: Dict[int, Tuple[SharedPlaneHandle, np.ndarray]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def segment_names(self) -> List[str]:
+        return sorted(self._segments)
+
+    def export(self, array: np.ndarray) -> Optional[SharedPlaneHandle]:
+        """Handle for ``array`` if it is worth sharing, else ``None``.
+
+        The pickling hook's entry point: ``None`` means "inline this array
+        in the task pickle" (too small to amortize a segment).
+        """
+        if array.nbytes < self.min_bytes or array.nbytes == 0:
+            return None
+        return self.register(array)
+
+    def register(self, array: np.ndarray) -> SharedPlaneHandle:
+        """Copy ``array`` into a segment (deduplicated) and hand back its handle."""
+        if self._closed:
+            raise RuntimeError("SharedPlanePool is closed")
+        memo = self._by_id.get(id(array))
+        if memo is not None and memo[1] is array:
+            return memo[0]
+        contiguous = np.ascontiguousarray(array)
+        key = (hashlib.sha1(contiguous.tobytes()).digest(),
+               contiguous.shape, contiguous.dtype.str)
+        handle = self._by_digest.get(key)
+        if handle is None:
+            segment = self._create_segment(contiguous.nbytes)
+            target = np.ndarray(contiguous.shape, dtype=contiguous.dtype,
+                                buffer=segment.buf)
+            target[...] = contiguous
+            handle = SharedPlaneHandle(segment.name, tuple(contiguous.shape),
+                                       contiguous.dtype.str)
+            self._by_digest[key] = handle
+        self._by_id[id(array)] = (handle, array)
+        return handle
+
+    def register_bytes(self, data: bytes) -> SharedPlaneHandle:
+        """Segment for an opaque byte payload (shipped object pickles)."""
+        return self.register(np.frombuffer(data, dtype=np.uint8))
+
+    def _create_segment(self, nbytes: int):
+        if _shm is None:
+            raise RuntimeError("shared memory unavailable on this host")
+        for _ in range(8):
+            name = SEGMENT_PREFIX + secrets.token_hex(8)
+            try:
+                segment = _shm.SharedMemory(create=True, size=nbytes, name=name)
+            except FileExistsError:  # pragma: no cover - token collision
+                continue
+            self._segments[name] = segment
+            return segment
+        raise RuntimeError("could not allocate a unique segment name")
+
+    def close(self) -> None:
+        """Unlink every owned segment.  Idempotent; handles die with it."""
+        for name, segment in list(self._segments.items()):
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._by_digest.clear()
+        self._by_id.clear()
+        self._closed = True
+
+    def __enter__(self) -> "SharedPlanePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

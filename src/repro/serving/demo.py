@@ -53,7 +53,8 @@ import numpy as np
 
 def run_demo(requests: int = 16, rate_rps: float = 200.0,
              max_batch: int = 4, max_wait_ms: float = 2.0,
-             workers: Optional[int] = None, seed: int = 0,
+             workers: Optional[int] = None, backend: Optional[str] = None,
+             seed: int = 0,
              print_fn: Optional[Callable[[str], None]] = print) -> Dict:
     """Serve ``requests`` Poisson arrivals and return the stats snapshot."""
     from ..perf.serving import drive_poisson
@@ -63,7 +64,7 @@ def run_demo(requests: int = 16, rate_rps: float = 200.0,
         f"(max_batch={max_batch}, max_wait={max_wait_ms:.1f} ms)")
     driven = drive_poisson(rate_rps, requests, max_batch=max_batch,
                            max_wait_ms=max_wait_ms, workers=workers,
-                           seed=seed)
+                           backend=backend, seed=seed)
     results, snapshot = driven["results"], driven["snapshot"]
     say("bit-identity vs serial single-image forward: OK")
 
@@ -86,7 +87,8 @@ def run_demo(requests: int = 16, rate_rps: float = 200.0,
 
 def run_multitenant_demo(requests: int = 32, rate_rps: float = 400.0,
                          deadline_ms: Optional[float] = 50.0,
-                         workers: Optional[int] = None, seed: int = 0,
+                         workers: Optional[int] = None,
+                         backend: Optional[str] = None, seed: int = 0,
                          print_fn: Optional[Callable[[str], None]] = print
                          ) -> Dict:
     """Two tenants, two SLA classes, one pool — and prove the dedup.
@@ -107,7 +109,7 @@ def run_multitenant_demo(requests: int = 32, rate_rps: float = 400.0,
         f"{'none' if deadline_ms is None else f'{deadline_ms:.0f} ms'}; "
         f"models '{FAST_MODEL}' + '{BATCH_MODEL}' on one pool)")
     driven = drive_mixed_traffic(rate_rps, requests, deadline_ms=deadline_ms,
-                                 workers=workers, seed=seed)
+                                 workers=workers, backend=backend, seed=seed)
     say("bit-identity vs per-tenant serial forwards: OK")
 
     snapshot = driven["snapshot"]

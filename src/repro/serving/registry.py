@@ -62,10 +62,12 @@ class ModelRegistry:
 
     def __init__(self, *, die_cache: Optional[DieCache] = None,
                  pool: Optional[WorkerPool] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 backend: Optional[str] = None):
         self.die_cache = die_cache if die_cache is not None else DieCache()
         self._owns_pool = pool is None
-        self.pool = pool if pool is not None else WorkerPool(workers)
+        self.pool = (pool if pool is not None
+                     else WorkerPool(workers, backend=backend))
         self._models: Dict[str, RegisteredModel] = {}
         self._reserved: set = set()     # names mid-registration
         self._lock = threading.Lock()

@@ -140,6 +140,7 @@ class InferenceServer:
                  max_batch: int = 8, max_wait_s: float = 0.002,
                  workers: Optional[int] = None,
                  pool: Optional[WorkerPool] = None,
+                 backend: Optional[str] = None,
                  detect_faults: bool = False,
                  guard_coverage: float = 1.0,
                  fault_injector: Optional[FaultInjector] = None,
@@ -148,18 +149,28 @@ class InferenceServer:
             raise ValueError("max_fault_retries must be >= 0")
         if (model is None) == (registry is None):
             raise ValueError("pass exactly one of model= or registry=")
-        if registry is not None and (workers is not None or pool is not None):
-            raise ValueError("workers/pool travel with the registry; "
+        if registry is not None and (workers is not None or pool is not None
+                                     or backend is not None):
+            raise ValueError("workers/pool/backend travel with the registry; "
                              "configure them on the ModelRegistry")
         if registry is None:
             # private registry: closed at shutdown (ModelRegistry.close
             # leaves a borrowed ``pool`` open, so ownership is safe)
-            self.registry = ModelRegistry(pool=pool, workers=workers)
+            self.registry = ModelRegistry(pool=pool, workers=workers,
+                                          backend=backend)
             self.registry.register_network(DEFAULT_MODEL, model)
             self._owns_registry = True
         else:
             self.registry = registry
             self._owns_registry = False
+        if detect_faults and getattr(self.registry.pool, "backend",
+                                     "thread") == "process":
+            if self._owns_registry:
+                self.registry.close()
+            raise ValueError(
+                "detect_faults=True requires a thread-backend pool: die "
+                "guards instrument live engine objects and are not shipped "
+                "to process-backend workers (use backend='thread')")
         self.policy = (policy if policy is not None
                        else SlaPolicy.fifo(max_batch=max_batch,
                                            max_wait_s=max_wait_s))
@@ -197,6 +208,7 @@ class InferenceServer:
                    max_batch: int = 8, max_wait_s: float = 0.002,
                    workers: Optional[int] = None,
                    pool: Optional[WorkerPool] = None,
+                   backend: Optional[str] = None,
                    detect_faults: bool = False,
                    guard_coverage: float = 1.0,
                    fault_injector: Optional[FaultInjector] = None,
@@ -213,7 +225,7 @@ class InferenceServer:
         ``server.engines`` / ``server.die_cache``.
         """
         registry = ModelRegistry(die_cache=die_cache, pool=pool,
-                                 workers=workers)
+                                 workers=workers, backend=backend)
         try:
             registry.register(DEFAULT_MODEL, model, config, device, adc=adc,
                               activation_bits=activation_bits,
