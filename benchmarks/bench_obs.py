@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Observability-overhead benchmark: armed vs disabled instrumentation.
+
+Drives the same open-loop Poisson serving point twice per repetition —
+default-armed :class:`repro.obs.Observability` (metrics + tracing +
+usage metering) vs :meth:`Observability.disabled` — interleaved, and
+records one ``serving_obs_overhead_r*`` record per offered rate into
+``BENCH_engine.json`` (kind ``"obs"``, merged: engine, serving, chaos
+and cluster records are preserved; schema in ``benchmarks/README.md``).
+
+The headline number is ``overhead_pct``: the min-estimator **mean
+dispatch-path service time** (busy seconds per completed request) of
+the armed server relative to the disabled one — end-to-end latency
+percentiles ride along as context but are queue-dominated and too
+noisy to gate on.  The acceptance budget is 5%
+(``repro.perf.obs.OBS_OVERHEAD_BUDGET_PCT``); the full run exits
+non-zero past it, ``--smoke`` only warns (one noisy CI container
+should not fail the build on a timing estimate — the *numeric* checks
+stay strict in both modes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke       # < 60 s
+    PYTHONPATH=src python benchmarks/bench_obs.py               # gated run
+    PYTHONPATH=src python benchmarks/bench_obs.py \\
+        --rates 100 400 --requests 48 --reps 5 -o /tmp/obs.json
+
+Every repetition of both modes asserts bit-identity against the serial
+single-image forward, and the two modes' outputs are compared
+byte-for-byte — the instrumentation is proven numerics-invisible before
+any timing lands.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import merge_records_into_file, run_obs_point  # noqa: E402
+from repro.perf.obs import OBS_OVERHEAD_BUDGET_PCT             # noqa: E402
+from repro.reram import DieCache                               # noqa: E402
+
+#: offered arrival rates (requests/s) per mode — a *saturating* rate on
+#: purpose: with every arrival effectively immediate, batch formation is
+#: deterministic (all full batches), so the armed and disabled runs do
+#: the identical work in the identical batch mix and the service-time
+#: comparison measures instrument cost, not batch-amortization jitter
+#: (at mid rates the timing-dependent batch mix swings the per-request
+#: mean by more than the budget)
+SMOKE_RATES = (2000.0,)
+FULL_RATES = (2000.0,)
+
+
+def format_point(record: dict) -> str:
+    results, meta = record["results"], record["meta"]
+    return (f"{record['name']:26s} offered {results['offered_rate_rps']:6.0f} "
+            f"rps: service on {results['service_mean_on_s'] * 1e3:6.2f} ms / "
+            f"off {results['service_mean_off_s'] * 1e3:6.2f} ms -> "
+            f"overhead {results['overhead_pct']:+6.2f}% "
+            f"(p50 on {results['latency_p50_on_s'] * 1e3:.2f} ms; "
+            f"budget {meta['budget_pct']:.0f}%, reps {meta['reps']}, "
+            f"w={meta['workers']})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode: one rate point, fewer requests, "
+                             "overhead budget warns instead of failing")
+    parser.add_argument("--rates", type=float, nargs="+", default=None,
+                        help="offered arrival rates in requests/s "
+                             "(default: one saturating point)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per repetition (default 32 smoke / 96)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="interleaved on/off repetitions per rate "
+                             "(default 2 smoke / 5)")
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size (default: FORMS_WORKERS or "
+                             "CPU count)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="BENCH json to merge records into (default: "
+                             "BENCH_engine.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    rates = args.rates if args.rates is not None else (
+        list(SMOKE_RATES) if args.smoke else list(FULL_RATES))
+    requests = args.requests if args.requests is not None else (
+        32 if args.smoke else 96)
+    reps = args.reps if args.reps is not None else (2 if args.smoke else 5)
+
+    records = []
+    over_budget = []
+    die_cache = DieCache()   # shared: every rep rebuilds identical engines
+    for rate in rates:
+        record = run_obs_point(
+            rate, requests, reps=reps, max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms, workers=args.workers,
+            seed=args.seed, die_cache=die_cache)
+        print(format_point(record))
+        records.append(record)
+        if not record["meta"]["within_budget"]:
+            over_budget.append(record["name"])
+
+    try:
+        merge_records_into_file(args.output, records)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    print(f"[{len(records)} obs overhead records merged into {args.output}]")
+    if over_budget:
+        message = (f"overhead past the {OBS_OVERHEAD_BUDGET_PCT:.0f}% "
+                   f"budget at: {', '.join(over_budget)}")
+        if args.smoke:
+            print(f"WARNING (smoke, not gating): {message}")
+        else:
+            print(f"ERROR: {message}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

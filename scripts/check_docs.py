@@ -23,11 +23,15 @@ would:
    backticked in the corpus, along with the ``FORMS_BACKEND`` override —
    adding an execution tier without documenting when it wins fails the
    gate.
+7. Every metric name of ``repro.obs.METRIC_CATALOG`` appears backticked
+   in ``docs/observability.md`` specifically — the exported ``/metrics``
+   surface and its operator reference cannot drift apart.
 
-Rules 3-6 introspect the real parser (``repro.cli.build_parser``), the
-real wire contract (``repro.serving.http.ERROR_CODES``) and the real
-executor surface (``repro.runtime.BACKENDS``), so the gate tracks the
-code by construction.  Run by ``scripts/checks.sh``.
+Rules 3-7 introspect the real parser (``repro.cli.build_parser``), the
+real wire contract (``repro.serving.http.ERROR_CODES``), the real
+executor surface (``repro.runtime.BACKENDS``) and the real metric
+catalog (``repro.obs.metric_names``), so the gate tracks the code by
+construction.  Run by ``scripts/checks.sh``.
 """
 
 import pathlib
@@ -149,6 +153,19 @@ def check_backends(failures: list) -> int:
     return len(BACKENDS)
 
 
+def check_metric_names(failures: list) -> int:
+    """Rule 7: every catalogued metric is in the observability reference."""
+    from repro.obs import metric_names
+    names = metric_names()
+    text = read_if_exists(REPO_ROOT / "docs" / "observability.md")
+    for name in names:
+        if f"`{name}`" not in text:
+            failures.append(f"docs/observability.md: metric `{name}` is "
+                            "undocumented (the METRIC_CATALOG and the "
+                            "metrics-catalog tables must match)")
+    return len(names)
+
+
 def main() -> int:
     failures: list = []
     n_packages = check_packages(failures)
@@ -156,6 +173,7 @@ def main() -> int:
     subcommands, serve_flags = check_cli_coverage(failures)
     n_codes = check_error_codes(failures)
     n_backends = check_backends(failures)
+    n_metrics = check_metric_names(failures)
     if failures:
         for failure in failures:
             print(f"ERROR: {failure}", file=sys.stderr)
@@ -163,8 +181,8 @@ def main() -> int:
     print(f"docs check: {len(REQUIRED_DOCS)} docs cover {n_packages} "
           f"packages, {n_docs} docs page(s) linked from README, "
           f"{len(subcommands)} subcommands, {len(serve_flags)} serve "
-          f"flags, {n_codes} wire error codes and {n_backends} runtime "
-          "backends documented")
+          f"flags, {n_codes} wire error codes, {n_backends} runtime "
+          f"backends and {n_metrics} catalogued metrics documented")
     return 0
 
 

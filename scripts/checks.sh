@@ -31,7 +31,11 @@
 #    launch the two-tenant demo server on an ephemeral port, replay
 #    concurrent mixed-class requests through real sockets, assert every
 #    decoded response bit-identical to the in-process serial forward,
-#    then drain and verify the port actually closed.
+#    then drain and verify the port actually closed.  The demo also
+#    scrapes the telemetry surface while the socket is up: `/metrics`
+#    must survive the strict exposition parser, `/v1/usage` must bill
+#    exactly the served/shed counts, and a served request's span tree
+#    must come back from `/v1/trace/<id>`.
 # 6. `bench_http.py --smoke` — two open-loop Poisson rate points driven
 #    as real `POST /v1/infer` traffic (client round-trip + server-side
 #    latency recorded; bit-identity of decoded outputs asserted per
@@ -47,10 +51,17 @@
 #    completed response bit-identical to the serial forward, every
 #    failure a documented receipt, zero hung requests, and that the
 #    killed replica rejoined.
-# 9. `check_docs.py` — README.md and docs/architecture.md must exist and
+# 9. `bench_obs.py --smoke` — the observability-overhead smoke: the
+#    open-loop serving point driven with the telemetry bundle armed and
+#    with Observability.disabled(), interleaved, asserting the two modes'
+#    outputs byte-identical before recording (the full run additionally
+#    gates overhead against the 5% mean-service-time budget).
+# 10. `check_docs.py` — README.md and docs/architecture.md must exist and
 #    mention every src/repro/* package, every docs/*.md page must be
-#    linked from the README, and every `python -m repro` subcommand and
-#    `serve` flag must appear in the docs (drift fails the check set).
+#    linked from the README, every `python -m repro` subcommand and
+#    `serve` flag must appear in the docs, and every METRIC_CATALOG
+#    name must appear in docs/observability.md (drift fails the check
+#    set).
 set -e
 
 cd "$(dirname "$0")/.."
@@ -94,6 +105,11 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_chaos.py \
 echo "==> cluster failover smoke: serve --cluster 2 --http 0 --http-demo"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro serve \
     --cluster 2 --http 0 --http-demo --requests 12 --rate 400
+
+echo "==> observability overhead smoke: bench_obs.py --smoke"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_obs.py \
+    --smoke --requests 12 \
+    -o "${OBS_BENCH_OUTPUT:-/tmp/forms_obs_smoke.json}"
 
 echo "==> docs check: check_docs.py"
 python scripts/check_docs.py

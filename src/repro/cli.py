@@ -207,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "duplicate attempt at the next replica when "
                             "the first answer is this late (default: off; "
                             "serve only)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="disable the metrics registry and /metrics "
+                            "exposition (tracing and usage metering stay "
+                            "on; single-process serve only)")
+    serve.add_argument("--trace-ring", type=int, default=256, metavar="N",
+                       help="capacity of the /v1/trace/<id> ring: how many "
+                            "recent request span trees stay queryable "
+                            "(0 disables tracing; default 256; "
+                            "single-process serve only)")
     return parser
 
 
@@ -218,6 +227,10 @@ def run(argv=None) -> int:
                    else args.models)
         if args.http_demo and args.http is None:
             print("ERROR: --http-demo requires --http PORT", file=sys.stderr)
+            return 2
+        if args.trace_ring < 0:
+            print("ERROR: --trace-ring must be >= 0 (0 disables tracing)",
+                  file=sys.stderr)
             return 2
         if args.cluster is not None:
             if args.http is None:
@@ -286,9 +299,9 @@ def run(argv=None) -> int:
     for name in names:
         driver, description = EXPERIMENTS[name]
         print(f"== {name}: {description} (scale={scale.name}) ==")
-        start = time.time()
+        start = time.perf_counter()
         table = driver(scale, args.seed)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         print(table.rendered)
         print(f"[{elapsed:.1f}s]\n")
         if args.out is not None:

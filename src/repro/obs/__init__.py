@@ -1,0 +1,47 @@
+"""End-to-end observability: metrics, request tracing, usage metering.
+
+The telemetry substrate of the serving stack (PR 9), spanning every
+layer — engine tiers, the tile runtime, the SLA server, the HTTP front
+end and the cluster router — under one hard rule: **observability is
+read-only with respect to numerics**.  Instruments time and count; they
+never touch an operand, so the bit-exactness contract survives with
+tracing and metrics armed (proven by the backend-equivalence
+differential matrix in ``tests/obs/``).
+
+* :mod:`repro.obs.metrics` — lock-cheap :class:`MetricsRegistry`
+  (counters / gauges / fixed-bucket histograms with labels), Prometheus
+  text exposition (``GET /metrics``), strict parser for the tests;
+* :mod:`repro.obs.catalog` — :data:`METRIC_CATALOG`, the declarative
+  table of every default-wiring metric (check_docs gates its
+  documentation);
+* :mod:`repro.obs.trace` — span-tree request tracing keyed on the wire
+  ``x-request-id`` (:class:`SpanRecorder`, thread-local :func:`bind`,
+  bounded :class:`TraceRing` behind ``GET /v1/trace/<id>``);
+* :mod:`repro.obs.usage` — per-(model, class) :class:`UsageMeter`
+  (requests, macs, die-seconds, sheds) behind ``GET /v1/usage``;
+* :mod:`repro.obs.profile` — opt-in :class:`EngineProfiler`: per-tier
+  wall-time histograms inside ``matvec_int`` dispatch;
+* :mod:`repro.obs.observability` — the :class:`Observability` bundle a
+  server carries (scrape hooks bridge pull gauges to live snapshots).
+
+Operator reference: ``docs/observability.md``.
+"""
+
+from .catalog import METRIC_CATALOG, instrument, metric_names
+from .metrics import (BATCH_SIZE_BUCKETS, ENGINE_BUCKETS_S,
+                      LATENCY_BUCKETS_S, PROMETHEUS_CONTENT_TYPE,
+                      MetricsRegistry, parse_prometheus_text)
+from .observability import Observability
+from .profile import EngineProfiler
+from .trace import (SpanRecorder, TraceRing, active_recorder, bind,
+                    new_trace_id, record_event, span_dict)
+from .usage import UsageMeter
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS", "ENGINE_BUCKETS_S", "LATENCY_BUCKETS_S",
+    "METRIC_CATALOG", "MetricsRegistry", "Observability",
+    "EngineProfiler", "PROMETHEUS_CONTENT_TYPE", "SpanRecorder",
+    "TraceRing", "UsageMeter", "active_recorder", "bind", "instrument",
+    "metric_names", "new_trace_id", "parse_prometheus_text",
+    "record_event", "span_dict",
+]

@@ -1,0 +1,164 @@
+"""Request tracing: span trees keyed on the wire's ``x-request-id``.
+
+A *trace* is a JSON-ready dict — ``{"trace_id", "spans": [span...],
+...metadata}`` — and a *span* is ``{"name", "duration_s",
+"start_s"?, "attrs"?, "children"?}``: plain dicts throughout, so spans
+pickle across process-backend workers and serialize into
+``RequestStats`` receipts without a conversion layer.  ``start_s`` is
+an offset from the enclosing trace's start where the recording side
+shares a clock with the trace root; spans stitched back from worker
+*processes* carry only ``duration_s`` plus a ``pid`` attribute, because
+``time.perf_counter()`` is not comparable across processes.
+
+:class:`SpanRecorder` collects the spans of one execution context (one
+tile dispatch): engine profiling hooks deep in the call stack reach the
+recorder through a thread-local set by :func:`bind`, so the engine
+needs no plumbing — and when nothing is bound, :func:`record_event` is
+a single thread-local read.
+
+:class:`TraceRing` is the bounded in-memory store behind
+``GET /v1/trace/<id>``: newest-wins eviction, lock-protected,
+capacity 0 disables it entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+
+def new_trace_id() -> str:
+    """A fresh wire-safe request/trace id (32 hex chars)."""
+    return uuid.uuid4().hex
+
+
+def span_dict(name: str, duration_s: float, *,
+              start_s: Optional[float] = None,
+              children: Optional[List[Dict]] = None, **attrs) -> Dict:
+    """Build one span dict (the only span schema in the codebase)."""
+    span: Dict = {"name": name, "duration_s": duration_s}
+    if start_s is not None:
+        span["start_s"] = start_s
+    if attrs:
+        span["attrs"] = attrs
+    if children:
+        span["children"] = children
+    return span
+
+
+class SpanRecorder:
+    """Span collector for one execution context (one tile dispatch).
+
+    Two collection surfaces:
+
+    * :meth:`record` — leaf events from instrumentation hooks (the
+      engine profiler); accumulated until :meth:`close_span` wraps them
+      as the children of one finished span;
+    * :meth:`add_span` — a prebuilt span stitched in whole (the
+      process backend returns finished span dicts with tile results).
+
+    ``spans`` holds the finished top-level spans.  Appends happen on
+    the recording thread; the consumer reads only after the dispatch
+    that owns the recorder has completed, so no lock is needed.
+    """
+
+    __slots__ = ("spans", "_events")
+
+    def __init__(self):
+        self.spans: List[Dict] = []
+        self._events: List[Dict] = []
+
+    def record(self, name: str, duration_s: float, **attrs) -> None:
+        self._events.append(span_dict(name, duration_s, **attrs))
+
+    def add_span(self, span: Dict) -> None:
+        self.spans.append(span)
+
+    def close_span(self, name: str, duration_s: float, **attrs) -> None:
+        """Finish one span, adopting every event recorded since the
+        last close as its children."""
+        events, self._events = self._events, []
+        self.spans.append(span_dict(name, duration_s, children=events,
+                                    **attrs))
+
+
+_local = threading.local()
+
+
+class bind:
+    """Context manager making ``recorder`` the thread's event sink."""
+
+    __slots__ = ("_recorder", "_previous")
+
+    def __init__(self, recorder: Optional[SpanRecorder]):
+        self._recorder = recorder
+
+    def __enter__(self):
+        self._previous = getattr(_local, "recorder", None)
+        _local.recorder = self._recorder
+        return self._recorder
+
+    def __exit__(self, *exc):
+        _local.recorder = self._previous
+        return False
+
+
+def active_recorder() -> Optional[SpanRecorder]:
+    return getattr(_local, "recorder", None)
+
+
+def record_event(name: str, duration_s: float, **attrs) -> None:
+    """Record a leaf event on the thread's bound recorder, if any."""
+    recorder = getattr(_local, "recorder", None)
+    if recorder is not None:
+        recorder.record(name, duration_s, **attrs)
+
+
+class TraceRing:
+    """Bounded trace store: newest ``capacity`` traces by insertion.
+
+    ``capacity=0`` disables the ring (puts drop, gets miss) — the
+    tracing-off path.  ``annotate`` appends spans to an already stored
+    trace (the HTTP layer adds its transport span after the server-side
+    receipt has been stored).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._traces: "OrderedDict[str, Dict]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def put(self, trace: Dict) -> None:
+        if not self.capacity:
+            return
+        trace_id = trace["trace_id"]
+        with self._lock:
+            self._traces.pop(trace_id, None)
+            self._traces[trace_id] = trace
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> Optional[Dict]:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def annotate(self, trace_id: str, span: Dict) -> bool:
+        """Append ``span`` to a stored trace; False if already evicted."""
+        with self._lock:
+            trace = self._traces.get(trace_id)
+            if trace is None:
+                return False
+            trace.setdefault("spans", []).append(span)
+            return True
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._traces)

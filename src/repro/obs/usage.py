@@ -1,0 +1,68 @@
+"""Per-tenant usage accounting: the metering substrate of ``/v1/usage``.
+
+Aggregates what a tenant consumed, keyed ``(model, priority class)``:
+
+* ``requests`` — completed requests;
+* ``sheds`` — requests refused with a shed receipt (deadline,
+  admission, latency bound, fault recovery — any reason);
+* ``macs`` — analog multiply-accumulates the tenant's completed
+  requests drove through the crossbars, from the per-request
+  ``EngineStats`` slice (``conversions x fragment_size``: every ADC
+  conversion integrates one fragment's worth of cell currents);
+* ``die_seconds`` — service seconds billed per request.  A batch of
+  ``k`` riders bills each rider the full batch service time: the dies
+  were programmed and driven for all of them, and under-billing shared
+  rides would make batching look free to the biller.
+
+Thread-safe; reads return deep copies.  The serving layer records into
+one :class:`UsageMeter` per server; the JSON shape of ``snapshot()`` is
+the ``GET /v1/usage`` response body documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+_ZERO = {"requests": 0, "sheds": 0, "macs": 0, "die_seconds": 0.0}
+
+
+class UsageMeter:
+    """Monotone per-(model, class) usage accumulator."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cells: Dict[tuple, Dict] = {}
+
+    def _cell(self, model: str, priority_class: str) -> Dict:
+        # caller holds the lock
+        key = (str(model), str(priority_class))
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = dict(_ZERO)
+        return cell
+
+    def record_request(self, model: str, priority_class: str, *,
+                       macs: int = 0, die_seconds: float = 0.0) -> None:
+        with self._lock:
+            cell = self._cell(model, priority_class)
+            cell["requests"] += 1
+            cell["macs"] += int(macs)
+            cell["die_seconds"] += float(die_seconds)
+
+    def record_shed(self, model: str, priority_class: str) -> None:
+        with self._lock:
+            self._cell(model, priority_class)["sheds"] += 1
+
+    def snapshot(self) -> Dict:
+        """``{"by_model": {model: {class: cell}}, "totals": cell}``."""
+        with self._lock:
+            cells = {key: dict(cell) for key, cell in self._cells.items()}
+        by_model: Dict[str, Dict] = {}
+        totals = dict(_ZERO)
+        for (model, cls), cell in sorted(cells.items()):
+            by_model.setdefault(model, {})[cls] = cell
+            for field in totals:
+                totals[field] += cell[field]
+        return {"by_model": by_model, "totals": totals}

@@ -32,7 +32,12 @@ Two layers:
   subprocess replicas are SIGKILLed and restarted mid-run
   (``benchmarks/bench_cluster.py``) — failover/hedge accounting with
   the same bit-identity / zero-hung / documented-receipts contract
-  asserted per point.
+  asserted per point;
+* :mod:`repro.perf.obs` — the ``"obs"`` record kind: the cost of the
+  default-armed observability bundle (``benchmarks/bench_obs.py``) —
+  the same Poisson point driven with instruments on vs off, interleaved
+  and min-estimated, gated against the 5% mean dispatch-service-time
+  budget with the armed-vs-disabled outputs compared byte-for-byte.
 """
 
 from .chaos import (CHAOS_RECORD_KIND, chaos_record_name,
@@ -44,6 +49,8 @@ from .http import (HTTP_TRANSPORT, drive_http_poisson, http_record_name,
 from .instrument import EngineMeter, TimingResult, time_callable
 from .multitenant import (drive_mixed_traffic, multitenant_record_name,
                           run_multitenant_point, tenant_models)
+from .obs import (OBS_OVERHEAD_BUDGET_PCT, OBS_RECORD_KIND, obs_record_name,
+                  run_obs_point)
 from .serving import (SERVING_RECORD_KIND, drive_poisson,
                       merge_records_into_file, merge_serving_records,
                       poisson_arrival_offsets, run_poisson_point,
@@ -64,4 +71,6 @@ __all__ = [
     "drive_chaos", "run_chaos_point",
     "CLUSTER_RECORD_KIND", "cluster_record_name", "drive_cluster_chaos",
     "run_cluster_point",
+    "OBS_OVERHEAD_BUDGET_PCT", "OBS_RECORD_KIND", "obs_record_name",
+    "run_obs_point",
 ]

@@ -56,7 +56,7 @@ def drive_poisson(rate_rps: float, requests: int, *, max_batch: int = 8,
                   max_wait_ms: float = 2.0, workers: Optional[int] = None,
                   backend: Optional[str] = None,
                   seed: int = 0, activation_bits: int = 12,
-                  die_cache=None) -> Dict:
+                  die_cache=None, obs=None) -> Dict:
     """Serve one open-loop Poisson arrival process and verify bit-identity.
 
     The shared drive-and-verify harness behind :func:`run_poisson_point`
@@ -69,7 +69,10 @@ def drive_poisson(rate_rps: float, requests: int, *, max_batch: int = 8,
 
     Pass one shared ``die_cache`` (a :class:`~repro.reram.DieCache`)
     across several calls — a rate sweep rebuilds the same engines per
-    point, and the cache deduplicates the die programming.
+    point, and the cache deduplicates the die programming.  ``obs`` is
+    the server's :class:`~repro.obs.Observability` bundle (default: the
+    everything-on default; ``Observability.disabled()`` measures the
+    instrumentation-off baseline — ``benchmarks/bench_obs.py`` does).
     """
     from ..reram import ADCSpec, DeviceSpec, ReRAMDevice, paper_adc_bits
     from ..runtime import run_network_serial
@@ -91,7 +94,7 @@ def drive_poisson(rate_rps: float, requests: int, *, max_batch: int = 8,
             model, config, device, adc=adc,
             activation_bits=activation_bits, max_batch=max_batch,
             max_wait_s=max_wait_ms / 1e3, workers=workers, backend=backend,
-            die_cache=die_cache) as server:
+            die_cache=die_cache, obs=obs) as server:
         start = time.monotonic()
         futures = []
         for image, offset in zip(pool_images, arrival_offsets):

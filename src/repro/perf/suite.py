@@ -519,14 +519,15 @@ def run_suite(smoke: bool = True, repeats: Optional[int] = None,
 
 def write_payload(path, payload: Dict,
                   preserve_kinds: tuple = ("serving", "chaos",
-                                           "cluster")) -> None:
+                                           "cluster", "obs")) -> None:
     """Write a BENCH payload, carrying over records of other subsystems.
 
     ``run_suite`` regenerates only the *engine* records; records of the
     kinds in ``preserve_kinds`` (the serving curves recorded by
     ``benchmarks/bench_serving.py`` and friends, the chaos points of
     ``benchmarks/bench_chaos.py``, the cluster kill/restart points of
-    ``benchmarks/bench_cluster.py``) found in an existing file at ``path``
+    ``benchmarks/bench_cluster.py``, the observability-overhead points of
+    ``benchmarks/bench_obs.py``) found in an existing file at ``path``
     are appended unless the new payload already carries a record of the
     same name — so the two recorders can share one ``BENCH_engine.json``
     without clobbering each other.  An existing file that cannot be

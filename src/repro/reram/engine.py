@@ -200,7 +200,10 @@ class EngineStats:
     ``pairs_scheduled`` / ``pairs_skipped`` refine that to (bit-plane,
     fragment, position) granularity — the accounting that is exact under the
     sparse CSR scheduler, where silent positions are skipped inside an
-    otherwise-live job.
+    otherwise-live job.  ``macs`` is the metering view: every conversion
+    integrates one fragment's worth of cell currents, so the commit path
+    derives ``macs = conversions x fragment_size`` — the analog
+    multiply-accumulates billed to tenants by ``/v1/usage``.
 
     Kernel paths accumulate into a per-call (or per-worker) local instance
     and :meth:`merge` it into the engine's stats once at the end; ``merge``
@@ -215,6 +218,7 @@ class EngineStats:
     jobs_skipped: int = 0
     pairs_scheduled: int = 0
     pairs_skipped: int = 0
+    macs: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   init=False, repr=False, compare=False)
 
@@ -248,9 +252,10 @@ class EngineStats:
             self.jobs_skipped += other.jobs_skipped
             self.pairs_scheduled += other.pairs_scheduled
             self.pairs_skipped += other.pairs_skipped
+            self.macs += other.macs
 
     def as_dict(self) -> Dict[str, int]:
-        """The seven counters as a plain JSON-ready dict."""
+        """The eight counters as a plain JSON-ready dict."""
         return {
             "conversions": self.conversions,
             "saturated": self.saturated,
@@ -259,6 +264,7 @@ class EngineStats:
             "jobs_skipped": self.jobs_skipped,
             "pairs_scheduled": self.pairs_scheduled,
             "pairs_skipped": self.pairs_skipped,
+            "macs": self.macs,
         }
 
     # Stats cross the process-backend boundary by value; the lock is a
@@ -518,6 +524,11 @@ class InSituLayerEngine:
         #: bumped by :meth:`swap_planes`; the process backend's ship memo
         #: keys on it, so a shipped copy of this engine is never stale.
         self._swap_epoch = 0
+        #: optional :class:`repro.obs.EngineProfiler`; when set, every
+        #: ``matvec_int`` dispatch reports (tier, wall seconds) — timing
+        #: only, never an operand, so armed and disarmed engines compute
+        #: identical bits.
+        self.profile = None
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -582,6 +593,7 @@ class InSituLayerEngine:
         state["_init_lock"] = None
         state["pool"] = None
         state["guard"] = None
+        state["profile"] = None
         state["_exact_tier"] = None
         state["_codes_float"] = None
         state["_eff_stack"] = None
@@ -837,8 +849,12 @@ class InSituLayerEngine:
 
         Called once per MVM on the calling thread — the property
         :class:`StatsScope` (and through it the serving layer's per-request
-        stats slicing) relies on.
+        stats slicing) relies on.  The derived ``macs`` meter is settled
+        here, once per commit, from this engine's fragment size — locals
+        merged across engines with different geometries therefore stay
+        exact.
         """
+        local.macs = local.conversions * self.mapped.geometry.fragment_size
         self.stats.merge(local)
         for scope in _active_scopes():
             scope.stats.merge(local)
@@ -903,9 +919,42 @@ class InSituLayerEngine:
         guard = self.guard
         if guard is not None:
             guard.check(self)
-        if not self.sparse_enabled or self._conversion_noise_active():
-            return self._matvec_dense(self._prepare(x_int), pool)
-        return self._matvec_sparse(self._prepare(x_int), pool)
+        profile = self.profile
+        if profile is None:
+            if not self.sparse_enabled or self._conversion_noise_active():
+                return self._matvec_dense(self._prepare(x_int), pool)
+            return self._matvec_sparse(self._prepare(x_int), pool)
+        # Profiling brackets the identical dispatch with two perf_counter
+        # reads; the tier label is resolved before timing starts so label
+        # classification never lands inside the measured window.
+        tier = self.dispatch_tier()
+        start = time.perf_counter()
+        if tier in ("dense", "dense_noise"):
+            out = self._matvec_dense(self._prepare(x_int), pool)
+        else:
+            out = self._matvec_sparse(self._prepare(x_int), pool)
+        profile.record(self, tier, time.perf_counter() - start)
+        return out
+
+    def dispatch_tier(self) -> str:
+        """Which kernel tier :meth:`matvec_int` selects right now.
+
+        ``dense_noise`` (read noise forces the dense grid), ``dense``
+        (scheduler disabled), ``exact`` (ideal path, non-clipping ADC:
+        the telescoped matmul), ``integer`` (ideal path, clipping ADC)
+        or ``analog`` (deterministic non-ideality).  Dispatch-level:
+        per-fragment size heuristics inside the sparse tiers may still
+        run tiny grids through the dense executor.
+        """
+        if self._conversion_noise_active():
+            return "dense_noise"
+        if not self.sparse_enabled:
+            return "dense"
+        if not self._signal_path_ideal():
+            return "analog"
+        if self._exact_tier_constants()[0] <= self.adc.max_code:
+            return "exact"
+        return "integer"
 
     def matvec_int_dense(self, x_int: np.ndarray, pool=None) -> np.ndarray:
         """The dense bit-plane kernel (the pre-scheduler production path).

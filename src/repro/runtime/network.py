@@ -51,12 +51,15 @@ the SLA scheduler interleaves them — can never change any tile's bits.
 from __future__ import annotations
 
 import functools
+import os
 import threading
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn.tensor import Tensor
+from ..obs.trace import SpanRecorder, bind as _bind_recorder
 from ..reram import EngineStats, StatsScope
 from .executor import _WORKER_THREAD_PREFIX, WorkerPool
 
@@ -118,7 +121,7 @@ def _normalize_tile(tile):
     return tile
 
 
-def _process_tile_task(task, *, shipment):
+def _process_tile_task(task, *, shipment, collect_spans=False):
     """Run one tile in a process worker (module-level: must pickle).
 
     The model and its engines arrive via the shipment (deserialized once
@@ -126,7 +129,11 @@ def _process_tile_task(task, *, shipment):
     task attaches the same shared-memory batch.  Returns the tile output
     plus two stats views: per-engine counter deltas (exact — a worker
     runs one task at a time on one thread) for the parent's merge, and
-    the scope aggregate for ``collect_stats`` callers.
+    the scope aggregate for ``collect_stats`` callers.  With
+    ``collect_spans`` a fourth element rides along: the tile's finished
+    span dict (duration plus worker pid — ``perf_counter`` offsets are
+    not comparable across processes, so only durations cross the
+    boundary), which the parent stitches into the caller's recorder.
     """
     from .process import load_shipment
 
@@ -134,16 +141,23 @@ def _process_tile_task(task, *, shipment):
     model, _engines = load_shipment(shipment)
     engines = collect_engines(model)
     before = {name: engine.stats.as_dict() for name, engine in engines.items()}
-    with StatsScope() as scope:
+    recorder = SpanRecorder() if collect_spans else None
+    start = time.perf_counter()
+    with _bind_recorder(recorder), StatsScope() as scope:
         out = model(Tensor(images[_normalize_tile(tile)])).data
     deltas = {}
     for name, engine in engines.items():
         after = engine.stats.as_dict()
         deltas[name] = {key: after[key] - before[name][key] for key in after}
-    return out, deltas, scope.stats.as_dict()
+    if not collect_spans:
+        return out, deltas, scope.stats.as_dict()
+    recorder.close_span("tile", time.perf_counter() - start,
+                        backend="process", pid=os.getpid())
+    return out, deltas, scope.stats.as_dict(), recorder.spans
 
 
-def _infer_tiles_process(model, images, tiles, pool, collect_stats):
+def _infer_tiles_process(model, images, tiles, pool, collect_stats,
+                         span_recorders=None):
     """The process-backend tile fan-out: ship once, run tiles, merge stats.
 
     The deterministic contract is preserved structurally: ``pool.map`` is
@@ -152,15 +166,28 @@ def _infer_tiles_process(model, images, tiles, pool, collect_stats):
     the caller's arrays), and the per-engine counter deltas merge into the
     caller's engines in tile order — integer merges commute, so the totals
     equal the serial run's no matter how tiles landed on workers.
+    Worker-side tile spans (when ``span_recorders`` is given) come back
+    with the results and are stitched into each tile's recorder here, on
+    the caller's side.
     """
     engines = collect_engines(model)
     version = tuple(getattr(engine, "_swap_epoch", 0)
                     for engine in engines.values())
     shipment = pool.ship((model, engines), version=version)
-    run = functools.partial(_process_tile_task, shipment=shipment)
+    collect_spans = span_recorders is not None
+    run = functools.partial(_process_tile_task, shipment=shipment,
+                            collect_spans=collect_spans)
     raw = pool.map(run, [(tile, images) for tile in tiles])
     results = []
-    for out, deltas, scope_counters in raw:
+    for index, row in enumerate(raw):
+        if collect_spans:
+            out, deltas, scope_counters, spans = row
+            recorder = span_recorders[index]
+            if recorder is not None:
+                for span in spans:
+                    recorder.add_span(span)
+        else:
+            out, deltas, scope_counters = row
         for name, counters in deltas.items():
             engines[name].stats.merge(EngineStats(**counters))
         if collect_stats:
@@ -174,7 +201,8 @@ def infer_tiles(model, images: np.ndarray, tiles: Sequence,
                 *, workers: Optional[int] = None,
                 pool: Optional[WorkerPool] = None,
                 collect_stats: bool = False,
-                backend: Optional[str] = None):
+                backend: Optional[str] = None,
+                span_recorders: Optional[Sequence] = None):
     """Run ``model`` over explicit batch tiles fanned out on workers.
 
     The tile-shape-agnostic entry point: ``tiles`` is any sequence of
@@ -198,6 +226,16 @@ def infer_tiles(model, images: np.ndarray, tiles: Sequence,
     caller's engines — outputs and merged stats are bit-identical to the
     thread and serial schedules (``tests/runtime/
     test_backend_equivalence.py``).
+
+    ``span_recorders`` (optional, aligned with ``tiles``; entries may be
+    ``None``) collects one timed ``tile`` span per tile into each
+    :class:`repro.obs.SpanRecorder` — on the serial/thread schedules the
+    recorder is bound on the executing thread (so armed engine profilers
+    contribute per-layer children), on the process schedule the worker's
+    finished spans return with the results and are stitched here.
+    Tracing is read-only: it never touches an operand, and the traced
+    and untraced schedules produce byte-identical outputs
+    (``tests/obs/test_obs_determinism.py``).
     """
     images = np.asarray(images)
     if images.ndim < 1 or images.shape[0] == 0:
@@ -205,6 +243,12 @@ def infer_tiles(model, images: np.ndarray, tiles: Sequence,
     tiles = list(tiles)
     if not tiles:
         raise ValueError("tiles must name at least one tile")
+    if span_recorders is not None:
+        span_recorders = list(span_recorders)
+        if len(span_recorders) != len(tiles):
+            raise ValueError(
+                f"span_recorders must align with tiles: "
+                f"{len(span_recorders)} recorder(s) for {len(tiles)} tile(s)")
 
     def run_tile(tile) -> np.ndarray:
         return model(Tensor(images[_normalize_tile(tile)])).data
@@ -214,15 +258,33 @@ def infer_tiles(model, images: np.ndarray, tiles: Sequence,
             out = run_tile(tile)
         return out, scope.stats
 
+    run_one = run_tile_scoped if collect_stats else run_tile
+
     def dispatch(active_pool):
-        if (getattr(active_pool, "backend", "thread") == "process"
+        backend_label = getattr(active_pool, "backend", "thread")
+        if (backend_label == "process"
                 and active_pool.workers > 1 and len(tiles) > 1
                 and not threading.current_thread().name.startswith(
                     _WORKER_THREAD_PREFIX)):
             return _infer_tiles_process(model, images, tiles, active_pool,
-                                        collect_stats)
-        run = run_tile_scoped if collect_stats else run_tile
-        return active_pool.map(run, tiles)
+                                        collect_stats,
+                                        span_recorders=span_recorders)
+
+        def run_tile_traced(item):
+            tile, recorder = item
+            if recorder is None:
+                return run_one(tile)
+            start = time.perf_counter()
+            with _bind_recorder(recorder):
+                result = run_one(tile)
+            recorder.close_span("tile", time.perf_counter() - start,
+                                backend=backend_label)
+            return result
+
+        if span_recorders is not None:
+            return active_pool.map(run_tile_traced,
+                                   list(zip(tiles, span_recorders)))
+        return active_pool.map(run_one, tiles)
 
     if pool is not None:
         return dispatch(pool)

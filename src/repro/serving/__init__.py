@@ -52,6 +52,11 @@ Components
   model, class, the exact per-request slice of the shared engines'
   merged ``EngineStats``, and — after a die recovery — the recovery
   receipt).
+* :class:`~repro.obs.Observability` (re-exported from :mod:`repro.obs`)
+  — the telemetry bundle every server and router carries by default:
+  the ``/metrics`` Prometheus exposition, the ``/v1/trace/<id>`` span
+  ring, the ``/v1/usage`` per-tenant meter and the opt-in engine
+  profiler — all read-only w.r.t. numerics (``docs/observability.md``).
 * :class:`DieHealthRegistry` — per-die health states
   (``healthy`` / ``quarantined`` / ``reprogramming``) behind the
   ``/healthz`` die-pool summary; driven by the dispatch path's online
@@ -71,6 +76,7 @@ runs self-checking demos of either shape (``--http`` puts them on a
 socket).
 """
 
+from ..obs import Observability
 from .cluster import (ClusterHarness, ClusterRouter, ReplicaDirectory,
                       ReplicaProcess, RoutingPolicy)
 from .health import (DIE_HEALTHY, DIE_QUARANTINED, DIE_REPROGRAMMING,
@@ -92,7 +98,8 @@ __all__ = [
     "DIE_HEALTHY", "DIE_QUARANTINED", "DIE_REPROGRAMMING",
     "DieHealthRegistry", "ERROR_CODES",
     "HttpClient", "HttpError", "HttpFrontend", "InferenceServer",
-    "ModelRegistry", "PendingRequest", "PriorityClass", "QueueClosed",
+    "ModelRegistry", "Observability", "PendingRequest", "PriorityClass",
+    "QueueClosed",
     "RegisteredModel", "ReplicaDirectory", "ReplicaProcess",
     "RequestQueue", "RequestShed", "RequestStats", "RoutingPolicy",
     "SHED_ADMISSION", "SHED_DEADLINE", "SHED_FAULT_RECOVERY",

@@ -38,7 +38,13 @@ exactly like a partially-shed single-replica batch).
 
 ``GET /v1/cluster`` exposes the directory snapshot, the routing policy,
 the router's own counters and a best-effort live ``/v1/stats`` of every
-replica.  The router's ``X-Request-Id`` handling is inherited from
+replica.  ``GET /metrics`` is the router's *own* Prometheus exposition
+(routing events, replica health tally — scrape the replicas separately
+for serving metrics), and ``GET /v1/trace/<id>`` returns the stored
+routing decision (a ``router.route`` span whose children are the
+``attempt`` spans) for a request id — the same id the chosen replica
+stores its serving span tree under, so one id yields both halves of the
+story.  The router's ``X-Request-Id`` handling is inherited from
 :class:`~repro.serving.http.JsonHttpHandler` and the id is *forwarded*
 to the chosen replica, so one trace id follows a request through router
 log, replica receipt and error body.
@@ -53,6 +59,7 @@ from dataclasses import dataclass
 from http.server import ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ...obs import Observability, instrument, span_dict
 from ..http import (DEFAULT_MAX_BODY_BYTES, DEFAULT_RETRY_AFTER_S,
                     TRANSPORT_ERRORS, HttpClient, JsonHttpHandler,
                     error_body)
@@ -174,6 +181,10 @@ class _RouterHandler(JsonHttpHandler):
                 self._reply(200, self.router.stats_snapshot())
             elif self.path == "/v1/models":
                 self._handle_models()
+            elif self.path == "/metrics":
+                self._reply_text(200, self.router.metrics_text())
+            elif self.path.startswith("/v1/trace/"):
+                self._handle_trace(self.path[len("/v1/trace/"):])
             elif self.path in ("/v1/infer", "/v1/infer_batch"):
                 self._reply_error(405, "method_not_allowed",
                                   f"{self.path} requires POST")
@@ -187,7 +198,8 @@ class _RouterHandler(JsonHttpHandler):
             if self.path not in ("/v1/infer", "/v1/infer_batch"):
                 self.close_connection = True
                 if self.path in ("/healthz", "/v1/stats", "/v1/models",
-                                 "/v1/cluster"):
+                                 "/v1/cluster", "/metrics") \
+                        or self.path.startswith("/v1/trace/"):
                     self._reply_error(405, "method_not_allowed",
                                       f"{self.path} requires GET")
                 else:
@@ -223,6 +235,16 @@ class _RouterHandler(JsonHttpHandler):
             self._reply(status, reply)
 
     # -- GET endpoints ------------------------------------------------------
+    def _handle_trace(self, trace_id: str) -> None:
+        record = self.router.trace(trace_id)
+        if record is None:
+            self._reply_error(
+                404, "not_found",
+                f"no stored trace for id {trace_id!r} (never seen, "
+                f"evicted from the ring, or tracing is disabled)")
+        else:
+            self._reply(200, record)
+
     def _handle_healthz(self) -> None:
         router = self.router
         counts = router.directory.snapshot()["counts"]
@@ -301,7 +323,8 @@ class ClusterRouter:
                  retry_after_s: Optional[float] = DEFAULT_RETRY_AFTER_S,
                  own_directory: bool = True,
                  client_factory: Optional[Callable] = None,
-                 log: Optional[Callable[[str], None]] = None):
+                 log: Optional[Callable[[str], None]] = None,
+                 obs: Optional[Observability] = None):
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
         if retry_after_s is not None and retry_after_s < 0:
@@ -313,6 +336,8 @@ class ClusterRouter:
         self.own_directory = own_directory
         self.log = log
         self.stats = RouterStats()
+        self.obs = obs if obs is not None else Observability()
+        self._wire_obs()
         self._client_factory = (client_factory if client_factory is not None
                                 else HttpClient)
         self._draining = False
@@ -322,6 +347,40 @@ class ClusterRouter:
         self._httpd.owner = self
         self._thread: Optional[threading.Thread] = None
         self._shut_down = False
+
+    def _wire_obs(self) -> None:
+        """Bridge the router's live counters to its ``/metrics`` page.
+
+        The router has no hot inference loop of its own, so *all* its
+        metrics are pull-time mirrors: a scrape hook copies
+        :meth:`RouterStats.snapshot` into the
+        ``forms_router_events_total`` counter family (monotone ``set`` —
+        the snapshot totals only ever grow) and the directory's
+        up/suspect/down tally into ``forms_router_replicas``.
+        """
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        events = instrument(metrics, "forms_router_events_total")
+        replicas = instrument(metrics, "forms_router_replicas")
+
+        def refresh() -> None:
+            for event, total in self.stats.snapshot().items():
+                events.labels(event).set(total)
+            for state, count in self.directory.snapshot()["counts"].items():
+                replicas.labels(state).set(count)
+
+        self.obs.add_scrape_hook(refresh)
+
+    # -- observability ------------------------------------------------------
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the router's own Prometheus exposition (the
+        replicas each serve their own — scrape all of them)."""
+        return self.obs.scrape()
+
+    def trace(self, trace_id: str) -> Optional[Dict]:
+        """The stored routing trace for ``trace_id`` (``None`` on miss)."""
+        return self.obs.traces.get(trace_id)
 
     # -- address ------------------------------------------------------------
     @property
@@ -387,13 +446,26 @@ class ClusterRouter:
     # -- one proxied attempt ------------------------------------------------
     def _attempt(self, name: str, method: str, path: str,
                  body: Optional[Dict],
-                 trace_id: Optional[str]) -> Tuple[str, int, Dict]:
+                 trace_id: Optional[str], *,
+                 spans: Optional[List[Dict]] = None,
+                 hedge: bool = False) -> Tuple[str, int, Dict]:
         """One round trip to replica ``name``.
 
         Returns ``("ok", status, payload)`` for an authoritative answer
         (passed through unchanged) or ``("retry", status, payload)``
         for a failover-able outcome; health reporting happens here.
+        With ``spans`` an ``attempt`` span (replica, outcome, status,
+        hedge flag) is appended — list.append is atomic, so concurrent
+        hedged attempts share one list safely.
         """
+        start = time.perf_counter()
+
+        def record(kind: str, status: int) -> None:
+            if spans is not None:
+                spans.append(span_dict(
+                    "attempt", time.perf_counter() - start,
+                    replica=name, outcome=kind, status=status, hedge=hedge))
+
         host, port = self.directory.endpoint(name)
         client = self._client_factory(host, port,
                                       self.policy.attempt_timeout_s)
@@ -406,6 +478,7 @@ class ClusterRouter:
                 status, payload = client.request(method, path, body)
         except TRANSPORT_ERRORS as exc:
             self.directory.report_failure(name)
+            record("retry", 0)
             return ("retry", 0,
                     error_body("cluster_unavailable",
                                f"replica {name}: {exc}", replica=name))
@@ -416,13 +489,16 @@ class ClusterRouter:
                 code = error.get("code")
         if status == 503 and code in RETRYABLE_503_CODES:
             self.directory.report_failure(name)
+            record("retry", status)
             return "retry", status, payload
         self.directory.report_success(name)
+        record("ok", status)
         return "ok", status, payload
 
     def _proxy(self, plan: List[str], method: str, path: str,
                body: Optional[Dict], trace_id: Optional[str], *,
-               hedge_delay_s: Optional[float] = None
+               hedge_delay_s: Optional[float] = None,
+               spans: Optional[List[Dict]] = None
                ) -> Optional[Tuple[int, Dict]]:
         """Failover (and optionally hedge) ``body`` across ``plan``.
 
@@ -446,7 +522,8 @@ class ClusterRouter:
 
             def attempt_thread():
                 results.put((hedge, self._attempt(name, method, path, body,
-                                                  trace_id)))
+                                                  trace_id, spans=spans,
+                                                  hedge=hedge)))
             threading.Thread(target=attempt_thread,
                              name="forms-router-attempt",
                              daemon=True).start()
@@ -493,18 +570,47 @@ class ClusterRouter:
     def route_infer(self, payload: Dict, model: Optional[str], *,
                     trace_id: Optional[str] = None) -> Tuple[int, Dict]:
         """Route one ``POST /v1/infer`` envelope; returns
-        ``(status, reply)`` ready for the wire."""
+        ``(status, reply)`` ready for the wire.
+
+        With tracing on, the routing decision is stored in the router's
+        trace ring under the same ``trace_id`` the replica stores its
+        span tree under: a ``router.route`` span whose children are the
+        ``attempt`` spans (replica, outcome, hedge flag).  An attempt
+        still in flight when the answer lands (a losing hedge) may miss
+        the snapshot — the stored trace is the *decision*, not the
+        stragglers.
+        """
         self.stats.record(requests=1)
+        tracing = self.obs.tracing and trace_id is not None
+        spans: Optional[List[Dict]] = [] if tracing else None
+        start = time.perf_counter()
         plan = self._plan(model)
         if not plan:
             self.stats.record(unavailable=1)
+            self._store_trace(trace_id, model, spans, start,
+                              outcome="unavailable")
             return 503, _unavailable_error(model, 0, trace_id)
         outcome = self._proxy(plan, "POST", "/v1/infer", payload, trace_id,
-                              hedge_delay_s=self.policy.hedge_delay_s)
+                              hedge_delay_s=self.policy.hedge_delay_s,
+                              spans=spans)
         if outcome is None:
             self.stats.record(unavailable=1)
+            self._store_trace(trace_id, model, spans, start,
+                              outcome="unavailable")
             return 503, _unavailable_error(model, len(plan), trace_id)
+        self._store_trace(trace_id, model, spans, start, outcome="ok",
+                          status=outcome[0])
         return outcome
+
+    def _store_trace(self, trace_id: Optional[str], model: Optional[str],
+                     spans: Optional[List[Dict]], start: float,
+                     **attrs) -> None:
+        if spans is None or trace_id is None:
+            return
+        route = span_dict("router.route", time.perf_counter() - start,
+                          start_s=0.0, children=list(spans), **attrs)
+        self.obs.traces.put({"trace_id": trace_id, "role": "router",
+                             "model": model, "spans": [route]})
 
     def route_infer_batch(self, payload: Dict, model: Optional[str], *,
                           trace_id: Optional[str] = None) -> Tuple[int, Dict]:

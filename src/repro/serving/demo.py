@@ -208,7 +208,8 @@ def build_demo_server(models: int = 1, *,
                       deadline_ms: Optional[float] = 50.0,
                       max_batch: int = 4, max_wait_ms: float = 2.0,
                       workers: Optional[int] = None, seed: int = 0,
-                      activation_bits: int = 12, die_cache=None):
+                      activation_bits: int = 12, die_cache=None,
+                      obs=None):
     """Stand up the demo :class:`~repro.serving.InferenceServer`, idle.
 
     The traffic-free sibling of the drive functions: builds exactly the
@@ -235,7 +236,7 @@ def build_demo_server(models: int = 1, *,
             model, config, device, adc=adc,
             activation_bits=activation_bits, max_batch=max_batch,
             max_wait_s=max_wait_ms / 1e3, workers=workers,
-            die_cache=die_cache)
+            die_cache=die_cache, obs=obs)
         traffic = {"images": images,
                    "cases": [(None, None, None)],
                    "interactive_fraction": 1.0}
@@ -252,7 +253,8 @@ def build_demo_server(models: int = 1, *,
         for name, model in tenants.items():
             registry.register(name, model, config, device, adc=adc,
                               activation_bits=activation_bits)
-        server = InferenceServer(registry=registry, policy=mixed_policy())
+        server = InferenceServer(registry=registry, policy=mixed_policy(),
+                                 obs=obs)
     except BaseException:
         registry.close()
         raise
@@ -268,7 +270,7 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
                   models: int = 1, *, host: str = "127.0.0.1", port: int = 0,
                   deadline_ms: Optional[float] = 50.0,
                   max_batch: int = 4, max_wait_ms: float = 2.0,
-                  workers: Optional[int] = None, seed: int = 0,
+                  workers: Optional[int] = None, seed: int = 0, obs=None,
                   print_fn: Optional[Callable[[str], None]] = print) -> Dict:
     """Drive the demo server *over the wire* and verify every bit.
 
@@ -280,7 +282,15 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
     front end and confirms the port actually closed.  Returns the
     ``/v1/stats`` snapshot.  Raises on any numeric deviation or any
     failure other than an explicit shed receipt.
+
+    Doubles as the observability wire smoke: before the drain it scrapes
+    ``/metrics`` (and runs the strict Prometheus-text parser over it),
+    fetches ``/v1/usage`` (asserting the billed request/shed totals match
+    the wire outcomes) and replays one served request's span tree from
+    ``/v1/trace/<id>`` — skipped for the parts an explicit ``obs``
+    bundle disables.
     """
+    from ..obs import parse_prometheus_text
     from ..perf.http import replay_http_open_loop
     from ..perf.serving import poisson_arrival_offsets
     from ..runtime import run_network_serial
@@ -290,7 +300,7 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
     server, traffic = build_demo_server(models, deadline_ms=deadline_ms,
                                         max_batch=max_batch,
                                         max_wait_ms=max_wait_ms,
-                                        workers=workers, seed=seed)
+                                        workers=workers, seed=seed, obs=obs)
     images, cases = traffic["images"], traffic["cases"]
     rng = np.random.default_rng(seed)
     image_idx = rng.integers(0, images.shape[0], size=requests)
@@ -319,6 +329,20 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
         outcomes, open_loop_s = replay_http_open_loop(client, plan,
                                                       arrival_offsets)
         snapshot = client.stats()
+        # observability wire smoke, while the socket is still up: the
+        # exposition must survive the strict parser, and one served
+        # request's span tree must come back from the trace ring
+        exposition = (parse_prometheus_text(client.metrics())
+                      if server.obs.metrics.enabled else None)
+        usage = client.usage()
+        traced = None
+        if server.obs.tracing:
+            for outcome in outcomes:
+                if outcome["error"] is None:
+                    tid = outcome["result"].stats.get("trace_id")
+                    if tid:
+                        traced = (tid, client.trace(tid))
+                        break
         # serial references while the networks are still reachable
         names = {model for model, _ in assignments}
         serial = {model: run_network_serial(
@@ -344,6 +368,23 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
                 "!= in-process serial forward")
     say(f"bit-identity of all {served} served responses vs in-process "
         f"serial forwards: OK ({shed} shed with receipts)")
+    totals = usage["totals"]
+    if (totals["requests"], totals["sheds"]) != (served, shed):
+        raise AssertionError(
+            f"/v1/usage billed {totals['requests']} requests / "
+            f"{totals['sheds']} sheds; the wire saw {served} / {shed}")
+    obs_bits = [f"/v1/usage billed {totals['requests']} requests, "
+                f"{totals['macs']} macs"]
+    if exposition is not None:
+        obs_bits.insert(0, f"/metrics parsed clean "
+                           f"({len(exposition)} families)")
+    if traced is not None:
+        tid, record = traced
+        root = record["spans"][0]
+        obs_bits.append(f"/v1/trace/{tid[:8]}… returned a "
+                        f"{root['name']!r} span with "
+                        f"{len(root.get('children', []))} children")
+    say(f"observability: {'; '.join(obs_bits)} — OK")
     say(f"wire snapshot: p50 {snapshot['latency_p50_s'] * 1e3:.2f} ms, "
         f"p95 {snapshot['latency_p95_s'] * 1e3:.2f} ms, "
         f"mean batch {snapshot['mean_batch_size']:.2f}, "
@@ -367,7 +408,7 @@ def run_http_server(models: int = 1, *, host: str = "127.0.0.1",
                     port: int = 8100,
                     deadline_ms: Optional[float] = 50.0,
                     max_batch: int = 4, max_wait_ms: float = 2.0,
-                    workers: Optional[int] = None, seed: int = 0,
+                    workers: Optional[int] = None, seed: int = 0, obs=None,
                     print_fn: Optional[Callable[[str], None]] = print,
                     ready: Optional[Callable] = None,
                     stop: Optional[threading.Event] = None) -> Dict:
@@ -385,7 +426,7 @@ def run_http_server(models: int = 1, *, host: str = "127.0.0.1",
     server, traffic = build_demo_server(models, deadline_ms=deadline_ms,
                                         max_batch=max_batch,
                                         max_wait_ms=max_wait_ms,
-                                        workers=workers, seed=seed)
+                                        workers=workers, seed=seed, obs=obs)
     stop = stop if stop is not None else threading.Event()
     with server:
         frontend = HttpFrontend(server, host=host, port=port,
@@ -403,6 +444,9 @@ def run_http_server(models: int = 1, *, host: str = "127.0.0.1",
         say(f"  curl -s -X POST {frontend.url}/v1/infer "
             f"-H 'Content-Type: application/json' -d '{{{envelope}}}'")
         say(f"  curl -s {frontend.url}/v1/stats")
+        if server.obs.metrics.enabled:
+            say(f"  curl -s {frontend.url}/metrics")
+        say(f"  curl -s {frontend.url}/v1/usage")
         if ready is not None:
             ready(frontend)
         try:
@@ -524,6 +568,8 @@ def run_http_cli(args) -> int:
     wire demo (``--http-demo``) or the serve-until-interrupted server —
     single-process by default, the replica cluster with ``--cluster N``.
     """
+    from ..obs import Observability
+
     cluster = getattr(args, "cluster", None)
     if cluster is not None:
         hedge = (args.hedge_ms / 1e3 if getattr(args, "hedge_ms", None)
@@ -549,10 +595,15 @@ def run_http_cli(args) -> int:
         print("note: --max-batch/--max-wait-ms are FIFO knobs; the SLA "
               "demo's classes carry their own coalescing budgets "
               "(ignored here)")
+    # --no-metrics / --trace-ring shape the single-process server's
+    # Observability bundle (the cluster's subprocess replicas boot their
+    # own defaults — the flags do not reach across the fork)
+    obs = Observability(metrics=not getattr(args, "no_metrics", False),
+                        trace_ring=getattr(args, "trace_ring", 256))
     knobs = dict(models=models, host=args.http_host, port=args.http,
                  deadline_ms=deadline, max_batch=args.max_batch,
                  max_wait_ms=args.max_wait_ms, workers=args.workers,
-                 seed=args.seed)
+                 seed=args.seed, obs=obs)
     if args.http_demo:
         run_http_demo(requests=args.requests, rate_rps=args.rate, **knobs)
     else:

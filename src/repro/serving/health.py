@@ -66,7 +66,10 @@ class DieHealthRegistry:
             if state == DIE_HEALTHY and previous != DIE_HEALTHY:
                 self.recoveries += 1
             self._events.append({
-                "t": time.time(), "model": model, "layer": layer,
+                # monotonic, not wall clock: the log exists to order
+                # transitions (and difference their times), and a wall
+                # clock can step backwards mid-incident
+                "t": time.monotonic(), "model": model, "layer": layer,
                 "from": previous, "to": state, "detail": detail})
             del self._events[:-self._event_log]
 

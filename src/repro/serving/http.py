@@ -21,7 +21,15 @@ Endpoints
 ``GET  /v1/stats``         the operational snapshot (per-class / per-model
                            percentiles, sheds, occupancy, queue depth)
 ``GET  /healthz``          liveness: 200 while serving, 503 while draining
+``GET  /metrics``          Prometheus text exposition of the server's
+                           :class:`~repro.obs.MetricsRegistry`
+``GET  /v1/usage``         per-(model, class) usage accounting (requests,
+                           macs, die-seconds, sheds)
+``GET  /v1/trace/<id>``    the stored span tree of one request, keyed on
+                           its ``X-Request-Id`` (404 once evicted)
 =========================  ====================================================
+
+Observability endpoints are documented in ``docs/observability.md``.
 
 Payload encodings
 -----------------
@@ -75,13 +83,14 @@ import json
 import re
 import threading
 import time
-import uuid
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs import PROMETHEUS_CONTENT_TYPE
+from ..obs.trace import new_trace_id
 from ..reram.faults import DieFaultDetected
 from .queue import QueueClosed
 from .scheduler import RequestShed
@@ -101,11 +110,6 @@ DEFAULT_RETRY_AFTER_S = 0.25
 #: ASCII, bounded — anything else is replaced by a generated id rather
 #: than rejected (tracing must never fail a request)
 _TRACE_ID_RE = re.compile(r"^[\x21-\x7e]{1,128}$")
-
-
-def new_trace_id() -> str:
-    """A fresh request-trace id (hex, no dashes — header-safe)."""
-    return uuid.uuid4().hex
 
 
 #: what a failed round trip through :meth:`HttpClient.request` can raise
@@ -331,6 +335,18 @@ class JsonHttpHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _reply_text(self, status: int, text: str,
+                    content_type: str = PROMETHEUS_CONTENT_TYPE) -> None:
+        """A non-JSON reply — the ``/metrics`` exposition path."""
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if self._trace_id is not None:
+            self.send_header("X-Request-Id", self._trace_id)
+        self.end_headers()
+        self.wfile.write(data)
+
     def _reply_error(self, status: int, code: str, message: str,
                      **extra) -> None:
         self._reply(status, error_body(code, message, **extra))
@@ -400,6 +416,12 @@ class _Handler(JsonHttpHandler):
                 self._reply(200, self.frontend.server.server_stats())
             elif self.path == "/v1/models":
                 self._reply(200, self.frontend.server.registry_stats())
+            elif self.path == "/metrics":
+                self._reply_text(200, self.frontend.server.metrics_text())
+            elif self.path == "/v1/usage":
+                self._reply(200, self.frontend.server.usage_snapshot())
+            elif self.path.startswith("/v1/trace/"):
+                self._handle_trace(self.path[len("/v1/trace/"):])
             elif self.path in ("/v1/infer", "/v1/infer_batch"):
                 self._reply_error(405, "method_not_allowed",
                                   f"{self.path} requires POST")
@@ -411,7 +433,9 @@ class _Handler(JsonHttpHandler):
         self._begin_request()
         with self.frontend._track():
             if self.path not in ("/v1/infer", "/v1/infer_batch"):
-                if self.path in ("/healthz", "/v1/stats", "/v1/models"):
+                if self.path in ("/healthz", "/v1/stats", "/v1/models",
+                                 "/metrics", "/v1/usage") \
+                        or self.path.startswith("/v1/trace/"):
                     self.close_connection = True
                     self._reply_error(405, "method_not_allowed",
                                       f"{self.path} requires GET")
@@ -457,6 +481,16 @@ class _Handler(JsonHttpHandler):
                                   f"{type(exc).__name__}: {exc}")
 
     # -- endpoints ---------------------------------------------------------
+    def _handle_trace(self, trace_id: str) -> None:
+        record = self.frontend.server.trace(trace_id)
+        if record is None:
+            self._reply_error(
+                404, "not_found",
+                f"no stored trace for id {trace_id!r} (never seen, "
+                f"evicted from the ring, or tracing is disabled)")
+        else:
+            self._reply(200, record)
+
     def _handle_healthz(self) -> None:
         frontend = self.frontend
         draining = frontend.draining
@@ -962,5 +996,39 @@ class HttpClient:
         not a transient to paper over."""
         status, payload = self._get_retrying("/healthz", retry_statuses=())
         if status not in (200, 503):
+            raise HttpError(status, payload)
+        return payload
+
+    # -- observability endpoints -------------------------------------------
+    def metrics(self) -> str:
+        """``GET /metrics`` — the raw Prometheus text exposition (the one
+        non-JSON body of the protocol; parse with
+        :func:`repro.obs.parse_prometheus_text`)."""
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout)
+        try:
+            connection.request("GET", "/metrics",
+                               headers={"Connection": "close"})
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise HttpError(response.status,
+                                json.loads(raw.decode("utf-8")))
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
+    def usage(self) -> Dict:
+        """``GET /v1/usage`` — the per-(model, class) usage snapshot."""
+        status, payload = self._get_retrying("/v1/usage")
+        if status != 200:
+            raise HttpError(status, payload)
+        return payload
+
+    def trace(self, trace_id: str) -> Dict:
+        """``GET /v1/trace/<id>`` — one stored trace record; raises
+        :class:`HttpError` (``code "not_found"``) once evicted."""
+        status, payload = self.request("GET", f"/v1/trace/{trace_id}")
+        if status != 200:
             raise HttpError(status, payload)
         return payload

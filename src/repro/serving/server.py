@@ -69,6 +69,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import (EngineProfiler, Observability, SpanRecorder, instrument,
+                   new_trace_id, span_dict)
 from ..reram import DieCache
 from ..reram.faults import DieFaultDetected, DieGuard, FaultInjector
 from ..runtime import WorkerPool, infer_tiles
@@ -144,7 +146,8 @@ class InferenceServer:
                  detect_faults: bool = False,
                  guard_coverage: float = 1.0,
                  fault_injector: Optional[FaultInjector] = None,
-                 max_fault_retries: int = 2):
+                 max_fault_retries: int = 2,
+                 obs: Optional[Observability] = None):
         if max_fault_retries < 0:
             raise ValueError("max_fault_retries must be >= 0")
         if (model is None) == (registry is None):
@@ -176,7 +179,14 @@ class InferenceServer:
                                            max_wait_s=max_wait_s))
         self.admission = admission
         self.stats = ServerStats()
-        self.queue = SlaQueue(self.policy, on_shed=self.stats.record_shed)
+        #: the server's observability bundle (metrics registry behind
+        #: ``GET /metrics``, trace ring behind ``GET /v1/trace/<id>``,
+        #: usage meter behind ``GET /v1/usage``); default-on — pass
+        #: ``Observability.disabled()`` for the bare-metal shape
+        self.obs = obs if obs is not None else Observability()
+        self.profiler: Optional[EngineProfiler] = None
+        self._wire_obs()
+        self.queue = SlaQueue(self.policy, on_shed=self._record_shed)
         self._ids = itertools.count()
         self._batch_ids = itertools.count()
         self._shutdown_lock = threading.Lock()
@@ -193,10 +203,84 @@ class InferenceServer:
                 self.die_health.attach(entry.name, layer)
             if detect_faults:
                 self.arm_model(name, coverage=guard_coverage)
+        if self.obs.profile_engines:
+            self.arm_profiling()
         # the SLA queue carries its per-class coalescing knobs in the
         # policy, so the batcher needs none of its own
         self.batcher = Batcher(self.queue, self._dispatch)
         self.batcher.start()
+
+    def _wire_obs(self) -> None:
+        """Register the catalogued instruments and pull-gauge hooks.
+
+        Counters and histograms are live-updated at their record sites
+        (:meth:`_record_shed`, :meth:`_dispatch`); the gauges are
+        refreshed by a scrape hook from the snapshots the stack already
+        computes (queue depth, occupancy window, die health states,
+        per-model :class:`~repro.reram.engine.EngineStats` totals), so a
+        scrape is a consistent read of live state.
+        """
+        metrics = self.obs.metrics
+        self._m_completed = instrument(metrics,
+                                       "forms_requests_completed_total")
+        self._m_shed = instrument(metrics, "forms_requests_shed_total")
+        self._m_failed = instrument(metrics, "forms_requests_failed_total")
+        self._m_recovered = instrument(metrics,
+                                       "forms_requests_recovered_total")
+        self._m_faults = instrument(metrics, "forms_faults_detected_total")
+        self._m_fault_recoveries = instrument(
+            metrics, "forms_fault_recoveries_total")
+        self._m_batches = instrument(metrics, "forms_batches_total")
+        self._m_batch_size = instrument(metrics, "forms_batch_size")
+        self._m_latency = instrument(metrics,
+                                     "forms_request_latency_seconds")
+        self._m_queue_wait = instrument(metrics, "forms_queue_wait_seconds")
+        if not metrics.enabled:
+            return
+        # pre-touch the label-less families so a scrape reports them at
+        # zero instead of omitting them until the first event
+        for family in (self._m_failed, self._m_recovered, self._m_faults,
+                       self._m_fault_recoveries, self._m_batches,
+                       self._m_batch_size):
+            family.labels()
+        instrument(metrics, "forms_queue_depth").labels().set_function(
+            lambda: self.queue.depth)
+        instrument(metrics, "forms_occupancy").labels().set_function(
+            self.stats.occupancy)
+        die_health = instrument(metrics, "forms_die_health")
+        engine_counter = instrument(metrics, "forms_engine_counter")
+
+        def refresh() -> None:
+            for state, count in self.die_health.counts().items():
+                die_health.labels(state).set(count)
+            for name in self.registry.names():
+                entry = self.registry.get(name)
+                totals: Dict[str, int] = {}
+                for engine in entry.engines.values():
+                    for key, value in engine.stats.as_dict().items():
+                        totals[key] = totals.get(key, 0) + value
+                for key, value in totals.items():
+                    engine_counter.labels(entry.name, key).set(value)
+
+        self.obs.add_scrape_hook(refresh)
+
+    def _record_shed(self, receipt: ShedReceipt) -> None:
+        """The single shed record site: stats window, metrics, usage,
+        and (when tracing) a one-span shed trace under the request's id."""
+        self.stats.record_shed(receipt)
+        self._m_shed.labels(receipt.model, receipt.priority_class,
+                            receipt.reason).inc()
+        self.obs.usage.record_shed(receipt.model, receipt.priority_class)
+        if self.obs.tracing and receipt.trace_id:
+            self.obs.traces.put({
+                "trace_id": receipt.trace_id,
+                "request_id": receipt.request_id,
+                "model": receipt.model,
+                "class": receipt.priority_class,
+                "shed_reason": receipt.reason,
+                "spans": [span_dict("shed", receipt.queue_wait_s,
+                                    start_s=0.0, reason=receipt.reason)],
+            })
 
     # ------------------------------------------------------------------
     @classmethod
@@ -213,6 +297,7 @@ class InferenceServer:
                    guard_coverage: float = 1.0,
                    fault_injector: Optional[FaultInjector] = None,
                    max_fault_retries: int = 2,
+                   obs: Optional[Observability] = None,
                    **engine_kwargs) -> "InferenceServer":
         """Build the in-situ network and serve it.
 
@@ -235,7 +320,7 @@ class InferenceServer:
                          max_wait_s=max_wait_s, detect_faults=detect_faults,
                          guard_coverage=guard_coverage,
                          fault_injector=fault_injector,
-                         max_fault_retries=max_fault_retries)
+                         max_fault_retries=max_fault_retries, obs=obs)
         except BaseException:
             registry.close()
             raise
@@ -291,6 +376,24 @@ class InferenceServer:
             self._engine_ids[id(engine)] = key
         return sum(1 for key in self._guards if key[0] == entry.name)
 
+    def arm_profiling(self, name: Optional[str] = None) -> EngineProfiler:
+        """Arm opt-in per-tier MVM profiling on one model (or all).
+
+        Every subsequent ``matvec_int`` dispatch of the armed engines
+        records its wall time into the
+        ``forms_engine_profile_seconds{model,layer,tier}`` histogram and
+        contributes per-layer ``engine`` spans to request traces.
+        Timing only — armed engines compute bit-identical results.
+        Idempotent; returns the server's :class:`EngineProfiler`.
+        """
+        if self.profiler is None:
+            self.profiler = EngineProfiler(self.obs.metrics)
+        names = self.registry.names() if name is None else [name]
+        for model_name in names:
+            entry = self.registry.get(model_name)
+            self.profiler.arm(entry.engines, model=entry.name)
+        return self.profiler
+
     # ------------------------------------------------------------------
     def submit_async(self, image: np.ndarray, *,
                      model: Optional[str] = None,
@@ -308,13 +411,18 @@ class InferenceServer:
         is a relative latency budget — the request is shed, never
         dispatched, once it has been queued that long.  ``trace_id`` (the
         wire's ``X-Request-Id``) rides through to the served or shed
-        receipt so one id traces the request across processes.
+        receipt so one id traces the request across processes; in-process
+        callers that pass none get one minted here, so
+        :attr:`RequestStats.trace_id` is always populated and every
+        request is queryable at ``GET /v1/trace/<id>``.
         """
         image = np.asarray(image)
         if image.ndim < 1:
             raise ValueError("image must be at least 1-D (no batch axis)")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be > 0 (or None)")
+        if trace_id is None:
+            trace_id = new_trace_id()
         with self._shutdown_lock:
             if self._shut_down:
                 raise RuntimeError("server is shut down")
@@ -332,7 +440,7 @@ class InferenceServer:
                     priority_class=cls.name, reason=SHED_ADMISSION,
                     queue_wait_s=0.0, deadline_s=deadline_s,
                     trace_id=trace_id)
-                self.stats.record_shed(receipt)
+                self._record_shed(receipt)
                 refused: Future = Future()
                 refused.set_exception(RequestShed(receipt))
                 return refused
@@ -366,6 +474,20 @@ class InferenceServer:
     def registry_stats(self) -> Dict:
         """Structural snapshot of the tenant registry (die reuse etc.)."""
         return self.registry.stats()
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition behind ``GET /metrics``
+        (refreshes the pull gauges first)."""
+        return self.obs.scrape()
+
+    def usage_snapshot(self) -> Dict:
+        """Per-(model, class) usage accounting behind ``GET /v1/usage``."""
+        return self.obs.usage.snapshot()
+
+    def trace(self, trace_id: str) -> Optional[Dict]:
+        """The stored span tree for one request id (``None`` if unknown
+        or already evicted from the bounded ring)."""
+        return self.obs.traces.get(trace_id)
 
     def shutdown(self, timeout: Optional[float] = None) -> None:
         """Drain queued and in-flight requests, then stop.
@@ -421,6 +543,8 @@ class InferenceServer:
         batch_id = next(self._batch_ids)
         entry = batch[0].entry
         tiles = [slice(i, i + 1) for i in range(len(batch))]
+        tracing = self.obs.tracing
+        recorders = ([SpanRecorder() for _ in batch] if tracing else None)
         recovery: Optional[Dict] = None
         retries = 0
         try:
@@ -430,10 +554,12 @@ class InferenceServer:
             while True:
                 try:
                     results = infer_tiles(entry.network, stacked, tiles,
-                                          pool=self.pool, collect_stats=True)
+                                          pool=self.pool, collect_stats=True,
+                                          span_recorders=recorders)
                     break
                 except DieFaultDetected as fault:
                     self.stats.record_fault_detected()
+                    self._m_faults.inc()
                     if retries >= self.max_fault_retries:
                         self._shed_batch_fault(batch, fault, dispatch_t,
                                                recovery)
@@ -442,28 +568,66 @@ class InferenceServer:
                     recovery = self._recover_die(fault, retries, recovery)
         except BaseException:
             self.stats.record_failure(len(batch))
+            self._m_failed.inc(len(batch))
             raise  # the batcher fails this batch's futures
         if recovery is not None:
             self.stats.record_recovery(len(batch))
+            self._m_recovered.inc(len(batch))
 
         done_t = time.monotonic()
-        self.stats.record_batch(len(batch), done_t - dispatch_t)
-        for request, (output, engine_stats) in zip(batch, results):
+        service_s = done_t - dispatch_t
+        self.stats.record_batch(len(batch), service_s)
+        self._m_batches.inc()
+        self._m_batch_size.observe(len(batch))
+        for index, (request, (output, engine_stats)) in enumerate(
+                zip(batch, results)):
+            queue_wait_s = dispatch_t - request.enqueue_t
+            latency_s = done_t - request.enqueue_t
+            spans: Optional[List[Dict]] = None
+            if tracing:
+                # the span tree of the receipt: offsets are relative to
+                # enqueue, tile/engine children come from the runtime's
+                # recorder (duration-only when stitched across processes)
+                spans = [span_dict(
+                    "request", latency_s, start_s=0.0, children=[
+                        span_dict("queue_wait", queue_wait_s, start_s=0.0),
+                        span_dict("batch", service_s, start_s=queue_wait_s,
+                                  batch_id=batch_id, batch_size=len(batch),
+                                  children=recorders[index].spans),
+                    ])]
             stats = RequestStats(
                 request_id=request.request_id,
                 batch_id=batch_id,
                 batch_size=len(batch),
-                queue_wait_s=dispatch_t - request.enqueue_t,
-                service_s=done_t - dispatch_t,
-                latency_s=done_t - request.enqueue_t,
+                queue_wait_s=queue_wait_s,
+                service_s=service_s,
+                latency_s=latency_s,
                 engine_stats=engine_stats.as_dict(),
                 model=request.model,
                 priority_class=request.priority_class,
                 deadline_s=request.deadline_s,
                 recovery=recovery,
                 trace_id=request.trace_id,
+                spans=spans,
             )
             self.stats.record_request(stats)
+            self._m_completed.labels(request.model,
+                                     request.priority_class).inc()
+            self._m_latency.labels(request.model,
+                                   request.priority_class).observe(latency_s)
+            self._m_queue_wait.labels(
+                request.priority_class).observe(queue_wait_s)
+            self.obs.usage.record_request(
+                request.model, request.priority_class,
+                macs=engine_stats.macs, die_seconds=service_s)
+            if tracing and request.trace_id:
+                self.obs.traces.put({
+                    "trace_id": request.trace_id,
+                    "request_id": request.request_id,
+                    "model": request.model,
+                    "class": request.priority_class,
+                    "spans": spans,
+                })
             # a client may have cancelled its future (e.g. a timed-out
             # submit); that must not poison its batch mates
             if not request.future.done():
@@ -502,6 +666,7 @@ class InferenceServer:
         restore = guard.restore(engine, die_cache=self.die_cache)
         self.die_health.mark(model, layer, DIE_HEALTHY,
                              detail="replacement die programmed")
+        self._m_fault_recoveries.inc()
         receipt = {
             "model": model,
             "layer": layer,
@@ -544,7 +709,7 @@ class InferenceServer:
                 queue_wait_s=dispatch_t - request.enqueue_t,
                 deadline_s=request.deadline_s,
                 trace_id=request.trace_id)
-            self.stats.record_shed(receipt)
+            self._record_shed(receipt)
             if not request.future.done():
                 try:
                     request.future.set_exception(RequestShed(receipt))

@@ -76,8 +76,15 @@ class RequestStats:
     recovery: Optional[Dict] = None
     #: cross-process trace id (the wire's ``X-Request-Id``): the same
     #: string in the router's log, the replica's receipt and the caller's
-    #: error body — ``None`` for in-process submissions without one.
+    #: error body — always populated (the server mints one when the
+    #: caller passes none), so every receipt is queryable at
+    #: ``GET /v1/trace/<id>``.
     trace_id: Optional[str] = None
+    #: the request's span tree (see ``docs/observability.md``): where the
+    #: latency went — queue wait, batch ride, per-tile dispatch, and (with
+    #: engine profiling armed) per-layer engine tiers.  ``None`` when the
+    #: server runs with tracing disabled.
+    spans: Optional[List[Dict]] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -94,6 +101,7 @@ class RequestStats:
             "recovery": (dict(self.recovery)
                          if self.recovery is not None else None),
             "trace_id": self.trace_id,
+            "spans": self.spans,
         }
 
 

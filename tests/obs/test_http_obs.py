@@ -1,0 +1,201 @@
+"""The observability endpoints over a real socket: the wire acceptance.
+
+``GET /metrics`` must emit Prometheus text exposition that the strict
+parser accepts (the PR's machine-checked acceptance criterion), with
+the right Content-Type; ``GET /v1/usage`` the metering snapshot;
+``GET /v1/trace/<id>`` the stored span tree (404 once unknown) — on
+both the single front end and the cluster router, whose ``/metrics``
+exposes its own routing registry and whose trace ring holds the
+router's half of a request's story.
+"""
+
+from http.client import HTTPConnection
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.obs import (Observability, PROMETHEUS_CONTENT_TYPE, new_trace_id,
+                       parse_prometheus_text)
+from repro.serving import (ClusterRouter, HttpClient, HttpError,
+                           HttpFrontend, InferenceServer, ModelRegistry,
+                           ReplicaDirectory, RoutingPolicy)
+
+
+def linear_network(scale, shift):
+    def network(tensor):
+        return Tensor(tensor.data.reshape(tensor.data.shape[0], -1)
+                      * scale + shift)
+    return network
+
+
+def make_frontend(obs=None):
+    registry = ModelRegistry(workers=2)
+    registry.register_network("fast", linear_network(2.0, 1.0))
+    registry.register_network("batch", linear_network(-3.0, 0.5))
+    server = InferenceServer(registry=registry, max_batch=4,
+                             max_wait_s=0.0, obs=obs)
+    return HttpFrontend(server, owns_server=True).start()
+
+
+@pytest.fixture()
+def frontend():
+    front = make_frontend()
+    try:
+        yield front
+    finally:
+        front.shutdown()
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_as_prometheus_text(self, frontend):
+        """The acceptance test: a real GET /metrics response survives the
+        strict exposition parser."""
+        client = HttpClient.for_frontend(frontend)
+        for i in range(3):
+            client.infer(np.ones(4), model="fast")
+        families = parse_prometheus_text(client.metrics())
+        completed = families["forms_requests_completed_total"]["samples"]
+        assert sum(completed.values()) == 3
+        assert families["forms_requests_completed_total"]["type"] \
+            == "counter"
+        assert "forms_queue_depth" in families
+        assert "forms_request_latency_seconds" in families
+
+    def test_content_type_and_request_id_headers(self, frontend):
+        connection = HTTPConnection(frontend.host, frontend.port, timeout=10)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            body = response.read()
+            assert response.status == 200
+            assert response.headers["Content-Type"] \
+                == PROMETHEUS_CONTENT_TYPE
+            assert response.headers["X-Request-Id"]
+            parse_prometheus_text(body.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def test_post_is_rejected(self, frontend):
+        client = HttpClient.for_frontend(frontend)
+        status, payload = client.request("POST", "/metrics", {})
+        assert status == 405
+
+    def test_disabled_metrics_scrape_is_empty(self):
+        front = make_frontend(obs=Observability(metrics=False))
+        try:
+            client = HttpClient.for_frontend(front)
+            client.infer(np.ones(4), model="fast")
+            assert client.metrics() == ""
+            assert parse_prometheus_text(client.metrics()) == {}
+        finally:
+            front.shutdown()
+
+
+class TestUsageEndpoint:
+    def test_snapshot_schema_over_the_wire(self, frontend):
+        client = HttpClient.for_frontend(frontend)
+        client.infer(np.ones(4), model="fast")
+        client.infer(np.ones(4), model="batch")
+        usage = client.usage()
+        assert set(usage) == {"by_model", "totals"}
+        assert usage["totals"]["requests"] == 2
+        for model in ("fast", "batch"):
+            (cell,) = usage["by_model"][model].values()
+            assert set(cell) == {"requests", "sheds", "macs",
+                                 "die_seconds"}
+            assert cell["requests"] == 1
+
+
+class TestTraceEndpoint:
+    def test_roundtrip_via_x_request_id(self, frontend):
+        client = HttpClient.for_frontend(frontend)
+        trace_id = new_trace_id()
+        result = client.infer(np.ones(4), model="fast", trace_id=trace_id)
+        assert result.stats["trace_id"] == trace_id
+        record = client.trace(trace_id)
+        assert record["trace_id"] == trace_id
+        (root,) = record["spans"]
+        assert root["name"] == "request"
+        assert [child["name"] for child in root["children"]] \
+            == ["queue_wait", "batch"]
+
+    def test_server_minted_id_is_queryable(self, frontend):
+        client = HttpClient.for_frontend(frontend)
+        result = client.infer(np.ones(4), model="fast")
+        assert client.trace(result.stats["trace_id"])["spans"]
+
+    def test_unknown_id_is_404(self, frontend):
+        client = HttpClient.for_frontend(frontend)
+        with pytest.raises(HttpError) as missing:
+            client.trace("never-seen")
+        assert missing.value.status == 404
+        assert missing.value.code == "not_found"
+
+    def test_tracing_disabled_is_404(self):
+        front = make_frontend(obs=Observability(trace_ring=0))
+        try:
+            client = HttpClient.for_frontend(front)
+            result = client.infer(np.ones(4), model="fast")
+            with pytest.raises(HttpError) as missing:
+                client.trace(result.stats["trace_id"])
+            assert missing.value.status == 404
+        finally:
+            front.shutdown()
+
+
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def cluster():
+    frontends = {f"r{i}": make_frontend() for i in range(2)}
+    directory = ReplicaDirectory(
+        {name: (front.host, front.port)
+         for name, front in frontends.items()},
+        replication=2, suspect_after=1, down_after=3,
+        probe_interval_s=0.05, probe_timeout_s=2.0)
+    policy = RoutingPolicy(attempt_timeout_s=10.0, max_attempts=3,
+                           backoff_s=1e-3, backoff_cap_s=5e-3)
+    router = ClusterRouter(directory, policy=policy,
+                           own_directory=False).start()
+    try:
+        yield router
+    finally:
+        router.shutdown()
+        for front in frontends.values():
+            front.shutdown()
+
+
+class TestRouterObservability:
+    def test_router_metrics_parse_and_mirror_the_stats(self, cluster):
+        client = HttpClient("127.0.0.1", cluster.port, timeout=15.0)
+        for _ in range(2):
+            client.infer(np.ones(4), model="fast")
+        families = parse_prometheus_text(client.metrics())
+        events = families["forms_router_events_total"]["samples"]
+        by_event = {dict(labels)["event"]: value
+                    for (_, labels), value in events.items()}
+        assert by_event["requests"] == cluster.stats.snapshot()["requests"]
+        assert by_event["requests"] >= 2
+        replicas = families["forms_router_replicas"]["samples"]
+        by_state = {dict(labels)["state"]: value
+                    for (_, labels), value in replicas.items()}
+        assert by_state["up"] == 2
+
+    def test_router_trace_holds_the_routing_half(self, cluster):
+        client = HttpClient("127.0.0.1", cluster.port, timeout=15.0)
+        trace_id = new_trace_id()
+        client.infer(np.ones(4), model="fast", trace_id=trace_id)
+        record = client.trace(trace_id)
+        assert record["role"] == "router"
+        (route,) = record["spans"]
+        assert route["name"] == "router.route"
+        assert route["attrs"]["outcome"] == "ok"
+        attempts = route["children"]
+        assert attempts and attempts[-1]["attrs"]["outcome"] == "ok"
+        assert attempts[-1]["attrs"]["replica"].startswith("r")
+
+    def test_router_unknown_trace_is_404(self, cluster):
+        client = HttpClient("127.0.0.1", cluster.port, timeout=15.0)
+        with pytest.raises(HttpError) as missing:
+            client.trace("never-seen")
+        assert missing.value.status == 404

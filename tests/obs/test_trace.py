@@ -1,0 +1,137 @@
+"""Tracing units: span dicts, the recorder/bind thread-local, TraceRing."""
+
+import threading
+
+import pytest
+
+from repro.obs import (SpanRecorder, TraceRing, active_recorder, bind,
+                       new_trace_id, record_event, span_dict)
+
+
+class TestSpanDict:
+    def test_minimal_span_has_only_name_and_duration(self):
+        assert span_dict("tile", 0.25) == {"name": "tile",
+                                           "duration_s": 0.25}
+
+    def test_optional_fields_appear_only_when_given(self):
+        span = span_dict("batch", 0.5, start_s=0.1,
+                         children=[span_dict("tile", 0.2)], batch_id=3)
+        assert span["start_s"] == 0.1
+        assert span["attrs"] == {"batch_id": 3}
+        assert [child["name"] for child in span["children"]] == ["tile"]
+
+
+class TestNewTraceId:
+    def test_wire_safe_and_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 32
+            int(trace_id, 16)       # hex, no raise
+
+
+class TestSpanRecorder:
+    def test_close_span_adopts_events_since_last_close(self):
+        recorder = SpanRecorder()
+        recorder.record("engine", 0.01, tier="analog")
+        recorder.record("engine", 0.02, tier="exact")
+        recorder.close_span("tile", 0.05, backend="thread")
+        recorder.record("engine", 0.03)
+        recorder.close_span("tile", 0.06)
+        first, second = recorder.spans
+        assert [e["attrs"]["tier"] for e in first["children"]] \
+            == ["analog", "exact"]
+        assert first["attrs"] == {"backend": "thread"}
+        assert len(second["children"]) == 1
+
+    def test_add_span_stitches_prebuilt_spans(self):
+        recorder = SpanRecorder()
+        shipped = span_dict("tile", 0.1, backend="process", pid=1234)
+        recorder.add_span(shipped)
+        assert recorder.spans == [shipped]
+
+
+class TestBind:
+    def test_record_event_reaches_the_bound_recorder(self):
+        recorder = SpanRecorder()
+        with bind(recorder):
+            assert active_recorder() is recorder
+            record_event("engine", 0.01, tier="exact")
+        recorder.close_span("tile", 0.02)
+        assert recorder.spans[0]["children"][0]["name"] == "engine"
+
+    def test_unbound_record_event_is_a_noop(self):
+        assert active_recorder() is None
+        record_event("engine", 0.01)    # no raise, nowhere to go
+
+    def test_nested_bind_restores_the_previous_recorder(self):
+        outer, inner = SpanRecorder(), SpanRecorder()
+        with bind(outer):
+            with bind(inner):
+                record_event("e", 0.01)
+            assert active_recorder() is outer
+            record_event("e", 0.02)
+        assert active_recorder() is None
+        assert len(inner._events) == 1
+        assert len(outer._events) == 1
+
+    def test_binding_is_thread_local(self):
+        recorder = SpanRecorder()
+        seen = {}
+
+        def other_thread():
+            seen["recorder"] = active_recorder()
+            record_event("ghost", 0.01)
+
+        with bind(recorder):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert seen["recorder"] is None
+        assert recorder._events == []
+
+
+class TestTraceRing:
+    def trace(self, i):
+        return {"trace_id": f"id-{i}", "spans": [span_dict("request", 0.1)]}
+
+    def test_put_get_roundtrip(self):
+        ring = TraceRing(4)
+        ring.put(self.trace(0))
+        assert ring.get("id-0")["trace_id"] == "id-0"
+        assert ring.get("missing") is None
+        assert len(ring) == 1
+
+    def test_eviction_is_oldest_first(self):
+        ring = TraceRing(2)
+        for i in range(3):
+            ring.put(self.trace(i))
+        assert ring.get("id-0") is None
+        assert ring.ids() == ["id-1", "id-2"]
+
+    def test_re_put_refreshes_recency(self):
+        ring = TraceRing(2)
+        ring.put(self.trace(0))
+        ring.put(self.trace(1))
+        ring.put(self.trace(0))     # id-0 is now newest
+        ring.put(self.trace(2))     # evicts id-1, not id-0
+        assert ring.get("id-0") is not None
+        assert ring.get("id-1") is None
+
+    def test_capacity_zero_disables(self):
+        ring = TraceRing(0)
+        ring.put(self.trace(0))
+        assert ring.get("id-0") is None
+        assert len(ring) == 0
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TraceRing(-1)
+
+    def test_annotate_appends_to_stored_trace(self):
+        ring = TraceRing(2)
+        ring.put(self.trace(0))
+        assert ring.annotate("id-0", span_dict("http", 0.02)) is True
+        assert [s["name"] for s in ring.get("id-0")["spans"]] \
+            == ["request", "http"]
+        assert ring.annotate("evicted", span_dict("http", 0.02)) is False

@@ -1,0 +1,72 @@
+"""UsageMeter units: the accounting substrate of ``GET /v1/usage``."""
+
+import threading
+
+from repro.obs import UsageMeter
+
+
+class TestUsageMeter:
+    def test_empty_snapshot(self):
+        snap = UsageMeter().snapshot()
+        assert snap == {"by_model": {},
+                        "totals": {"requests": 0, "sheds": 0, "macs": 0,
+                                   "die_seconds": 0.0}}
+
+    def test_requests_accumulate_per_cell(self):
+        meter = UsageMeter()
+        meter.record_request("fast", "interactive", macs=100,
+                             die_seconds=0.5)
+        meter.record_request("fast", "interactive", macs=50,
+                             die_seconds=0.25)
+        meter.record_request("fast", "bulk", macs=10, die_seconds=0.1)
+        meter.record_request("batch", "bulk", macs=1, die_seconds=0.01)
+        snap = meter.snapshot()
+        cell = snap["by_model"]["fast"]["interactive"]
+        assert cell == {"requests": 2, "sheds": 0, "macs": 150,
+                        "die_seconds": 0.75}
+        assert snap["by_model"]["fast"]["bulk"]["requests"] == 1
+        assert snap["totals"]["requests"] == 4
+        assert snap["totals"]["macs"] == 161
+        assert snap["totals"]["die_seconds"] == 0.86
+
+    def test_sheds_count_separately_from_requests(self):
+        meter = UsageMeter()
+        meter.record_shed("fast", "interactive")
+        meter.record_shed("fast", "interactive")
+        snap = meter.snapshot()
+        cell = snap["by_model"]["fast"]["interactive"]
+        assert cell["sheds"] == 2 and cell["requests"] == 0
+        assert snap["totals"]["sheds"] == 2
+
+    def test_snapshot_is_a_copy(self):
+        meter = UsageMeter()
+        meter.record_request("fast", "bulk", macs=5)
+        snap = meter.snapshot()
+        snap["by_model"]["fast"]["bulk"]["macs"] = 0
+        snap["totals"]["requests"] = 99
+        fresh = meter.snapshot()
+        assert fresh["by_model"]["fast"]["bulk"]["macs"] == 5
+        assert fresh["totals"]["requests"] == 1
+
+    def test_concurrent_recording_loses_nothing(self):
+        meter = UsageMeter()
+        threads_n, per_thread = 8, 400
+
+        def writer(i):
+            model = f"m{i % 2}"
+            for _ in range(per_thread):
+                meter.record_request(model, "default", macs=3,
+                                     die_seconds=0.001)
+                meter.record_shed(model, "default")
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        totals = meter.snapshot()["totals"]
+        expected = threads_n * per_thread
+        assert totals["requests"] == expected
+        assert totals["sheds"] == expected
+        assert totals["macs"] == expected * 3

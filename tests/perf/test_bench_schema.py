@@ -5,7 +5,8 @@ meta on the multi-worker benches and a ``parallelism_note`` on
 single-core hosts).  These tests pin the merge contract: the new fields
 ride along without disturbing ``write_payload``'s kind-preservation —
 records of every non-engine kind recorded by the other benchmark
-drivers (serving, chaos, cluster) survive an engine-suite re-record.
+drivers (serving, chaos, cluster, obs) survive an engine-suite
+re-record.
 """
 
 import json
@@ -16,9 +17,10 @@ import pytest
 from repro.perf.suite import bench_insitu_network, run_suite, write_payload
 
 #: every record kind the shared BENCH file carries today
-ALL_KINDS = ("paired", "single", "table", "serving", "chaos", "cluster")
+ALL_KINDS = ("paired", "single", "table", "serving", "chaos", "cluster",
+             "obs")
 #: the kinds owned by other recorders, which an engine re-record must keep
-PRESERVED_KINDS = ("serving", "chaos", "cluster")
+PRESERVED_KINDS = ("serving", "chaos", "cluster", "obs")
 
 
 @pytest.fixture(scope="module")

@@ -1,10 +1,12 @@
 """ServerStats aggregation and RequestStats receipts."""
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.serving import (SHED_DEADLINE, SHED_LATENCY_BOUND, RequestStats,
-                           ServerStats, ShedReceipt)
+from repro.serving import (SHED_ADMISSION, SHED_DEADLINE, SHED_LATENCY_BOUND,
+                           RequestStats, ServerStats, ShedReceipt)
 
 
 def receipt(i, latency, wait=0.0, model="default", cls="default"):
@@ -163,3 +165,71 @@ class TestGroupedStats:
         recent = [0.001 * (i + 1) for i in range(16, 20)]
         assert snap["per_class"]["hi"]["latency_p50_s"] == float(
             np.percentile(recent, 50))
+
+
+class TestConcurrentMutation:
+    """ServerStats under fire: N threads mutate while a reader snapshots.
+
+    The scrape hooks added in the observability PR read these gauges from
+    outside the batcher thread, so the aggregator's one-lock design is now
+    load-bearing for more than the dispatch loop.  Invariants pinned:
+    snapshots are internally consistent (the shed total always equals the
+    sum of its by-reason and per-class decompositions, even mid-burst) and
+    the monotone counters never move backwards between successive reads.
+    """
+
+    THREADS = 6
+    PER_THREAD = 300
+    REASONS = (SHED_DEADLINE, SHED_LATENCY_BOUND, SHED_ADMISSION)
+
+    def test_snapshots_stay_consistent_and_monotone(self):
+        stats = ServerStats(window=64)
+        start = threading.Barrier(self.THREADS + 1)
+
+        def writer(worker_id):
+            cls = f"class-{worker_id % 2}"
+            start.wait()
+            for i in range(self.PER_THREAD):
+                stats.record_request(receipt(worker_id * 1000 + i,
+                                             0.002 + 0.0001 * i, cls=cls,
+                                             model=f"m{worker_id % 3}"))
+                stats.record_shed(shed(worker_id * 1000 + i,
+                                       self.REASONS[i % 3], cls=cls,
+                                       model=f"m{worker_id % 3}"))
+                stats.record_batch(2, 0.001)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        previous = {"requests_completed": 0, "requests_shed": 0,
+                    "batches_formed": 0}
+        snapshots = 0
+        while any(thread.is_alive() for thread in threads):
+            snap = stats.snapshot(queue_depth=0)
+            snapshots += 1
+            for key, floor in previous.items():
+                assert snap[key] >= floor, f"{key} moved backwards"
+                previous[key] = snap[key]
+            # one lock guards every decomposition, so each snapshot's
+            # totals must agree with their own breakdowns exactly
+            assert snap["requests_shed"] == \
+                sum(snap["shed_by_reason"].values())
+            assert snap["requests_shed"] == \
+                sum(group["shed"] for group in snap["per_class"].values())
+            assert snap["requests_completed"] == \
+                sum(group["completed"]
+                    for group in snap["per_class"].values())
+        for thread in threads:
+            thread.join()
+        total = self.THREADS * self.PER_THREAD
+        final = stats.snapshot()
+        assert snapshots >= 1
+        assert final["requests_completed"] == total
+        assert final["requests_shed"] == total
+        assert final["batches_formed"] == total
+        assert sorted(final["shed_by_reason"]) == sorted(set(self.REASONS))
+        assert final["max_batch_size"] == 2
+        assert final["occupancy"] * final["elapsed_s"] == pytest.approx(
+            total * 0.001)
