@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Connection-scale benchmark: the asyncio front end under open sockets.
+
+Drives the :class:`repro.serving.AsyncFrontend` with hundreds of
+*simultaneously open* keep-alive connections — every socket is open
+before the first request departs (barrier rendezvous, the server-side
+``peak_connections`` gauge is asserted against the target) — then fires
+one ``POST /v1/infer`` per connection on an open-loop Poisson schedule.
+Records one ``serving_async_r*`` record per offered rate into
+``BENCH_engine.json`` (kind ``"serving"``, merged: engine,
+``serving_poisson_*``, ``serving_multitenant_*`` and ``serving_http_*``
+records are preserved; schema in ``benchmarks/README.md``).
+
+The point of the fifth curve: ``serving_http_r*`` spends one client
+*thread* per in-flight request, which caps the concurrency the threaded
+front end can even be offered.  This curve holds the full connection
+count resident on one event loop — the number that makes the async
+front end worth having — while keeping the suite's contract: every
+decoded response bit-identical to the serial single-image forward, and
+every failure an explicit shed receipt.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_async.py --smoke      # < 30 s
+    PYTHONPATH=src python benchmarks/bench_async.py              # 500 conns
+    PYTHONPATH=src python benchmarks/bench_async.py \\
+        --rates 400 800 --connections 600 -o /tmp/async.json
+
+Exits non-zero if any assertion fails (bit-identity, peak connections,
+undocumented failure) or fewer than two points were recorded.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import merge_records_into_file, run_async_point  # noqa: E402
+from repro.reram import DieCache                                 # noqa: E402
+
+#: offered arrival rates (requests/s) per mode — the full curve overlaps
+#: the http curve at 400 rps so the two transports pair up there
+SMOKE_RATES = (200.0, 400.0)
+FULL_RATES = (200.0, 400.0, 800.0)
+
+#: simultaneously open connections per mode; the full target is the
+#: ROADMAP's "hundreds of connections" scale claim
+SMOKE_CONNECTIONS = 128
+FULL_CONNECTIONS = 500
+
+
+def format_point(record: dict) -> str:
+    results, meta = record["results"], record["meta"]
+    return (f"{record['name']:22s} {results['peak_connections']:4d} conns "
+            f"open, offered {results['offered_rate_rps']:6.0f} rps -> "
+            f"served {results['throughput_rps']:6.1f} rps, "
+            f"rtt p50 {results['rtt_p50_s'] * 1e3:7.2f} ms, "
+            f"p95 {results['rtt_p95_s'] * 1e3:7.2f} ms, "
+            f"{results['requests_shed']} shed, "
+            f"mean batch {results['mean_batch_size']:.2f} "
+            f"(w={meta['workers']}, {meta['encoding']})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode: two rate points, 128 connections")
+    parser.add_argument("--rates", type=float, nargs="+", default=None,
+                        help="offered arrival rates in requests/s "
+                             "(default: two smoke / three full points)")
+    parser.add_argument("--connections", type=int, default=None,
+                        help="simultaneously open sockets per point "
+                             "(default 128 smoke / 500 full)")
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size (default: FORMS_WORKERS or "
+                             "CPU count)")
+    parser.add_argument("--binary", action="store_true",
+                        help="base64 .npy payloads instead of JSON arrays")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="BENCH json to merge records into (default: "
+                             "BENCH_engine.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    rates = args.rates if args.rates is not None else (
+        list(SMOKE_RATES) if args.smoke else list(FULL_RATES))
+    connections = args.connections if args.connections is not None else (
+        SMOKE_CONNECTIONS if args.smoke else FULL_CONNECTIONS)
+    if len(rates) < 2:
+        print("ERROR: need at least two arrival-rate points for a curve",
+              file=sys.stderr)
+        return 1
+
+    records = []
+    die_cache = DieCache()   # shared: rate points rebuild identical engines
+    for rate in rates:
+        record = run_async_point(
+            rate, connections, max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms, workers=args.workers,
+            seed=args.seed, binary=args.binary, die_cache=die_cache)
+        print(format_point(record))
+        records.append(record)
+
+    try:
+        merge_records_into_file(args.output, records)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    print(f"[{len(records)} async serving records merged into {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

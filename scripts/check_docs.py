@@ -26,11 +26,17 @@ would:
 7. Every metric name of ``repro.obs.METRIC_CATALOG`` appears backticked
    in ``docs/observability.md`` specifically — the exported ``/metrics``
    surface and its operator reference cannot drift apart.
+8. Every SSE event type of ``repro.serving.aio.STREAM_EVENTS`` appears
+   backticked in ``docs/serving.md`` specifically — the streaming
+   protocol's event vocabulary and its operator reference cannot drift
+   apart (the front end refuses to emit an undocumented type; this rule
+   keeps "documented" honest).
 
-Rules 3-7 introspect the real parser (``repro.cli.build_parser``), the
+Rules 3-8 introspect the real parser (``repro.cli.build_parser``), the
 real wire contract (``repro.serving.http.ERROR_CODES``), the real
-executor surface (``repro.runtime.BACKENDS``) and the real metric
-catalog (``repro.obs.metric_names``), so the gate tracks the code by
+executor surface (``repro.runtime.BACKENDS``), the real metric
+catalog (``repro.obs.metric_names``) and the real event vocabulary
+(``repro.serving.aio.STREAM_EVENTS``), so the gate tracks the code by
 construction.  Run by ``scripts/checks.sh``.
 """
 
@@ -166,6 +172,18 @@ def check_metric_names(failures: list) -> int:
     return len(names)
 
 
+def check_stream_events(failures: list) -> int:
+    """Rule 8: every SSE event type is in the serving streaming section."""
+    from repro.serving.aio import STREAM_EVENTS
+    text = read_if_exists(REPO_ROOT / "docs" / "serving.md")
+    for event in STREAM_EVENTS:
+        if f"`{event}`" not in text:
+            failures.append(f"docs/serving.md: SSE event type `{event}` is "
+                            "undocumented (STREAM_EVENTS and the streaming "
+                            "section must match)")
+    return len(STREAM_EVENTS)
+
+
 def main() -> int:
     failures: list = []
     n_packages = check_packages(failures)
@@ -174,6 +192,7 @@ def main() -> int:
     n_codes = check_error_codes(failures)
     n_backends = check_backends(failures)
     n_metrics = check_metric_names(failures)
+    n_events = check_stream_events(failures)
     if failures:
         for failure in failures:
             print(f"ERROR: {failure}", file=sys.stderr)
@@ -182,7 +201,8 @@ def main() -> int:
           f"packages, {n_docs} docs page(s) linked from README, "
           f"{len(subcommands)} subcommands, {len(serve_flags)} serve "
           f"flags, {n_codes} wire error codes, {n_backends} runtime "
-          f"backends and {n_metrics} catalogued metrics documented")
+          f"backends, {n_metrics} catalogued metrics and {n_events} "
+          "stream event types documented")
     return 0
 
 

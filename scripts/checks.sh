@@ -56,12 +56,22 @@
 #    with Observability.disabled(), interleaved, asserting the two modes'
 #    outputs byte-identical before recording (the full run additionally
 #    gates overhead against the 5% mean-service-time budget).
-# 10. `check_docs.py` — README.md and docs/architecture.md must exist and
+# 10. `python -m repro serve --async --http 0 --http-demo` — the async
+#    wire smoke: the step-5 replay through the asyncio front end under
+#    weighted-fair arbitration, plus an SSE streaming leg
+#    (`?stream=1`) whose per-event outputs and terminal `done` tally
+#    are verified against the serial forward and the usage meter.
+# 11. `bench_async.py --smoke` — two open-loop rate points with a
+#    barrier-synchronized crowd of concurrent connections held open on
+#    the asyncio front end (peak asserted server-side); bit-identity of
+#    every 200 and a documented shed receipt on every 503 asserted per
+#    point.
+# 12. `check_docs.py` — README.md and docs/architecture.md must exist and
 #    mention every src/repro/* package, every docs/*.md page must be
 #    linked from the README, every `python -m repro` subcommand and
-#    `serve` flag must appear in the docs, and every METRIC_CATALOG
-#    name must appear in docs/observability.md (drift fails the check
-#    set).
+#    `serve` flag must appear in the docs, every METRIC_CATALOG
+#    name must appear in docs/observability.md, and every STREAM_EVENTS
+#    type must appear in docs/serving.md (drift fails the check set).
 set -e
 
 cd "$(dirname "$0")/.."
@@ -110,6 +120,16 @@ echo "==> observability overhead smoke: bench_obs.py --smoke"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_obs.py \
     --smoke --requests 12 \
     -o "${OBS_BENCH_OUTPUT:-/tmp/forms_obs_smoke.json}"
+
+echo "==> async wire smoke: serve --async --http 0 --http-demo"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro serve \
+    --async --http 0 --http-demo --models 2 --requests 12 --rate 400 \
+    --sla-mode weighted_fair
+
+echo "==> async bench smoke: bench_async.py --smoke"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_async.py \
+    --smoke \
+    -o "${ASYNC_BENCH_OUTPUT:-/tmp/forms_async_smoke.json}"
 
 echo "==> docs check: check_docs.py"
 python scripts/check_docs.py

@@ -46,6 +46,17 @@ forward), drains, and exits — the CI smoke::
     python -m repro serve --http 8100                 # curl me
     python -m repro serve --http 0 --http-demo --models 2 --requests 16
 
+``--async`` swaps the threaded front end for the asyncio
+:class:`repro.serving.AsyncFrontend` — same wire protocol plus SSE
+streaming (``POST /v1/infer_batch?stream=1``) and connection /
+inflight-byte backpressure — and ``--sla-mode weighted_fair`` switches
+the scheduler to deficit-round-robin across the classes (scheduling
+only; served bits are identical either way)::
+
+    python -m repro serve --async --http 8100 --models 2 \
+        --sla-mode weighted_fair
+    python -m repro serve --async --http 0 --http-demo --requests 16
+
 ``--cluster N`` puts a sharded cluster behind the same wire protocol:
 N subprocess replicas of the identical demo build under a
 :class:`repro.serving.ClusterRouter` (consistent-hash placement with
@@ -192,6 +203,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--http-host", default="127.0.0.1",
                        help="bind address for --http (default: loopback "
                             "only; serve only)")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="with --http: serve through the asyncio front "
+                            "end instead of the threaded one — same wire "
+                            "protocol plus SSE streaming "
+                            "(POST /v1/infer_batch?stream=1) and "
+                            "connection/inflight-byte backpressure; not "
+                            "compatible with --cluster (serve only)")
+    serve.add_argument("--sla-mode", choices=("strict", "weighted_fair"),
+                       default="strict",
+                       help="cross-class arbitration of the single-process "
+                            "--http server: 'strict' is class precedence "
+                            "(bulk can starve), 'weighted_fair' is "
+                            "deficit-round-robin over the class weights "
+                            "with aging — scheduling only, served bits are "
+                            "identical (serve only)")
     serve.add_argument("--cluster", type=int, default=None, metavar="N",
                        help="with --http: serve through a cluster router "
                             "over N subprocess replicas (health-checked "
@@ -241,6 +267,15 @@ def run(argv=None) -> int:
                 print("ERROR: --cluster needs at least one replica",
                       file=sys.stderr)
                 return 2
+            if args.use_async:
+                print("ERROR: --async serves a single process; the cluster "
+                      "router keeps the threaded front end (drop --async "
+                      "or --cluster)", file=sys.stderr)
+                return 2
+        if args.use_async and args.http is None:
+            print("ERROR: --async requires --http PORT (it is the wire "
+                  "front end's event loop)", file=sys.stderr)
+            return 2
         if args.backend == "process" and args.chaos:
             print("ERROR: --chaos needs the thread backend: its die guards "
                   "and fault injection instrument live engine objects, "

@@ -72,6 +72,17 @@ METRIC_CATALOG: Tuple[Dict, ...] = (
           "Opt-in per-MVM wall time of matvec_int, by dispatch tier "
           "(exact / integer / analog / dense / dense_noise).",
           ENGINE_BUCKETS_S),
+    # -- async front end ------------------------------------------------
+    _spec("forms_async_connections", "gauge", (),
+          "Sockets open on the asyncio front end right now."),
+    _spec("forms_async_inflight_bytes", "gauge", (),
+          "Request-body bytes resident in the asyncio front end right now."),
+    _spec("forms_streams_total", "counter", ("outcome",),
+          "SSE streams opened on POST /v1/infer_batch?stream=1, by "
+          "terminal outcome (completed / aborted)."),
+    _spec("forms_stream_events_total", "counter", ("type",),
+          "Server-sent events emitted on the streaming path, by event "
+          "type (result / shed / done)."),
     # -- cluster router -------------------------------------------------
     _spec("forms_router_events_total", "counter", ("event",),
           "Router lifecycle totals: requests, attempts, failovers, "

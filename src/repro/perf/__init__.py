@@ -22,6 +22,11 @@ Two layers:
   (``benchmarks/bench_http.py``): client-side round-trip percentiles
   next to the server-side snapshot, so transport cost is readable
   against the in-process ``serving_poisson_*`` curve;
+* :mod:`repro.perf.aio` — connection scale on the asyncio front end
+  (``benchmarks/bench_async.py``): hundreds of simultaneously open
+  keep-alive sockets (barrier rendezvous, ``peak_connections`` asserted
+  server-side) firing open-loop Poisson requests through one event
+  loop, with the bit-identity / documented-receipts contract per point;
 * :mod:`repro.perf.chaos` — the ``"chaos"`` record kind: mixed-tenant
   Poisson traffic under scripted die faults
   (``benchmarks/bench_chaos.py``) — stuck-at injection, checksum
@@ -40,6 +45,8 @@ Two layers:
   budget with the armed-vs-disabled outputs compared byte-for-byte.
 """
 
+from .aio import (ASYNC_TRANSPORT, async_record_name,
+                  drive_async_connections, run_async_point)
 from .chaos import (CHAOS_RECORD_KIND, chaos_record_name,
                     default_chaos_events, drive_chaos, run_chaos_point)
 from .cluster import (CLUSTER_RECORD_KIND, cluster_record_name,
@@ -67,6 +74,8 @@ __all__ = [
     "run_multitenant_point", "tenant_models",
     "HTTP_TRANSPORT", "drive_http_poisson", "http_record_name",
     "replay_http_open_loop", "run_http_point",
+    "ASYNC_TRANSPORT", "async_record_name", "drive_async_connections",
+    "run_async_point",
     "CHAOS_RECORD_KIND", "chaos_record_name", "default_chaos_events",
     "drive_chaos", "run_chaos_point",
     "CLUSTER_RECORD_KIND", "cluster_record_name", "drive_cluster_chaos",

@@ -88,18 +88,29 @@ def tenant_models(seed: int = 0):
 def mixed_policy(*, interactive_max_batch: int = 2,
                  interactive_max_wait_ms: float = 0.5,
                  bulk_max_batch: int = 8, bulk_max_wait_ms: float = 4.0,
-                 bulk_shed_after_ms: Optional[float] = 150.0):
-    """The canonical two-class policy of the mixed-traffic scenario."""
+                 bulk_shed_after_ms: Optional[float] = 150.0,
+                 mode: str = "strict",
+                 interactive_weight: float = 4.0, bulk_weight: float = 1.0):
+    """The canonical two-class policy of the mixed-traffic scenario.
+
+    ``mode="weighted_fair"`` switches the cross-class arbitration to
+    deficit-round-robin over the class weights (interactive still gets
+    the lion's share via ``interactive_weight``, but bulk can no longer
+    be starved outright); the default keeps the historical strict
+    precedence.
+    """
     from ..serving import PriorityClass, SlaPolicy
     return SlaPolicy((
         PriorityClass(INTERACTIVE, max_batch=interactive_max_batch,
-                      max_wait_s=interactive_max_wait_ms / 1e3),
+                      max_wait_s=interactive_max_wait_ms / 1e3,
+                      weight=interactive_weight),
         PriorityClass(BULK, max_batch=bulk_max_batch,
                       max_wait_s=bulk_max_wait_ms / 1e3,
                       shed_after_s=(bulk_shed_after_ms / 1e3
                                     if bulk_shed_after_ms is not None
-                                    else None)),
-    ))
+                                    else None),
+                      weight=bulk_weight),
+    ), mode=mode)
 
 
 def drive_mixed_traffic(rate_rps: float, requests: int, *,

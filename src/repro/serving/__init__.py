@@ -39,6 +39,17 @@ Components
   (plus ``/v1/infer_batch``, ``/v1/models``, ``/v1/stats``,
   ``/healthz``) with structured shed/admission errors and a draining
   shutdown — protocol reference in ``docs/serving.md``.
+* :class:`AsyncFrontend` (:mod:`repro.serving.aio`) — the same wire
+  protocol on one asyncio event loop: thousands of multiplexed
+  connections bridged onto ``submit_async`` via ``run_in_executor``,
+  server-sent-event streaming (``POST /v1/infer_batch?stream=1``,
+  event types :data:`STREAM_EVENTS`), and connection-count /
+  inflight-bytes backpressure through
+  :meth:`AdmissionController.admit_transport` — transport refusals are
+  :data:`TRANSPORT_SCOPE` shed receipts, accounted like queue sheds.
+  The SLA policy's ``weighted_fair`` mode (deficit-round-robin with
+  aging over the class ``weight``s) keeps bulk progressing under
+  interactive saturation; ``strict`` keeps the historical precedence.
 * :class:`ClusterRouter` / :class:`ReplicaDirectory` /
   :class:`ClusterHarness` (:mod:`repro.serving.cluster`) — the sharded
   cluster over N replica front ends: consistent-hash placement,
@@ -77,23 +88,27 @@ socket).
 """
 
 from ..obs import Observability
+from .aio import STREAM_EVENTS, TRANSPORT_SCOPE, AsyncFrontend
 from .cluster import (ClusterHarness, ClusterRouter, ReplicaDirectory,
                       ReplicaProcess, RoutingPolicy)
 from .health import (DIE_HEALTHY, DIE_QUARANTINED, DIE_REPROGRAMMING,
                      DieHealthRegistry)
 from .http import (DEFAULT_RETRY_AFTER_S, ERROR_CODES, HttpClient, HttpError,
-                   HttpFrontend, WireFormatError, WireResult, new_trace_id)
+                   HttpFrontend, WireFormatError, WireResult, iter_sse_events,
+                   new_trace_id)
 from .queue import Batcher, PendingRequest, QueueClosed, RequestQueue
 from .registry import ModelRegistry, RegisteredModel
 from .scheduler import (SHED_ADMISSION, SHED_DEADLINE, SHED_FAULT_RECOVERY,
-                        SHED_LATENCY_BOUND, AdmissionController,
-                        PriorityClass, RequestShed, ShedReceipt, SlaPolicy,
-                        SlaQueue, SlaRequest)
+                        SHED_LATENCY_BOUND, SLA_MODE_STRICT,
+                        SLA_MODE_WEIGHTED_FAIR, SLA_MODES,
+                        AdmissionController, PriorityClass, RequestShed,
+                        ShedReceipt, SlaPolicy, SlaQueue, SlaRequest)
 from .server import DEFAULT_MODEL, InferenceServer
 from .stats import RequestStats, ServedResult, ServerStats
 
 __all__ = [
-    "AdmissionController", "Batcher", "ClusterHarness", "ClusterRouter",
+    "AdmissionController", "AsyncFrontend", "Batcher", "ClusterHarness",
+    "ClusterRouter",
     "DEFAULT_MODEL", "DEFAULT_RETRY_AFTER_S",
     "DIE_HEALTHY", "DIE_QUARANTINED", "DIE_REPROGRAMMING",
     "DieHealthRegistry", "ERROR_CODES",
@@ -103,7 +118,10 @@ __all__ = [
     "RegisteredModel", "ReplicaDirectory", "ReplicaProcess",
     "RequestQueue", "RequestShed", "RequestStats", "RoutingPolicy",
     "SHED_ADMISSION", "SHED_DEADLINE", "SHED_FAULT_RECOVERY",
-    "SHED_LATENCY_BOUND", "ServedResult",
+    "SHED_LATENCY_BOUND",
+    "SLA_MODES", "SLA_MODE_STRICT", "SLA_MODE_WEIGHTED_FAIR",
+    "STREAM_EVENTS", "ServedResult",
     "ServerStats", "ShedReceipt", "SlaPolicy", "SlaQueue", "SlaRequest",
-    "WireFormatError", "WireResult", "new_trace_id",
+    "TRANSPORT_SCOPE", "WireFormatError", "WireResult", "iter_sse_events",
+    "new_trace_id",
 ]

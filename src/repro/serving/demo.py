@@ -209,7 +209,7 @@ def build_demo_server(models: int = 1, *,
                       max_batch: int = 4, max_wait_ms: float = 2.0,
                       workers: Optional[int] = None, seed: int = 0,
                       activation_bits: int = 12, die_cache=None,
-                      obs=None):
+                      obs=None, sla_mode: str = "strict"):
     """Stand up the demo :class:`~repro.serving.InferenceServer`, idle.
 
     The traffic-free sibling of the drive functions: builds exactly the
@@ -221,6 +221,10 @@ def build_demo_server(models: int = 1, *,
     ``traffic["cases"]`` one ``(model, priority, deadline_ms)`` submit
     template per class (a single entry of ``None``s for the FIFO shape).
     The caller owns the server (``shutdown`` closes its registry/pool).
+    ``sla_mode`` picks the cross-class arbitration (``strict`` keeps the
+    historical precedence, ``weighted_fair`` switches to
+    deficit-round-robin over the class weights) — scheduling only, never
+    the bits.
     """
     from ..reram import ADCSpec, DeviceSpec, ReRAMDevice, paper_adc_bits
 
@@ -232,11 +236,17 @@ def build_demo_server(models: int = 1, *,
         from .server import InferenceServer
         model, config, images = _post_relu_network(seed=seed)
         adc = ADCSpec(bits=paper_adc_bits(config.fragment_size))
+        policy = None
+        if sla_mode != "strict":
+            from .scheduler import PriorityClass, SlaPolicy
+            policy = SlaPolicy((PriorityClass(
+                "default", max_batch=max_batch,
+                max_wait_s=max_wait_ms / 1e3),), mode=sla_mode)
         server = InferenceServer.from_model(
             model, config, device, adc=adc,
             activation_bits=activation_bits, max_batch=max_batch,
             max_wait_s=max_wait_ms / 1e3, workers=workers,
-            die_cache=die_cache, obs=obs)
+            die_cache=die_cache, obs=obs, policy=policy)
         traffic = {"images": images,
                    "cases": [(None, None, None)],
                    "interactive_fraction": 1.0}
@@ -253,7 +263,8 @@ def build_demo_server(models: int = 1, *,
         for name, model in tenants.items():
             registry.register(name, model, config, device, adc=adc,
                               activation_bits=activation_bits)
-        server = InferenceServer(registry=registry, policy=mixed_policy(),
+        server = InferenceServer(registry=registry,
+                                 policy=mixed_policy(mode=sla_mode),
                                  obs=obs)
     except BaseException:
         registry.close()
@@ -271,6 +282,7 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
                   deadline_ms: Optional[float] = 50.0,
                   max_batch: int = 4, max_wait_ms: float = 2.0,
                   workers: Optional[int] = None, seed: int = 0, obs=None,
+                  use_async: bool = False, sla_mode: str = "strict",
                   print_fn: Optional[Callable[[str], None]] = print) -> Dict:
     """Drive the demo server *over the wire* and verify every bit.
 
@@ -289,18 +301,29 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
     the wire outcomes) and replays one served request's span tree from
     ``/v1/trace/<id>`` — skipped for the parts an explicit ``obs``
     bundle disables.
+
+    ``use_async=True`` runs the same replay through the
+    :class:`~repro.serving.aio.AsyncFrontend` instead (identical wire
+    protocol — the plan, assertions and drain proof are unchanged) and
+    additionally exercises the SSE path: one
+    ``POST /v1/infer_batch?stream=1`` whose per-item ``result`` events
+    are asserted bit-identical to the serial forwards and whose billed
+    requests are included in the ``/v1/usage`` cross-check.
+    ``sla_mode`` selects the scheduler arbitration
+    (``strict`` / ``weighted_fair``).
     """
     from ..obs import parse_prometheus_text
     from ..perf.http import replay_http_open_loop
     from ..perf.serving import poisson_arrival_offsets
     from ..runtime import run_network_serial
-    from .http import HttpClient, HttpFrontend
+    from .http import HttpClient, HttpFrontend, WireResult
 
     say = print_fn if print_fn is not None else (lambda line: None)
     server, traffic = build_demo_server(models, deadline_ms=deadline_ms,
                                         max_batch=max_batch,
                                         max_wait_ms=max_wait_ms,
-                                        workers=workers, seed=seed, obs=obs)
+                                        workers=workers, seed=seed, obs=obs,
+                                        sla_mode=sla_mode)
     images, cases = traffic["images"], traffic["cases"]
     rng = np.random.default_rng(seed)
     image_idx = rng.integers(0, images.shape[0], size=requests)
@@ -320,14 +343,36 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
         assignments.append((model, int(image_idx[i])))
 
     with server:
-        frontend = HttpFrontend(server, host=host, port=port,
-                                owns_server=True).start()
+        if use_async:
+            from .aio import AsyncFrontend
+            frontend = AsyncFrontend(server, host=host, port=port,
+                                     owns_server=True).start()
+        else:
+            frontend = HttpFrontend(server, host=host, port=port,
+                                    owns_server=True).start()
         client = HttpClient.for_frontend(frontend)
-        say(f"http front end on {frontend.url} — replaying {requests} "
+        say(f"{'asyncio' if use_async else 'http'} front end on "
+            f"{frontend.url} — replaying {requests} "
             f"requests at ~{rate_rps:.0f} rps over the wire "
-            f"({models} model(s), health: {client.healthz()['status']})")
+            f"({models} model(s), sla_mode={sla_mode}, "
+            f"health: {client.healthz()['status']})")
         outcomes, open_loop_s = replay_http_open_loop(client, plan,
                                                       arrival_offsets)
+        # the SSE exercise: stream a small batch and keep the events —
+        # bit-identity is checked against the serial refs further down,
+        # and the streamed requests are billed into /v1/usage like any
+        # other, so the totals cross-check below covers them too
+        stream_events: List[Tuple[str, Dict]] = []
+        stream_model = cases[0][0]
+        if use_async:
+            stream_kwargs: Dict = {}
+            if stream_model is not None:
+                stream_kwargs.update(model=stream_model,
+                                     priority=cases[0][1])
+            stream_idx = [int(i) for i in image_idx[:3]]
+            stream_events = list(client.infer_batch_stream(
+                [images[i] for i in stream_idx], binary=True,
+                **stream_kwargs))
         snapshot = client.stats()
         # observability wire smoke, while the socket is still up: the
         # exposition must survive the strict parser, and one served
@@ -345,6 +390,8 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
                         break
         # serial references while the networks are still reachable
         names = {model for model, _ in assignments}
+        if use_async:
+            names.add(stream_model)
         serial = {model: run_network_serial(
                       server.registry.get(model).network, images, tile_size=1)
                   for model in names}
@@ -368,6 +415,33 @@ def run_http_demo(requests: int = 16, rate_rps: float = 200.0,
                 "!= in-process serial forward")
     say(f"bit-identity of all {served} served responses vs in-process "
         f"serial forwards: OK ({shed} shed with receipts)")
+    stream_served = stream_shed = 0
+    if use_async:
+        if not stream_events or stream_events[-1][0] != "done":
+            raise AssertionError("SSE stream did not end with a 'done' "
+                                 f"event: {[e for e, _ in stream_events]}")
+        for event, data in stream_events[:-1]:
+            if event == "shed":
+                stream_shed += 1
+                continue
+            if event != "result":
+                raise AssertionError(f"unexpected SSE event {event!r}")
+            stream_served += 1
+            decoded = WireResult.from_body(data)
+            ref = serial[stream_model][stream_idx[data["index"]]]
+            if not np.array_equal(decoded.output, ref):
+                raise AssertionError(
+                    f"SSE item {data['index']}: streamed output != "
+                    "in-process serial forward")
+        done = stream_events[-1][1]
+        if (done["completed"], done["shed"]) != (stream_served, stream_shed):
+            raise AssertionError(
+                f"SSE 'done' claimed {done}; the stream carried "
+                f"{stream_served} results / {stream_shed} sheds")
+        say(f"SSE stream: {stream_served} result events bit-identical, "
+            f"{stream_shed} shed, terminal 'done' consistent — OK")
+        served += stream_served
+        shed += stream_shed
     totals = usage["totals"]
     if (totals["requests"], totals["sheds"]) != (served, shed):
         raise AssertionError(
@@ -409,16 +483,20 @@ def run_http_server(models: int = 1, *, host: str = "127.0.0.1",
                     deadline_ms: Optional[float] = 50.0,
                     max_batch: int = 4, max_wait_ms: float = 2.0,
                     workers: Optional[int] = None, seed: int = 0, obs=None,
+                    use_async: bool = False, sla_mode: str = "strict",
                     print_fn: Optional[Callable[[str], None]] = print,
                     ready: Optional[Callable] = None,
                     stop: Optional[threading.Event] = None) -> Dict:
     """Serve the demo model(s) over HTTP until interrupted.
 
     The operator mode behind ``python -m repro serve --http PORT``: binds
-    the front end, prints the curl lines of the ``docs/serving.md``
-    walkthrough, and blocks until Ctrl-C (or ``stop`` is set — the
-    test hook; ``ready`` receives the live frontend once bound).
-    Draining shutdown on the way out; returns the final stats snapshot.
+    the front end (the threaded :class:`~repro.serving.HttpFrontend`, or
+    the asyncio :class:`~repro.serving.aio.AsyncFrontend` with
+    ``use_async=True`` — same wire protocol plus SSE streaming), prints
+    the curl lines of the ``docs/serving.md`` walkthrough, and blocks
+    until Ctrl-C (or ``stop`` is set — the test hook; ``ready`` receives
+    the live frontend once bound).  Draining shutdown on the way out;
+    returns the final stats snapshot.
     """
     from .http import HttpFrontend
 
@@ -426,14 +504,22 @@ def run_http_server(models: int = 1, *, host: str = "127.0.0.1",
     server, traffic = build_demo_server(models, deadline_ms=deadline_ms,
                                         max_batch=max_batch,
                                         max_wait_ms=max_wait_ms,
-                                        workers=workers, seed=seed, obs=obs)
+                                        workers=workers, seed=seed, obs=obs,
+                                        sla_mode=sla_mode)
     stop = stop if stop is not None else threading.Event()
     with server:
-        frontend = HttpFrontend(server, host=host, port=port,
-                                owns_server=True, log=say).start()
+        if use_async:
+            from .aio import AsyncFrontend
+            frontend = AsyncFrontend(server, host=host, port=port,
+                                     owns_server=True, log=say).start()
+        else:
+            frontend = HttpFrontend(server, host=host, port=port,
+                                    owns_server=True, log=say).start()
         shape = list(traffic["images"].shape[1:])
         say(f"serving {server.registry.names()} on {frontend.url} "
-            f"(request shape {shape}; Ctrl-C drains and exits)")
+            f"({'asyncio' if use_async else 'threaded'} front end, "
+            f"sla_mode={sla_mode}, request shape {shape}; "
+            f"Ctrl-C drains and exits)")
         say("try:")
         say(f"  curl -s {frontend.url}/healthz")
         say(f"  curl -s {frontend.url}/v1/models")
@@ -443,6 +529,11 @@ def run_http_server(models: int = 1, *, host: str = "127.0.0.1",
             f"\\\"{priority}\\\", \\\"input\\\": [[...]]")
         say(f"  curl -s -X POST {frontend.url}/v1/infer "
             f"-H 'Content-Type: application/json' -d '{{{envelope}}}'")
+        if use_async:
+            say(f"  curl -sN -X POST "
+                f"'{frontend.url}/v1/infer_batch?stream=1' "
+                f"-H 'Content-Type: application/json' "
+                f"-d '{{\"inputs\": [[[...]], [[...]]]}}'")
         say(f"  curl -s {frontend.url}/v1/stats")
         if server.obs.metrics.enabled:
             say(f"  curl -s {frontend.url}/metrics")
@@ -603,7 +694,9 @@ def run_http_cli(args) -> int:
     knobs = dict(models=models, host=args.http_host, port=args.http,
                  deadline_ms=deadline, max_batch=args.max_batch,
                  max_wait_ms=args.max_wait_ms, workers=args.workers,
-                 seed=args.seed, obs=obs)
+                 seed=args.seed, obs=obs,
+                 use_async=getattr(args, "use_async", False),
+                 sla_mode=getattr(args, "sla_mode", "strict"))
     if args.http_demo:
         run_http_demo(requests=args.requests, rate_rps=args.rate, **knobs)
     else:

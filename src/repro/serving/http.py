@@ -233,6 +233,32 @@ def shed_body(exc: RequestShed) -> Dict:
                       receipt=exc.receipt.as_dict())
 
 
+def iter_sse_events(fp):
+    """Parse server-sent events off a file-like of bytes lines.
+
+    Yields ``(event, data)`` with ``data`` JSON-decoded — the async
+    front end's streaming path emits exactly one JSON object per event
+    (types in :data:`repro.serving.aio.STREAM_EVENTS`).  Shared by
+    :meth:`HttpClient.infer_batch_stream` and the async load generator
+    so every consumer reads the frames one way.
+    """
+    event, data_lines = None, []
+    for raw in fp:
+        line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+        if not line:
+            if event is not None:
+                yield event, json.loads("\n".join(data_lines))
+            event, data_lines = None, []
+            continue
+        field, _, value = line.partition(":")
+        if value.startswith(" "):
+            value = value[1:]
+        if field == "event":
+            event = value
+        elif field == "data":
+            data_lines.append(value)
+
+
 def _submit_kwargs(server, payload: Dict) -> Dict:
     """Validate and map the request envelope onto ``submit_async`` kwargs.
 
@@ -775,8 +801,9 @@ class HttpClient:
     Retry policy
     ------------
     With ``retries > 0`` the *idempotent GETs* (``/healthz``,
-    ``/v1/stats``, ``/v1/models``) are retried on connection errors —
-    and, for the two stats endpoints, on HTTP 503 — with capped
+    ``/v1/stats``, ``/v1/models``, ``/metrics``, ``/v1/usage``,
+    ``/v1/trace/<id>``) are retried on connection errors — and, for all
+    but ``/healthz``, on HTTP 503 — with capped
     exponential backoff and deterministic seeded jitter
     (``backoff_seed``; two clients built with the same seed sleep the
     same schedule, keeping chaos runs replayable).  ``/healthz`` never
@@ -1000,23 +1027,49 @@ class HttpClient:
         return payload
 
     # -- observability endpoints -------------------------------------------
-    def metrics(self) -> str:
-        """``GET /metrics`` — the raw Prometheus text exposition (the one
-        non-JSON body of the protocol; parse with
-        :func:`repro.obs.parse_prometheus_text`)."""
+    def request_text(self, method: str, path: str) -> Tuple[int, str]:
+        """One raw round trip returning the body *undecoded* — the
+        ``/metrics`` path, whose 200 body is Prometheus text, not JSON.
+        (Separate from :meth:`request` so scripted-transport tests can
+        patch the two independently.)"""
         connection = HTTPConnection(self.host, self.port,
                                     timeout=self.timeout)
         try:
-            connection.request("GET", "/metrics",
+            connection.request(method, path,
                                headers={"Connection": "close"})
             response = connection.getresponse()
-            raw = response.read()
-            if response.status != 200:
-                raise HttpError(response.status,
-                                json.loads(raw.decode("utf-8")))
-            return raw.decode("utf-8")
+            return response.status, response.read().decode("utf-8")
         finally:
             connection.close()
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the raw Prometheus text exposition (the one
+        non-JSON body of the protocol; parse with
+        :func:`repro.obs.parse_prometheus_text`).  Idempotent: retried
+        on connection errors and 503 like the other GETs, honoring the
+        server's ``Retry-After`` mirror when a 503 body carries one."""
+        for attempt in range(self.retries + 1):
+            last_attempt = attempt == self.retries
+            server_hint = None
+            try:
+                status, text = self.request_text("GET", "/metrics")
+            except OSError:
+                if last_attempt:
+                    raise
+            else:
+                if status == 200:
+                    return text
+                try:
+                    payload = json.loads(text)
+                except ValueError:
+                    payload = {"error": {"code": "internal",
+                                         "message": text}}
+                if status != 503 or last_attempt:
+                    raise HttpError(status, payload)
+                server_hint = self._retry_after(payload)
+            time.sleep(server_hint if server_hint is not None
+                       else self.backoff_delay(attempt))
+        raise AssertionError("unreachable")   # pragma: no cover
 
     def usage(self) -> Dict:
         """``GET /v1/usage`` — the per-(model, class) usage snapshot."""
@@ -1027,8 +1080,55 @@ class HttpClient:
 
     def trace(self, trace_id: str) -> Dict:
         """``GET /v1/trace/<id>`` — one stored trace record; raises
-        :class:`HttpError` (``code "not_found"``) once evicted."""
-        status, payload = self.request("GET", f"/v1/trace/{trace_id}")
+        :class:`HttpError` (``code "not_found"``) once evicted.
+        Idempotent: connection errors and 503s are retried; a 404 is a
+        definitive answer and surfaces immediately."""
+        status, payload = self._get_retrying(f"/v1/trace/{trace_id}")
         if status != 200:
             raise HttpError(status, payload)
         return payload
+
+    # -- the SSE streaming path (async front end only) ---------------------
+    def infer_batch_stream(self, images, *, model: Optional[str] = None,
+                           priority: Optional[str] = None,
+                           deadline_ms: Optional[float] = None,
+                           binary: bool = False,
+                           trace_id: Optional[str] = None):
+        """``POST /v1/infer_batch?stream=1`` against the *async* front
+        end: a generator of ``(event, data)`` tuples as the server emits
+        them — ``("result", {..., "index": i})`` / ``("shed", {...,
+        "index": i})`` per item in resolution order, then one terminal
+        ``("done", {"completed": n, "shed": m})``.  Raises
+        :class:`HttpError` on envelope-level failures (the server
+        answers plain JSON before switching to the event stream)."""
+        body: Dict = {}
+        if binary:
+            body["inputs_b64"] = [encode_array(np.asarray(image))
+                                  for image in images]
+        else:
+            body["inputs"] = [np.asarray(image).tolist() for image in images]
+        if model is not None:
+            body["model"] = model
+        if priority is not None:
+            body["priority"] = priority
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json",
+                       "Connection": "close"}
+            if trace_id is not None:
+                headers["X-Request-Id"] = trace_id
+            connection.request("POST", "/v1/infer_batch?stream=1",
+                               body=json.dumps(body).encode("utf-8"),
+                               headers=headers)
+            response = connection.getresponse()
+            content_type = response.getheader("Content-Type") or ""
+            if response.status != 200 \
+                    or "text/event-stream" not in content_type:
+                raise HttpError(response.status,
+                                json.loads(response.read().decode("utf-8")))
+            yield from iter_sse_events(response)
+        finally:
+            connection.close()

@@ -6,8 +6,16 @@ replaces it with a *policy*:
 
 * every request carries a **priority class** and an optional per-request
   **deadline**; the dispatch loop always serves the oldest *eligible*
-  request first — earliest-deadline-first within a class, strict class
-  precedence across classes;
+  request first — earliest-deadline-first within a class.  *Across*
+  classes the policy ``mode`` decides: ``strict`` (the default) is
+  strict class precedence — a nonempty higher class always wins, so
+  sustained saturation of a high class starves the low ones by design;
+  ``weighted_fair`` is deficit-round-robin with aging — each class earns
+  credit in proportion to its ``weight`` (scaled up the longer its head
+  has waited), one unit of credit buys one dispatched request, and the
+  next batch head comes from the first credit-positive class in
+  round-robin order — so every class makes bounded progress under any
+  saturating mix;
 * a request that cannot be served inside its bound is **shed**, never
   dispatched and never left hanging: its future resolves exceptionally
   with :class:`RequestShed` carrying an explicit :class:`ShedReceipt`
@@ -55,6 +63,11 @@ import numpy as np
 
 from .queue import QueueClosed
 
+#: cross-class arbitration modes of :class:`SlaPolicy`
+SLA_MODE_STRICT = "strict"               # strict class precedence
+SLA_MODE_WEIGHTED_FAIR = "weighted_fair"  # deficit-round-robin with aging
+SLA_MODES = (SLA_MODE_STRICT, SLA_MODE_WEIGHTED_FAIR)
+
 #: shed reasons carried by :class:`ShedReceipt`
 SHED_DEADLINE = "deadline"           # the request's own deadline expired
 SHED_LATENCY_BOUND = "latency_bound"  # the class's shed_after_s bound hit
@@ -72,13 +85,18 @@ class PriorityClass:
     ``max_batch`` / ``max_wait_s`` are the coalescing knobs for batches
     this class heads (the FIFO server's knobs, now per class);
     ``shed_after_s`` is the class latency bound: a request still queued
-    that long past enqueue is shed instead of dispatched.
+    that long past enqueue is shed instead of dispatched.  ``weight`` is
+    the class's share under :data:`SLA_MODE_WEIGHTED_FAIR` — a class
+    with weight 4 earns credit four times as fast as a class with
+    weight 1 (ignored under :data:`SLA_MODE_STRICT`, where position in
+    the policy tuple is everything).
     """
 
     name: str
     max_batch: int = 8
     max_wait_s: float = 0.002
     shed_after_s: Optional[float] = None
+    weight: float = 1.0
 
     def __post_init__(self):
         if not self.name:
@@ -89,13 +107,28 @@ class PriorityClass:
             raise ValueError("max_wait_s must be >= 0")
         if self.shed_after_s is not None and self.shed_after_s <= 0:
             raise ValueError("shed_after_s must be > 0 (or None)")
+        if not self.weight > 0:
+            raise ValueError("weight must be > 0")
 
 
 @dataclass(frozen=True)
 class SlaPolicy:
-    """An ordered tuple of priority classes, highest precedence first."""
+    """An ordered tuple of priority classes, highest precedence first.
+
+    ``mode`` picks the cross-class arbitration: :data:`SLA_MODE_STRICT`
+    (precedence by tuple order — may starve low classes under sustained
+    high-class saturation, by design) or
+    :data:`SLA_MODE_WEIGHTED_FAIR` (deficit-round-robin over the class
+    weights, with credit earned faster the longer a class's head has
+    waited — ``aging_s`` is the head wait that doubles the earn rate, so
+    no class waits unboundedly).  Either way, scheduling stays invisible
+    to the served numerics: the mode changes only *when* a request
+    dispatches, never the bits it produces.
+    """
 
     classes: Tuple[PriorityClass, ...]
+    mode: str = SLA_MODE_STRICT
+    aging_s: float = 0.05
 
     def __post_init__(self):
         classes = tuple(self.classes)
@@ -105,6 +138,11 @@ class SlaPolicy:
         names = [cls.name for cls in classes]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate priority class names in {names}")
+        if self.mode not in SLA_MODES:
+            raise ValueError(f"unknown SLA mode {self.mode!r}; "
+                             f"choose from {list(SLA_MODES)}")
+        if not self.aging_s > 0:
+            raise ValueError("aging_s must be > 0")
 
     @classmethod
     def fifo(cls, max_batch: int = 8,
@@ -218,22 +256,39 @@ class AdmissionController:
       requests are queued (high occupancy with an empty queue is a
       healthy saturated server, not a meltdown).
 
-    Both thresholds are optional; an unconfigured controller admits
+    The async front end adds two *transport* gauges, checked by
+    :meth:`admit_transport` before a connection or body is even read:
+
+    * ``max_connections`` — refuse new connections past this many open
+      sockets (each open connection holds parser/buffer state);
+    * ``max_inflight_bytes`` — refuse new request bodies while this many
+      decoded payload bytes are already in flight (bounds resident
+      memory under thousands of slow streams).
+
+    All thresholds are optional; an unconfigured controller admits
     everything.
     """
 
     def __init__(self, max_queue_depth: Optional[int] = None,
                  max_occupancy: Optional[float] = None,
-                 min_queue_depth: int = 1):
+                 min_queue_depth: int = 1,
+                 max_connections: Optional[int] = None,
+                 max_inflight_bytes: Optional[int] = None):
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1 (or None)")
         if max_occupancy is not None and not 0.0 < max_occupancy <= 1.0:
             raise ValueError("max_occupancy must be in (0, 1] (or None)")
         if min_queue_depth < 0:
             raise ValueError("min_queue_depth must be >= 0")
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1 (or None)")
+        if max_inflight_bytes is not None and max_inflight_bytes < 1:
+            raise ValueError("max_inflight_bytes must be >= 1 (or None)")
         self.max_queue_depth = max_queue_depth
         self.max_occupancy = max_occupancy
         self.min_queue_depth = min_queue_depth
+        self.max_connections = max_connections
+        self.max_inflight_bytes = max_inflight_bytes
 
     def admit(self, queue_depth: int, occupancy: float) -> bool:
         """Whether a new request should be accepted right now."""
@@ -243,6 +298,23 @@ class AdmissionController:
         if (self.max_occupancy is not None
                 and occupancy >= self.max_occupancy
                 and queue_depth >= self.min_queue_depth):
+            return False
+        return True
+
+    def admit_transport(self, connections: int, inflight_bytes: int) -> bool:
+        """Whether the transport should take on more work right now.
+
+        ``connections`` counts *already-open* sockets (a new accept is
+        refused when the count has reached ``max_connections``);
+        ``inflight_bytes`` counts request-payload bytes currently
+        resident (a new body is refused once the gauge is at or past
+        ``max_inflight_bytes``).
+        """
+        if (self.max_connections is not None
+                and connections >= self.max_connections):
+            return False
+        if (self.max_inflight_bytes is not None
+                and inflight_bytes >= self.max_inflight_bytes):
             return False
         return True
 
@@ -269,6 +341,10 @@ class SlaQueue:
         self._cond = threading.Condition()
         self._closed = False
         self._on_shed = on_shed
+        # weighted_fair state: per-class DRR credit and the round-robin
+        # pointer (both untouched under strict mode)
+        self._deficits: List[float] = [0.0] * len(policy.classes)
+        self._rr = 0
 
     # ------------------------------------------------------------------
     @property
@@ -348,11 +424,45 @@ class SlaQueue:
                 self._shed_locked(request, reason, now)
             self._pending[rank] = keep
 
-    def _head_locked(self) -> Optional[SlaRequest]:
+    def _head_locked(self, now: float) -> Optional[SlaRequest]:
+        if self.policy.mode == SLA_MODE_WEIGHTED_FAIR:
+            return self._drr_head_locked(now)
         for pending in self._pending:
             if pending:
                 return pending[0]
         return None
+
+    def _drr_head_locked(self, now: float) -> Optional[SlaRequest]:
+        """Deficit-round-robin with aging: the ``weighted_fair`` head.
+
+        One unit of credit buys one dispatched request.  An idle class
+        forfeits its credit (classic DRR — no saving up while absent).
+        When no backlogged class can afford a dispatch, every backlogged
+        class earns ``weight * (1 + head_wait / aging_s)`` — the aging
+        term grows a waiting class's earn rate linearly with its head's
+        queue time, so however small its weight, its wait to the next
+        grant is bounded.  The head comes from the first credit-positive
+        class at or after the round-robin pointer, EDF within the class.
+        """
+        nonempty = [rank for rank, pending in enumerate(self._pending)
+                    if pending]
+        if not nonempty:
+            return None
+        for rank in range(len(self._pending)):
+            if not self._pending[rank]:
+                self._deficits[rank] = 0.0
+        while not any(self._deficits[rank] >= 1.0 for rank in nonempty):
+            for rank in nonempty:
+                cls = self.policy.classes[rank]
+                wait = max(0.0, now - self._pending[rank][0].enqueue_t)
+                self._deficits[rank] += cls.weight * (
+                    1.0 + wait / self.policy.aging_s)
+        for offset in range(len(self._pending)):
+            rank = (self._rr + offset) % len(self._pending)
+            if self._pending[rank] and self._deficits[rank] >= 1.0:
+                self._rr = (rank + 1) % len(self._pending)
+                return self._pending[rank][0]
+        return None  # unreachable: the refill loop guarantees a winner
 
     def _next_expiry_locked(self) -> float:
         expiry = math.inf
@@ -369,10 +479,19 @@ class SlaQueue:
         Matches on the resolved ``entry`` as well as the name, so a
         tenant unregistered and re-registered under the same name
         between two submits never mixes generations in one batch.
+
+        The head is seeded first: under strict precedence it is the
+        first match anyway, but under weighted-fair arbitration a
+        low-class head can win the round while higher-class requests of
+        the same model sit queued — coalescing in eligibility order
+        alone would fill the batch with those riders and evict the very
+        request the credit was spent on.
         """
-        out: List[SlaRequest] = []
+        out: List[SlaRequest] = [head]
         for pending in self._pending:
             for request in pending:
+                if request is head:
+                    continue
                 if (request.model == head.model
                         and request.entry is head.entry):
                     out.append(request)
@@ -385,13 +504,23 @@ class SlaQueue:
         for rank, pending in enumerate(self._pending):
             self._pending[rank] = [request for request in pending
                                    if id(request) not in chosen]
+        if self.policy.mode == SLA_MODE_WEIGHTED_FAIR:
+            # each dispatched request bills one credit to its own class
+            # (riders too — a free rider would let a heavy class consume
+            # pool time it never paid for).  The floor bounds the debt a
+            # class can accrue by riding, so the refill loop stays short.
+            for request in batch:
+                rank = request.class_rank
+                floor = -float(self.policy.classes[rank].max_batch)
+                self._deficits[rank] = max(self._deficits[rank] - 1.0, floor)
 
     # ------------------------------------------------------------------
     def get_batch(self) -> Optional[List[SlaRequest]]:
         """Extract the next batch under the policy (``None`` = drained).
 
-        Selection: shed everything expired, pick the head (strict class
-        precedence, EDF within the class), then coalesce queued requests
+        Selection: shed everything expired, pick the head (cross-class
+        arbitration per ``policy.mode`` — strict precedence or
+        deficit-round-robin — EDF within the class), then coalesce queued requests
         of the head's model — in the same eligibility order — until the
         head class's ``max_batch`` is full or the head's ``max_wait_s``
         budget (anchored on its enqueue time, clamped by its own expiry)
@@ -402,7 +531,7 @@ class SlaQueue:
             while True:
                 now = time.monotonic()
                 self._sweep_expired_locked(now)
-                head = self._head_locked()
+                head = self._head_locked(now)
                 if head is None:
                     if self._closed:
                         return None

@@ -1,11 +1,14 @@
 """``HttpClient`` retry policy: idempotent GETs only, deterministic.
 
-The contract: with ``retries > 0`` the idempotent GETs retry connection
-errors (and, for the stats endpoints, HTTP 503) with capped exponential
-backoff and seeded jitter — same seed, same sleep schedule.  ``healthz``
-never retries a 503 (a draining body must surface immediately), POSTs
-are never retried, and the default ``retries=0`` keeps the historical
-fail-fast behaviour byte for byte.
+The contract: with ``retries > 0`` the idempotent GETs — ``/v1/stats``,
+``/v1/models``, ``/healthz``, ``/metrics``, ``/v1/usage`` and
+``/v1/trace/<id>`` — retry connection errors (and, for all but
+``healthz``, HTTP 503) with capped exponential backoff and seeded
+jitter — same seed, same sleep schedule.  ``healthz`` never retries a
+503 (a draining body must surface immediately), a trace 404 is a
+definitive answer (evicted ≠ transient), POSTs are never retried, and
+the default ``retries=0`` keeps the historical fail-fast behaviour byte
+for byte.
 """
 
 import numpy as np
@@ -109,6 +112,114 @@ class TestStatusRetry:
         with pytest.raises(HttpError) as info:
             client.stats()
         assert info.value.status == 404
+        assert len(transport.calls) == 1
+
+
+class ScriptedTextTransport:
+    """Stands in for ``HttpClient.request_text`` (the raw-text sibling
+    the ``/metrics`` exposition travels on): plays back scripted
+    ``(status, text)`` responses or exceptions."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    def __call__(self, method, path):
+        self.calls.append((method, path))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def scripted_text(client, *outcomes):
+    transport = ScriptedTextTransport(outcomes)
+    client.request_text = transport
+    return transport
+
+
+EXPOSITION = "# TYPE forms_requests_total counter\n"
+USAGE_BODY = {"totals": {"requests": 3, "sheds": 0}}
+TRACE_BODY = {"trace_id": "req-1", "spans": [{"name": "request"}]}
+DRAIN_503 = (503, {"error": {"code": "shutting_down"}})
+
+
+class TestObservabilityGetsRetry:
+    """The allowlist extension: /metrics, /v1/usage and /v1/trace/<id>
+    are idempotent reads and retry exactly like /v1/stats."""
+
+    def test_usage_retries_connection_errors_then_succeeds(self):
+        client = make_client(retries=2)
+        transport = scripted(client, ConnectionResetError(),
+                             (200, USAGE_BODY))
+        assert client.usage() == USAGE_BODY
+        assert transport.calls == [("GET", "/v1/usage")] * 2
+
+    def test_usage_retries_503_then_returns_recovered_body(self):
+        client = make_client(retries=2)
+        transport = scripted(client, DRAIN_503, (200, USAGE_BODY))
+        assert client.usage() == USAGE_BODY
+        assert len(transport.calls) == 2
+
+    def test_trace_retries_connection_and_503(self):
+        client = make_client(retries=3)
+        transport = scripted(client, ConnectionResetError(), DRAIN_503,
+                             (200, TRACE_BODY))
+        assert client.trace("req-1") == TRACE_BODY
+        assert transport.calls == [("GET", "/v1/trace/req-1")] * 3
+
+    def test_trace_404_is_definitive_no_retry(self):
+        """An evicted trace is an answer, not a transient: surface the
+        404 on the first round trip."""
+        client = make_client(retries=3)
+        transport = scripted(client,
+                             (404, {"error": {"code": "not_found"}}))
+        with pytest.raises(HttpError) as info:
+            client.trace("req-gone")
+        assert info.value.status == 404
+        assert len(transport.calls) == 1
+
+    def test_metrics_retries_connection_errors_then_succeeds(self):
+        client = make_client(retries=2)
+        transport = scripted_text(client, ConnectionResetError(),
+                                  (200, EXPOSITION))
+        assert client.metrics() == EXPOSITION
+        assert transport.calls == [("GET", "/metrics")] * 2
+
+    def test_metrics_retries_503_honoring_the_server_hint(self,
+                                                          monkeypatch):
+        client = make_client(retries=2)
+        hinted = (503, '{"error": {"code": "shutting_down", '
+                       '"retry_after_s": 0.05}}')
+        scripted_text(client, hinted, (200, EXPOSITION))
+        sleeps = []
+        from repro.serving import http as http_module
+        monkeypatch.setattr(http_module.time, "sleep", sleeps.append)
+        assert client.metrics() == EXPOSITION
+        assert sleeps == [0.05]
+
+    def test_metrics_exhausted_503_raises(self):
+        client = make_client(retries=1)
+        text_503 = (503, '{"error": {"code": "shutting_down"}}')
+        transport = scripted_text(client, text_503, text_503)
+        with pytest.raises(HttpError) as info:
+            client.metrics()
+        assert info.value.status == 503
+        assert len(transport.calls) == 2
+
+    def test_metrics_non_json_error_text_is_wrapped(self):
+        client = make_client(retries=0)
+        scripted_text(client, (500, "exposition exploded"))
+        with pytest.raises(HttpError) as info:
+            client.metrics()
+        assert info.value.status == 500
+        assert "exposition exploded" in str(info.value)
+
+    def test_metrics_zero_retries_fails_fast(self):
+        client = make_client()
+        transport = scripted_text(client, ConnectionResetError())
+        with pytest.raises(OSError):
+            client.metrics()
         assert len(transport.calls) == 1
 
 

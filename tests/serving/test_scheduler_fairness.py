@@ -1,0 +1,210 @@
+"""Weighted-fair scheduling: bulk progresses, strict starves — by design.
+
+The fairness satellite.  Three layers:
+
+* **queue-level**: a saturating interactive stream (refilled after every
+  batch, so the high class is never empty) leaves bulk with *zero*
+  dispatches under ``strict`` — the starvation hole, pinned here as the
+  documented behavior — and with *nonzero* dispatches under
+  ``weighted_fair``, in roughly the weight ratio;
+* **aging**: a long-waiting bulk head earns credit faster, so even a
+  tiny weight is dispatched within a bounded number of rounds;
+* **bit-exactness**: the same submissions served under ``strict`` and
+  ``weighted_fair`` produce byte-identical outputs, both equal to the
+  serial single-image forward — arbitration is scheduling-only, the
+  suite's rule.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.perf.multitenant import mixed_policy
+from repro.perf.suite import _post_relu_network
+from repro.reram import ADCSpec, DeviceSpec, ReRAMDevice, paper_adc_bits
+from repro.runtime import run_network_serial
+from repro.serving import (SLA_MODE_STRICT, SLA_MODE_WEIGHTED_FAIR,
+                           SLA_MODES, InferenceServer, PriorityClass,
+                           SlaPolicy, SlaQueue, SlaRequest)
+
+
+def make_policy(mode, *, hi_weight=4.0, lo_weight=1.0, aging_s=0.05):
+    return SlaPolicy((
+        PriorityClass("interactive", max_batch=2, max_wait_s=0.0,
+                      weight=hi_weight),
+        PriorityClass("bulk", max_batch=2, max_wait_s=0.0,
+                      weight=lo_weight),
+    ), mode=mode, aging_s=aging_s)
+
+
+def make_request(request_id, rank, policy, *, enqueue_t=None):
+    cls = policy.classes[rank]
+    request = SlaRequest(request_id=request_id, image=np.zeros(2),
+                         model="m", class_rank=rank,
+                         priority_class=cls.name, deadline_t=None,
+                         deadline_s=None)
+    if enqueue_t is not None:
+        request.enqueue_t = enqueue_t
+    return request
+
+
+def saturate_and_count(mode, rounds=30):
+    """Dispatch ``rounds`` batches while interactive never drains.
+
+    After every batch the interactive class is refilled back to a
+    standing backlog — the saturation scenario — while a fixed bulk
+    backlog waits.  Returns per-class dispatch counts.
+    """
+    policy = make_policy(mode)
+    queue = SlaQueue(policy)
+    next_id = 0
+    for _ in range(40):                      # the standing bulk backlog
+        queue.put(make_request(next_id, 1, policy))
+        next_id += 1
+    counts = {"interactive": 0, "bulk": 0}
+    for _ in range(rounds):
+        while queue.depth_of("interactive") < 4:        # interactive never drains
+            queue.put(make_request(next_id, 0, policy))
+            next_id += 1
+        batch = queue.get_batch()
+        assert batch is not None
+        for request in batch:
+            counts[request.priority_class] += 1
+    return counts
+
+
+class TestModeSurface:
+    def test_modes_constant(self):
+        assert SLA_MODE_STRICT in SLA_MODES
+        assert SLA_MODE_WEIGHTED_FAIR in SLA_MODES
+
+    def test_default_mode_is_strict(self):
+        policy = SlaPolicy((PriorityClass("only"),))
+        assert policy.mode == SLA_MODE_STRICT
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            SlaPolicy((PriorityClass("only"),), mode="round_robin")
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            PriorityClass("a", weight=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            PriorityClass("a", weight=-1.0)
+
+    def test_aging_validation(self):
+        with pytest.raises(ValueError, match="aging"):
+            SlaPolicy((PriorityClass("a"),),
+                      mode=SLA_MODE_WEIGHTED_FAIR, aging_s=0.0)
+
+    def test_mixed_policy_threads_mode_and_weights(self):
+        policy = mixed_policy(mode=SLA_MODE_WEIGHTED_FAIR,
+                              interactive_weight=7.0, bulk_weight=2.0)
+        assert policy.mode == SLA_MODE_WEIGHTED_FAIR
+        assert [cls.weight for cls in policy.classes] == [7.0, 2.0]
+
+
+class TestSaturationFairness:
+    def test_strict_starves_bulk_as_documented(self):
+        """The pinned hole: under saturation, strict precedence serves
+        interactive exclusively — bulk gets exactly nothing.  This is
+        the documented behavior ``weighted_fair`` exists to fix."""
+        counts = saturate_and_count(SLA_MODE_STRICT)
+        assert counts["bulk"] == 0
+        assert counts["interactive"] > 0
+
+    def test_weighted_fair_keeps_bulk_progressing(self):
+        """The fix: the same saturating load leaves bulk with nonzero
+        service, and interactive still gets the lion's share."""
+        counts = saturate_and_count(SLA_MODE_WEIGHTED_FAIR)
+        assert counts["bulk"] > 0
+        assert counts["interactive"] > counts["bulk"]
+
+    def test_weighted_fair_ratio_tracks_weights(self):
+        """Over many rounds the service ratio approaches the weight
+        ratio (4:1 here) — loose bounds: DRR is exact only in the
+        fluid limit."""
+        counts = saturate_and_count(SLA_MODE_WEIGHTED_FAIR, rounds=60)
+        ratio = counts["interactive"] / counts["bulk"]
+        assert 2.0 <= ratio <= 8.0
+
+    def test_idle_class_forfeits_credit(self):
+        """Classic DRR: credit does not accumulate while a class has
+        nothing queued, so a burst after idleness cannot monopolize."""
+        policy = make_policy(SLA_MODE_WEIGHTED_FAIR)
+        queue = SlaQueue(policy)
+        # bulk idles while interactive is served repeatedly
+        for i in range(8):
+            queue.put(make_request(i, 0, policy))
+        for _ in range(4):
+            assert queue.get_batch() is not None
+        # bulk arrives now; interactive still pending would win first
+        # under any carried-over credit scheme in reverse — assert bulk
+        # does not burst past the weight share
+        for i in range(20, 40):
+            queue.put(make_request(i, 1, policy))
+        for i in range(40, 48):
+            queue.put(make_request(i, 0, policy))
+        served = {"interactive": 0, "bulk": 0}
+        for _ in range(6):
+            batch = queue.get_batch()
+            for request in batch:
+                served[request.priority_class] += 1
+        assert served["interactive"] >= served["bulk"]
+
+
+class TestAging:
+    def test_old_bulk_head_dispatches_quickly(self):
+        """A bulk head that has waited ≫ aging_s earns credit at a
+        multiple of its weight: it must win within a few rounds even
+        at a 100:1 weight disadvantage."""
+        policy = SlaPolicy((
+            PriorityClass("interactive", max_batch=1, max_wait_s=0.0,
+                          weight=100.0),
+            PriorityClass("bulk", max_batch=1, max_wait_s=0.0,
+                          weight=1.0),
+        ), mode=SLA_MODE_WEIGHTED_FAIR, aging_s=0.001)
+        queue = SlaQueue(policy)
+        old = time.monotonic() - 1.0   # head has waited 1000 aging units
+        queue.put(make_request(0, 1, policy, enqueue_t=old))
+        dispatched = []
+        for i in range(1, 6):
+            queue.put(make_request(i, 0, policy))
+            batch = queue.get_batch()
+            dispatched.extend(r.priority_class for r in batch)
+            if "bulk" in dispatched:
+                break
+        assert "bulk" in dispatched
+
+
+class TestModeBitExactness:
+    """The matrix pattern: arbitration must be numerics-invisible."""
+
+    @pytest.fixture(scope="class")
+    def network_case(self):
+        model, config, images = _post_relu_network()
+        device = ReRAMDevice(DeviceSpec(), 0.0)
+        adc = ADCSpec(bits=paper_adc_bits(config.fragment_size))
+        return model, config, images, device, adc
+
+    @pytest.mark.parametrize("mode", SLA_MODES)
+    def test_outputs_equal_serial_under_both_modes(self, network_case,
+                                                   mode):
+        model, config, images, device, adc = network_case
+        policy = SlaPolicy((
+            PriorityClass("interactive", max_batch=2, max_wait_s=0.001,
+                          weight=4.0),
+            PriorityClass("bulk", max_batch=4, max_wait_s=0.002,
+                          weight=1.0),
+        ), mode=mode)
+        with InferenceServer.from_model(
+                model, config, device, adc=adc, activation_bits=12,
+                workers=2, policy=policy) as server:
+            futures = [server.submit_async(
+                image, priority=("interactive" if i % 2 else "bulk"))
+                for i, image in enumerate(images)]
+            outputs = [future.result().output for future in futures]
+            serial = run_network_serial(server.model, images, tile_size=1)
+        for output, reference in zip(outputs, serial):
+            np.testing.assert_array_equal(output, reference)
